@@ -1,0 +1,114 @@
+// Ablation: the dynamic activation threshold (§4.5.1) vs static thresholds,
+// in two regimes:
+//   * under memory pressure (scale factor 20, 1.5 GiB cache): a high static
+//     threshold reacts too late (more evictions/cold boots);
+//   * without pressure (scale factor 5, 8 GiB cache): a low static threshold
+//     keeps reclaiming — and paying CPU — for no benefit, while the dynamic
+//     policy stays inactive.
+// Replay outcomes are noisy, so every cell averages three platform seeds.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+constexpr uint64_t kSeeds[] = {42, 43, 44};
+
+struct Row {
+  std::string regime;
+  std::string policy;
+  double cold_boots_per_s = 0.0;
+  double evictions = 0.0;
+  double reclaims = 0.0;
+  double reclaim_cpu_core_s = 0.0;
+  double p99_ms = 0.0;
+};
+
+std::vector<Row> g_rows;
+
+void Run(const std::string& regime, const std::string& name,
+         const ActivationConfig& activation, double scale_factor, uint64_t cache) {
+  Row row;
+  row.regime = regime;
+  row.policy = name;
+  for (const uint64_t seed : kSeeds) {
+    ReplayConfig config;
+    config.mode = MemoryMode::kDesiccant;
+    config.scale_factor = scale_factor;
+    config.cache_capacity = cache;
+    config.platform_seed = seed;
+    config.desiccant.activation = activation;
+    const ReplayResult result = RunReplay(config);
+    const double n = std::size(kSeeds);
+    row.cold_boots_per_s += result.metrics.ColdBootsPerSecond() / n;
+    row.evictions += static_cast<double>(result.metrics.evictions) / n;
+    row.reclaims += static_cast<double>(result.metrics.reclaims) / n;
+    row.reclaim_cpu_core_s += result.metrics.reclaim_cpu_core_s / n;
+    row.p99_ms += result.metrics.latency_ms.Percentile(99) / n;
+  }
+  g_rows.push_back(row);
+}
+
+ActivationConfig Static(double threshold) {
+  ActivationConfig config;
+  config.floor_threshold = threshold;
+  config.initial_threshold = threshold;
+  config.max_threshold = threshold;
+  config.raise_per_second = 0.0;
+  return config;
+}
+
+void RunOpportunistic(const std::string& regime, double scale_factor, uint64_t cache) {
+  Row row;
+  row.regime = regime;
+  row.policy = "dynamic+idle-cpu";
+  for (const uint64_t seed : kSeeds) {
+    ReplayConfig config;
+    config.mode = MemoryMode::kDesiccant;
+    config.scale_factor = scale_factor;
+    config.cache_capacity = cache;
+    config.platform_seed = seed;
+    config.desiccant.opportunistic_on_idle_cpu = true;
+    const ReplayResult result = RunReplay(config);
+    const double n = std::size(kSeeds);
+    row.cold_boots_per_s += result.metrics.ColdBootsPerSecond() / n;
+    row.evictions += static_cast<double>(result.metrics.evictions) / n;
+    row.reclaims += static_cast<double>(result.metrics.reclaims) / n;
+    row.reclaim_cpu_core_s += result.metrics.reclaim_cpu_core_s / n;
+    row.p99_ms += result.metrics.latency_ms.Percentile(99) / n;
+  }
+  g_rows.push_back(row);
+}
+
+void Register(const std::string& regime, double scale_factor, uint64_t cache) {
+  RegisterExperiment("abl_activation/" + regime + "/dynamic", [=] {
+    Run(regime, "dynamic", ActivationConfig{}, scale_factor, cache);
+  });
+  RegisterExperiment("abl_activation/" + regime + "/dynamic+idle",
+                     [=] { RunOpportunistic(regime, scale_factor, cache); });
+  for (const double t : {0.3, 0.7, 0.95}) {
+    RegisterExperiment("abl_activation/" + regime + "/static:" + Table::Fmt(t, 2), [=] {
+      Run(regime, "static-" + Table::Fmt(t, 2), Static(t), scale_factor, cache);
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  Register("pressure", 20.0, 1536 * kMiB);
+  Register("no-pressure", 5.0, 8 * kGiB);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  Table table({"regime", "policy", "cold_boots_per_s", "evictions", "reclaims",
+               "reclaim_cpu_core_s", "p99_ms"});
+  for (const Row& row : g_rows) {
+    table.AddRow({row.regime, row.policy, Table::Fmt(row.cold_boots_per_s, 3),
+                  Table::Fmt(row.evictions, 0), Table::Fmt(row.reclaims, 0),
+                  Table::Fmt(row.reclaim_cpu_core_s), Table::Fmt(row.p99_ms)});
+  }
+  table.Print("Ablation: activation threshold (3-seed mean)");
+  return 0;
+}

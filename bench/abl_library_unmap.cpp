@@ -1,0 +1,55 @@
+// Ablation: the §4.6 shared-library unmap optimization, in the OpenWhisk
+// (shared images) and Lambda (private images) settings. Unmapping only helps
+// when the image is mapped by a single frozen instance — which is always the
+// case on Lambda, making the optimization markedly more effective there.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  std::string setting;
+  std::string function;
+  double without_mib;
+  double with_mib;
+};
+
+std::vector<Row> g_rows;
+
+void Run(const char* name, ImageSharing sharing, const std::string& setting) {
+  const WorkloadSpec* w = FindWorkload(name);
+  const SingleFunctionResult without =
+      RunSingleFunction(*w, 256 * kMiB, 100, sharing, /*unmap_libraries=*/false);
+  const SingleFunctionResult with =
+      RunSingleFunction(*w, 256 * kMiB, 100, sharing, /*unmap_libraries=*/true);
+  g_rows.push_back({setting, name, ToMiB(without.desiccant.uss), ToMiB(with.desiccant.uss)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* name : {"sort", "fft"}) {
+    RegisterExperiment(std::string("abl_unmap/shared/") + name, [name] {
+      Run(name, ImageSharing::kExclusiveNode, "exclusive-node");
+    });
+    RegisterExperiment(std::string("abl_unmap/lambda/") + name, [name] {
+      Run(name, ImageSharing::kLambdaPrivate, "lambda-private");
+    });
+    RegisterExperiment(std::string("abl_unmap/multi/") + name, [name] {
+      Run(name, ImageSharing::kSharedNode, "shared-node");
+    });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  Table table({"setting", "function", "desiccant_without_unmap_mib",
+               "desiccant_with_unmap_mib", "extra_savings_mib"});
+  for (const Row& row : g_rows) {
+    table.AddRow({row.setting, row.function, Table::Fmt(row.without_mib),
+                  Table::Fmt(row.with_mib), Table::Fmt(row.without_mib - row.with_mib)});
+  }
+  table.Print("Ablation: library unmap optimization (USS after reclaim)");
+  return 0;
+}

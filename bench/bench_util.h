@@ -1,0 +1,170 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary registers its experiment as a google-benchmark benchmark
+// (Iterations(1): these are macro-experiments, not microbenchmarks), collects
+// rows while running, and prints CSV tables after the run — the same
+// rows/series the paper's figures report.
+#ifndef DESICCANT_BENCH_BENCH_UTIL_H_
+#define DESICCANT_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/table.h"
+#include "src/core/desiccant_manager.h"
+#include "src/faas/platform.h"
+#include "src/faas/single_study.h"
+#include "src/trace/azure_trace.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+// ---------------------------------------------------------------------------
+// Single-function experiments (figures 1, 2, 4, 7, 8, 11, 12, 13)
+
+struct SingleFunctionResult {
+  ChainSample vanilla;
+  ChainSample eager;
+  ChainSample desiccant;   // after reclaim
+  double avg_ratio = 0.0;  // mean over iterations of vanilla uss / ideal uss
+  double max_ratio = 0.0;  // max over iterations
+};
+
+// Runs `iterations` chain invocations under all three configurations and
+// applies Desiccant's reclaim at the end (memory is assumed scarce, §5.2).
+inline SingleFunctionResult RunSingleFunction(const WorkloadSpec& workload,
+                                              uint64_t budget = 256 * kMiB,
+                                              int iterations = 100,
+                                              ImageSharing sharing = ImageSharing::kSharedNode,
+                                              bool unmap_libraries = true) {
+  StudyConfig vanilla_config;
+  vanilla_config.memory_budget = budget;
+  vanilla_config.sharing = sharing;
+  StudyConfig eager_config = vanilla_config;
+  eager_config.mode = StudyMode::kEager;
+
+  ChainStudy vanilla(workload, vanilla_config);
+  ChainStudy eager(workload, eager_config);
+  ChainStudy desiccant(workload, vanilla_config);
+
+  SingleFunctionResult result;
+  for (int i = 0; i < iterations; ++i) {
+    result.vanilla = vanilla.Step();
+    result.eager = eager.Step();
+    desiccant.Step();
+    const double ratio = static_cast<double>(result.vanilla.uss) /
+                         static_cast<double>(result.vanilla.ideal_uss);
+    result.avg_ratio += ratio / iterations;
+    result.max_ratio = std::max(result.max_ratio, ratio);
+  }
+  desiccant.ReclaimAll(ReclaimOptions{}, unmap_libraries);
+  result.desiccant = desiccant.Sample();
+  // The chain's last carry is still pending consumption; the ideal snapshot
+  // accounts for it on both sides, so ratios stay comparable.
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay experiments (figures 9, 10 and the ablations)
+
+struct ReplayConfig {
+  MemoryMode mode = MemoryMode::kVanilla;
+  double scale_factor = 15.0;
+  uint64_t cache_capacity = 1536 * kMiB;
+  // Small enough that the vanilla baseline's cold-boot CPU saturates the
+  // invoker at the top scale factors, as in the paper's testbed.
+  double cpu_cores = 1.6;
+  double warmup_scale_factor = 15.0;
+  double warmup_seconds = 60.0;
+  double measure_seconds = 180.0;
+  uint64_t trace_seed = 1234;
+  uint64_t platform_seed = 42;
+  bool snapstart_restore = false;     // SnapStart-style cold starts
+  uint32_t prewarm_per_language = 0;  // OpenWhisk stem cells
+  DesiccantConfig desiccant;  // used when mode == kDesiccant
+};
+
+struct ReplayResult {
+  PlatformMetrics metrics;
+  double cores = 0.0;
+  uint64_t desiccant_bytes_released = 0;
+  uint64_t desiccant_reclaim_requests = 0;
+};
+
+// The Table 1 suite with coarsened objects, cached (bench binaries run many
+// replays).
+inline const std::vector<WorkloadSpec>& CoarseSuite() {
+  static const std::vector<WorkloadSpec> kSuite = [] {
+    std::vector<WorkloadSpec> suite;
+    for (const WorkloadSpec& w : WorkloadSuite()) {
+      suite.push_back(CoarsenObjects(w, 4));
+    }
+    return suite;
+  }();
+  return kSuite;
+}
+
+inline ReplayResult RunReplay(const ReplayConfig& config) {
+  PlatformConfig platform_config;
+  platform_config.mode = config.mode;
+  platform_config.cache_capacity_bytes = config.cache_capacity;
+  platform_config.cpu_cores = config.cpu_cores;
+  platform_config.seed = config.platform_seed;
+  platform_config.snapstart_restore = config.snapstart_restore;
+  platform_config.prewarm_per_language = config.prewarm_per_language;
+  Platform platform(platform_config);
+
+  std::unique_ptr<DesiccantManager> manager;
+  if (config.mode == MemoryMode::kDesiccant) {
+    manager = std::make_unique<DesiccantManager>(&platform, config.desiccant);
+  }
+
+  std::vector<const WorkloadSpec*> workloads;
+  for (const WorkloadSpec& w : CoarseSuite()) {
+    workloads.push_back(&w);
+  }
+  TraceGenerator generator(config.trace_seed);
+  const auto trace_functions = generator.BuildSuiteTrace(workloads);
+
+  const SimTime warmup_end = FromSeconds(config.warmup_seconds);
+  const SimTime replay_end = warmup_end + FromSeconds(config.measure_seconds);
+  for (const TraceArrival& a :
+       generator.Generate(trace_functions, config.warmup_scale_factor, 0, warmup_end)) {
+    platform.Submit(a.workload, a.time);
+  }
+  for (const TraceArrival& a :
+       generator.Generate(trace_functions, config.scale_factor, warmup_end, replay_end)) {
+    platform.Submit(a.workload, a.time);
+  }
+
+  platform.RunUntil(warmup_end);
+  platform.BeginMeasurement();
+  platform.RunUntil(replay_end);
+
+  ReplayResult result;
+  result.metrics = platform.FinishMeasurement();
+  result.cores = platform_config.cpu_cores;
+  if (manager != nullptr) {
+    result.desiccant_bytes_released = manager->bytes_released();
+    result.desiccant_reclaim_requests = manager->reclaim_requests();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Bench registration helper: a whole experiment as one benchmark iteration.
+
+inline void RegisterExperiment(const std::string& name, std::function<void()> body) {
+  benchmark::RegisterBenchmark(name.c_str(), [body](benchmark::State& state) {
+    for (auto _ : state) {
+      body();
+    }
+  })->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,44 @@
+// Extension (§7): the frozen-garbage problem and Desiccant on a CPython-style
+// runtime. Not one of the paper's figures — it substantiates the discussion
+// section's claim that "the frozen garbage problem commonly exists in
+// language runtimes ... whose memory management mechanism does not promptly
+// return the memory to the OS", using arena-managed Python functions.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  std::string name;
+  SingleFunctionResult result;
+};
+
+std::vector<Row> g_rows;
+
+void RunSuite() {
+  for (const WorkloadSpec& w : PythonExtensionSuite()) {
+    g_rows.push_back({w.name, RunSingleFunction(w)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterExperiment("ext_cpython/suite", [] { RunSuite(); });
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  Table table({"function", "vanilla_mib", "eager_mib", "desiccant_mib", "ideal_mib",
+               "max_ratio", "reduction_vs_vanilla"});
+  for (const Row& row : g_rows) {
+    const SingleFunctionResult& r = row.result;
+    table.AddRow({row.name, Table::Fmt(ToMiB(r.vanilla.uss)), Table::Fmt(ToMiB(r.eager.uss)),
+                  Table::Fmt(ToMiB(r.desiccant.uss)), Table::Fmt(ToMiB(r.desiccant.ideal_uss)),
+                  Table::Fmt(r.max_ratio),
+                  Table::Fmt(static_cast<double>(r.vanilla.uss) / r.desiccant.uss)});
+  }
+  table.Print("Extension: frozen garbage in CPython-style arenas (100 executions)");
+  return 0;
+}

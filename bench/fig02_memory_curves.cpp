@@ -1,0 +1,57 @@
+// Figure 2: memory-consumption curves for two representative functions
+// (§3.2): file-hash (Java) and fft (JavaScript), vanilla vs eager vs ideal,
+// over 100 invocations. Shows that eager GC helps Java by triggering the
+// resize phase but barely helps fft, whose young generation never shrinks.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct CurvePoint {
+  int iteration;
+  double vanilla_mib;
+  double eager_mib;
+  double ideal_mib;
+};
+
+std::vector<CurvePoint> g_filehash;
+std::vector<CurvePoint> g_fft;
+
+void RunCurve(const char* name, std::vector<CurvePoint>* out) {
+  const WorkloadSpec* w = FindWorkload(name);
+  StudyConfig vanilla_config;
+  StudyConfig eager_config;
+  eager_config.mode = StudyMode::kEager;
+  ChainStudy vanilla(*w, vanilla_config);
+  ChainStudy eager(*w, eager_config);
+  for (int i = 1; i <= 100; ++i) {
+    const ChainSample v = vanilla.Step();
+    const ChainSample e = eager.Step();
+    if (i == 1 || i % 5 == 0) {
+      out->push_back({i, ToMiB(v.uss), ToMiB(e.uss), ToMiB(v.ideal_uss)});
+    }
+  }
+}
+
+void PrintCurve(const char* title, const std::vector<CurvePoint>& curve) {
+  Table table({"iteration", "vanilla_mib", "eager_mib", "ideal_mib"});
+  for (const CurvePoint& p : curve) {
+    table.AddRow({std::to_string(p.iteration), Table::Fmt(p.vanilla_mib),
+                  Table::Fmt(p.eager_mib), Table::Fmt(p.ideal_mib)});
+  }
+  table.Print(title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterExperiment("fig02/file-hash", [] { RunCurve("file-hash", &g_filehash); });
+  RegisterExperiment("fig02/fft", [] { RunCurve("fft", &g_fft); });
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintCurve("Figure 2a: memory curve, file-hash (Java)", g_filehash);
+  PrintCurve("Figure 2b: memory curve, fft (JavaScript)", g_fft);
+  return 0;
+}

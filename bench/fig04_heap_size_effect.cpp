@@ -1,0 +1,62 @@
+// Figure 4: frozen-garbage ratios under different memory settings (§3.3).
+// Java's serial GC controls the heap regardless of the budget; V8's ratios
+// grow with the heap because the young-generation cap scales with it.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  uint64_t budget;
+  Language language;
+  double mean_avg_ratio;
+  double mean_max_ratio;
+};
+
+std::vector<Row> g_rows;
+
+void RunSetting(uint64_t budget, Language language) {
+  double avg_sum = 0.0;
+  double max_sum = 0.0;
+  int count = 0;
+  for (const WorkloadSpec* w : SuiteByLanguage(language)) {
+    const SingleFunctionResult r = RunSingleFunction(*w, budget, /*iterations=*/60);
+    avg_sum += r.avg_ratio;
+    max_sum += r.max_ratio;
+    ++count;
+  }
+  g_rows.push_back({budget, language, avg_sum / count, max_sum / count});
+}
+
+void PrintTables() {
+  for (const Language language : {Language::kJava, Language::kJavaScript}) {
+    Table table({"memory_budget_mib", "mean_avg_ratio", "mean_max_ratio"});
+    for (const Row& row : g_rows) {
+      if (row.language != language) {
+        continue;
+      }
+      table.AddRow({std::to_string(row.budget / kMiB), Table::Fmt(row.mean_avg_ratio),
+                    Table::Fmt(row.mean_max_ratio)});
+    }
+    table.Print(std::string("Figure 4") + (language == Language::kJava ? "a" : "b") +
+                ": ratios vs memory setting (" + LanguageName(language) + ")");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const uint64_t budget : {256 * kMiB, 512 * kMiB, 1024 * kMiB}) {
+    for (const Language language : {Language::kJava, Language::kJavaScript}) {
+      RegisterExperiment("fig04/" + std::to_string(budget / kMiB) + "MiB/" +
+                             LanguageName(language),
+                         [budget, language] { RunSetting(budget, language); });
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTables();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: single instance memory after 100 repetitive executions (§5.2):
+// vanilla vs eager vs Desiccant vs ideal, per function. The paper reports
+// Desiccant reductions of 1.21-4.57x for Java (2.78x average) and 1.51-3.04x
+// for JavaScript (1.93x average), landing within 0.1% (Java) / 6.4% (JS) of
+// the ideal.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  std::string name;
+  Language language;
+  SingleFunctionResult result;
+};
+
+std::vector<Row> g_rows;
+
+void RunLanguage(Language language) {
+  for (const WorkloadSpec* w : SuiteByLanguage(language)) {
+    g_rows.push_back({w->name, language, RunSingleFunction(*w)});
+  }
+}
+
+void PrintTables() {
+  for (const Language language : {Language::kJava, Language::kJavaScript}) {
+    Table table({"function", "vanilla_mib", "eager_mib", "desiccant_mib", "ideal_mib",
+                 "reduction_vs_vanilla", "reduction_vs_eager", "gap_to_ideal_pct"});
+    double reduction_v = 0.0;
+    double reduction_e = 0.0;
+    double gap = 0.0;
+    int count = 0;
+    for (const Row& row : g_rows) {
+      if (row.language != language) {
+        continue;
+      }
+      const SingleFunctionResult& r = row.result;
+      const double rv = static_cast<double>(r.vanilla.uss) / r.desiccant.uss;
+      const double re = static_cast<double>(r.eager.uss) / r.desiccant.uss;
+      const double g =
+          (static_cast<double>(r.desiccant.uss) / r.desiccant.ideal_uss - 1.0) * 100.0;
+      table.AddRow({row.name, Table::Fmt(ToMiB(r.vanilla.uss)), Table::Fmt(ToMiB(r.eager.uss)),
+                    Table::Fmt(ToMiB(r.desiccant.uss)), Table::Fmt(ToMiB(r.desiccant.ideal_uss)),
+                    Table::Fmt(rv), Table::Fmt(re), Table::Fmt(g, 1)});
+      reduction_v += rv;
+      reduction_e += re;
+      gap += g;
+      ++count;
+    }
+    table.AddRow({"MEAN", "", "", "", "", Table::Fmt(reduction_v / count),
+                  Table::Fmt(reduction_e / count), Table::Fmt(gap / count, 1)});
+    table.Print(std::string("Figure 7") + (language == Language::kJava ? "a" : "b") +
+                ": memory after 100 executions (" + LanguageName(language) + ")");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterExperiment("fig07/java", [] { RunLanguage(Language::kJava); });
+  RegisterExperiment("fig07/javascript", [] { RunLanguage(Language::kJavaScript); });
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTables();
+  return 0;
+}

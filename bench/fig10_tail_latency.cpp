@@ -1,0 +1,81 @@
+// Figure 10: tail latency at scale factors 15 and 25 (§5.3). The paper
+// reports 33.1%/9.8%/37.5% p90/p95/p99 improvement over vanilla at SF 15;
+// at SF 25 the p99 gap closes because CPU exhaustion dominates.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  double scale_factor;
+  MemoryMode mode;
+  double p50, p90, p95, p99;
+  double p99_queue, p99_boot, p99_exec;
+};
+
+std::vector<Row> g_rows;
+
+void Run(double scale_factor, MemoryMode mode) {
+  ReplayConfig config;
+  config.mode = mode;
+  config.scale_factor = scale_factor;
+  const ReplayResult result = RunReplay(config);
+  const PercentileTracker& latency = result.metrics.latency_ms;
+  g_rows.push_back({scale_factor, mode, latency.Percentile(50), latency.Percentile(90),
+                    latency.Percentile(95), latency.Percentile(99),
+                    result.metrics.queue_ms.Percentile(99),
+                    result.metrics.boot_ms.Percentile(99),
+                    result.metrics.exec_ms.Percentile(99)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const double sf : {15.0, 25.0}) {
+    for (const MemoryMode mode :
+         {MemoryMode::kVanilla, MemoryMode::kEager, MemoryMode::kDesiccant}) {
+      RegisterExperiment(
+          "fig10/sf:" + std::to_string(static_cast<int>(sf)) + "/" + MemoryModeName(mode),
+          [sf, mode] { Run(sf, mode); });
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  for (const double sf : {15.0, 25.0}) {
+    Table table({"mode", "p50_ms", "p90_ms", "p95_ms", "p99_ms", "p99_improvement_pct"});
+    const Row* vanilla = nullptr;
+    for (const Row& row : g_rows) {
+      if (row.scale_factor == sf && row.mode == MemoryMode::kVanilla) {
+        vanilla = &row;
+      }
+    }
+    for (const Row& row : g_rows) {
+      if (row.scale_factor != sf) {
+        continue;
+      }
+      const double improvement =
+          vanilla != nullptr && vanilla->p99 > 0 ? (1.0 - row.p99 / vanilla->p99) * 100.0 : 0.0;
+      table.AddRow({MemoryModeName(row.mode), Table::Fmt(row.p50), Table::Fmt(row.p90),
+                    Table::Fmt(row.p95), Table::Fmt(row.p99), Table::Fmt(improvement, 1)});
+    }
+    table.Print("Figure 10: tail latency at scale factor " + Table::Fmt(sf, 0));
+  }
+
+  // Supplement: where the tail comes from (p99 of each component).
+  for (const double sf : {15.0, 25.0}) {
+    Table table({"mode", "p99_queue_ms", "p99_boot_ms", "p99_exec_ms"});
+    for (const Row& row : g_rows) {
+      if (row.scale_factor != sf) {
+        continue;
+      }
+      table.AddRow({MemoryModeName(row.mode), Table::Fmt(row.p99_queue),
+                    Table::Fmt(row.p99_boot), Table::Fmt(row.p99_exec)});
+    }
+    table.Print("Figure 10 supplement: latency decomposition at scale factor " +
+                Table::Fmt(sf, 0));
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 12: memory consumption under different memory budgets (§5.5).
+// (a) Java averages, (b) JavaScript averages, (c) clock — stable regardless
+// of the budget, (d) fft — vanilla/eager balloon with the young-generation
+// cap while Desiccant stays flat (up to 6.72x at 1 GiB in the paper).
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  uint64_t budget;
+  std::string key;  // "java", "javascript", "clock", "fft"
+  double vanilla_mib;
+  double eager_mib;
+  double desiccant_mib;
+};
+
+std::vector<Row> g_rows;
+
+void RunLanguageAverage(uint64_t budget, Language language) {
+  double v = 0.0;
+  double e = 0.0;
+  double d = 0.0;
+  int count = 0;
+  for (const WorkloadSpec* w : SuiteByLanguage(language)) {
+    const SingleFunctionResult r = RunSingleFunction(*w, budget);
+    v += ToMiB(r.vanilla.uss);
+    e += ToMiB(r.eager.uss);
+    d += ToMiB(r.desiccant.uss);
+    ++count;
+  }
+  g_rows.push_back({budget, LanguageName(language), v / count, e / count, d / count});
+}
+
+void RunFunction(uint64_t budget, const char* name) {
+  const SingleFunctionResult r = RunSingleFunction(*FindWorkload(name), budget);
+  g_rows.push_back({budget, name, ToMiB(r.vanilla.uss), ToMiB(r.eager.uss),
+                    ToMiB(r.desiccant.uss)});
+}
+
+void PrintKey(const char* title, const std::string& key) {
+  Table table({"budget_mib", "vanilla_mib", "eager_mib", "desiccant_mib",
+               "reduction_vs_vanilla"});
+  for (const Row& row : g_rows) {
+    if (row.key != key) {
+      continue;
+    }
+    table.AddRow({std::to_string(row.budget / kMiB), Table::Fmt(row.vanilla_mib),
+                  Table::Fmt(row.eager_mib), Table::Fmt(row.desiccant_mib),
+                  Table::Fmt(row.vanilla_mib / row.desiccant_mib)});
+  }
+  table.Print(title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const uint64_t budget : {256 * kMiB, 512 * kMiB, 1024 * kMiB}) {
+    RegisterExperiment("fig12/java/" + std::to_string(budget / kMiB),
+                       [budget] { RunLanguageAverage(budget, Language::kJava); });
+    RegisterExperiment("fig12/javascript/" + std::to_string(budget / kMiB),
+                       [budget] { RunLanguageAverage(budget, Language::kJavaScript); });
+    RegisterExperiment("fig12/clock/" + std::to_string(budget / kMiB),
+                       [budget] { RunFunction(budget, "clock"); });
+    RegisterExperiment("fig12/fft/" + std::to_string(budget / kMiB),
+                       [budget] { RunFunction(budget, "fft"); });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  PrintKey("Figure 12a: Java average memory vs budget", "java");
+  PrintKey("Figure 12b: JavaScript average memory vs budget", "javascript");
+  PrintKey("Figure 12c: clock vs budget (stable)", "clock");
+  PrintKey("Figure 12d: fft vs budget (young generation cap scales)", "fft");
+  return 0;
+}

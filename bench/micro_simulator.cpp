@@ -1,0 +1,102 @@
+// Microbenchmarks of the simulator itself (real wall-clock timing, unlike the
+// figure benches which measure *simulated* quantities). Useful to keep the
+// substrate fast enough for trace replay: allocation, collection, residency
+// accounting and reclaim paths.
+#include <benchmark/benchmark.h>
+
+#include "src/base/sim_clock.h"
+#include "src/faas/instance.h"
+#include "src/hotspot/hotspot_runtime.h"
+#include "src/v8/v8_runtime.h"
+#include "src/workloads/function_spec.h"
+
+namespace {
+
+using namespace desiccant;
+
+void BM_HotSpotAllocation(benchmark::State& state) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, HotSpotConfig::ForInstanceBudget(256 * kMiB),
+                         &registry);
+  const auto size = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.AllocateObject(size));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
+}
+BENCHMARK(BM_HotSpotAllocation)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_V8Allocation(benchmark::State& state) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  V8Runtime runtime(&vas, &clock, V8Config::ForInstanceBudget(256 * kMiB), &registry);
+  const auto size = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.AllocateObject(size));
+    clock.AdvanceBy(kMicrosecond);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
+}
+BENCHMARK(BM_V8Allocation)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FullGcWithLiveSet(benchmark::State& state) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, HotSpotConfig::ForInstanceBudget(256 * kMiB),
+                         &registry);
+  // Build a live set of `range` objects.
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    runtime.strong_roots().Create(runtime.AllocateObject(1024));
+  }
+  for (auto _ : state) {
+    runtime.CollectGarbage(false);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullGcWithLiveSet)->Arg(1000)->Arg(10000);
+
+void BM_UsageAccounting(benchmark::State& state) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, HotSpotConfig::ForInstanceBudget(256 * kMiB),
+                         &registry);
+  for (int i = 0; i < 5000; ++i) {
+    runtime.AllocateObject(4096);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vas.Usage());
+  }
+}
+BENCHMARK(BM_UsageAccounting);
+
+void BM_InstanceInvocation(benchmark::State& state) {
+  SharedFileRegistry registry;
+  Instance instance(1, FindWorkload("sort"), 0, 256 * kMiB, &registry, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance.Execute());
+  }
+}
+BENCHMARK(BM_InstanceInvocation);
+
+void BM_ReclaimCycle(benchmark::State& state) {
+  SharedFileRegistry registry;
+  Instance instance(1, FindWorkload("fft"), 0, 256 * kMiB, &registry, 3);
+  for (auto _ : state) {
+    for (int i = 0; i < 5; ++i) {
+      instance.Execute();
+    }
+    instance.Freeze(instance.exec_clock().Now());
+    benchmark::DoNotOptimize(instance.Reclaim({}, true));
+    instance.Thaw();
+  }
+}
+BENCHMARK(BM_ReclaimCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Chain semantics: why eager GC backfires on mapreduce (§5.2).
+//
+// The mapper's intermediate output must stay live until the reducer has read
+// it, so a GC at the mapper's exit point cannot reclaim it — eager GC ends up
+// *costlier* than doing nothing, while Desiccant reclaims only frozen
+// instances whose carry has already been consumed.
+//
+//   $ ./examples/chain_semantics
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/faas/single_study.h"
+#include "src/workloads/function_spec.h"
+
+int main() {
+  using namespace desiccant;
+  const WorkloadSpec* mapreduce = FindWorkload("mapreduce");
+
+  StudyConfig vanilla_config;
+  StudyConfig eager_config;
+  eager_config.mode = StudyMode::kEager;
+
+  ChainStudy vanilla(*mapreduce, vanilla_config);
+  ChainStudy eager(*mapreduce, eager_config);
+  ChainStudy desiccant(*mapreduce, vanilla_config);
+
+  Table curve({"iteration", "vanilla_mib", "eager_mib", "desiccant_pre_mib"});
+  ChainSample v;
+  ChainSample e;
+  ChainSample d;
+  for (int i = 0; i < 100; ++i) {
+    v = vanilla.Step();
+    e = eager.Step();
+    d = desiccant.Step();
+    if (i % 20 == 19 || i == 0) {
+      curve.AddRow({std::to_string(i + 1), Table::Fmt(ToMiB(v.uss)), Table::Fmt(ToMiB(e.uss)),
+                    Table::Fmt(ToMiB(d.uss))});
+    }
+  }
+  curve.Print("mapreduce chain: accumulated USS over 100 chain invocations");
+
+  // At this point the reducer has consumed the mapper's last carry... except
+  // the final iteration's: consume it (the chain completed), then reclaim.
+  auto& instances = desiccant.instances();
+  if (instances.front()->program().has_carry()) {
+    instances.front()->program().ConsumeCarry(instances.front()->runtime());
+  }
+  desiccant.ReclaimAll();
+  const ChainSample after = desiccant.Sample();
+
+  Table summary({"config", "uss_mib"});
+  summary.AddRow({"vanilla", Table::Fmt(ToMiB(v.uss))});
+  summary.AddRow({"eager", Table::Fmt(ToMiB(e.uss))});
+  summary.AddRow({"desiccant (reclaimed)", Table::Fmt(ToMiB(after.uss))});
+  summary.AddRow({"ideal", Table::Fmt(ToMiB(after.ideal_uss))});
+  summary.Print("mapreduce chain: final memory");
+
+  std::printf("Note: the eager curve sits at or above vanilla early on because the mapper's\n"
+              "intermediate data is live at its exit point: the forced full GC cannot free it\n"
+              "but does grow the heap around it.\n");
+  return 0;
+}

@@ -1,0 +1,258 @@
+// desiccant_sim: a small CLI around the library for interactive exploration.
+//
+//   desiccant_sim list
+//       lists the available workloads (Table 1 + the Python extensions)
+//   desiccant_sim study <workload> [--mode vanilla|eager] [--iterations N]
+//                 [--budget-mib M] [--lambda] [--reclaim]
+//       runs the single-instance characterization and prints the memory trail
+//   desiccant_sim replay [--mode vanilla|eager|desiccant] [--scale-factor S]
+//                 [--cache-mib M] [--seconds T]
+//       replays an Azure-style trace against the platform
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/base/table.h"
+#include "src/core/desiccant_manager.h"
+#include "src/faas/platform.h"
+#include "src/faas/single_study.h"
+#include "src/trace/azure_trace.h"
+#include "src/trace/trace_import.h"
+#include "src/workloads/function_spec.h"
+#include "src/workloads/workload_csv.h"
+
+namespace {
+
+using namespace desiccant;
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  desiccant_sim list\n"
+      "  desiccant_sim study <workload> [--mode vanilla|eager] [--iterations N]\n"
+      "                [--budget-mib M] [--lambda] [--reclaim]\n"
+      "  desiccant_sim replay [--mode vanilla|eager|desiccant|swap] [--scale-factor S]\n"
+      "                [--cache-mib M] [--seconds T]\n"
+      "                [--trace-counts invocations.csv --trace-durations durations.csv]\n"
+      "                (replays the real Azure Functions 2019 dataset when given)\n");
+  return 2;
+}
+
+const char* Arg(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+bool Has(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int List() {
+  Table table({"workload", "language", "stages", "exec_ms"});
+  auto add = [&table](const WorkloadSpec& w) {
+    table.AddRow({w.name, LanguageName(w.language), std::to_string(w.chain_length()),
+                  Table::Fmt(w.TotalExecMs(), 1)});
+  };
+  for (const WorkloadSpec& w : WorkloadSuite()) {
+    add(w);
+  }
+  for (const WorkloadSpec& w : PythonExtensionSuite()) {
+    add(w);
+  }
+  table.Print("available workloads");
+  return 0;
+}
+
+int Study(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  static std::vector<WorkloadSpec> custom;
+  const char* csv = Arg(argc, argv, "--workloads-csv", nullptr);
+  if (csv != nullptr) {
+    std::string error;
+    custom = LoadWorkloadsCsv(csv, &error);
+    if (custom.empty()) {
+      std::printf("workload csv failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  const WorkloadSpec* workload = FindWorkload(argv[2]);
+  if (workload == nullptr) {
+    for (const WorkloadSpec& w : PythonExtensionSuite()) {
+      if (w.name == argv[2]) {
+        workload = &w;
+      }
+    }
+  }
+  for (const WorkloadSpec& w : custom) {
+    if (w.name == argv[2]) {
+      workload = &w;
+    }
+  }
+  if (workload == nullptr) {
+    std::printf("unknown workload '%s' (try: desiccant_sim list)\n", argv[2]);
+    return 1;
+  }
+
+  StudyConfig config;
+  config.memory_budget = std::strtoull(Arg(argc, argv, "--budget-mib", "256"), nullptr, 10) *
+                         kMiB;
+  if (std::strcmp(Arg(argc, argv, "--mode", "vanilla"), "eager") == 0) {
+    config.mode = StudyMode::kEager;
+  }
+  if (Has(argc, argv, "--lambda")) {
+    config.sharing = ImageSharing::kLambdaPrivate;
+  }
+  if (Has(argc, argv, "--g1")) {
+    config.java_collector = JavaCollector::kG1;
+  }
+  const int iterations = std::atoi(Arg(argc, argv, "--iterations", "100"));
+
+  ChainStudy study(*workload, config);
+  Table table({"iteration", "uss_mib", "rss_mib", "ideal_mib", "duration_ms"});
+  ChainSample sample;
+  for (int i = 1; i <= iterations; ++i) {
+    sample = study.Step();
+    if (i == 1 || i % std::max(1, iterations / 10) == 0) {
+      table.AddRow({std::to_string(i), Table::Fmt(ToMiB(sample.uss)),
+                    Table::Fmt(ToMiB(sample.rss)), Table::Fmt(ToMiB(sample.ideal_uss)),
+                    Table::Fmt(ToMillis(sample.duration))});
+    }
+  }
+  if (Has(argc, argv, "--reclaim")) {
+    const ReclaimResult result = study.ReclaimAll();
+    sample = study.Sample();
+    table.AddRow({"reclaimed", Table::Fmt(ToMiB(sample.uss)), Table::Fmt(ToMiB(sample.rss)),
+                  Table::Fmt(ToMiB(sample.ideal_uss)), Table::Fmt(ToMillis(result.cpu_time))});
+  }
+  table.Print("study: " + workload->name + " (" + LanguageName(workload->language) + ")");
+
+  if (Has(argc, argv, "--gc-log")) {
+    Table log({"stage", "t_ms", "kind", "pause_us", "live_mib", "committed_mib",
+               "released_mib"});
+    for (size_t stage = 0; stage < study.instances().size(); ++stage) {
+      const auto& entries = study.instances()[stage]->runtime().gc_log();
+      // The tail is usually what matters; print the last 15 per stage.
+      const size_t start = entries.size() > 15 ? entries.size() - 15 : 0;
+      for (size_t i = start; i < entries.size(); ++i) {
+        const GcLogEntry& e = entries[i];
+        log.AddRow({std::to_string(stage), Table::Fmt(ToMillis(e.at), 1),
+                    GcLogKindName(e.kind), Table::Fmt(static_cast<double>(e.pause) / 1000, 0),
+                    Table::Fmt(ToMiB(e.live_bytes)), Table::Fmt(ToMiB(e.committed_bytes)),
+                    Table::Fmt(ToMiB(PagesToBytes(e.released_pages)))});
+      }
+    }
+    log.Print("gc log (last 15 collections per stage)");
+  }
+  return 0;
+}
+
+int Replay(int argc, char** argv) {
+  PlatformConfig config;
+  const char* mode = Arg(argc, argv, "--mode", "desiccant");
+  if (std::strcmp(mode, "vanilla") == 0) {
+    config.mode = MemoryMode::kVanilla;
+  } else if (std::strcmp(mode, "eager") == 0) {
+    config.mode = MemoryMode::kEager;
+  } else if (std::strcmp(mode, "swap") == 0) {
+    config.mode = MemoryMode::kSwap;
+  } else {
+    config.mode = MemoryMode::kDesiccant;
+  }
+  config.cache_capacity_bytes =
+      std::strtoull(Arg(argc, argv, "--cache-mib", "2048"), nullptr, 10) * kMiB;
+  const double scale = std::atof(Arg(argc, argv, "--scale-factor", "15"));
+  const double seconds = std::atof(Arg(argc, argv, "--seconds", "180"));
+
+  Platform platform(config);
+  std::unique_ptr<DesiccantManager> manager;
+  if (config.mode == MemoryMode::kDesiccant) {
+    manager = std::make_unique<DesiccantManager>(&platform, DesiccantConfig{});
+  }
+
+  std::vector<const WorkloadSpec*> workloads;
+  static std::vector<WorkloadSpec> coarse;
+  if (coarse.empty()) {
+    for (const WorkloadSpec& w : WorkloadSuite()) {
+      coarse.push_back(CoarsenObjects(w, 4));
+    }
+  }
+  for (const WorkloadSpec& w : coarse) {
+    workloads.push_back(&w);
+  }
+  const SimTime end = FromSeconds(seconds);
+  const char* counts_path = Arg(argc, argv, "--trace-counts", nullptr);
+  if (counts_path != nullptr) {
+    // Replay the real Azure Functions 2019 dataset (§5.3 / artifact appendix).
+    std::string error;
+    auto imported = LoadAzureInvocationCounts(counts_path, &error);
+    if (imported.empty()) {
+      std::printf("trace import failed: %s\n", error.c_str());
+      return 1;
+    }
+    const char* durations_path = Arg(argc, argv, "--trace-durations", nullptr);
+    if (durations_path != nullptr &&
+        !JoinAzureDurations(durations_path, &imported, &error)) {
+      std::printf("trace import failed: %s\n", error.c_str());
+      return 1;
+    }
+    const auto matched = MatchWorkloadsByDuration(imported, workloads);
+    std::printf("imported %zu trace functions, matched %zu workloads\n", imported.size(),
+                matched.size());
+    for (const TraceArrival& a : GenerateFromImported(matched, scale, 0, end, 1234)) {
+      platform.Submit(a.workload, a.time);
+    }
+  } else {
+    TraceGenerator generator(1234);
+    const auto trace_functions = generator.BuildSuiteTrace(workloads);
+    for (const TraceArrival& a : generator.Generate(trace_functions, scale, 0, end)) {
+      platform.Submit(a.workload, a.time);
+    }
+  }
+  platform.BeginMeasurement();
+  platform.RunUntil(end);
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  Table table({"metric", "value"});
+  table.AddRow({"requests_completed", std::to_string(m.requests_completed)});
+  table.AddRow({"throughput_rps", Table::Fmt(m.ThroughputRps())});
+  table.AddRow({"cold_boots_per_s", Table::Fmt(m.ColdBootsPerSecond(), 3)});
+  table.AddRow({"warm_starts", std::to_string(m.warm_starts)});
+  table.AddRow({"evictions", std::to_string(m.evictions)});
+  table.AddRow({"reclaims", std::to_string(m.reclaims)});
+  table.AddRow({"p50_ms", Table::Fmt(m.latency_ms.Percentile(50))});
+  table.AddRow({"p99_ms", Table::Fmt(m.latency_ms.Percentile(99))});
+  table.AddRow({"cpu_utilization", Table::Fmt(m.CpuUtilization(config.cpu_cores), 3)});
+  table.Print(std::string("replay: mode=") + mode + ", scale factor " +
+              Table::Fmt(scale, 1));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "list") == 0) {
+    return List();
+  }
+  if (std::strcmp(argv[1], "study") == 0) {
+    return Study(argc, argv);
+  }
+  if (std::strcmp(argv[1], "replay") == 0) {
+    return Replay(argc, argv);
+  }
+  return Usage();
+}

@@ -1,0 +1,77 @@
+#include "src/base/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace desiccant {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.Next();
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformU64(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return NextU64();
+  }
+  return lo + NextU64() % span;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+}  // namespace desiccant

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulation (workload object sizes, trace
+// inter-arrival times, selection tie-breaking) draws from a seeded generator so
+// that two runs of any experiment produce identical tables.
+#ifndef DESICCANT_SRC_BASE_RNG_H_
+#define DESICCANT_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace desiccant {
+
+// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t UniformU64(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Lognormal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Bernoulli trial.
+  bool Chance(double p);
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_RNG_H_

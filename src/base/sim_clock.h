@@ -1,0 +1,32 @@
+// The simulated wall clock shared by the platform, runtimes and Desiccant.
+#ifndef DESICCANT_SRC_BASE_SIM_CLOCK_H_
+#define DESICCANT_SRC_BASE_SIM_CLOCK_H_
+
+#include <cassert>
+
+#include "src/base/units.h"
+
+namespace desiccant {
+
+// A monotonically advancing virtual clock. The discrete-event platform advances
+// it between events; single-function studies advance it by modeled durations.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime Now() const { return now_; }
+
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  void AdvanceBy(SimTime delta) { now_ += delta; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_SIM_CLOCK_H_

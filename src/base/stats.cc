@@ -1,0 +1,39 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace desiccant {
+
+void OnlineSummary::Add(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double PercentileTracker::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  const size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace desiccant

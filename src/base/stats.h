@@ -1,0 +1,78 @@
+// Lightweight statistics helpers used by the characterization and benches.
+#ifndef DESICCANT_SRC_BASE_STATS_H_
+#define DESICCANT_SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace desiccant {
+
+// Streaming min/max/mean/count without storing samples.
+class OnlineSummary {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores samples and answers percentile queries (nearest-rank on the sorted data).
+class PercentileTracker {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+
+  // p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  template <typename Visitor>
+  void ForEachSample(Visitor&& visit) const {
+    for (double s : samples_) {
+      visit(s);
+    }
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Exponential moving average with configurable smoothing, used for allocation
+// rate tracking in the V8 growth policy and for Desiccant profile smoothing.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_STATS_H_

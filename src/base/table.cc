@@ -1,0 +1,26 @@
+#include "src/base/table.h"
+
+#include <cstdio>
+
+namespace desiccant {
+
+void Table::Print(const std::string& title) const {
+  std::printf("### %s\n", title.c_str());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    std::printf("%s%s", header_[i].c_str(), i + 1 == header_.size() ? "\n" : ",");
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%s", row[i].c_str(), i + 1 == row.size() ? "\n" : ",");
+    }
+  }
+  std::printf("\n");
+}
+
+std::string Table::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace desiccant

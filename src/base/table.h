@@ -1,0 +1,29 @@
+// CSV-style table printer shared by the bench harness so that every figure's
+// bench emits rows in a uniform, parse-friendly format.
+#ifndef DESICCANT_SRC_BASE_TABLE_H_
+#define DESICCANT_SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace desiccant {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders "col1,col2,..." lines to stdout, prefixed by a title banner.
+  void Print(const std::string& title) const;
+
+  static std::string Fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_TABLE_H_

@@ -1,0 +1,45 @@
+// Byte-size and time units shared by every module.
+#ifndef DESICCANT_SRC_BASE_UNITS_H_
+#define DESICCANT_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace desiccant {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Simulated page size. All OS-level memory accounting is page-granular.
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+
+// V8-style chunk size: spaces are organized as discontiguous 256 KiB chunks.
+inline constexpr uint64_t kChunkSize = 256 * kKiB;
+inline constexpr uint64_t kPagesPerChunk = kChunkSize / kPageSize;
+
+constexpr uint64_t BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
+
+// Round `bytes` up/down to a page boundary.
+constexpr uint64_t PageAlignUp(uint64_t bytes) {
+  return (bytes + kPageSize - 1) & ~(kPageSize - 1);
+}
+constexpr uint64_t PageAlignDown(uint64_t bytes) { return bytes & ~(kPageSize - 1); }
+
+// Simulated time is tracked in nanoseconds (64 bits spans ~584 years).
+using SimTime = uint64_t;
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr SimTime FromMillis(double ms) { return static_cast<SimTime>(ms * kMillisecond); }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+constexpr double ToMiB(uint64_t bytes) { return static_cast<double>(bytes) / kMiB; }
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_UNITS_H_

@@ -1,0 +1,58 @@
+// Desiccant's dynamic activation threshold (§4.2, §4.5.1).
+//
+// Desiccant only runs when the memory used by frozen instances exceeds a
+// threshold fraction of the instance cache. The threshold is dynamic: when
+// the platform starts evicting instances the threshold immediately drops to a
+// predefined floor (60% by default) so more memory gets released; otherwise
+// it creeps back up to reduce CPU overhead.
+#ifndef DESICCANT_SRC_CORE_ACTIVATION_H_
+#define DESICCANT_SRC_CORE_ACTIVATION_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace desiccant {
+
+struct ActivationConfig {
+  double floor_threshold = 0.60;    // the "predefined one" evictions drop us to
+  double max_threshold = 0.90;
+  double initial_threshold = 0.75;
+  double raise_per_second = 0.02;   // gradual recovery
+};
+
+class ActivationPolicy {
+ public:
+  explicit ActivationPolicy(const ActivationConfig& config)
+      : config_(config), threshold_(config.initial_threshold) {}
+
+  double CurrentThreshold(SimTime now) const {
+    const double raised =
+        threshold_ + config_.raise_per_second * ToSeconds(now - last_update_);
+    return std::min(raised, config_.max_threshold);
+  }
+
+  bool ShouldActivate(uint64_t frozen_bytes, uint64_t cache_capacity, SimTime now) const {
+    if (cache_capacity == 0) {
+      return false;
+    }
+    const double fraction =
+        static_cast<double>(frozen_bytes) / static_cast<double>(cache_capacity);
+    return fraction >= CurrentThreshold(now);
+  }
+
+  void OnEviction(SimTime now) {
+    threshold_ = config_.floor_threshold;
+    last_update_ = now;
+  }
+
+ private:
+  ActivationConfig config_;
+  double threshold_;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_CORE_ACTIVATION_H_

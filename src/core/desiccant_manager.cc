@@ -1,0 +1,71 @@
+#include "src/core/desiccant_manager.h"
+
+namespace desiccant {
+
+DesiccantManager::DesiccantManager(Platform* platform, const DesiccantConfig& config)
+    : platform_(platform),
+      config_(config),
+      activation_(config.activation),
+      selection_(config.selection, config.strategy) {
+  platform_->set_observer(this);
+}
+
+void DesiccantManager::OnInstanceFrozen(Instance* instance) {
+  // Wake up once the instance clears the freeze-timeout gate, so reclamation
+  // does not have to wait for the next unrelated platform event.
+  const uint64_t id = instance->id();
+  (void)id;
+  platform_->ScheduleCallback(
+      platform_->clock().Now() + config_.selection.freeze_timeout + kMillisecond,
+      [this]() { MaybeReclaim(); });
+}
+
+void DesiccantManager::OnInstanceEvicted(Instance* instance) {
+  (void)instance;
+  activation_.OnEviction(platform_->clock().Now());
+}
+
+void DesiccantManager::OnInstanceDestroyed(Instance* instance) {
+  profiles_.ForgetInstance(instance->id());
+}
+
+void DesiccantManager::OnReclaimDone(const std::string& function_key, Instance* instance,
+                                     const ReclaimResult& result) {
+  const uint64_t released_bytes = PagesToBytes(result.released_pages);
+  bytes_released_ += released_bytes;
+  if (instance != nullptr) {
+    profiles_.Record(instance->id(), function_key, result.live_bytes_after, result.cpu_time,
+                     released_bytes);
+  }
+}
+
+void DesiccantManager::OnTick() { MaybeReclaim(); }
+
+double DesiccantManager::CurrentThreshold() const {
+  return activation_.CurrentThreshold(platform_->clock().Now());
+}
+
+void DesiccantManager::MaybeReclaim() {
+  const SimTime now = platform_->clock().Now();
+  const uint64_t frozen_bytes = platform_->FrozenMemoryBytes();
+  const bool pressure = activation_.ShouldActivate(
+      frozen_bytes, platform_->config().cache_capacity_bytes, now);
+  const bool idle_opportunity =
+      config_.opportunistic_on_idle_cpu && frozen_bytes > 0 &&
+      platform_->IdleCpu() >= config_.idle_cpu_fraction * platform_->config().cpu_cores;
+  if (!pressure && !idle_opportunity) {
+    return;
+  }
+  const std::vector<Instance*> frozen = platform_->FrozenInstances();
+  ReclaimOptions options;
+  options.aggressive = config_.aggressive_gc;
+  for (Instance* instance : selection_.Select(frozen, profiles_, now)) {
+    if (platform_->TryStartReclaim(instance, options, config_.unmap_idle_libraries)) {
+      ++reclaim_requests_;
+    } else {
+      break;  // no idle CPU left: stop issuing reclaims this tick
+    }
+  }
+}
+
+}  // namespace desiccant

@@ -1,0 +1,69 @@
+// Desiccant: the freeze-aware memory manager (§4).
+//
+// Hooks into the platform as a background sweeper (Figure 5): it watches the
+// memory consumed by frozen instances, activates when it crosses the dynamic
+// threshold, selects the most cost-effective frozen instances by estimated
+// reclamation throughput, and drives the per-runtime reclaim interface on
+// idle CPU. Profiles come back through OnReclaimDone and feed later
+// selections. Eviction events lower the activation threshold.
+#ifndef DESICCANT_SRC_CORE_DESICCANT_MANAGER_H_
+#define DESICCANT_SRC_CORE_DESICCANT_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/activation.h"
+#include "src/core/profile_store.h"
+#include "src/core/selection.h"
+#include "src/faas/platform.h"
+
+namespace desiccant {
+
+struct DesiccantConfig {
+  ActivationConfig activation;
+  SelectionConfig selection;
+  SelectionStrategy strategy = SelectionStrategy::kThroughput;
+  // §4.6: unmap runtime images used by only one frozen instance.
+  bool unmap_idle_libraries = true;
+  // §4.7: avoid aggressive (weak-collecting) GC during reclamation.
+  bool aggressive_gc = false;
+  // The §4.2 future-work policy: additionally reclaim whenever plenty of CPU
+  // is idle, even without memory pressure (paying CPU that would otherwise go
+  // unused to be ahead of the next burst).
+  bool opportunistic_on_idle_cpu = false;
+  double idle_cpu_fraction = 0.5;
+};
+
+class DesiccantManager : public PlatformObserver {
+ public:
+  DesiccantManager(Platform* platform, const DesiccantConfig& config);
+
+  // PlatformObserver:
+  void OnInstanceFrozen(Instance* instance) override;
+  void OnInstanceEvicted(Instance* instance) override;
+  void OnInstanceDestroyed(Instance* instance) override;
+  void OnReclaimDone(const std::string& function_key, Instance* instance,
+                     const ReclaimResult& result) override;
+  void OnTick() override;
+
+  uint64_t reclaim_requests() const { return reclaim_requests_; }
+  uint64_t bytes_released() const { return bytes_released_; }
+  const ProfileStore& profiles() const { return profiles_; }
+  double CurrentThreshold() const;
+
+ private:
+  void MaybeReclaim();
+
+  Platform* platform_;
+  DesiccantConfig config_;
+  ActivationPolicy activation_;
+  SelectionPolicy selection_;
+  ProfileStore profiles_;
+
+  uint64_t reclaim_requests_ = 0;
+  uint64_t bytes_released_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_CORE_DESICCANT_MANAGER_H_

@@ -1,0 +1,68 @@
+#include "src/core/profile_store.h"
+
+#include <algorithm>
+
+namespace desiccant {
+
+void ProfileStore::Record(uint64_t instance_id, const std::string& function_key,
+                          uint64_t live_bytes, SimTime cpu_time, uint64_t released_bytes) {
+  auto update = [&](Profile& p) {
+    p.live_bytes.Add(static_cast<double>(live_bytes));
+    p.cpu_time_ns.Add(static_cast<double>(cpu_time));
+    ++p.samples;
+  };
+  update(by_instance_[instance_id]);
+  update(by_function_[function_key]);
+  if (cpu_time > 0) {
+    global_throughput_.Add(static_cast<double>(released_bytes) /
+                           static_cast<double>(cpu_time));
+  }
+}
+
+ProfileEstimate ProfileStore::EstimateFor(uint64_t instance_id,
+                                          const std::string& function_key) const {
+  ProfileEstimate estimate;
+  auto inst = by_instance_.find(instance_id);
+  const Profile* source = nullptr;
+  if (inst != by_instance_.end() && inst->second.samples > 0) {
+    source = &inst->second;
+  } else {
+    auto fn = by_function_.find(function_key);
+    if (fn != by_function_.end() && fn->second.samples > 0) {
+      source = &fn->second;
+    }
+  }
+  if (source != nullptr) {
+    estimate.live_bytes = source->live_bytes.value();
+    estimate.cpu_time_ns = source->cpu_time_ns.value();
+    estimate.has_breakdown = true;
+    estimate.has_any = true;
+    return estimate;
+  }
+  if (global_throughput_.initialized()) {
+    estimate.global_throughput = global_throughput_.value();
+    estimate.has_any = true;
+  }
+  return estimate;
+}
+
+void ProfileStore::ForgetInstance(uint64_t instance_id) { by_instance_.erase(instance_id); }
+
+std::vector<ProfileStore::FunctionSummary> ProfileStore::Summarize() const {
+  std::vector<FunctionSummary> summaries;
+  for (const auto& [key, profile] : by_function_) {
+    FunctionSummary summary;
+    summary.function_key = key;
+    summary.live_bytes = profile.live_bytes.value();
+    summary.cpu_time_ns = profile.cpu_time_ns.value();
+    summary.samples = profile.samples;
+    summaries.push_back(std::move(summary));
+  }
+  std::sort(summaries.begin(), summaries.end(),
+            [](const FunctionSummary& a, const FunctionSummary& b) {
+              return a.function_key < b.function_key;
+            });
+  return summaries;
+}
+
+}  // namespace desiccant

@@ -1,0 +1,65 @@
+// Per-instance and per-function reclamation profiles (§4.5.2).
+//
+// After every successful reclaim the language runtime reports its in-heap
+// live bytes and the platform adds the CPU time the reclamation consumed.
+// Desiccant keeps these per instance, falls back to same-function instances
+// for fresh instances, and to the global average throughput when the function
+// has never been reclaimed. Profiles of destroyed instances are dropped.
+#ifndef DESICCANT_SRC_CORE_PROFILE_STORE_H_
+#define DESICCANT_SRC_CORE_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/units.h"
+
+namespace desiccant {
+
+struct ProfileEstimate {
+  double live_bytes = 0.0;
+  double cpu_time_ns = 0.0;
+  // When neither the instance nor its function has samples, only the global
+  // average *throughput* is available (bytes per ns).
+  bool has_breakdown = false;
+  double global_throughput = 0.0;
+  bool has_any = false;
+};
+
+class ProfileStore {
+ public:
+  void Record(uint64_t instance_id, const std::string& function_key, uint64_t live_bytes,
+              SimTime cpu_time, uint64_t released_bytes);
+
+  ProfileEstimate EstimateFor(uint64_t instance_id, const std::string& function_key) const;
+
+  void ForgetInstance(uint64_t instance_id);
+
+  size_t instance_profile_count() const { return by_instance_.size(); }
+
+  // Per-function view of the collected profiles (for operators/debugging).
+  struct FunctionSummary {
+    std::string function_key;
+    double live_bytes = 0.0;
+    double cpu_time_ns = 0.0;
+    uint64_t samples = 0;
+  };
+  std::vector<FunctionSummary> Summarize() const;
+
+ private:
+  struct Profile {
+    Ewma live_bytes{0.4};
+    Ewma cpu_time_ns{0.4};
+    uint64_t samples = 0;
+  };
+
+  std::unordered_map<uint64_t, Profile> by_instance_;
+  std::unordered_map<std::string, Profile> by_function_;
+  Ewma global_throughput_{0.2};  // bytes released per ns of reclaim CPU
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_CORE_PROFILE_STORE_H_

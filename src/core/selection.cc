@@ -1,0 +1,76 @@
+#include "src/core/selection.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace desiccant {
+
+double SelectionPolicy::EstimatedThroughput(Instance* instance,
+                                            const ProfileStore& profiles) const {
+  const ProfileEstimate estimate =
+      profiles.EstimateFor(instance->id(), instance->FunctionKey());
+  if (!estimate.has_any) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (!estimate.has_breakdown) {
+    return estimate.global_throughput;
+  }
+  const double heap_resident = static_cast<double>(instance->runtime().HeapResidentBytes());
+  const double reclaimable = std::max(0.0, heap_resident - estimate.live_bytes);
+  const double cpu = std::max(1.0, estimate.cpu_time_ns);
+  return reclaimable / cpu;
+}
+
+std::vector<Instance*> SelectionPolicy::Select(const std::vector<Instance*>& frozen,
+                                               const ProfileStore& profiles,
+                                               SimTime now) const {
+  std::vector<Instance*> candidates;
+  for (Instance* instance : frozen) {
+    if (instance->reclaim_in_progress() || instance->reclaimed_since_freeze()) {
+      continue;
+    }
+    if (now < instance->frozen_since() + config_.freeze_timeout) {
+      continue;  // not frozen for long enough
+    }
+    candidates.push_back(instance);
+  }
+
+  switch (strategy_) {
+    case SelectionStrategy::kThroughput: {
+      std::vector<std::pair<double, Instance*>> ranked;
+      ranked.reserve(candidates.size());
+      for (Instance* instance : candidates) {
+        ranked.emplace_back(EstimatedThroughput(instance, profiles), instance);
+      }
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      candidates.clear();
+      for (const auto& [score, instance] : ranked) {
+        candidates.push_back(instance);
+      }
+      break;
+    }
+    case SelectionStrategy::kFifo:
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Instance* a, const Instance* b) {
+                         return a->frozen_since() < b->frozen_since();
+                       });
+      break;
+    case SelectionStrategy::kLargestHeap:
+      std::stable_sort(candidates.begin(), candidates.end(), [](Instance* a, Instance* b) {
+        return a->runtime().HeapResidentBytes() > b->runtime().HeapResidentBytes();
+      });
+      break;
+    case SelectionStrategy::kRandomish:
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Instance* a, const Instance* b) { return a->id() < b->id(); });
+      break;
+  }
+
+  if (candidates.size() > config_.max_batch) {
+    candidates.resize(config_.max_batch);
+  }
+  return candidates;
+}
+
+}  // namespace desiccant

@@ -1,0 +1,54 @@
+// Instance selection by estimated reclamation throughput (§4.3, §4.5.2).
+//
+//   Throughput_est = (Mem_heap - Estimated_live_bytes) / Estimated_CPU_time
+//
+// Mem_heap is the instance's current in-heap memory consumption (pmap over
+// the reported heap range for HotSpot; internal counters for V8). Only
+// instances frozen longer than the timeout are candidates; instances already
+// reclaimed this freeze period, or currently being reclaimed, are skipped.
+#ifndef DESICCANT_SRC_CORE_SELECTION_H_
+#define DESICCANT_SRC_CORE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/core/profile_store.h"
+#include "src/faas/instance.h"
+
+namespace desiccant {
+
+struct SelectionConfig {
+  SimTime freeze_timeout = 1 * kSecond;
+  size_t max_batch = 8;
+};
+
+enum class SelectionStrategy : uint8_t {
+  kThroughput,   // the paper's policy
+  kFifo,         // ablation: oldest frozen first
+  kLargestHeap,  // ablation: biggest resident heap first
+  kRandomish,    // ablation: arbitrary (id order)
+};
+
+class SelectionPolicy {
+ public:
+  explicit SelectionPolicy(const SelectionConfig& config,
+                           SelectionStrategy strategy = SelectionStrategy::kThroughput)
+      : config_(config), strategy_(strategy) {}
+
+  // Filters and ranks candidates, best first, at most max_batch of them.
+  std::vector<Instance*> Select(const std::vector<Instance*>& frozen,
+                                const ProfileStore& profiles, SimTime now) const;
+
+  // The estimate for one instance; +inf (a huge sentinel) when no profile
+  // exists anywhere yet, so unknown instances get explored first.
+  double EstimatedThroughput(Instance* instance, const ProfileStore& profiles) const;
+
+ private:
+  SelectionConfig config_;
+  SelectionStrategy strategy_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_CORE_SELECTION_H_

@@ -1,0 +1,129 @@
+#include "src/cpython/cpython_runtime.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desiccant {
+
+namespace {
+constexpr SimTime kReleaseCostPerPage = 300 * kNanosecond;
+}  // namespace
+
+CPythonRuntime::CPythonRuntime(VirtualAddressSpace* vas, const SimClock* clock,
+                               const CPythonConfig& config, SharedFileRegistry* registry)
+    : ManagedRuntime(vas, clock), config_(config) {
+  assert(config_.max_heap_bytes >= 8 * kMiB);
+
+  overhead_region_ = vas_->MapAnonymous("cpython_overhead", config_.interpreter_overhead_bytes);
+  vas_->Touch(overhead_region_, 0, config_.interpreter_overhead_bytes, /*write=*/true);
+  if (registry != nullptr && config_.image_bytes > 0) {
+    const FileId image = registry->RegisterFile("libpython.so", config_.image_bytes);
+    image_region_ = vas_->MapFile("libpython.so", image);
+    const uint64_t resident = PageAlignDown(
+        static_cast<uint64_t>(config_.image_bytes * config_.image_resident_fraction));
+    vas_->Touch(image_region_, 0, resident, /*write=*/false);
+  }
+
+  arenas_ = std::make_unique<ChunkedOldSpace>("cpython_arena", vas_);
+  los_ = std::make_unique<LargeObjectSpace>("cpython_lo", vas_);
+}
+
+SimObject* CPythonRuntime::AllocateObject(uint32_t size) {
+  if (allocated_since_gc_ >= config_.gc_threshold_bytes) {
+    ChargeGcTime(Collect(/*aggressive=*/false));
+  }
+  SimObject* obj = pool_.New(size);
+  TouchResult faults;
+  NoteAllocation(size);
+  allocated_since_gc_ += size;
+  if (size > kMaxRegularObjectSize) {
+    obj->space = 1;
+    los_->Allocate(obj, &faults);
+  } else {
+    obj->space = 0;
+    arenas_->Allocate(obj, &faults);
+  }
+  ChargeFaults(faults);
+  if (arenas_->CommittedBytes() + los_->CommittedBytes() > config_.max_heap_bytes) {
+    OutOfMemory("arena allocation");
+  }
+  return obj;
+}
+
+SimTime CPythonRuntime::Collect(bool aggressive) {
+  if (aggressive) {
+    bool had_weak = false;
+    weak_roots_.ForEach([&had_weak](SimObject*) { had_weak = true; });
+    if (had_weak) {
+      weak_roots_.Clear();
+      NoteDeoptimization(config_.weak_deopt_factor, config_.weak_deopt_invocations);
+    }
+  }
+
+  std::vector<SimObject*> marked;
+  const MarkStats stats =
+      aggressive ? marker_.MarkFrom({&strong_roots_}, &marked)
+                 : marker_.MarkFrom({&strong_roots_, &weak_roots_}, &marked);
+
+  const auto arena_sweep = arenas_->Sweep(&pool_);
+  const auto los_sweep = los_->Sweep(&pool_);
+  for (SimObject* obj : marked) {
+    obj->marked = false;
+  }
+
+  // Vanilla CPython's only give-back: arenas that became completely empty.
+  arenas_->ReleaseEmptyChunks();
+
+  ++gc_count_;
+  allocated_since_gc_ = 0;
+  last_gc_live_bytes_ = stats.live_bytes;
+
+  const SimTime cost =
+      gc_costs_.fixed_full_pause + gc_costs_.MarkCost(stats.live_objects, stats.live_bytes) +
+      (arena_sweep.chunk_count + los_sweep.dead_objects) * gc_costs_.sweep_cost_per_chunk;
+  total_gc_time_ += cost;
+  LogGc(GcLogEntry::Kind::kFull, cost, last_gc_live_bytes_,
+        arenas_->CommittedBytes() + los_->CommittedBytes());
+  return cost;
+}
+
+SimTime CPythonRuntime::CollectGarbage(bool aggressive) { return Collect(aggressive); }
+
+ReclaimResult CPythonRuntime::Reclaim(const ReclaimOptions& options) {
+  ReclaimResult result;
+  result.cpu_time = Collect(options.aggressive);
+  // §7: "leverage CPython's mark-sweep garbage collector and internal data
+  // structures (e.g., free list) to identify free memory regions and release
+  // them back to the operating system".
+  const uint64_t released = arenas_->ReleaseFreePagesInChunks();
+  result.released_pages = released;
+  result.cpu_time += released * kReleaseCostPerPage;
+  result.live_bytes_after = last_gc_live_bytes_;
+  result.heap_resident_after = HeapResidentBytes();
+  LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
+        arenas_->CommittedBytes() + los_->CommittedBytes(), result.released_pages);
+  return result;
+}
+
+HeapStats CPythonRuntime::GetHeapStats() const {
+  HeapStats stats;
+  stats.committed_bytes = arenas_->CommittedBytes() + los_->CommittedBytes();
+  stats.resident_bytes = HeapResidentBytes();
+  stats.live_bytes = last_gc_live_bytes_;
+  stats.old_capacity = arenas_->CommittedBytes();
+  stats.full_gc_count = gc_count_;
+  stats.total_gc_time = total_gc_time_;
+  return stats;
+}
+
+uint64_t CPythonRuntime::HeapResidentBytes() const {
+  return arenas_->ResidentBytes() + los_->ResidentBytes();
+}
+
+void CPythonRuntime::OutOfMemory(const char* where) {
+  std::fprintf(stderr, "CPythonRuntime: simulated MemoryError during %s\n", where);
+  std::abort();
+}
+
+}  // namespace desiccant

@@ -1,0 +1,114 @@
+#include "src/faas/cluster.h"
+
+#include <cassert>
+#include <functional>
+
+namespace desiccant {
+
+const char* RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicy::kAffinity:
+      return "affinity";
+    case RoutingPolicy::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  assert(config_.node_count >= 1);
+  for (size_t i = 0; i < config_.node_count; ++i) {
+    PlatformConfig node_config = config_.node;
+    node_config.seed = config_.node.seed + i * 7919;
+    nodes_.push_back(std::make_unique<Platform>(node_config, &context_));
+  }
+}
+
+size_t Cluster::Route(const WorkloadSpec* workload) {
+  switch (config_.routing) {
+    case RoutingPolicy::kRoundRobin: {
+      const size_t node = round_robin_next_;
+      round_robin_next_ = (round_robin_next_ + 1) % nodes_.size();
+      return node;
+    }
+    case RoutingPolicy::kAffinity:
+      return std::hash<std::string>{}(workload->name) % nodes_.size();
+    case RoutingPolicy::kLeastLoaded: {
+      size_t best = 0;
+      for (size_t i = 1; i < nodes_.size(); ++i) {
+        if (nodes_[i]->IdleCpu() > nodes_[best]->IdleCpu()) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void Cluster::Submit(const WorkloadSpec* workload, SimTime arrival) {
+  // Routing happens at arrival time so kLeastLoaded sees the live state.
+  context_.events.Schedule(arrival, [this, workload, arrival]() {
+    nodes_[Route(workload)]->Submit(workload, arrival);
+  });
+}
+
+void Cluster::Run() {
+  while (!context_.events.empty()) {
+    context_.events.RunNext(&context_.clock);
+    for (auto& node : nodes_) {
+      if (node->observer() != nullptr) {
+        node->observer()->OnTick();
+      }
+    }
+  }
+}
+
+void Cluster::RunUntil(SimTime deadline) {
+  while (!context_.events.empty() && context_.events.next_time() <= deadline) {
+    context_.events.RunNext(&context_.clock);
+    for (auto& node : nodes_) {
+      if (node->observer() != nullptr) {
+        node->observer()->OnTick();
+      }
+    }
+  }
+  context_.clock.AdvanceTo(std::max(context_.clock.Now(), deadline));
+}
+
+void Cluster::BeginMeasurement() {
+  for (auto& node : nodes_) {
+    node->BeginMeasurement();
+  }
+}
+
+PlatformMetrics Cluster::AggregateMetrics() {
+  PlatformMetrics total;
+  total.window_start = ~0ull;
+  for (auto& node : nodes_) {
+    const PlatformMetrics& m = node->FinishMeasurement();
+    total.requests_completed += m.requests_completed;
+    total.stage_invocations += m.stage_invocations;
+    total.cold_boots += m.cold_boots;
+    total.prewarm_adoptions += m.prewarm_adoptions;
+    total.warm_starts += m.warm_starts;
+    total.evictions += m.evictions;
+    total.keepalive_destroys += m.keepalive_destroys;
+    total.reclaims += m.reclaims;
+    total.cpu_busy_core_s += m.cpu_busy_core_s;
+    total.boot_cpu_core_s += m.boot_cpu_core_s;
+    total.eager_gc_cpu_core_s += m.eager_gc_cpu_core_s;
+    total.reclaim_cpu_core_s += m.reclaim_cpu_core_s;
+    total.window_start = std::min(total.window_start, m.window_start);
+    total.window_end = std::max(total.window_end, m.window_end);
+    m.latency_ms.ForEachSample([&total](double sample) { total.latency_ms.Add(sample); });
+    m.queue_ms.ForEachSample([&total](double sample) { total.queue_ms.Add(sample); });
+    m.boot_ms.ForEachSample([&total](double sample) { total.boot_ms.Add(sample); });
+    m.exec_ms.ForEachSample([&total](double sample) { total.exec_ms.Add(sample); });
+  }
+  return total;
+}
+
+}  // namespace desiccant

@@ -1,0 +1,66 @@
+// A multi-invoker cluster: several Platform nodes sharing one simulated
+// timeline, fronted by a load balancer.
+//
+// OpenWhisk deployments run a controller in front of multiple invokers; which
+// invoker a function lands on decides whether its frozen instances ever get
+// reused. The router policies model the spectrum:
+//   kRoundRobin  — spreads load evenly but scatters a function's instances;
+//   kAffinity    — hashes the workload to a home node (OpenWhisk's default
+//                  behaviour of preferring the invoker that ran the function
+//                  before), maximizing warm reuse;
+//   kLeastLoaded — picks the node with the most idle CPU at arrival.
+//
+// Each node keeps its own instance cache and (optionally) its own Desiccant
+// manager; memory reclamation is a per-node concern, exactly as in the paper.
+#ifndef DESICCANT_SRC_FAAS_CLUSTER_H_
+#define DESICCANT_SRC_FAAS_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/faas/platform.h"
+
+namespace desiccant {
+
+enum class RoutingPolicy : uint8_t { kRoundRobin, kAffinity, kLeastLoaded };
+
+const char* RoutingPolicyName(RoutingPolicy policy);
+
+struct ClusterConfig {
+  size_t node_count = 2;
+  RoutingPolicy routing = RoutingPolicy::kAffinity;
+  PlatformConfig node;  // per-node configuration (cache, CPU, mode, ...)
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  // Routes the request to a node per the configured policy.
+  void Submit(const WorkloadSpec* workload, SimTime arrival);
+
+  void Run();
+  void RunUntil(SimTime deadline);
+
+  void BeginMeasurement();
+  // Aggregates all nodes' metrics into one view (latency percentiles merge
+  // the underlying samples; counters add up).
+  PlatformMetrics AggregateMetrics();
+
+  SimClock& clock() { return context_.clock; }
+  size_t node_count() const { return nodes_.size(); }
+  Platform& node(size_t index) { return *nodes_[index]; }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  size_t Route(const WorkloadSpec* workload);
+
+  ClusterConfig config_;
+  SimContext context_;
+  std::vector<std::unique_ptr<Platform>> nodes_;
+  size_t round_robin_next_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_CLUSTER_H_

@@ -1,0 +1,54 @@
+// Discrete-event scheduling for the platform simulator.
+#ifndef DESICCANT_SRC_FAAS_EVENT_QUEUE_H_
+#define DESICCANT_SRC_FAAS_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/base/units.h"
+
+namespace desiccant {
+
+class EventQueue {
+ public:
+  void Schedule(SimTime time, std::function<void()> fn) {
+    events_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return events_.empty(); }
+  SimTime next_time() const { return events_.top().time; }
+
+  // Pops the earliest event, advances the clock to it, and runs it.
+  void RunNext(SimClock* clock) {
+    // Moving out of a priority_queue top requires a const_cast dance; copy the
+    // closure instead (events are small).
+    Event event = events_.top();
+    events_.pop();
+    clock->AdvanceTo(event.time);
+    event.fn();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO tiebreak for simultaneous events
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_EVENT_QUEUE_H_

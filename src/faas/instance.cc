@@ -1,0 +1,194 @@
+#include "src/faas/instance.h"
+
+#include <cassert>
+
+#include "src/cpython/cpython_runtime.h"
+#include "src/hotspot/g1_runtime.h"
+#include "src/hotspot/hotspot_runtime.h"
+#include "src/v8/v8_runtime.h"
+
+namespace desiccant {
+
+std::unique_ptr<ManagedRuntime> CreateRuntime(Language language, uint64_t memory_budget,
+                                              VirtualAddressSpace* vas, const SimClock* clock,
+                                              SharedFileRegistry* registry) {
+  switch (language) {
+    case Language::kJava:
+      return std::make_unique<HotSpotRuntime>(vas, clock,
+                                              HotSpotConfig::ForInstanceBudget(memory_budget),
+                                              registry);
+    case Language::kJavaScript: {
+      return std::make_unique<V8Runtime>(vas, clock, V8Config::ForInstanceBudget(memory_budget),
+                                         registry);
+    }
+    case Language::kPython:
+      return std::make_unique<CPythonRuntime>(
+          vas, clock, CPythonConfig::ForInstanceBudget(memory_budget), registry);
+  }
+  return nullptr;
+}
+
+namespace {
+
+V8Config V8ConfigForStage(const WorkloadSpec& workload, size_t stage, uint64_t budget) {
+  V8Config config = V8Config::ForInstanceBudget(budget);
+  const StageSpec& spec = workload.stages[stage];
+  if (spec.weak_deopt_factor > 1.0) {
+    config.weak_deopt_factor = spec.weak_deopt_factor;
+  }
+  return config;
+}
+
+}  // namespace
+
+Instance::Instance(uint64_t id, const WorkloadSpec* workload, size_t stage,
+                   uint64_t memory_budget, SharedFileRegistry* registry, uint64_t seed,
+                   JavaCollector collector)
+    : id_(id),
+      workload_(workload),
+      stage_(stage),
+      private_registry_(registry == nullptr ? std::make_unique<SharedFileRegistry>() : nullptr),
+      vas_(registry != nullptr ? registry : private_registry_.get()),
+      program_(std::make_unique<FunctionProgram>(workload->stages[stage], seed)) {
+  assert(stage < workload->chain_length());
+  SharedFileRegistry* effective =
+      registry != nullptr ? registry : private_registry_.get();
+  if (workload->language == Language::kJavaScript) {
+    runtime_ = std::make_unique<V8Runtime>(&vas_, &exec_clock_,
+                                           V8ConfigForStage(*workload, stage, memory_budget),
+                                           effective);
+  } else if (workload->language == Language::kJava && collector == JavaCollector::kG1) {
+    runtime_ = std::make_unique<G1Runtime>(&vas_, &exec_clock_,
+                                           G1Config::ForInstanceBudget(memory_budget),
+                                           effective);
+  } else {
+    runtime_ = CreateRuntime(workload->language, memory_budget, &vas_, &exec_clock_, effective);
+  }
+  RefreshUss();
+}
+
+Instance::Instance(uint64_t id, Language language, uint64_t memory_budget,
+                   SharedFileRegistry* registry, uint64_t seed, JavaCollector collector)
+    : id_(id),
+      workload_(nullptr),
+      stage_(0),
+      private_registry_(registry == nullptr ? std::make_unique<SharedFileRegistry>() : nullptr),
+      vas_(registry != nullptr ? registry : private_registry_.get()) {
+  SharedFileRegistry* effective =
+      registry != nullptr ? registry : private_registry_.get();
+  if (language == Language::kJava && collector == JavaCollector::kG1) {
+    runtime_ = std::make_unique<G1Runtime>(&vas_, &exec_clock_,
+                                           G1Config::ForInstanceBudget(memory_budget),
+                                           effective);
+  } else {
+    runtime_ = CreateRuntime(language, memory_budget, &vas_, &exec_clock_, effective);
+  }
+  (void)seed;
+  RefreshUss();
+}
+
+void Instance::Bind(const WorkloadSpec* workload, size_t stage, uint64_t seed) {
+  assert(!bound());
+  assert(workload->language == runtime_->language());
+  assert(stage < workload->chain_length());
+  workload_ = workload;
+  stage_ = stage;
+  program_ = std::make_unique<FunctionProgram>(workload->stages[stage], seed);
+}
+
+InvocationOutcome Instance::Execute() {
+  assert(state_ != InstanceState::kFrozen);
+  assert(bound());
+  state_ = InstanceState::kRunning;
+  InvocationOutcome outcome = program_->Invoke(*runtime_, exec_clock_);
+  return outcome;
+}
+
+SimTime Instance::EagerGc() {
+  // V8's exposed global.gc is an aggressive, thorough collection; HotSpot's
+  // System.gc is not (§4.7).
+  const bool aggressive = runtime_->language() == Language::kJavaScript;
+  return runtime_->CollectGarbage(aggressive);
+}
+
+ReclaimResult Instance::Reclaim(const ReclaimOptions& options, bool unmap_idle_libraries) {
+  const uint64_t uss_before = vas_.Usage().uss;
+  ReclaimResult result = runtime_->Reclaim(options);
+  if (unmap_idle_libraries) {
+    const uint64_t pages = UnmapIdleLibraries();
+    result.cpu_time += pages * (300 * kNanosecond);
+  }
+  ++reclaim_count_;
+  reclaimed_since_freeze_ = true;
+  RefreshUss();
+  // Report what the whole reclamation (GC + resize decommits + free-page
+  // release + library unmap) actually gave back: the process USS delta.
+  const uint64_t uss_after = cached_uss_;
+  result.released_pages = uss_before > uss_after ? (uss_before - uss_after) / kPageSize : 0;
+  return result;
+}
+
+void Instance::Freeze(SimTime now) {
+  assert(state_ != InstanceState::kFrozen);
+  state_ = InstanceState::kFrozen;
+  frozen_since_ = now;
+  reclaimed_since_freeze_ = false;
+  RefreshUss();
+}
+
+SimTime Instance::Thaw() {
+  assert(state_ == InstanceState::kFrozen);
+  state_ = InstanceState::kRunning;
+  SimTime cost = 0;
+  if (libraries_unmapped_) {
+    // Re-fault the unmapped image working set (read faults from page cache).
+    const RegionId image = runtime_->image_region();
+    if (image != kInvalidRegionId) {
+      const uint64_t bytes = vas_.RegionSizeBytes(image) * 2 / 5;
+      const TouchResult touch = vas_.Touch(image, 0, bytes, /*write=*/false);
+      cost += fault_costs_.CostOf(touch);
+    }
+    libraries_unmapped_ = false;
+  }
+  return cost;
+}
+
+uint64_t Instance::IdealUssBytes() {
+  const MemoryUsage usage = vas_.Usage();
+  const uint64_t heap_resident = runtime_->HeapResidentBytes();
+  const uint64_t non_heap = usage.uss > heap_resident ? usage.uss - heap_resident : 0;
+  return non_heap + PageAlignUp(runtime_->ExactLiveBytes());
+}
+
+uint64_t Instance::UnmapIdleLibraries() {
+  uint64_t released = 0;
+  for (const RegionInfo& region : vas_.Smaps()) {
+    if (!region.file_backed() || !region.never_written) {
+      continue;
+    }
+    if (region.shared_clean > 0) {
+      continue;  // mapped by another process: leave it to sharing
+    }
+    if (region.private_clean == 0) {
+      continue;
+    }
+    released += vas_.Release(region.id, 0, region.size_bytes);
+  }
+  if (released > 0) {
+    libraries_unmapped_ = true;
+  }
+  return released;
+}
+
+uint64_t Instance::SwapOut(uint64_t max_pages) {
+  const uint64_t pages = vas_.SwapOutPages(max_pages);
+  RefreshUss();
+  return pages;
+}
+
+std::string Instance::FunctionKey() const {
+  assert(bound());
+  return workload_->name + "#" + std::to_string(stage_);
+}
+
+}  // namespace desiccant

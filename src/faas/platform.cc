@@ -1,0 +1,613 @@
+#include "src/faas/platform.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace desiccant {
+
+namespace {
+constexpr double kMinReclaimShare = 0.1;
+constexpr double kMaxReclaimShare = 1.0;
+// Preempted reclamations keep at least this much CPU so they always finish.
+constexpr double kReclaimShareFloor = 0.05;
+}  // namespace
+
+const char* MemoryModeName(MemoryMode mode) {
+  switch (mode) {
+    case MemoryMode::kVanilla:
+      return "vanilla";
+    case MemoryMode::kEager:
+      return "eager";
+    case MemoryMode::kDesiccant:
+      return "desiccant";
+    case MemoryMode::kSwap:
+      return "swap";
+  }
+  return "unknown";
+}
+
+Platform::Platform(const PlatformConfig& config, SimContext* context)
+    : config_(config), rng_(config.seed) {
+  if (context != nullptr) {
+    context_ = context;
+  } else {
+    owned_context_ = std::make_unique<SimContext>();
+    context_ = owned_context_.get();
+  }
+}
+
+void Platform::Submit(const WorkloadSpec* workload, SimTime arrival) {
+  Request request;
+  request.id = next_request_id_++;
+  request.workload = workload;
+  request.stage = 0;
+  request.arrival = arrival;
+  context_->events.Schedule(arrival, [this, request]() {
+    if (!TryRun(request)) {
+      waiting_.push_back(request);
+    }
+  });
+}
+
+void Platform::Run() {
+  while (!context_->events.empty()) {
+    context_->events.RunNext(&context_->clock);
+    if (observer_ != nullptr) {
+      observer_->OnTick();
+    }
+  }
+}
+
+void Platform::RunUntil(SimTime deadline) {
+  while (!context_->events.empty() && context_->events.next_time() <= deadline) {
+    context_->events.RunNext(&context_->clock);
+    if (observer_ != nullptr) {
+      observer_->OnTick();
+    }
+  }
+  context_->clock.AdvanceTo(std::max(context_->clock.Now(), deadline));
+}
+
+void Platform::BeginMeasurement() {
+  UpdateCpuIntegral();
+  metrics_ = PlatformMetrics{};
+  metrics_.window_start = context_->clock.Now();
+  metrics_.window_end = context_->clock.Now();
+}
+
+const PlatformMetrics& Platform::FinishMeasurement() {
+  UpdateCpuIntegral();
+  metrics_.window_end = context_->clock.Now();
+  return metrics_;
+}
+
+uint64_t Platform::FrozenMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance->state() == InstanceState::kFrozen) {
+      total += FrozenCharge(*instance);
+    }
+  }
+  return total;
+}
+
+uint64_t Platform::FrozenCharge(const Instance& instance) const {
+  return std::min(instance.CachedUss(), config_.instance_memory_budget);
+}
+
+std::vector<Instance*> Platform::FrozenInstances() const {
+  std::vector<Instance*> frozen;
+  for (const auto& [id, instance] : instances_) {
+    if (instance->state() == InstanceState::kFrozen) {
+      frozen.push_back(instance.get());
+    }
+  }
+  return frozen;
+}
+
+bool Platform::TryRun(const Request& request) {
+  const std::string key = request.workload->name + "#" + std::to_string(request.stage);
+  Instance* warm = FindWarmInstance(key);
+  if (warm != nullptr) {
+    if (cpu_in_use_ + config_.instance_cpu_share > config_.cpu_cores) {
+      PreemptReclaims(cpu_in_use_ + config_.instance_cpu_share - config_.cpu_cores);
+      if (cpu_in_use_ + config_.instance_cpu_share > config_.cpu_cores) {
+        return false;
+      }
+    }
+    auto& pool = warm_pool_[key];
+    pool.pop_back();  // FindWarmInstance returned the most recently frozen
+    // The instance leaves the frozen cache while it runs.
+    memory_charged_ -= FrozenCharge(*warm);
+    AcquireCpu(config_.instance_cpu_share);
+    const SimTime thaw_refault = warm->Thaw();
+    if (InWindow()) {
+      ++metrics_.warm_starts;
+    }
+    Request started = request;
+    started.start = ActivationRecord::Start::kWarm;
+    StartOnInstance(warm, started, config_.thaw_cost + thaw_refault);
+    return true;
+  }
+
+  // Prewarmed stem cell (OpenWhisk-style): adopt a generic booted container.
+  if (config_.prewarm_per_language > 0) {
+    Instance* prewarmed = TakePrewarmed(request.workload->language);
+    if (prewarmed != nullptr) {
+      if (cpu_in_use_ + config_.instance_cpu_share > config_.cpu_cores) {
+        // Put it back; the request waits for CPU.
+        prewarm_ready_[static_cast<uint8_t>(request.workload->language)].push_back(
+            prewarmed->id());
+        return false;
+      }
+      prewarmed->Bind(request.workload, request.stage, rng_.NextU64());
+      prewarmed->set_state(InstanceState::kRunning);
+      AcquireCpu(config_.instance_cpu_share);
+      if (InWindow()) {
+        ++metrics_.prewarm_adoptions;
+      }
+      Request started = request;
+      started.start = ActivationRecord::Start::kPrewarm;
+      StartOnInstance(prewarmed, started, config_.prewarm_adopt_cost);
+      MaintainPrewarmPool(request.workload->language);
+      return true;
+    }
+    MaintainPrewarmPool(request.workload->language);
+  }
+
+  // Cold boot (or SnapStart-style snapshot restore).
+  if (cpu_in_use_ + config_.boot_cpu_share > config_.cpu_cores) {
+    PreemptReclaims(cpu_in_use_ + config_.boot_cpu_share - config_.cpu_cores);
+    if (cpu_in_use_ + config_.boot_cpu_share > config_.cpu_cores) {
+      return false;
+    }
+  }
+  AcquireCpu(config_.boot_cpu_share);
+
+  const uint64_t id = next_instance_id_++;
+  auto instance = std::make_unique<Instance>(
+      id, request.workload, request.stage, config_.instance_memory_budget,
+      config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
+      config_.java_collector);
+  const SimTime boot_wall = config_.snapstart_restore
+                                ? config_.snapstart_restore_cost
+                                : config_.container_create_cost + instance->BootCost();
+  instances_.emplace(id, std::move(instance));
+  if (InWindow()) {
+    ++metrics_.cold_boots;
+    metrics_.boot_cpu_core_s += config_.boot_cpu_share * ToSeconds(boot_wall);
+  }
+
+  Request started = request;
+  started.start = ActivationRecord::Start::kCold;
+  started.boot_time += boot_wall;
+  context_->events.Schedule(context_->clock.Now() + boot_wall, [this, id, started]() {
+    Instance* booted = LookUp(id);
+    assert(booted != nullptr);
+    // Swap the boot share for the (smaller) invocation share atomically so a
+    // queued request cannot steal the CPU in between.
+    UpdateCpuIntegral();
+    cpu_in_use_ += config_.instance_cpu_share - config_.boot_cpu_share;
+    booted->set_state(InstanceState::kRunning);
+    StartOnInstance(booted, started, 0);
+    PumpWaiting();
+  });
+  return true;
+}
+
+// Pre-condition: the caller has already acquired the invocation CPU share.
+void Platform::StartOnInstance(Instance* instance, const Request& request,
+                               SimTime extra_start_cost) {
+  // The downstream stage reads its input now: the upstream instance's carry
+  // becomes garbage (collectible at its next GC or reclaim).
+  if (request.upstream_id != 0) {
+    Instance* upstream = LookUp(request.upstream_id);
+    if (upstream != nullptr) {
+      upstream->program().ConsumeCarry(upstream->runtime());
+    }
+  }
+
+  const InvocationOutcome outcome = instance->Execute();
+  if (InWindow()) {
+    ++metrics_.stage_invocations;
+  }
+  const SimTime wall =
+      extra_start_cost +
+      static_cast<SimTime>(static_cast<double>(outcome.duration) / config_.instance_cpu_share);
+  const uint64_t id = instance->id();
+  Request completed = request;
+  completed.exec_time += wall;
+  context_->events.Schedule(context_->clock.Now() + wall, [this, id, completed]() {
+    Instance* done = LookUp(id);
+    assert(done != nullptr);
+    OnStageComplete(done, completed);
+  });
+}
+
+void Platform::LogActivation(const Request& request, const Instance& instance,
+                             ActivationRecord::Start start) {
+  ActivationRecord record;
+  record.request_id = request.id;
+  record.function_key = instance.FunctionKey();
+  record.arrival = request.arrival;
+  record.completion = context_->clock.Now();
+  record.start = start;
+  record.instance_id = instance.id();
+  activation_log_.push_back(std::move(record));
+  if (activation_log_.size() > kActivationLogCapacity) {
+    activation_log_.pop_front();
+  }
+}
+
+std::vector<ActivationRecord> Platform::RecentActivations() const {
+  return {activation_log_.begin(), activation_log_.end()};
+}
+
+void Platform::OnStageComplete(Instance* instance, const Request& request) {
+  LogActivation(request, *instance, request.start);
+  // Chain orchestration: fire the next stage (the response to the user only
+  // happens after the last stage).
+  if (request.stage + 1 < request.workload->chain_length()) {
+    Request next = request;
+    next.stage = request.stage + 1;
+    next.upstream_id = instance->id();
+    if (!TryRun(next)) {
+      waiting_.push_back(next);
+    }
+  } else {
+    if (InWindow()) {
+      ++metrics_.requests_completed;
+      const SimTime latency = context_->clock.Now() - request.arrival;
+      metrics_.latency_ms.Add(ToMillis(latency));
+      metrics_.boot_ms.Add(ToMillis(request.boot_time));
+      metrics_.exec_ms.Add(ToMillis(request.exec_time));
+      const SimTime accounted = request.boot_time + request.exec_time;
+      metrics_.queue_ms.Add(ToMillis(latency > accounted ? latency - accounted : 0));
+    }
+  }
+
+  const double share = config_.instance_cpu_share;
+  if (config_.mode == MemoryMode::kEager) {
+    // Eager baseline: GC right after the function exits, before freezing. The
+    // instance keeps its CPU share while collecting.
+    const SimTime gc_time = instance->EagerGc();
+    if (InWindow()) {
+      metrics_.eager_gc_cpu_core_s += ToSeconds(gc_time);
+    }
+    const uint64_t id = instance->id();
+    context_->events.Schedule(
+        context_->clock.Now() + static_cast<SimTime>(static_cast<double>(gc_time) / share),
+        [this, id, share]() {
+          Instance* done = LookUp(id);
+          assert(done != nullptr);
+          ReleaseCpu(share);
+          FreezeInstance(done);
+        });
+    return;
+  }
+  if (config_.freeze_grace > 0) {
+    // §2.1: background threads keep running (and holding the CPU share) for a
+    // short window after the function returns; then the platform pauses the
+    // container.
+    const uint64_t id = instance->id();
+    context_->events.Schedule(context_->clock.Now() + config_.freeze_grace,
+                              [this, id, share]() {
+                                Instance* done = LookUp(id);
+                                assert(done != nullptr);
+                                ReleaseCpu(share);
+                                FreezeInstance(done);
+                              });
+    return;
+  }
+  ReleaseCpu(share);
+  FreezeInstance(instance);
+}
+
+void Platform::FreezeInstance(Instance* instance) {
+  instance->Freeze(context_->clock.Now());
+  // Admitting the instance into the frozen cache: evict LRU instances until
+  // its USS fits (OpenWhisk destroys idle instances when free memory is not
+  // enough, §4.2).
+  const uint64_t charge = FrozenCharge(*instance);
+  if (!EnsureMemory(charge, instance)) {
+    DestroyInstance(instance, /*evicted=*/true);
+    return;
+  }
+  memory_charged_ += charge;
+  warm_pool_[instance->FunctionKey()].push_back(instance);
+  if (observer_ != nullptr) {
+    observer_->OnInstanceFrozen(instance);
+  }
+
+  // Keep-alive expiry.
+  const uint64_t id = instance->id();
+  const SimTime frozen_at = instance->frozen_since();
+  context_->events.Schedule(context_->clock.Now() + config_.keep_alive, [this, id, frozen_at]() {
+    Instance* idle = LookUp(id);
+    if (idle != nullptr && idle->state() == InstanceState::kFrozen &&
+        provisioned_.count(id) == 0 && idle->frozen_since() == frozen_at) {
+      if (InWindow()) {
+        ++metrics_.keepalive_destroys;
+      }
+      DestroyInstance(idle, /*evicted=*/false);
+    }
+  });
+
+  PumpWaiting();
+}
+
+void Platform::DestroyInstance(Instance* instance, bool evicted) {
+  assert(instance->state() == InstanceState::kFrozen);
+  memory_charged_ -= FrozenCharge(*instance);
+  auto& pool = warm_pool_[instance->FunctionKey()];
+  pool.erase(std::remove(pool.begin(), pool.end(), instance), pool.end());
+  if (observer_ != nullptr) {
+    if (evicted) {
+      observer_->OnInstanceEvicted(instance);
+    }
+    observer_->OnInstanceDestroyed(instance);
+  }
+  instances_.erase(instance->id());
+}
+
+Instance* Platform::FindWarmInstance(const std::string& key) {
+  auto it = warm_pool_.find(key);
+  if (it == warm_pool_.end() || it->second.empty()) {
+    return nullptr;
+  }
+  return it->second.back();
+}
+
+Instance* Platform::OldestFrozen(const Instance* exclude) const {
+  Instance* oldest = nullptr;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.get() == exclude || instance->state() != InstanceState::kFrozen) {
+      continue;
+    }
+    if (provisioned_.count(id) != 0) {
+      continue;  // provisioned capacity is never evicted
+    }
+    if (oldest == nullptr || instance->frozen_since() < oldest->frozen_since()) {
+      oldest = instance.get();
+    }
+  }
+  return oldest;
+}
+
+bool Platform::EnsureMemory(uint64_t delta, const Instance* exclude) {
+  while (memory_charged_ + delta > config_.cache_capacity_bytes) {
+    Instance* victim = OldestFrozen(exclude);
+    if (victim == nullptr) {
+      return false;
+    }
+    if (config_.mode == MemoryMode::kSwap) {
+      // Swap the victim's pages out instead of destroying it: the charge
+      // drops (swapped pages leave the USS) and the instance stays reusable —
+      // at the price of swap-ins when it thaws (§5.6).
+      const uint64_t needed_pages =
+          BytesToPages(memory_charged_ + delta - config_.cache_capacity_bytes) + 1;
+      const uint64_t charge_before = FrozenCharge(*victim);
+      const uint64_t swapped = victim->SwapOut(needed_pages);
+      if (swapped > 0) {
+        memory_charged_ -= charge_before;
+        memory_charged_ += FrozenCharge(*victim);
+        if (InWindow()) {
+          ++metrics_.swap_outs;
+        }
+        continue;
+      }
+      // Fully swapped already: fall through to eviction.
+    }
+    if (InWindow()) {
+      ++metrics_.evictions;
+    }
+    ++lifetime_evictions_;
+    DestroyInstance(victim, /*evicted=*/true);
+  }
+  return true;
+}
+
+Instance* Platform::LookUp(uint64_t id) const {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+bool Platform::TryStartReclaim(Instance* instance, const ReclaimOptions& options,
+                               bool unmap_idle_libraries) {
+  if (instance->state() != InstanceState::kFrozen || instance->reclaim_in_progress()) {
+    return false;
+  }
+  const double idle = IdleCpu();
+  if (idle < kMinReclaimShare) {
+    return false;  // reclamation only ever uses idle CPU
+  }
+  const double share = std::min(idle, kMaxReclaimShare);
+  AcquireCpu(share);
+  instance->set_reclaim_in_progress(true);
+
+  const uint64_t charge_before = FrozenCharge(*instance);
+  const ReclaimResult result = instance->Reclaim(options, unmap_idle_libraries);
+  // The cache charge follows the released memory.
+  memory_charged_ -= charge_before;
+  memory_charged_ += FrozenCharge(*instance);
+  if (InWindow()) {
+    ++metrics_.reclaims;
+    metrics_.reclaim_cpu_core_s += ToSeconds(result.cpu_time);
+  }
+
+  const uint64_t reclaim_id = next_reclaim_id_++;
+  ActiveReclaim reclaim;
+  reclaim.instance_id = instance->id();
+  reclaim.function_key = instance->FunctionKey();
+  reclaim.result = result;
+  reclaim.share = share;
+  reclaim.remaining_cpu = result.cpu_time;
+  reclaim.last_update = context_->clock.Now();
+  active_reclaims_.emplace(reclaim_id, std::move(reclaim));
+  ScheduleReclaimCompletion(reclaim_id);
+  PumpWaiting();  // released memory may unblock queued requests immediately
+  return true;
+}
+
+void Platform::ScheduleReclaimCompletion(uint64_t reclaim_id) {
+  auto it = active_reclaims_.find(reclaim_id);
+  assert(it != active_reclaims_.end());
+  ActiveReclaim& reclaim = it->second;
+  const uint64_t generation = reclaim.generation;
+  const SimTime wall = static_cast<SimTime>(
+      static_cast<double>(reclaim.remaining_cpu) / reclaim.share);
+  context_->events.Schedule(context_->clock.Now() + wall, [this, reclaim_id, generation]() {
+    auto found = active_reclaims_.find(reclaim_id);
+    if (found == active_reclaims_.end() || found->second.generation != generation) {
+      return;  // superseded by a preemption reschedule
+    }
+    FinishReclaim(reclaim_id);
+  });
+}
+
+void Platform::FinishReclaim(uint64_t reclaim_id) {
+  auto it = active_reclaims_.find(reclaim_id);
+  assert(it != active_reclaims_.end());
+  const ActiveReclaim reclaim = it->second;
+  active_reclaims_.erase(it);
+  ReleaseCpu(reclaim.share);
+  Instance* done = LookUp(reclaim.instance_id);
+  if (done != nullptr) {
+    done->set_reclaim_in_progress(false);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnReclaimDone(reclaim.function_key, done, reclaim.result);
+  }
+  PumpWaiting();
+}
+
+double Platform::PreemptReclaims(double needed) {
+  double freed = 0.0;
+  for (auto& [reclaim_id, reclaim] : active_reclaims_) {
+    if (freed >= needed) {
+      break;
+    }
+    if (reclaim.share <= kReclaimShareFloor) {
+      continue;
+    }
+    // Reconcile progress at the old share before changing it.
+    const SimTime now = context_->clock.Now();
+    const auto consumed = static_cast<SimTime>(
+        static_cast<double>(now - reclaim.last_update) * reclaim.share);
+    reclaim.remaining_cpu = reclaim.remaining_cpu > consumed
+                                ? reclaim.remaining_cpu - consumed
+                                : 0;
+    reclaim.last_update = now;
+
+    const double give = std::min(reclaim.share - kReclaimShareFloor, needed - freed);
+    UpdateCpuIntegral();
+    cpu_in_use_ -= give;
+    reclaim.share -= give;
+    freed += give;
+    ++reclaim.generation;
+    ScheduleReclaimCompletion(reclaim_id);
+  }
+  return freed;
+}
+
+void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t id = next_instance_id_++;
+    auto instance = std::make_unique<Instance>(
+        id, workload, /*stage=*/0, config_.instance_memory_budget,
+        config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
+        config_.java_collector);
+    const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
+    instances_.emplace(id, std::move(instance));
+    provisioned_[id] = true;
+    context_->events.Schedule(context_->clock.Now() + boot_wall, [this, id]() {
+      Instance* booted = LookUp(id);
+      assert(booted != nullptr);
+      booted->set_state(InstanceState::kRunning);
+      FreezeInstance(booted);
+    });
+  }
+}
+
+void Platform::ScheduleCallback(SimTime time, std::function<void()> fn) {
+  context_->events.Schedule(time, std::move(fn));
+}
+
+Instance* Platform::TakePrewarmed(Language language) {
+  auto& ready = prewarm_ready_[static_cast<uint8_t>(language)];
+  while (!ready.empty()) {
+    const uint64_t id = ready.back();
+    ready.pop_back();
+    Instance* instance = LookUp(id);
+    if (instance != nullptr) {
+      return instance;
+    }
+  }
+  return nullptr;
+}
+
+void Platform::MaintainPrewarmPool(Language language) {
+  const auto key = static_cast<uint8_t>(language);
+  while (prewarm_ready_[key].size() + prewarm_inflight_[key] < config_.prewarm_per_language) {
+    if (cpu_in_use_ + config_.boot_cpu_share > config_.cpu_cores) {
+      // No CPU right now: try again shortly.
+      const Language lang = language;
+      context_->events.Schedule(context_->clock.Now() + 250 * kMillisecond,
+                       [this, lang]() { MaintainPrewarmPool(lang); });
+      return;
+    }
+    AcquireCpu(config_.boot_cpu_share);
+    ++prewarm_inflight_[key];
+    const uint64_t id = next_instance_id_++;
+    auto instance = std::make_unique<Instance>(
+        id, language, config_.instance_memory_budget,
+        config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
+        config_.java_collector);
+    const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
+    instances_.emplace(id, std::move(instance));
+    context_->events.Schedule(context_->clock.Now() + boot_wall, [this, id, key]() {
+      ReleaseCpu(config_.boot_cpu_share);
+      --prewarm_inflight_[key];
+      prewarm_ready_[key].push_back(id);
+      PumpWaiting();
+    });
+  }
+}
+
+void Platform::AcquireCpu(double share) {
+  UpdateCpuIntegral();
+  cpu_in_use_ += share;
+  assert(cpu_in_use_ <= config_.cpu_cores + 1e-9);
+}
+
+void Platform::ReleaseCpu(double share) {
+  UpdateCpuIntegral();
+  cpu_in_use_ -= share;
+  assert(cpu_in_use_ >= -1e-9);
+  if (cpu_in_use_ < 0) {
+    cpu_in_use_ = 0;
+  }
+  PumpWaiting();
+}
+
+void Platform::UpdateCpuIntegral() {
+  const SimTime now = context_->clock.Now();
+  if (now > last_cpu_update_) {
+    if (now > metrics_.window_start) {
+      const SimTime from = std::max(last_cpu_update_, metrics_.window_start);
+      metrics_.cpu_busy_core_s += cpu_in_use_ * ToSeconds(now - from);
+    }
+    last_cpu_update_ = now;
+  }
+}
+
+void Platform::PumpWaiting() {
+  while (!waiting_.empty()) {
+    if (!TryRun(waiting_.front())) {
+      return;
+    }
+    waiting_.pop_front();
+  }
+}
+
+}  // namespace desiccant

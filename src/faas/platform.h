@@ -1,0 +1,301 @@
+// The OpenWhisk-style FaaS platform simulator.
+//
+// A discrete-event controller + invoker with the behaviours Desiccant
+// interacts with:
+//   * warm-start from a pool of frozen instances, cold boot otherwise;
+//   * freeze (docker pause) immediately after a function exits;
+//   * an instance cache with a fixed memory capacity — running instances are
+//     charged their full budget, frozen instances their measured USS — and
+//     LRU eviction of frozen instances under memory pressure;
+//   * a CPU pool: invocations and cold boots acquire fixed shares, and
+//     background reclamation only ever uses idle CPU (§4.5.2);
+//   * keep-alive expiry of long-idle instances;
+//   * function chains, whose intermediate outputs stay live in the upstream
+//     instance until the downstream stage starts (the mapreduce effect, §5.2).
+//
+// Memory-manager modes: kVanilla (nothing at exit), kEager (runtime GC after
+// every exit), kDesiccant (a core::DesiccantManager drives reclamation via
+// the observer interface + TryStartReclaim).
+#ifndef DESICCANT_SRC_FAAS_PLATFORM_H_
+#define DESICCANT_SRC_FAAS_PLATFORM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/faas/event_queue.h"
+#include "src/faas/instance.h"
+
+namespace desiccant {
+
+// The shared simulation substrate: one clock + one event queue. A standalone
+// Platform owns its own; a Cluster shares one context across its nodes so
+// their timelines interleave correctly.
+struct SimContext {
+  SimClock clock;
+  EventQueue events;
+};
+
+// kSwap is the paper's "rely on the OS swapping mechanism" alternative
+// (§5.2): under cache pressure, frozen instances are swapped out instead of
+// evicted — cheap to keep, expensive to wake.
+enum class MemoryMode : uint8_t { kVanilla, kEager, kDesiccant, kSwap };
+
+const char* MemoryModeName(MemoryMode mode);
+
+struct PlatformConfig {
+  uint64_t instance_memory_budget = 256 * kMiB;
+  uint64_t cache_capacity_bytes = 2 * kGiB;
+  double cpu_cores = 8.0;
+  // 0.14 CPU per 256 MiB instance, following commercial platforms (§5.2).
+  double instance_cpu_share = 0.14;
+  double boot_cpu_share = 0.5;
+  SimTime container_create_cost = 280 * kMillisecond;
+  SimTime thaw_cost = 3 * kMillisecond;
+  SimTime keep_alive = 600 * kSecond;
+  // False models Lambda (§5.4): no library sharing between instances.
+  bool share_runtime_images = true;
+  MemoryMode mode = MemoryMode::kVanilla;
+  // SnapStart-style cold starts (§2.1): instead of creating a container and
+  // booting the runtime, a snapshot is restored. Restores are faster than
+  // boots but far from free (the paper measured >100 ms for Java), and the
+  // restored instance still faults its working set back in lazily.
+  bool snapstart_restore = false;
+  SimTime snapstart_restore_cost = 140 * kMillisecond;
+  // OpenWhisk-style stem cells: this many generic pre-booted containers per
+  // language; a cold start adopts one (paying only initialization) and a
+  // replacement boots in the background.
+  uint32_t prewarm_per_language = 0;
+  SimTime prewarm_adopt_cost = 40 * kMillisecond;
+  // §2.1: instances are not frozen the instant the function returns — the
+  // paper's Lambda probe saw background heartbeats continue for ~100 ms after
+  // the foreground finished. During the grace window the instance still holds
+  // its CPU share (background threads run); then it is paused.
+  SimTime freeze_grace = 0;
+  // Collector for Java instances (Lambda pins serial; G1 is the §7 option).
+  JavaCollector java_collector = JavaCollector::kSerial;
+  uint64_t seed = 42;
+};
+
+// One entry of the platform's activation-record log (OpenWhisk keeps such
+// records per invocation; useful for debugging policies).
+struct ActivationRecord {
+  uint64_t request_id = 0;
+  std::string function_key;
+  SimTime arrival = 0;
+  SimTime completion = 0;
+  enum class Start : uint8_t { kCold, kWarm, kPrewarm } start = Start::kCold;
+  uint64_t instance_id = 0;
+};
+
+// Desiccant (or any policy module) hooks in through this interface.
+class PlatformObserver {
+ public:
+  virtual ~PlatformObserver() = default;
+  virtual void OnInstanceFrozen(Instance* instance) { (void)instance; }
+  virtual void OnInstanceEvicted(Instance* instance) { (void)instance; }
+  virtual void OnInstanceDestroyed(Instance* instance) { (void)instance; }
+  // `instance` is null if it was destroyed while the reclaim was in flight.
+  virtual void OnReclaimDone(const std::string& function_key, Instance* instance,
+                             const ReclaimResult& result) {
+    (void)function_key;
+    (void)instance;
+    (void)result;
+  }
+  // Called after every processed event.
+  virtual void OnTick() {}
+};
+
+struct PlatformMetrics {
+  uint64_t requests_completed = 0;
+  uint64_t stage_invocations = 0;
+  uint64_t cold_boots = 0;
+  uint64_t prewarm_adoptions = 0;
+  uint64_t warm_starts = 0;
+  uint64_t evictions = 0;
+  uint64_t keepalive_destroys = 0;
+  uint64_t reclaims = 0;
+  uint64_t swap_outs = 0;  // kSwap mode: swap-out passes under pressure
+  PercentileTracker latency_ms;
+  // Per-request latency decomposition (same population as latency_ms).
+  PercentileTracker queue_ms;  // waiting for CPU/cache resources
+  PercentileTracker boot_ms;   // cold boots on the request's critical path
+  PercentileTracker exec_ms;   // execution wall time (incl. thaw/adopt costs)
+  // Core-seconds, split by activity.
+  double cpu_busy_core_s = 0.0;
+  double boot_cpu_core_s = 0.0;
+  double eager_gc_cpu_core_s = 0.0;
+  double reclaim_cpu_core_s = 0.0;
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+
+  double WindowSeconds() const { return ToSeconds(window_end - window_start); }
+  double ThroughputRps() const {
+    const double s = WindowSeconds();
+    return s > 0 ? static_cast<double>(requests_completed) / s : 0.0;
+  }
+  double ColdBootsPerSecond() const {
+    const double s = WindowSeconds();
+    return s > 0 ? static_cast<double>(cold_boots) / s : 0.0;
+  }
+  double ColdBootFraction() const {
+    const uint64_t starts = cold_boots + warm_starts;
+    return starts > 0 ? static_cast<double>(cold_boots) / static_cast<double>(starts) : 0.0;
+  }
+  double CpuUtilization(double cores) const {
+    const double s = WindowSeconds();
+    return s > 0 && cores > 0 ? cpu_busy_core_s / (cores * s) : 0.0;
+  }
+};
+
+class Platform {
+ public:
+  // With a null `context` the platform owns a private clock + event queue.
+  explicit Platform(const PlatformConfig& config, SimContext* context = nullptr);
+
+  void set_observer(PlatformObserver* observer) { observer_ = observer; }
+  PlatformObserver* observer() const { return observer_; }
+
+  // Enqueues a request for `workload` arriving at `arrival`.
+  void Submit(const WorkloadSpec* workload, SimTime arrival);
+
+  // §2.1 provisioned concurrency: keeps `count` instances of the workload's
+  // first stage always resident — booted eagerly, exempt from keep-alive
+  // expiry and LRU eviction. Call before Run().
+  void ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count);
+
+  // Runs events; Run drains the queue, RunUntil stops once the next event is
+  // past `deadline` (the clock lands exactly on `deadline`).
+  void Run();
+  void RunUntil(SimTime deadline);
+
+  // Starts a fresh measurement window at the current time.
+  void BeginMeasurement();
+  // Stamps window_end and returns the metrics.
+  const PlatformMetrics& FinishMeasurement();
+  const PlatformMetrics& metrics() const { return metrics_; }
+
+  SimClock& clock() { return context_->clock; }
+  SimContext& context() { return *context_; }
+  const PlatformConfig& config() const { return config_; }
+  SharedFileRegistry& registry() { return registry_; }
+
+  // ----- state queries (used by Desiccant's activation/selection) -----
+  uint64_t memory_charged() const { return memory_charged_; }
+  uint64_t FrozenMemoryBytes() const;
+  double IdleCpu() const { return config_.cpu_cores - cpu_in_use_; }
+  std::vector<Instance*> FrozenInstances() const;
+  uint64_t eviction_count() const { return lifetime_evictions_; }
+  size_t live_instance_count() const { return instances_.size(); }
+
+  // ----- Desiccant actions -----
+  // Begins background reclamation of a frozen instance on idle CPU. Returns
+  // false when the instance is not frozen, already reclaiming, or there is no
+  // idle CPU to run on.
+  bool TryStartReclaim(Instance* instance, const ReclaimOptions& options,
+                       bool unmap_idle_libraries);
+  // Lets policy modules schedule their own wake-ups.
+  void ScheduleCallback(SimTime time, std::function<void()> fn);
+
+  size_t active_reclaim_count() const { return active_reclaims_.size(); }
+
+  // The most recent activation records, oldest first (bounded ring).
+  std::vector<ActivationRecord> RecentActivations() const;
+
+ private:
+  struct Request {
+    uint64_t id = 0;
+    const WorkloadSpec* workload = nullptr;
+    size_t stage = 0;
+    SimTime arrival = 0;         // arrival of the *first* stage
+    uint64_t upstream_id = 0;    // instance holding the previous stage's carry
+    SimTime boot_time = 0;       // accumulated boot time on the critical path
+    SimTime exec_time = 0;       // accumulated execution wall time
+    ActivationRecord::Start start = ActivationRecord::Start::kCold;
+  };
+
+  bool TryRun(const Request& request);
+  void StartOnInstance(Instance* instance, const Request& request, SimTime extra_start_cost);
+  void OnStageComplete(Instance* instance, const Request& request);
+  void FreezeInstance(Instance* instance);
+  void DestroyInstance(Instance* instance, bool evicted);
+  Instance* FindWarmInstance(const std::string& key);
+  Instance* OldestFrozen(const Instance* exclude) const;
+  // Evicts frozen instances (LRU) until `delta` more bytes fit in the cache.
+  bool EnsureMemory(uint64_t delta, const Instance* exclude);
+  Instance* LookUp(uint64_t id) const;
+  // What a frozen instance is charged against the cache (USS, capped at the
+  // instance budget).
+  uint64_t FrozenCharge(const Instance& instance) const;
+
+  void AcquireCpu(double share);
+  void ReleaseCpu(double share);
+  void UpdateCpuIntegral();
+  void PumpWaiting();
+  // §4.5.2: reclamation only ever uses idle CPU — when new work needs CPU,
+  // in-flight reclamations give up slices (down to a small floor) and their
+  // completion stretches out accordingly. Returns the CPU freed.
+  double PreemptReclaims(double needed);
+  void FinishReclaim(uint64_t reclaim_id);
+  void ScheduleReclaimCompletion(uint64_t reclaim_id);
+  // Stem-cell maintenance: keeps `prewarm_per_language` generic containers of
+  // `language` booted (or booting).
+  void MaintainPrewarmPool(Language language);
+  Instance* TakePrewarmed(Language language);
+  bool InWindow() const { return context_->clock.Now() >= metrics_.window_start; }
+
+  PlatformConfig config_;
+  std::unique_ptr<SimContext> owned_context_;
+  SimContext* context_;
+  SharedFileRegistry registry_;
+  PlatformObserver* observer_ = nullptr;
+  Rng rng_;
+
+  // An in-flight background reclamation: the heap work already happened (the
+  // state change is instantaneous in the model); what remains is burning the
+  // CPU time it cost, at a share that shrinks when mutators need the cores.
+  struct ActiveReclaim {
+    uint64_t instance_id = 0;
+    std::string function_key;
+    ReclaimResult result;
+    double share = 0.0;
+    SimTime remaining_cpu = 0;
+    SimTime last_update = 0;
+    uint64_t generation = 0;  // invalidates superseded completion events
+  };
+
+  std::unordered_map<uint64_t, std::unique_ptr<Instance>> instances_;
+  std::unordered_map<uint64_t, ActiveReclaim> active_reclaims_;
+  uint64_t next_reclaim_id_ = 1;
+  // Instance ids exempt from eviction and keep-alive (provisioned capacity).
+  std::unordered_map<uint64_t, bool> provisioned_;
+  // Bounded activation-record ring.
+  std::deque<ActivationRecord> activation_log_;
+  static constexpr size_t kActivationLogCapacity = 1024;
+  void LogActivation(const Request& request, const Instance& instance,
+                     ActivationRecord::Start start);
+  // Frozen instances per function key, most recently frozen last.
+  std::unordered_map<std::string, std::vector<Instance*>> warm_pool_;
+  // Booted-but-unbound stem cells per language, plus in-flight boots.
+  std::unordered_map<uint8_t, std::vector<uint64_t>> prewarm_ready_;
+  std::unordered_map<uint8_t, uint32_t> prewarm_inflight_;
+  std::deque<Request> waiting_;
+
+  uint64_t memory_charged_ = 0;
+  double cpu_in_use_ = 0.0;
+  SimTime last_cpu_update_ = 0;
+  uint64_t lifetime_evictions_ = 0;
+
+  PlatformMetrics metrics_;
+  uint64_t next_instance_id_ = 1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_PLATFORM_H_

@@ -1,0 +1,96 @@
+#include "src/faas/single_study.h"
+
+namespace desiccant {
+
+ChainStudy::ChainStudy(const WorkloadSpec& workload, const StudyConfig& config,
+                       SharedFileRegistry* external_registry)
+    : workload_(workload), config_(config) {
+  if (external_registry != nullptr) {
+    registry_ = external_registry;
+  } else {
+    owned_registry_ = std::make_unique<SharedFileRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  const bool use_registry = config_.sharing != ImageSharing::kLambdaPrivate;
+  for (size_t stage = 0; stage < workload_.chain_length(); ++stage) {
+    instances_.push_back(std::make_unique<Instance>(
+        stage + 1, &workload_, stage, config_.memory_budget,
+        use_registry ? registry_ : nullptr, config_.seed * 1000003 + stage,
+        config_.java_collector));
+  }
+  if (config_.sharing == ImageSharing::kSharedNode) {
+    // The runtimes registered their image files in the constructor above; map
+    // and read-touch them from a phantom process standing in for the other
+    // same-language instances on the node, so the pages become shared.
+    phantom_sharer_ = std::make_unique<VirtualAddressSpace>(registry_);
+    for (auto& instance : instances_) {
+      const RegionId image = instance->runtime().image_region();
+      if (image == kInvalidRegionId) {
+        continue;
+      }
+      const char* file_name =
+          instance->runtime().language() == Language::kJava ? "libjvm.so" : "node";
+      const uint64_t size = instance->runtime().address_space().RegionSizeBytes(image);
+      const FileId file = registry_->RegisterFile(file_name, size);
+      const RegionId phantom_region = phantom_sharer_->MapFile(file_name, file);
+      phantom_sharer_->Touch(phantom_region, 0, size, /*write=*/false);
+      break;  // all stages run the same language
+    }
+  }
+}
+
+ChainSample ChainStudy::Step() {
+  SimTime total_duration = 0;
+  for (size_t stage = 0; stage < instances_.size(); ++stage) {
+    // The downstream stage reads the upstream carry when it starts.
+    if (stage > 0 && instances_[stage - 1]->program().has_carry()) {
+      instances_[stage - 1]->program().ConsumeCarry(instances_[stage - 1]->runtime());
+    }
+    Instance& instance = *instances_[stage];
+    if (instance.state() == InstanceState::kFrozen) {
+      total_duration += instance.Thaw();
+    }
+    total_duration += instance.Execute().duration;
+    if (config_.mode == StudyMode::kEager) {
+      total_duration += instance.EagerGc();
+    }
+    instance.Freeze(instance.exec_clock().Now());
+  }
+  ChainSample sample = Sample();
+  sample.duration = total_duration;
+  return sample;
+}
+
+ReclaimResult ChainStudy::ReclaimAll(const ReclaimOptions& options, bool unmap_idle_libraries) {
+  ReclaimResult total;
+  for (auto& instance : instances_) {
+    const ReclaimResult r = instance->Reclaim(options, unmap_idle_libraries);
+    total.released_pages += r.released_pages;
+    total.cpu_time += r.cpu_time;
+    total.live_bytes_after += r.live_bytes_after;
+    total.heap_resident_after += r.heap_resident_after;
+  }
+  return total;
+}
+
+uint64_t ChainStudy::SwapOutAll(uint64_t pages_per_instance) {
+  uint64_t swapped = 0;
+  for (auto& instance : instances_) {
+    swapped += instance->SwapOut(pages_per_instance);
+  }
+  return swapped;
+}
+
+ChainSample ChainStudy::Sample() {
+  ChainSample sample;
+  for (auto& instance : instances_) {
+    const MemoryUsage usage = instance->Usage();
+    sample.uss += usage.uss;
+    sample.rss += usage.rss;
+    sample.pss += usage.pss;
+    sample.ideal_uss += instance->IdealUssBytes();
+  }
+  return sample;
+}
+
+}  // namespace desiccant

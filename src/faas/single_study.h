@@ -1,0 +1,88 @@
+// Single-workload characterization harness (§3.1, §5.2, §5.4, §5.5, §5.6).
+//
+// Runs one workload repeatedly inside dedicated instances (one container per
+// chain stage, as the paper does) and samples memory after every exit point.
+// Supports the vanilla / eager / Desiccant / swap configurations and the
+// "ideal" (live-bytes-only) reference.
+#ifndef DESICCANT_SRC_FAAS_SINGLE_STUDY_H_
+#define DESICCANT_SRC_FAAS_SINGLE_STUDY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/faas/instance.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+enum class StudyMode : uint8_t { kVanilla, kEager };
+
+// How runtime images (libjvm.so / node) are shared on the simulated node.
+enum class ImageSharing : uint8_t {
+  // Other same-language instances run on the node (the OpenWhisk setting of
+  // §3.1): image pages are shared, so USS excludes them.
+  kSharedNode,
+  // Only this study's instances exist on the node (fig. 8 starts from one
+  // container); pages are shared only among the study's own instances.
+  kExclusiveNode,
+  // Lambda (§5.4): no sharing at all; every instance has private images.
+  kLambdaPrivate,
+};
+
+struct StudyConfig {
+  uint64_t memory_budget = 256 * kMiB;
+  StudyMode mode = StudyMode::kVanilla;
+  ImageSharing sharing = ImageSharing::kSharedNode;
+  JavaCollector java_collector = JavaCollector::kSerial;
+  uint64_t seed = 7;
+};
+
+// Accumulated memory state over all stage instances after one exit point.
+struct ChainSample {
+  uint64_t uss = 0;
+  uint64_t rss = 0;
+  double pss = 0.0;
+  uint64_t ideal_uss = 0;
+  SimTime duration = 0;  // CPU time of the whole chain invocation
+};
+
+class ChainStudy {
+ public:
+  // `external_registry` overrides the study's own shared-file registry so
+  // several studies can model instances co-located on one node (fig. 8).
+  ChainStudy(const WorkloadSpec& workload, const StudyConfig& config,
+             SharedFileRegistry* external_registry = nullptr);
+
+  // One end-to-end invocation of the chain (all stages in order, carry
+  // consumed as the downstream stage starts, eager GC at each exit when the
+  // mode says so). Returns the post-exit memory sample.
+  ChainSample Step();
+
+  // Desiccant's reclaim on every (now idle) stage instance.
+  ReclaimResult ReclaimAll(const ReclaimOptions& options = {},
+                           bool unmap_idle_libraries = true);
+
+  // The swap baseline: pushes `pages` resident pages out of each instance.
+  uint64_t SwapOutAll(uint64_t pages_per_instance);
+
+  ChainSample Sample();
+
+  std::vector<std::unique_ptr<Instance>>& instances() { return instances_; }
+  SharedFileRegistry& registry() { return *registry_; }
+
+ private:
+  const WorkloadSpec& workload_;
+  StudyConfig config_;
+  std::unique_ptr<SharedFileRegistry> owned_registry_;
+  SharedFileRegistry* registry_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  // Stands in for the other same-language instances on the node in the
+  // kSharedNode setting: maps and touches the runtime images so the study
+  // instances' image pages are shared (refcount > 1) and leave USS.
+  std::unique_ptr<VirtualAddressSpace> phantom_sharer_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_SINGLE_STUDY_H_

@@ -1,0 +1,351 @@
+#include "src/heap/chunked_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace desiccant {
+
+namespace {
+
+void AccumulateTouch(TouchResult* into, const TouchResult& t) {
+  into->minor_faults += t.minor_faults;
+  into->swap_ins += t.swap_ins;
+  into->cow_faults += t.cow_faults;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Chunk
+
+Chunk::Chunk(VirtualAddressSpace* vas, std::string name) : vas_(vas) {
+  region_ = vas_->MapAnonymous(std::move(name), kChunkSize);
+  // The metadata page is written when the chunk is wired up.
+  vas_->Touch(region_, 0, kChunkMetadataBytes, /*write=*/true);
+}
+
+Chunk::~Chunk() { vas_->Unmap(region_); }
+
+bool Chunk::BumpAllocate(SimObject* obj, TouchResult* faults) {
+  if (bump_ + obj->size > kChunkSize) {
+    return false;
+  }
+  obj->address = bump_;
+  AccumulateTouch(faults, vas_->Touch(region_, bump_, obj->size, /*write=*/true));
+  bump_ += obj->size;
+  objects_.push_back(obj);
+  return true;
+}
+
+bool Chunk::FreeListAllocate(SimObject* obj, TouchResult* faults) {
+  for (size_t i = 0; i < free_ranges_.size(); ++i) {
+    FreeRange& range = free_ranges_[i];
+    if (range.size >= obj->size) {
+      obj->address = range.offset;
+      AccumulateTouch(faults, vas_->Touch(region_, range.offset, obj->size, /*write=*/true));
+      range.offset += obj->size;
+      range.size -= obj->size;
+      if (range.size == 0) {
+        free_ranges_.erase(free_ranges_.begin() + static_cast<ptrdiff_t>(i));
+      }
+      objects_.push_back(obj);
+      return true;
+    }
+  }
+  return BumpAllocate(obj, faults);
+}
+
+void Chunk::RebuildFreeRanges() {
+  std::sort(objects_.begin(), objects_.end(),
+            [](const SimObject* a, const SimObject* b) { return a->address < b->address; });
+  free_ranges_.clear();
+  uint64_t cursor = kChunkMetadataBytes;
+  for (const SimObject* obj : objects_) {
+    if (obj->address > cursor) {
+      free_ranges_.push_back({cursor, obj->address - cursor});
+    }
+    cursor = obj->address + obj->size;
+  }
+  if (cursor < kChunkSize) {
+    free_ranges_.push_back({cursor, kChunkSize - cursor});
+  }
+  bump_ = kChunkSize;  // all future allocation goes through the free list
+}
+
+uint64_t Chunk::ReleaseFreePages() {
+  uint64_t released = 0;
+  if (bump_ < kChunkSize) {
+    released += vas_->Release(region_, bump_, kChunkSize - bump_);
+  }
+  for (const FreeRange& range : free_ranges_) {
+    // Never the metadata page.
+    const uint64_t start = std::max(range.offset, kChunkMetadataBytes);
+    if (start < range.offset + range.size) {
+      released += vas_->Release(region_, start, range.offset + range.size - start);
+    }
+  }
+  return released;
+}
+
+uint64_t Chunk::ResidentBytes() const {
+  return PagesToBytes(vas_->ResidentPagesInRange(region_, 0, kChunkSize));
+}
+
+uint64_t Chunk::FreeBytes() const {
+  uint64_t free = kChunkSize - bump_;
+  for (const FreeRange& range : free_ranges_) {
+    free += range.size;
+  }
+  return free;
+}
+
+void Chunk::ResetBump() {
+  bump_ = kChunkMetadataBytes;
+  free_ranges_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Semispace
+
+Semispace::Semispace(std::string name, VirtualAddressSpace* vas, uint64_t capacity_bytes)
+    : name_(std::move(name)), vas_(vas), capacity_(capacity_bytes) {
+  assert(capacity_bytes % kChunkSize == 0);
+}
+
+bool Semispace::SetCapacity(uint64_t capacity_bytes) {
+  assert(capacity_bytes % kChunkSize == 0);
+  const size_t max_chunks = capacity_bytes / kChunkSize;
+  if (capacity_bytes < capacity_) {
+    // Shrink: every populated chunk (and the cursor) must fit.
+    size_t populated = 0;
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+      if (!chunks_[i]->objects().empty() || chunks_[i]->bump() > kChunkMetadataBytes) {
+        populated = i + 1;
+      }
+    }
+    if (populated > max_chunks || cursor_ > max_chunks) {
+      return false;
+    }
+    while (chunks_.size() > max_chunks) {
+      chunks_.pop_back();  // unmaps the chunk region
+    }
+  }
+  capacity_ = capacity_bytes;
+  return true;
+}
+
+bool Semispace::Allocate(SimObject* obj, TouchResult* faults) {
+  assert(obj->size <= kChunkDataBytes);
+  while (true) {
+    if (cursor_ >= capacity_ / kChunkSize) {
+      return false;  // semispace exhausted
+    }
+    if (cursor_ >= chunks_.size()) {
+      EnsureChunk();
+    }
+    if (chunks_[cursor_]->BumpAllocate(obj, faults)) {
+      obj->owner = static_cast<uint32_t>(cursor_);
+      return true;
+    }
+    ++cursor_;  // tail waste: the remainder of this chunk is skipped
+  }
+}
+
+bool Semispace::CanAllocate(uint32_t size) const {
+  if (cursor_ < chunks_.size() && chunks_[cursor_]->bump() + size <= kChunkSize) {
+    return true;
+  }
+  // Room to move to (or map) a later chunk?
+  return (cursor_ + 1) < capacity_ / kChunkSize ||
+         (cursor_ < capacity_ / kChunkSize && cursor_ >= chunks_.size());
+}
+
+void Semispace::Reset() {
+  for (auto& chunk : chunks_) {
+    chunk->objects().clear();
+    chunk->ResetBump();
+  }
+  cursor_ = 0;
+}
+
+uint64_t Semispace::ReleaseAllDataPages() {
+  uint64_t released = 0;
+  for (auto& chunk : chunks_) {
+    released += chunk->vas()->Release(chunk->region(), kChunkMetadataBytes, kChunkDataBytes);
+  }
+  return released;
+}
+
+uint64_t Semispace::ReleaseFreeTailPages() {
+  uint64_t released = 0;
+  for (auto& chunk : chunks_) {
+    if (chunk->bump() < kChunkSize) {
+      released += chunk->vas()->Release(chunk->region(), chunk->bump(),
+                                        kChunkSize - chunk->bump());
+    }
+  }
+  return released;
+}
+
+uint64_t Semispace::used_bytes() const {
+  uint64_t used = 0;
+  for (const auto& chunk : chunks_) {
+    for (const SimObject* obj : chunk->objects()) {
+      used += obj->size;
+    }
+  }
+  return used;
+}
+
+uint64_t Semispace::ResidentBytes() const {
+  uint64_t resident = 0;
+  for (const auto& chunk : chunks_) {
+    resident += chunk->ResidentBytes();
+  }
+  return resident;
+}
+
+void Semispace::EnsureChunk() {
+  chunks_.push_back(
+      std::make_unique<Chunk>(vas_, name_ + "/chunk" + std::to_string(chunk_name_counter_++)));
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedOldSpace
+
+ChunkedOldSpace::ChunkedOldSpace(std::string name, VirtualAddressSpace* vas)
+    : name_(std::move(name)), vas_(vas) {}
+
+void ChunkedOldSpace::Allocate(SimObject* obj, TouchResult* faults) {
+  assert(obj->size <= kChunkDataBytes);
+  for (auto& chunk : chunks_) {
+    if (chunk->FreeListAllocate(obj, faults)) {
+      obj->owner = static_cast<uint32_t>(&chunk - chunks_.data());
+      used_bytes_ += obj->size;
+      return;
+    }
+  }
+  chunks_.push_back(
+      std::make_unique<Chunk>(vas_, name_ + "/chunk" + std::to_string(chunk_name_counter_++)));
+  const bool ok = chunks_.back()->BumpAllocate(obj, faults);
+  assert(ok);
+  (void)ok;
+  obj->owner = static_cast<uint32_t>(chunks_.size() - 1);
+  used_bytes_ += obj->size;
+}
+
+ChunkedOldSpace::SweepResult ChunkedOldSpace::Sweep(ObjectPool* pool) {
+  SweepResult result;
+  for (auto& chunk : chunks_) {
+    auto& objs = chunk->objects();
+    auto keep_end = std::partition(objs.begin(), objs.end(),
+                                   [](const SimObject* o) { return o->marked; });
+    for (auto it = keep_end; it != objs.end(); ++it) {
+      ++result.dead_objects;
+      result.dead_bytes += (*it)->size;
+      used_bytes_ -= (*it)->size;
+      pool->Free(*it);
+    }
+    objs.erase(keep_end, objs.end());
+    for (SimObject* obj : objs) {
+      obj->marked = false;
+    }
+    chunk->RebuildFreeRanges();
+    if (chunk->empty()) {
+      ++result.empty_chunks;
+    }
+  }
+  result.chunk_count = chunks_.size();
+  return result;
+}
+
+uint64_t ChunkedOldSpace::ReleaseEmptyChunks() {
+  uint64_t released_bytes = 0;
+  auto keep_end = std::partition(chunks_.begin(), chunks_.end(),
+                                 [](const std::unique_ptr<Chunk>& c) { return !c->empty(); });
+  for (auto it = keep_end; it != chunks_.end(); ++it) {
+    released_bytes += kChunkSize;
+  }
+  chunks_.erase(keep_end, chunks_.end());
+  // Chunk indices changed; refresh owners.
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    for (SimObject* obj : chunks_[i]->objects()) {
+      obj->owner = static_cast<uint32_t>(i);
+    }
+  }
+  return released_bytes;
+}
+
+uint64_t ChunkedOldSpace::ReleaseFreePagesInChunks() {
+  uint64_t released = 0;
+  for (auto& chunk : chunks_) {
+    released += chunk->ReleaseFreePages();
+  }
+  return released;
+}
+
+uint64_t ChunkedOldSpace::ResidentBytes() const {
+  uint64_t resident = 0;
+  for (const auto& chunk : chunks_) {
+    resident += chunk->ResidentBytes();
+  }
+  return resident;
+}
+
+// ---------------------------------------------------------------------------
+// LargeObjectSpace
+
+LargeObjectSpace::LargeObjectSpace(std::string name, VirtualAddressSpace* vas)
+    : name_(std::move(name)), vas_(vas) {}
+
+void LargeObjectSpace::Allocate(SimObject* obj, TouchResult* faults) {
+  Entry entry;
+  entry.object = obj;
+  entry.region = vas_->MapAnonymous(name_ + "/lo" + std::to_string(region_name_counter_++),
+                                    PageAlignUp(obj->size) + kChunkMetadataBytes);
+  obj->address = kChunkMetadataBytes;
+  obj->owner = entry.region;
+  AccumulateTouch(faults, vas_->Touch(entry.region, 0, kChunkMetadataBytes + obj->size,
+                                      /*write=*/true));
+  used_bytes_ += obj->size;
+  entries_.push_back(entry);
+}
+
+LargeObjectSpace::SweepResult LargeObjectSpace::Sweep(ObjectPool* pool) {
+  SweepResult result;
+  std::vector<Entry> survivors;
+  survivors.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    if (e.object->marked) {
+      e.object->marked = false;
+      survivors.push_back(e);
+    } else {
+      ++result.dead_objects;
+      result.dead_bytes += e.object->size;
+      used_bytes_ -= e.object->size;
+      vas_->Unmap(e.region);
+      pool->Free(e.object);
+    }
+  }
+  entries_ = std::move(survivors);
+  return result;
+}
+
+uint64_t LargeObjectSpace::CommittedBytes() const {
+  uint64_t committed = 0;
+  for (const Entry& e : entries_) {
+    committed += vas_->RegionSizeBytes(e.region);
+  }
+  return committed;
+}
+
+uint64_t LargeObjectSpace::ResidentBytes() const {
+  uint64_t resident = 0;
+  for (const Entry& e : entries_) {
+    resident += PagesToBytes(
+        vas_->ResidentPagesInRange(e.region, 0, vas_->RegionSizeBytes(e.region)));
+  }
+  return resident;
+}
+
+}  // namespace desiccant

@@ -1,0 +1,211 @@
+// V8-style spaces built from discontiguous 256 KiB chunks.
+//
+// Every chunk is its own mapped region whose first 4 KiB page holds
+// self-describing metadata and can never be released (§4.4: "chunks in V8
+// contain self-described metadata on their first page (4KB), which cannot be
+// released. Nevertheless, unmapping other pages in the chunk already releases
+// most memory resources").
+#ifndef DESICCANT_SRC_HEAP_CHUNKED_SPACE_H_
+#define DESICCANT_SRC_HEAP_CHUNKED_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/heap/object.h"
+#include "src/os/virtual_memory.h"
+
+namespace desiccant {
+
+inline constexpr uint64_t kChunkMetadataBytes = kPageSize;
+inline constexpr uint64_t kChunkDataBytes = kChunkSize - kChunkMetadataBytes;
+
+struct FreeRange {
+  uint64_t offset = 0;  // within the chunk region
+  uint64_t size = 0;
+};
+
+// One 256 KiB chunk: a region plus allocation bookkeeping.
+class Chunk {
+ public:
+  Chunk(VirtualAddressSpace* vas, std::string name);
+  ~Chunk();
+
+  Chunk(const Chunk&) = delete;
+  Chunk& operator=(const Chunk&) = delete;
+
+  // Linear allocation (new space and fresh old-space chunks).
+  bool BumpAllocate(SimObject* obj, TouchResult* faults);
+  // Free-list allocation (swept old-space chunks). First fit.
+  bool FreeListAllocate(SimObject* obj, TouchResult* faults);
+
+  // Rebuilds the free ranges from the current live-object set and resets the
+  // bump cursor to the end (all future allocation goes through free ranges).
+  void RebuildFreeRanges();
+
+  // Releases whole free pages inside free ranges (and the bump tail), never
+  // the metadata page. Returns pages released.
+  uint64_t ReleaseFreePages();
+
+  uint64_t ResidentBytes() const;
+  uint64_t FreeBytes() const;
+
+  bool empty() const { return objects_.empty(); }
+  std::vector<SimObject*>& objects() { return objects_; }
+  const std::vector<SimObject*>& objects() const { return objects_; }
+  RegionId region() const { return region_; }
+  VirtualAddressSpace* vas() const { return vas_; }
+  uint64_t bump() const { return bump_; }
+  void ResetBump();
+
+ private:
+  VirtualAddressSpace* vas_;
+  RegionId region_;
+  uint64_t bump_ = kChunkMetadataBytes;
+  std::vector<FreeRange> free_ranges_;  // sorted by offset
+  std::vector<SimObject*> objects_;
+};
+
+// A growable/shrinkable set of chunks with a linear allocation cursor: one
+// V8 semispace. Chunks are mapped lazily as the cursor reaches them.
+class Semispace {
+ public:
+  Semispace(std::string name, VirtualAddressSpace* vas, uint64_t capacity_bytes);
+
+  // Growing is legal at any time; shrinking requires that every object (and
+  // the bump cursor) fits within the new capacity. Shrinking unmaps the
+  // now-excess chunks. Returns false if a shrink cannot be honoured.
+  bool SetCapacity(uint64_t capacity_bytes);
+
+  bool Allocate(SimObject* obj, TouchResult* faults);
+  bool CanAllocate(uint32_t size) const;
+
+  // Drops all objects (they were copied out or died). Keeps pages resident —
+  // that is the point: dead semispace bytes linger until someone releases them.
+  void Reset();
+
+  // madvise away every resident data page of every mapped chunk (metadata
+  // pages stay). Returns pages released.
+  uint64_t ReleaseAllDataPages();
+
+  // madvise away the *free* data pages: [bump, end) of each mapped chunk.
+  // Used by Desiccant's reclaim on the populated from-space.
+  uint64_t ReleaseFreeTailPages();
+
+  uint64_t used_bytes() const;
+  uint64_t capacity() const { return capacity_; }
+  uint64_t CommittedBytes() const { return chunks_.size() * kChunkSize; }
+  uint64_t ResidentBytes() const;
+
+  std::vector<std::unique_ptr<Chunk>>& chunks() { return chunks_; }
+  const std::vector<std::unique_ptr<Chunk>>& chunks() const { return chunks_; }
+
+ private:
+  void EnsureChunk();
+
+  std::string name_;
+  VirtualAddressSpace* vas_;
+  uint64_t capacity_;
+  size_t cursor_ = 0;  // index of the chunk being bump-allocated
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  uint64_t chunk_name_counter_ = 0;
+};
+
+// The V8 old space: mark-sweep over chunks with per-chunk free lists. Empty
+// chunks are unmapped (returned to the OS) by the shrink path.
+class ChunkedOldSpace {
+ public:
+  ChunkedOldSpace(std::string name, VirtualAddressSpace* vas);
+
+  // Allocates from free lists first, then bump space, then grows by mapping a
+  // new chunk (V8 expands the old generation when no free chunks are left).
+  void Allocate(SimObject* obj, TouchResult* faults);
+
+  struct SweepResult {
+    uint64_t dead_objects = 0;
+    uint64_t dead_bytes = 0;
+    uint64_t empty_chunks = 0;
+    uint64_t chunk_count = 0;
+  };
+  // Frees every unmarked object back to `pool`, unmarks survivors, rebuilds
+  // free lists. Does not release any page by itself.
+  SweepResult Sweep(ObjectPool* pool);
+
+  // V8's shrink path: unmap chunks that hold no live objects. Returns bytes
+  // given back to the OS.
+  uint64_t ReleaseEmptyChunks();
+
+  // Desiccant's addition: release free pages inside *partially used* chunks.
+  uint64_t ReleaseFreePagesInChunks();
+
+  uint64_t CommittedBytes() const { return chunks_.size() * kChunkSize; }
+  uint64_t ResidentBytes() const;
+  uint64_t used_bytes() const { return used_bytes_; }
+
+  std::vector<std::unique_ptr<Chunk>>& chunks() { return chunks_; }
+  const std::vector<std::unique_ptr<Chunk>>& chunks() const { return chunks_; }
+
+  template <typename Visitor>
+  void ForEachObject(Visitor&& visit) {
+    for (auto& chunk : chunks_) {
+      for (SimObject* obj : chunk->objects()) {
+        visit(obj);
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  VirtualAddressSpace* vas_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  uint64_t used_bytes_ = 0;
+  uint64_t chunk_name_counter_ = 0;
+};
+
+// Large-object space: objects above the regular-object limit get dedicated
+// page-aligned regions.
+class LargeObjectSpace {
+ public:
+  LargeObjectSpace(std::string name, VirtualAddressSpace* vas);
+
+  void Allocate(SimObject* obj, TouchResult* faults);
+
+  struct SweepResult {
+    uint64_t dead_objects = 0;
+    uint64_t dead_bytes = 0;
+  };
+  // Unmaps regions of unmarked objects (large-object death always returns the
+  // memory), unmarks survivors.
+  SweepResult Sweep(ObjectPool* pool);
+
+  uint64_t CommittedBytes() const;
+  uint64_t ResidentBytes() const;
+  uint64_t used_bytes() const { return used_bytes_; }
+  size_t object_count() const { return entries_.size(); }
+
+  template <typename Visitor>
+  void ForEachObject(Visitor&& visit) {
+    for (auto& e : entries_) {
+      visit(e.object);
+    }
+  }
+
+ private:
+  struct Entry {
+    SimObject* object = nullptr;
+    RegionId region = kInvalidRegionId;
+  };
+
+  std::string name_;
+  VirtualAddressSpace* vas_;
+  std::vector<Entry> entries_;
+  uint64_t used_bytes_ = 0;
+  uint64_t region_name_counter_ = 0;
+};
+
+inline constexpr uint32_t kMaxRegularObjectSize = 128 * kKiB;
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HEAP_CHUNKED_SPACE_H_

@@ -1,0 +1,58 @@
+#include "src/heap/contiguous_space.h"
+
+#include <cassert>
+
+namespace desiccant {
+
+ContiguousSpace::ContiguousSpace(std::string name, VirtualAddressSpace* vas, RegionId region)
+    : name_(std::move(name)), vas_(vas), region_(region) {}
+
+void ContiguousSpace::SetBounds(uint64_t base, uint64_t capacity) {
+  assert(objects_.empty() || (base <= base_ && base_ + used_bytes() <= base + capacity));
+  const uint64_t used = objects_.empty() ? 0 : used_bytes();
+  base_ = base;
+  capacity_ = capacity;
+  top_ = base_ + used;
+}
+
+bool ContiguousSpace::Allocate(SimObject* obj, TouchResult* faults) {
+  if (!CanAllocate(obj->size)) {
+    return false;
+  }
+  obj->address = top_;
+  const TouchResult t = vas_->Touch(region_, top_, obj->size, /*write=*/true);
+  faults->minor_faults += t.minor_faults;
+  faults->swap_ins += t.swap_ins;
+  faults->cow_faults += t.cow_faults;
+  top_ += obj->size;
+  objects_.push_back(obj);
+  return true;
+}
+
+void ContiguousSpace::Reset() {
+  objects_.clear();
+  top_ = base_;
+}
+
+uint64_t ContiguousSpace::ReleaseFreePages() {
+  if (top_ >= base_ + capacity_) {
+    return 0;
+  }
+  return vas_->Release(region_, top_, base_ + capacity_ - top_);
+}
+
+uint64_t ContiguousSpace::ReleaseAllPages() {
+  if (capacity_ == 0) {
+    return 0;
+  }
+  return vas_->Release(region_, base_, capacity_);
+}
+
+uint64_t ContiguousSpace::ResidentBytes() const {
+  if (capacity_ == 0) {
+    return 0;
+  }
+  return PagesToBytes(vas_->ResidentPagesInRange(region_, base_, capacity_));
+}
+
+}  // namespace desiccant

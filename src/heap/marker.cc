@@ -1,0 +1,35 @@
+#include "src/heap/marker.h"
+
+namespace desiccant {
+
+MarkStats Marker::MarkFrom(const std::vector<const RootTable*>& roots,
+                           std::vector<SimObject*>* marked_out) {
+  MarkStats stats;
+  stack_.clear();
+  for (const RootTable* table : roots) {
+    table->ForEach([this](SimObject* obj) { Push(obj); });
+  }
+  while (!stack_.empty()) {
+    SimObject* obj = stack_.back();
+    stack_.pop_back();
+    ++stats.live_objects;
+    stats.live_bytes += obj->size;
+    if (marked_out != nullptr) {
+      marked_out->push_back(obj);
+    }
+    for (int i = 0; i < obj->ref_count; ++i) {
+      Push(obj->refs[i]);
+    }
+  }
+  return stats;
+}
+
+void Marker::Push(SimObject* obj) {
+  if (obj == nullptr || obj->marked) {
+    return;
+  }
+  obj->marked = true;
+  stack_.push_back(obj);
+}
+
+}  // namespace desiccant

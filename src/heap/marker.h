@@ -1,0 +1,35 @@
+// Iterative mark phase shared by both collectors.
+#ifndef DESICCANT_SRC_HEAP_MARKER_H_
+#define DESICCANT_SRC_HEAP_MARKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/heap/object.h"
+#include "src/heap/roots.h"
+
+namespace desiccant {
+
+struct MarkStats {
+  uint64_t live_objects = 0;
+  uint64_t live_bytes = 0;
+};
+
+// Marks everything transitively reachable from the given root tables. The
+// caller is responsible for clearing marks afterwards (collectors clear them
+// while sweeping/copying).
+class Marker {
+ public:
+  // When `marked_out` is non-null, every marked object is appended to it so
+  // the collector can cheaply clear marks afterwards.
+  MarkStats MarkFrom(const std::vector<const RootTable*>& roots,
+                     std::vector<SimObject*>* marked_out = nullptr);
+
+ private:
+  void Push(SimObject* obj);
+  std::vector<SimObject*> stack_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HEAP_MARKER_H_

@@ -1,0 +1,90 @@
+// The simulated object model shared by both heap implementations.
+//
+// Objects are bookkeeping nodes: they carry a simulated address, a simulated
+// size and real reference edges, but no payload bytes. This keeps the GC
+// semantics exact (liveness is discovered by tracing real edges; copying and
+// compaction reassign simulated addresses; page residency follows the
+// addresses) while keeping the host-side cost of a simulated multi-hundred-MiB
+// heap at ~100 bytes per object.
+#ifndef DESICCANT_SRC_HEAP_OBJECT_H_
+#define DESICCANT_SRC_HEAP_OBJECT_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace desiccant {
+
+struct SimObject {
+  static constexpr int kMaxRefs = 4;
+
+  // Simulated placement. The meaning of `address` is heap-specific: a byte
+  // offset into the heap region for HotSpot, a byte offset into chunk `owner`
+  // for V8.
+  uint64_t address = 0;
+  uint32_t owner = 0;
+
+  uint32_t size = 0;  // simulated bytes, header included
+  uint8_t age = 0;    // young-GC survival count, drives promotion
+  bool marked = false;
+  uint8_t space = 0;  // heap-specific space tag
+
+  uint8_t ref_count = 0;
+  SimObject* refs[kMaxRefs] = {};
+
+  // Adds an outgoing strong reference; returns false when all slots are full.
+  bool AddRef(SimObject* target) {
+    if (ref_count >= kMaxRefs) {
+      return false;
+    }
+    refs[ref_count++] = target;
+    return true;
+  }
+
+  void ClearRefs() {
+    ref_count = 0;
+    for (auto& r : refs) {
+      r = nullptr;
+    }
+  }
+};
+
+// Recycling allocator for SimObject nodes. Nodes have stable addresses for
+// their whole lifetime (GC moves objects by updating their simulated address,
+// never the node), so references held by roots stay valid across collections.
+class ObjectPool {
+ public:
+  SimObject* New(uint32_t size) {
+    SimObject* obj;
+    if (!free_.empty()) {
+      obj = free_.back();
+      free_.pop_back();
+      *obj = SimObject{};
+    } else {
+      storage_.emplace_back();
+      obj = &storage_.back();
+    }
+    obj->size = size;
+    ++live_;
+    return obj;
+  }
+
+  void Free(SimObject* obj) {
+    assert(live_ > 0);
+    --live_;
+    free_.push_back(obj);
+  }
+
+  size_t live_count() const { return live_; }
+
+ private:
+  std::deque<SimObject> storage_;
+  std::vector<SimObject*> free_;
+  size_t live_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HEAP_OBJECT_H_

@@ -1,0 +1,41 @@
+// Remembered set: the old-to-young edges a generational collector must treat
+// as roots during a young collection.
+//
+// Real collectors discover these through write barriers (card tables in
+// HotSpot, the store buffer in V8). Here the runtime's write-barrier hook
+// records the edges exactly; a young collection then traces from
+// (roots ∪ remembered set) *without descending into old objects* — which also
+// reproduces the conservative behaviour that a dead old object can keep young
+// objects alive until the next full collection.
+#ifndef DESICCANT_SRC_HEAP_REMEMBERED_SET_H_
+#define DESICCANT_SRC_HEAP_REMEMBERED_SET_H_
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "src/heap/object.h"
+
+namespace desiccant {
+
+class RememberedSet {
+ public:
+  void Record(SimObject* old_object) { dirty_.insert(old_object); }
+  void Remove(SimObject* old_object) { dirty_.erase(old_object); }
+  void Clear() { dirty_.clear(); }
+  size_t size() const { return dirty_.size(); }
+
+  // Visits every recorded old object (whose young references act as roots).
+  template <typename Visitor>
+  void ForEach(Visitor&& visit) const {
+    for (SimObject* obj : dirty_) {
+      visit(obj);
+    }
+  }
+
+ private:
+  std::unordered_set<SimObject*> dirty_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HEAP_REMEMBERED_SET_H_

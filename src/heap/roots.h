@@ -1,0 +1,87 @@
+// GC root management.
+//
+// Mutators (the workload programs) never hold raw object pointers across a
+// potential GC point unless they are registered here. A RootTable hands out
+// stable handles; the GC enumerates the table.
+#ifndef DESICCANT_SRC_HEAP_ROOTS_H_
+#define DESICCANT_SRC_HEAP_ROOTS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/heap/object.h"
+
+namespace desiccant {
+
+class RootTable {
+ public:
+  using Handle = uint32_t;
+  static constexpr Handle kInvalidHandle = ~0u;
+
+  Handle Create(SimObject* obj = nullptr) {
+    if (!free_slots_.empty()) {
+      const Handle h = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[h] = obj;
+      return h;
+    }
+    slots_.push_back(obj);
+    return static_cast<Handle>(slots_.size() - 1);
+  }
+
+  void Set(Handle h, SimObject* obj) {
+    assert(h < slots_.size());
+    slots_[h] = obj;
+  }
+
+  SimObject* Get(Handle h) const {
+    assert(h < slots_.size());
+    return slots_[h];
+  }
+
+  void Destroy(Handle h) {
+    assert(h < slots_.size());
+    slots_[h] = nullptr;
+    free_slots_.push_back(h);
+  }
+
+  // Nulls every slot and recycles them. Outstanding handles stay in range but
+  // read as null; holders are expected to drop them and create fresh ones.
+  void Clear() {
+    free_slots_.clear();
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i] = nullptr;
+      free_slots_.push_back(static_cast<Handle>(i));
+    }
+  }
+
+  bool AnyNonNull() const {
+    for (SimObject* obj : slots_) {
+      if (obj != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  template <typename Visitor>
+  void ForEach(Visitor&& visit) const {
+    for (SimObject* obj : slots_) {
+      if (obj != nullptr) {
+        visit(obj);
+      }
+    }
+  }
+
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  std::vector<SimObject*> slots_;
+  std::vector<Handle> free_slots_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HEAP_ROOTS_H_

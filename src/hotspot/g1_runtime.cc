@@ -1,0 +1,335 @@
+#include "src/hotspot/g1_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desiccant {
+
+namespace {
+constexpr SimTime kReleaseCostPerPage = 300 * kNanosecond;
+}  // namespace
+
+G1Runtime::G1Runtime(VirtualAddressSpace* vas, const SimClock* clock, const G1Config& config,
+                     SharedFileRegistry* registry)
+    : ManagedRuntime(vas, clock), config_(config) {
+  assert(config_.max_heap_bytes >= 16 * config_.region_bytes);
+  assert(config_.max_heap_bytes % config_.region_bytes == 0);
+
+  heap_region_ = vas_->MapAnonymous("java_heap_g1", config_.max_heap_bytes);
+  metaspace_region_ = vas_->MapAnonymous("metaspace", config_.metaspace_bytes);
+  vas_->Touch(metaspace_region_, 0, config_.metaspace_bytes, /*write=*/true);
+  overhead_region_ = vas_->MapAnonymous("vm_overhead", config_.vm_overhead_bytes);
+  vas_->Touch(overhead_region_, 0, config_.vm_overhead_bytes, /*write=*/true);
+  if (registry != nullptr && config_.image_bytes > 0) {
+    const FileId image = registry->RegisterFile("libjvm.so", config_.image_bytes);
+    image_region_ = vas_->MapFile("libjvm.so", image);
+    const uint64_t resident = PageAlignDown(
+        static_cast<uint64_t>(config_.image_bytes * config_.image_resident_fraction));
+    vas_->Touch(image_region_, 0, resident, /*write=*/false);
+  }
+
+  const size_t count = config_.max_heap_bytes / config_.region_bytes;
+  regions_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    G1Region region;
+    region.space = std::make_unique<ContiguousSpace>("g1_region", vas_, heap_region_);
+    region.space->SetBounds(i * config_.region_bytes, config_.region_bytes);
+    regions_.push_back(std::move(region));
+  }
+}
+
+size_t G1Runtime::CountState(G1RegionState state) const {
+  size_t count = 0;
+  for (const G1Region& region : regions_) {
+    if (region.state == state) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t G1Runtime::FreeRegionCount() const { return CountState(G1RegionState::kFree); }
+
+size_t G1Runtime::TakeFreeRegion(G1RegionState state) {
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].state == G1RegionState::kFree) {
+      regions_[i].state = state;
+      regions_[i].space->Reset();
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+bool G1Runtime::AllocateInto(G1RegionState state, size_t* cursor, SimObject* obj,
+                             TouchResult* faults) {
+  if (*cursor == SIZE_MAX || !regions_[*cursor].space->Allocate(obj, faults)) {
+    const size_t fresh = TakeFreeRegion(state);
+    if (fresh == SIZE_MAX) {
+      return false;
+    }
+    *cursor = fresh;
+    const bool ok = regions_[fresh].space->Allocate(obj, faults);
+    assert(ok);  // a fresh region always fits a regular object
+    (void)ok;
+  }
+  obj->owner = static_cast<uint32_t>(*cursor);
+  return true;
+}
+
+SimObject* G1Runtime::AllocateObject(uint32_t size) {
+  TouchResult faults;
+  NoteAllocation(size);
+
+  // Humongous objects take dedicated contiguous regions and are never moved.
+  if (size >= config_.region_bytes / 2) {
+    const size_t needed = (size + config_.region_bytes - 1) / config_.region_bytes;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      size_t run_start = SIZE_MAX;
+      size_t run = 0;
+      for (size_t i = 0; i < regions_.size(); ++i) {
+        if (regions_[i].state == G1RegionState::kFree) {
+          if (run == 0) {
+            run_start = i;
+          }
+          if (++run == needed) {
+            break;
+          }
+        } else {
+          run = 0;
+        }
+      }
+      if (run == needed) {
+        SimObject* obj = pool_.New(size);
+        obj->space = 1;
+        obj->owner = static_cast<uint32_t>(run_start);
+        obj->address = run_start * config_.region_bytes;
+        for (size_t i = run_start; i < run_start + needed; ++i) {
+          regions_[i].state = G1RegionState::kHumongous;
+          regions_[i].space->Reset();
+        }
+        // The humongous object is tracked by its head region's object list.
+        regions_[run_start].space->objects().push_back(obj);
+        ChargeFaults(vas_->Touch(heap_region_, obj->address, size, /*write=*/true));
+        return obj;
+      }
+      ChargeGcTime(FullGc(/*collect_weak=*/false));
+    }
+    OutOfMemory("humongous allocation");
+  }
+
+  SimObject* obj = pool_.New(size);
+  obj->space = 0;
+  // Bump into the current eden region; young GC when the target is reached.
+  if (eden_cursor_ != SIZE_MAX && regions_[eden_cursor_].space->Allocate(obj, &faults)) {
+    obj->owner = static_cast<uint32_t>(eden_cursor_);
+    ChargeFaults(faults);
+    return obj;
+  }
+  if (EdenRegionCount() >= config_.young_target_regions) {
+    ChargeGcTime(YoungGc());
+    const size_t total = regions_.size();
+    if (OldRegionCount() > static_cast<size_t>(config_.ihop * static_cast<double>(total))) {
+      ChargeGcTime(FullGc(/*collect_weak=*/false));
+    }
+  }
+  if (!AllocateInto(G1RegionState::kEden, &eden_cursor_, obj, &faults)) {
+    ChargeGcTime(FullGc(/*collect_weak=*/false));
+    if (!AllocateInto(G1RegionState::kEden, &eden_cursor_, obj, &faults)) {
+      OutOfMemory("eden allocation");
+    }
+  }
+  ChargeFaults(faults);
+  return obj;
+}
+
+SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
+  if (collect_weak) {
+    bool had_weak = false;
+    weak_roots_.ForEach([&had_weak](SimObject*) { had_weak = true; });
+    if (had_weak) {
+      weak_roots_.Clear();
+      NoteDeoptimization(/*penalty_factor=*/1.6, /*penalty_invocations=*/8);
+    }
+  }
+
+  std::vector<SimObject*> marked;
+  const MarkStats stats = marker_.MarkFrom(
+      collect_weak ? std::vector<const RootTable*>{&strong_roots_}
+                   : std::vector<const RootTable*>{&strong_roots_, &weak_roots_},
+      &marked);
+
+  // Collection set: young regions always; old + humongous in a full pause.
+  auto in_cset = [&](const G1Region& region) {
+    switch (region.state) {
+      case G1RegionState::kEden:
+      case G1RegionState::kSurvivor:
+        return true;
+      case G1RegionState::kOld:
+      case G1RegionState::kHumongous:
+        return full;
+      case G1RegionState::kFree:
+        return false;
+    }
+    return false;
+  };
+
+  // Gather sources first: destination regions must be fresh ones.
+  std::vector<size_t> sources;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (in_cset(regions_[i])) {
+      sources.push_back(i);
+    }
+  }
+
+  survivor_cursor_ = SIZE_MAX;
+  if (full) {
+    old_cursor_ = SIZE_MAX;  // full pauses rebuild the old generation
+  }
+
+  TouchResult gc_faults;
+  uint64_t evacuated_bytes = 0;
+  uint64_t scanned_objects = 0;
+  for (const size_t index : sources) {
+    G1Region& region = regions_[index];
+    if (region.state == G1RegionState::kHumongous) {
+      // Humongous objects are never moved: live ones keep their regions.
+      auto& objs = region.space->objects();
+      if (!objs.empty()) {
+        SimObject* obj = objs.front();
+        ++scanned_objects;
+        if (obj->marked) {
+          continue;  // stays in place
+        }
+        const size_t span = (obj->size + config_.region_bytes - 1) / config_.region_bytes;
+        for (size_t i = index; i < index + span; ++i) {
+          regions_[i].state = G1RegionState::kFree;
+          regions_[i].space->Reset();
+        }
+        pool_.Free(obj);
+      } else {
+        // A continuation region; handled with its head.
+        continue;
+      }
+      continue;
+    }
+
+    std::vector<SimObject*> objects = std::move(region.space->objects());
+    region.space->Reset();
+    region.state = G1RegionState::kFree;  // pages stay resident
+    for (SimObject* obj : objects) {
+      ++scanned_objects;
+      if (!obj->marked) {
+        pool_.Free(obj);
+        continue;
+      }
+      ++obj->age;
+      G1RegionState destination = G1RegionState::kOld;
+      size_t* cursor = &old_cursor_;
+      if (!full && obj->age <= config_.tenuring_threshold) {
+        destination = G1RegionState::kSurvivor;
+        cursor = &survivor_cursor_;
+      }
+      if (!AllocateInto(destination, cursor, obj, &gc_faults)) {
+        // Evacuation failure: fall back to the other destination, then give up.
+        if (!AllocateInto(G1RegionState::kOld, &old_cursor_, obj, &gc_faults)) {
+          OutOfMemory("evacuation");
+        }
+      }
+      evacuated_bytes += obj->size;
+    }
+  }
+
+  for (SimObject* obj : marked) {
+    obj->marked = false;
+  }
+
+  eden_cursor_ = SIZE_MAX;
+  last_gc_live_bytes_ = stats.live_bytes;
+
+  const SimTime variable = gc_costs_.MarkCost(scanned_objects, stats.live_bytes) +
+                           gc_costs_.CopyCost(evacuated_bytes);
+  const SimTime cost = (full ? gc_costs_.fixed_full_pause : gc_costs_.fixed_young_pause) +
+                       DivideByThreads(variable) + fault_costs_.CostOf(gc_faults);
+  total_gc_time_ += cost;
+  return cost;
+}
+
+SimTime G1Runtime::YoungGc() {
+  ++young_gc_count_;
+  const SimTime cost = EvacuationPause(/*full=*/false, /*collect_weak=*/false);
+  LogGc(GcLogEntry::Kind::kYoung, cost, last_gc_live_bytes_,
+        GetHeapStats().committed_bytes);
+  return cost;
+}
+
+SimTime G1Runtime::FullGc(bool collect_weak) {
+  ++full_gc_count_;
+  const SimTime cost = EvacuationPause(/*full=*/true, collect_weak);
+  LogGc(GcLogEntry::Kind::kFull, cost, last_gc_live_bytes_,
+        GetHeapStats().committed_bytes);
+  return cost;
+}
+
+SimTime G1Runtime::CollectGarbage(bool aggressive) { return FullGc(aggressive); }
+
+ReclaimResult G1Runtime::Reclaim(const ReclaimOptions& options) {
+  ReclaimResult result;
+  result.cpu_time = FullGc(options.aggressive);
+
+  // Release every free region's pages and the free tails of occupied ones.
+  uint64_t released = 0;
+  for (G1Region& region : regions_) {
+    if (region.state == G1RegionState::kFree) {
+      released += region.space->ReleaseAllPages();
+    } else if (region.state != G1RegionState::kHumongous) {
+      released += region.space->ReleaseFreePages();
+    }
+  }
+  // Humongous tails: pages past the object's end within its last region.
+  for (const G1Region& region : regions_) {
+    if (region.state != G1RegionState::kHumongous || region.space->objects().empty()) {
+      continue;
+    }
+    const SimObject* obj = region.space->objects().front();
+    const uint64_t end = obj->address + obj->size;
+    const size_t span = (obj->size + config_.region_bytes - 1) / config_.region_bytes;
+    const uint64_t region_end = obj->address + span * config_.region_bytes;
+    if (end < region_end) {
+      released += vas_->Release(heap_region_, end, region_end - end);
+    }
+  }
+  result.released_pages = released;
+  result.cpu_time += released * kReleaseCostPerPage;
+  result.live_bytes_after = last_gc_live_bytes_;
+  result.heap_resident_after = HeapResidentBytes();
+  LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
+        GetHeapStats().committed_bytes, result.released_pages);
+  return result;
+}
+
+HeapStats G1Runtime::GetHeapStats() const {
+  HeapStats stats;
+  stats.committed_bytes = (regions_.size() - FreeRegionCount()) * config_.region_bytes;
+  stats.resident_bytes = HeapResidentBytes();
+  stats.live_bytes = last_gc_live_bytes_;
+  stats.young_capacity = config_.young_target_regions * config_.region_bytes;
+  stats.old_capacity = OldRegionCount() * config_.region_bytes;
+  stats.young_gc_count = young_gc_count_;
+  stats.full_gc_count = full_gc_count_;
+  stats.total_gc_time = total_gc_time_;
+  return stats;
+}
+
+uint64_t G1Runtime::HeapResidentBytes() const {
+  return PagesToBytes(vas_->ResidentPagesInRange(heap_region_, 0, config_.max_heap_bytes));
+}
+
+void G1Runtime::OutOfMemory(const char* where) {
+  std::fprintf(stderr, "G1Runtime: simulated OutOfMemoryError during %s\n", where);
+  std::abort();
+}
+
+}  // namespace desiccant

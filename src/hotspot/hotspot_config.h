@@ -1,0 +1,53 @@
+// Tunables of the HotSpot-style serial collector, mirroring the OpenJDK
+// flags the paper's Lambda configuration uses.
+#ifndef DESICCANT_SRC_HOTSPOT_HOTSPOT_CONFIG_H_
+#define DESICCANT_SRC_HOTSPOT_HOTSPOT_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace desiccant {
+
+struct HotSpotConfig {
+  // -Xmx. Lambda sizes the heap from the instance memory budget.
+  uint64_t max_heap_bytes = 0;
+  // Initial committed sizes (-Xms analogue, split by generation).
+  uint64_t initial_young_bytes = 16 * kMiB;
+  uint64_t initial_old_bytes = 20 * kMiB;
+  // -XX:NewRatio: old generation is new_ratio times the young generation.
+  uint32_t new_ratio = 2;
+  // -XX:SurvivorRatio: eden is survivor_ratio times one survivor space.
+  uint32_t survivor_ratio = 6;
+  // -XX:MaxTenuringThreshold.
+  uint8_t tenuring_threshold = 6;
+  // Adaptive tenuring (-XX:+UsePSAdaptiveSurvivorSizePolicy analogue): after
+  // each young GC the effective threshold moves to keep survivor occupancy
+  // near the target ratio.
+  bool adaptive_tenuring = true;
+  double target_survivor_ratio = 0.5;
+  // -XX:MinHeapFreeRatio / -XX:MaxHeapFreeRatio drive resize after full GC.
+  double min_free_ratio = 0.40;
+  double max_free_ratio = 0.70;
+  // Non-heap private memory committed at boot (metaspace, code cache, VM
+  // structures).
+  uint64_t metaspace_bytes = 12 * kMiB;
+  uint64_t vm_overhead_bytes = 4 * kMiB;
+  // Shared image (libjvm.so + friends): size and the fraction resident after
+  // boot. Clean file pages; shared across same-language instances on a node.
+  uint64_t image_bytes = 128 * kMiB;
+  double image_resident_fraction = 0.35;
+  // JVM boot latency (dominates Java cold starts).
+  SimTime boot_cost = 520 * kMillisecond;
+
+  // Lambda-style sizing: the runtime receives ~80% of the instance budget.
+  static HotSpotConfig ForInstanceBudget(uint64_t budget_bytes) {
+    HotSpotConfig config;
+    config.max_heap_bytes = PageAlignDown(budget_bytes * 8 / 10);
+    return config;
+  }
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HOTSPOT_HOTSPOT_CONFIG_H_

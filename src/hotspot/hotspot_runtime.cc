@@ -1,0 +1,393 @@
+#include "src/hotspot/hotspot_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desiccant {
+
+namespace {
+
+constexpr SimTime kReleaseCostPerPage = 300 * kNanosecond;
+constexpr uint64_t kMinYoungCommitted = 8 * kMiB;
+constexpr uint64_t kMinOldCommitted = 1 * kMiB;
+
+}  // namespace
+
+HotSpotRuntime::HotSpotRuntime(VirtualAddressSpace* vas, const SimClock* clock,
+                               const HotSpotConfig& config, SharedFileRegistry* registry)
+    : ManagedRuntime(vas, clock), config_(config) {
+  assert(config_.max_heap_bytes >= 8 * kMiB);
+
+  heap_region_ = vas_->MapAnonymous("java_heap", config_.max_heap_bytes);
+  metaspace_region_ = vas_->MapAnonymous("metaspace", config_.metaspace_bytes);
+  vas_->Touch(metaspace_region_, 0, config_.metaspace_bytes, /*write=*/true);
+  overhead_region_ = vas_->MapAnonymous("vm_overhead", config_.vm_overhead_bytes);
+  vas_->Touch(overhead_region_, 0, config_.vm_overhead_bytes, /*write=*/true);
+  if (registry != nullptr && config_.image_bytes > 0) {
+    const FileId image = registry->RegisterFile("libjvm.so", config_.image_bytes);
+    image_region_ = vas_->MapFile("libjvm.so", image);
+    const uint64_t resident = PageAlignDown(
+        static_cast<uint64_t>(config_.image_bytes * config_.image_resident_fraction));
+    vas_->Touch(image_region_, 0, resident, /*write=*/false);
+  }
+
+  young_reserved_ = PageAlignDown(config_.max_heap_bytes / (config_.new_ratio + 1));
+  old_reserved_ = config_.max_heap_bytes - young_reserved_;
+  young_committed_ = std::min(PageAlignUp(config_.initial_young_bytes), young_reserved_);
+  old_committed_ = std::min(PageAlignUp(config_.initial_old_bytes), old_reserved_);
+
+  effective_tenuring_ = config_.tenuring_threshold;
+  eden_ = std::make_unique<ContiguousSpace>("eden", vas_, heap_region_);
+  from_ = std::make_unique<ContiguousSpace>("from", vas_, heap_region_);
+  to_ = std::make_unique<ContiguousSpace>("to", vas_, heap_region_);
+  old_ = std::make_unique<ContiguousSpace>("old", vas_, heap_region_);
+  LayoutYoung();
+  old_->SetBounds(young_reserved_, old_committed_);
+}
+
+void HotSpotRuntime::LayoutYoung() {
+  assert(eden_->objects().empty() && from_->objects().empty() && to_->objects().empty());
+  const uint64_t survivor =
+      PageAlignDown(young_committed_ / (config_.survivor_ratio + 2));
+  const uint64_t eden_bytes = young_committed_ - 2 * survivor;
+  eden_->SetBounds(0, eden_bytes);
+  from_->SetBounds(eden_bytes, survivor);
+  to_->SetBounds(eden_bytes + survivor, survivor);
+  eden_->Reset();
+  from_->Reset();
+  to_->Reset();
+}
+
+SimObject* HotSpotRuntime::AllocateObject(uint32_t size) {
+  SimObject* obj = pool_.New(size);
+  obj->space = kYoungTag;
+  TouchResult faults;
+
+  if (eden_->Allocate(obj, &faults)) {
+    NoteAllocation(size);
+    ChargeFaults(faults);
+    return obj;
+  }
+
+  // Eden exhausted: young GC — unless the old generation looks too full to
+  // absorb the expected promotion volume, in which case a full collection
+  // runs first (collect before expand: the old generation grows mainly
+  // through the post-full-GC resize policy).
+  const uint64_t expected_promotion =
+      promoted_ewma_.initialized()
+          ? static_cast<uint64_t>(promoted_ewma_.value() * 1.2) + 64 * kKiB
+          : from_->capacity();
+  if (old_->free_bytes() < expected_promotion) {
+    ChargeGcTime(FullGc(/*collect_weak=*/false));
+  } else {
+    ChargeGcTime(YoungGc());
+  }
+
+  if (eden_->Allocate(obj, &faults)) {
+    NoteAllocation(size);
+    ChargeFaults(faults);
+    return obj;
+  }
+
+  // Still no room (object larger than eden): allocate directly in old.
+  obj->space = kOldTag;
+  if (!old_->CanAllocate(size) && !ExpandOld(size)) {
+    ChargeGcTime(FullGc(/*collect_weak=*/false));
+    if (!old_->CanAllocate(size) && !ExpandOld(size)) {
+      OutOfMemory("old-generation allocation");
+    }
+  }
+  const bool ok = old_->Allocate(obj, &faults);
+  assert(ok);
+  (void)ok;
+  NoteAllocation(size);
+  ChargeFaults(faults);
+  return obj;
+}
+
+void HotSpotRuntime::MarkYoung(std::vector<SimObject*>* marked) {
+  std::vector<SimObject*> stack;
+  auto push_young = [&](SimObject* obj) {
+    if (obj != nullptr && !obj->marked && obj->space == kYoungTag) {
+      obj->marked = true;
+      marked->push_back(obj);
+      stack.push_back(obj);
+    }
+  };
+  strong_roots_.ForEach(push_young);
+  weak_roots_.ForEach(push_young);
+  // Old-to-young edges from the remembered set act as additional roots. Note
+  // the conservatism real collectors share: a *dead* old object still keeps
+  // its young referents alive until the next full collection.
+  remembered_.ForEach([&](SimObject* old_object) {
+    for (int i = 0; i < old_object->ref_count; ++i) {
+      push_young(old_object->refs[i]);
+    }
+  });
+  while (!stack.empty()) {
+    SimObject* obj = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < obj->ref_count; ++i) {
+      push_young(obj->refs[i]);
+    }
+  }
+}
+
+SimTime HotSpotRuntime::YoungGc() {
+  std::vector<SimObject*> marked;
+  MarkYoung(&marked);
+
+  TouchResult gc_faults;
+  uint64_t copied_bytes = 0;
+  uint64_t young_live_objects = 0;
+  uint64_t promoted_bytes = 0;
+  std::vector<SimObject*> promoted_objects;
+
+  auto process_space = [&](ContiguousSpace& space) {
+    for (SimObject* obj : space.objects()) {
+      if (!obj->marked) {
+        pool_.Free(obj);
+        continue;
+      }
+      ++young_live_objects;
+      ++obj->age;
+      bool promoted = obj->age > effective_tenuring_;
+      if (!promoted && !to_->CopyIn(obj, &gc_faults)) {
+        promoted = true;  // survivor overflow
+      } else if (!promoted) {
+        copied_bytes += obj->size;
+        continue;  // landed in to-space
+      }
+      if (promoted) {
+        if (!old_->CanAllocate(obj->size)) {
+          // Promotion failure: grow the old generation (the mid-collection
+          // safety valve — normal growth happens at the post-full-GC resize).
+          if (!ExpandOld(obj->size)) {
+            OutOfMemory("promotion");
+          }
+        }
+        const bool ok = old_->Allocate(obj, &gc_faults);
+        assert(ok);
+        (void)ok;
+        obj->space = kOldTag;
+        obj->age = 0;
+        copied_bytes += obj->size;
+        promoted_bytes += obj->size;
+        promoted_objects.push_back(obj);
+      }
+    }
+  };
+  process_space(*eden_);
+  process_space(*from_);
+
+  // Promotion created new old objects; any reference they hold into the
+  // young generation is a fresh remembered-set entry.
+  for (SimObject* obj : promoted_objects) {
+    for (int i = 0; i < obj->ref_count; ++i) {
+      if (obj->refs[i]->space == kYoungTag) {
+        remembered_.Record(obj);
+        break;
+      }
+    }
+  }
+
+  eden_->Reset();
+  from_->Reset();
+  std::swap(from_, to_);  // to-space becomes the populated from-space
+
+  for (SimObject* obj : marked) {
+    obj->marked = false;
+  }
+
+  ++young_gc_count_;
+  promoted_ewma_.Add(static_cast<double>(promoted_bytes));
+  last_gc_live_bytes_ = old_->used_bytes() + from_->used_bytes();
+
+  if (config_.adaptive_tenuring && from_->capacity() > 0) {
+    // Keep survivor occupancy near the target: crowded survivors tenure
+    // earlier, roomy ones keep objects young longer.
+    const double occupancy = static_cast<double>(from_->used_bytes()) /
+                             static_cast<double>(from_->capacity());
+    if (occupancy > config_.target_survivor_ratio && effective_tenuring_ > 1) {
+      --effective_tenuring_;
+    } else if (occupancy < config_.target_survivor_ratio / 2 &&
+               effective_tenuring_ < config_.tenuring_threshold) {
+      ++effective_tenuring_;
+    }
+  }
+
+  const SimTime cost = gc_costs_.fixed_young_pause +
+                       young_live_objects * gc_costs_.mark_cost_per_object +
+                       gc_costs_.CopyCost(copied_bytes) + fault_costs_.CostOf(gc_faults);
+  total_gc_time_ += cost;
+  LogGc(GcLogEntry::Kind::kYoung, cost, last_gc_live_bytes_,
+        young_committed_ + old_committed_);
+  return cost;
+}
+
+SimTime HotSpotRuntime::FullGc(bool collect_weak) {
+  if (collect_weak) {
+    weak_roots_.Clear();
+    NoteDeoptimization(/*penalty_factor=*/1.6, /*penalty_invocations=*/8);
+  }
+
+  std::vector<SimObject*> marked;
+  const MarkStats stats = marker_.MarkFrom(
+      collect_weak ? std::vector<const RootTable*>{&strong_roots_}
+                   : std::vector<const RootTable*>{&strong_roots_, &weak_roots_},
+      &marked);
+
+  // Everything live is compacted to the bottom of the old generation.
+  if (old_committed_ < stats.live_bytes) {
+    if (!ExpandOld(stats.live_bytes - old_->used_bytes())) {
+      OutOfMemory("full-GC compaction");
+    }
+  }
+
+  // Free the dead, gather the live in (old-first) address order.
+  std::vector<SimObject*> survivors;
+  survivors.reserve(stats.live_objects);
+  auto scan_space = [&](ContiguousSpace& space) {
+    for (SimObject* obj : space.objects()) {
+      if (obj->marked) {
+        survivors.push_back(obj);
+      } else {
+        pool_.Free(obj);
+      }
+    }
+    space.Reset();
+  };
+  scan_space(*old_);
+  scan_space(*eden_);
+  scan_space(*from_);
+  scan_space(*to_);
+
+  TouchResult gc_faults;
+  for (SimObject* obj : survivors) {
+    obj->marked = false;
+    obj->space = kOldTag;
+    obj->age = 0;
+    const bool ok = old_->Allocate(obj, &gc_faults);
+    assert(ok);
+    (void)ok;
+  }
+
+  ++full_gc_count_;
+  last_gc_live_bytes_ = stats.live_bytes;
+  // Everything live now sits in the old generation and the young generation
+  // is empty: no old-to-young edge can exist.
+  remembered_.Clear();
+
+  const SimTime cost = gc_costs_.fixed_full_pause +
+                       gc_costs_.MarkCost(stats.live_objects, stats.live_bytes) +
+                       gc_costs_.CopyCost(stats.live_bytes) + fault_costs_.CostOf(gc_faults);
+  total_gc_time_ += cost;
+
+  ResizeAfterFullGc();
+  LogGc(GcLogEntry::Kind::kFull, cost, last_gc_live_bytes_,
+        young_committed_ + old_committed_);
+  return cost;
+}
+
+void HotSpotRuntime::ResizeAfterFullGc() {
+  // --- old generation: keep the free ratio within [min_free, max_free] ---
+  const uint64_t used = old_->used_bytes();
+  const double free_ratio =
+      old_committed_ == 0 ? 1.0
+                          : 1.0 - static_cast<double>(used) / static_cast<double>(old_committed_);
+  uint64_t new_old = old_committed_;
+  if (free_ratio < config_.min_free_ratio) {
+    // Expand so the free ratio recovers to the midpoint of the band.
+    const double target_free = (config_.min_free_ratio + config_.max_free_ratio) / 2.0;
+    new_old = PageAlignUp(static_cast<uint64_t>(static_cast<double>(used) / (1.0 - target_free)));
+  } else if (free_ratio > config_.max_free_ratio) {
+    // Shrink down to the maximum allowed free ratio.
+    new_old = PageAlignUp(static_cast<uint64_t>(
+        static_cast<double>(used) / (1.0 - config_.max_free_ratio)));
+  }
+  new_old = std::clamp(new_old, std::max(PageAlignUp(used), kMinOldCommitted), old_reserved_);
+  if (new_old < old_committed_) {
+    // mmap(PROT_NONE): decommitted pages lose their physical backing.
+    vas_->Protect(heap_region_, young_reserved_ + new_old, old_committed_ - new_old);
+  }
+  old_committed_ = new_old;
+  old_->SetBounds(young_reserved_, old_committed_);
+
+  // --- young generation: sized from the old generation ---
+  uint64_t new_young = PageAlignDown(old_committed_ / config_.new_ratio);
+  new_young = std::clamp(new_young, kMinYoungCommitted, young_reserved_);
+  if (new_young < young_committed_) {
+    vas_->Protect(heap_region_, new_young, young_committed_ - new_young);
+  }
+  young_committed_ = new_young;
+  LayoutYoung();  // young is empty right after a full GC
+}
+
+bool HotSpotRuntime::ExpandOld(uint64_t extra_free) {
+  const uint64_t needed = PageAlignUp(old_->used_bytes() + extra_free);
+  // Grow by at least 30% to avoid repeated tiny expansions.
+  uint64_t new_committed = std::max(needed, PageAlignUp(old_committed_ * 13 / 10));
+  new_committed = std::min(new_committed, old_reserved_);
+  if (new_committed <= old_committed_ || new_committed < needed) {
+    return false;
+  }
+  old_committed_ = new_committed;
+  old_->SetBounds(young_reserved_, old_committed_);
+  return true;
+}
+
+SimTime HotSpotRuntime::CollectGarbage(bool aggressive) {
+  // System.gc(): always a full (old) collection, which is what triggers the
+  // resize phase (§3.2.1).
+  return FullGc(aggressive);
+}
+
+ReclaimResult HotSpotRuntime::Reclaim(const ReclaimOptions& options) {
+  ReclaimResult result;
+  // Algorithm 1, lines 1-9: collect every generation, then resize (both are
+  // part of FullGc here; the serial full collection covers both generations).
+  result.cpu_time = FullGc(options.aggressive);
+
+  // Algorithm 1, lines 10-15: release [top, end) of every space. After the
+  // full collection the young spaces are empty, so this returns the whole
+  // young generation plus the old generation's free tail to the OS.
+  uint64_t released = 0;
+  released += eden_->ReleaseFreePages();
+  released += from_->ReleaseFreePages();
+  released += to_->ReleaseFreePages();
+  released += old_->ReleaseFreePages();
+  result.released_pages = released;
+  result.cpu_time += released * kReleaseCostPerPage;
+
+  result.live_bytes_after = last_gc_live_bytes_;
+  result.heap_resident_after = HeapResidentBytes();
+  LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
+        young_committed_ + old_committed_, result.released_pages);
+  return result;
+}
+
+HeapStats HotSpotRuntime::GetHeapStats() const {
+  HeapStats stats;
+  stats.committed_bytes = young_committed_ + old_committed_;
+  stats.resident_bytes = HeapResidentBytes();
+  stats.live_bytes = last_gc_live_bytes_;
+  stats.young_capacity = young_committed_;
+  stats.old_capacity = old_committed_;
+  stats.young_gc_count = young_gc_count_;
+  stats.full_gc_count = full_gc_count_;
+  stats.total_gc_time = total_gc_time_;
+  return stats;
+}
+
+uint64_t HotSpotRuntime::HeapResidentBytes() const {
+  return PagesToBytes(vas_->ResidentPagesInRange(heap_region_, 0, config_.max_heap_bytes));
+}
+
+void HotSpotRuntime::OutOfMemory(const char* where) {
+  std::fprintf(stderr, "HotSpotRuntime: simulated OutOfMemoryError during %s\n", where);
+  std::abort();
+}
+
+}  // namespace desiccant

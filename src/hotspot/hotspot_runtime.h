@@ -1,0 +1,115 @@
+// A HotSpot-style JVM with the serial generational collector.
+//
+// Faithfully reproduces the §3.2.1 behaviour that creates frozen garbage:
+//   * young GC copies between eden/from/to; survivors tenure into old;
+//   * full GC (System.gc or old-gen exhaustion) mark-compacts everything into
+//     the old generation and then runs the free-ratio resize policy;
+//   * shrinking decommits pages *above* the committed boundary (mmap
+//     PROT_NONE), but free pages *inside* the committed heap are never
+//     returned to the OS — they stay resident until Desiccant's reclaim
+//     releases them (Algorithm 1).
+#ifndef DESICCANT_SRC_HOTSPOT_HOTSPOT_RUNTIME_H_
+#define DESICCANT_SRC_HOTSPOT_HOTSPOT_RUNTIME_H_
+
+#include <memory>
+
+#include "src/base/stats.h"
+#include "src/heap/contiguous_space.h"
+#include "src/heap/gc_costs.h"
+#include "src/heap/marker.h"
+#include "src/heap/remembered_set.h"
+#include "src/hotspot/hotspot_config.h"
+#include "src/runtime/managed_runtime.h"
+
+namespace desiccant {
+
+class HotSpotRuntime final : public ManagedRuntime {
+ public:
+  // `registry` may be null; then no shared image is mapped (pure-heap tests).
+  HotSpotRuntime(VirtualAddressSpace* vas, const SimClock* clock, const HotSpotConfig& config,
+                 SharedFileRegistry* registry);
+
+  SimObject* AllocateObject(uint32_t size) override;
+  void WriteBarrier(SimObject* from, SimObject* to) override {
+    if (from->space == kOldTag && to->space == kYoungTag) {
+      remembered_.Record(from);
+    }
+  }
+  SimTime CollectGarbage(bool aggressive) override;
+  ReclaimResult Reclaim(const ReclaimOptions& options) override;
+  HeapStats GetHeapStats() const override;
+  uint64_t EstimateLiveBytes() const override { return last_gc_live_bytes_; }
+  uint64_t HeapResidentBytes() const override;
+  Language language() const override { return Language::kJava; }
+  SimTime BootCost() const override { return config_.boot_cost; }
+  RegionId image_region() const override { return image_region_; }
+
+  // The heap's address range, reported to the platform at instance creation
+  // so it can pmap the range (§4.5.2).
+  RegionId heap_region() const { return heap_region_; }
+  uint64_t heap_reserved_bytes() const { return config_.max_heap_bytes; }
+
+  // Exposed for tests.
+  uint64_t young_committed() const { return young_committed_; }
+  uint64_t old_committed() const { return old_committed_; }
+  const ContiguousSpace& eden() const { return *eden_; }
+  const ContiguousSpace& from_space() const { return *from_; }
+  const ContiguousSpace& to_space() const { return *to_; }
+  const ContiguousSpace& old_gen() const { return *old_; }
+  const RememberedSet& remembered_set() const { return remembered_; }
+  uint8_t effective_tenuring() const { return effective_tenuring_; }
+
+ public:
+  enum SpaceTag : uint8_t { kYoungTag = 0, kOldTag = 1 };
+
+ private:
+
+  void LayoutYoung();
+  // Marks exactly the young objects reachable from (roots + remembered set)
+  // without descending into the old generation; returns them via `marked`.
+  void MarkYoung(std::vector<SimObject*>* marked);
+  // Both return the CPU time the collection consumed (pauses + GC faults).
+  SimTime YoungGc();
+  SimTime FullGc(bool collect_weak);
+  void ResizeAfterFullGc();
+  // Grows the old generation's committed size so at least `extra_free` more
+  // bytes fit. Returns false when the reservation is exhausted.
+  bool ExpandOld(uint64_t extra_free);
+  [[noreturn]] void OutOfMemory(const char* where);
+
+  HotSpotConfig config_;
+  GcCostModel gc_costs_;
+  Marker marker_;
+
+  RegionId heap_region_ = kInvalidRegionId;
+  RegionId metaspace_region_ = kInvalidRegionId;
+  RegionId overhead_region_ = kInvalidRegionId;
+  RegionId image_region_ = kInvalidRegionId;
+
+  uint64_t young_reserved_ = 0;
+  uint64_t old_reserved_ = 0;
+  uint64_t young_committed_ = 0;
+  uint64_t old_committed_ = 0;
+
+  std::unique_ptr<ContiguousSpace> eden_;
+  std::unique_ptr<ContiguousSpace> from_;
+  std::unique_ptr<ContiguousSpace> to_;
+  std::unique_ptr<ContiguousSpace> old_;
+
+  uint64_t last_gc_live_bytes_ = 0;
+  uint64_t young_gc_count_ = 0;
+  uint64_t full_gc_count_ = 0;
+  SimTime total_gc_time_ = 0;
+  // Recent promotion volume per young GC; drives the collect-vs-expand
+  // decision (the serial collector's promotion guarantee uses history, not
+  // the worst case).
+  Ewma promoted_ewma_{0.3};
+  RememberedSet remembered_;
+  // Effective tenuring threshold (adaptive policy moves it within
+  // [1, config.tenuring_threshold]).
+  uint8_t effective_tenuring_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HOTSPOT_HOTSPOT_RUNTIME_H_

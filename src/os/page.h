@@ -1,0 +1,29 @@
+// Per-page states of the simulated virtual memory subsystem.
+#ifndef DESICCANT_SRC_OS_PAGE_H_
+#define DESICCANT_SRC_OS_PAGE_H_
+
+#include <cstdint>
+
+namespace desiccant {
+
+// A simulated 4 KiB page is in exactly one of these states.
+//
+// kNotPresent     mapped but without physical backing; touching it faults.
+// kResidentClean  file-backed page shared with the page cache (counted in the
+//                 SharedFileRegistry); anonymous pages are never clean.
+// kResidentDirty  private physical page (anonymous, or a COW'd file page).
+// kSwapped        contents pushed to the swap device; touching swaps it back in.
+enum class PageState : uint8_t {
+  kNotPresent = 0,
+  kResidentClean = 1,
+  kResidentDirty = 2,
+  kSwapped = 3,
+};
+
+inline bool IsResident(PageState s) {
+  return s == PageState::kResidentClean || s == PageState::kResidentDirty;
+}
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_OS_PAGE_H_

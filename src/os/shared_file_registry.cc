@@ -1,0 +1,62 @@
+#include "src/os/shared_file_registry.h"
+
+#include <cassert>
+
+#include "src/base/units.h"
+
+namespace desiccant {
+
+FileId SharedFileRegistry::RegisterFile(const std::string& name, uint64_t size_bytes) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    assert(files_[it->second].size_bytes == size_bytes);
+    return it->second;
+  }
+  FileEntry entry;
+  entry.name = name;
+  entry.size_bytes = size_bytes;
+  entry.page_refcounts.assign(BytesToPages(size_bytes), 0);
+  files_.push_back(std::move(entry));
+  const FileId id = static_cast<FileId>(files_.size() - 1);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+uint64_t SharedFileRegistry::FileSizeBytes(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].size_bytes;
+}
+
+uint64_t SharedFileRegistry::FilePageCount(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].page_refcounts.size();
+}
+
+const std::string& SharedFileRegistry::FileName(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].name;
+}
+
+uint32_t SharedFileRegistry::AddMapper(FileId file, uint64_t page_index) {
+  assert(file < files_.size());
+  auto& refs = files_[file].page_refcounts;
+  assert(page_index < refs.size());
+  return ++refs[page_index];
+}
+
+uint32_t SharedFileRegistry::RemoveMapper(FileId file, uint64_t page_index) {
+  assert(file < files_.size());
+  auto& refs = files_[file].page_refcounts;
+  assert(page_index < refs.size());
+  assert(refs[page_index] > 0);
+  return --refs[page_index];
+}
+
+uint32_t SharedFileRegistry::MapperCount(FileId file, uint64_t page_index) const {
+  assert(file < files_.size());
+  const auto& refs = files_[file].page_refcounts;
+  assert(page_index < refs.size());
+  return refs[page_index];
+}
+
+}  // namespace desiccant

@@ -1,0 +1,52 @@
+// Node-wide registry of file-backed pages shared across simulated processes.
+//
+// Language runtimes map large shared objects (libjvm.so for HotSpot, the node
+// binary for V8). When several instances of the same language run on a node,
+// those clean file pages are shared: they appear in each process's RSS, are
+// split across mappers in PSS, and drop out of USS entirely unless exactly one
+// process maps them. This registry owns the per-page mapper refcounts that
+// make USS/PSS computable.
+#ifndef DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_
+#define DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace desiccant {
+
+using FileId = uint32_t;
+inline constexpr FileId kInvalidFileId = ~0u;
+
+class SharedFileRegistry {
+ public:
+  // Registers (or looks up) a file of the given size. Sizes of an existing
+  // name must match.
+  FileId RegisterFile(const std::string& name, uint64_t size_bytes);
+
+  uint64_t FileSizeBytes(FileId file) const;
+  uint64_t FilePageCount(FileId file) const;
+  const std::string& FileName(FileId file) const;
+
+  // A process faulted the page in (resident-clean). Returns the new refcount.
+  uint32_t AddMapper(FileId file, uint64_t page_index);
+  // A process dropped the page (unmap, release, or COW upgrade to dirty).
+  uint32_t RemoveMapper(FileId file, uint64_t page_index);
+
+  uint32_t MapperCount(FileId file, uint64_t page_index) const;
+
+ private:
+  struct FileEntry {
+    std::string name;
+    uint64_t size_bytes = 0;
+    std::vector<uint32_t> page_refcounts;
+  };
+
+  std::vector<FileEntry> files_;
+  std::unordered_map<std::string, FileId> by_name_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_

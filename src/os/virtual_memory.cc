@@ -1,0 +1,275 @@
+#include "src/os/virtual_memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace desiccant {
+
+VirtualAddressSpace::VirtualAddressSpace(SharedFileRegistry* registry) : registry_(registry) {}
+
+VirtualAddressSpace::~VirtualAddressSpace() {
+  for (RegionId id = 0; id < regions_.size(); ++id) {
+    if (regions_[id].live) {
+      Unmap(id);
+    }
+  }
+}
+
+RegionId VirtualAddressSpace::MapAnonymous(std::string name, uint64_t bytes) {
+  assert(bytes > 0);
+  Region r;
+  r.name = std::move(name);
+  r.kind = RegionKind::kAnonymous;
+  r.pages.assign(BytesToPages(bytes), PageState::kNotPresent);
+  regions_.push_back(std::move(r));
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+RegionId VirtualAddressSpace::MapFile(std::string name, FileId file, uint64_t bytes) {
+  assert(registry_ != nullptr);
+  const uint64_t file_bytes = registry_->FileSizeBytes(file);
+  if (bytes == 0) {
+    bytes = file_bytes;
+  }
+  assert(bytes <= file_bytes);
+  Region r;
+  r.name = std::move(name);
+  r.kind = RegionKind::kFileBacked;
+  r.file = file;
+  r.pages.assign(BytesToPages(bytes), PageState::kNotPresent);
+  regions_.push_back(std::move(r));
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+void VirtualAddressSpace::Unmap(RegionId region) {
+  Region& r = GetRegion(region);
+  for (uint64_t page = 0; page < r.pages.size(); ++page) {
+    DropPage(r, page);
+  }
+  r.live = false;
+}
+
+TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_t len,
+                                       bool write) {
+  Region& r = GetRegion(region);
+  TouchResult result;
+  if (len == 0) {
+    return result;
+  }
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + len - 1) / kPageSize;
+  assert(last < r.pages.size());
+  if (write) {
+    r.never_written = false;
+  }
+  for (uint64_t page = first; page <= last; ++page) {
+    PageState& state = r.pages[page];
+    switch (state) {
+      case PageState::kNotPresent:
+        ++result.minor_faults;
+        ++resident_pages_;
+        if (r.kind == RegionKind::kFileBacked && !write) {
+          state = PageState::kResidentClean;
+          registry_->AddMapper(r.file, page);
+        } else {
+          state = PageState::kResidentDirty;
+        }
+        break;
+      case PageState::kResidentClean:
+        if (write) {
+          // COW: the page leaves the shared page cache and becomes private.
+          ++result.cow_faults;
+          registry_->RemoveMapper(r.file, page);
+          state = PageState::kResidentDirty;
+        }
+        break;
+      case PageState::kResidentDirty:
+        break;
+      case PageState::kSwapped:
+        ++result.swap_ins;
+        --swapped_pages_;
+        ++resident_pages_;
+        state = PageState::kResidentDirty;
+        break;
+    }
+  }
+  return result;
+}
+
+uint64_t VirtualAddressSpace::Release(RegionId region, uint64_t offset, uint64_t len) {
+  Region& r = GetRegion(region);
+  if (len == 0) {
+    return 0;
+  }
+  // Only whole pages strictly inside the range can be given back; this models
+  // the page-alignment loss the paper attributes the Java Desiccant-vs-ideal
+  // gap to (§5.2).
+  const uint64_t first_byte = PageAlignUp(offset);
+  const uint64_t last_byte = PageAlignDown(offset + len);
+  if (first_byte >= last_byte) {
+    return 0;
+  }
+  const uint64_t first = first_byte / kPageSize;
+  const uint64_t last = last_byte / kPageSize;  // exclusive
+  assert(last <= r.pages.size());
+  uint64_t released = 0;
+  for (uint64_t page = first; page < last; ++page) {
+    if (r.pages[page] != PageState::kNotPresent) {
+      ++released;
+      DropPage(r, page);
+    }
+  }
+  return released;
+}
+
+uint64_t VirtualAddressSpace::SwapOutPages(uint64_t max_pages) {
+  uint64_t reclaimed = 0;
+  for (Region& r : regions_) {
+    if (!r.live) {
+      continue;
+    }
+    for (uint64_t page = 0; page < r.pages.size(); ++page) {
+      if (reclaimed >= max_pages) {
+        return reclaimed;
+      }
+      PageState& state = r.pages[page];
+      if (state == PageState::kResidentDirty) {
+        state = PageState::kSwapped;
+        --resident_pages_;
+        ++swapped_pages_;
+        ++reclaimed;
+      } else if (state == PageState::kResidentClean) {
+        // Clean file pages are not written to swap — the kernel just drops
+        // them from the page cache and re-reads the file on the next fault.
+        DropPage(r, page);
+        ++reclaimed;
+      }
+    }
+  }
+  return reclaimed;
+}
+
+MemoryUsage VirtualAddressSpace::Usage() const {
+  MemoryUsage usage;
+  for (const Region& r : regions_) {
+    if (!r.live) {
+      continue;
+    }
+    for (uint64_t page = 0; page < r.pages.size(); ++page) {
+      switch (r.pages[page]) {
+        case PageState::kNotPresent:
+          break;
+        case PageState::kResidentDirty:
+          usage.rss += kPageSize;
+          usage.uss += kPageSize;
+          usage.pss += static_cast<double>(kPageSize);
+          break;
+        case PageState::kResidentClean: {
+          usage.rss += kPageSize;
+          const uint32_t mappers = registry_->MapperCount(r.file, page);
+          assert(mappers >= 1);
+          if (mappers == 1) {
+            usage.uss += kPageSize;
+          }
+          usage.pss += static_cast<double>(kPageSize) / mappers;
+          break;
+        }
+        case PageState::kSwapped:
+          usage.swapped += kPageSize;
+          break;
+      }
+    }
+  }
+  return usage;
+}
+
+std::vector<RegionInfo> VirtualAddressSpace::Smaps() const {
+  std::vector<RegionInfo> infos;
+  for (RegionId id = 0; id < regions_.size(); ++id) {
+    const Region& r = regions_[id];
+    if (!r.live) {
+      continue;
+    }
+    RegionInfo info;
+    info.id = id;
+    info.name = r.name;
+    info.kind = r.kind;
+    info.size_bytes = PagesToBytes(r.pages.size());
+    info.never_written = r.never_written;
+    for (uint64_t page = 0; page < r.pages.size(); ++page) {
+      switch (r.pages[page]) {
+        case PageState::kNotPresent:
+          break;
+        case PageState::kResidentDirty:
+          info.private_dirty += kPageSize;
+          break;
+        case PageState::kResidentClean:
+          if (registry_->MapperCount(r.file, page) == 1) {
+            info.private_clean += kPageSize;
+          } else {
+            info.shared_clean += kPageSize;
+          }
+          break;
+        case PageState::kSwapped:
+          info.swapped += kPageSize;
+          break;
+      }
+    }
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+uint64_t VirtualAddressSpace::RegionSizeBytes(RegionId region) const {
+  return PagesToBytes(GetRegion(region).pages.size());
+}
+
+uint64_t VirtualAddressSpace::ResidentPagesInRange(RegionId region, uint64_t offset,
+                                                   uint64_t len) const {
+  const Region& r = GetRegion(region);
+  if (len == 0) {
+    return 0;
+  }
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + len - 1) / kPageSize;
+  assert(last < r.pages.size());
+  uint64_t resident = 0;
+  for (uint64_t page = first; page <= last; ++page) {
+    if (IsResident(r.pages[page])) {
+      ++resident;
+    }
+  }
+  return resident;
+}
+
+VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId region) {
+  assert(region < regions_.size());
+  assert(regions_[region].live);
+  return regions_[region];
+}
+
+const VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId region) const {
+  assert(region < regions_.size());
+  assert(regions_[region].live);
+  return regions_[region];
+}
+
+void VirtualAddressSpace::DropPage(Region& r, uint64_t page) {
+  switch (r.pages[page]) {
+    case PageState::kNotPresent:
+      return;
+    case PageState::kResidentClean:
+      registry_->RemoveMapper(r.file, page);
+      --resident_pages_;
+      break;
+    case PageState::kResidentDirty:
+      --resident_pages_;
+      break;
+    case PageState::kSwapped:
+      --swapped_pages_;
+      break;
+  }
+  r.pages[page] = PageState::kNotPresent;
+}
+
+}  // namespace desiccant

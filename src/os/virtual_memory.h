@@ -1,0 +1,140 @@
+// The per-process simulated virtual address space.
+//
+// A VirtualAddressSpace is a set of named regions (anonymous or file-backed)
+// whose pages move between PageState values in response to mmap-style calls:
+//
+//   MapAnonymous/MapFile   reserve a region (all pages kNotPresent)
+//   Touch                  fault pages in (minor fault, COW, or swap-in)
+//   Release                madvise(MADV_DONTNEED): give physical pages back to
+//                          the OS while keeping the mapping usable
+//   Protect                mmap(PROT_NONE)-style decommit used by HotSpot's
+//                          heap shrinking; identical page effect to Release but
+//                          additionally marks the range unusable
+//   Unmap                  remove the region
+//
+// The address space is an *accounting* structure: object payloads live in the
+// heap simulators, which report their page activity here. USS/RSS/PSS are
+// derived purely from page states plus the SharedFileRegistry refcounts.
+#ifndef DESICCANT_SRC_OS_VIRTUAL_MEMORY_H_
+#define DESICCANT_SRC_OS_VIRTUAL_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/os/page.h"
+#include "src/os/shared_file_registry.h"
+
+namespace desiccant {
+
+using RegionId = uint32_t;
+inline constexpr RegionId kInvalidRegionId = ~0u;
+
+enum class RegionKind : uint8_t { kAnonymous, kFileBacked };
+
+// What a Touch call did, page by page.
+struct TouchResult {
+  uint64_t minor_faults = 0;  // kNotPresent -> resident
+  uint64_t swap_ins = 0;      // kSwapped -> resident
+  uint64_t cow_faults = 0;    // kResidentClean -> kResidentDirty (write to file page)
+
+  uint64_t total_faults() const { return minor_faults + swap_ins + cow_faults; }
+};
+
+// Aggregate memory accounting for one process, in bytes.
+struct MemoryUsage {
+  uint64_t rss = 0;      // all resident pages
+  uint64_t uss = 0;      // private resident pages (dirty + singly-mapped clean)
+  double pss = 0.0;      // private + shared/refcount
+  uint64_t swapped = 0;  // pages on the swap device
+
+  double rss_mib() const { return ToMiB(rss); }
+  double uss_mib() const { return ToMiB(uss); }
+  double pss_mib() const { return pss / static_cast<double>(kMiB); }
+};
+
+// smaps-style view of one region.
+struct RegionInfo {
+  RegionId id = kInvalidRegionId;
+  std::string name;
+  RegionKind kind = RegionKind::kAnonymous;
+  uint64_t size_bytes = 0;
+  uint64_t private_dirty = 0;  // bytes
+  uint64_t private_clean = 0;  // bytes (file pages mapped by exactly this process)
+  uint64_t shared_clean = 0;   // bytes (file pages mapped by >1 process)
+  uint64_t swapped = 0;        // bytes
+  bool file_backed() const { return kind == RegionKind::kFileBacked; }
+  // "Not modified": no page of the region was ever written by this process.
+  bool never_written = true;
+};
+
+class VirtualAddressSpace {
+ public:
+  // `registry` may be null for processes that never map files.
+  explicit VirtualAddressSpace(SharedFileRegistry* registry);
+  ~VirtualAddressSpace();
+
+  VirtualAddressSpace(const VirtualAddressSpace&) = delete;
+  VirtualAddressSpace& operator=(const VirtualAddressSpace&) = delete;
+
+  RegionId MapAnonymous(std::string name, uint64_t bytes);
+  // Maps the first `bytes` of `file` (defaults to the whole file).
+  RegionId MapFile(std::string name, FileId file, uint64_t bytes = 0);
+  void Unmap(RegionId region);
+
+  // Faults pages of [offset, offset + len) in. `write` upgrades file pages to
+  // private-dirty (COW). Returns what happened so callers can charge fault
+  // costs. Offsets/lengths are byte-granular and internally page-rounded.
+  TouchResult Touch(RegionId region, uint64_t offset, uint64_t len, bool write);
+
+  // Gives resident pages of the range back to the OS (madvise(MADV_DONTNEED)).
+  // Returns the number of pages released. Swapped pages are discarded too
+  // (anonymous ranges lose their contents, which is fine for free heap pages).
+  uint64_t Release(RegionId region, uint64_t offset, uint64_t len);
+
+  // HotSpot-style decommit: same page effect as Release. Kept as a separate
+  // verb so heap code reads like the real VM (commit/uncommit vs. madvise).
+  uint64_t Protect(RegionId region, uint64_t offset, uint64_t len) {
+    return Release(region, offset, len);
+  }
+
+  // Moves up to `max_pages` resident pages of the whole address space to the
+  // swap device, scanning regions in map order without any knowledge of which
+  // pages hold live data (this is the semantics-blind baseline of §5.6).
+  // Returns pages swapped out.
+  uint64_t SwapOutPages(uint64_t max_pages);
+
+  MemoryUsage Usage() const;
+  std::vector<RegionInfo> Smaps() const;
+
+  uint64_t RegionSizeBytes(RegionId region) const;
+  uint64_t ResidentPagesInRange(RegionId region, uint64_t offset, uint64_t len) const;
+
+  // Total resident pages (cheap; maintained incrementally).
+  uint64_t resident_pages() const { return resident_pages_; }
+  uint64_t swapped_pages() const { return swapped_pages_; }
+
+ private:
+  struct Region {
+    std::string name;
+    RegionKind kind = RegionKind::kAnonymous;
+    FileId file = kInvalidFileId;
+    std::vector<PageState> pages;
+    bool never_written = true;
+    bool live = true;
+  };
+
+  Region& GetRegion(RegionId region);
+  const Region& GetRegion(RegionId region) const;
+  void DropPage(Region& r, uint64_t page);  // resident/swapped -> not present
+
+  SharedFileRegistry* registry_;
+  std::vector<Region> regions_;
+  uint64_t resident_pages_ = 0;
+  uint64_t swapped_pages_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_OS_VIRTUAL_MEMORY_H_

@@ -1,0 +1,95 @@
+#include "src/runtime/managed_runtime.h"
+
+#include <algorithm>
+
+#include "src/heap/marker.h"
+
+namespace desiccant {
+
+const char* GcLogKindName(GcLogEntry::Kind kind) {
+  switch (kind) {
+    case GcLogEntry::Kind::kYoung:
+      return "young";
+    case GcLogEntry::Kind::kFull:
+      return "full";
+    case GcLogEntry::Kind::kReclaim:
+      return "reclaim";
+  }
+  return "unknown";
+}
+
+const char* LanguageName(Language lang) {
+  switch (lang) {
+    case Language::kJava:
+      return "java";
+    case Language::kJavaScript:
+      return "javascript";
+    case Language::kPython:
+      return "python";
+  }
+  return "unknown";
+}
+
+ManagedRuntime::ManagedRuntime(VirtualAddressSpace* vas, const SimClock* clock)
+    : vas_(vas), clock_(clock) {}
+
+void ManagedRuntime::BeginInvocation() { pending_ = MutatorStats{}; }
+
+MutatorStats ManagedRuntime::EndInvocation() {
+  ++invocation_count_;
+  if (deopt_remaining_ > 0) {
+    --deopt_remaining_;
+    if (deopt_remaining_ == 0) {
+      deopt_factor_ = 1.0;
+    }
+  }
+  return pending_;
+}
+
+double ManagedRuntime::ExecMultiplier() const {
+  double warmup = 1.0;
+  if (invocation_count_ < kWarmupInvocations) {
+    const double progress =
+        static_cast<double>(invocation_count_) / static_cast<double>(kWarmupInvocations);
+    warmup = kColdMultiplier - (kColdMultiplier - 1.0) * progress;
+  }
+  return std::max(warmup, deopt_factor_);
+}
+
+void ManagedRuntime::NoteDeoptimization(double penalty_factor, int penalty_invocations) {
+  deopt_factor_ = std::max(deopt_factor_, penalty_factor);
+  deopt_remaining_ = std::max(deopt_remaining_, penalty_invocations);
+}
+
+uint64_t ManagedRuntime::ExactLiveBytes() {
+  Marker marker;
+  std::vector<SimObject*> marked;
+  const MarkStats stats = marker.MarkFrom({&strong_roots_, &weak_roots_}, &marked);
+  for (SimObject* obj : marked) {
+    obj->marked = false;
+  }
+  return stats.live_bytes;
+}
+
+void ManagedRuntime::LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_bytes,
+                           uint64_t committed_bytes, uint64_t released_pages) {
+  GcLogEntry entry;
+  entry.kind = kind;
+  entry.at = clock_->Now();
+  entry.pause = pause;
+  entry.live_bytes = live_bytes;
+  entry.committed_bytes = committed_bytes;
+  entry.released_pages = released_pages;
+  gc_log_.push_back(entry);
+  if (gc_log_.size() > kGcLogCapacity) {
+    gc_log_.pop_front();
+  }
+}
+
+void ManagedRuntime::ChargeFaults(const TouchResult& touch) {
+  pending_.fault_time += fault_costs_.CostOf(touch);
+  pending_.minor_faults += touch.minor_faults;
+  pending_.swap_ins += touch.swap_ins;
+}
+
+}  // namespace desiccant

@@ -1,0 +1,192 @@
+// The language-runtime abstraction the FaaS platform and Desiccant talk to.
+//
+// A ManagedRuntime owns a heap inside the instance's VirtualAddressSpace and
+// exposes two faces:
+//   * the mutator API (AllocateObject, root tables) used by workload programs;
+//   * the control API (CollectGarbage, Reclaim, live-bytes query) used by the
+//     platform and by Desiccant. Reclaim is the new interface the paper adds
+//     next to System.gc()/global.gc() (§4.4).
+#ifndef DESICCANT_SRC_RUNTIME_MANAGED_RUNTIME_H_
+#define DESICCANT_SRC_RUNTIME_MANAGED_RUNTIME_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/base/sim_clock.h"
+#include "src/base/units.h"
+#include "src/heap/object.h"
+#include "src/heap/roots.h"
+#include "src/os/fault_costs.h"
+#include "src/os/virtual_memory.h"
+
+namespace desiccant {
+
+enum class Language : uint8_t { kJava, kJavaScript, kPython };
+
+const char* LanguageName(Language lang);
+
+struct ReclaimOptions {
+  // When true, objects reachable only through weak roots (JIT metadata,
+  // inline caches, lazily compiled code) are collected too. Desiccant avoids
+  // this by default (§4.7) because it deoptimizes subsequent executions.
+  bool aggressive = false;
+};
+
+struct ReclaimResult {
+  uint64_t released_pages = 0;
+  SimTime cpu_time = 0;            // GC + resize + release work
+  uint64_t live_bytes_after = 0;   // the memory profile sent to the platform
+  uint64_t heap_resident_after = 0;
+};
+
+struct HeapStats {
+  uint64_t committed_bytes = 0;
+  uint64_t resident_bytes = 0;    // pages of the heap currently resident
+  uint64_t live_bytes = 0;        // live set found by the most recent GC
+  uint64_t young_capacity = 0;
+  uint64_t old_capacity = 0;
+  uint64_t young_gc_count = 0;
+  uint64_t full_gc_count = 0;
+  SimTime total_gc_time = 0;
+};
+
+// One collection, as recorded in the runtime's GC log.
+struct GcLogEntry {
+  enum class Kind : uint8_t { kYoung, kFull, kReclaim } kind = Kind::kYoung;
+  SimTime at = 0;             // instance execution clock
+  SimTime pause = 0;          // CPU cost of the collection
+  uint64_t live_bytes = 0;    // live set found
+  uint64_t committed_bytes = 0;
+  uint64_t released_pages = 0;  // kReclaim only
+};
+
+const char* GcLogKindName(GcLogEntry::Kind kind);
+
+// Accounting for one invocation (between BeginInvocation/EndInvocation).
+struct MutatorStats {
+  uint64_t allocated_bytes = 0;
+  uint64_t allocated_objects = 0;
+  SimTime gc_time = 0;
+  SimTime fault_time = 0;
+  uint64_t minor_faults = 0;
+  uint64_t swap_ins = 0;
+};
+
+// Shared behaviour: root tables, the object pool, invocation accounting and
+// the JIT warmup/deoptimization execution-time model.
+class ManagedRuntime {
+ public:
+  ManagedRuntime(VirtualAddressSpace* vas, const SimClock* clock);
+  virtual ~ManagedRuntime() = default;
+
+  ManagedRuntime(const ManagedRuntime&) = delete;
+  ManagedRuntime& operator=(const ManagedRuntime&) = delete;
+
+  // ----- mutator API -----
+
+  // Allocates a simulated object of `size` bytes, running GC as needed.
+  // Never returns null; aborts the process on simulated OOM (workloads are
+  // sized to fit their configured heaps).
+  virtual SimObject* AllocateObject(uint32_t size) = 0;
+
+  RootTable& strong_roots() { return strong_roots_; }
+  // Weak roots: reachable only for non-aggressive collections.
+  RootTable& weak_roots() { return weak_roots_; }
+
+  // The write barrier: mutators call this after storing a reference
+  // `from -> to`. Generational runtimes record old-to-young edges in their
+  // remembered sets so young collections need not trace the old generation.
+  virtual void WriteBarrier(SimObject* from, SimObject* to) {
+    (void)from;
+    (void)to;
+  }
+
+  void BeginInvocation();
+  MutatorStats EndInvocation();
+
+  // Execution-time multiplier from JIT state: >1 while warming up and after a
+  // deoptimizing (aggressive) collection cleared compiled-code caches.
+  double ExecMultiplier() const;
+
+  // ----- control API -----
+
+  // System.gc() / global.gc(): a full collection using the runtime's existing
+  // policies (including any resize they imply). This is the "eager" baseline.
+  // Returns the CPU time the collection consumed.
+  virtual SimTime CollectGarbage(bool aggressive) = 0;
+
+  // Desiccant's reclaim interface: collect, resize, then return every free
+  // page of every space to the OS.
+  virtual ReclaimResult Reclaim(const ReclaimOptions& options) = 0;
+
+  virtual HeapStats GetHeapStats() const = 0;
+
+  // The runtime's own live-bytes estimate (the memory profile of §4.5.2).
+  virtual uint64_t EstimateLiveBytes() const = 0;
+
+  // Exact live bytes by tracing from the current roots, without collecting.
+  // Used by the harness to compute the paper's "ideal" baseline (§3.1).
+  uint64_t ExactLiveBytes();
+
+  // Resident bytes within the heap's address ranges — what the platform
+  // derives from pmap for HotSpot, and from internal counters for V8.
+  virtual uint64_t HeapResidentBytes() const = 0;
+
+  virtual Language language() const = 0;
+
+  // Simulated runtime start-up cost (JVM boot vs. node boot).
+  virtual SimTime BootCost() const = 0;
+
+  // The shared runtime image mapping (libjvm.so / node), if any. Exposed so
+  // the §4.6 library-unmap optimization can find and re-fault it.
+  virtual RegionId image_region() const { return kInvalidRegionId; }
+
+  VirtualAddressSpace& address_space() { return *vas_; }
+  const SimClock& clock() const { return *clock_; }
+
+  uint64_t invocation_count() const { return invocation_count_; }
+
+  // The most recent collections, oldest first (bounded ring; for operators,
+  // the CLI's --gc-log, and tests).
+  const std::deque<GcLogEntry>& gc_log() const { return gc_log_; }
+
+ protected:
+  void LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_bytes,
+             uint64_t committed_bytes, uint64_t released_pages = 0);
+
+  // Called by subclasses whenever a GC clears the weak roots (aggressive
+  // collection): subsequent invocations pay `penalty_factor` until the JIT
+  // re-warms over `penalty_invocations` invocations.
+  void NoteDeoptimization(double penalty_factor, int penalty_invocations);
+
+  void ChargeGcTime(SimTime t) { pending_.gc_time += t; }
+  void ChargeFaults(const TouchResult& touch);
+  void NoteAllocation(uint64_t bytes) {
+    pending_.allocated_bytes += bytes;
+    ++pending_.allocated_objects;
+  }
+
+  VirtualAddressSpace* vas_;
+  const SimClock* clock_;
+  ObjectPool pool_;
+  RootTable strong_roots_;
+  RootTable weak_roots_;
+  FaultCostModel fault_costs_;
+
+ private:
+  MutatorStats pending_;
+  uint64_t invocation_count_ = 0;
+  std::deque<GcLogEntry> gc_log_;
+  static constexpr size_t kGcLogCapacity = 512;
+
+  // JIT model: warmup decays over the first invocations; deopt re-adds cost.
+  static constexpr int kWarmupInvocations = 15;
+  static constexpr double kColdMultiplier = 2.5;
+  double deopt_factor_ = 1.0;
+  int deopt_remaining_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_RUNTIME_MANAGED_RUNTIME_H_

@@ -1,0 +1,90 @@
+#include "src/trace/azure_trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace desiccant {
+
+std::vector<TraceFunction> TraceGenerator::BuildSuiteTrace(
+    const std::vector<const WorkloadSpec*>& workloads) const {
+  // Sort by total execution time so the hot/cold assignment is stable.
+  std::vector<const WorkloadSpec*> sorted = workloads;
+  std::sort(sorted.begin(), sorted.end(), [](const WorkloadSpec* a, const WorkloadSpec* b) {
+    if (a->TotalExecMs() != b->TotalExecMs()) {
+      return a->TotalExecMs() < b->TotalExecMs();
+    }
+    return a->name < b->name;
+  });
+
+  std::vector<TraceFunction> trace;
+  trace.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    TraceFunction fn;
+    fn.workload = sorted[i];
+    // The Azure dataset shape: a handful of hot functions carry most of the
+    // invocations; the tail is rare. Short functions tend to be invoked more.
+    const double rank = static_cast<double>(i) / static_cast<double>(sorted.size());
+    if (rank < 0.25) {
+      fn.mean_iat_s = 8.0 + 6.0 * rank;  // hot
+      fn.pattern = ArrivalPattern::kPoisson;
+    } else if (rank < 0.55) {
+      fn.mean_iat_s = 20.0 + 40.0 * (rank - 0.25);
+      fn.pattern = (i % 2 == 0) ? ArrivalPattern::kBursty : ArrivalPattern::kPoisson;
+    } else if (rank < 0.8) {
+      fn.mean_iat_s = 45.0 + 60.0 * (rank - 0.55);
+      fn.pattern = ArrivalPattern::kPeriodic;  // timer triggers
+    } else {
+      fn.mean_iat_s = 90.0 + 200.0 * (rank - 0.8);  // the rare tail
+      fn.pattern = ArrivalPattern::kBursty;
+      fn.burst_size_mean = 4.0;
+    }
+    trace.push_back(fn);
+  }
+  return trace;
+}
+
+std::vector<TraceArrival> TraceGenerator::Generate(const std::vector<TraceFunction>& functions,
+                                                   double scale_factor, SimTime start,
+                                                   SimTime end) const {
+  assert(scale_factor > 0.0);
+  std::vector<TraceArrival> arrivals;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const TraceFunction& fn = functions[i];
+    Rng rng(seed_ * 2654435761ULL + i);
+    const double mean_iat = fn.mean_iat_s / scale_factor;
+    double t = ToSeconds(start);
+    const double horizon = ToSeconds(end);
+    // Random phase so periodic functions are not synchronized.
+    t += rng.Uniform(0.0, mean_iat);
+    while (t < horizon) {
+      switch (fn.pattern) {
+        case ArrivalPattern::kPeriodic:
+          arrivals.push_back({FromSeconds(t), fn.workload});
+          t += mean_iat * rng.Uniform(0.9, 1.1);
+          break;
+        case ArrivalPattern::kPoisson:
+          arrivals.push_back({FromSeconds(t), fn.workload});
+          t += rng.Exponential(mean_iat);
+          break;
+        case ArrivalPattern::kBursty: {
+          const auto burst = static_cast<uint64_t>(
+              1 + rng.Exponential(std::max(0.0, fn.burst_size_mean - 1.0)));
+          double bt = t;
+          for (uint64_t k = 0; k < burst && bt < horizon; ++k) {
+            arrivals.push_back({FromSeconds(bt), fn.workload});
+            bt += rng.Uniform(0.05, 0.2);  // back-to-back within the burst
+          }
+          // Burst gaps: scale so the long-run rate still matches mean_iat.
+          t += rng.Exponential(mean_iat * fn.burst_size_mean);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const TraceArrival& a, const TraceArrival& b) { return a.time < b.time; });
+  return arrivals;
+}
+
+}  // namespace desiccant

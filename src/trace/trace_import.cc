@@ -1,0 +1,187 @@
+#include "src/trace/trace_import.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/base/rng.h"
+
+namespace desiccant {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+// Index of a column name, or SIZE_MAX.
+size_t FindColumn(const std::vector<std::string>& header, const std::string& name) {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+std::vector<ImportedFunction> LoadAzureInvocationCounts(const std::string& path,
+                                                        std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open " + path;
+    return {};
+  }
+  std::string line;
+  if (!std::getline(file, line)) {
+    *error = "empty file " + path;
+    return {};
+  }
+  const auto header = SplitCsv(line);
+  const size_t function_col = FindColumn(header, "HashFunction");
+  if (function_col == SIZE_MAX || header.size() <= function_col + 1) {
+    *error = "missing HashFunction column in " + path;
+    return {};
+  }
+  // Minute columns are everything after the hash columns; the dataset names
+  // them "1".."1440".
+  size_t first_minute_col = function_col + 1;
+  while (first_minute_col < header.size() &&
+         std::atoi(header[first_minute_col].c_str()) == 0) {
+    ++first_minute_col;
+  }
+
+  std::vector<ImportedFunction> functions;
+  while (std::getline(file, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsv(line);
+    if (fields.size() <= first_minute_col) {
+      *error = "short row in " + path;
+      return {};
+    }
+    ImportedFunction fn;
+    fn.id = fields[function_col];
+    fn.per_minute.reserve(fields.size() - first_minute_col);
+    for (size_t i = first_minute_col; i < fields.size(); ++i) {
+      fn.per_minute.push_back(static_cast<uint32_t>(std::strtoul(fields[i].c_str(),
+                                                                 nullptr, 10)));
+    }
+    functions.push_back(std::move(fn));
+  }
+  return functions;
+}
+
+bool JoinAzureDurations(const std::string& path, std::vector<ImportedFunction>* functions,
+                        std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(file, line)) {
+    *error = "empty file " + path;
+    return false;
+  }
+  const auto header = SplitCsv(line);
+  const size_t function_col = FindColumn(header, "HashFunction");
+  size_t average_col = FindColumn(header, "Average");
+  if (average_col == SIZE_MAX) {
+    average_col = FindColumn(header, "percentile_Average_50");
+  }
+  if (function_col == SIZE_MAX || average_col == SIZE_MAX) {
+    *error = "missing HashFunction/Average columns in " + path;
+    return false;
+  }
+  std::unordered_map<std::string, double> durations;
+  while (std::getline(file, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsv(line);
+    if (fields.size() <= std::max(function_col, average_col)) {
+      continue;
+    }
+    durations[fields[function_col]] = std::atof(fields[average_col].c_str());
+  }
+  for (ImportedFunction& fn : *functions) {
+    auto it = durations.find(fn.id);
+    if (it != durations.end()) {
+      fn.avg_duration_ms = it->second;
+    }
+  }
+  return true;
+}
+
+std::vector<MatchedTraceFunction> MatchWorkloadsByDuration(
+    const std::vector<ImportedFunction>& imported,
+    const std::vector<const WorkloadSpec*>& workloads) {
+  std::vector<MatchedTraceFunction> matched;
+  std::vector<bool> used(imported.size(), false);
+  for (const WorkloadSpec* workload : workloads) {
+    const double target = workload->TotalExecMs();
+    size_t best = SIZE_MAX;
+    double best_gap = 0.0;
+    for (size_t i = 0; i < imported.size(); ++i) {
+      if (used[i]) {
+        continue;
+      }
+      const double gap = std::fabs(imported[i].avg_duration_ms - target);
+      if (best == SIZE_MAX || gap < best_gap) {
+        best = i;
+        best_gap = gap;
+      }
+    }
+    if (best == SIZE_MAX) {
+      break;  // more workloads than trace functions
+    }
+    used[best] = true;
+    matched.push_back({workload, &imported[best]});
+  }
+  return matched;
+}
+
+std::vector<TraceArrival> GenerateFromImported(const std::vector<MatchedTraceFunction>& matched,
+                                               double scale_factor, SimTime start, SimTime end,
+                                               uint64_t seed) {
+  std::vector<TraceArrival> arrivals;
+  for (size_t f = 0; f < matched.size(); ++f) {
+    const MatchedTraceFunction& m = matched[f];
+    Rng rng(seed * 1000003 + f);
+    const double minute_span_s = 60.0 / scale_factor;
+    for (size_t minute = 0; minute < m.imported->per_minute.size(); ++minute) {
+      const uint32_t count = m.imported->per_minute[minute];
+      if (count == 0) {
+        continue;
+      }
+      const double minute_start_s = static_cast<double>(minute) * minute_span_s;
+      if (FromSeconds(minute_start_s) >= end) {
+        break;
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        const SimTime at =
+            FromSeconds(minute_start_s + rng.Uniform(0.0, minute_span_s));
+        if (at >= start && at < end) {
+          arrivals.push_back({at, m.workload});
+        }
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const TraceArrival& a, const TraceArrival& b) { return a.time < b.time; });
+  return arrivals;
+}
+
+}  // namespace desiccant

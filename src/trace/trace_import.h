@@ -1,0 +1,65 @@
+// Importing the real Azure Functions 2019 dataset (§5.3, artifact appendix).
+//
+// The paper replays inter-arrival patterns from AzureFunctionsDataset2019,
+// selecting the 20 trace functions whose execution times are closest to the
+// Table 1 suite. The dataset is not redistributable here, but a user who has
+// it (or any trace in the same shape) can load it:
+//
+//   * an invocations CSV: HashOwner,HashApp,HashFunction,1,2,...,1440 — one
+//     row per function, one column per minute of the day with the invocation
+//     count for that minute;
+//   * a durations CSV with at least HashFunction and Average (milliseconds)
+//     columns.
+//
+// MatchWorkloadsByDuration implements the paper's selection rule; the
+// generator spreads each minute's invocations uniformly within the (scale-
+// compressed) minute.
+#ifndef DESICCANT_SRC_TRACE_TRACE_IMPORT_H_
+#define DESICCANT_SRC_TRACE_TRACE_IMPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/azure_trace.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+struct ImportedFunction {
+  std::string id;                    // HashFunction
+  double avg_duration_ms = 0.0;      // from the durations CSV (0 if unknown)
+  std::vector<uint32_t> per_minute;  // invocation counts
+};
+
+// Parses the invocation-counts CSV. Returns an empty vector (and sets *error)
+// on malformed input or unreadable files.
+std::vector<ImportedFunction> LoadAzureInvocationCounts(const std::string& path,
+                                                        std::string* error);
+
+// Joins average durations onto already-loaded functions. Unknown functions
+// keep duration 0. Returns false (and sets *error) on unreadable input.
+bool JoinAzureDurations(const std::string& path, std::vector<ImportedFunction>* functions,
+                        std::string* error);
+
+// The paper's selection: for every workload pick the imported function whose
+// average duration is closest to the workload's total execution time; each
+// imported function is used at most once (greedy, workloads in suite order).
+struct MatchedTraceFunction {
+  const WorkloadSpec* workload = nullptr;
+  const ImportedFunction* imported = nullptr;
+};
+std::vector<MatchedTraceFunction> MatchWorkloadsByDuration(
+    const std::vector<ImportedFunction>& imported,
+    const std::vector<const WorkloadSpec*>& workloads);
+
+// Expands the per-minute counts into arrivals. The scale factor compresses
+// the time axis (scale 10 replays ten trace-minutes per simulated minute's
+// worth of arrivals, i.e. inter-arrival times shrink 10x). Arrivals outside
+// [start, end) are dropped; output is sorted.
+std::vector<TraceArrival> GenerateFromImported(const std::vector<MatchedTraceFunction>& matched,
+                                               double scale_factor, SimTime start, SimTime end,
+                                               uint64_t seed);
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_TRACE_TRACE_IMPORT_H_

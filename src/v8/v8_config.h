@@ -1,0 +1,57 @@
+// Tunables of the V8-style engine, mirroring Node 14 / V8 8.4 defaults.
+#ifndef DESICCANT_SRC_V8_V8_CONFIG_H_
+#define DESICCANT_SRC_V8_V8_CONFIG_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace desiccant {
+
+struct V8Config {
+  // --max-heap-size analogue, sized from the instance memory budget.
+  uint64_t max_heap_bytes = 0;
+  // Semispace (half of the new space) sizing. The maximum is heap/16, which
+  // caps the *young generation* (both semispaces) at heap/8 — the paper's
+  // 32 MiB young-generation cap for a 256 MiB heap and 128 MiB for 1 GiB
+  // (§3.2.2, §5.5).
+  uint64_t initial_semispace_bytes = 2 * kChunkSize;  // 512 KiB
+  uint64_t max_semispace_bytes = 0;                   // derived when 0
+  // The young generation shrinks only when the allocation rate falls below
+  // this threshold (bytes per second).
+  double shrink_alloc_rate_bytes_per_s = 64.0 * static_cast<double>(kMiB);
+  // Old-space growing factor: the next mark-sweep fires when old usage
+  // exceeds factor * usage-after-last-GC.
+  double old_growing_factor = 2.0;
+  uint64_t min_old_limit_bytes = 8 * kMiB;
+  // Execution slowdown after an aggressive collection drops weakly-referenced
+  // JIT metadata/caches; per-function sensitivity overrides this.
+  double weak_deopt_factor = 1.8;
+  int weak_deopt_invocations = 10;
+  // Private engine/runtime overhead committed at boot.
+  uint64_t node_overhead_bytes = 13 * kMiB;
+  // The node executable image (shared clean pages).
+  uint64_t image_bytes = 84 * kMiB;
+  double image_resident_fraction = 0.45;
+  SimTime boot_cost = 150 * kMillisecond;
+
+  static V8Config ForInstanceBudget(uint64_t budget_bytes) {
+    V8Config config;
+    config.max_heap_bytes = PageAlignDown(budget_bytes * 9 / 10);
+    return config;
+  }
+
+  uint64_t EffectiveMaxSemispace() const {
+    if (max_semispace_bytes != 0) {
+      return max_semispace_bytes;
+    }
+    uint64_t limit = max_heap_bytes / 16;
+    limit -= limit % kChunkSize;
+    return std::clamp<uint64_t>(limit, 2 * kChunkSize, 64 * kMiB);
+  }
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_V8_V8_CONFIG_H_

@@ -1,0 +1,373 @@
+#include "src/v8/v8_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desiccant {
+
+namespace {
+constexpr SimTime kReleaseCostPerPage = 300 * kNanosecond;
+constexpr uint8_t kPromotionAge = 2;
+
+uint64_t ChunkAlignUp(uint64_t bytes) {
+  return (bytes + kChunkSize - 1) / kChunkSize * kChunkSize;
+}
+}  // namespace
+
+V8Runtime::V8Runtime(VirtualAddressSpace* vas, const SimClock* clock, const V8Config& config,
+                     SharedFileRegistry* registry)
+    : ManagedRuntime(vas, clock), config_(config) {
+  assert(config_.max_heap_bytes >= 8 * kMiB);
+
+  overhead_region_ = vas_->MapAnonymous("node_overhead", config_.node_overhead_bytes);
+  vas_->Touch(overhead_region_, 0, config_.node_overhead_bytes, /*write=*/true);
+  if (registry != nullptr && config_.image_bytes > 0) {
+    const FileId image = registry->RegisterFile("node", config_.image_bytes);
+    image_region_ = vas_->MapFile("node", image);
+    const uint64_t resident = PageAlignDown(
+        static_cast<uint64_t>(config_.image_bytes * config_.image_resident_fraction));
+    vas_->Touch(image_region_, 0, resident, /*write=*/false);
+  }
+
+  semispace_size_ = std::min(config_.initial_semispace_bytes, config_.EffectiveMaxSemispace());
+  from_ = std::make_unique<Semispace>("v8_new_from", vas_, semispace_size_);
+  to_ = std::make_unique<Semispace>("v8_new_to", vas_, semispace_size_);
+  old_ = std::make_unique<ChunkedOldSpace>("v8_old", vas_);
+  los_ = std::make_unique<LargeObjectSpace>("v8_los", vas_);
+  old_limit_bytes_ = config_.min_old_limit_bytes;
+  last_gc_end_time_ = clock->Now();
+}
+
+SimObject* V8Runtime::AllocateObject(uint32_t size) {
+  SimObject* obj = pool_.New(size);
+  TouchResult faults;
+  NoteAllocation(size);
+  allocated_bytes_since_gc_ += size;
+
+  if (size > kMaxRegularObjectSize) {
+    MaybeFullGcForOldPressure();
+    obj->space = 1;
+    los_->Allocate(obj, &faults);
+    ChargeFaults(faults);
+    return obj;
+  }
+
+  obj->space = 0;
+  if (from_->Allocate(obj, &faults)) {
+    ChargeFaults(faults);
+    return obj;
+  }
+
+  // New space exhausted. Expansion is considered before the GC (§3.2.2).
+  if (MaybeExpandYoung() && from_->Allocate(obj, &faults)) {
+    ChargeFaults(faults);
+    return obj;
+  }
+  ChargeGcTime(Scavenge());
+  if (from_->Allocate(obj, &faults)) {
+    ChargeFaults(faults);
+    return obj;
+  }
+  // Survivors filled the new from-space: fall back to the old space.
+  MaybeFullGcForOldPressure();
+  obj->space = 1;
+  old_->Allocate(obj, &faults);
+  ChargeFaults(faults);
+  return obj;
+}
+
+bool V8Runtime::MaybeExpandYoung() {
+  if (accumulated_live_since_expansion_ < semispace_size_ ||
+      semispace_size_ >= config_.EffectiveMaxSemispace()) {
+    return false;
+  }
+  semispace_size_ = std::min(semispace_size_ * 2, config_.EffectiveMaxSemispace());
+  from_->SetCapacity(semispace_size_);
+  to_->SetCapacity(semispace_size_);
+  accumulated_live_since_expansion_ = 0;
+  return true;
+}
+
+void V8Runtime::MarkYoung(std::vector<SimObject*>* marked) {
+  std::vector<SimObject*> stack;
+  auto push_young = [&](SimObject* obj) {
+    if (obj != nullptr && !obj->marked && obj->space == 0) {
+      obj->marked = true;
+      marked->push_back(obj);
+      stack.push_back(obj);
+    }
+  };
+  strong_roots_.ForEach(push_young);
+  weak_roots_.ForEach(push_young);
+  remembered_.ForEach([&](SimObject* old_object) {
+    for (int i = 0; i < old_object->ref_count; ++i) {
+      push_young(old_object->refs[i]);
+    }
+  });
+  while (!stack.empty()) {
+    SimObject* obj = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < obj->ref_count; ++i) {
+      push_young(obj->refs[i]);
+    }
+  }
+}
+
+void V8Runtime::RebuildRememberedSet() {
+  remembered_.Clear();
+  auto scan = [&](SimObject* obj) {
+    for (int i = 0; i < obj->ref_count; ++i) {
+      if (obj->refs[i]->space == 0) {
+        remembered_.Record(obj);
+        return;
+      }
+    }
+  };
+  old_->ForEachObject(scan);
+  los_->ForEachObject(scan);
+}
+
+SimTime V8Runtime::Scavenge() {
+  assert(!in_gc_);
+  in_gc_ = true;
+
+  std::vector<SimObject*> marked;
+  MarkYoung(&marked);
+
+  TouchResult gc_faults;
+  uint64_t copied_bytes = 0;
+  uint64_t young_live_objects = 0;
+  uint64_t young_live_bytes = 0;
+  std::vector<SimObject*> promoted;
+
+  for (auto& chunk : from_->chunks()) {
+    for (SimObject* obj : chunk->objects()) {
+      if (!obj->marked) {
+        pool_.Free(obj);
+        continue;
+      }
+      ++young_live_objects;
+      young_live_bytes += obj->size;
+      ++obj->age;
+      // Old enough, or to-space overflow: promote.
+      if (obj->age >= kPromotionAge || !to_->Allocate(obj, &gc_faults)) {
+        old_->Allocate(obj, &gc_faults);
+        obj->space = 1;
+        obj->age = 0;
+        promoted.push_back(obj);
+      }
+      copied_bytes += obj->size;
+    }
+  }
+  from_->Reset();
+  std::swap(from_, to_);
+
+  for (SimObject* obj : marked) {
+    obj->marked = false;
+  }
+  // New old objects that still reference young survivors enter the store
+  // buffer.
+  for (SimObject* obj : promoted) {
+    for (int i = 0; i < obj->ref_count; ++i) {
+      if (obj->refs[i]->space == 0) {
+        remembered_.Record(obj);
+        break;
+      }
+    }
+  }
+
+  accumulated_live_since_expansion_ += young_live_bytes;
+  ++young_gc_count_;
+  last_gc_live_bytes_ = young_live_bytes + old_->used_bytes() + los_->used_bytes();
+
+  MaybeShrinkYoung(young_live_bytes, /*freeze_aware=*/false);
+  allocated_bytes_since_gc_ = 0;
+  last_gc_end_time_ = clock_->Now();
+
+  const SimTime cost = gc_costs_.fixed_young_pause +
+                       young_live_objects * gc_costs_.mark_cost_per_object +
+                       gc_costs_.CopyCost(copied_bytes) + fault_costs_.CostOf(gc_faults);
+  total_gc_time_ += cost;
+  LogGc(GcLogEntry::Kind::kYoung, cost, last_gc_live_bytes_,
+        GetHeapStats().committed_bytes);
+  in_gc_ = false;
+  return cost;
+}
+
+SimTime V8Runtime::FullGc(bool aggressive) {
+  assert(!in_gc_);
+  in_gc_ = true;
+
+  if (aggressive) {
+    bool had_weak = false;
+    weak_roots_.ForEach([&had_weak](SimObject*) { had_weak = true; });
+    if (had_weak) {
+      // Dropping the weakly-held JIT metadata/caches deoptimizes later runs.
+      weak_roots_.Clear();
+      NoteDeoptimization(config_.weak_deopt_factor, config_.weak_deopt_invocations);
+    }
+  }
+
+  std::vector<SimObject*> marked;
+  const MarkStats stats =
+      aggressive ? marker_.MarkFrom({&strong_roots_}, &marked)
+                 : marker_.MarkFrom({&strong_roots_, &weak_roots_}, &marked);
+
+  // Evacuate the new space (mark-compact evacuates young objects too).
+  TouchResult gc_faults;
+  uint64_t copied_bytes = 0;
+  uint64_t young_live_bytes = 0;
+  for (auto& chunk : from_->chunks()) {
+    for (SimObject* obj : chunk->objects()) {
+      if (!obj->marked) {
+        pool_.Free(obj);
+        continue;
+      }
+      young_live_bytes += obj->size;
+      ++obj->age;
+      if (obj->age >= kPromotionAge || !to_->Allocate(obj, &gc_faults)) {
+        old_->Allocate(obj, &gc_faults);
+        obj->space = 1;
+        obj->age = 0;
+      }
+      copied_bytes += obj->size;
+    }
+  }
+  from_->Reset();
+  std::swap(from_, to_);
+
+  // Sweep the old space and the large-object space (survivor marks are
+  // cleared by the sweep; evacuated young survivors are cleared below).
+  const auto old_sweep = old_->Sweep(&pool_);
+  const auto los_sweep = los_->Sweep(&pool_);
+  for (SimObject* obj : marked) {
+    obj->marked = false;
+  }
+
+  // V8's shrink path: empty chunks go back to the OS right after sweeping.
+  old_->ReleaseEmptyChunks();
+
+  // A full collection can leave old-to-young edges (young survivors stay in
+  // the new space); re-derive the store buffer from the swept old space.
+  RebuildRememberedSet();
+
+  ++full_gc_count_;
+  last_gc_live_bytes_ = stats.live_bytes;
+  old_limit_bytes_ = std::max<uint64_t>(
+      config_.min_old_limit_bytes,
+      static_cast<uint64_t>(static_cast<double>(old_->used_bytes() + los_->used_bytes()) *
+                            config_.old_growing_factor));
+
+  MaybeShrinkYoung(young_live_bytes, /*freeze_aware=*/false);
+  allocated_bytes_since_gc_ = 0;
+  last_gc_end_time_ = clock_->Now();
+
+  const SimTime cost =
+      gc_costs_.fixed_full_pause + gc_costs_.MarkCost(stats.live_objects, stats.live_bytes) +
+      gc_costs_.CopyCost(copied_bytes) +
+      (old_sweep.chunk_count + los_sweep.dead_objects) * gc_costs_.sweep_cost_per_chunk +
+      fault_costs_.CostOf(gc_faults);
+  total_gc_time_ += cost;
+  LogGc(GcLogEntry::Kind::kFull, cost, last_gc_live_bytes_,
+        GetHeapStats().committed_bytes);
+  in_gc_ = false;
+  return cost;
+}
+
+void V8Runtime::MaybeShrinkYoung(uint64_t young_live_bytes, bool freeze_aware) {
+  if (!freeze_aware) {
+    const double rate = AllocationRateBytesPerSecond();
+    if (rate >= config_.shrink_alloc_rate_bytes_per_s) {
+      return;  // hot allocation: V8 refuses to shrink — the §3.2.2 pathology
+    }
+  }
+  uint64_t target = ChunkAlignUp(std::max<uint64_t>(2 * young_live_bytes, kChunkSize));
+  target = std::clamp(target, kChunkSize, config_.EffectiveMaxSemispace());
+  if (target >= semispace_size_) {
+    return;
+  }
+  // Shrink both semispaces; when shrinking V8 also releases the free pages of
+  // the (empty) to-space.
+  if (!from_->SetCapacity(target)) {
+    return;  // survivors span more chunks than the target capacity
+  }
+  to_->SetCapacity(target);
+  to_->ReleaseAllDataPages();
+  semispace_size_ = target;
+  if (accumulated_live_since_expansion_ > semispace_size_) {
+    accumulated_live_since_expansion_ = 0;
+  }
+}
+
+double V8Runtime::AllocationRateBytesPerSecond() const {
+  const SimTime now = clock_->Now();
+  if (now <= last_gc_end_time_) {
+    return 1e18;  // no time has passed: treat as infinitely hot
+  }
+  const double elapsed_s = ToSeconds(now - last_gc_end_time_);
+  return static_cast<double>(allocated_bytes_since_gc_) / elapsed_s;
+}
+
+void V8Runtime::MaybeFullGcForOldPressure() {
+  if (old_->used_bytes() + los_->used_bytes() > old_limit_bytes_) {
+    ChargeGcTime(FullGc(/*aggressive=*/false));
+  }
+  const uint64_t committed = from_->CommittedBytes() + to_->CommittedBytes() +
+                             old_->CommittedBytes() + los_->CommittedBytes();
+  if (committed > config_.max_heap_bytes) {
+    OutOfMemory("heap limit");
+  }
+}
+
+SimTime V8Runtime::CollectGarbage(bool aggressive) { return FullGc(aggressive); }
+
+ReclaimResult V8Runtime::Reclaim(const ReclaimOptions& options) {
+  ReclaimResult result;
+  result.cpu_time = FullGc(options.aggressive);
+
+  // Freeze-aware resize: shrink the young generation to 2x live regardless of
+  // the allocation rate, then return every free page of every space.
+  const uint64_t young_live = from_->used_bytes();
+  MaybeShrinkYoung(young_live, /*freeze_aware=*/true);
+
+  uint64_t released = 0;
+  released += from_->ReleaseFreeTailPages();
+  released += to_->ReleaseAllDataPages();
+  released += old_->ReleaseFreePagesInChunks();
+  result.released_pages = released;
+  result.cpu_time += released * kReleaseCostPerPage;
+
+  result.live_bytes_after = last_gc_live_bytes_;
+  result.heap_resident_after = HeapResidentBytes();
+  LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
+        GetHeapStats().committed_bytes, result.released_pages);
+  return result;
+}
+
+HeapStats V8Runtime::GetHeapStats() const {
+  HeapStats stats;
+  stats.committed_bytes = from_->CommittedBytes() + to_->CommittedBytes() +
+                          old_->CommittedBytes() + los_->CommittedBytes();
+  stats.resident_bytes = HeapResidentBytes();
+  stats.live_bytes = last_gc_live_bytes_;
+  stats.young_capacity = 2 * semispace_size_;
+  stats.old_capacity = old_->CommittedBytes();
+  stats.young_gc_count = young_gc_count_;
+  stats.full_gc_count = full_gc_count_;
+  stats.total_gc_time = total_gc_time_;
+  return stats;
+}
+
+uint64_t V8Runtime::HeapResidentBytes() const {
+  return from_->ResidentBytes() + to_->ResidentBytes() + old_->ResidentBytes() +
+         los_->ResidentBytes();
+}
+
+void V8Runtime::OutOfMemory(const char* where) {
+  std::fprintf(stderr, "V8Runtime: simulated heap OOM during %s\n", where);
+  std::abort();
+}
+
+}  // namespace desiccant

@@ -1,0 +1,109 @@
+// A V8-style JavaScript engine: scavenging new space over 256 KiB chunks,
+// mark-sweep old space with free lists, and the exact resize policies that
+// make it hostile to FaaS's intermittent execution pattern (§3.2.2):
+//
+//   * the young generation DOUBLES when the live bytes accumulated by GCs
+//     since the last expansion exceed its size (checked before GC);
+//   * it only SHRINKS (to 2x the live bytes) when the allocation rate is
+//     low — which never happens at a function's exit point, so a frozen
+//     instance keeps its inflated young generation;
+//   * the old space releases only *empty* chunks; free ranges inside
+//     partially-filled chunks stay resident.
+//
+// V8 is more aggressive than HotSpot about giving pages back (shrinking also
+// releases the to-space), but the policy gating means none of it happens
+// before an instance freezes.
+#ifndef DESICCANT_SRC_V8_V8_RUNTIME_H_
+#define DESICCANT_SRC_V8_V8_RUNTIME_H_
+
+#include <memory>
+
+#include "src/heap/chunked_space.h"
+#include "src/heap/gc_costs.h"
+#include "src/heap/marker.h"
+#include "src/heap/remembered_set.h"
+#include "src/runtime/managed_runtime.h"
+#include "src/v8/v8_config.h"
+
+namespace desiccant {
+
+class V8Runtime final : public ManagedRuntime {
+ public:
+  V8Runtime(VirtualAddressSpace* vas, const SimClock* clock, const V8Config& config,
+            SharedFileRegistry* registry);
+
+  SimObject* AllocateObject(uint32_t size) override;
+  // The store buffer: old-to-young stores feed the remembered set.
+  void WriteBarrier(SimObject* from, SimObject* to) override {
+    if (from->space == 1 && to->space == 0) {
+      remembered_.Record(from);
+    }
+  }
+  // global.gc(): V8's exposed GC interface is a thorough, *aggressive*
+  // collection (weak referents are reclaimed), so the eager baseline pays the
+  // §4.7 deoptimization cost. Desiccant passes aggressive = false.
+  SimTime CollectGarbage(bool aggressive) override;
+  ReclaimResult Reclaim(const ReclaimOptions& options) override;
+  HeapStats GetHeapStats() const override;
+  uint64_t EstimateLiveBytes() const override { return last_gc_live_bytes_; }
+  uint64_t HeapResidentBytes() const override;
+  Language language() const override { return Language::kJavaScript; }
+  SimTime BootCost() const override { return config_.boot_cost; }
+  RegionId image_region() const override { return image_region_; }
+
+  uint64_t semispace_size() const { return semispace_size_; }
+  uint64_t young_committed() const { return from_->CommittedBytes() + to_->CommittedBytes(); }
+  const Semispace& from_space() const { return *from_; }
+  const Semispace& to_space() const { return *to_; }
+  const ChunkedOldSpace& old_space() const { return *old_; }
+  const LargeObjectSpace& large_object_space() const { return *los_; }
+  const RememberedSet& remembered_set() const { return remembered_; }
+
+ private:
+  // Marks young objects reachable from (roots + store buffer) without
+  // tracing the old space.
+  void MarkYoung(std::vector<SimObject*>* marked);
+  // Re-derives the store buffer by scanning old/LOS objects for young refs
+  // (used after a full GC, which can leave old-to-young edges behind).
+  void RebuildRememberedSet();
+  SimTime Scavenge();
+  SimTime FullGc(bool aggressive);
+  // Grows the semispaces when the accumulated-live policy says so. Returns
+  // true if an expansion happened.
+  bool MaybeExpandYoung();
+  // Shrinks the young generation to 2x live when the allocation rate is low
+  // (or unconditionally for `freeze_aware` — Desiccant's reclaim path).
+  void MaybeShrinkYoung(uint64_t young_live_bytes, bool freeze_aware);
+  double AllocationRateBytesPerSecond() const;
+  void MaybeFullGcForOldPressure();
+  [[noreturn]] void OutOfMemory(const char* where);
+
+  V8Config config_;
+  GcCostModel gc_costs_;
+  Marker marker_;
+
+  RegionId overhead_region_ = kInvalidRegionId;
+  RegionId image_region_ = kInvalidRegionId;
+
+  uint64_t semispace_size_ = 0;
+  std::unique_ptr<Semispace> from_;
+  std::unique_ptr<Semispace> to_;
+  std::unique_ptr<ChunkedOldSpace> old_;
+  std::unique_ptr<LargeObjectSpace> los_;
+
+  uint64_t accumulated_live_since_expansion_ = 0;
+  uint64_t allocated_bytes_since_gc_ = 0;
+  SimTime last_gc_end_time_ = 0;
+  uint64_t old_limit_bytes_ = 0;
+  bool in_gc_ = false;
+
+  uint64_t last_gc_live_bytes_ = 0;
+  uint64_t young_gc_count_ = 0;
+  uint64_t full_gc_count_ = 0;
+  SimTime total_gc_time_ = 0;
+  RememberedSet remembered_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_V8_V8_RUNTIME_H_

@@ -1,0 +1,140 @@
+#include "src/workloads/function_program.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace desiccant {
+
+namespace {
+// Compute progress is turned into clock advances in batches this large so the
+// runtime's allocation-rate tracking sees intra-invocation time.
+constexpr uint64_t kClockBatchObjects = 32;
+}  // namespace
+
+FunctionProgram::FunctionProgram(const StageSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+uint32_t FunctionProgram::SampleObjectSize() {
+  const uint32_t size = spec_.object_size;
+  const uint32_t jitter = size / 4;
+  if (jitter == 0) {
+    return std::max<uint32_t>(size, 16);
+  }
+  return std::max<uint32_t>(
+      16, static_cast<uint32_t>(rng_.UniformU64(size - jitter, size + jitter)));
+}
+
+void FunctionProgram::AllocateGraph(ManagedRuntime& runtime, RootTable& table,
+                                    uint64_t total_bytes,
+                                    std::vector<RootTable::Handle>* handles) {
+  uint64_t allocated = 0;
+  while (allocated < total_bytes) {
+    // One cluster: a rooted parent with up to kMaxRefs children.
+    SimObject* parent = runtime.AllocateObject(SampleObjectSize());
+    handles->push_back(table.Create(parent));
+    allocated += parent->size;
+    const int children = static_cast<int>(rng_.UniformU64(0, SimObject::kMaxRefs));
+    for (int i = 0; i < children && allocated < total_bytes; ++i) {
+      SimObject* child = runtime.AllocateObject(SampleObjectSize());
+      allocated += child->size;
+      parent->AddRef(child);
+      runtime.WriteBarrier(parent, child);
+    }
+  }
+}
+
+InvocationOutcome FunctionProgram::Invoke(ManagedRuntime& runtime, SimClock& clock) {
+  runtime.BeginInvocation();
+  InvocationOutcome outcome;
+  outcome.exec_multiplier = runtime.ExecMultiplier();
+  const double exec_ms = spec_.exec_ms * outcome.exec_multiplier;
+  const SimTime compute_time = FromMillis(exec_ms);
+
+  // 1. First-invocation initialization (module load, model parse, ...). The
+  // init working set is rooted for the whole first invocation and dropped at
+  // its exit — it tenures into the old generation and then becomes garbage.
+  std::vector<RootTable::Handle> init_roots;
+  const bool first_invocation = !initialized_;
+  if (first_invocation) {
+    AllocateGraph(runtime, runtime.strong_roots(), spec_.persistent_bytes, &persistent_roots_);
+    if (spec_.init_churn_bytes > 0) {
+      AllocateGraph(runtime, runtime.strong_roots(), spec_.init_churn_bytes, &init_roots);
+    }
+    initialized_ = true;
+  }
+
+  // 2. Rebuild the weak set if an aggressive collection dropped it.
+  if (spec_.weak_bytes > 0 && !runtime.weak_roots().AnyNonNull()) {
+    weak_roots_.clear();
+    AllocateGraph(runtime, runtime.weak_roots(), spec_.weak_bytes, &weak_roots_);
+  }
+
+  // 3. Churn with a rolling live window.
+  const uint64_t window_slots =
+      std::max<uint64_t>(1, spec_.window_bytes / std::max<uint32_t>(1, spec_.object_size));
+  RootTable& strong = runtime.strong_roots();
+  while (window_roots_.size() < window_slots) {
+    window_roots_.push_back(strong.Create(nullptr));
+  }
+  uint64_t allocated = 0;
+  uint64_t objects_since_tick = 0;
+  size_t cursor = 0;
+  SimTime compute_charged = 0;
+  while (allocated < spec_.alloc_bytes) {
+    SimObject* obj = runtime.AllocateObject(SampleObjectSize());
+    allocated += obj->size;
+    // Occasionally link the new object to the previous window entry so the
+    // live graph has real edges for the tracer to chase.
+    SimObject* prev = strong.Get(window_roots_[cursor]);
+    if (prev != nullptr && rng_.Chance(0.25)) {
+      obj->AddRef(prev);
+      runtime.WriteBarrier(obj, prev);
+    }
+    strong.Set(window_roots_[cursor], obj);
+    cursor = (cursor + 1) % window_roots_.size();
+    if (++objects_since_tick >= kClockBatchObjects) {
+      objects_since_tick = 0;
+      const SimTime target = static_cast<SimTime>(
+          static_cast<double>(compute_time) * static_cast<double>(allocated) /
+          static_cast<double>(std::max<uint64_t>(1, spec_.alloc_bytes)));
+      if (target > compute_charged) {
+        clock.AdvanceBy(target - compute_charged);
+        compute_charged = target;
+      }
+    }
+  }
+  if (compute_time > compute_charged) {
+    clock.AdvanceBy(compute_time - compute_charged);
+    compute_charged = compute_time;
+  }
+
+  // 4. Chain-carry output stays rooted until the downstream stage reads it.
+  if (spec_.carry_bytes > 0) {
+    AllocateGraph(runtime, strong, spec_.carry_bytes, &carry_roots_);
+  }
+
+  // 5. Exit point: locals (and the init working set) die.
+  for (RootTable::Handle h : window_roots_) {
+    strong.Set(h, nullptr);
+  }
+  for (RootTable::Handle h : init_roots) {
+    strong.Destroy(h);
+  }
+
+  outcome.mutator = runtime.EndInvocation();
+  const SimTime overhead = outcome.mutator.gc_time + outcome.mutator.fault_time;
+  clock.AdvanceBy(overhead);
+  outcome.duration = compute_time + overhead;
+  outcome.exec_multiplier = runtime.ExecMultiplier();
+  return outcome;
+}
+
+void FunctionProgram::ConsumeCarry(ManagedRuntime& runtime) {
+  RootTable& strong = runtime.strong_roots();
+  for (RootTable::Handle h : carry_roots_) {
+    strong.Destroy(h);
+  }
+  carry_roots_.clear();
+}
+
+}  // namespace desiccant

@@ -1,0 +1,65 @@
+// The generic interpreter that runs one StageSpec against a ManagedRuntime.
+//
+// An invocation:
+//   1. builds the stage's persistent state on the first call (initialization
+//      is what makes Java functions' first execution memory-hungry, §5.2);
+//   2. (re)builds the weakly-rooted cache/JIT set if it was collected;
+//   3. churns through `alloc_bytes` of temporary objects, keeping a rolling
+//      window of `window_bytes` live and advancing the instance clock so that
+//      the runtime observes a realistic allocation rate;
+//   4. allocates the chain-carry output, which stays rooted until the
+//      downstream stage consumes it;
+//   5. drops the window — at the exit point only persistent state, carry and
+//      the weak set remain live; everything else is (potential) frozen
+//      garbage.
+#ifndef DESICCANT_SRC_WORKLOADS_FUNCTION_PROGRAM_H_
+#define DESICCANT_SRC_WORKLOADS_FUNCTION_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/runtime/managed_runtime.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+struct InvocationOutcome {
+  SimTime duration = 0;  // CPU time: compute (JIT-adjusted) + GC + faults
+  MutatorStats mutator;
+  double exec_multiplier = 1.0;
+};
+
+class FunctionProgram {
+ public:
+  FunctionProgram(const StageSpec& spec, uint64_t seed);
+
+  // Runs one invocation. `clock` is the *instance-local* execution clock; it
+  // advances with compute progress so the runtime sees the allocation rate.
+  InvocationOutcome Invoke(ManagedRuntime& runtime, SimClock& clock);
+
+  // The downstream stage has read this stage's intermediate output: release
+  // the carry roots (the data becomes collectible).
+  void ConsumeCarry(ManagedRuntime& runtime);
+  bool has_carry() const { return !carry_roots_.empty(); }
+
+ private:
+  // Allocates `total_bytes` as a linked graph (clusters of a rooted parent
+  // with children) into `table`, recording root handles in `handles`.
+  void AllocateGraph(ManagedRuntime& runtime, RootTable& table, uint64_t total_bytes,
+                     std::vector<RootTable::Handle>* handles);
+  uint32_t SampleObjectSize();
+
+  StageSpec spec_;
+  Rng rng_;
+  bool initialized_ = false;
+  std::vector<RootTable::Handle> persistent_roots_;
+  std::vector<RootTable::Handle> weak_roots_;
+  std::vector<RootTable::Handle> window_roots_;
+  std::vector<RootTable::Handle> carry_roots_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_WORKLOADS_FUNCTION_PROGRAM_H_

@@ -1,0 +1,83 @@
+// Parameterized descriptions of FaaS functions (Table 1 of the paper).
+//
+// A workload is a chain of one or more stages; each stage is an allocation/
+// compute program characterized by its per-invocation allocation volume, the
+// live state it retains, its object-size distribution, and its execution time.
+// These parameters determine the frozen-garbage behaviour: the allocation
+// volume becomes garbage at the exit point, the persistent state stays live,
+// and chain stages additionally retain their intermediate output until the
+// downstream stage has consumed it.
+#ifndef DESICCANT_SRC_WORKLOADS_FUNCTION_SPEC_H_
+#define DESICCANT_SRC_WORKLOADS_FUNCTION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/runtime/managed_runtime.h"
+
+namespace desiccant {
+
+struct StageSpec {
+  // Churn: bytes allocated per invocation that die by the exit point.
+  uint64_t alloc_bytes = 1 * kMiB;
+  // Mean simulated object size (uniformly jittered by +/- 25%).
+  uint32_t object_size = 1 * kKiB;
+  // Long-lived state built on the first invocation (module scope, loaded
+  // models, connection pools, ...).
+  uint64_t persistent_bytes = 512 * kKiB;
+  // Initialization working set: temporarily live during the first invocation
+  // (class loading, buffers, parsers) and dropped at its exit. While live it
+  // survives young collections and tenures, which is what makes Java
+  // functions' first execution "significantly enlarge the heap size" (§5.2);
+  // once dropped it is classic frozen garbage.
+  uint64_t init_churn_bytes = 0;
+  // Per-invocation working set: how much of the churn is simultaneously live
+  // (rolling window).
+  uint64_t window_bytes = 512 * kKiB;
+  // Intermediate output retained until the next chain stage consumes it.
+  uint64_t carry_bytes = 0;
+  // Base execution (compute) time at steady state, before JIT multipliers.
+  double exec_ms = 10.0;
+  // Weakly-rooted memory (JIT code caches, memoization tables): collected
+  // only by aggressive GCs; re-created lazily afterwards.
+  uint64_t weak_bytes = 0;
+  // Execution slowdown while re-warming after the weak set was collected.
+  double weak_deopt_factor = 1.0;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  Language language = Language::kJava;
+  std::vector<StageSpec> stages;
+
+  size_t chain_length() const { return stages.size(); }
+  double TotalExecMs() const {
+    double total = 0.0;
+    for (const auto& s : stages) {
+      total += s.exec_ms;
+    }
+    return total;
+  }
+};
+
+// The full Table 1 suite: 8 Java workloads and 12 JavaScript workloads.
+const std::vector<WorkloadSpec>& WorkloadSuite();
+
+// Extension workloads (NOT part of the paper's Table 1): Python functions
+// used to reproduce the §7 discussion on applying Desiccant to CPython.
+const std::vector<WorkloadSpec>& PythonExtensionSuite();
+
+// nullptr when no workload has that name.
+const WorkloadSpec* FindWorkload(const std::string& name);
+
+std::vector<const WorkloadSpec*> SuiteByLanguage(Language language);
+
+// Returns a copy with object sizes scaled by `factor` (same volumes, coarser
+// objects) — used by the trace-replay bench to bound simulation cost.
+WorkloadSpec CoarsenObjects(const WorkloadSpec& spec, uint32_t factor);
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_WORKLOADS_FUNCTION_SPEC_H_

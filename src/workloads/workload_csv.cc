@@ -1,0 +1,134 @@
+#include "src/workloads/workload_csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace desiccant {
+
+namespace {
+
+const char* kExpectedHeader =
+    "name,language,stage,alloc_kib,object_bytes,persistent_kib,window_kib,exec_ms,"
+    "carry_kib,init_kib,weak_kib,weak_deopt";
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+bool ParseLanguage(const std::string& text, Language* language) {
+  if (text == "java") {
+    *language = Language::kJava;
+  } else if (text == "javascript") {
+    *language = Language::kJavaScript;
+  } else if (text == "python") {
+    *language = Language::kPython;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> LoadWorkloadsCsv(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open " + path;
+    return {};
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != kExpectedHeader) {
+    *error = "bad header in " + path + " (expected: " + kExpectedHeader + ")";
+    return {};
+  }
+
+  // name -> (language, stage -> spec); std::map keeps definition order stable
+  // for stages.
+  struct Partial {
+    Language language = Language::kJava;
+    std::map<size_t, StageSpec> stages;
+  };
+  std::map<std::string, Partial> partials;
+  std::vector<std::string> order;
+
+  size_t line_number = 1;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 12) {
+      *error = path + ":" + std::to_string(line_number) + ": expected 12 fields, got " +
+               std::to_string(fields.size());
+      return {};
+    }
+    Language language;
+    if (!ParseLanguage(fields[1], &language)) {
+      *error = path + ":" + std::to_string(line_number) + ": unknown language '" + fields[1] +
+               "'";
+      return {};
+    }
+    const size_t stage = std::strtoul(fields[2].c_str(), nullptr, 10);
+    StageSpec spec;
+    spec.alloc_bytes = std::strtoull(fields[3].c_str(), nullptr, 10) * kKiB;
+    spec.object_size = static_cast<uint32_t>(std::strtoul(fields[4].c_str(), nullptr, 10));
+    spec.persistent_bytes = std::strtoull(fields[5].c_str(), nullptr, 10) * kKiB;
+    spec.window_bytes = std::strtoull(fields[6].c_str(), nullptr, 10) * kKiB;
+    spec.exec_ms = std::atof(fields[7].c_str());
+    spec.carry_bytes = std::strtoull(fields[8].c_str(), nullptr, 10) * kKiB;
+    spec.init_churn_bytes = std::strtoull(fields[9].c_str(), nullptr, 10) * kKiB;
+    spec.weak_bytes = std::strtoull(fields[10].c_str(), nullptr, 10) * kKiB;
+    spec.weak_deopt_factor = std::atof(fields[11].c_str());
+    if (spec.object_size < 16 || spec.exec_ms <= 0.0) {
+      *error = path + ":" + std::to_string(line_number) +
+               ": object_bytes must be >= 16 and exec_ms > 0";
+      return {};
+    }
+
+    auto it = partials.find(fields[0]);
+    if (it == partials.end()) {
+      order.push_back(fields[0]);
+      it = partials.emplace(fields[0], Partial{language, {}}).first;
+    } else if (it->second.language != language) {
+      *error = path + ":" + std::to_string(line_number) + ": chain '" + fields[0] +
+               "' mixes languages";
+      return {};
+    }
+    if (!it->second.stages.emplace(stage, spec).second) {
+      *error = path + ":" + std::to_string(line_number) + ": duplicate stage " +
+               std::to_string(stage) + " for '" + fields[0] + "'";
+      return {};
+    }
+  }
+
+  std::vector<WorkloadSpec> workloads;
+  for (const std::string& name : order) {
+    const Partial& partial = partials[name];
+    WorkloadSpec workload;
+    workload.name = name;
+    workload.language = partial.language;
+    size_t expected = 0;
+    for (const auto& [stage, spec] : partial.stages) {
+      if (stage != expected) {
+        *error = path + ": chain '" + name + "' is missing stage " + std::to_string(expected);
+        return {};
+      }
+      workload.stages.push_back(spec);
+      ++expected;
+    }
+    workloads.push_back(std::move(workload));
+  }
+  return workloads;
+}
+
+}  // namespace desiccant

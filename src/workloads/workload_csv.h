@@ -1,0 +1,26 @@
+// Loading user-defined workloads from CSV, so downstream users can model
+// their own functions without recompiling.
+//
+// Format (header required, one row per chain stage):
+//
+//   name,language,stage,alloc_kib,object_bytes,persistent_kib,window_kib,
+//   exec_ms,carry_kib,init_kib,weak_kib,weak_deopt
+//
+// `language` is java / javascript / python; rows of the same name form a
+// chain ordered by the `stage` column (0-based, must be dense).
+#ifndef DESICCANT_SRC_WORKLOADS_WORKLOAD_CSV_H_
+#define DESICCANT_SRC_WORKLOADS_WORKLOAD_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+// Returns the parsed workloads, or an empty vector with *error set.
+std::vector<WorkloadSpec> LoadWorkloadsCsv(const std::string& path, std::string* error);
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_WORKLOADS_WORKLOAD_CSV_H_

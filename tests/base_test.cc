@@ -1,0 +1,226 @@
+// Unit tests for src/base.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/base/stats.h"
+#include "src/base/table.h"
+#include "src/base/units.h"
+
+namespace desiccant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// units
+
+TEST(Units, PageRounding) {
+  EXPECT_EQ(PageAlignUp(0), 0u);
+  EXPECT_EQ(PageAlignUp(1), kPageSize);
+  EXPECT_EQ(PageAlignUp(kPageSize), kPageSize);
+  EXPECT_EQ(PageAlignUp(kPageSize + 1), 2 * kPageSize);
+  EXPECT_EQ(PageAlignDown(kPageSize - 1), 0u);
+  EXPECT_EQ(PageAlignDown(kPageSize), kPageSize);
+}
+
+TEST(Units, BytesToPages) {
+  EXPECT_EQ(BytesToPages(0), 0u);
+  EXPECT_EQ(BytesToPages(1), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize + 1), 2u);
+  EXPECT_EQ(PagesToBytes(3), 3 * kPageSize);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ToMillis(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_EQ(FromMillis(2.5), 2 * kMillisecond + 500 * kMicrosecond);
+  EXPECT_EQ(FromSeconds(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(ToMiB(kMiB), 1.0);
+}
+
+TEST(Units, ChunkConstants) {
+  EXPECT_EQ(kChunkSize % kPageSize, 0u);
+  EXPECT_EQ(kPagesPerChunk, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.UniformU64(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Rng, UniformU64SingleValue) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformU64(5, 5), 5u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// clock
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+}
+
+TEST(SimClockTest, Advances) {
+  SimClock clock;
+  clock.AdvanceBy(5 * kMillisecond);
+  EXPECT_EQ(clock.Now(), 5 * kMillisecond);
+  clock.AdvanceTo(kSecond);
+  EXPECT_EQ(clock.Now(), kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// stats
+
+TEST(OnlineSummaryTest, Empty) {
+  OnlineSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineSummaryTest, Basic) {
+  OnlineSummary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+TEST(PercentileTrackerTest, Empty) {
+  PercentileTracker t;
+  EXPECT_DOUBLE_EQ(t.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(PercentileTrackerTest, NearestRank) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) {
+    t.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(t.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+}
+
+TEST(PercentileTrackerTest, SingleSample) {
+  PercentileTracker t;
+  t.Add(42.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1), 42.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(99), 42.0);
+}
+
+TEST(EwmaTest, FirstSampleDominates) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, Smooths) {
+  Ewma e(0.5);
+  e.Add(10.0);
+  e.Add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.Add(15.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// table
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::Fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::Fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::Fmt(0.5, 3), "0.500");
+}
+
+}  // namespace
+}  // namespace desiccant

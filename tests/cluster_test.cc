@@ -1,0 +1,140 @@
+// Tests for the multi-invoker cluster.
+#include <gtest/gtest.h>
+
+#include "src/core/desiccant_manager.h"
+#include "src/faas/cluster.h"
+#include "src/trace/azure_trace.h"
+
+namespace desiccant {
+namespace {
+
+ClusterConfig SmallCluster(RoutingPolicy routing, size_t nodes = 2) {
+  ClusterConfig config;
+  config.node_count = nodes;
+  config.routing = routing;
+  config.node.cache_capacity_bytes = 512 * kMiB;
+  config.node.cpu_cores = 2.0;
+  return config;
+}
+
+TEST(ClusterTest, SharedTimeline) {
+  Cluster cluster(SmallCluster(RoutingPolicy::kRoundRobin));
+  cluster.BeginMeasurement();
+  cluster.Submit(FindWorkload("sort"), kSecond);
+  cluster.Submit(FindWorkload("sort"), kSecond + kMillisecond);
+  cluster.RunUntil(30 * kSecond);
+  // Round-robin scattered the two requests across both nodes; both completed
+  // on one shared clock.
+  const PlatformMetrics total = cluster.AggregateMetrics();
+  EXPECT_EQ(total.requests_completed, 2u);
+  EXPECT_EQ(total.cold_boots, 2u);
+  EXPECT_EQ(cluster.node(0).clock().Now(), cluster.node(1).clock().Now());
+}
+
+TEST(ClusterTest, AffinityRoutesAFunctionToOneNode) {
+  Cluster cluster(SmallCluster(RoutingPolicy::kAffinity));
+  cluster.BeginMeasurement();
+  for (int i = 0; i < 4; ++i) {
+    cluster.Submit(FindWorkload("sort"), (1 + 5 * i) * kSecond);
+  }
+  cluster.RunUntil(60 * kSecond);
+  const PlatformMetrics total = cluster.AggregateMetrics();
+  EXPECT_EQ(total.requests_completed, 4u);
+  // One cold boot, then warm reuse on the home node.
+  EXPECT_EQ(total.cold_boots, 1u);
+  EXPECT_EQ(total.warm_starts, 3u);
+}
+
+TEST(ClusterTest, RoundRobinScattersWarmInstances) {
+  Cluster cluster(SmallCluster(RoutingPolicy::kRoundRobin));
+  cluster.BeginMeasurement();
+  for (int i = 0; i < 4; ++i) {
+    cluster.Submit(FindWorkload("sort"), (1 + 5 * i) * kSecond);
+  }
+  cluster.RunUntil(60 * kSecond);
+  const PlatformMetrics total = cluster.AggregateMetrics();
+  // Two nodes alternate: each ends up with its own instance (2 cold boots),
+  // then reuse.
+  EXPECT_EQ(total.cold_boots, 2u);
+  EXPECT_EQ(total.warm_starts, 2u);
+}
+
+TEST(ClusterTest, LeastLoadedPrefersIdleNode) {
+  Cluster cluster(SmallCluster(RoutingPolicy::kLeastLoaded));
+  cluster.BeginMeasurement();
+  // Two simultaneous requests: the second should land on the other node
+  // because the first one's boot occupies CPU on node picked first.
+  cluster.Submit(FindWorkload("image-resize"), kSecond);
+  cluster.Submit(FindWorkload("image-resize"), kSecond + 10 * kMillisecond);
+  cluster.RunUntil(30 * kSecond);
+  size_t nodes_used = 0;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    if (cluster.node(i).live_instance_count() > 0) {
+      ++nodes_used;
+    }
+  }
+  EXPECT_EQ(nodes_used, 2u);
+}
+
+TEST(ClusterTest, PerNodeDesiccantManagers) {
+  ClusterConfig config = SmallCluster(RoutingPolicy::kAffinity, 2);
+  config.node.mode = MemoryMode::kDesiccant;
+  config.node.cache_capacity_bytes = 160 * kMiB;
+  Cluster cluster(config);
+  DesiccantConfig desiccant_config;
+  desiccant_config.selection.freeze_timeout = 100 * kMillisecond;
+  std::vector<std::unique_ptr<DesiccantManager>> managers;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    managers.push_back(std::make_unique<DesiccantManager>(&cluster.node(i),
+                                                          desiccant_config));
+  }
+  SimTime at = kSecond;
+  for (int round = 0; round < 6; ++round) {
+    for (const char* name : {"fft", "sort", "matrix", "image-resize"}) {
+      cluster.Submit(FindWorkload(name), at);
+      at += 2 * kSecond;
+    }
+  }
+  cluster.RunUntil(at + 30 * kSecond);
+  uint64_t total_reclaims = 0;
+  for (auto& manager : managers) {
+    total_reclaims += manager->reclaim_requests();
+  }
+  EXPECT_GT(total_reclaims, 0u);
+}
+
+TEST(ClusterTest, AggregateMergesLatencySamples) {
+  Cluster cluster(SmallCluster(RoutingPolicy::kRoundRobin));
+  cluster.BeginMeasurement();
+  for (int i = 0; i < 6; ++i) {
+    cluster.Submit(FindWorkload("pi"), (1 + 3 * i) * kSecond);
+  }
+  cluster.RunUntil(60 * kSecond);
+  const PlatformMetrics total = cluster.AggregateMetrics();
+  EXPECT_EQ(total.latency_ms.count(), 6u);
+  EXPECT_GT(total.latency_ms.Percentile(50), 0.0);
+}
+
+TEST(ClusterTest, SingleNodeClusterMatchesPlatform) {
+  // A 1-node cluster behaves like a bare platform on the same inputs.
+  ClusterConfig cluster_config = SmallCluster(RoutingPolicy::kAffinity, 1);
+  Cluster cluster(cluster_config);
+  Platform platform(cluster_config.node);
+  cluster.BeginMeasurement();
+  platform.BeginMeasurement();
+  for (int i = 0; i < 3; ++i) {
+    cluster.Submit(FindWorkload("sort"), (1 + 4 * i) * kSecond);
+    platform.Submit(FindWorkload("sort"), (1 + 4 * i) * kSecond);
+  }
+  cluster.RunUntil(40 * kSecond);
+  platform.RunUntil(40 * kSecond);
+  const PlatformMetrics a = cluster.AggregateMetrics();
+  const PlatformMetrics& b = platform.FinishMeasurement();
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.cold_boots, b.cold_boots);
+  EXPECT_EQ(a.warm_starts, b.warm_starts);
+  EXPECT_DOUBLE_EQ(a.latency_ms.Percentile(99), b.latency_ms.Percentile(99));
+}
+
+}  // namespace
+}  // namespace desiccant

@@ -1,0 +1,333 @@
+// Tests for Desiccant's policies: activation, profiles, selection, and the
+// manager end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/activation.h"
+#include "src/core/desiccant_manager.h"
+#include "src/core/profile_store.h"
+#include "src/core/selection.h"
+#include "src/faas/platform.h"
+
+namespace desiccant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ActivationPolicy (§4.5.1)
+
+TEST(ActivationTest, InactiveBelowThreshold) {
+  ActivationPolicy policy(ActivationConfig{});
+  // 50% frozen < 75% initial threshold.
+  EXPECT_FALSE(policy.ShouldActivate(kGiB, 2 * kGiB, 0));
+}
+
+TEST(ActivationTest, ActiveAboveThreshold) {
+  ActivationPolicy policy(ActivationConfig{});
+  EXPECT_TRUE(policy.ShouldActivate(1600 * kMiB, 2 * kGiB, 0));  // 78%
+}
+
+TEST(ActivationTest, EvictionDropsThresholdToFloor) {
+  ActivationPolicy policy(ActivationConfig{});
+  EXPECT_FALSE(policy.ShouldActivate(1300 * kMiB, 2 * kGiB, 0));  // 63% < 75%
+  policy.OnEviction(0);
+  EXPECT_DOUBLE_EQ(policy.CurrentThreshold(0), 0.60);
+  EXPECT_TRUE(policy.ShouldActivate(1300 * kMiB, 2 * kGiB, 0));
+}
+
+TEST(ActivationTest, ThresholdRecoversGradually) {
+  ActivationConfig config;
+  ActivationPolicy policy(config);
+  policy.OnEviction(0);
+  EXPECT_DOUBLE_EQ(policy.CurrentThreshold(0), config.floor_threshold);
+  const double after_5s = policy.CurrentThreshold(5 * kSecond);
+  EXPECT_NEAR(after_5s, config.floor_threshold + 5 * config.raise_per_second, 1e-9);
+  // Capped at the maximum.
+  EXPECT_DOUBLE_EQ(policy.CurrentThreshold(1000 * kSecond), config.max_threshold);
+}
+
+TEST(ActivationTest, ZeroCapacityNeverActivates) {
+  ActivationPolicy policy(ActivationConfig{});
+  EXPECT_FALSE(policy.ShouldActivate(kGiB, 0, 0));
+}
+
+// ---------------------------------------------------------------------------
+// ProfileStore (§4.5.2)
+
+TEST(ProfileStoreTest, EmptyHasNoEstimate) {
+  ProfileStore store;
+  const ProfileEstimate e = store.EstimateFor(1, "fft#0");
+  EXPECT_FALSE(e.has_any);
+}
+
+TEST(ProfileStoreTest, InstanceProfilePreferred) {
+  ProfileStore store;
+  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  store.Record(2, "fft#0", 20 * kMiB, 2 * kMillisecond, 40 * kMiB);
+  const ProfileEstimate e = store.EstimateFor(1, "fft#0");
+  ASSERT_TRUE(e.has_breakdown);
+  EXPECT_DOUBLE_EQ(e.live_bytes, static_cast<double>(10 * kMiB));
+}
+
+TEST(ProfileStoreTest, SameFunctionFallback) {
+  ProfileStore store;
+  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  // Instance 99 is fresh; same function type bootstraps the estimate (§4.5.2).
+  const ProfileEstimate e = store.EstimateFor(99, "fft#0");
+  ASSERT_TRUE(e.has_breakdown);
+  EXPECT_DOUBLE_EQ(e.live_bytes, static_cast<double>(10 * kMiB));
+}
+
+TEST(ProfileStoreTest, GlobalThroughputFallback) {
+  ProfileStore store;
+  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  const ProfileEstimate e = store.EstimateFor(99, "sort#0");
+  ASSERT_TRUE(e.has_any);
+  EXPECT_FALSE(e.has_breakdown);
+  EXPECT_NEAR(e.global_throughput,
+              static_cast<double>(40 * kMiB) / static_cast<double>(kMillisecond), 1e-9);
+}
+
+TEST(ProfileStoreTest, ForgetInstanceDropsProfile) {
+  ProfileStore store;
+  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  store.ForgetInstance(1);
+  EXPECT_EQ(store.instance_profile_count(), 0u);
+  // Function-level knowledge survives.
+  EXPECT_TRUE(store.EstimateFor(2, "fft#0").has_breakdown);
+}
+
+TEST(ProfileStoreTest, SummarizeListsFunctions) {
+  ProfileStore store;
+  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  store.Record(2, "sort#0", 2 * kMiB, kMillisecond, 8 * kMiB);
+  store.Record(3, "fft#0", 12 * kMiB, kMillisecond, 42 * kMiB);
+  const auto summaries = store.Summarize();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].function_key, "fft#0");
+  EXPECT_EQ(summaries[0].samples, 2u);
+  EXPECT_GT(summaries[0].live_bytes, static_cast<double>(10 * kMiB));
+  EXPECT_EQ(summaries[1].function_key, "sort#0");
+}
+
+TEST(ProfileStoreTest, EwmaSmoothsSamples) {
+  ProfileStore store;
+  store.Record(1, "f#0", 10 * kMiB, kMillisecond, kMiB);
+  store.Record(1, "f#0", 20 * kMiB, kMillisecond, kMiB);
+  const ProfileEstimate e = store.EstimateFor(1, "f#0");
+  EXPECT_GT(e.live_bytes, static_cast<double>(10 * kMiB));
+  EXPECT_LT(e.live_bytes, static_cast<double>(20 * kMiB));
+}
+
+// ---------------------------------------------------------------------------
+// SelectionPolicy (§4.3, §4.5.2) — driven with real frozen instances.
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  Instance* MakeFrozen(const char* name, SimTime frozen_at, int invocations = 5) {
+    const WorkloadSpec* w = FindWorkload(name);
+    const uint64_t id = next_id_++;
+    auto instance = std::make_unique<Instance>(id, w, 0, 256 * kMiB, &registry_, id);
+    for (int i = 0; i < invocations; ++i) {
+      instance->Execute();
+    }
+    instance->Freeze(frozen_at);
+    instances_.push_back(std::move(instance));
+    return instances_.back().get();
+  }
+
+  std::vector<Instance*> All() {
+    std::vector<Instance*> out;
+    for (auto& i : instances_) {
+      out.push_back(i.get());
+    }
+    return out;
+  }
+
+  SharedFileRegistry registry_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  ProfileStore profiles_;
+  uint64_t next_id_ = 1;
+};
+
+TEST_F(SelectionTest, FreezeTimeoutGate) {
+  SelectionConfig config;
+  config.freeze_timeout = 5 * kSecond;
+  SelectionPolicy policy(config);
+  MakeFrozen("sort", 0);
+  MakeFrozen("fft", 8 * kSecond);  // frozen too recently at t=10s
+  const auto selected = policy.Select(All(), profiles_, 10 * kSecond);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0]->workload()->name, "sort");
+}
+
+TEST_F(SelectionTest, SkipsAlreadyReclaimed) {
+  SelectionPolicy policy(SelectionConfig{});
+  Instance* a = MakeFrozen("sort", 0);
+  a->Reclaim({}, false);
+  EXPECT_TRUE(policy.Select(All(), profiles_, 100 * kSecond).empty());
+}
+
+TEST_F(SelectionTest, SkipsInProgress) {
+  SelectionPolicy policy(SelectionConfig{});
+  Instance* a = MakeFrozen("sort", 0);
+  a->set_reclaim_in_progress(true);
+  EXPECT_TRUE(policy.Select(All(), profiles_, 100 * kSecond).empty());
+}
+
+TEST_F(SelectionTest, UnknownInstancesExploredFirstWhenNothingIsKnown) {
+  SelectionPolicy policy(SelectionConfig{});
+  Instance* a = MakeFrozen("sort", 0);
+  Instance* b = MakeFrozen("fft", 0);
+  // Empty store: every estimate is +inf, both are selected.
+  EXPECT_TRUE(std::isinf(policy.EstimatedThroughput(a, profiles_)));
+  EXPECT_TRUE(std::isinf(policy.EstimatedThroughput(b, profiles_)));
+  EXPECT_EQ(policy.Select(All(), profiles_, 100 * kSecond).size(), 2u);
+}
+
+TEST_F(SelectionTest, UnknownFunctionUsesGlobalAverageThroughput) {
+  SelectionPolicy policy(SelectionConfig{});
+  Instance* known = MakeFrozen("sort", 0);
+  Instance* unknown = MakeFrozen("fft", 0);
+  profiles_.Record(known->id(), known->FunctionKey(), 1 * kMiB, kMillisecond, 10 * kMiB);
+  // The fresh function falls back to the average throughput of all
+  // precalculated instances (§4.5.2).
+  const double expected_global =
+      static_cast<double>(10 * kMiB) / static_cast<double>(kMillisecond);
+  EXPECT_DOUBLE_EQ(policy.EstimatedThroughput(unknown, profiles_), expected_global);
+}
+
+TEST_F(SelectionTest, RanksByEstimatedThroughput) {
+  SelectionPolicy policy(SelectionConfig{});
+  Instance* cheap = MakeFrozen("time", 0);   // tiny heap, little to reclaim
+  Instance* rich = MakeFrozen("fft", 0);     // inflated young generation
+  // Equal CPU estimates; the richer heap wins.
+  profiles_.Record(cheap->id(), cheap->FunctionKey(), 512 * kKiB, kMillisecond, kMiB);
+  profiles_.Record(rich->id(), rich->FunctionKey(), 2 * kMiB, kMillisecond, 30 * kMiB);
+  const auto selected = policy.Select(All(), profiles_, 100 * kSecond);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], rich);
+  EXPECT_GT(policy.EstimatedThroughput(rich, profiles_),
+            policy.EstimatedThroughput(cheap, profiles_));
+}
+
+TEST_F(SelectionTest, MaxBatchCapsSelection) {
+  SelectionConfig config;
+  config.max_batch = 2;
+  SelectionPolicy policy(config);
+  MakeFrozen("sort", 0);
+  MakeFrozen("fft", 0);
+  MakeFrozen("pi", 0);
+  EXPECT_EQ(policy.Select(All(), profiles_, 100 * kSecond).size(), 2u);
+}
+
+TEST_F(SelectionTest, FifoStrategyOrdersByFreezeTime) {
+  SelectionPolicy policy(SelectionConfig{}, SelectionStrategy::kFifo);
+  Instance* newer = MakeFrozen("sort", 5 * kSecond);
+  Instance* older = MakeFrozen("fft", 1 * kSecond);
+  const auto selected = policy.Select(All(), profiles_, 100 * kSecond);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], older);
+  EXPECT_EQ(selected[1], newer);
+}
+
+TEST_F(SelectionTest, LargestHeapStrategy) {
+  SelectionPolicy policy(SelectionConfig{}, SelectionStrategy::kLargestHeap);
+  Instance* small = MakeFrozen("time", 0);
+  Instance* large = MakeFrozen("fft", 0);
+  const auto selected = policy.Select(All(), profiles_, 100 * kSecond);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], large);
+  (void)small;
+}
+
+// ---------------------------------------------------------------------------
+// DesiccantManager end to end on a small platform.
+
+TEST(DesiccantManagerTest, ReclaimsUnderMemoryPressure) {
+  PlatformConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.cache_capacity_bytes = 160 * kMiB;  // small cache: pressure arrives fast
+  config.cpu_cores = 4.0;
+  Platform platform(config);
+  DesiccantConfig desiccant_config;
+  desiccant_config.selection.freeze_timeout = 100 * kMillisecond;
+  DesiccantManager manager(&platform, desiccant_config);
+
+  SimTime at = kSecond;
+  for (int round = 0; round < 6; ++round) {
+    for (const char* name : {"fft", "sort", "matrix"}) {
+      platform.Submit(FindWorkload(name), at);
+      at += 2 * kSecond;
+    }
+  }
+  platform.RunUntil(at + 30 * kSecond);
+  EXPECT_GT(manager.reclaim_requests(), 0u);
+  EXPECT_GT(manager.bytes_released(), 0u);
+}
+
+TEST(DesiccantManagerTest, IdleWithoutPressure) {
+  PlatformConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.cache_capacity_bytes = 8 * kGiB;  // plenty of room: never activates
+  Platform platform(config);
+  DesiccantManager manager(&platform, DesiccantConfig{});
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.RunUntil(30 * kSecond);
+  EXPECT_EQ(manager.reclaim_requests(), 0u);
+}
+
+TEST(DesiccantManagerTest, EvictionLowersThreshold) {
+  PlatformConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.cache_capacity_bytes = 64 * kMiB;  // tiny: immediate evictions
+  Platform platform(config);
+  DesiccantConfig desiccant_config;
+  DesiccantManager manager(&platform, desiccant_config);
+  platform.Submit(FindWorkload("fft"), kSecond);
+  platform.Submit(FindWorkload("sort"), 4 * kSecond);
+  platform.Submit(FindWorkload("matrix"), 7 * kSecond);
+  platform.RunUntil(15 * kSecond);
+  if (platform.eviction_count() > 0) {
+    EXPECT_LE(manager.CurrentThreshold(),
+              desiccant_config.activation.floor_threshold +
+                  ToSeconds(15 * kSecond) * desiccant_config.activation.raise_per_second);
+  }
+}
+
+TEST(DesiccantManagerTest, OpportunisticIdleCpuPolicyReclaimsWithoutPressure) {
+  PlatformConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.cache_capacity_bytes = 8 * kGiB;  // no memory pressure, ever
+  Platform platform(config);
+  DesiccantConfig desiccant_config;
+  desiccant_config.opportunistic_on_idle_cpu = true;
+  desiccant_config.selection.freeze_timeout = 100 * kMillisecond;
+  DesiccantManager manager(&platform, desiccant_config);
+  platform.Submit(FindWorkload("fft"), kSecond);
+  platform.RunUntil(30 * kSecond);
+  // The default policy would stay idle here (see IdleWithoutPressure); the
+  // §4.2 future-work policy uses the idle CPU to reclaim anyway.
+  EXPECT_GT(manager.reclaim_requests(), 0u);
+}
+
+TEST(DesiccantManagerTest, ProfilesForgottenOnDestroy) {
+  PlatformConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.cache_capacity_bytes = 256 * kMiB;
+  config.keep_alive = 20 * kSecond;
+  Platform platform(config);
+  DesiccantConfig desiccant_config;
+  desiccant_config.selection.freeze_timeout = 100 * kMillisecond;
+  DesiccantManager manager(&platform, desiccant_config);
+  for (int i = 0; i < 4; ++i) {
+    platform.Submit(FindWorkload("fft"), (1 + i) * kSecond);
+    platform.Submit(FindWorkload("matrix"), (1 + i) * kSecond + 500 * kMillisecond);
+  }
+  platform.Run();  // keep-alive destroys everything at the end
+  EXPECT_EQ(platform.live_instance_count(), 0u);
+  EXPECT_EQ(manager.profiles().instance_profile_count(), 0u);
+}
+
+}  // namespace
+}  // namespace desiccant

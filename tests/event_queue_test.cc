@@ -1,0 +1,74 @@
+// Tests for the discrete-event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/faas/event_queue.h"
+
+namespace desiccant {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  SimClock clock;
+  std::vector<int> order;
+  queue.Schedule(3 * kSecond, [&order] { order.push_back(3); });
+  queue.Schedule(1 * kSecond, [&order] { order.push_back(1); });
+  queue.Schedule(2 * kSecond, [&order] { order.push_back(2); });
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), 3 * kSecond);
+}
+
+TEST(EventQueueTest, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  SimClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(kSecond, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  SimClock clock;
+  int fired = 0;
+  queue.Schedule(kSecond, [&] {
+    ++fired;
+    queue.Schedule(clock.Now() + kSecond, [&] { ++fired; });
+  });
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(clock.Now(), 2 * kSecond);
+}
+
+TEST(EventQueueTest, NextTimePeeks) {
+  EventQueue queue;
+  queue.Schedule(5 * kSecond, [] {});
+  queue.Schedule(2 * kSecond, [] {});
+  EXPECT_EQ(queue.next_time(), 2 * kSecond);
+}
+
+TEST(EventQueueTest, ClockNeverGoesBackwards) {
+  EventQueue queue;
+  SimClock clock;
+  clock.AdvanceTo(kSecond);
+  // An event scheduled in the "past" relative to nothing — events always
+  // carry absolute times, and the platform never schedules into the past.
+  queue.Schedule(2 * kSecond, [] {});
+  queue.RunNext(&clock);
+  EXPECT_EQ(clock.Now(), 2 * kSecond);
+}
+
+}  // namespace
+}  // namespace desiccant

@@ -1,0 +1,206 @@
+// Tests for the G1-style regional collector (the §7 extension).
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/hotspot/g1_runtime.h"
+#include "src/hotspot/hotspot_runtime.h"
+#include "src/workloads/function_program.h"
+
+namespace desiccant {
+namespace {
+
+G1Config TestConfig() { return G1Config::ForInstanceBudget(256 * kMiB); }
+
+class G1Test : public ::testing::Test {
+ protected:
+  G1Test() : vas_(&registry_), runtime_(&vas_, &clock_, TestConfig(), &registry_) {}
+
+  SharedFileRegistry registry_;
+  SimClock clock_;
+  VirtualAddressSpace vas_;
+  G1Runtime runtime_;
+};
+
+TEST_F(G1Test, RegionLayout) {
+  const G1Config config = TestConfig();
+  EXPECT_EQ(runtime_.region_count(), config.max_heap_bytes / config.region_bytes);
+  EXPECT_EQ(runtime_.FreeRegionCount(), runtime_.region_count());
+}
+
+TEST_F(G1Test, AllocationTakesEdenRegions) {
+  runtime_.AllocateObject(64 * kKiB);
+  EXPECT_EQ(runtime_.EdenRegionCount(), 1u);
+  // Fill beyond one region.
+  for (int i = 0; i < 20; ++i) {
+    runtime_.AllocateObject(64 * kKiB);
+  }
+  EXPECT_GE(runtime_.EdenRegionCount(), 2u);
+}
+
+TEST_F(G1Test, YoungGcAtTarget) {
+  // Allocate garbage beyond the young target: evacuation pause fires and the
+  // eden regions go back to the free list.
+  const G1Config config = TestConfig();
+  const uint64_t young_bytes = config.young_target_regions * config.region_bytes;
+  for (uint64_t allocated = 0; allocated <= young_bytes + config.region_bytes;
+       allocated += 64 * kKiB) {
+    runtime_.AllocateObject(64 * kKiB);
+  }
+  EXPECT_GE(runtime_.GetHeapStats().young_gc_count, 1u);
+  EXPECT_LE(runtime_.EdenRegionCount(), config.young_target_regions);
+}
+
+TEST_F(G1Test, RootedObjectsSurviveAndAge) {
+  SimObject* live = runtime_.AllocateObject(64 * kKiB);
+  runtime_.strong_roots().Create(live);
+  const G1Config config = TestConfig();
+  // Enough churn for several young collections: the object tenures to old.
+  for (int gc = 0; gc < config.tenuring_threshold + 2; ++gc) {
+    for (uint64_t allocated = 0; allocated <= config.young_target_regions * kMiB;
+         allocated += 64 * kKiB) {
+      runtime_.AllocateObject(64 * kKiB);
+    }
+  }
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 64 * kKiB);
+  EXPECT_GE(runtime_.OldRegionCount(), 1u);
+}
+
+TEST_F(G1Test, HumongousAllocation) {
+  SimObject* big = runtime_.AllocateObject(3 * kMiB + 123);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(runtime_.OldRegionCount(), 4u);  // 4 humongous regions
+  runtime_.CollectGarbage(false);  // unrooted: the regions free up
+  EXPECT_EQ(runtime_.OldRegionCount(), 0u);
+}
+
+TEST_F(G1Test, HumongousNeverMoves) {
+  SimObject* big = runtime_.AllocateObject(2 * kMiB);
+  runtime_.strong_roots().Create(big);
+  const uint64_t address = big->address;
+  runtime_.CollectGarbage(false);
+  EXPECT_EQ(big->address, address);
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 2 * kMiB);
+}
+
+TEST_F(G1Test, FreedRegionsStayResident) {
+  // The frozen-garbage behaviour: after collection, the freed regions' pages
+  // remain resident (JDK8-era G1 never uncommits at idle).
+  for (int i = 0; i < 200; ++i) {
+    runtime_.AllocateObject(64 * kKiB);  // garbage
+  }
+  runtime_.CollectGarbage(false);
+  EXPECT_EQ(runtime_.EstimateLiveBytes(), 0u);
+  EXPECT_GE(runtime_.HeapResidentBytes(), 8 * kMiB);
+}
+
+TEST_F(G1Test, ReclaimReleasesFreeRegions) {
+  SimObject* live = runtime_.AllocateObject(128 * kKiB);
+  runtime_.strong_roots().Create(live);
+  for (int i = 0; i < 200; ++i) {
+    runtime_.AllocateObject(64 * kKiB);
+  }
+  const ReclaimResult result = runtime_.Reclaim({});
+  EXPECT_GT(result.released_pages, 0u);
+  EXPECT_LE(runtime_.HeapResidentBytes(), kMiB);  // live set page-rounded
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 128 * kKiB);
+}
+
+TEST_F(G1Test, ParallelThreadsReduceGcCost) {
+  G1Config parallel = TestConfig();
+  parallel.gc_threads = 4;
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  G1Runtime fast(&vas, &clock, parallel, &registry);
+
+  auto run = [](G1Runtime& runtime) {
+    SimObject* live = runtime.AllocateObject(64 * kKiB);
+    runtime.strong_roots().Create(live);
+    for (int i = 0; i < 400; ++i) {
+      runtime.AllocateObject(64 * kKiB);
+    }
+    return runtime.CollectGarbage(false);
+  };
+  const SimTime serial_cost = run(runtime_);
+  const SimTime parallel_cost = run(fast);
+  EXPECT_LT(parallel_cost, serial_cost);
+}
+
+TEST_F(G1Test, StatsCoherent) {
+  for (int i = 0; i < 100; ++i) {
+    runtime_.AllocateObject(32 * kKiB);
+  }
+  const HeapStats stats = runtime_.GetHeapStats();
+  EXPECT_GT(stats.committed_bytes, 0u);
+  EXPECT_LE(stats.resident_bytes, TestConfig().max_heap_bytes);
+  EXPECT_EQ(runtime_.language(), Language::kJava);
+}
+
+// Property sweep mirroring the serial-GC one: random traffic preserves
+// liveness across evacuation pauses and reclaims.
+class G1PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(G1PropertyTest, LivenessPreservedUnderRandomTraffic) {
+  Rng rng(GetParam());
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  G1Runtime runtime(&vas, &clock, TestConfig(), &registry);
+
+  std::vector<std::pair<RootTable::Handle, uint32_t>> rooted;
+  uint64_t rooted_bytes = 0;
+  for (int step = 0; step < 2500; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.70) {
+      runtime.AllocateObject(static_cast<uint32_t>(rng.UniformU64(64, 48 * kKiB)));
+    } else if (action < 0.90 || rooted.empty()) {
+      if (rooted_bytes < 12 * kMiB) {
+        const auto size = static_cast<uint32_t>(rng.UniformU64(64, 48 * kKiB));
+        SimObject* obj = runtime.AllocateObject(size);
+        rooted.emplace_back(runtime.strong_roots().Create(obj), size);
+        rooted_bytes += size;
+      }
+    } else if (action < 0.97) {
+      const size_t i = rng.UniformU64(0, rooted.size() - 1);
+      runtime.strong_roots().Destroy(rooted[i].first);
+      rooted_bytes -= rooted[i].second;
+      rooted[i] = rooted.back();
+      rooted.pop_back();
+    } else {
+      runtime.CollectGarbage(false);
+    }
+    if (step % 500 == 499) {
+      EXPECT_EQ(runtime.ExactLiveBytes(), rooted_bytes);
+      runtime.Reclaim({});
+      EXPECT_EQ(runtime.ExactLiveBytes(), rooted_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, G1PropertyTest, ::testing::Values(7, 14, 21, 28));
+
+// Differential test: the same workload program run against the serial and
+// the G1 collector must observe exactly the same live set — collectors may
+// differ in placement and residency, never in liveness.
+TEST(CollectorDifferentialTest, SameLiveBytesAcrossCollectors) {
+  const WorkloadSpec* w = FindWorkload("image-resize");
+  SharedFileRegistry r1, r2;
+  SimClock c1, c2;
+  VirtualAddressSpace v1(&r1), v2(&r2);
+  HotSpotRuntime serial(&v1, &c1, HotSpotConfig::ForInstanceBudget(256 * kMiB), &r1);
+  G1Runtime g1(&v2, &c2, G1Config::ForInstanceBudget(256 * kMiB), &r2);
+  FunctionProgram p1(w->stages[0], 77);
+  FunctionProgram p2(w->stages[0], 77);
+  for (int i = 0; i < 25; ++i) {
+    p1.Invoke(serial, c1);
+    p2.Invoke(g1, c2);
+    ASSERT_EQ(serial.ExactLiveBytes(), g1.ExactLiveBytes()) << "iteration " << i;
+  }
+  serial.Reclaim({});
+  g1.Reclaim({});
+  EXPECT_EQ(serial.ExactLiveBytes(), g1.ExactLiveBytes());
+}
+
+}  // namespace
+}  // namespace desiccant

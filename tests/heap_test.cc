@@ -1,0 +1,474 @@
+// Unit + property tests for the heap building blocks.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/heap/chunked_space.h"
+#include "src/heap/contiguous_space.h"
+#include "src/heap/marker.h"
+#include "src/heap/object.h"
+#include "src/heap/roots.h"
+
+namespace desiccant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ObjectPool
+
+TEST(ObjectPoolTest, NewAndFree) {
+  ObjectPool pool;
+  SimObject* a = pool.New(128);
+  EXPECT_EQ(a->size, 128u);
+  EXPECT_EQ(pool.live_count(), 1u);
+  pool.Free(a);
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(ObjectPoolTest, RecyclesNodes) {
+  ObjectPool pool;
+  SimObject* a = pool.New(128);
+  a->age = 7;
+  a->marked = true;
+  pool.Free(a);
+  SimObject* b = pool.New(64);
+  EXPECT_EQ(a, b);  // node reused
+  EXPECT_EQ(b->age, 0);
+  EXPECT_FALSE(b->marked);
+  EXPECT_EQ(b->size, 64u);
+}
+
+TEST(SimObjectTest, RefSlotsCap) {
+  ObjectPool pool;
+  SimObject* parent = pool.New(64);
+  for (int i = 0; i < SimObject::kMaxRefs; ++i) {
+    EXPECT_TRUE(parent->AddRef(pool.New(32)));
+  }
+  EXPECT_FALSE(parent->AddRef(pool.New(32)));
+  EXPECT_EQ(parent->ref_count, SimObject::kMaxRefs);
+  parent->ClearRefs();
+  EXPECT_EQ(parent->ref_count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// RootTable
+
+TEST(RootTableTest, CreateSetGetDestroy) {
+  ObjectPool pool;
+  RootTable table;
+  SimObject* obj = pool.New(8);
+  const RootTable::Handle h = table.Create(obj);
+  EXPECT_EQ(table.Get(h), obj);
+  table.Set(h, nullptr);
+  EXPECT_EQ(table.Get(h), nullptr);
+  table.Destroy(h);
+  const RootTable::Handle h2 = table.Create(nullptr);
+  EXPECT_EQ(h2, h);  // slot recycled
+}
+
+TEST(RootTableTest, ForEachSkipsNull) {
+  ObjectPool pool;
+  RootTable table;
+  table.Create(pool.New(8));
+  table.Create(nullptr);
+  table.Create(pool.New(8));
+  int visited = 0;
+  table.ForEach([&visited](SimObject*) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(RootTableTest, ClearNullsAndRecycles) {
+  ObjectPool pool;
+  RootTable table;
+  const RootTable::Handle h = table.Create(pool.New(8));
+  table.Clear();
+  EXPECT_EQ(table.Get(h), nullptr);
+  EXPECT_FALSE(table.AnyNonNull());
+  table.Create(pool.New(8));
+  EXPECT_TRUE(table.AnyNonNull());
+}
+
+// ---------------------------------------------------------------------------
+// Marker
+
+TEST(MarkerTest, MarksTransitively) {
+  ObjectPool pool;
+  RootTable roots;
+  SimObject* a = pool.New(100);
+  SimObject* b = pool.New(200);
+  SimObject* c = pool.New(300);
+  SimObject* unreachable = pool.New(400);
+  a->AddRef(b);
+  b->AddRef(c);
+  roots.Create(a);
+
+  Marker marker;
+  std::vector<SimObject*> marked;
+  const MarkStats stats = marker.MarkFrom({&roots}, &marked);
+  EXPECT_EQ(stats.live_objects, 3u);
+  EXPECT_EQ(stats.live_bytes, 600u);
+  EXPECT_TRUE(a->marked && b->marked && c->marked);
+  EXPECT_FALSE(unreachable->marked);
+  EXPECT_EQ(marked.size(), 3u);
+}
+
+TEST(MarkerTest, HandlesCycles) {
+  ObjectPool pool;
+  RootTable roots;
+  SimObject* a = pool.New(10);
+  SimObject* b = pool.New(20);
+  a->AddRef(b);
+  b->AddRef(a);  // cycle
+  roots.Create(a);
+  Marker marker;
+  const MarkStats stats = marker.MarkFrom({&roots});
+  EXPECT_EQ(stats.live_objects, 2u);
+}
+
+TEST(MarkerTest, SharedObjectCountedOnce) {
+  ObjectPool pool;
+  RootTable roots;
+  SimObject* shared = pool.New(64);
+  SimObject* a = pool.New(10);
+  SimObject* b = pool.New(20);
+  a->AddRef(shared);
+  b->AddRef(shared);
+  roots.Create(a);
+  roots.Create(b);
+  Marker marker;
+  const MarkStats stats = marker.MarkFrom({&roots});
+  EXPECT_EQ(stats.live_objects, 3u);
+  EXPECT_EQ(stats.live_bytes, 94u);
+}
+
+TEST(MarkerTest, MultipleTables) {
+  ObjectPool pool;
+  RootTable strong;
+  RootTable weak;
+  strong.Create(pool.New(1));
+  weak.Create(pool.New(2));
+  Marker marker;
+  EXPECT_EQ(marker.MarkFrom({&strong, &weak}).live_objects, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ContiguousSpace
+
+class ContiguousSpaceTest : public ::testing::Test {
+ protected:
+  ContiguousSpaceTest() : vas_(nullptr) {
+    region_ = vas_.MapAnonymous("heap", 8 * kMiB);
+    space_ = std::make_unique<ContiguousSpace>("eden", &vas_, region_);
+    space_->SetBounds(0, kMiB);
+  }
+  VirtualAddressSpace vas_;
+  RegionId region_ = kInvalidRegionId;
+  ObjectPool pool_;
+  std::unique_ptr<ContiguousSpace> space_;
+};
+
+TEST_F(ContiguousSpaceTest, BumpAllocates) {
+  TouchResult faults;
+  SimObject* a = pool_.New(1000);
+  ASSERT_TRUE(space_->Allocate(a, &faults));
+  EXPECT_EQ(a->address, 0u);
+  SimObject* b = pool_.New(500);
+  ASSERT_TRUE(space_->Allocate(b, &faults));
+  EXPECT_EQ(b->address, 1000u);
+  EXPECT_EQ(space_->used_bytes(), 1500u);
+  EXPECT_GT(faults.minor_faults, 0u);
+}
+
+TEST_F(ContiguousSpaceTest, RejectsWhenFull) {
+  TouchResult faults;
+  SimObject* big = pool_.New(kMiB);
+  ASSERT_TRUE(space_->Allocate(big, &faults));
+  SimObject* one_more = pool_.New(1);
+  EXPECT_FALSE(space_->Allocate(one_more, &faults));
+  EXPECT_FALSE(space_->CanAllocate(1));
+}
+
+TEST_F(ContiguousSpaceTest, ResetKeepsPagesResident) {
+  TouchResult faults;
+  space_->Allocate(pool_.New(512 * kKiB), &faults);
+  const uint64_t resident_before = space_->ResidentBytes();
+  space_->Reset();
+  EXPECT_EQ(space_->used_bytes(), 0u);
+  // Dead bytes stay resident: the frozen-garbage effect.
+  EXPECT_EQ(space_->ResidentBytes(), resident_before);
+}
+
+TEST_F(ContiguousSpaceTest, ReleaseFreePages) {
+  TouchResult faults;
+  space_->Allocate(pool_.New(512 * kKiB), &faults);
+  space_->Reset();
+  EXPECT_EQ(space_->ReleaseFreePages(), 128u);  // 512 KiB / 4 KiB
+  EXPECT_EQ(space_->ResidentBytes(), 0u);
+}
+
+TEST_F(ContiguousSpaceTest, ReleaseFreeKeepsUsedPrefix) {
+  TouchResult faults;
+  space_->Allocate(pool_.New(100 * kKiB), &faults);
+  space_->ReleaseFreePages();
+  // The used prefix stays resident (page-rounded).
+  EXPECT_EQ(space_->ResidentBytes(), PageAlignUp(100 * kKiB));
+}
+
+TEST_F(ContiguousSpaceTest, SetBoundsPreservesContents) {
+  TouchResult faults;
+  space_->Allocate(pool_.New(64 * kKiB), &faults);
+  space_->SetBounds(0, 2 * kMiB);  // grow in place
+  EXPECT_EQ(space_->used_bytes(), 64 * kKiB);
+  EXPECT_TRUE(space_->CanAllocate(kMiB));
+}
+
+// ---------------------------------------------------------------------------
+// Chunked spaces
+
+class ChunkTest : public ::testing::Test {
+ protected:
+  ChunkTest() : vas_(nullptr) {}
+  VirtualAddressSpace vas_;
+  ObjectPool pool_;
+};
+
+TEST_F(ChunkTest, MetadataPageResidentOnCreation) {
+  Chunk chunk(&vas_, "c0");
+  EXPECT_EQ(chunk.ResidentBytes(), kChunkMetadataBytes);
+}
+
+TEST_F(ChunkTest, BumpAllocateRespectsCapacity) {
+  Chunk chunk(&vas_, "c0");
+  TouchResult faults;
+  SimObject* a = pool_.New(static_cast<uint32_t>(kChunkDataBytes));
+  EXPECT_TRUE(chunk.BumpAllocate(a, &faults));
+  SimObject* b = pool_.New(1);
+  EXPECT_FALSE(chunk.BumpAllocate(b, &faults));
+}
+
+TEST_F(ChunkTest, FreeRangesAfterRebuild) {
+  Chunk chunk(&vas_, "c0");
+  TouchResult faults;
+  SimObject* a = pool_.New(64 * kKiB);
+  SimObject* b = pool_.New(64 * kKiB);
+  SimObject* c = pool_.New(64 * kKiB);
+  chunk.BumpAllocate(a, &faults);
+  chunk.BumpAllocate(b, &faults);
+  chunk.BumpAllocate(c, &faults);
+  // Kill b.
+  auto& objs = chunk.objects();
+  objs.erase(objs.begin() + 1);
+  chunk.RebuildFreeRanges();
+  EXPECT_EQ(chunk.FreeBytes(), kChunkSize - kChunkMetadataBytes - 3 * 64 * kKiB + 64 * kKiB);
+  // The hole is reusable.
+  SimObject* d = pool_.New(64 * kKiB);
+  EXPECT_TRUE(chunk.FreeListAllocate(d, &faults));
+  EXPECT_EQ(d->address, b->address);
+}
+
+TEST_F(ChunkTest, ReleaseFreePagesKeepsMetadata) {
+  Chunk chunk(&vas_, "c0");
+  TouchResult faults;
+  chunk.BumpAllocate(pool_.New(64 * kKiB), &faults);
+  chunk.RebuildFreeRanges();
+  chunk.ReleaseFreePages();
+  // Metadata page + the 64 KiB of live data stay.
+  EXPECT_EQ(chunk.ResidentBytes(), kChunkMetadataBytes + 64 * kKiB);
+}
+
+TEST(SemispaceTest, LazyChunkMapping) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  Semispace space("new", &vas, 4 * kChunkSize);
+  EXPECT_EQ(space.CommittedBytes(), 0u);
+  TouchResult faults;
+  ASSERT_TRUE(space.Allocate(pool.New(1024), &faults));
+  EXPECT_EQ(space.CommittedBytes(), kChunkSize);
+}
+
+TEST(SemispaceTest, CapacityExhaustion) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  Semispace space("new", &vas, kChunkSize);
+  TouchResult faults;
+  ASSERT_TRUE(space.Allocate(pool.New(static_cast<uint32_t>(kChunkDataBytes)), &faults));
+  EXPECT_FALSE(space.Allocate(pool.New(kPageSize), &faults));
+}
+
+TEST(SemispaceTest, GrowAndShrink) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  Semispace space("new", &vas, kChunkSize);
+  TouchResult faults;
+  space.Allocate(pool.New(1024), &faults);
+  EXPECT_TRUE(space.SetCapacity(4 * kChunkSize));  // grow with objects: fine
+  // Shrink below the populated chunk: refused.
+  EXPECT_TRUE(space.SetCapacity(kChunkSize));  // chunk 0 populated, still fits
+  space.Reset();
+  EXPECT_TRUE(space.SetCapacity(kChunkSize));
+}
+
+TEST(SemispaceTest, ShrinkRefusedWhenPopulatedBeyondTarget) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  Semispace space("new", &vas, 4 * kChunkSize);
+  TouchResult faults;
+  // Fill two chunks.
+  for (int i = 0; i < 3; ++i) {
+    space.Allocate(pool.New(static_cast<uint32_t>(kChunkDataBytes / 2 + kPageSize)), &faults);
+  }
+  EXPECT_FALSE(space.SetCapacity(kChunkSize));
+}
+
+TEST(SemispaceTest, ReleaseAllDataPagesKeepsMetadata) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  Semispace space("new", &vas, 2 * kChunkSize);
+  TouchResult faults;
+  space.Allocate(pool.New(100 * kKiB), &faults);
+  space.ReleaseAllDataPages();
+  EXPECT_EQ(space.ResidentBytes(), kChunkMetadataBytes);
+}
+
+TEST(ChunkedOldSpaceTest, GrowsByChunks) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  ChunkedOldSpace old("old", &vas);
+  TouchResult faults;
+  old.Allocate(pool.New(100 * kKiB), &faults);
+  EXPECT_EQ(old.CommittedBytes(), kChunkSize);
+  old.Allocate(pool.New(200 * kKiB), &faults);
+  EXPECT_EQ(old.CommittedBytes(), 2 * kChunkSize);
+  EXPECT_EQ(old.used_bytes(), 300 * kKiB);
+}
+
+TEST(ChunkedOldSpaceTest, SweepFreesUnmarked) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  ChunkedOldSpace old("old", &vas);
+  TouchResult faults;
+  SimObject* live = pool.New(64 * kKiB);
+  SimObject* dead = pool.New(64 * kKiB);
+  old.Allocate(live, &faults);
+  old.Allocate(dead, &faults);
+  live->marked = true;
+  const auto result = old.Sweep(&pool);
+  EXPECT_EQ(result.dead_objects, 1u);
+  EXPECT_EQ(result.dead_bytes, 64 * kKiB);
+  EXPECT_FALSE(live->marked);  // unmarked by sweep
+  EXPECT_EQ(old.used_bytes(), 64 * kKiB);
+  EXPECT_EQ(pool.live_count(), 1u);
+}
+
+TEST(ChunkedOldSpaceTest, ReleaseEmptyChunks) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  ChunkedOldSpace old("old", &vas);
+  TouchResult faults;
+  SimObject* a = pool.New(200 * kKiB);
+  SimObject* b = pool.New(200 * kKiB);
+  old.Allocate(a, &faults);
+  old.Allocate(b, &faults);
+  ASSERT_EQ(old.CommittedBytes(), 2 * kChunkSize);
+  // Kill b (its chunk becomes empty).
+  a->marked = true;
+  old.Sweep(&pool);
+  EXPECT_EQ(old.ReleaseEmptyChunks(), kChunkSize);
+  EXPECT_EQ(old.CommittedBytes(), kChunkSize);
+}
+
+TEST(ChunkedOldSpaceTest, FreeListReuseAfterSweep) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  ChunkedOldSpace old("old", &vas);
+  TouchResult faults;
+  SimObject* a = pool.New(100 * kKiB);
+  SimObject* dead = pool.New(50 * kKiB);
+  SimObject* c = pool.New(80 * kKiB);
+  old.Allocate(a, &faults);
+  old.Allocate(dead, &faults);
+  old.Allocate(c, &faults);
+  a->marked = true;
+  c->marked = true;
+  old.Sweep(&pool);
+  // New 50 KiB allocation reuses the hole without growing.
+  SimObject* d = pool.New(50 * kKiB);
+  old.Allocate(d, &faults);
+  EXPECT_EQ(old.CommittedBytes(), kChunkSize);
+  EXPECT_EQ(d->address, dead->address);
+}
+
+TEST(LargeObjectSpaceTest, DedicatedRegions) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  LargeObjectSpace los("los", &vas);
+  TouchResult faults;
+  SimObject* big = pool.New(1 * kMiB);
+  los.Allocate(big, &faults);
+  EXPECT_EQ(los.used_bytes(), 1 * kMiB);
+  EXPECT_EQ(los.CommittedBytes(), 1 * kMiB + kChunkMetadataBytes);
+  EXPECT_EQ(los.ResidentBytes(), 1 * kMiB + kChunkMetadataBytes);
+}
+
+TEST(LargeObjectSpaceTest, SweepUnmapsDead) {
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  LargeObjectSpace los("los", &vas);
+  TouchResult faults;
+  SimObject* live = pool.New(512 * kKiB);
+  SimObject* dead = pool.New(512 * kKiB);
+  los.Allocate(live, &faults);
+  los.Allocate(dead, &faults);
+  live->marked = true;
+  const auto result = los.Sweep(&pool);
+  EXPECT_EQ(result.dead_objects, 1u);
+  EXPECT_EQ(los.object_count(), 1u);
+  EXPECT_EQ(los.used_bytes(), 512 * kKiB);
+  EXPECT_FALSE(live->marked);
+}
+
+// ---------------------------------------------------------------------------
+// Property: random alloc/kill cycles against the old space keep the free
+// accounting consistent.
+
+class OldSpacePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OldSpacePropertyTest, SweepConservesBytes) {
+  Rng rng(GetParam());
+  VirtualAddressSpace vas(nullptr);
+  ObjectPool pool;
+  ChunkedOldSpace old("old", &vas);
+  std::vector<SimObject*> live;
+  TouchResult faults;
+  uint64_t live_bytes = 0;
+
+  for (int round = 0; round < 20; ++round) {
+    // Allocate a batch.
+    for (int i = 0; i < 50; ++i) {
+      const auto size = static_cast<uint32_t>(rng.UniformU64(64, 16 * kKiB));
+      SimObject* obj = pool.New(size);
+      old.Allocate(obj, &faults);
+      live.push_back(obj);
+      live_bytes += size;
+    }
+    // Kill a random subset.
+    std::vector<SimObject*> survivors;
+    for (SimObject* obj : live) {
+      if (rng.Chance(0.6)) {
+        obj->marked = true;
+        survivors.push_back(obj);
+      } else {
+        live_bytes -= obj->size;
+      }
+    }
+    old.Sweep(&pool);
+    old.ReleaseEmptyChunks();
+    live = std::move(survivors);
+    EXPECT_EQ(old.used_bytes(), live_bytes);
+    EXPECT_EQ(pool.live_count(), live.size());
+    EXPECT_GE(old.CommittedBytes(), live_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OldSpacePropertyTest, ::testing::Values(3, 7, 11, 19, 23));
+
+}  // namespace
+}  // namespace desiccant

@@ -1,0 +1,93 @@
+// Randomized end-to-end platform runs checking global invariants: requests
+// never get lost, the memory charge matches the frozen population exactly,
+// CPU accounting never goes negative, and Desiccant never breaks any of it.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/desiccant_manager.h"
+#include "src/faas/platform.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+namespace {
+
+struct FuzzParams {
+  uint64_t seed;
+  MemoryMode mode;
+  uint64_t cache_mib;
+  uint32_t prewarm;
+  bool snapstart;
+};
+
+class PlatformFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(PlatformFuzzTest, InvariantsHoldUnderRandomTraffic) {
+  const FuzzParams params = GetParam();
+  PlatformConfig config;
+  config.mode = params.mode;
+  config.cache_capacity_bytes = params.cache_mib * kMiB;
+  config.cpu_cores = 3.0;
+  config.keep_alive = 90 * kSecond;
+  config.prewarm_per_language = params.prewarm;
+  config.snapstart_restore = params.snapstart;
+  config.seed = params.seed;
+  Platform platform(config);
+
+  std::unique_ptr<DesiccantManager> manager;
+  if (params.mode == MemoryMode::kDesiccant) {
+    DesiccantConfig desiccant_config;
+    desiccant_config.selection.freeze_timeout = 200 * kMillisecond;
+    manager = std::make_unique<DesiccantManager>(&platform, desiccant_config);
+  }
+
+  // Random submissions over 60 simulated seconds.
+  Rng rng(params.seed);
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 60.0) {
+    const WorkloadSpec& w = suite[rng.UniformU64(0, suite.size() - 1)];
+    platform.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += rng.Exponential(0.7);
+  }
+
+  platform.BeginMeasurement();
+  // Interleave event processing with invariant checks.
+  for (double checkpoint = 10.0; checkpoint <= 400.0; checkpoint += 10.0) {
+    platform.RunUntil(FromSeconds(checkpoint));
+    // The cache charge equals the sum of frozen charges — no leaks, no
+    // double counting (prewarm stem cells and running instances are free).
+    EXPECT_EQ(platform.memory_charged(), platform.FrozenMemoryBytes());
+    EXPECT_LE(platform.memory_charged(), config.cache_capacity_bytes);
+    // CPU stays within the pool.
+    EXPECT_GE(platform.IdleCpu(), -1e-9);
+    EXPECT_LE(platform.IdleCpu(), config.cpu_cores + 1e-9);
+  }
+  platform.Run();  // drain everything (keep-alive events included)
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  // Every submitted request completed (no request is ever dropped).
+  EXPECT_EQ(m.requests_completed, submitted);
+  // Every stage start is accounted as exactly one start type.
+  EXPECT_EQ(m.cold_boots + m.warm_starts + m.prewarm_adoptions, m.stage_invocations);
+  // After the drain, everything idles out.
+  EXPECT_EQ(platform.FrozenMemoryBytes(), platform.memory_charged());
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, PlatformFuzzTest,
+    ::testing::Values(FuzzParams{1, MemoryMode::kVanilla, 1024, 0, false},
+                      FuzzParams{2, MemoryMode::kEager, 1024, 0, false},
+                      FuzzParams{3, MemoryMode::kDesiccant, 1024, 0, false},
+                      FuzzParams{4, MemoryMode::kDesiccant, 512, 0, false},
+                      FuzzParams{5, MemoryMode::kVanilla, 512, 2, false},
+                      FuzzParams{6, MemoryMode::kDesiccant, 512, 2, false},
+                      FuzzParams{7, MemoryMode::kVanilla, 1024, 0, true},
+                      FuzzParams{8, MemoryMode::kDesiccant, 256, 1, true},
+                      FuzzParams{9, MemoryMode::kEager, 256, 0, false},
+                      FuzzParams{10, MemoryMode::kDesiccant, 2048, 3, false}));
+
+}  // namespace
+}  // namespace desiccant

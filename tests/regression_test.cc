@@ -1,0 +1,258 @@
+// Edge-case battery: scenarios that previously exposed bugs, boundary
+// conditions the main suites don't reach, and the newer observability
+// surfaces (GC logs, adaptive tenuring, freeze grace).
+#include <gtest/gtest.h>
+
+#include "src/core/desiccant_manager.h"
+#include "src/faas/cluster.h"
+#include "src/faas/platform.h"
+#include "src/faas/single_study.h"
+#include "src/hotspot/hotspot_runtime.h"
+#include "src/v8/v8_runtime.h"
+
+namespace desiccant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GC log
+
+TEST(GcLogTest, RecordsYoungFullAndReclaim) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, HotSpotConfig::ForInstanceBudget(256 * kMiB),
+                         &registry);
+  const uint64_t eden = runtime.eden().capacity();
+  for (uint64_t allocated = 0; allocated <= eden; allocated += 32 * kKiB) {
+    runtime.AllocateObject(32 * kKiB);
+  }
+  runtime.CollectGarbage(false);
+  runtime.Reclaim({});
+  const auto& log = runtime.gc_log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log.front().kind, GcLogEntry::Kind::kYoung);
+  EXPECT_EQ(log.back().kind, GcLogEntry::Kind::kReclaim);
+  EXPECT_GT(log.back().released_pages, 0u);
+  for (const GcLogEntry& entry : log) {
+    EXPECT_GT(entry.pause, 0u);
+    EXPECT_LE(entry.live_bytes, entry.committed_bytes);
+  }
+}
+
+TEST(GcLogTest, RingIsBounded) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  V8Config config = V8Config::ForInstanceBudget(256 * kMiB);
+  V8Runtime runtime(&vas, &clock, config, &registry);
+  for (int i = 0; i < 600; ++i) {
+    runtime.CollectGarbage(false);
+    clock.AdvanceBy(kMillisecond);
+  }
+  EXPECT_LE(runtime.gc_log().size(), 512u);
+}
+
+TEST(GcLogTest, KindNames) {
+  EXPECT_STREQ(GcLogKindName(GcLogEntry::Kind::kYoung), "young");
+  EXPECT_STREQ(GcLogKindName(GcLogEntry::Kind::kFull), "full");
+  EXPECT_STREQ(GcLogKindName(GcLogEntry::Kind::kReclaim), "reclaim");
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive tenuring
+
+TEST(AdaptiveTenuringTest, ThresholdDropsWhenSurvivorsCrowd) {
+  HotSpotConfig config = HotSpotConfig::ForInstanceBudget(256 * kMiB);
+  config.adaptive_tenuring = true;
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, config, &registry);
+  EXPECT_EQ(runtime.effective_tenuring(), config.tenuring_threshold);
+
+  // A live window close to the survivor capacity crowds the survivors.
+  std::vector<RootTable::Handle> window;
+  const uint64_t survivor = runtime.from_space().capacity();
+  uint64_t rooted = 0;
+  while (rooted < survivor * 3 / 4) {
+    SimObject* obj = runtime.AllocateObject(64 * kKiB);
+    window.push_back(runtime.strong_roots().Create(obj));
+    rooted += obj->size;
+  }
+  const uint64_t eden = runtime.eden().capacity();
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t allocated = 0; allocated <= eden; allocated += 64 * kKiB) {
+      runtime.AllocateObject(64 * kKiB);
+    }
+  }
+  EXPECT_LT(runtime.effective_tenuring(), config.tenuring_threshold);
+}
+
+TEST(AdaptiveTenuringTest, DisabledKeepsThresholdFixed) {
+  HotSpotConfig config = HotSpotConfig::ForInstanceBudget(256 * kMiB);
+  config.adaptive_tenuring = false;
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, config, &registry);
+  const uint64_t eden = runtime.eden().capacity();
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t allocated = 0; allocated <= eden; allocated += 64 * kKiB) {
+      runtime.AllocateObject(64 * kKiB);
+    }
+  }
+  EXPECT_EQ(runtime.effective_tenuring(), config.tenuring_threshold);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary conditions
+
+TEST(BoundaryTest, TinyObjectsAndHugeObjectsCoexist) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  V8Runtime runtime(&vas, &clock, V8Config::ForInstanceBudget(256 * kMiB), &registry);
+  SimObject* tiny = runtime.AllocateObject(16);
+  SimObject* huge = runtime.AllocateObject(2 * kMiB);
+  runtime.strong_roots().Create(tiny);
+  runtime.strong_roots().Create(huge);
+  runtime.CollectGarbage(false);
+  EXPECT_EQ(runtime.ExactLiveBytes(), 16u + 2 * kMiB);
+}
+
+TEST(BoundaryTest, ReclaimOnFreshRuntimeIsHarmless) {
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  HotSpotRuntime runtime(&vas, &clock, HotSpotConfig::ForInstanceBudget(256 * kMiB),
+                         &registry);
+  const ReclaimResult result = runtime.Reclaim({});
+  EXPECT_EQ(result.live_bytes_after, 0u);
+  // A freshly booted runtime has nothing resident in the heap yet.
+  EXPECT_EQ(runtime.HeapResidentBytes(), 0u);
+}
+
+TEST(BoundaryTest, BackToBackReclaimsAreIdempotent) {
+  StudyConfig config;
+  ChainStudy study(*FindWorkload("fft"), config);
+  for (int i = 0; i < 20; ++i) {
+    study.Step();
+  }
+  study.ReclaimAll();
+  const uint64_t first = study.Sample().uss;
+  study.ReclaimAll();
+  EXPECT_EQ(study.Sample().uss, first);
+}
+
+TEST(BoundaryTest, ZeroLengthWindowWorkload) {
+  // A workload whose window is smaller than one object still runs (the
+  // interpreter clamps to one slot).
+  WorkloadSpec w;
+  w.name = "degenerate";
+  w.language = Language::kJavaScript;
+  StageSpec stage;
+  stage.alloc_bytes = 256 * kKiB;
+  stage.object_size = 4 * kKiB;
+  stage.window_bytes = 1;
+  stage.persistent_bytes = 16 * kKiB;
+  stage.exec_ms = 1.0;
+  w.stages.push_back(stage);
+  StudyConfig config;
+  ChainStudy study(w, config);
+  const ChainSample sample = study.Step();
+  EXPECT_GT(sample.uss, 0u);
+}
+
+TEST(BoundaryTest, EightStageChainCarriesThrough) {
+  // alexa has 8 stages; every intermediate stage must consume its upstream.
+  StudyConfig config;
+  ChainStudy study(*FindWorkload("alexa"), config);
+  for (int i = 0; i < 5; ++i) {
+    study.Step();
+  }
+  // Within one pass each downstream stage consumed its upstream's carry
+  // before executing, so at the end of the pass no stage still holds one
+  // (the next pass regenerates them just before consumption).
+  for (size_t stage = 0; stage < study.instances().size(); ++stage) {
+    if (stage + 1 < study.instances().size()) {
+      EXPECT_FALSE(study.instances()[stage]->program().has_carry())
+          << "stage " << stage << " carry should have been consumed downstream";
+    }
+  }
+  EXPECT_FALSE(study.instances().back()->program().has_carry());
+}
+
+// ---------------------------------------------------------------------------
+// Combined-feature platform scenarios
+
+TEST(CombinedTest, SwapAndDesiccantFlagsAreExclusiveButBothRun) {
+  for (const MemoryMode mode : {MemoryMode::kSwap, MemoryMode::kDesiccant}) {
+    PlatformConfig config;
+    config.mode = mode;
+    config.cache_capacity_bytes = 256 * kMiB;
+    Platform platform(config);
+    std::unique_ptr<DesiccantManager> manager;
+    if (mode == MemoryMode::kDesiccant) {
+      manager = std::make_unique<DesiccantManager>(&platform, DesiccantConfig{});
+    }
+    platform.BeginMeasurement();
+    for (int i = 0; i < 4; ++i) {
+      platform.Submit(FindWorkload("fft"), (1 + 3 * i) * kSecond);
+      platform.Submit(FindWorkload("sort"), (2 + 3 * i) * kSecond);
+    }
+    platform.RunUntil(60 * kSecond);
+    EXPECT_EQ(platform.metrics().requests_completed, 8u) << MemoryModeName(mode);
+  }
+}
+
+TEST(CombinedTest, PythonWorkloadThroughThePlatform) {
+  PlatformConfig config;
+  Platform platform(config);
+  platform.BeginMeasurement();
+  platform.Submit(&PythonExtensionSuite()[2], kSecond);  // py-etl: a 2-chain
+  platform.RunUntil(30 * kSecond);
+  EXPECT_EQ(platform.metrics().requests_completed, 1u);
+  EXPECT_EQ(platform.metrics().stage_invocations, 2u);
+}
+
+TEST(CombinedTest, ClusterWithPrewarmAndDesiccant) {
+  ClusterConfig config;
+  config.node_count = 2;
+  config.routing = RoutingPolicy::kAffinity;
+  config.node.mode = MemoryMode::kDesiccant;
+  config.node.prewarm_per_language = 1;
+  config.node.cache_capacity_bytes = 512 * kMiB;
+  Cluster cluster(config);
+  std::vector<std::unique_ptr<DesiccantManager>> managers;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    managers.push_back(std::make_unique<DesiccantManager>(&cluster.node(i),
+                                                          DesiccantConfig{}));
+  }
+  cluster.BeginMeasurement();
+  for (int i = 0; i < 6; ++i) {
+    cluster.Submit(FindWorkload("sort"), (1 + 2 * i) * kSecond);
+    cluster.Submit(FindWorkload("fft"), (2 + 2 * i) * kSecond);
+  }
+  cluster.RunUntil(60 * kSecond);
+  const PlatformMetrics m = cluster.AggregateMetrics();
+  EXPECT_EQ(m.requests_completed, 12u);
+}
+
+TEST(CombinedTest, GraceWindowPlusEagerGc) {
+  PlatformConfig config;
+  config.mode = MemoryMode::kEager;
+  config.freeze_grace = 50 * kMillisecond;
+  Platform platform(config);
+  platform.BeginMeasurement();
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.Submit(FindWorkload("sort"), 10 * kSecond);
+  platform.RunUntil(40 * kSecond);
+  // Eager GC runs at exit and the instance still freezes (grace applies only
+  // to the non-eager path; eager's GC occupancy already delays the freeze).
+  EXPECT_EQ(platform.metrics().requests_completed, 2u);
+  EXPECT_EQ(platform.metrics().warm_starts, 1u);
+  EXPECT_GT(platform.metrics().eager_gc_cpu_core_s, 0.0);
+}
+
+}  // namespace
+}  // namespace desiccant

@@ -1,0 +1,141 @@
+// Tests for the Azure-style trace generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/trace/azure_trace.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+namespace {
+
+std::vector<const WorkloadSpec*> AllWorkloads() {
+  std::vector<const WorkloadSpec*> workloads;
+  for (const WorkloadSpec& w : WorkloadSuite()) {
+    workloads.push_back(&w);
+  }
+  return workloads;
+}
+
+TEST(TraceTest, EveryWorkloadGetsAModel) {
+  TraceGenerator gen(1);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  EXPECT_EQ(functions.size(), 20u);
+  for (const TraceFunction& fn : functions) {
+    EXPECT_NE(fn.workload, nullptr);
+    EXPECT_GT(fn.mean_iat_s, 0.0);
+  }
+}
+
+TEST(TraceTest, AssignmentIsDeterministic) {
+  TraceGenerator gen(1);
+  const auto a = gen.BuildSuiteTrace(AllWorkloads());
+  const auto b = gen.BuildSuiteTrace(AllWorkloads());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_DOUBLE_EQ(a[i].mean_iat_s, b[i].mean_iat_s);
+  }
+}
+
+TEST(TraceTest, ShortFunctionsAreHotter) {
+  TraceGenerator gen(1);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  // The first entry (shortest exec time) has a smaller IAT than the last.
+  EXPECT_LT(functions.front().mean_iat_s, functions.back().mean_iat_s);
+}
+
+TEST(TraceTest, GenerateIsDeterministic) {
+  TraceGenerator gen(7);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  const auto a = gen.Generate(functions, 10.0, 0, FromSeconds(60));
+  const auto b = gen.Generate(functions, 10.0, 0, FromSeconds(60));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+  }
+}
+
+TEST(TraceTest, ArrivalsSortedAndInRange) {
+  TraceGenerator gen(7);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  const SimTime start = FromSeconds(60);
+  const SimTime end = FromSeconds(240);
+  const auto arrivals = gen.Generate(functions, 15.0, start, end);
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end(),
+                             [](const TraceArrival& a, const TraceArrival& b) {
+                               return a.time < b.time;
+                             }));
+  for (const TraceArrival& a : arrivals) {
+    EXPECT_GE(a.time, start);
+    EXPECT_LT(a.time, end);
+  }
+}
+
+TEST(TraceTest, ScaleFactorScalesLoad) {
+  TraceGenerator gen(7);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  const auto low = gen.Generate(functions, 5.0, 0, FromSeconds(120));
+  const auto high = gen.Generate(functions, 25.0, 0, FromSeconds(120));
+  // 5x the scale factor gives roughly 5x the arrivals.
+  const double ratio = static_cast<double>(high.size()) / static_cast<double>(low.size());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(TraceTest, AllWorkloadsAppearUnderLoad) {
+  TraceGenerator gen(7);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  const auto arrivals = gen.Generate(functions, 30.0, 0, FromSeconds(300));
+  std::map<const WorkloadSpec*, int> counts;
+  for (const TraceArrival& a : arrivals) {
+    ++counts[a.workload];
+  }
+  EXPECT_EQ(counts.size(), 20u);
+}
+
+TEST(TraceTest, DifferentSeedsDifferentTraces) {
+  const auto workloads = AllWorkloads();
+  TraceGenerator g1(1);
+  TraceGenerator g2(2);
+  const auto f1 = g1.BuildSuiteTrace(workloads);
+  const auto a1 = g1.Generate(f1, 10.0, 0, FromSeconds(30));
+  const auto a2 = g2.Generate(f1, 10.0, 0, FromSeconds(30));
+  // Same models, different seeds: different arrival times (sizes may differ).
+  bool differs = a1.size() != a2.size();
+  for (size_t i = 0; !differs && i < std::min(a1.size(), a2.size()); ++i) {
+    differs = a1[i].time != a2[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TraceTest, BurstyPatternsProduceBursts) {
+  TraceGenerator gen(7);
+  const auto functions = gen.BuildSuiteTrace(AllWorkloads());
+  // Find a bursty function and check back-to-back gaps exist.
+  for (const TraceFunction& fn : functions) {
+    if (fn.pattern != ArrivalPattern::kBursty) {
+      continue;
+    }
+    const auto arrivals = gen.Generate({fn}, 20.0, 0, FromSeconds(600));
+    if (arrivals.size() < 4) {
+      continue;
+    }
+    bool found_small_gap = false;
+    for (size_t i = 1; i < arrivals.size(); ++i) {
+      if (arrivals[i].time - arrivals[i - 1].time < FromMillis(300)) {
+        found_small_gap = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_small_gap);
+    return;
+  }
+  GTEST_SKIP() << "no bursty function generated arrivals";
+}
+
+}  // namespace
+}  // namespace desiccant

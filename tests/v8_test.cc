@@ -1,0 +1,347 @@
+// Tests for the V8-style engine: scavenging, the growth/shrink policies that
+// create frozen garbage, weak references, and the reclaim interface.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/v8/v8_runtime.h"
+
+namespace desiccant {
+namespace {
+
+V8Config TestConfig() { return V8Config::ForInstanceBudget(256 * kMiB); }
+
+class V8Test : public ::testing::Test {
+ protected:
+  V8Test() : vas_(&registry_), runtime_(&vas_, &clock_, TestConfig(), &registry_) {}
+
+  // Allocates `total` bytes of garbage in `size`-byte objects, advancing the
+  // clock by `ms` to model compute (and hence an allocation rate).
+  void Churn(uint64_t total, uint32_t size, double ms) {
+    const uint64_t count = total / size;
+    for (uint64_t i = 0; i < count; ++i) {
+      runtime_.AllocateObject(size);
+      clock_.AdvanceBy(FromMillis(ms / static_cast<double>(count)));
+    }
+  }
+
+  SharedFileRegistry registry_;
+  SimClock clock_;
+  VirtualAddressSpace vas_;
+  V8Runtime runtime_;
+};
+
+TEST_F(V8Test, ConfigDerivesSemispaceCap) {
+  // 256 MiB budget -> 230 MiB heap -> heap/16 ~= 14.25 MiB, chunk-aligned.
+  const V8Config config = TestConfig();
+  EXPECT_EQ(config.EffectiveMaxSemispace() % kChunkSize, 0u);
+  EXPECT_LE(config.EffectiveMaxSemispace(), config.max_heap_bytes / 16);
+  // Larger budgets scale the cap with heap/16 (chunk-aligned).
+  const V8Config big = V8Config::ForInstanceBudget(1024 * kMiB);
+  EXPECT_EQ(big.EffectiveMaxSemispace(),
+            big.max_heap_bytes / 16 / kChunkSize * kChunkSize);
+  EXPECT_GT(big.EffectiveMaxSemispace(), config.EffectiveMaxSemispace());
+}
+
+TEST_F(V8Test, StartsSmall) {
+  EXPECT_EQ(runtime_.semispace_size(), TestConfig().initial_semispace_bytes);
+  EXPECT_EQ(runtime_.GetHeapStats().young_gc_count, 0u);
+}
+
+TEST_F(V8Test, AllocatesInFromSpace) {
+  runtime_.AllocateObject(1024);
+  EXPECT_EQ(runtime_.from_space().used_bytes(), 1024u);
+}
+
+TEST_F(V8Test, ScavengeCollectsGarbage) {
+  Churn(4 * kMiB, 8 * kKiB, 1.0);
+  const HeapStats stats = runtime_.GetHeapStats();
+  EXPECT_GE(stats.young_gc_count, 1u);
+  // Nothing was rooted: tracing finds nothing, and a collection leaves the
+  // new space empty (only the post-GC allocation tail would remain).
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 0u);
+  runtime_.CollectGarbage(false);
+  EXPECT_EQ(runtime_.from_space().used_bytes(), 0u);
+}
+
+TEST_F(V8Test, RootedObjectsSurviveScavenges) {
+  SimObject* live = runtime_.AllocateObject(100 * kKiB);
+  runtime_.strong_roots().Create(live);
+  Churn(4 * kMiB, 8 * kKiB, 1.0);
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 100 * kKiB);
+}
+
+TEST_F(V8Test, SurvivorsPromoteAfterTwoScavenges) {
+  SimObject* live = runtime_.AllocateObject(100 * kKiB);
+  runtime_.strong_roots().Create(live);
+  Churn(8 * kMiB, 8 * kKiB, 1.0);  // several scavenges
+  EXPECT_GE(runtime_.GetHeapStats().young_gc_count, 2u);
+  EXPECT_EQ(runtime_.old_space().used_bytes(), 100 * kKiB);
+}
+
+TEST_F(V8Test, YoungGenerationDoublesUnderHighAllocationRate) {
+  // High allocation rate: accumulated live keeps pace and semispaces double.
+  SimObject* live = runtime_.AllocateObject(200 * kKiB);
+  runtime_.strong_roots().Create(live);
+  const uint64_t initial = runtime_.semispace_size();
+  // Lots of allocation with a live working set, in very little time.
+  std::vector<RootTable::Handle> window;
+  for (int i = 0; i < 3000; ++i) {
+    SimObject* obj = runtime_.AllocateObject(8 * kKiB);
+    if (window.size() < 128) {
+      window.push_back(runtime_.strong_roots().Create(obj));
+    } else {
+      runtime_.strong_roots().Set(window[i % window.size()], obj);
+    }
+    clock_.AdvanceBy(2 * kMicrosecond);
+  }
+  EXPECT_GT(runtime_.semispace_size(), initial);
+}
+
+TEST_F(V8Test, ShrinkRefusedWhileAllocationRateHigh) {
+  // Inflate the young generation, then GC with almost no elapsed time: the
+  // §3.2.2 pathology — the young generation cannot shrink.
+  std::vector<RootTable::Handle> window;
+  for (int i = 0; i < 3000; ++i) {
+    SimObject* obj = runtime_.AllocateObject(8 * kKiB);
+    if (window.size() < 128) {
+      window.push_back(runtime_.strong_roots().Create(obj));
+    } else {
+      runtime_.strong_roots().Set(window[i % window.size()], obj);
+    }
+    clock_.AdvanceBy(2 * kMicrosecond);
+  }
+  const uint64_t inflated = runtime_.semispace_size();
+  ASSERT_GT(inflated, TestConfig().initial_semispace_bytes);
+  runtime_.CollectGarbage(false);  // alloc rate still reads as hot
+  EXPECT_EQ(runtime_.semispace_size(), inflated);
+}
+
+TEST_F(V8Test, ShrinksWhenAllocationRateLow) {
+  std::vector<RootTable::Handle> window;
+  for (int i = 0; i < 3000; ++i) {
+    SimObject* obj = runtime_.AllocateObject(8 * kKiB);
+    if (window.size() < 16) {
+      window.push_back(runtime_.strong_roots().Create(obj));
+    } else {
+      runtime_.strong_roots().Set(window[i % window.size()], obj);
+    }
+    clock_.AdvanceBy(2 * kMicrosecond);
+  }
+  const uint64_t inflated = runtime_.semispace_size();
+  ASSERT_GT(inflated, TestConfig().initial_semispace_bytes);
+  // A long quiet period makes the allocation rate low; the next GC shrinks.
+  clock_.AdvanceBy(10 * kSecond);
+  runtime_.CollectGarbage(false);
+  EXPECT_LT(runtime_.semispace_size(), inflated);
+}
+
+TEST_F(V8Test, EmptyChunksReleasedByFullGc) {
+  // Promote a lot into old space, drop it, full GC: empty chunks unmapped.
+  std::vector<RootTable::Handle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(runtime_.strong_roots().Create(runtime_.AllocateObject(64 * kKiB)));
+  }
+  Churn(6 * kMiB, 8 * kKiB, 1.0);  // scavenges promote the rooted set
+  ASSERT_GT(runtime_.old_space().CommittedBytes(), 0u);
+  const uint64_t committed_before = runtime_.old_space().CommittedBytes();
+  for (const RootTable::Handle h : handles) {
+    runtime_.strong_roots().Destroy(h);
+  }
+  runtime_.CollectGarbage(false);
+  EXPECT_LT(runtime_.old_space().CommittedBytes(), committed_before);
+}
+
+TEST_F(V8Test, LargeObjectsUseLos) {
+  SimObject* big = runtime_.AllocateObject(1 * kMiB);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(runtime_.large_object_space().used_bytes(), 1 * kMiB);
+  EXPECT_EQ(runtime_.from_space().used_bytes(), 0u);
+}
+
+TEST_F(V8Test, DeadLargeObjectsUnmapped) {
+  runtime_.AllocateObject(1 * kMiB);  // garbage
+  runtime_.CollectGarbage(false);
+  EXPECT_EQ(runtime_.large_object_space().used_bytes(), 0u);
+  EXPECT_EQ(runtime_.large_object_space().CommittedBytes(), 0u);
+}
+
+TEST_F(V8Test, GlobalGcIsAggressiveOnWeakRoots) {
+  SimObject* cache = runtime_.AllocateObject(128 * kKiB);
+  runtime_.weak_roots().Create(cache);
+  EXPECT_DOUBLE_EQ(runtime_.ExecMultiplier(), 2.5);  // still cold
+  runtime_.CollectGarbage(/*aggressive=*/true);
+  EXPECT_FALSE(runtime_.weak_roots().AnyNonNull());
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 0u);
+}
+
+TEST_F(V8Test, DeoptPenaltyAfterAggressiveGc) {
+  // Warm up past the JIT window first.
+  for (int i = 0; i < 20; ++i) {
+    runtime_.BeginInvocation();
+    runtime_.EndInvocation();
+  }
+  EXPECT_DOUBLE_EQ(runtime_.ExecMultiplier(), 1.0);
+  runtime_.weak_roots().Create(runtime_.AllocateObject(64 * kKiB));
+  runtime_.CollectGarbage(/*aggressive=*/true);
+  EXPECT_GT(runtime_.ExecMultiplier(), 1.0);
+  // The penalty decays over subsequent invocations.
+  for (int i = 0; i < 20; ++i) {
+    runtime_.BeginInvocation();
+    runtime_.EndInvocation();
+  }
+  EXPECT_DOUBLE_EQ(runtime_.ExecMultiplier(), 1.0);
+}
+
+TEST_F(V8Test, NonAggressiveReclaimKeepsWeakRoots) {
+  SimObject* cache = runtime_.AllocateObject(128 * kKiB);
+  runtime_.weak_roots().Create(cache);
+  runtime_.Reclaim({});  // Desiccant default: aggressive = false (§4.7)
+  EXPECT_TRUE(runtime_.weak_roots().AnyNonNull());
+  EXPECT_EQ(runtime_.ExactLiveBytes(), 128 * kKiB);
+}
+
+TEST_F(V8Test, ReclaimShrinksFrozenYoungGeneration) {
+  // Inflate the young generation with a hot loop, then reclaim while "frozen"
+  // (no time passes, allocation rate still reads hot): Desiccant's
+  // freeze-aware shrink ignores the rate and releases the memory anyway.
+  std::vector<RootTable::Handle> window;
+  for (int i = 0; i < 3000; ++i) {
+    SimObject* obj = runtime_.AllocateObject(8 * kKiB);
+    if (window.size() < 128) {
+      window.push_back(runtime_.strong_roots().Create(obj));
+    } else {
+      runtime_.strong_roots().Set(window[i % window.size()], obj);
+    }
+    clock_.AdvanceBy(2 * kMicrosecond);
+  }
+  for (const RootTable::Handle h : window) {
+    runtime_.strong_roots().Set(h, nullptr);
+  }
+  const uint64_t inflated = runtime_.semispace_size();
+  const uint64_t resident_before = runtime_.HeapResidentBytes();
+  const ReclaimResult result = runtime_.Reclaim({});
+  EXPECT_GT(result.released_pages, 0u);
+  EXPECT_LT(runtime_.semispace_size(), inflated);
+  EXPECT_LT(runtime_.HeapResidentBytes(), resident_before / 2);
+}
+
+TEST_F(V8Test, ReclaimKeepsMetadataPages) {
+  Churn(2 * kMiB, 8 * kKiB, 1.0);
+  runtime_.Reclaim({});
+  // Every mapped chunk keeps its 4 KiB metadata page resident.
+  uint64_t mapped_chunks = runtime_.from_space().chunks().size() +
+                           runtime_.to_space().chunks().size();
+  for (const auto& chunk : runtime_.old_space().chunks()) {
+    (void)chunk;
+    ++mapped_chunks;
+  }
+  EXPECT_GE(runtime_.HeapResidentBytes(), mapped_chunks * kChunkMetadataBytes);
+}
+
+TEST_F(V8Test, ReclaimedHeapIsReusable) {
+  Churn(4 * kMiB, 8 * kKiB, 1.0);
+  runtime_.Reclaim({});
+  SimObject* obj = runtime_.AllocateObject(16 * kKiB);
+  EXPECT_NE(obj, nullptr);
+  EXPECT_EQ(runtime_.from_space().used_bytes(), 16 * kKiB);
+}
+
+TEST_F(V8Test, StatsAreCoherent) {
+  Churn(4 * kMiB, 8 * kKiB, 1.0);
+  const HeapStats stats = runtime_.GetHeapStats();
+  EXPECT_GT(stats.committed_bytes, 0u);
+  EXPECT_LE(stats.resident_bytes, stats.committed_bytes);
+  EXPECT_GT(stats.total_gc_time, 0u);
+  EXPECT_EQ(stats.young_capacity, 2 * runtime_.semispace_size());
+}
+
+TEST_F(V8Test, StoreBufferKeepsOldToYoungTargetsAlive) {
+  // Promote a parent, then link it to a fresh young child via the write
+  // barrier: scavenges must keep the child alive through the store buffer.
+  SimObject* parent = runtime_.AllocateObject(64 * kKiB);
+  runtime_.strong_roots().Create(parent);
+  Churn(6 * kMiB, 8 * kKiB, 1.0);  // several scavenges -> parent promotes
+  ASSERT_EQ(parent->space, 1);
+
+  SimObject* child = runtime_.AllocateObject(32 * kKiB);
+  parent->AddRef(child);
+  runtime_.WriteBarrier(parent, child);
+  EXPECT_GE(runtime_.remembered_set().size(), 1u);
+  Churn(4 * kMiB, 8 * kKiB, 1.0);
+  // The child survived (it may itself have been promoted by now).
+  EXPECT_EQ(runtime_.ExactLiveBytes(), static_cast<uint64_t>(64 * kKiB + 32 * kKiB));
+}
+
+TEST_F(V8Test, FullGcRebuildsStoreBuffer) {
+  SimObject* parent = runtime_.AllocateObject(64 * kKiB);
+  runtime_.strong_roots().Create(parent);
+  Churn(6 * kMiB, 8 * kKiB, 1.0);
+  ASSERT_EQ(parent->space, 1);
+  SimObject* child = runtime_.AllocateObject(32 * kKiB);
+  parent->AddRef(child);
+  runtime_.WriteBarrier(parent, child);
+  runtime_.CollectGarbage(false);
+  // If the child is still young after the full GC, the rebuilt store buffer
+  // must cover the edge; either way nothing was lost.
+  if (child->space == 0) {
+    EXPECT_GE(runtime_.remembered_set().size(), 1u);
+  }
+  EXPECT_EQ(runtime_.ExactLiveBytes(), static_cast<uint64_t>(64 * kKiB + 32 * kKiB));
+}
+
+TEST_F(V8Test, LanguageAndBoot) {
+  EXPECT_EQ(runtime_.language(), Language::kJavaScript);
+  EXPECT_LT(runtime_.BootCost(), 300 * kMillisecond);
+  EXPECT_NE(runtime_.image_region(), kInvalidRegionId);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random traffic, liveness preserved, reclaim sound.
+
+class V8PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(V8PropertyTest, LivenessPreservedUnderRandomTraffic) {
+  Rng rng(GetParam());
+  SharedFileRegistry registry;
+  SimClock clock;
+  VirtualAddressSpace vas(&registry);
+  V8Runtime runtime(&vas, &clock, TestConfig(), &registry);
+
+  std::vector<std::pair<RootTable::Handle, uint32_t>> rooted;
+  uint64_t rooted_bytes = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    clock.AdvanceBy(rng.UniformU64(1, 20) * kMicrosecond);
+    const double action = rng.NextDouble();
+    if (action < 0.70) {
+      runtime.AllocateObject(static_cast<uint32_t>(rng.UniformU64(64, 24 * kKiB)));
+    } else if (action < 0.90 || rooted.empty()) {
+      if (rooted_bytes < 10 * kMiB) {
+        const auto size = static_cast<uint32_t>(rng.UniformU64(64, 24 * kKiB));
+        SimObject* obj = runtime.AllocateObject(size);
+        rooted.emplace_back(runtime.strong_roots().Create(obj), size);
+        rooted_bytes += size;
+      }
+    } else if (action < 0.97) {
+      const size_t i = rng.UniformU64(0, rooted.size() - 1);
+      runtime.strong_roots().Destroy(rooted[i].first);
+      rooted_bytes -= rooted[i].second;
+      rooted[i] = rooted.back();
+      rooted.pop_back();
+    } else {
+      runtime.CollectGarbage(false);
+    }
+    if (step % 500 == 499) {
+      EXPECT_EQ(runtime.ExactLiveBytes(), rooted_bytes);
+      runtime.Reclaim({});
+      EXPECT_EQ(runtime.ExactLiveBytes(), rooted_bytes);
+      EXPECT_GE(runtime.GetHeapStats().committed_bytes, rooted_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, V8PropertyTest, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace desiccant

@@ -1,0 +1,201 @@
+// Tests for the Table 1 suite and the allocation-program interpreter.
+#include <gtest/gtest.h>
+
+#include "src/faas/instance.h"
+#include "src/workloads/function_program.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Suite contents (Table 1)
+
+TEST(SuiteTest, TwentyWorkloads) {
+  EXPECT_EQ(WorkloadSuite().size(), 20u);
+  EXPECT_EQ(SuiteByLanguage(Language::kJava).size(), 8u);
+  EXPECT_EQ(SuiteByLanguage(Language::kJavaScript).size(), 12u);
+}
+
+TEST(SuiteTest, ChainLengthsMatchTable1) {
+  EXPECT_EQ(FindWorkload("image-pipeline")->chain_length(), 4u);
+  EXPECT_EQ(FindWorkload("hotel-searching")->chain_length(), 3u);
+  EXPECT_EQ(FindWorkload("mapreduce")->chain_length(), 2u);
+  EXPECT_EQ(FindWorkload("specjbb2015")->chain_length(), 3u);
+  EXPECT_EQ(FindWorkload("data-analysis")->chain_length(), 6u);
+  EXPECT_EQ(FindWorkload("alexa")->chain_length(), 8u);
+  EXPECT_EQ(FindWorkload("fft")->chain_length(), 1u);
+}
+
+TEST(SuiteTest, FindWorkloadUnknownReturnsNull) {
+  EXPECT_EQ(FindWorkload("no-such-function"), nullptr);
+}
+
+TEST(SuiteTest, ChainStagesCarryExceptLast) {
+  const WorkloadSpec* mapreduce = FindWorkload("mapreduce");
+  EXPECT_GT(mapreduce->stages[0].carry_bytes, 0u);
+  EXPECT_EQ(mapreduce->stages[1].carry_bytes, 0u);
+}
+
+TEST(SuiteTest, WeakSensitiveFunctions) {
+  EXPECT_GT(FindWorkload("unionfind")->stages[0].weak_bytes, 0u);
+  EXPECT_DOUBLE_EQ(FindWorkload("unionfind")->stages[0].weak_deopt_factor, 1.74);
+  EXPECT_DOUBLE_EQ(FindWorkload("data-analysis")->stages[0].weak_deopt_factor, 2.14);
+  EXPECT_DOUBLE_EQ(FindWorkload("sort")->stages[0].weak_deopt_factor, 1.0);
+}
+
+TEST(SuiteTest, TotalExecMsSumsStages) {
+  const WorkloadSpec* w = FindWorkload("mapreduce");
+  EXPECT_DOUBLE_EQ(w->TotalExecMs(), w->stages[0].exec_ms + w->stages[1].exec_ms);
+}
+
+TEST(SuiteTest, CoarsenScalesObjectSizes) {
+  const WorkloadSpec* fft = FindWorkload("fft");
+  const WorkloadSpec coarse = CoarsenObjects(*fft, 4);
+  EXPECT_EQ(coarse.stages[0].object_size, fft->stages[0].object_size * 4);
+  EXPECT_EQ(coarse.stages[0].alloc_bytes, fft->stages[0].alloc_bytes);
+}
+
+TEST(SuiteTest, CoarsenCapsAtRegularObjectLimit) {
+  const WorkloadSpec* matrix = FindWorkload("matrix");  // 32 KiB objects
+  const WorkloadSpec coarse = CoarsenObjects(*matrix, 1000);
+  EXPECT_LE(coarse.stages[0].object_size, 128 * kKiB);
+}
+
+// ---------------------------------------------------------------------------
+// FunctionProgram semantics (driven through real runtimes)
+
+class ProgramTest : public ::testing::TestWithParam<Language> {
+ protected:
+  std::unique_ptr<Instance> MakeInstance(const WorkloadSpec* workload, size_t stage = 0) {
+    return std::make_unique<Instance>(1, workload, stage, 256 * kMiB, &registry_, 99);
+  }
+  SharedFileRegistry registry_;
+};
+
+TEST_P(ProgramTest, LiveBytesApproachPersistentAfterExit) {
+  const WorkloadSpec* w =
+      GetParam() == Language::kJava ? FindWorkload("sort") : FindWorkload("dynamic-html");
+  auto instance = MakeInstance(w);
+  for (int i = 0; i < 5; ++i) {
+    instance->Execute();
+    instance->Freeze(instance->exec_clock().Now());
+    instance->Thaw();
+  }
+  const StageSpec& spec = w->stages[0];
+  const uint64_t live = instance->runtime().ExactLiveBytes();
+  // At the exit point only the persistent state (plus weak set) is live.
+  EXPECT_GE(live, spec.persistent_bytes);
+  EXPECT_LE(live, spec.persistent_bytes * 3 / 2 + spec.weak_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Languages, ProgramTest,
+                         ::testing::Values(Language::kJava, Language::kJavaScript));
+
+TEST(ProgramSemanticsTest, FirstInvocationAllocatesInit) {
+  const WorkloadSpec* w = FindWorkload("file-hash");
+  SharedFileRegistry registry;
+  Instance instance(1, w, 0, 256 * kMiB, &registry, 5);
+  const InvocationOutcome first = instance.Execute();
+  const InvocationOutcome second = instance.Execute();
+  // Init churn makes the first invocation allocate much more.
+  EXPECT_GT(first.mutator.allocated_bytes,
+            second.mutator.allocated_bytes + w->stages[0].init_churn_bytes / 2);
+  // The init working set died at the first exit.
+  EXPECT_LT(instance.runtime().ExactLiveBytes(), w->stages[0].init_churn_bytes);
+}
+
+TEST(ProgramSemanticsTest, CarryStaysLiveUntilConsumed) {
+  const WorkloadSpec* w = FindWorkload("mapreduce");
+  SharedFileRegistry registry;
+  Instance mapper(1, w, 0, 256 * kMiB, &registry, 5);
+  mapper.Execute();
+  EXPECT_TRUE(mapper.program().has_carry());
+  const uint64_t live_with_carry = mapper.runtime().ExactLiveBytes();
+  EXPECT_GE(live_with_carry, w->stages[0].carry_bytes);
+  mapper.program().ConsumeCarry(mapper.runtime());
+  EXPECT_FALSE(mapper.program().has_carry());
+  EXPECT_LE(mapper.runtime().ExactLiveBytes(), live_with_carry - w->stages[0].carry_bytes);
+}
+
+TEST(ProgramSemanticsTest, EagerGcCannotCollectCarry) {
+  const WorkloadSpec* w = FindWorkload("mapreduce");
+  SharedFileRegistry registry;
+  Instance mapper(1, w, 0, 256 * kMiB, &registry, 5);
+  mapper.Execute();
+  mapper.EagerGc();
+  EXPECT_GE(mapper.runtime().EstimateLiveBytes(), w->stages[0].carry_bytes);
+}
+
+TEST(ProgramSemanticsTest, WeakSetRebuiltAfterAggressiveCollection) {
+  const WorkloadSpec* w = FindWorkload("unionfind");
+  SharedFileRegistry registry;
+  Instance instance(1, w, 0, 256 * kMiB, &registry, 5);
+  instance.Execute();
+  EXPECT_TRUE(instance.runtime().weak_roots().AnyNonNull());
+  instance.runtime().CollectGarbage(/*aggressive=*/true);
+  EXPECT_FALSE(instance.runtime().weak_roots().AnyNonNull());
+  instance.Execute();  // lazily re-created
+  EXPECT_TRUE(instance.runtime().weak_roots().AnyNonNull());
+}
+
+TEST(ProgramSemanticsTest, JitWarmupSpeedsUp) {
+  const WorkloadSpec* w = FindWorkload("pi");
+  SharedFileRegistry registry;
+  Instance instance(1, w, 0, 256 * kMiB, &registry, 5);
+  const InvocationOutcome first = instance.Execute();
+  InvocationOutcome last{};
+  for (int i = 0; i < 20; ++i) {
+    last = instance.Execute();
+  }
+  EXPECT_GT(first.exec_multiplier, last.exec_multiplier);
+  EXPECT_DOUBLE_EQ(last.exec_multiplier, 1.0);
+  EXPECT_GT(first.duration, last.duration);
+}
+
+TEST(ProgramSemanticsTest, InvocationAdvancesInstanceClock) {
+  const WorkloadSpec* w = FindWorkload("sort");
+  SharedFileRegistry registry;
+  Instance instance(1, w, 0, 256 * kMiB, &registry, 5);
+  const SimTime before = instance.exec_clock().Now();
+  instance.Execute();
+  EXPECT_GT(instance.exec_clock().Now(), before);
+}
+
+// Every workload stage runs without error on its runtime and leaves a
+// plausible live set — the whole Table 1 swept as a parameterized test.
+class SuiteSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteSweepTest, TenInvocationsPerStage) {
+  const WorkloadSpec* w = FindWorkload(GetParam());
+  ASSERT_NE(w, nullptr);
+  SharedFileRegistry registry;
+  for (size_t stage = 0; stage < w->chain_length(); ++stage) {
+    Instance instance(stage + 1, w, stage, 256 * kMiB, &registry, 7 + stage);
+    for (int i = 0; i < 10; ++i) {
+      if (instance.program().has_carry()) {
+        instance.program().ConsumeCarry(instance.runtime());
+      }
+      const InvocationOutcome outcome = instance.Execute();
+      EXPECT_GT(outcome.duration, 0u);
+      EXPECT_GE(outcome.mutator.allocated_bytes, w->stages[stage].alloc_bytes);
+    }
+    const StageSpec& spec = w->stages[stage];
+    const uint64_t live = instance.runtime().ExactLiveBytes();
+    EXPECT_GE(live, spec.persistent_bytes);
+    EXPECT_LE(live, spec.persistent_bytes + spec.weak_bytes + spec.carry_bytes +
+                        spec.persistent_bytes / 2 + 64 * kKiB);
+    // Memory accounting sanity.
+    const MemoryUsage usage = instance.Usage();
+    EXPECT_GE(usage.rss, usage.uss);
+    EXPECT_GE(usage.uss, live / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteSweepTest, ::testing::Values(
+    "time", "sort", "file-hash", "image-resize", "image-pipeline", "hotel-searching",
+    "mapreduce", "specjbb2015", "clock", "dynamic-html", "factor", "fft", "fibonacci",
+    "filesystem", "matrix", "pi", "unionfind", "web-server", "data-analysis", "alexa"));
+
+}  // namespace
+}  // namespace desiccant

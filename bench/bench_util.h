@@ -131,12 +131,15 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
 
   const SimTime warmup_end = FromSeconds(config.warmup_seconds);
   const SimTime replay_end = warmup_end + FromSeconds(config.measure_seconds);
-  for (const TraceArrival& a :
-       generator.Generate(trace_functions, config.warmup_scale_factor, 0, warmup_end)) {
+  const auto warmup_arrivals =
+      generator.Generate(trace_functions, config.warmup_scale_factor, 0, warmup_end);
+  const auto measure_arrivals =
+      generator.Generate(trace_functions, config.scale_factor, warmup_end, replay_end);
+  platform.ReserveEvents(warmup_arrivals.size() + measure_arrivals.size());
+  for (const TraceArrival& a : warmup_arrivals) {
     platform.Submit(a.workload, a.time);
   }
-  for (const TraceArrival& a :
-       generator.Generate(trace_functions, config.scale_factor, warmup_end, replay_end)) {
+  for (const TraceArrival& a : measure_arrivals) {
     platform.Submit(a.workload, a.time);
   }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the OS page-model microbenchmark and writes BENCH_os.json so the perf
+# trajectory of the accounting hot paths is tracked PR over PR.
+#
+# Usage: scripts/bench_os.sh [output.json]
+#   BUILD_DIR=build  cmake build directory (configured if missing)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_os.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target micro_os
+
+"$BUILD_DIR/bench/micro_os" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "wrote $OUT"

@@ -2,9 +2,10 @@
 #ifndef DESICCANT_SRC_FAAS_EVENT_QUEUE_H_
 #define DESICCANT_SRC_FAAS_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/base/sim_clock.h"
@@ -12,21 +13,31 @@
 
 namespace desiccant {
 
+// A min-heap of (time, seq)-ordered closures. Implemented directly over a
+// vector with std::push_heap/pop_heap rather than std::priority_queue: the
+// adapter only exposes a const top(), which forces RunNext to *copy* the
+// std::function (and any captured state) out of every event it runs. The raw
+// heap lets events be moved in and out.
 class EventQueue {
  public:
   void Schedule(SimTime time, std::function<void()> fn) {
-    events_.push(Event{time, next_seq_++, std::move(fn)});
+    events_.push_back(Event{time, next_seq_++, std::move(fn)});
+    std::push_heap(events_.begin(), events_.end(), Later{});
   }
 
+  // Capacity hint for callers that know their event volume up front (e.g. a
+  // trace replay scheduling one arrival per request).
+  void Reserve(size_t n) { events_.reserve(n); }
+
   bool empty() const { return events_.empty(); }
-  SimTime next_time() const { return events_.top().time; }
+  size_t size() const { return events_.size(); }
+  SimTime next_time() const { return events_.front().time; }
 
   // Pops the earliest event, advances the clock to it, and runs it.
   void RunNext(SimClock* clock) {
-    // Moving out of a priority_queue top requires a const_cast dance; copy the
-    // closure instead (events are small).
-    Event event = events_.top();
-    events_.pop();
+    std::pop_heap(events_.begin(), events_.end(), Later{});
+    Event event = std::move(events_.back());
+    events_.pop_back();
     clock->AdvanceTo(event.time);
     event.fn();
   }
@@ -36,16 +47,20 @@ class EventQueue {
     SimTime time;
     uint64_t seq;  // FIFO tiebreak for simultaneous events
     std::function<void()> fn;
+  };
 
-    bool operator>(const Event& other) const {
-      if (time != other.time) {
-        return time > other.time;
+  // Heap comparator: "fires later" orders the max-heap primitives into a
+  // min-heap on (time, seq).
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
       }
-      return seq > other.seq;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Event> events_;
   uint64_t next_seq_ = 0;
 };
 

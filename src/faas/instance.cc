@@ -112,7 +112,7 @@ SimTime Instance::EagerGc() {
 }
 
 ReclaimResult Instance::Reclaim(const ReclaimOptions& options, bool unmap_idle_libraries) {
-  const uint64_t uss_before = vas_.Usage().uss;
+  const uint64_t uss_before = vas_.UssBytes();
   ReclaimResult result = runtime_->Reclaim(options);
   if (unmap_idle_libraries) {
     const uint64_t pages = UnmapIdleLibraries();
@@ -154,9 +154,9 @@ SimTime Instance::Thaw() {
 }
 
 uint64_t Instance::IdealUssBytes() {
-  const MemoryUsage usage = vas_.Usage();
+  const uint64_t uss = vas_.UssBytes();
   const uint64_t heap_resident = runtime_->HeapResidentBytes();
-  const uint64_t non_heap = usage.uss > heap_resident ? usage.uss - heap_resident : 0;
+  const uint64_t non_heap = uss > heap_resident ? uss - heap_resident : 0;
   return non_heap + PageAlignUp(runtime_->ExactLiveBytes());
 }
 

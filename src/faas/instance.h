@@ -69,7 +69,7 @@ class Instance {
   // USS snapshot refreshed at freeze/reclaim; what the platform charges
   // against the instance cache while the instance is frozen.
   uint64_t CachedUss() const { return cached_uss_; }
-  void RefreshUss() { cached_uss_ = vas_.Usage().uss; }
+  void RefreshUss() { cached_uss_ = vas_.UssBytes(); }
 
   // The "ideal" metric of §3.1: only useful contents (live objects plus the
   // runtime's non-heap private memory) are charged.

@@ -164,6 +164,10 @@ class Platform {
   // Enqueues a request for `workload` arriving at `arrival`.
   void Submit(const WorkloadSpec* workload, SimTime arrival);
 
+  // Capacity hint for bulk submission (e.g. a whole trace): grows the event
+  // queue once instead of rehashing the heap vector while enqueueing.
+  void ReserveEvents(size_t n) { context_->events.Reserve(context_->events.size() + n); }
+
   // §2.1 provisioned concurrency: keeps `count` instances of the workload's
   // first stage always resident — booted eagerly, exempt from keep-alive
   // expiry and LRU eviction. Call before Run().

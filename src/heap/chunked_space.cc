@@ -88,7 +88,8 @@ uint64_t Chunk::ReleaseFreePages() {
 }
 
 uint64_t Chunk::ResidentBytes() const {
-  return PagesToBytes(vas_->ResidentPagesInRange(region_, 0, kChunkSize));
+  // A chunk is its own region, so the O(1) per-region counters apply.
+  return PagesToBytes(vas_->ResidentPagesInRegion(region_));
 }
 
 uint64_t Chunk::FreeBytes() const {
@@ -342,8 +343,7 @@ uint64_t LargeObjectSpace::CommittedBytes() const {
 uint64_t LargeObjectSpace::ResidentBytes() const {
   uint64_t resident = 0;
   for (const Entry& e : entries_) {
-    resident += PagesToBytes(
-        vas_->ResidentPagesInRange(e.region, 0, vas_->RegionSizeBytes(e.region)));
+    resident += PagesToBytes(vas_->ResidentPagesInRegion(e.region));
   }
   return resident;
 }

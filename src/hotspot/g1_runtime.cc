@@ -324,7 +324,9 @@ HeapStats G1Runtime::GetHeapStats() const {
 }
 
 uint64_t G1Runtime::HeapResidentBytes() const {
-  return PagesToBytes(vas_->ResidentPagesInRange(heap_region_, 0, config_.max_heap_bytes));
+  // The heap region spans exactly max_heap_bytes, so the whole-region
+  // incremental counters answer this in O(1).
+  return PagesToBytes(vas_->ResidentPagesInRegion(heap_region_));
 }
 
 void G1Runtime::OutOfMemory(const char* where) {

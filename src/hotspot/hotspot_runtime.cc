@@ -382,7 +382,9 @@ HeapStats HotSpotRuntime::GetHeapStats() const {
 }
 
 uint64_t HotSpotRuntime::HeapResidentBytes() const {
-  return PagesToBytes(vas_->ResidentPagesInRange(heap_region_, 0, config_.max_heap_bytes));
+  // The heap region spans exactly max_heap_bytes, so the whole-region
+  // incremental counters answer this in O(1).
+  return PagesToBytes(vas_->ResidentPagesInRegion(heap_region_));
 }
 
 void HotSpotRuntime::OutOfMemory(const char* where) {

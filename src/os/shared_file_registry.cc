@@ -1,15 +1,26 @@
 #include "src/os/shared_file_registry.h"
 
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/base/units.h"
+#include "src/os/page_bitmap.h"
 
 namespace desiccant {
 
 FileId SharedFileRegistry::RegisterFile(const std::string& name, uint64_t size_bytes) {
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
-    assert(files_[it->second].size_bytes == size_bytes);
+    const FileEntry& existing = files_[it->second];
+    if (existing.size_bytes != size_bytes) {
+      std::fprintf(stderr,
+                   "SharedFileRegistry: file '%s' re-registered with size %" PRIu64
+                   " but already registered with size %" PRIu64 "\n",
+                   name.c_str(), size_bytes, existing.size_bytes);
+      std::abort();
+    }
     return it->second;
   }
   FileEntry entry;
@@ -37,19 +48,86 @@ const std::string& SharedFileRegistry::FileName(FileId file) const {
   return files_[file].name;
 }
 
-uint32_t SharedFileRegistry::AddMapper(FileId file, uint64_t page_index) {
+void SharedFileRegistry::AddListener(FileId file, MapperListener* listener, uint64_t cookie) {
   assert(file < files_.size());
-  auto& refs = files_[file].page_refcounts;
-  assert(page_index < refs.size());
-  return ++refs[page_index];
+  files_[file].mappings.push_back(Mapping{listener, cookie});
 }
 
-uint32_t SharedFileRegistry::RemoveMapper(FileId file, uint64_t page_index) {
+void SharedFileRegistry::RemoveListener(FileId file, MapperListener* listener,
+                                        uint64_t cookie) {
   assert(file < files_.size());
-  auto& refs = files_[file].page_refcounts;
-  assert(page_index < refs.size());
-  assert(refs[page_index] > 0);
-  return --refs[page_index];
+  auto& mappings = files_[file].mappings;
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    if (mappings[i].listener == listener && mappings[i].cookie == cookie) {
+      mappings[i] = mappings.back();
+      mappings.pop_back();
+      return;
+    }
+  }
+  assert(false && "RemoveListener: mapping not registered");
+}
+
+uint32_t SharedFileRegistry::AddMappers(FileId file, uint64_t base_page, uint64_t mask,
+                                        MapperListener* skip, uint64_t skip_cookie) {
+  if (mask == 0) {
+    return 0;
+  }
+  assert(file < files_.size());
+  FileEntry& entry = files_[file];
+  uint32_t* refs = entry.page_refcounts.data();
+  uint32_t uniform = 0;
+  bool first = true;
+  ForEachSetBit(mask, [&](uint64_t bit) {
+    assert(base_page + bit < entry.page_refcounts.size());
+    const uint32_t count = ++refs[base_page + bit];
+    if (first) {
+      uniform = count;
+      first = false;
+    } else if (count != uniform) {
+      uniform = 0;
+    }
+  });
+  Notify(entry, base_page, mask, +1, uniform, skip, skip_cookie);
+  return uniform;
+}
+
+uint32_t SharedFileRegistry::RemoveMappers(FileId file, uint64_t base_page, uint64_t mask,
+                                           MapperListener* skip, uint64_t skip_cookie) {
+  if (mask == 0) {
+    return 0;
+  }
+  assert(file < files_.size());
+  FileEntry& entry = files_[file];
+  uint32_t* refs = entry.page_refcounts.data();
+  uint32_t uniform = 0;
+  bool first = true;
+  ForEachSetBit(mask, [&](uint64_t bit) {
+    assert(base_page + bit < entry.page_refcounts.size());
+    assert(refs[base_page + bit] > 0);
+    const uint32_t count = --refs[base_page + bit];
+    if (first) {
+      uniform = count;
+      first = false;
+    } else if (count != uniform) {
+      uniform = 0;
+    }
+  });
+  Notify(entry, base_page, mask, -1, uniform, skip, skip_cookie);
+  return uniform;
+}
+
+uint32_t SharedFileRegistry::AddMapper(FileId file, uint64_t page_index, MapperListener* skip,
+                                       uint64_t skip_cookie) {
+  const uint64_t base = page_index & ~(PageBitmap::kPagesPerWord - 1);
+  AddMappers(file, base, uint64_t{1} << (page_index - base), skip, skip_cookie);
+  return files_[file].page_refcounts[page_index];
+}
+
+uint32_t SharedFileRegistry::RemoveMapper(FileId file, uint64_t page_index,
+                                          MapperListener* skip, uint64_t skip_cookie) {
+  const uint64_t base = page_index & ~(PageBitmap::kPagesPerWord - 1);
+  RemoveMappers(file, base, uint64_t{1} << (page_index - base), skip, skip_cookie);
+  return files_[file].page_refcounts[page_index];
 }
 
 uint32_t SharedFileRegistry::MapperCount(FileId file, uint64_t page_index) const {
@@ -57,6 +135,23 @@ uint32_t SharedFileRegistry::MapperCount(FileId file, uint64_t page_index) const
   const auto& refs = files_[file].page_refcounts;
   assert(page_index < refs.size());
   return refs[page_index];
+}
+
+const uint32_t* SharedFileRegistry::PageRefcounts(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].page_refcounts.data();
+}
+
+void SharedFileRegistry::Notify(const FileEntry& entry, uint64_t base_page,
+                                uint64_t changed_mask, int delta, uint32_t uniform_refcount,
+                                const MapperListener* skip, uint64_t skip_cookie) {
+  for (const Mapping& m : entry.mappings) {
+    if (m.listener == skip && m.cookie == skip_cookie) {
+      continue;
+    }
+    m.listener->OnMapperWordChanged(m.cookie, base_page, changed_mask, delta,
+                                    entry.page_refcounts.data(), uniform_refcount);
+  }
 }
 
 }  // namespace desiccant

@@ -6,6 +6,17 @@
 // split across mappers in PSS, and drop out of USS entirely unless exactly one
 // process maps them. This registry owns the per-page mapper refcounts that
 // make USS/PSS computable.
+//
+// Because address spaces keep their USS/PSS terms incrementally (instead of
+// rescanning pages at query time), a refcount change caused by one process
+// must reach every other process that currently maps the page: a clean page
+// moves between the private and shared columns the moment a second mapper
+// appears or the second-to-last one leaves. The MapperListener protocol
+// delivers exactly those transitions; the initiator of a change is excluded
+// (it updates its own counters inline, where it knows the full context).
+// Notifications are batched per 64-page bitmap word — bulk image maps,
+// unmaps, and reclaim releases change thousands of refcounts at once, and a
+// per-page callback fan-out was the dominant simulator cost before batching.
 #ifndef DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_
 #define DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_
 
@@ -21,27 +32,80 @@ inline constexpr FileId kInvalidFileId = ~0u;
 
 class SharedFileRegistry {
  public:
-  // Registers (or looks up) a file of the given size. Sizes of an existing
-  // name must match.
+  // Observer of mapper-count changes for files it registered interest in.
+  // `cookie` is an opaque value chosen by the listener at AddListener time
+  // (address spaces pass the region id mapping the file).
+  class MapperListener {
+   public:
+    virtual ~MapperListener() = default;
+    // The mapper counts of the pages in `changed_mask` (bit i = page
+    // `base_page + i`) all changed by `delta` (+1 or -1). `page_refcounts`
+    // points at the file's refcount array *after* the change, so for page p
+    // the new count is page_refcounts[p] and the old count is
+    // page_refcounts[p] - delta. When every changed page ended up with the
+    // same count (the overwhelmingly common case: whole shared images mapped
+    // uniformly), `uniform_refcount` carries that count and listeners can
+    // account for the whole word in O(1); it is 0 when the counts differ.
+    // Fired once per registered (listener, cookie) pair, except the pair that
+    // initiated the change.
+    virtual void OnMapperWordChanged(uint64_t cookie, uint64_t base_page,
+                                     uint64_t changed_mask, int delta,
+                                     const uint32_t* page_refcounts,
+                                     uint32_t uniform_refcount) = 0;
+  };
+
+  // Registers (or looks up) a file of the given size. Re-registering an
+  // existing name with a different size is a hard error and aborts: two
+  // runtimes disagreeing about an image's size would corrupt every refcount
+  // derived from it.
   FileId RegisterFile(const std::string& name, uint64_t size_bytes);
 
   uint64_t FileSizeBytes(FileId file) const;
   uint64_t FilePageCount(FileId file) const;
   const std::string& FileName(FileId file) const;
 
-  // A process faulted the page in (resident-clean). Returns the new refcount.
-  uint32_t AddMapper(FileId file, uint64_t page_index);
-  // A process dropped the page (unmap, release, or COW upgrade to dirty).
-  uint32_t RemoveMapper(FileId file, uint64_t page_index);
+  // Subscribes `listener` to mapper-count changes of `file`. A listener may
+  // register several times with distinct cookies (one per mapping region).
+  void AddListener(FileId file, MapperListener* listener, uint64_t cookie);
+  void RemoveListener(FileId file, MapperListener* listener, uint64_t cookie);
+
+  // A process faulted pages in (resident-clean): one new mapper for every set
+  // bit of `mask`, where bit i is page `base_page + i`. All listeners except
+  // (skip, skip_cookie) are notified once with the whole word. Returns the
+  // post-change refcount shared by every changed page, or 0 if they differ
+  // (same contract as OnMapperWordChanged's `uniform_refcount`).
+  uint32_t AddMappers(FileId file, uint64_t base_page, uint64_t mask,
+                      MapperListener* skip = nullptr, uint64_t skip_cookie = 0);
+  // A process dropped pages (unmap, release, or COW upgrade to dirty).
+  uint32_t RemoveMappers(FileId file, uint64_t base_page, uint64_t mask,
+                         MapperListener* skip = nullptr, uint64_t skip_cookie = 0);
+
+  // Single-page conveniences. Return the new refcount.
+  uint32_t AddMapper(FileId file, uint64_t page_index, MapperListener* skip = nullptr,
+                     uint64_t skip_cookie = 0);
+  uint32_t RemoveMapper(FileId file, uint64_t page_index, MapperListener* skip = nullptr,
+                        uint64_t skip_cookie = 0);
 
   uint32_t MapperCount(FileId file, uint64_t page_index) const;
+  // Direct read access to the per-page refcounts, for mapper bookkeeping that
+  // walks many pages at once (address-space histogram updates).
+  const uint32_t* PageRefcounts(FileId file) const;
 
  private:
+  struct Mapping {
+    MapperListener* listener = nullptr;
+    uint64_t cookie = 0;
+  };
+
   struct FileEntry {
     std::string name;
     uint64_t size_bytes = 0;
     std::vector<uint32_t> page_refcounts;
+    std::vector<Mapping> mappings;
   };
+
+  void Notify(const FileEntry& entry, uint64_t base_page, uint64_t changed_mask, int delta,
+              uint32_t uniform_refcount, const MapperListener* skip, uint64_t skip_cookie);
 
   std::vector<FileEntry> files_;
   std::unordered_map<std::string, FileId> by_name_;

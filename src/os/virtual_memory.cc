@@ -1,9 +1,31 @@
 #include "src/os/virtual_memory.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace desiccant {
+
+namespace {
+
+constexpr uint64_t kW = PageBitmap::kPagesPerWord;
+
+// Calls fn(word_index, mask_of_range_bits) for each bitmap word overlapping
+// the inclusive page range [first_page, last_page].
+template <typename Fn>
+void ForEachWordInRange(uint64_t first_page, uint64_t last_page, Fn&& fn) {
+  const uint64_t first_word = first_page / kW;
+  const uint64_t last_word = last_page / kW;
+  for (uint64_t w = first_word; w <= last_word; ++w) {
+    const uint64_t lo_bit = w == first_word ? first_page % kW : 0;
+    const uint64_t hi_bit = w == last_word ? last_page % kW : kW - 1;
+    fn(w, PageBitmap::RangeMask(lo_bit, hi_bit));
+  }
+}
+
+uint64_t Popcount(uint64_t bits) { return static_cast<uint64_t>(std::popcount(bits)); }
+
+}  // namespace
 
 VirtualAddressSpace::VirtualAddressSpace(SharedFileRegistry* registry) : registry_(registry) {}
 
@@ -20,7 +42,7 @@ RegionId VirtualAddressSpace::MapAnonymous(std::string name, uint64_t bytes) {
   Region r;
   r.name = std::move(name);
   r.kind = RegionKind::kAnonymous;
-  r.pages.assign(BytesToPages(bytes), PageState::kNotPresent);
+  r.pages = PageBitmap(BytesToPages(bytes));
   regions_.push_back(std::move(r));
   return static_cast<RegionId>(regions_.size() - 1);
 }
@@ -36,15 +58,20 @@ RegionId VirtualAddressSpace::MapFile(std::string name, FileId file, uint64_t by
   r.name = std::move(name);
   r.kind = RegionKind::kFileBacked;
   r.file = file;
-  r.pages.assign(BytesToPages(bytes), PageState::kNotPresent);
+  r.pages = PageBitmap(BytesToPages(bytes));
   regions_.push_back(std::move(r));
-  return static_cast<RegionId>(regions_.size() - 1);
+  const RegionId id = static_cast<RegionId>(regions_.size() - 1);
+  registry_->AddListener(file, this, id);
+  return id;
 }
 
 void VirtualAddressSpace::Unmap(RegionId region) {
   Region& r = GetRegion(region);
-  for (uint64_t page = 0; page < r.pages.size(); ++page) {
-    DropPage(r, page);
+  if (r.pages.num_pages() > 0) {
+    DropPageRange(r, region, 0, r.pages.num_pages() - 1);
+  }
+  if (r.kind == RegionKind::kFileBacked) {
+    registry_->RemoveListener(r.file, this, region);
   }
   r.live = false;
 }
@@ -58,41 +85,68 @@ TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_
   }
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + len - 1) / kPageSize;
-  assert(last < r.pages.size());
+  assert(last < r.pages.num_pages());
   if (write) {
     r.never_written = false;
   }
-  for (uint64_t page = first; page <= last; ++page) {
-    PageState& state = r.pages[page];
-    switch (state) {
-      case PageState::kNotPresent:
-        ++result.minor_faults;
-        ++resident_pages_;
-        if (r.kind == RegionKind::kFileBacked && !write) {
-          state = PageState::kResidentClean;
-          registry_->AddMapper(r.file, page);
-        } else {
-          state = PageState::kResidentDirty;
-        }
-        break;
-      case PageState::kResidentClean:
-        if (write) {
-          // COW: the page leaves the shared page cache and becomes private.
-          ++result.cow_faults;
-          registry_->RemoveMapper(r.file, page);
-          state = PageState::kResidentDirty;
-        }
-        break;
-      case PageState::kResidentDirty:
-        break;
-      case PageState::kSwapped:
-        ++result.swap_ins;
-        --swapped_pages_;
-        ++resident_pages_;
-        state = PageState::kResidentDirty;
-        break;
+  const bool file_backed = r.kind == RegionKind::kFileBacked;
+  ForEachWordInRange(first, last, [&](uint64_t w, uint64_t mask) {
+    uint64_t& lo = r.pages.lo(w);
+    uint64_t& hi = r.pages.hi(w);
+    const uint64_t np = ~lo & ~hi & mask;        // kNotPresent
+    const uint64_t swapped = lo & hi & mask;     // kSwapped
+    if (file_backed && !write) {
+      // NotPresent -> Clean (shared with the page cache), Swapped -> Dirty
+      // (a swapped file page was COW'd before it went to swap).
+      if ((np | swapped) == 0) {
+        return;
+      }
+      NoteCleanPagesMapped(r, region, w, np);
+      const uint64_t n_np = Popcount(np);
+      const uint64_t n_sw = Popcount(swapped);
+      result.minor_faults += n_np;
+      result.swap_ins += n_sw;
+      r.dirty_pages += n_sw;
+      r.swapped_pages -= n_sw;
+      resident_pages_ += n_np + n_sw;
+      swapped_pages_ -= n_sw;
+      lo = (lo | np) & ~swapped;
+    } else if (file_backed) {
+      // write: NotPresent -> Dirty, Clean -> Dirty (COW), Swapped -> Dirty.
+      const uint64_t clean = lo & ~hi & mask;
+      if ((np | swapped | clean) == 0) {
+        return;
+      }
+      NoteCleanPagesDropped(r, region, w, clean);
+      const uint64_t n_np = Popcount(np);
+      const uint64_t n_sw = Popcount(swapped);
+      const uint64_t n_cl = Popcount(clean);
+      result.minor_faults += n_np;
+      result.swap_ins += n_sw;
+      result.cow_faults += n_cl;
+      r.dirty_pages += n_np + n_sw + n_cl;
+      r.swapped_pages -= n_sw;
+      resident_pages_ += n_np + n_sw;  // COW'd pages were already resident
+      swapped_pages_ -= n_sw;
+      hi |= np | clean;
+      lo &= ~(swapped | clean);
+    } else {
+      // Anonymous: reads and writes both materialize private dirty pages.
+      if ((np | swapped) == 0) {
+        return;
+      }
+      const uint64_t n_np = Popcount(np);
+      const uint64_t n_sw = Popcount(swapped);
+      result.minor_faults += n_np;
+      result.swap_ins += n_sw;
+      r.dirty_pages += n_np + n_sw;
+      r.swapped_pages -= n_sw;
+      resident_pages_ += n_np + n_sw;
+      swapped_pages_ -= n_sw;
+      hi |= np;
+      lo &= ~swapped;
     }
-  }
+  });
   return result;
 }
 
@@ -111,39 +165,49 @@ uint64_t VirtualAddressSpace::Release(RegionId region, uint64_t offset, uint64_t
   }
   const uint64_t first = first_byte / kPageSize;
   const uint64_t last = last_byte / kPageSize;  // exclusive
-  assert(last <= r.pages.size());
-  uint64_t released = 0;
-  for (uint64_t page = first; page < last; ++page) {
-    if (r.pages[page] != PageState::kNotPresent) {
-      ++released;
-      DropPage(r, page);
-    }
-  }
-  return released;
+  assert(last <= r.pages.num_pages());
+  return DropPageRange(r, region, first, last - 1);
 }
 
 uint64_t VirtualAddressSpace::SwapOutPages(uint64_t max_pages) {
   uint64_t reclaimed = 0;
-  for (Region& r : regions_) {
+  for (RegionId id = 0; id < regions_.size() && reclaimed < max_pages; ++id) {
+    Region& r = regions_[id];
     if (!r.live) {
       continue;
     }
-    for (uint64_t page = 0; page < r.pages.size(); ++page) {
-      if (reclaimed >= max_pages) {
-        return reclaimed;
+    for (uint64_t w = 0; w < r.pages.num_words() && reclaimed < max_pages; ++w) {
+      uint64_t& lo = r.pages.lo(w);
+      uint64_t& hi = r.pages.hi(w);
+      uint64_t dirty = hi & ~lo;
+      uint64_t clean = lo & ~hi;
+      const uint64_t candidates = dirty | clean;
+      if (candidates == 0) {
+        continue;
       }
-      PageState& state = r.pages[page];
-      if (state == PageState::kResidentDirty) {
-        state = PageState::kSwapped;
-        --resident_pages_;
-        ++swapped_pages_;
-        ++reclaimed;
-      } else if (state == PageState::kResidentClean) {
-        // Clean file pages are not written to swap — the kernel just drops
-        // them from the page cache and re-reads the file on the next fault.
-        DropPage(r, page);
-        ++reclaimed;
+      const uint64_t budget = max_pages - reclaimed;
+      if (Popcount(candidates) > budget) {
+        // Partial word: keep only the first `budget` candidate pages in map
+        // order (the blind scan stops mid-word).
+        uint64_t keep = candidates;
+        for (uint64_t i = 0; i < budget; ++i) {
+          keep &= keep - 1;
+        }
+        dirty &= ~keep;
+        clean &= ~keep;
       }
+      // Dirty pages go to the swap device; clean file pages are not written
+      // to swap — the kernel just drops them from the page cache and re-reads
+      // the file on the next fault.
+      NoteCleanPagesDropped(r, id, w, clean);
+      const uint64_t n_d = Popcount(dirty);
+      const uint64_t n_c = Popcount(clean);
+      r.dirty_pages -= n_d;
+      r.swapped_pages += n_d;
+      resident_pages_ -= n_d + n_c;
+      swapped_pages_ += n_d;
+      lo = (lo | dirty) & ~clean;
+      reclaimed += n_d + n_c;
     }
   }
   return reclaimed;
@@ -151,35 +215,18 @@ uint64_t VirtualAddressSpace::SwapOutPages(uint64_t max_pages) {
 
 MemoryUsage VirtualAddressSpace::Usage() const {
   MemoryUsage usage;
-  for (const Region& r : regions_) {
-    if (!r.live) {
-      continue;
-    }
-    for (uint64_t page = 0; page < r.pages.size(); ++page) {
-      switch (r.pages[page]) {
-        case PageState::kNotPresent:
-          break;
-        case PageState::kResidentDirty:
-          usage.rss += kPageSize;
-          usage.uss += kPageSize;
-          usage.pss += static_cast<double>(kPageSize);
-          break;
-        case PageState::kResidentClean: {
-          usage.rss += kPageSize;
-          const uint32_t mappers = registry_->MapperCount(r.file, page);
-          assert(mappers >= 1);
-          if (mappers == 1) {
-            usage.uss += kPageSize;
-          }
-          usage.pss += static_cast<double>(kPageSize) / mappers;
-          break;
-        }
-        case PageState::kSwapped:
-          usage.swapped += kPageSize;
-          break;
-      }
+  usage.rss = PagesToBytes(resident_pages_);
+  usage.swapped = PagesToBytes(swapped_pages_);
+  const uint64_t dirty_pages = resident_pages_ - clean_pages_;
+  usage.uss = PagesToBytes(dirty_pages + SinglyMappedCleanPages());
+  double pss = static_cast<double>(PagesToBytes(dirty_pages));
+  for (uint32_t count = 1; count < clean_hist_.size(); ++count) {
+    if (clean_hist_[count] != 0) {
+      pss += static_cast<double>(clean_hist_[count]) *
+             (static_cast<double>(kPageSize) / static_cast<double>(count));
     }
   }
+  usage.pss = pss;
   return usage;
 }
 
@@ -194,34 +241,19 @@ std::vector<RegionInfo> VirtualAddressSpace::Smaps() const {
     info.id = id;
     info.name = r.name;
     info.kind = r.kind;
-    info.size_bytes = PagesToBytes(r.pages.size());
+    info.size_bytes = PagesToBytes(r.pages.num_pages());
     info.never_written = r.never_written;
-    for (uint64_t page = 0; page < r.pages.size(); ++page) {
-      switch (r.pages[page]) {
-        case PageState::kNotPresent:
-          break;
-        case PageState::kResidentDirty:
-          info.private_dirty += kPageSize;
-          break;
-        case PageState::kResidentClean:
-          if (registry_->MapperCount(r.file, page) == 1) {
-            info.private_clean += kPageSize;
-          } else {
-            info.shared_clean += kPageSize;
-          }
-          break;
-        case PageState::kSwapped:
-          info.swapped += kPageSize;
-          break;
-      }
-    }
+    info.private_dirty = PagesToBytes(r.dirty_pages);
+    info.private_clean = PagesToBytes(r.clean_pages - r.shared_clean_pages);
+    info.shared_clean = PagesToBytes(r.shared_clean_pages);
+    info.swapped = PagesToBytes(r.swapped_pages);
     infos.push_back(std::move(info));
   }
   return infos;
 }
 
 uint64_t VirtualAddressSpace::RegionSizeBytes(RegionId region) const {
-  return PagesToBytes(GetRegion(region).pages.size());
+  return PagesToBytes(GetRegion(region).pages.num_pages());
 }
 
 uint64_t VirtualAddressSpace::ResidentPagesInRange(RegionId region, uint64_t offset,
@@ -232,14 +264,17 @@ uint64_t VirtualAddressSpace::ResidentPagesInRange(RegionId region, uint64_t off
   }
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + len - 1) / kPageSize;
-  assert(last < r.pages.size());
+  assert(last < r.pages.num_pages());
   uint64_t resident = 0;
-  for (uint64_t page = first; page <= last; ++page) {
-    if (IsResident(r.pages[page])) {
-      ++resident;
-    }
-  }
+  ForEachWordInRange(first, last, [&](uint64_t w, uint64_t mask) {
+    resident += Popcount((r.pages.lo(w) ^ r.pages.hi(w)) & mask);
+  });
   return resident;
+}
+
+uint64_t VirtualAddressSpace::ResidentPagesInRegion(RegionId region) const {
+  const Region& r = GetRegion(region);
+  return r.dirty_pages + r.clean_pages;
 }
 
 VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId region) {
@@ -254,22 +289,137 @@ const VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId regio
   return regions_[region];
 }
 
-void VirtualAddressSpace::DropPage(Region& r, uint64_t page) {
-  switch (r.pages[page]) {
-    case PageState::kNotPresent:
-      return;
-    case PageState::kResidentClean:
-      registry_->RemoveMapper(r.file, page);
-      --resident_pages_;
-      break;
-    case PageState::kResidentDirty:
-      --resident_pages_;
-      break;
-    case PageState::kSwapped:
-      --swapped_pages_;
-      break;
+void VirtualAddressSpace::OnMapperWordChanged(uint64_t cookie, uint64_t base_page,
+                                              uint64_t changed_mask, int delta,
+                                              const uint32_t* page_refcounts,
+                                              uint32_t uniform_refcount) {
+  Region& r = regions_[cookie];
+  const uint64_t word = base_page / PageBitmap::kPagesPerWord;
+  if (!r.live || word >= r.pages.num_words()) {
+    return;
   }
-  r.pages[page] = PageState::kNotPresent;
+  // Only the pages we currently hold clean contribute to our USS/PSS terms.
+  const uint64_t affected = r.pages.lo(word) & ~r.pages.hi(word) & changed_mask;
+  if (affected == 0) {
+    return;
+  }
+  if (uniform_refcount != 0) {
+    // Every changed page landed on the same count: account for the whole
+    // word at once.
+    const uint32_t new_count = uniform_refcount;
+    const uint32_t old_count = static_cast<uint32_t>(static_cast<int64_t>(new_count) - delta);
+    assert(old_count >= 1 && new_count >= 1);
+    const uint64_t n = Popcount(affected);
+    HistRemove(old_count, n);
+    HistAdd(new_count, n);
+    if (old_count == 1 && new_count == 2) {
+      r.shared_clean_pages += n;
+      shared_clean_pages_ += n;
+    } else if (old_count == 2 && new_count == 1) {
+      r.shared_clean_pages -= n;
+      shared_clean_pages_ -= n;
+    }
+    return;
+  }
+  ForEachSetBit(affected, [&](uint64_t bit) {
+    const uint32_t new_count = page_refcounts[base_page + bit];
+    const uint32_t old_count = static_cast<uint32_t>(static_cast<int64_t>(new_count) - delta);
+    // We hold one of the mappings, so the count can never drop to 0 under us.
+    assert(old_count >= 1 && new_count >= 1);
+    HistRemove(old_count);
+    HistAdd(new_count);
+    if (old_count == 1 && new_count == 2) {
+      ++r.shared_clean_pages;
+      ++shared_clean_pages_;
+    } else if (old_count == 2 && new_count == 1) {
+      --r.shared_clean_pages;
+      --shared_clean_pages_;
+    }
+  });
+}
+
+void VirtualAddressSpace::NoteCleanPagesMapped(Region& r, RegionId region, uint64_t word,
+                                               uint64_t mask) {
+  if (mask == 0) {
+    return;
+  }
+  const uint64_t base_page = word * PageBitmap::kPagesPerWord;
+  const uint32_t uniform = registry_->AddMappers(r.file, base_page, mask, this, region);
+  const uint64_t n = Popcount(mask);
+  uint64_t shared = 0;
+  if (uniform != 0) {
+    HistAdd(uniform, n);
+    shared = uniform >= 2 ? n : 0;
+  } else {
+    const uint32_t* refs = registry_->PageRefcounts(r.file);
+    ForEachSetBit(mask, [&](uint64_t bit) {
+      const uint32_t count = refs[base_page + bit];
+      HistAdd(count);
+      if (count >= 2) {
+        ++shared;
+      }
+    });
+  }
+  r.clean_pages += n;
+  clean_pages_ += n;
+  r.shared_clean_pages += shared;
+  shared_clean_pages_ += shared;
+}
+
+void VirtualAddressSpace::NoteCleanPagesDropped(Region& r, RegionId region, uint64_t word,
+                                                uint64_t mask) {
+  if (mask == 0) {
+    return;
+  }
+  const uint64_t base_page = word * PageBitmap::kPagesPerWord;
+  const uint32_t uniform = registry_->RemoveMappers(r.file, base_page, mask, this, region);
+  const uint64_t n = Popcount(mask);
+  uint64_t shared = 0;
+  if (uniform != 0) {
+    HistRemove(uniform + 1, n);  // count before the drop
+    shared = uniform + 1 >= 2 ? n : 0;
+  } else {
+    const uint32_t* refs = registry_->PageRefcounts(r.file);
+    ForEachSetBit(mask, [&](uint64_t bit) {
+      const uint32_t count = refs[base_page + bit] + 1;  // count before the drop
+      HistRemove(count);
+      if (count >= 2) {
+        ++shared;
+      }
+    });
+  }
+  r.clean_pages -= n;
+  clean_pages_ -= n;
+  r.shared_clean_pages -= shared;
+  shared_clean_pages_ -= shared;
+}
+
+uint64_t VirtualAddressSpace::DropPageRange(Region& r, RegionId region, uint64_t first_page,
+                                            uint64_t last_page) {
+  uint64_t dropped = 0;
+  ForEachWordInRange(first_page, last_page, [&](uint64_t w, uint64_t mask) {
+    uint64_t& lo = r.pages.lo(w);
+    uint64_t& hi = r.pages.hi(w);
+    const uint64_t present = (lo | hi) & mask;
+    if (present == 0) {
+      return;
+    }
+    const uint64_t clean = lo & ~hi & mask;
+    const uint64_t dirty = hi & ~lo & mask;
+    const uint64_t swapped = lo & hi & mask;
+    NoteCleanPagesDropped(r, region, w, clean);
+    const uint64_t n_d = Popcount(dirty);
+    const uint64_t n_c = Popcount(clean);
+    const uint64_t n_s = Popcount(swapped);
+    r.dirty_pages -= n_d;
+    r.swapped_pages -= n_s;
+    resident_pages_ -= n_d + n_c;
+    swapped_pages_ -= n_s;
+    lo &= ~mask;
+    hi &= ~mask;
+    dropped += n_d + n_c + n_s;
+  });
+  return dropped;
 }
 
 }  // namespace desiccant

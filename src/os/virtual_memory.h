@@ -15,15 +15,27 @@
 // The address space is an *accounting* structure: object payloads live in the
 // heap simulators, which report their page activity here. USS/RSS/PSS are
 // derived purely from page states plus the SharedFileRegistry refcounts.
+//
+// Accounting is incremental: page states live in a two-bitmap PageBitmap with
+// word-at-a-time transition paths, and every transition updates per-region
+// counters (dirty / clean / shared-clean / swapped) plus address-space
+// aggregates. Queries never rescan pages: Usage() is O(1) + O(distinct
+// refcounts), Smaps() is O(live regions), ResidentPagesInRange() is a
+// popcount over the covered bitmap words. The PSS term for shared clean
+// pages is kept exact through a refcount histogram that the
+// SharedFileRegistry's MapperListener callbacks maintain when *other*
+// processes fault or drop shared pages.
 #ifndef DESICCANT_SRC_OS_VIRTUAL_MEMORY_H_
 #define DESICCANT_SRC_OS_VIRTUAL_MEMORY_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/base/units.h"
 #include "src/os/page.h"
+#include "src/os/page_bitmap.h"
 #include "src/os/shared_file_registry.h"
 
 namespace desiccant {
@@ -69,11 +81,11 @@ struct RegionInfo {
   bool never_written = true;
 };
 
-class VirtualAddressSpace {
+class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
  public:
   // `registry` may be null for processes that never map files.
   explicit VirtualAddressSpace(SharedFileRegistry* registry);
-  ~VirtualAddressSpace();
+  ~VirtualAddressSpace() override;
 
   VirtualAddressSpace(const VirtualAddressSpace&) = delete;
   VirtualAddressSpace& operator=(const VirtualAddressSpace&) = delete;
@@ -110,29 +122,83 @@ class VirtualAddressSpace {
 
   uint64_t RegionSizeBytes(RegionId region) const;
   uint64_t ResidentPagesInRange(RegionId region, uint64_t offset, uint64_t len) const;
+  // Whole-region residency from the incremental counters, O(1).
+  uint64_t ResidentPagesInRegion(RegionId region) const;
 
-  // Total resident pages (cheap; maintained incrementally).
+  // O(1) aggregate accessors (all maintained incrementally).
   uint64_t resident_pages() const { return resident_pages_; }
   uint64_t swapped_pages() const { return swapped_pages_; }
+  uint64_t RssBytes() const { return PagesToBytes(resident_pages_); }
+  // USS = private dirty pages + clean file pages mapped by exactly this
+  // mapping. The singly-mapped clean population is clean_hist_[1].
+  uint64_t UssBytes() const {
+    return PagesToBytes(resident_pages_ - clean_pages_ + SinglyMappedCleanPages());
+  }
 
  private:
   struct Region {
     std::string name;
     RegionKind kind = RegionKind::kAnonymous;
     FileId file = kInvalidFileId;
-    std::vector<PageState> pages;
+    PageBitmap pages{0};
+    // Incremental per-state page counts; transitions keep these exact.
+    uint64_t dirty_pages = 0;
+    uint64_t clean_pages = 0;
+    uint64_t shared_clean_pages = 0;  // clean pages with mapper count >= 2
+    uint64_t swapped_pages = 0;
     bool never_written = true;
     bool live = true;
   };
 
   Region& GetRegion(RegionId region);
   const Region& GetRegion(RegionId region) const;
-  void DropPage(Region& r, uint64_t page);  // resident/swapped -> not present
+
+  // SharedFileRegistry::MapperListener: another mapping of a file we map
+  // changed refcounts of up to 64 pages; move our clean-page accounting for
+  // the pages we hold clean accordingly.
+  void OnMapperWordChanged(uint64_t cookie, uint64_t base_page, uint64_t changed_mask,
+                           int delta, const uint32_t* page_refcounts,
+                           uint32_t uniform_refcount) override;
+
+  // Clean-page bookkeeping around registry refcounts, one 64-page bitmap word
+  // at a time (bit i of `mask` = page word * 64 + i). Both update the
+  // histogram, the shared/private split, and the clean counters; callers are
+  // responsible for the resident/dirty/swapped side of the transition.
+  void NoteCleanPagesMapped(Region& r, RegionId region, uint64_t word, uint64_t mask);
+  void NoteCleanPagesDropped(Region& r, RegionId region, uint64_t word, uint64_t mask);
+
+  void HistAdd(uint32_t count, uint64_t n = 1) {
+    if (count >= clean_hist_.size()) {
+      clean_hist_.resize(count + 1, 0);
+    }
+    clean_hist_[count] += n;
+  }
+  void HistRemove(uint32_t count, uint64_t n = 1) {
+    assert(count < clean_hist_.size());
+    assert(clean_hist_[count] >= n);
+    clean_hist_[count] -= n;
+  }
+  uint64_t SinglyMappedCleanPages() const {
+    return clean_hist_.size() > 1 ? clean_hist_[1] : 0;
+  }
+
+  // Drops all pages of [first_page, last_page] (inclusive) to kNotPresent,
+  // word-at-a-time. Returns the number of previously present (resident or
+  // swapped) pages.
+  uint64_t DropPageRange(Region& r, RegionId region, uint64_t first_page,
+                         uint64_t last_page);
 
   SharedFileRegistry* registry_;
   std::vector<Region> regions_;
+  // Address-space aggregates (sums of the per-region counters).
   uint64_t resident_pages_ = 0;
   uint64_t swapped_pages_ = 0;
+  uint64_t clean_pages_ = 0;
+  uint64_t shared_clean_pages_ = 0;
+  // clean_hist_[c] = number of this space's clean pages whose file page
+  // currently has c mappers node-wide. PSS's shared term is
+  // sum_c clean_hist_[c] * kPageSize / c, exact and O(distinct refcounts).
+  std::vector<uint64_t> clean_hist_;
 };
 
 }  // namespace desiccant

@@ -59,6 +59,86 @@ TEST(EventQueueTest, NextTimePeeks) {
   EXPECT_EQ(queue.next_time(), 2 * kSecond);
 }
 
+// Counts copies of a captured payload so we can assert that the queue moves
+// events instead of copying them.
+struct CopyCounter {
+  explicit CopyCounter(int* counter) : copies(counter) {}
+  CopyCounter(const CopyCounter& other) : copies(other.copies) { ++*copies; }
+  CopyCounter& operator=(const CopyCounter& other) {
+    copies = other.copies;
+    ++*copies;
+    return *this;
+  }
+  CopyCounter(CopyCounter&&) = default;
+  CopyCounter& operator=(CopyCounter&&) = default;
+  int* copies;
+};
+
+TEST(EventQueueTest, RunNextMovesEventsInsteadOfCopying) {
+  EventQueue queue;
+  SimClock clock;
+  int copies = 0;
+  int fired = 0;
+  {
+    std::function<void()> fn = [counter = CopyCounter(&copies), &fired] { ++fired; };
+    copies = 0;  // only count from Schedule onward
+    queue.Schedule(kSecond, std::move(fn));
+  }
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EventQueueTest, HeapSiftingNeverCopiesClosures) {
+  EventQueue queue;
+  SimClock clock;
+  int copies = 0;
+  int fired = 0;
+  // Schedule out of order so push_heap/pop_heap actually sift elements around.
+  for (int i = 0; i < 64; ++i) {
+    const SimTime t = ((i * 37) % 64 + 1) * kSecond;
+    std::function<void()> fn = [counter = CopyCounter(&copies), &fired] { ++fired; };
+    queue.Schedule(t, std::move(fn));
+  }
+  copies = 0;
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  EXPECT_EQ(fired, 64);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EventQueueTest, SizeAndReserve) {
+  EventQueue queue;
+  SimClock clock;
+  queue.Reserve(128);
+  EXPECT_EQ(queue.size(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(kSecond * (i + 1), [] {});
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  queue.RunNext(&clock);
+  EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndRunKeepsOrder) {
+  EventQueue queue;
+  SimClock clock;
+  std::vector<int> order;
+  queue.Schedule(4 * kSecond, [&order] { order.push_back(4); });
+  queue.Schedule(2 * kSecond, [&order, &queue, &clock] {
+    order.push_back(2);
+    queue.Schedule(clock.Now() + kSecond, [&order] { order.push_back(3); });
+  });
+  queue.Schedule(1 * kSecond, [&order] { order.push_back(1); });
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
 TEST(EventQueueTest, ClockNeverGoesBackwards) {
   EventQueue queue;
   SimClock clock;

@@ -22,6 +22,16 @@ TEST(SharedFileRegistryTest, RegisterIsIdempotent) {
   EXPECT_EQ(registry.FileName(a), "libjvm.so");
 }
 
+TEST(SharedFileRegistryDeathTest, ReRegisterWithDifferentSizeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SharedFileRegistry registry;
+  registry.RegisterFile("libjvm.so", 8 * kMiB);
+  // Two runtimes disagreeing on an image's size would corrupt every refcount
+  // derived from it; the registry treats it as a hard error, not a lookup.
+  EXPECT_DEATH(registry.RegisterFile("libjvm.so", 4 * kMiB),
+               "re-registered with size");
+}
+
 TEST(SharedFileRegistryTest, DistinctFilesDistinctIds) {
   SharedFileRegistry registry;
   EXPECT_NE(registry.RegisterFile("a", kMiB), registry.RegisterFile("b", kMiB));

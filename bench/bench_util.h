@@ -84,6 +84,7 @@ struct ReplayConfig {
   uint64_t platform_seed = 42;
   bool snapstart_restore = false;     // SnapStart-style cold starts
   uint32_t prewarm_per_language = 0;  // OpenWhisk stem cells
+  FaultPlan faults;           // all-zero = byte-identical to a faultless build
   DesiccantConfig desiccant;  // used when mode == kDesiccant
 };
 
@@ -115,6 +116,7 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
   platform_config.seed = config.platform_seed;
   platform_config.snapstart_restore = config.snapstart_restore;
   platform_config.prewarm_per_language = config.prewarm_per_language;
+  platform_config.faults = config.faults;
   Platform platform(platform_config);
 
   std::unique_ptr<DesiccantManager> manager;

@@ -1,0 +1,174 @@
+// Extension: the trace replay under injected faults.
+//
+// Three fault intensities (none / light / heavy) against the vanilla and
+// Desiccant memory managers, single node at SF 15. The point of the table is
+// the outcome taxonomy: under pressure the interesting number is no longer
+// raw throughput but goodput (first-try completions per second) and the
+// success fraction — Desiccant's larger effective cache keeps more requests
+// on the warm path, so fewer of them are exposed to boot failures and the
+// OOM killer in the first place.
+//
+// Two extra columns audit the fault layer itself: `replay` is 1 iff a second
+// run with the same seed and plan produced a byte-identical metrics
+// fingerprint, and the `none` rows double as the overhead baseline —
+// scripts/bench_faults.sh tracks their wall time in BENCH_faults.json to keep
+// the inert fault layer under 2% on the fig09 path.
+//
+// A second table runs a 3-node cluster with invoker crashes: a crashed node
+// drains its cache and fails in-flight activations over to its peers, so
+// crashes show up as failovers + retried-then-ok completions, not losses.
+#include "bench/bench_util.h"
+#include "src/faas/cluster.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Level {
+  std::string name;
+  FaultPlan plan;
+};
+
+std::vector<Level> Levels() {
+  std::vector<Level> levels;
+  levels.push_back({"none", FaultPlan{}});
+
+  FaultPlan light;
+  light.invocation_timeout = 2 * kSecond;
+  light.boot_failure_prob = 0.02;
+  light.reclaim_abort_prob = 0.05;
+  levels.push_back({"light", light});
+
+  // The cgroup sits above the cache capacity (1536 MiB): steady-state frozen
+  // memory fits, and the killer only fires on running-instance spikes — where
+  // the managers genuinely differ. A cap below the cache just shoots every
+  // frozen instance before Desiccant can touch it, and both modes collapse to
+  // the same thrash.
+  FaultPlan heavy;
+  heavy.invocation_timeout = 1 * kSecond;
+  heavy.boot_failure_prob = 0.10;
+  heavy.reclaim_abort_prob = 0.25;
+  heavy.node_memory_bytes = 2048 * kMiB;
+  levels.push_back({"heavy", heavy});
+  return levels;
+}
+
+struct Row {
+  std::string level;
+  std::string mode;
+  PlatformMetrics m;
+  bool replay_identical = false;
+};
+
+std::vector<Row> g_rows;
+std::vector<Row> g_cluster_rows;
+
+void RunNode(const Level& level, MemoryMode mode) {
+  ReplayConfig config;
+  config.mode = mode;
+  config.faults = level.plan;
+  const ReplayResult first = RunReplay(config);
+  const ReplayResult second = RunReplay(config);
+  g_rows.push_back({level.name, MemoryModeName(mode), first.metrics,
+                    first.metrics.Fingerprint() == second.metrics.Fingerprint()});
+}
+
+PlatformMetrics RunCluster(MemoryMode mode) {
+  ClusterConfig config;
+  config.node_count = 3;
+  config.routing = RoutingPolicy::kLeastLoaded;
+  config.node.mode = mode;
+  config.node.cache_capacity_bytes = 512 * kMiB;
+  config.node.cpu_cores = 1.0;
+  config.node.faults.node_crash_mtbf_seconds = 60.0;
+  config.node.faults.node_restart_delay = 3 * kSecond;
+  config.node.faults.node_crash_horizon = 240 * kSecond;
+
+  Cluster cluster(config);
+  std::vector<std::unique_ptr<DesiccantManager>> managers;
+  if (mode == MemoryMode::kDesiccant) {
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      managers.push_back(
+          std::make_unique<DesiccantManager>(&cluster.node(i), DesiccantConfig{}));
+    }
+  }
+
+  std::vector<const WorkloadSpec*> workloads;
+  for (const WorkloadSpec& w : CoarseSuite()) {
+    workloads.push_back(&w);
+  }
+  TraceGenerator generator(1234);
+  const auto trace_functions = generator.BuildSuiteTrace(workloads);
+  const SimTime warmup_end = FromSeconds(60);
+  const SimTime replay_end = warmup_end + FromSeconds(180);
+  for (const TraceArrival& a : generator.Generate(trace_functions, 10.0, 0, warmup_end)) {
+    cluster.Submit(a.workload, a.time);
+  }
+  for (const TraceArrival& a :
+       generator.Generate(trace_functions, 15.0, warmup_end, replay_end)) {
+    cluster.Submit(a.workload, a.time);
+  }
+  cluster.RunUntil(warmup_end);
+  cluster.BeginMeasurement();
+  cluster.RunUntil(replay_end);
+  return cluster.AggregateMetrics();
+}
+
+void RunClusterPair(MemoryMode mode) {
+  const PlatformMetrics first = RunCluster(mode);
+  const PlatformMetrics second = RunCluster(mode);
+  g_cluster_rows.push_back({"crashes", MemoryModeName(mode), first,
+                            first.Fingerprint() == second.Fingerprint()});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const Level& level : Levels()) {
+    for (const MemoryMode mode : {MemoryMode::kVanilla, MemoryMode::kDesiccant}) {
+      RegisterExperiment(std::string("ext_faults/") + level.name + "/" + MemoryModeName(mode),
+                         [level, mode] { RunNode(level, mode); });
+    }
+  }
+  for (const MemoryMode mode : {MemoryMode::kVanilla, MemoryMode::kDesiccant}) {
+    RegisterExperiment(std::string("ext_faults/cluster_crashes/") + MemoryModeName(mode),
+                       [mode] { RunClusterPair(mode); });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  Table table({"faults", "mode", "ok", "retried_ok", "failed", "dropped", "timeouts",
+               "boot_fail", "oom_frozen", "oom_running", "reclaim_aborts", "goodput_rps",
+               "throughput_rps", "success", "replay"});
+  for (const Row& row : g_rows) {
+    table.AddRow({row.level, row.mode, std::to_string(row.m.requests_completed),
+                  std::to_string(row.m.requests_retried_ok),
+                  std::to_string(row.m.requests_failed),
+                  std::to_string(row.m.requests_dropped),
+                  std::to_string(row.m.invocation_timeouts),
+                  std::to_string(row.m.boot_failures),
+                  std::to_string(row.m.oom_kills_frozen),
+                  std::to_string(row.m.oom_kills_running),
+                  std::to_string(row.m.reclaim_aborts), Table::Fmt(row.m.GoodputRps()),
+                  Table::Fmt(row.m.ThroughputRps()), Table::Fmt(row.m.SuccessFraction(), 4),
+                  row.replay_identical ? "1" : "0"});
+  }
+  table.Print("Extension: fault injection at SF 15, outcome taxonomy (single node)");
+
+  Table cluster_table({"faults", "mode", "ok", "retried_ok", "failed", "dropped",
+                       "node_crashes", "failovers", "goodput_rps", "throughput_rps",
+                       "success", "replay"});
+  for (const Row& row : g_cluster_rows) {
+    cluster_table.AddRow(
+        {row.level, row.mode, std::to_string(row.m.requests_completed),
+         std::to_string(row.m.requests_retried_ok), std::to_string(row.m.requests_failed),
+         std::to_string(row.m.requests_dropped), std::to_string(row.m.node_crashes),
+         std::to_string(row.m.failovers), Table::Fmt(row.m.GoodputRps()),
+         Table::Fmt(row.m.ThroughputRps()), Table::Fmt(row.m.SuccessFraction(), 4),
+         row.replay_identical ? "1" : "0"});
+  }
+  cluster_table.Print(
+      "Extension: 3-node cluster with invoker crashes (MTBF 60 s, restart 3 s, SF 15)");
+  return 0;
+}

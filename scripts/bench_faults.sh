@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tracks the fault-injection layer PR over PR and writes BENCH_faults.json.
+#
+# Two things are measured:
+#   * fig09_trace_replay — the paper's main figure path with an all-zero
+#     FaultPlan. The fault layer is compiled in but inert here, so this wall
+#     time is the overhead guard: it must stay within 2% of the pre-fault
+#     baseline (the driver compares across PRs).
+#   * ext_faults — the chaos replays (timeouts, boot failures, OOM killer,
+#     invoker crashes) whose per-experiment times track the cost of the fault
+#     paths themselves, and whose `replay` columns assert determinism.
+#
+# Usage: scripts/bench_faults.sh [output.json]
+#   BUILD_DIR=build  cmake build directory (configured if missing)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_faults.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target fig09_trace_replay ext_faults
+
+TMP_FIG09="$(mktemp)"
+TMP_FAULTS="$(mktemp)"
+trap 'rm -f "$TMP_FIG09" "$TMP_FAULTS"' EXIT
+
+"$BUILD_DIR/bench/fig09_trace_replay" \
+  --benchmark_out="$TMP_FIG09" --benchmark_out_format=json > /dev/null
+"$BUILD_DIR/bench/ext_faults" \
+  --benchmark_out="$TMP_FAULTS" --benchmark_out_format=json > /dev/null
+
+# One google-benchmark-shaped file: fig09's context, both runs' benchmarks.
+jq -s '{context: .[0].context, benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
+  "$TMP_FIG09" "$TMP_FAULTS" > "$OUT"
+
+echo "wrote $OUT"

@@ -31,6 +31,14 @@ class Rng {
  public:
   explicit Rng(uint64_t seed);
 
+  // Derives an independent seed from (seed, salt) so subsystems (e.g. the
+  // fault injector) can own private generators whose draws never perturb the
+  // main stream — a zero-fault run stays byte-identical to a faultless build.
+  static uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+    SplitMix64 mix(seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+    return mix.Next();
+  }
+
   uint64_t NextU64();
 
   // Uniform in [0, 1).

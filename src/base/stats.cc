@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace desiccant {
 
@@ -34,6 +35,21 @@ double PercentileTracker::Percentile(double p) const {
       std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
   const size_t index = rank == 0 ? 0 : rank - 1;
   return sorted[std::min(index, sorted.size() - 1)];
+}
+
+uint64_t PercentileTracker::Fingerprint() const {
+  // Commutative sum of per-sample SplitMix64 digests: insensitive to sample
+  // order but sensitive to every bit of every sample (and to multiplicity).
+  uint64_t digest = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(samples_.size());
+  for (double s : samples_) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &s, sizeof(bits));
+    uint64_t z = bits + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    digest += z ^ (z >> 31);
+  }
+  return digest;
 }
 
 }  // namespace desiccant

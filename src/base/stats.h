@@ -38,6 +38,11 @@ class PercentileTracker {
   // p in [0, 100]. Returns 0 when empty.
   double Percentile(double p) const;
 
+  // Order-insensitive 64-bit digest of the sample multiset. Two metric sets
+  // are replay-identical iff counts and fingerprints match, regardless of the
+  // order cluster aggregation visited the nodes in.
+  uint64_t Fingerprint() const;
+
   template <typename Visitor>
   void ForEachSample(Visitor&& visit) const {
     for (double s : samples_) {

@@ -47,6 +47,10 @@ class ActivationPolicy {
     last_update_ = now;
   }
 
+  // An OOM kill is the hardest memory-pressure signal there is: drop to the
+  // floor exactly as an eviction does.
+  void OnOomKill(SimTime now) { OnEviction(now); }
+
  private:
   ActivationConfig config_;
   double threshold_;

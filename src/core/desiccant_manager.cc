@@ -1,5 +1,7 @@
 #include "src/core/desiccant_manager.h"
 
+#include <algorithm>
+
 namespace desiccant {
 
 DesiccantManager::DesiccantManager(Platform* platform, const DesiccantConfig& config)
@@ -31,11 +33,35 @@ void DesiccantManager::OnInstanceDestroyed(Instance* instance) {
 
 void DesiccantManager::OnReclaimDone(const std::string& function_key, Instance* instance,
                                      const ReclaimResult& result) {
+  if (result.aborted || instance == nullptr) {
+    // The reclaim died mid-flight (injected abort, or the instance/node went
+    // away underneath it). Bookkeeping for the instance itself is released
+    // via OnInstanceDestroyed; here we retry the sweep with capped
+    // exponential backoff instead of silently dropping the pressure signal.
+    // The retry is gated on the fault layer so a faultless run's event
+    // stream stays untouched.
+    ++reclaim_aborts_;
+    if (platform_->faults_enabled()) {
+      const uint32_t exponent = std::min(abort_streak_, 8u);
+      ++abort_streak_;
+      const SimTime delay =
+          std::min(config_.abort_retry_base << exponent, config_.abort_retry_cap);
+      platform_->ScheduleCallback(platform_->clock().Now() + delay,
+                                  [this]() { MaybeReclaim(); });
+    }
+    return;
+  }
+  abort_streak_ = 0;
   const uint64_t released_bytes = PagesToBytes(result.released_pages);
   bytes_released_ += released_bytes;
-  if (instance != nullptr) {
-    profiles_.Record(instance->id(), function_key, result.live_bytes_after, result.cpu_time,
-                     released_bytes);
+  profiles_.Record(instance->id(), function_key, result.live_bytes_after, result.cpu_time,
+                   released_bytes);
+}
+
+void DesiccantManager::OnFault(const FaultEvent& event) {
+  if (event.kind == FaultKind::kOomKill) {
+    ++oom_kills_seen_;
+    activation_.OnOomKill(event.at);
   }
 }
 

@@ -32,6 +32,10 @@ struct DesiccantConfig {
   // unused to be ahead of the next burst).
   bool opportunistic_on_idle_cpu = false;
   double idle_cpu_fraction = 0.5;
+  // Retry backoff after an aborted reclaim (fault runs only): the delay
+  // doubles per consecutive abort, capped, and resets on the first success.
+  SimTime abort_retry_base = 100 * kMillisecond;
+  SimTime abort_retry_cap = 5 * kSecond;
 };
 
 class DesiccantManager : public PlatformObserver {
@@ -44,10 +48,15 @@ class DesiccantManager : public PlatformObserver {
   void OnInstanceDestroyed(Instance* instance) override;
   void OnReclaimDone(const std::string& function_key, Instance* instance,
                      const ReclaimResult& result) override;
+  void OnFault(const FaultEvent& event) override;
   void OnTick() override;
 
   uint64_t reclaim_requests() const { return reclaim_requests_; }
   uint64_t bytes_released() const { return bytes_released_; }
+  // Reclaims that died mid-flight (injected aborts, instance destroyed or
+  // node crashed with the reclaim outstanding).
+  uint64_t reclaim_aborts() const { return reclaim_aborts_; }
+  uint64_t oom_kills_seen() const { return oom_kills_seen_; }
   const ProfileStore& profiles() const { return profiles_; }
   double CurrentThreshold() const;
 
@@ -62,6 +71,9 @@ class DesiccantManager : public PlatformObserver {
 
   uint64_t reclaim_requests_ = 0;
   uint64_t bytes_released_ = 0;
+  uint64_t reclaim_aborts_ = 0;
+  uint64_t oom_kills_seen_ = 0;
+  uint32_t abort_streak_ = 0;  // consecutive aborts, drives the retry backoff
 };
 
 }  // namespace desiccant

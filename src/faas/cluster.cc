@@ -1,5 +1,6 @@
 #include "src/faas/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 
@@ -17,28 +18,56 @@ const char* RoutingPolicyName(RoutingPolicy policy) {
   return "unknown";
 }
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), crash_injector_(config.node.faults, /*salt=*/0xC1A54ADEull) {
   assert(config_.node_count >= 1);
   for (size_t i = 0; i < config_.node_count; ++i) {
     PlatformConfig node_config = config_.node;
     node_config.seed = config_.node.seed + i * 7919;
     nodes_.push_back(std::make_unique<Platform>(node_config, &context_));
+    nodes_.back()->set_failover_handler(
+        [this](Platform::Request request) { FailOver(std::move(request)); });
+  }
+  const FaultPlan& plan = config_.node.faults;
+  if (plan.node_crash_mtbf_seconds > 0) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      ScheduleCrash(i, crash_injector_.NextCrashDelay());
+    }
   }
 }
 
 size_t Cluster::Route(const WorkloadSpec* workload) {
+  const size_t n = nodes_.size();
   switch (config_.routing) {
     case RoutingPolicy::kRoundRobin: {
-      const size_t node = round_robin_next_;
-      round_robin_next_ = (round_robin_next_ + 1) % nodes_.size();
-      return node;
+      for (size_t probe = 0; probe < n; ++probe) {
+        const size_t node = round_robin_next_;
+        round_robin_next_ = (round_robin_next_ + 1) % n;
+        if (!nodes_[node]->node_down()) {
+          return node;
+        }
+      }
+      return kNoNode;
     }
-    case RoutingPolicy::kAffinity:
-      return std::hash<std::string>{}(workload->name) % nodes_.size();
+    case RoutingPolicy::kAffinity: {
+      // Down home node: spill to the next healthy neighbour (and return home
+      // once it restarts — the hash is stable).
+      const size_t home = std::hash<std::string>{}(workload->name) % n;
+      for (size_t probe = 0; probe < n; ++probe) {
+        const size_t node = (home + probe) % n;
+        if (!nodes_[node]->node_down()) {
+          return node;
+        }
+      }
+      return kNoNode;
+    }
     case RoutingPolicy::kLeastLoaded: {
-      size_t best = 0;
-      for (size_t i = 1; i < nodes_.size(); ++i) {
-        if (nodes_[i]->IdleCpu() > nodes_[best]->IdleCpu()) {
+      size_t best = kNoNode;
+      for (size_t i = 0; i < n; ++i) {
+        if (nodes_[i]->node_down()) {
+          continue;
+        }
+        if (best == kNoNode || nodes_[i]->IdleCpu() > nodes_[best]->IdleCpu()) {
           best = i;
         }
       }
@@ -51,8 +80,57 @@ size_t Cluster::Route(const WorkloadSpec* workload) {
 void Cluster::Submit(const WorkloadSpec* workload, SimTime arrival) {
   // Routing happens at arrival time so kLeastLoaded sees the live state.
   context_.events.Schedule(arrival, [this, workload, arrival]() {
-    nodes_[Route(workload)]->Submit(workload, arrival);
+    const size_t target = Route(workload);
+    if (target == kNoNode) {
+      // Every invoker is down: park the arrival until the first restart.
+      Platform::Request request;
+      request.workload = workload;
+      request.arrival = arrival;
+      pending_.push_back(request);
+      return;
+    }
+    nodes_[target]->Submit(workload, arrival);
   });
+}
+
+void Cluster::FailOver(Platform::Request request) {
+  const size_t target = Route(request.workload);
+  if (target == kNoNode) {
+    pending_.push_back(std::move(request));
+    return;
+  }
+  nodes_[target]->Resubmit(std::move(request));
+}
+
+void Cluster::ScheduleCrash(size_t node, SimTime delay) {
+  const SimTime at = context_.clock.Now() + delay;
+  if (at >= config_.node.faults.node_crash_horizon) {
+    return;  // past the horizon: this node has crashed for the last time
+  }
+  context_.events.Schedule(at, [this, node]() { CrashNow(node); });
+}
+
+void Cluster::CrashNow(size_t node) {
+  if (nodes_[node]->node_down()) {
+    return;
+  }
+  std::vector<Platform::Request> lost = nodes_[node]->CrashNode();
+  for (Platform::Request& request : lost) {
+    FailOver(std::move(request));
+  }
+  context_.events.Schedule(context_.clock.Now() + config_.node.faults.node_restart_delay,
+                           [this, node]() { RestartNow(node); });
+}
+
+void Cluster::RestartNow(size_t node) {
+  nodes_[node]->RestartNode();
+  // Arrivals parked during a whole-cluster outage re-enter here.
+  std::vector<Platform::Request> parked;
+  parked.swap(pending_);
+  for (Platform::Request& request : parked) {
+    FailOver(std::move(request));
+  }
+  ScheduleCrash(node, crash_injector_.NextCrashDelay());
 }
 
 void Cluster::Run() {
@@ -61,6 +139,9 @@ void Cluster::Run() {
     for (auto& node : nodes_) {
       if (node->observer() != nullptr) {
         node->observer()->OnTick();
+      }
+      if (node->check_invariants()) {
+        node->CheckAccounting();
       }
     }
   }
@@ -73,6 +154,9 @@ void Cluster::RunUntil(SimTime deadline) {
       if (node->observer() != nullptr) {
         node->observer()->OnTick();
       }
+      if (node->check_invariants()) {
+        node->CheckAccounting();
+      }
     }
   }
   context_.clock.AdvanceTo(std::max(context_.clock.Now(), deadline));
@@ -81,6 +165,12 @@ void Cluster::RunUntil(SimTime deadline) {
 void Cluster::BeginMeasurement() {
   for (auto& node : nodes_) {
     node->BeginMeasurement();
+  }
+}
+
+void Cluster::set_check_invariants(bool enabled) {
+  for (auto& node : nodes_) {
+    node->set_check_invariants(enabled);
   }
 }
 
@@ -97,6 +187,19 @@ PlatformMetrics Cluster::AggregateMetrics() {
     total.evictions += m.evictions;
     total.keepalive_destroys += m.keepalive_destroys;
     total.reclaims += m.reclaims;
+    total.swap_outs += m.swap_outs;
+    total.requests_failed += m.requests_failed;
+    total.requests_dropped += m.requests_dropped;
+    total.requests_retried_ok += m.requests_retried_ok;
+    total.invocation_timeouts += m.invocation_timeouts;
+    total.boot_failures += m.boot_failures;
+    total.oom_kills += m.oom_kills;
+    total.oom_kills_frozen += m.oom_kills_frozen;
+    total.oom_kills_running += m.oom_kills_running;
+    total.node_crashes += m.node_crashes;
+    total.failovers += m.failovers;
+    total.retries += m.retries;
+    total.reclaim_aborts += m.reclaim_aborts;
     total.cpu_busy_core_s += m.cpu_busy_core_s;
     total.boot_cpu_core_s += m.boot_cpu_core_s;
     total.eager_gc_cpu_core_s += m.eager_gc_cpu_core_s;

@@ -12,6 +12,12 @@
 //
 // Each node keeps its own instance cache and (optionally) its own Desiccant
 // manager; memory reclamation is a per-node concern, exactly as in the paper.
+//
+// When the node FaultPlan sets node_crash_mtbf_seconds, the cluster also
+// plays the role of the failure detector: it crashes invokers on an
+// exponential schedule, fails their in-flight activations over to healthy
+// nodes (or parks them if every node is down), and restarts the crashed node
+// after node_restart_delay. All routing skips down nodes.
 #ifndef DESICCANT_SRC_FAAS_CLUSTER_H_
 #define DESICCANT_SRC_FAAS_CLUSTER_H_
 
@@ -29,7 +35,7 @@ const char* RoutingPolicyName(RoutingPolicy policy);
 struct ClusterConfig {
   size_t node_count = 2;
   RoutingPolicy routing = RoutingPolicy::kAffinity;
-  PlatformConfig node;  // per-node configuration (cache, CPU, mode, ...)
+  PlatformConfig node;  // per-node configuration (cache, CPU, mode, faults, ...)
 };
 
 class Cluster {
@@ -47,18 +53,35 @@ class Cluster {
   // the underlying samples; counters add up).
   PlatformMetrics AggregateMetrics();
 
+  // Turns per-event accounting invariant checks on for every node.
+  void set_check_invariants(bool enabled);
+
   SimClock& clock() { return context_.clock; }
   size_t node_count() const { return nodes_.size(); }
   Platform& node(size_t index) { return *nodes_[index]; }
   const ClusterConfig& config() const { return config_; }
+  // Arrivals parked because every node was down (drained at each restart).
+  size_t pending_count() const { return pending_.size(); }
 
  private:
+  static constexpr size_t kNoNode = static_cast<size_t>(-1);
+
+  // Picks a healthy node per the policy; kNoNode when every node is down.
   size_t Route(const WorkloadSpec* workload);
+  // Re-routes a request from a crashed node; parks it if nothing is healthy.
+  void FailOver(Platform::Request request);
+  void ScheduleCrash(size_t node, SimTime delay);
+  void CrashNow(size_t node);
+  void RestartNow(size_t node);
 
   ClusterConfig config_;
   SimContext context_;
   std::vector<std::unique_ptr<Platform>> nodes_;
   size_t round_robin_next_ = 0;
+  // Crash scheduling draws from its own salted injector so per-node fault
+  // draws (boots, reclaims) stay uncorrelated with crash times.
+  FaultInjector crash_injector_;
+  std::vector<Platform::Request> pending_;
 };
 
 }  // namespace desiccant

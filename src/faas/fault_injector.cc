@@ -1,0 +1,41 @@
+#include "src/faas/fault_injector.h"
+
+#include <algorithm>
+
+namespace desiccant {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInvocationTimeout:
+      return "invocation-timeout";
+    case FaultKind::kBootFailure:
+      return "boot-failure";
+    case FaultKind::kOomKill:
+      return "oom-kill";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeRestart:
+      return "node-restart";
+    case FaultKind::kReclaimAbort:
+      return "reclaim-abort";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t salt)
+    : plan_(plan), enabled_(plan.Enabled()), rng_(Rng::MixSeed(plan.seed, salt)) {}
+
+SimTime FaultInjector::NextCrashDelay() {
+  // Exponential inter-crash times, floored at one millisecond so two crashes
+  // of one node can never share a timestamp with its own restart.
+  const double seconds = rng_.Exponential(plan_.node_crash_mtbf_seconds);
+  return std::max<SimTime>(FromSeconds(seconds), kMillisecond);
+}
+
+SimTime FaultInjector::RetryBackoff(uint32_t attempt) const {
+  const uint32_t exponent = std::min(attempt > 0 ? attempt - 1 : 0u, 20u);
+  const SimTime delay = plan_.retry_backoff_base << exponent;
+  return std::min(delay, plan_.retry_backoff_cap);
+}
+
+}  // namespace desiccant

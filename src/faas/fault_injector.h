@@ -1,0 +1,129 @@
+// Deterministic fault injection for the FaaS platform simulator.
+//
+// Production FaaS stacks run under constant partial failure: invocations time
+// out, containers get OOM-killed by their cgroup, cold boots fail, invokers
+// crash and restart. A FaultPlan describes which of those faults fire and how
+// often; a FaultInjector turns the plan into a replayable stream of fault
+// decisions. Two properties are load-bearing:
+//
+//   * Determinism. The injector owns a private Rng seeded from
+//     (plan.seed, salt) via Rng::MixSeed, so identical seed + identical plan
+//     replays to byte-identical metrics — and the platform's own generator
+//     never sees a fault draw.
+//   * Zero-cost when disabled. An all-zero plan draws nothing and schedules
+//     nothing: the event stream of a faultless run is bit-for-bit the event
+//     stream of a build without the fault layer.
+#ifndef DESICCANT_SRC_FAAS_FAULT_INJECTOR_H_
+#define DESICCANT_SRC_FAAS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace desiccant {
+
+// All-zero plan = no faults. Every knob is independent; enabling one never
+// changes the draw sequence of another (each decision draws exactly once,
+// and only when its own probability/rate is non-zero).
+struct FaultPlan {
+  // Controller-side per-invocation timeout. A stage whose wall time would
+  // exceed this is killed at the deadline and retried with capped exponential
+  // backoff, up to max_invocation_retries; then the request fails.
+  SimTime invocation_timeout = 0;  // 0 = no timeout
+  uint32_t max_invocation_retries = 3;
+
+  // Cold-boot / SnapStart-restore failures: the boot burns its full cost and
+  // CPU share, then the container is torn down and the boot retried (bounded).
+  double boot_failure_prob = 0.0;
+  double restore_failure_prob = 0.0;
+  uint32_t max_boot_retries = 2;
+
+  // Capped exponential backoff shared by all controller-side retries:
+  // delay(attempt) = min(base << (attempt - 1), cap).
+  SimTime retry_backoff_base = 50 * kMillisecond;
+  SimTime retry_backoff_cap = 2 * kSecond;
+
+  // cgroup-style per-node OOM killer: fires when committed memory (running
+  // and booting instances at their full budget + frozen instances at their
+  // cached USS) exceeds this capacity. Kill order: cheapest-to-rebuild frozen
+  // instance first, then the youngest running instance.
+  uint64_t node_memory_bytes = 0;  // 0 = no OOM killer
+
+  // Invoker crashes (cluster level): per-node exponential inter-crash times
+  // with this mean. A crashed node drains its instance cache, fails its
+  // in-flight activations over to healthy nodes, and rejoins after
+  // node_restart_delay. Crashes only fire before node_crash_horizon so a
+  // drain-the-queue run terminates.
+  double node_crash_mtbf_seconds = 0.0;  // 0 = no crashes
+  SimTime node_crash_horizon = 300 * kSecond;
+  SimTime node_restart_delay = 5 * kSecond;
+
+  // Mid-flight reclaim aborts: the background reclaim dies partway through —
+  // it burns reclaim_abort_cpu of idle CPU but releases nothing, and the
+  // manager retries with backoff.
+  double reclaim_abort_prob = 0.0;
+  SimTime reclaim_abort_cpu = 5 * kMillisecond;
+
+  uint64_t seed = 0x5eedf417;
+
+  bool Enabled() const {
+    return invocation_timeout > 0 || boot_failure_prob > 0 || restore_failure_prob > 0 ||
+           node_memory_bytes > 0 || node_crash_mtbf_seconds > 0 || reclaim_abort_prob > 0;
+  }
+};
+
+enum class FaultKind : uint8_t {
+  kInvocationTimeout,
+  kBootFailure,
+  kOomKill,
+  kNodeCrash,
+  kNodeRestart,
+  kReclaimAbort,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// One fault or recovery action, as recorded in the platform's fault log and
+// delivered to the observer (PlatformObserver::OnFault).
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kInvocationTimeout;
+  uint64_t instance_id = 0;  // 0 when not instance-scoped (node crash/restart)
+  std::string function_key;
+  // kOomKill: bytes freed; kNodeCrash: instances lost; else 0.
+  uint64_t detail = 0;
+};
+
+class FaultInjector {
+ public:
+  // `salt` decorrelates injectors sharing one plan (per-node platform seeds,
+  // the cluster's crash scheduler) without any draw-order coupling.
+  FaultInjector(const FaultPlan& plan, uint64_t salt);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return enabled_; }
+
+  bool BootFails() { return Draw(plan_.boot_failure_prob); }
+  bool RestoreFails() { return Draw(plan_.restore_failure_prob); }
+  bool ReclaimAborts() { return Draw(plan_.reclaim_abort_prob); }
+
+  // Next inter-crash delay; requires node_crash_mtbf_seconds > 0.
+  SimTime NextCrashDelay();
+
+  // Capped exponential backoff for retry `attempt` (1-based).
+  SimTime RetryBackoff(uint32_t attempt) const;
+
+ private:
+  // Never draws when p == 0: the disabled path stays draw-free.
+  bool Draw(double p) { return p > 0 && rng_.Chance(p); }
+
+  FaultPlan plan_;
+  bool enabled_;
+  Rng rng_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_FAULT_INJECTOR_H_

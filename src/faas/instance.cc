@@ -186,6 +186,11 @@ uint64_t Instance::SwapOut(uint64_t max_pages) {
   return pages;
 }
 
+SimTime Instance::RebuildCost(SimTime container_create_cost) const {
+  return container_create_cost + runtime_->BootCost() +
+         fault_costs_.RebuildCost(vas_.resident_pages(), vas_.swapped_pages());
+}
+
 std::string Instance::FunctionKey() const {
   assert(bound());
   return workload_->name + "#" + std::to_string(stage_);

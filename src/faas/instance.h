@@ -84,6 +84,11 @@ class Instance {
   // data. Returns pages swapped out.
   uint64_t SwapOut(uint64_t max_pages);
 
+  // What losing this instance costs to rebuild from scratch: container
+  // creation + runtime boot + re-faulting the current working set. The OOM
+  // killer evicts the cheapest-to-rebuild frozen instance first.
+  SimTime RebuildCost(SimTime container_create_cost) const;
+
   uint64_t id() const { return id_; }
   const WorkloadSpec* workload() const { return workload_; }
   size_t stage() const { return stage_; }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace desiccant {
 
@@ -26,8 +29,71 @@ const char* MemoryModeName(MemoryMode mode) {
   return "unknown";
 }
 
+const char* OutcomeName(ActivationRecord::Outcome outcome) {
+  switch (outcome) {
+    case ActivationRecord::Outcome::kOk:
+      return "ok";
+    case ActivationRecord::Outcome::kRetriedThenOk:
+      return "retried-then-ok";
+    case ActivationRecord::Outcome::kTimedOut:
+      return "timed-out";
+    case ActivationRecord::Outcome::kOomKilled:
+      return "oom-killed";
+    case ActivationRecord::Outcome::kNodeLost:
+      return "node-lost";
+    case ActivationRecord::Outcome::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+uint64_t PlatformMetrics::Fingerprint() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(requests_completed);
+  mix(stage_invocations);
+  mix(cold_boots);
+  mix(prewarm_adoptions);
+  mix(warm_starts);
+  mix(evictions);
+  mix(keepalive_destroys);
+  mix(reclaims);
+  mix(swap_outs);
+  mix(requests_failed);
+  mix(requests_dropped);
+  mix(requests_retried_ok);
+  mix(invocation_timeouts);
+  mix(boot_failures);
+  mix(oom_kills);
+  mix(oom_kills_frozen);
+  mix(oom_kills_running);
+  mix(node_crashes);
+  mix(failovers);
+  mix(retries);
+  mix(reclaim_aborts);
+  mix(latency_ms.Fingerprint());
+  mix(queue_ms.Fingerprint());
+  mix(boot_ms.Fingerprint());
+  mix(exec_ms.Fingerprint());
+  mix_double(cpu_busy_core_s);
+  mix_double(boot_cpu_core_s);
+  mix_double(eager_gc_cpu_core_s);
+  mix_double(reclaim_cpu_core_s);
+  mix(window_start);
+  mix(window_end);
+  return h;
+}
+
 Platform::Platform(const PlatformConfig& config, SimContext* context)
-    : config_(config), rng_(config.seed) {
+    : config_(config), rng_(config.seed), injector_(config.faults, config.seed) {
   if (context != nullptr) {
     context_ = context;
   } else {
@@ -36,13 +102,28 @@ Platform::Platform(const PlatformConfig& config, SimContext* context)
   }
 }
 
+void Platform::ScheduleNode(SimTime time, std::function<void()> fn) {
+  const uint64_t epoch = epoch_;
+  context_->events.Schedule(time, [this, epoch, fn = std::move(fn)]() {
+    if (epoch == epoch_) {
+      fn();
+    }
+  });
+}
+
 void Platform::Submit(const WorkloadSpec* workload, SimTime arrival) {
   Request request;
   request.id = next_request_id_++;
   request.workload = workload;
   request.stage = 0;
   request.arrival = arrival;
+  // Arrivals are deliberately NOT epoch-scoped: a request that lands on a
+  // crashed node must fail over, not vanish.
   context_->events.Schedule(arrival, [this, request]() {
+    if (down_ && failover_handler_) {
+      failover_handler_(request);
+      return;
+    }
     if (!TryRun(request)) {
       waiting_.push_back(request);
     }
@@ -55,6 +136,9 @@ void Platform::Run() {
     if (observer_ != nullptr) {
       observer_->OnTick();
     }
+    if (check_invariants_) {
+      CheckAccounting();
+    }
   }
 }
 
@@ -63,6 +147,9 @@ void Platform::RunUntil(SimTime deadline) {
     context_->events.RunNext(&context_->clock);
     if (observer_ != nullptr) {
       observer_->OnTick();
+    }
+    if (check_invariants_) {
+      CheckAccounting();
     }
   }
   context_->clock.AdvanceTo(std::max(context_->clock.Now(), deadline));
@@ -119,6 +206,7 @@ bool Platform::TryRun(const Request& request) {
     pool.pop_back();  // FindWarmInstance returned the most recently frozen
     // The instance leaves the frozen cache while it runs.
     memory_charged_ -= FrozenCharge(*warm);
+    running_committed_ += config_.instance_memory_budget;
     AcquireCpu(config_.instance_cpu_share);
     const SimTime thaw_refault = warm->Thaw();
     if (InWindow()) {
@@ -127,6 +215,7 @@ bool Platform::TryRun(const Request& request) {
     Request started = request;
     started.start = ActivationRecord::Start::kWarm;
     StartOnInstance(warm, started, config_.thaw_cost + thaw_refault);
+    MaybeOomKill();
     return true;
   }
 
@@ -173,25 +262,69 @@ bool Platform::TryRun(const Request& request) {
                                 ? config_.snapstart_restore_cost
                                 : config_.container_create_cost + instance->BootCost();
   instances_.emplace(id, std::move(instance));
+  running_committed_ += config_.instance_memory_budget;
   if (InWindow()) {
     ++metrics_.cold_boots;
     metrics_.boot_cpu_core_s += config_.boot_cpu_share * ToSeconds(boot_wall);
   }
 
+  // Injected cold-boot / restore failure, decided up front (the injector's
+  // generator is private, so the draw is deterministic per boot attempt).
+  const bool boot_fails =
+      config_.snapstart_restore ? injector_.RestoreFails() : injector_.BootFails();
+
   Request started = request;
   started.start = ActivationRecord::Start::kCold;
   started.boot_time += boot_wall;
-  context_->events.Schedule(context_->clock.Now() + boot_wall, [this, id, started]() {
+  booting_.emplace(id, started);
+  ScheduleNode(context_->clock.Now() + boot_wall, [this, id, boot_fails]() {
+    auto bit = booting_.find(id);
+    if (bit == booting_.end()) {
+      return;  // killed (OOM) while booting
+    }
+    Request booting = std::move(bit->second);
+    booting_.erase(bit);
     Instance* booted = LookUp(id);
     assert(booted != nullptr);
+    if (boot_fails) {
+      // The boot burned its full cost, then the container died: tear it
+      // down and retry the boot (bounded), paying backoff in between.
+      running_committed_ -= config_.instance_memory_budget;
+      if (InWindow()) {
+        ++metrics_.boot_failures;
+      }
+      RecordFault(FaultKind::kBootFailure, id, booted->FunctionKey());
+      if (observer_ != nullptr) {
+        observer_->OnInstanceDestroyed(booted);
+      }
+      instances_.erase(id);
+      if (booting.boot_attempts < injector_.plan().max_boot_retries) {
+        ++booting.boot_attempts;
+        booting.retried = true;
+        if (InWindow()) {
+          ++metrics_.retries;
+        }
+        const SimTime delay = injector_.RetryBackoff(booting.boot_attempts);
+        ScheduleNode(context_->clock.Now() + delay, [this, booting]() {
+          if (!TryRun(booting)) {
+            waiting_.push_back(booting);
+          }
+        });
+      } else {
+        FailRequest(booting, ActivationRecord::Outcome::kDropped, /*dropped=*/true);
+      }
+      ReleaseCpu(config_.boot_cpu_share);
+      return;
+    }
     // Swap the boot share for the (smaller) invocation share atomically so a
     // queued request cannot steal the CPU in between.
     UpdateCpuIntegral();
     cpu_in_use_ += config_.instance_cpu_share - config_.boot_cpu_share;
     booted->set_state(InstanceState::kRunning);
-    StartOnInstance(booted, started, 0);
+    StartOnInstance(booted, booting, 0);
     PumpWaiting();
   });
+  MaybeOomKill();
   return true;
 }
 
@@ -199,10 +332,11 @@ bool Platform::TryRun(const Request& request) {
 void Platform::StartOnInstance(Instance* instance, const Request& request,
                                SimTime extra_start_cost) {
   // The downstream stage reads its input now: the upstream instance's carry
-  // becomes garbage (collectible at its next GC or reclaim).
+  // becomes garbage (collectible at its next GC or reclaim). The upstream may
+  // be gone (node crash / OOM) or already consumed (a retried stage).
   if (request.upstream_id != 0) {
     Instance* upstream = LookUp(request.upstream_id);
-    if (upstream != nullptr) {
+    if (upstream != nullptr && upstream->program().has_carry()) {
       upstream->program().ConsumeCarry(upstream->runtime());
     }
   }
@@ -215,24 +349,46 @@ void Platform::StartOnInstance(Instance* instance, const Request& request,
       extra_start_cost +
       static_cast<SimTime>(static_cast<double>(outcome.duration) / config_.instance_cpu_share);
   const uint64_t id = instance->id();
+
+  // Controller-side invocation timeout: the deadline is known up front, so a
+  // stage that would overrun is killed at the deadline instead of completing.
+  const SimTime timeout = injector_.plan().invocation_timeout;
+  if (timeout > 0 && wall > timeout) {
+    Request timed = request;
+    timed.exec_time += timeout;
+    inflight_.emplace(id, timed);
+    ScheduleNode(context_->clock.Now() + timeout, [this, id]() { TimeoutKill(id); });
+    return;
+  }
+
   Request completed = request;
   completed.exec_time += wall;
-  context_->events.Schedule(context_->clock.Now() + wall, [this, id, completed]() {
+  inflight_.emplace(id, completed);
+  ScheduleNode(context_->clock.Now() + wall, [this, id]() {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) {
+      return;  // killed (OOM) before completing
+    }
+    Request finished = std::move(it->second);
+    inflight_.erase(it);
     Instance* done = LookUp(id);
     assert(done != nullptr);
-    OnStageComplete(done, completed);
+    OnStageComplete(done, finished);
   });
 }
 
-void Platform::LogActivation(const Request& request, const Instance& instance,
-                             ActivationRecord::Start start) {
+void Platform::LogActivation(const Request& request, uint64_t instance_id,
+                             const std::string& function_key,
+                             ActivationRecord::Outcome outcome) {
   ActivationRecord record;
   record.request_id = request.id;
-  record.function_key = instance.FunctionKey();
+  record.function_key = function_key;
   record.arrival = request.arrival;
   record.completion = context_->clock.Now();
-  record.start = start;
-  record.instance_id = instance.id();
+  record.start = request.start;
+  record.outcome = outcome;
+  record.attempts = request.attempts + request.boot_attempts;
+  record.instance_id = instance_id;
   activation_log_.push_back(std::move(record));
   if (activation_log_.size() > kActivationLogCapacity) {
     activation_log_.pop_front();
@@ -243,8 +399,197 @@ std::vector<ActivationRecord> Platform::RecentActivations() const {
   return {activation_log_.begin(), activation_log_.end()};
 }
 
+std::vector<FaultEvent> Platform::RecentFaults() const {
+  return {fault_log_.begin(), fault_log_.end()};
+}
+
+void Platform::RecordFault(FaultKind kind, uint64_t instance_id, std::string function_key,
+                           uint64_t detail) {
+  FaultEvent event;
+  event.at = context_->clock.Now();
+  event.kind = kind;
+  event.instance_id = instance_id;
+  event.function_key = std::move(function_key);
+  event.detail = detail;
+  if (observer_ != nullptr) {
+    observer_->OnFault(event);
+  }
+  fault_log_.push_back(std::move(event));
+  if (fault_log_.size() > kFaultLogCapacity) {
+    fault_log_.pop_front();
+  }
+}
+
+void Platform::FailRequest(const Request& request, ActivationRecord::Outcome outcome,
+                           bool dropped) {
+  if (InWindow()) {
+    if (dropped) {
+      ++metrics_.requests_dropped;
+    } else {
+      ++metrics_.requests_failed;
+    }
+  }
+  LogActivation(request, 0,
+                request.workload->name + "#" + std::to_string(request.stage), outcome);
+}
+
+void Platform::RetryOrFail(Request request, bool dropped_on_exhaust) {
+  if (request.attempts < injector_.plan().max_invocation_retries) {
+    ++request.attempts;
+    request.retried = true;
+    if (InWindow()) {
+      ++metrics_.retries;
+    }
+    const SimTime delay = injector_.RetryBackoff(request.attempts);
+    ScheduleNode(context_->clock.Now() + delay, [this, request]() {
+      if (!TryRun(request)) {
+        waiting_.push_back(request);
+      }
+    });
+  } else {
+    FailRequest(request, ActivationRecord::Outcome::kDropped, dropped_on_exhaust);
+  }
+}
+
+void Platform::KillNonFrozen(Instance* instance, ActivationRecord::Outcome outcome) {
+  const uint64_t id = instance->id();
+  const std::string key =
+      instance->bound() ? instance->FunctionKey() : std::string("stemcell");
+  running_committed_ -= config_.instance_memory_budget;
+
+  const auto destroy = [this, id, instance]() {
+    if (observer_ != nullptr) {
+      observer_->OnInstanceDestroyed(instance);
+    }
+    provisioned_.erase(id);
+    instances_.erase(id);
+  };
+
+  auto bit = booting_.find(id);
+  if (bit != booting_.end()) {
+    // Cold boot in flight: the boot share dies with the container.
+    Request request = std::move(bit->second);
+    booting_.erase(bit);
+    ReleaseCpuNoPump(config_.boot_cpu_share);
+    LogActivation(request, id, key, outcome);
+    destroy();
+    RetryOrFail(std::move(request), /*dropped_on_exhaust=*/false);
+    return;
+  }
+  auto pb = prewarm_booting_.find(id);
+  if (pb != prewarm_booting_.end()) {
+    // Stem cell still booting: release the share, shrink the in-flight count.
+    --prewarm_inflight_[pb->second];
+    prewarm_booting_.erase(pb);
+    ReleaseCpuNoPump(config_.boot_cpu_share);
+    destroy();
+    return;
+  }
+  auto it = inflight_.find(id);
+  if (it != inflight_.end()) {
+    Request request = std::move(it->second);
+    inflight_.erase(it);
+    ReleaseCpuNoPump(config_.instance_cpu_share);
+    LogActivation(request, id, key, outcome);
+    destroy();
+    RetryOrFail(std::move(request), /*dropped_on_exhaust=*/false);
+    return;
+  }
+  // Remaining cases: a ready stem cell or a provisioned boot (no CPU held,
+  // state kBooting), or a post-completion instance inside its eager-GC /
+  // freeze-grace window (still holding the invocation share, state kRunning).
+  if (instance->state() == InstanceState::kRunning) {
+    ReleaseCpuNoPump(config_.instance_cpu_share);
+  }
+  destroy();
+}
+
+void Platform::TimeoutKill(uint64_t instance_id) {
+  auto it = inflight_.find(instance_id);
+  if (it == inflight_.end()) {
+    return;  // already torn down by an OOM kill
+  }
+  Instance* victim = LookUp(instance_id);
+  assert(victim != nullptr);
+  if (InWindow()) {
+    ++metrics_.invocation_timeouts;
+  }
+  RecordFault(FaultKind::kInvocationTimeout, instance_id, victim->FunctionKey());
+  KillNonFrozen(victim, ActivationRecord::Outcome::kTimedOut);
+  PumpWaiting();
+}
+
+Instance* Platform::CheapestToRebuildFrozen() const {
+  Instance* cheapest = nullptr;
+  SimTime cheapest_cost = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance->state() != InstanceState::kFrozen) {
+      continue;
+    }
+    const SimTime cost = instance->RebuildCost(config_.container_create_cost);
+    if (cheapest == nullptr || cost < cheapest_cost ||
+        (cost == cheapest_cost && instance->id() < cheapest->id())) {
+      cheapest = instance.get();
+      cheapest_cost = cost;
+    }
+  }
+  return cheapest;
+}
+
+void Platform::MaybeOomKill() {
+  const uint64_t capacity = injector_.plan().node_memory_bytes;
+  if (capacity == 0) {
+    return;
+  }
+  bool killed = false;
+  while (committed_bytes() > capacity) {
+    // Kill order: cheapest-to-rebuild frozen instance first (losing it costs
+    // one cold boot), then the youngest running/booting instance (losing it
+    // aborts an invocation). Provisioned capacity is not exempt — the OOM
+    // killer sits below platform policy.
+    if (Instance* frozen = CheapestToRebuildFrozen()) {
+      const uint64_t freed = FrozenCharge(*frozen);
+      if (InWindow()) {
+        ++metrics_.oom_kills;
+        ++metrics_.oom_kills_frozen;
+      }
+      RecordFault(FaultKind::kOomKill, frozen->id(), frozen->FunctionKey(), freed);
+      DestroyInstance(frozen, /*evicted=*/true);
+      killed = true;
+      continue;
+    }
+    Instance* victim = nullptr;
+    for (const auto& [id, instance] : instances_) {
+      if (instance->state() == InstanceState::kFrozen) {
+        continue;
+      }
+      if (victim == nullptr || instance->id() > victim->id()) {
+        victim = instance.get();
+      }
+    }
+    if (victim == nullptr) {
+      break;  // nothing left to kill; capacity is simply too small
+    }
+    if (InWindow()) {
+      ++metrics_.oom_kills;
+      ++metrics_.oom_kills_running;
+    }
+    RecordFault(FaultKind::kOomKill, victim->id(),
+                victim->bound() ? victim->FunctionKey() : std::string("stemcell"),
+                config_.instance_memory_budget);
+    KillNonFrozen(victim, ActivationRecord::Outcome::kOomKilled);
+    killed = true;
+  }
+  if (killed) {
+    PumpWaiting();
+  }
+}
+
 void Platform::OnStageComplete(Instance* instance, const Request& request) {
-  LogActivation(request, *instance, request.start);
+  const ActivationRecord::Outcome outcome = request.retried
+                                                ? ActivationRecord::Outcome::kRetriedThenOk
+                                                : ActivationRecord::Outcome::kOk;
+  LogActivation(request, instance->id(), instance->FunctionKey(), outcome);
   // Chain orchestration: fire the next stage (the response to the user only
   // happens after the last stage).
   if (request.stage + 1 < request.workload->chain_length()) {
@@ -257,6 +602,9 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
   } else {
     if (InWindow()) {
       ++metrics_.requests_completed;
+      if (request.retried) {
+        ++metrics_.requests_retried_ok;
+      }
       const SimTime latency = context_->clock.Now() - request.arrival;
       metrics_.latency_ms.Add(ToMillis(latency));
       metrics_.boot_ms.Add(ToMillis(request.boot_time));
@@ -275,11 +623,13 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
       metrics_.eager_gc_cpu_core_s += ToSeconds(gc_time);
     }
     const uint64_t id = instance->id();
-    context_->events.Schedule(
+    ScheduleNode(
         context_->clock.Now() + static_cast<SimTime>(static_cast<double>(gc_time) / share),
         [this, id, share]() {
           Instance* done = LookUp(id);
-          assert(done != nullptr);
+          if (done == nullptr) {
+            return;  // OOM-killed during the collection; the kill released the share
+          }
           ReleaseCpu(share);
           FreezeInstance(done);
         });
@@ -290,13 +640,15 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
     // short window after the function returns; then the platform pauses the
     // container.
     const uint64_t id = instance->id();
-    context_->events.Schedule(context_->clock.Now() + config_.freeze_grace,
-                              [this, id, share]() {
-                                Instance* done = LookUp(id);
-                                assert(done != nullptr);
-                                ReleaseCpu(share);
-                                FreezeInstance(done);
-                              });
+    ScheduleNode(context_->clock.Now() + config_.freeze_grace,
+                 [this, id, share]() {
+                   Instance* done = LookUp(id);
+                   if (done == nullptr) {
+                     return;  // OOM-killed during the grace window
+                   }
+                   ReleaseCpu(share);
+                   FreezeInstance(done);
+                 });
     return;
   }
   ReleaseCpu(share);
@@ -305,11 +657,15 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
 
 void Platform::FreezeInstance(Instance* instance) {
   instance->Freeze(context_->clock.Now());
+  running_committed_ -= config_.instance_memory_budget;
   // Admitting the instance into the frozen cache: evict LRU instances until
   // its USS fits (OpenWhisk destroys idle instances when free memory is not
   // enough, §4.2).
   const uint64_t charge = FrozenCharge(*instance);
   if (!EnsureMemory(charge, instance)) {
+    // Never admitted to the cache: pre-charge so DestroyInstance's uncharge
+    // balances instead of underflowing the cache counter.
+    memory_charged_ += charge;
     DestroyInstance(instance, /*evicted=*/true);
     return;
   }
@@ -322,7 +678,7 @@ void Platform::FreezeInstance(Instance* instance) {
   // Keep-alive expiry.
   const uint64_t id = instance->id();
   const SimTime frozen_at = instance->frozen_since();
-  context_->events.Schedule(context_->clock.Now() + config_.keep_alive, [this, id, frozen_at]() {
+  ScheduleNode(context_->clock.Now() + config_.keep_alive, [this, id, frozen_at]() {
     Instance* idle = LookUp(id);
     if (idle != nullptr && idle->state() == InstanceState::kFrozen &&
         provisioned_.count(id) == 0 && idle->frozen_since() == frozen_at) {
@@ -338,9 +694,17 @@ void Platform::FreezeInstance(Instance* instance) {
 
 void Platform::DestroyInstance(Instance* instance, bool evicted) {
   assert(instance->state() == InstanceState::kFrozen);
+  if (injector_.enabled() && instance->reclaim_in_progress()) {
+    // Fault runs abort the in-flight reclaim right now (releasing its CPU
+    // lease) instead of letting a stale completion event discover the death
+    // later. Gated on the fault layer so a zero-plan run keeps the legacy
+    // event stream bit-for-bit.
+    AbortReclaimsFor(instance->id());
+  }
   memory_charged_ -= FrozenCharge(*instance);
   auto& pool = warm_pool_[instance->FunctionKey()];
   pool.erase(std::remove(pool.begin(), pool.end(), instance), pool.end());
+  provisioned_.erase(instance->id());
   if (observer_ != nullptr) {
     if (evicted) {
       observer_->OnInstanceEvicted(instance);
@@ -425,14 +789,27 @@ bool Platform::TryStartReclaim(Instance* instance, const ReclaimOptions& options
   AcquireCpu(share);
   instance->set_reclaim_in_progress(true);
 
-  const uint64_t charge_before = FrozenCharge(*instance);
-  const ReclaimResult result = instance->Reclaim(options, unmap_idle_libraries);
-  // The cache charge follows the released memory.
-  memory_charged_ -= charge_before;
-  memory_charged_ += FrozenCharge(*instance);
-  if (InWindow()) {
-    ++metrics_.reclaims;
-    metrics_.reclaim_cpu_core_s += ToSeconds(result.cpu_time);
+  // Injected mid-flight abort: the reclaim dies partway through — it burns a
+  // little idle CPU, releases nothing, and reports the abort on completion.
+  const bool aborted = injector_.ReclaimAborts();
+  ReclaimResult result;
+  if (aborted) {
+    result.aborted = true;
+    result.cpu_time = injector_.plan().reclaim_abort_cpu;
+    if (InWindow()) {
+      metrics_.reclaim_cpu_core_s += ToSeconds(result.cpu_time);
+    }
+    RecordFault(FaultKind::kReclaimAbort, instance->id(), instance->FunctionKey());
+  } else {
+    const uint64_t charge_before = FrozenCharge(*instance);
+    result = instance->Reclaim(options, unmap_idle_libraries);
+    // The cache charge follows the released memory.
+    memory_charged_ -= charge_before;
+    memory_charged_ += FrozenCharge(*instance);
+    if (InWindow()) {
+      ++metrics_.reclaims;
+      metrics_.reclaim_cpu_core_s += ToSeconds(result.cpu_time);
+    }
   }
 
   const uint64_t reclaim_id = next_reclaim_id_++;
@@ -456,10 +833,10 @@ void Platform::ScheduleReclaimCompletion(uint64_t reclaim_id) {
   const uint64_t generation = reclaim.generation;
   const SimTime wall = static_cast<SimTime>(
       static_cast<double>(reclaim.remaining_cpu) / reclaim.share);
-  context_->events.Schedule(context_->clock.Now() + wall, [this, reclaim_id, generation]() {
+  ScheduleNode(context_->clock.Now() + wall, [this, reclaim_id, generation]() {
     auto found = active_reclaims_.find(reclaim_id);
     if (found == active_reclaims_.end() || found->second.generation != generation) {
-      return;  // superseded by a preemption reschedule
+      return;  // superseded by a preemption reschedule or an abort
     }
     FinishReclaim(reclaim_id);
   });
@@ -475,10 +852,41 @@ void Platform::FinishReclaim(uint64_t reclaim_id) {
   if (done != nullptr) {
     done->set_reclaim_in_progress(false);
   }
-  if (observer_ != nullptr) {
-    observer_->OnReclaimDone(reclaim.function_key, done, reclaim.result);
-  }
+  DeliverReclaimDone(reclaim.function_key, done, reclaim.result);
   PumpWaiting();
+}
+
+void Platform::DeliverReclaimDone(const std::string& function_key, Instance* instance,
+                                  ReclaimResult result) {
+  if (instance == nullptr) {
+    // Destroyed while the reclaim was in flight: whatever the reclaim did is
+    // moot; report it as aborted (releasing nothing) so the policy releases
+    // its bookkeeping instead of recording a phantom profile.
+    result.aborted = true;
+    result.released_pages = 0;
+  }
+  if (result.aborted && InWindow()) {
+    ++metrics_.reclaim_aborts;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnReclaimDone(function_key, instance, result);
+  }
+}
+
+void Platform::AbortReclaimsFor(uint64_t instance_id) {
+  for (auto it = active_reclaims_.begin(); it != active_reclaims_.end();) {
+    if (it->second.instance_id != instance_id) {
+      ++it;
+      continue;
+    }
+    ActiveReclaim reclaim = std::move(it->second);
+    it = active_reclaims_.erase(it);
+    ReleaseCpuNoPump(reclaim.share);
+    ReclaimResult result = reclaim.result;
+    result.aborted = true;
+    result.released_pages = 0;
+    DeliverReclaimDone(reclaim.function_key, nullptr, result);
+  }
 }
 
 double Platform::PreemptReclaims(double needed) {
@@ -510,6 +918,132 @@ double Platform::PreemptReclaims(double needed) {
   return freed;
 }
 
+std::vector<Platform::Request> Platform::CrashNode() {
+  assert(!down_);
+  down_ = true;
+  ++epoch_;  // every node-scoped event scheduled before now is dead
+  UpdateCpuIntegral();
+  if (InWindow()) {
+    ++metrics_.node_crashes;
+  }
+  RecordFault(FaultKind::kNodeCrash, 0, "", instances_.size());
+
+  std::vector<Request> lost;
+  lost.reserve(booting_.size() + inflight_.size() + waiting_.size());
+  for (auto& [id, request] : booting_) {
+    LogActivation(request, id, request.workload->name + "#" + std::to_string(request.stage),
+                  ActivationRecord::Outcome::kNodeLost);
+    request.retried = true;
+    lost.push_back(std::move(request));
+  }
+  for (auto& [id, request] : inflight_) {
+    LogActivation(request, id, request.workload->name + "#" + std::to_string(request.stage),
+                  ActivationRecord::Outcome::kNodeLost);
+    request.retried = true;
+    lost.push_back(std::move(request));
+  }
+  for (Request& request : waiting_) {
+    request.retried = true;
+    lost.push_back(std::move(request));
+  }
+  // Request ids are assigned in submit order, so sorting restores a
+  // container-order-independent, deterministic failover order.
+  std::sort(lost.begin(), lost.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+
+  // In-flight reclaims die with the node; the policy layer must hear about
+  // each one to release its bookkeeping.
+  std::vector<uint64_t> reclaim_ids;
+  reclaim_ids.reserve(active_reclaims_.size());
+  for (const auto& [reclaim_id, reclaim] : active_reclaims_) {
+    reclaim_ids.push_back(reclaim_id);
+  }
+  std::sort(reclaim_ids.begin(), reclaim_ids.end());
+  for (const uint64_t reclaim_id : reclaim_ids) {
+    ActiveReclaim& reclaim = active_reclaims_.at(reclaim_id);
+    ReclaimResult result = reclaim.result;
+    result.aborted = true;
+    result.released_pages = 0;
+    DeliverReclaimDone(reclaim.function_key, nullptr, result);
+  }
+  active_reclaims_.clear();
+
+  // The instance cache drains: every container on the node is gone.
+  std::vector<uint64_t> instance_ids;
+  instance_ids.reserve(instances_.size());
+  for (const auto& [id, instance] : instances_) {
+    instance_ids.push_back(id);
+  }
+  std::sort(instance_ids.begin(), instance_ids.end());
+  if (observer_ != nullptr) {
+    for (const uint64_t id : instance_ids) {
+      observer_->OnInstanceDestroyed(instances_.at(id).get());
+    }
+  }
+  instances_.clear();
+  warm_pool_.clear();
+  prewarm_ready_.clear();
+  prewarm_inflight_.clear();
+  prewarm_booting_.clear();
+  provisioned_.clear();
+  waiting_.clear();
+  booting_.clear();
+  inflight_.clear();
+  memory_charged_ = 0;
+  running_committed_ = 0;
+  cpu_in_use_ = 0.0;
+  return lost;
+}
+
+void Platform::RestartNode() {
+  assert(down_);
+  down_ = false;
+  RecordFault(FaultKind::kNodeRestart, 0, "");
+}
+
+void Platform::Resubmit(Request request) {
+  assert(!down_);
+  if (request.id == 0) {
+    request.id = next_request_id_++;  // parked arrival that never reached a node
+  }
+  if (InWindow()) {
+    ++metrics_.failovers;
+  }
+  request.retried = true;
+  if (!TryRun(request)) {
+    waiting_.push_back(request);
+  }
+}
+
+void Platform::CheckAccounting() const {
+  uint64_t frozen = 0;
+  uint64_t running = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance->state() == InstanceState::kFrozen) {
+      frozen += FrozenCharge(*instance);
+    } else {
+      running += config_.instance_memory_budget;
+    }
+  }
+  const bool cache_ok = frozen == memory_charged_;
+  const bool committed_ok = running == running_committed_;
+  const bool cpu_ok = cpu_in_use_ >= -1e-9 && cpu_in_use_ <= config_.cpu_cores + 1e-9;
+  if (!cache_ok || !committed_ok || !cpu_ok) {
+    std::fprintf(stderr,
+                 "Platform accounting invariant violated at t=%llu:\n"
+                 "  frozen charges   %llu vs memory_charged_    %llu\n"
+                 "  running budgets  %llu vs running_committed_ %llu\n"
+                 "  cpu_in_use_      %.9f of %.2f cores\n",
+                 static_cast<unsigned long long>(context_->clock.Now()),
+                 static_cast<unsigned long long>(frozen),
+                 static_cast<unsigned long long>(memory_charged_),
+                 static_cast<unsigned long long>(running),
+                 static_cast<unsigned long long>(running_committed_), cpu_in_use_,
+                 config_.cpu_cores);
+    std::abort();
+  }
+}
+
 void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count) {
   for (uint32_t i = 0; i < count; ++i) {
     const uint64_t id = next_instance_id_++;
@@ -519,14 +1053,18 @@ void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count
         config_.java_collector);
     const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
     instances_.emplace(id, std::move(instance));
+    running_committed_ += config_.instance_memory_budget;
     provisioned_[id] = true;
-    context_->events.Schedule(context_->clock.Now() + boot_wall, [this, id]() {
+    ScheduleNode(context_->clock.Now() + boot_wall, [this, id]() {
       Instance* booted = LookUp(id);
-      assert(booted != nullptr);
+      if (booted == nullptr) {
+        return;  // OOM-killed before the provisioned boot finished
+      }
       booted->set_state(InstanceState::kRunning);
       FreezeInstance(booted);
     });
   }
+  MaybeOomKill();
 }
 
 void Platform::ScheduleCallback(SimTime time, std::function<void()> fn) {
@@ -552,8 +1090,8 @@ void Platform::MaintainPrewarmPool(Language language) {
     if (cpu_in_use_ + config_.boot_cpu_share > config_.cpu_cores) {
       // No CPU right now: try again shortly.
       const Language lang = language;
-      context_->events.Schedule(context_->clock.Now() + 250 * kMillisecond,
-                       [this, lang]() { MaintainPrewarmPool(lang); });
+      ScheduleNode(context_->clock.Now() + 250 * kMillisecond,
+                   [this, lang]() { MaintainPrewarmPool(lang); });
       return;
     }
     AcquireCpu(config_.boot_cpu_share);
@@ -565,13 +1103,19 @@ void Platform::MaintainPrewarmPool(Language language) {
         config_.java_collector);
     const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
     instances_.emplace(id, std::move(instance));
-    context_->events.Schedule(context_->clock.Now() + boot_wall, [this, id, key]() {
+    running_committed_ += config_.instance_memory_budget;
+    prewarm_booting_.emplace(id, key);
+    ScheduleNode(context_->clock.Now() + boot_wall, [this, id, key]() {
+      if (prewarm_booting_.erase(id) == 0) {
+        return;  // OOM-killed while booting; the kill settled the accounting
+      }
       ReleaseCpu(config_.boot_cpu_share);
       --prewarm_inflight_[key];
       prewarm_ready_[key].push_back(id);
       PumpWaiting();
     });
   }
+  MaybeOomKill();
 }
 
 void Platform::AcquireCpu(double share) {
@@ -581,13 +1125,17 @@ void Platform::AcquireCpu(double share) {
 }
 
 void Platform::ReleaseCpu(double share) {
+  ReleaseCpuNoPump(share);
+  PumpWaiting();
+}
+
+void Platform::ReleaseCpuNoPump(double share) {
   UpdateCpuIntegral();
   cpu_in_use_ -= share;
   assert(cpu_in_use_ >= -1e-9);
   if (cpu_in_use_ < 0) {
     cpu_in_use_ = 0;
   }
-  PumpWaiting();
 }
 
 void Platform::UpdateCpuIntegral() {
@@ -602,12 +1150,17 @@ void Platform::UpdateCpuIntegral() {
 }
 
 void Platform::PumpWaiting() {
+  if (pumping_) {
+    return;  // re-entered from a kill/OOM path inside TryRun; the outer loop continues
+  }
+  pumping_ = true;
   while (!waiting_.empty()) {
     if (!TryRun(waiting_.front())) {
-      return;
+      break;
     }
     waiting_.pop_front();
   }
+  pumping_ = false;
 }
 
 }  // namespace desiccant

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,7 @@
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/faas/event_queue.h"
+#include "src/faas/fault_injector.h"
 #include "src/faas/instance.h"
 
 namespace desiccant {
@@ -80,6 +82,10 @@ struct PlatformConfig {
   // Collector for Java instances (Lambda pins serial; G1 is the §7 option).
   JavaCollector java_collector = JavaCollector::kSerial;
   uint64_t seed = 42;
+  // Deterministic fault injection (timeouts, boot failures, OOM kills, node
+  // crashes, reclaim aborts). The all-zero default runs byte-identical to a
+  // build without the fault layer.
+  FaultPlan faults;
 };
 
 // One entry of the platform's activation-record log (OpenWhisk keeps such
@@ -90,8 +96,23 @@ struct ActivationRecord {
   SimTime arrival = 0;
   SimTime completion = 0;
   enum class Start : uint8_t { kCold, kWarm, kPrewarm } start = Start::kCold;
+  // How the activation ended. kOk / kRetriedThenOk are stage completions;
+  // kTimedOut / kOomKilled / kNodeLost are per-attempt failures (the request
+  // may still complete on a retry or another node); kDropped is terminal —
+  // the retry budget is exhausted or the boot never succeeded.
+  enum class Outcome : uint8_t {
+    kOk,
+    kRetriedThenOk,
+    kTimedOut,
+    kOomKilled,
+    kNodeLost,
+    kDropped,
+  } outcome = Outcome::kOk;
+  uint32_t attempts = 0;  // controller-side retries this request has absorbed
   uint64_t instance_id = 0;
 };
+
+const char* OutcomeName(ActivationRecord::Outcome outcome);
 
 // Desiccant (or any policy module) hooks in through this interface.
 class PlatformObserver {
@@ -107,6 +128,9 @@ class PlatformObserver {
     (void)instance;
     (void)result;
   }
+  // Every injected fault and recovery action (timeout kill, boot failure,
+  // OOM kill, node crash/restart, reclaim abort) is reported here.
+  virtual void OnFault(const FaultEvent& event) { (void)event; }
   // Called after every processed event.
   virtual void OnTick() {}
 };
@@ -121,6 +145,19 @@ struct PlatformMetrics {
   uint64_t keepalive_destroys = 0;
   uint64_t reclaims = 0;
   uint64_t swap_outs = 0;  // kSwap mode: swap-out passes under pressure
+  // ----- failure taxonomy (all zero when the fault layer is off) -----
+  uint64_t requests_failed = 0;       // terminal: ran but retry budget exhausted
+  uint64_t requests_dropped = 0;      // terminal: never executed (boot never succeeded)
+  uint64_t requests_retried_ok = 0;   // completed after >=1 retry or failover
+  uint64_t invocation_timeouts = 0;   // timeout kills (including retried attempts)
+  uint64_t boot_failures = 0;         // failed cold boots / snapshot restores
+  uint64_t oom_kills = 0;             // instances killed by the node OOM killer
+  uint64_t oom_kills_frozen = 0;      //   of which frozen (cache rebuildable)
+  uint64_t oom_kills_running = 0;     //   of which running/booting (invocation lost)
+  uint64_t node_crashes = 0;          // this node crashed (cluster-injected)
+  uint64_t failovers = 0;             // activations this node absorbed after a crash
+  uint64_t retries = 0;               // controller-side re-submissions
+  uint64_t reclaim_aborts = 0;        // reclaims that died mid-flight
   PercentileTracker latency_ms;
   // Per-request latency decomposition (same population as latency_ms).
   PercentileTracker queue_ms;  // waiting for CPU/cache resources
@@ -151,10 +188,41 @@ struct PlatformMetrics {
     const double s = WindowSeconds();
     return s > 0 && cores > 0 ? cpu_busy_core_s / (cores * s) : 0.0;
   }
+  // Goodput: requests that completed without any retry or failover.
+  double GoodputRps() const {
+    const double s = WindowSeconds();
+    const uint64_t clean = requests_completed - requests_retried_ok;
+    return s > 0 ? static_cast<double>(clean) / s : 0.0;
+  }
+  // Fraction of terminated requests that completed (vs failed or dropped).
+  double SuccessFraction() const {
+    const uint64_t total = requests_completed + requests_failed + requests_dropped;
+    return total > 0 ? static_cast<double>(requests_completed) / static_cast<double>(total)
+                     : 1.0;
+  }
+  // Order-insensitive digest of every counter and latency sample; two runs
+  // are replay-identical iff their fingerprints match.
+  uint64_t Fingerprint() const;
 };
 
 class Platform {
  public:
+  // One request making its way through the platform (public so a Cluster can
+  // fail requests over from a crashed node to a healthy one).
+  struct Request {
+    uint64_t id = 0;
+    const WorkloadSpec* workload = nullptr;
+    size_t stage = 0;
+    SimTime arrival = 0;         // arrival of the *first* stage
+    uint64_t upstream_id = 0;    // instance holding the previous stage's carry
+    SimTime boot_time = 0;       // accumulated boot time on the critical path
+    SimTime exec_time = 0;       // accumulated execution wall time
+    ActivationRecord::Start start = ActivationRecord::Start::kCold;
+    uint32_t attempts = 0;       // invocation retries consumed (timeout/OOM)
+    uint32_t boot_attempts = 0;  // boot retries consumed
+    bool retried = false;        // saw any retry or failover on any stage
+  };
+
   // With a null `context` the platform owns a private clock + event queue.
   explicit Platform(const PlatformConfig& config, SimContext* context = nullptr);
 
@@ -210,19 +278,40 @@ class Platform {
 
   // The most recent activation records, oldest first (bounded ring).
   std::vector<ActivationRecord> RecentActivations() const;
+  // The most recent fault/recovery events, oldest first (bounded ring).
+  std::vector<FaultEvent> RecentFaults() const;
+
+  // ----- failure semantics -----
+  bool faults_enabled() const { return injector_.enabled(); }
+  bool node_down() const { return down_; }
+  // Committed node memory: full budgets of booting/running instances plus
+  // cached USS of frozen ones — what the OOM killer compares to capacity.
+  uint64_t committed_bytes() const { return memory_charged_ + running_committed_; }
+
+  // Invoker crash: invalidates every scheduled node event, drains the
+  // instance cache (observers see OnInstanceDestroyed per instance and an
+  // aborted OnReclaimDone per in-flight reclaim), zeroes CPU/memory
+  // accounting, and returns the queued + in-flight requests (sorted by id)
+  // for the caller to fail over. The node stays down until RestartNode.
+  std::vector<Request> CrashNode();
+  void RestartNode();
+  // Re-enqueues a request failed over from a crashed node.
+  void Resubmit(Request request);
+  // Where Submit sends arrivals that land while this node is down (set by
+  // the Cluster; unused on a standalone platform, which never crashes).
+  void set_failover_handler(std::function<void(Request)> handler) {
+    failover_handler_ = std::move(handler);
+  }
+
+  // Debug-build-style accounting invariants, checked after every event when
+  // enabled (the fuzz/chaos tests turn this on): the cache charge must equal
+  // the frozen population's charges, the committed counter must match a
+  // recount, and CPU must stay within the pool. Aborts on violation.
+  void set_check_invariants(bool enabled) { check_invariants_ = enabled; }
+  bool check_invariants() const { return check_invariants_; }
+  void CheckAccounting() const;
 
  private:
-  struct Request {
-    uint64_t id = 0;
-    const WorkloadSpec* workload = nullptr;
-    size_t stage = 0;
-    SimTime arrival = 0;         // arrival of the *first* stage
-    uint64_t upstream_id = 0;    // instance holding the previous stage's carry
-    SimTime boot_time = 0;       // accumulated boot time on the critical path
-    SimTime exec_time = 0;       // accumulated execution wall time
-    ActivationRecord::Start start = ActivationRecord::Start::kCold;
-  };
-
   bool TryRun(const Request& request);
   void StartOnInstance(Instance* instance, const Request& request, SimTime extra_start_cost);
   void OnStageComplete(Instance* instance, const Request& request);
@@ -239,8 +328,36 @@ class Platform {
 
   void AcquireCpu(double share);
   void ReleaseCpu(double share);
+  // Kill-path variant: adjusts the pool without pumping the waiting queue, so
+  // a kill loop settles its accounting before any queued work restarts.
+  void ReleaseCpuNoPump(double share);
   void UpdateCpuIntegral();
   void PumpWaiting();
+
+  // ----- failure semantics internals -----
+  // Node-scoped scheduling: the event is dropped if the node crashed (epoch
+  // bumped) between scheduling and firing.
+  void ScheduleNode(SimTime time, std::function<void()> fn);
+  // Records the fault, notifies the observer, appends to the bounded log.
+  void RecordFault(FaultKind kind, uint64_t instance_id, std::string function_key,
+                   uint64_t detail = 0);
+  // Controller retry with capped exponential backoff; terminal failure once
+  // the request's budget is exhausted (`dropped` picks the terminal counter).
+  void RetryOrFail(Request request, bool dropped_on_exhaust);
+  void FailRequest(const Request& request, ActivationRecord::Outcome outcome, bool dropped);
+  // Tears down a booting/running instance (OOM kill, timeout kill): releases
+  // its CPU share and committed memory, fails over or retries its request.
+  void KillNonFrozen(Instance* instance, ActivationRecord::Outcome outcome);
+  void TimeoutKill(uint64_t instance_id);
+  // cgroup-style OOM killer; no-op unless the plan sets node_memory_bytes.
+  void MaybeOomKill();
+  Instance* CheapestToRebuildFrozen() const;
+  // Aborts an in-flight reclaim for a dying instance right now (fault runs
+  // only): releases the CPU lease and delivers an aborted OnReclaimDone.
+  void AbortReclaimsFor(uint64_t instance_id);
+  // Single delivery point for OnReclaimDone; flags aborts and counts them.
+  void DeliverReclaimDone(const std::string& function_key, Instance* instance,
+                          ReclaimResult result);
   // §4.5.2: reclamation only ever uses idle CPU — when new work needs CPU,
   // in-flight reclamations give up slices (down to a small floor) and their
   // completion stretches out accordingly. Returns the CPU freed.
@@ -259,6 +376,20 @@ class Platform {
   SharedFileRegistry registry_;
   PlatformObserver* observer_ = nullptr;
   Rng rng_;
+  FaultInjector injector_;
+
+  // Crash epoch: bumped by CrashNode so every node-scoped event scheduled
+  // before the crash becomes a no-op.
+  uint64_t epoch_ = 0;
+  bool down_ = false;
+  bool check_invariants_ = false;
+  std::function<void(Request)> failover_handler_;
+  // In-flight work, keyed by instance id, so timeout/OOM/crash paths can
+  // recover the request an instance was serving.
+  std::unordered_map<uint64_t, Request> booting_;   // cold boots in flight
+  std::unordered_map<uint64_t, Request> inflight_;  // running invocations
+  std::deque<FaultEvent> fault_log_;
+  static constexpr size_t kFaultLogCapacity = 1024;
 
   // An in-flight background reclamation: the heap work already happened (the
   // state change is instantaneous in the model); what remains is burning the
@@ -281,19 +412,28 @@ class Platform {
   // Bounded activation-record ring.
   std::deque<ActivationRecord> activation_log_;
   static constexpr size_t kActivationLogCapacity = 1024;
-  void LogActivation(const Request& request, const Instance& instance,
-                     ActivationRecord::Start start);
+  void LogActivation(const Request& request, uint64_t instance_id,
+                     const std::string& function_key, ActivationRecord::Outcome outcome);
   // Frozen instances per function key, most recently frozen last.
   std::unordered_map<std::string, std::vector<Instance*>> warm_pool_;
   // Booted-but-unbound stem cells per language, plus in-flight boots.
   std::unordered_map<uint8_t, std::vector<uint64_t>> prewarm_ready_;
   std::unordered_map<uint8_t, uint32_t> prewarm_inflight_;
+  // Stem-cell boots in flight (id -> language key): these hold a boot CPU
+  // share, which the kill paths must release if the boot dies.
+  std::unordered_map<uint64_t, uint8_t> prewarm_booting_;
   std::deque<Request> waiting_;
 
   uint64_t memory_charged_ = 0;
+  // Full budgets of every non-frozen (booting/running/stem-cell) instance:
+  // the running half of the OOM killer's committed-memory view.
+  uint64_t running_committed_ = 0;
   double cpu_in_use_ = 0.0;
   SimTime last_cpu_update_ = 0;
   uint64_t lifetime_evictions_ = 0;
+  // Re-entrancy guard: a kill inside TryRun may pump the waiting queue; the
+  // outermost pump must be the only one popping, or requests run twice.
+  bool pumping_ = false;
 
   PlatformMetrics metrics_;
   uint64_t next_instance_id_ = 1;

@@ -27,6 +27,14 @@ struct FaultCostModel {
     return touch.minor_faults * minor_fault_cost + touch.cow_faults * cow_fault_cost +
            touch.swap_ins * swap_in_cost;
   }
+
+  // OOM-killer accounting hook: the page-side cost of rebuilding a killed
+  // instance's working set from scratch (every resident page re-faults as a
+  // minor fault; swapped pages come back over the block device). The kill
+  // order prefers the victim whose rebuild is cheapest.
+  SimTime RebuildCost(uint64_t resident_pages, uint64_t swapped_pages) const {
+    return resident_pages * minor_fault_cost + swapped_pages * swap_in_cost;
+  }
 };
 
 }  // namespace desiccant

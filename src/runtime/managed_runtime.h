@@ -38,6 +38,10 @@ struct ReclaimResult {
   SimTime cpu_time = 0;            // GC + resize + release work
   uint64_t live_bytes_after = 0;   // the memory profile sent to the platform
   uint64_t heap_resident_after = 0;
+  // The reclaim did not run to completion: the instance died or was evicted
+  // mid-flight, the node crashed, or the fault injector aborted it. Nothing
+  // was released and the profile fields are not meaningful.
+  bool aborted = false;
 };
 
 struct HeapStats {

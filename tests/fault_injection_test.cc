@@ -1,0 +1,513 @@
+// Tests for the deterministic fault-injection subsystem: the outcome
+// taxonomy, retry/backoff semantics, the OOM-kill order, node crash/failover,
+// reclaim aborts, and — the load-bearing property — golden determinism:
+// identical seed + identical FaultPlan replays to identical metrics, and an
+// all-zero plan is indistinguishable from a build without the fault layer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/desiccant_manager.h"
+#include "src/faas/cluster.h"
+#include "src/faas/fault_injector.h"
+#include "src/faas/platform.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+namespace {
+
+// Drives a fixed little workload mix through a platform and returns the
+// finished metrics.
+PlatformMetrics RunMix(const PlatformConfig& config, double rps_gap = 0.4,
+                       double seconds = 20.0) {
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  const auto& suite = WorkloadSuite();
+  platform.BeginMeasurement();
+  double t = 0.5;
+  size_t i = 0;
+  while (t < seconds) {
+    platform.Submit(&suite[i % suite.size()], FromSeconds(t));
+    ++i;
+    t += rps_gap;
+  }
+  platform.Run();
+  return platform.FinishMeasurement();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behaviour
+
+TEST(FaultInjectorTest, ZeroPlanIsDisabledAndDrawFree) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.Enabled());
+  FaultInjector injector(plan, /*salt=*/1);
+  EXPECT_FALSE(injector.enabled());
+  // Zero-probability decisions never fail and never consume entropy.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.BootFails());
+    EXPECT_FALSE(injector.RestoreFails());
+    EXPECT_FALSE(injector.ReclaimAborts());
+  }
+}
+
+TEST(FaultInjectorTest, BackoffDoublesAndCaps) {
+  FaultPlan plan;
+  plan.retry_backoff_base = 50 * kMillisecond;
+  plan.retry_backoff_cap = 2 * kSecond;
+  FaultInjector injector(plan, 0);
+  EXPECT_EQ(injector.RetryBackoff(1), 50 * kMillisecond);
+  EXPECT_EQ(injector.RetryBackoff(2), 100 * kMillisecond);
+  EXPECT_EQ(injector.RetryBackoff(3), 200 * kMillisecond);
+  EXPECT_EQ(injector.RetryBackoff(7), 2 * kSecond);   // capped
+  EXPECT_EQ(injector.RetryBackoff(40), 2 * kSecond);  // shift stays bounded
+}
+
+TEST(FaultInjectorTest, SaltDecorrelatesInjectors) {
+  FaultPlan plan;
+  plan.node_crash_mtbf_seconds = 60.0;
+  FaultInjector a(plan, 1);
+  FaultInjector b(plan, 2);
+  EXPECT_NE(a.NextCrashDelay(), b.NextCrashDelay());
+}
+
+TEST(FaultInjectorTest, CrashDelaysReplayForSameSeedAndSalt) {
+  FaultPlan plan;
+  plan.node_crash_mtbf_seconds = 45.0;
+  FaultInjector a(plan, 7);
+  FaultInjector b(plan, 7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextCrashDelay(), b.NextCrashDelay());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden determinism
+
+TEST(FaultDeterminismTest, ZeroPlanKeepsEveryFailureCounterZero) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  const PlatformMetrics m = RunMix(config);
+  EXPECT_GT(m.requests_completed, 0u);
+  EXPECT_EQ(m.requests_failed, 0u);
+  EXPECT_EQ(m.requests_dropped, 0u);
+  EXPECT_EQ(m.requests_retried_ok, 0u);
+  EXPECT_EQ(m.invocation_timeouts, 0u);
+  EXPECT_EQ(m.boot_failures, 0u);
+  EXPECT_EQ(m.oom_kills, 0u);
+  EXPECT_EQ(m.node_crashes, 0u);
+  EXPECT_EQ(m.failovers, 0u);
+  EXPECT_EQ(m.retries, 0u);
+  EXPECT_EQ(m.reclaim_aborts, 0u);
+  EXPECT_DOUBLE_EQ(m.GoodputRps(), m.ThroughputRps());
+  EXPECT_DOUBLE_EQ(m.SuccessFraction(), 1.0);
+}
+
+TEST(FaultDeterminismTest, ExplicitZeroPlanMatchesDefaultByteForByte) {
+  PlatformConfig plain;
+  plain.cpu_cores = 4.0;
+  PlatformConfig zeroed = plain;
+  zeroed.faults = FaultPlan{};     // explicit all-zero plan
+  zeroed.faults.seed = 0xabcdef;   // the seed alone must not matter
+  EXPECT_EQ(RunMix(plain).Fingerprint(), RunMix(zeroed).Fingerprint());
+}
+
+TEST(FaultDeterminismTest, SameSeedSamePlanReplaysIdentically) {
+  PlatformConfig config;
+  config.cpu_cores = 3.0;
+  config.mode = MemoryMode::kDesiccant;
+  config.faults.invocation_timeout = 2 * kSecond;
+  config.faults.boot_failure_prob = 0.15;
+  config.faults.reclaim_abort_prob = 0.3;
+  config.faults.node_memory_bytes = 1200 * kMiB;
+
+  Platform a(config);
+  DesiccantManager manager_a(&a, DesiccantConfig{});
+  Platform b(config);
+  DesiccantManager manager_b(&b, DesiccantConfig{});
+  const auto& suite = WorkloadSuite();
+  a.BeginMeasurement();
+  b.BeginMeasurement();
+  for (int i = 0; i < 60; ++i) {
+    a.Submit(&suite[i % suite.size()], FromSeconds(0.5 + 0.3 * i));
+    b.Submit(&suite[i % suite.size()], FromSeconds(0.5 + 0.3 * i));
+  }
+  a.Run();
+  b.Run();
+  const PlatformMetrics& ma = a.FinishMeasurement();
+  const PlatformMetrics& mb = b.FinishMeasurement();
+  EXPECT_EQ(ma.Fingerprint(), mb.Fingerprint());
+  EXPECT_EQ(ma.requests_completed, mb.requests_completed);
+  EXPECT_EQ(ma.invocation_timeouts, mb.invocation_timeouts);
+  EXPECT_EQ(ma.boot_failures, mb.boot_failures);
+  EXPECT_EQ(ma.oom_kills, mb.oom_kills);
+  EXPECT_EQ(ma.reclaim_aborts, mb.reclaim_aborts);
+}
+
+TEST(FaultDeterminismTest, DifferentFaultSeedDiverges) {
+  PlatformConfig config;
+  config.cpu_cores = 3.0;
+  config.faults.boot_failure_prob = 0.5;
+  config.faults.seed = 1;
+  const uint64_t fp1 = RunMix(config).Fingerprint();
+  config.faults.seed = 2;
+  const uint64_t fp2 = RunMix(config).Fingerprint();
+  EXPECT_NE(fp1, fp2);
+}
+
+TEST(FaultDeterminismTest, ClusterWithCrashesReplaysIdentically) {
+  ClusterConfig config;
+  config.node_count = 3;
+  config.node.cpu_cores = 2.0;
+  config.node.faults.node_crash_mtbf_seconds = 15.0;
+  config.node.faults.node_crash_horizon = 60 * kSecond;
+  config.node.faults.node_restart_delay = 2 * kSecond;
+  config.node.faults.boot_failure_prob = 0.1;
+
+  const auto run = [&config]() {
+    Cluster cluster(config);
+    cluster.set_check_invariants(true);
+    const auto& suite = WorkloadSuite();
+    cluster.BeginMeasurement();
+    for (int i = 0; i < 80; ++i) {
+      cluster.Submit(&suite[i % suite.size()], FromSeconds(0.5 + 0.25 * i));
+    }
+    cluster.Run();
+    return cluster.AggregateMetrics();
+  };
+  const PlatformMetrics a = run();
+  const PlatformMetrics b = run();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_GT(a.node_crashes, 0u);  // the scenario actually exercises crashes
+  EXPECT_EQ(a.requests_completed + a.requests_failed + a.requests_dropped, 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Timeouts and retries
+
+TEST(FaultSemanticsTest, InvocationTimeoutKillsRetriesThenFails) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  // 1 ms deadline: every attempt of every stage overruns.
+  config.faults.invocation_timeout = kMillisecond;
+  config.faults.max_invocation_retries = 2;
+  config.faults.retry_backoff_base = 10 * kMillisecond;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  platform.BeginMeasurement();
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  EXPECT_EQ(m.requests_completed, 0u);
+  EXPECT_EQ(m.requests_failed, 1u);  // ran (and died) — failed, not dropped
+  EXPECT_EQ(m.requests_dropped, 0u);
+  EXPECT_EQ(m.invocation_timeouts, 3u);  // initial attempt + 2 retries
+  EXPECT_EQ(m.retries, 2u);
+  // The record trail tells the story: timed-out attempts, then the terminal.
+  const auto records = platform.RecentActivations();
+  ASSERT_GE(records.size(), 4u);
+  EXPECT_EQ(records.back().outcome, ActivationRecord::Outcome::kDropped);
+  EXPECT_EQ(records.back().attempts, 2u);
+  // The faults are on the record too.
+  const auto faults = platform.RecentFaults();
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_EQ(faults[0].kind, FaultKind::kInvocationTimeout);
+}
+
+TEST(FaultSemanticsTest, GenerousTimeoutChangesNothing) {
+  PlatformConfig plain;
+  plain.cpu_cores = 4.0;
+  PlatformConfig timed = plain;
+  timed.faults.invocation_timeout = 10 * 60 * kSecond;  // 10 minutes
+  const PlatformMetrics a = RunMix(plain);
+  const PlatformMetrics b = RunMix(timed);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(b.invocation_timeouts, 0u);
+  EXPECT_EQ(b.requests_failed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Boot failures
+
+TEST(FaultSemanticsTest, BootFailureRetriesThenDrops) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  config.faults.boot_failure_prob = 1.0;  // every boot dies
+  config.faults.max_boot_retries = 2;
+  config.faults.retry_backoff_base = 10 * kMillisecond;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  platform.BeginMeasurement();
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  EXPECT_EQ(m.requests_completed, 0u);
+  EXPECT_EQ(m.requests_dropped, 1u);  // never executed: dropped, not failed
+  EXPECT_EQ(m.boot_failures, 3u);     // initial boot + 2 retries
+  EXPECT_EQ(m.cold_boots, 3u);        // each attempt paid a full boot
+  EXPECT_EQ(platform.live_instance_count(), 0u);
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+}
+
+TEST(FaultSemanticsTest, RestoreFailureUsesItsOwnProbability) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  config.snapstart_restore = true;
+  config.faults.boot_failure_prob = 1.0;     // must NOT apply to restores
+  config.faults.restore_failure_prob = 0.0;
+  Platform platform(config);
+  platform.BeginMeasurement();
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+  EXPECT_EQ(m.requests_completed, 1u);
+  EXPECT_EQ(m.boot_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OOM killer
+
+TEST(FaultSemanticsTest, OomKillerEvictsFrozenBeforeRunning) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  config.instance_memory_budget = 256 * kMiB;
+  // Capacity fits one running instance plus a little frozen USS, nothing more.
+  config.faults.node_memory_bytes = 300 * kMiB;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  platform.BeginMeasurement();
+  // First request boots, runs, freezes (USS well under 44 MiB won't trip the
+  // killer); the second one's boot commits another full budget and must push
+  // the frozen one out.
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.Submit(FindWorkload("fibonacci"), 30 * kSecond);
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  EXPECT_EQ(m.requests_completed, 2u);  // frozen kills cost no invocation
+  EXPECT_GE(m.oom_kills_frozen, 1u);
+  EXPECT_EQ(m.oom_kills_running, 0u);
+  EXPECT_LE(platform.committed_bytes(), config.faults.node_memory_bytes);
+}
+
+TEST(FaultSemanticsTest, OomKillerKillsYoungestRunningWhenNoFrozenLeft) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  config.instance_memory_budget = 256 * kMiB;
+  config.faults.node_memory_bytes = 300 * kMiB;  // < two concurrent budgets
+  config.faults.max_invocation_retries = 0;
+  config.faults.max_boot_retries = 0;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  platform.BeginMeasurement();
+  // Two concurrent requests: the second boot pushes committed memory to
+  // 512 MiB with no frozen instance to sacrifice, so the younger boot dies.
+  platform.Submit(FindWorkload("sort"), kSecond);
+  platform.Submit(FindWorkload("fibonacci"), kSecond);
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  EXPECT_GE(m.oom_kills_running, 1u);
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, 2u);
+  EXPECT_GE(m.requests_failed + m.requests_dropped, 1u);
+  EXPECT_LE(platform.committed_bytes(), config.faults.node_memory_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Node crash / restart / failover
+
+TEST(FaultSemanticsTest, CrashNodeDrainsEverythingAndRestartRecovers) {
+  PlatformConfig config;
+  config.cpu_cores = 2.0;
+  // Make the node "crashable" so the epoch machinery is exercised even
+  // without a cluster driving it.
+  config.faults.invocation_timeout = 10 * 60 * kSecond;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  platform.BeginMeasurement();
+  const auto& suite = WorkloadSuite();
+  for (int i = 0; i < 8; ++i) {
+    platform.Submit(&suite[i % suite.size()], FromSeconds(0.5 + 0.1 * i));
+  }
+  // Stop mid-boot: requests are in flight, instances exist, CPU is held.
+  platform.RunUntil(FromSeconds(1.0));
+  EXPECT_GT(platform.live_instance_count(), 0u);
+
+  std::vector<Platform::Request> lost = platform.CrashNode();
+  EXPECT_TRUE(platform.node_down());
+  EXPECT_FALSE(lost.empty());
+  // Lost requests come back sorted by id (deterministic failover order).
+  for (size_t i = 1; i < lost.size(); ++i) {
+    EXPECT_LT(lost[i - 1].id, lost[i].id);
+  }
+  EXPECT_EQ(platform.live_instance_count(), 0u);
+  EXPECT_EQ(platform.memory_charged(), 0u);
+  EXPECT_EQ(platform.committed_bytes(), 0u);
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+
+  platform.RestartNode();
+  EXPECT_FALSE(platform.node_down());
+  for (Platform::Request& request : lost) {
+    platform.Resubmit(std::move(request));
+  }
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, 8u);
+  EXPECT_GT(m.requests_retried_ok, 0u);  // the failed-over ones completed
+  EXPECT_EQ(m.node_crashes, 1u);
+}
+
+TEST(FaultSemanticsTest, ClusterFailsOverAcrossCrashes) {
+  ClusterConfig config;
+  config.node_count = 2;
+  config.routing = RoutingPolicy::kRoundRobin;
+  config.node.cpu_cores = 2.0;
+  config.node.faults.node_crash_mtbf_seconds = 8.0;
+  config.node.faults.node_crash_horizon = 40 * kSecond;
+  config.node.faults.node_restart_delay = 2 * kSecond;
+  Cluster cluster(config);
+  cluster.set_check_invariants(true);
+  const auto& suite = WorkloadSuite();
+  cluster.BeginMeasurement();
+  const uint64_t submitted = 60;
+  for (uint64_t i = 0; i < submitted; ++i) {
+    cluster.Submit(&suite[i % suite.size()], FromSeconds(0.5 + 0.4 * i));
+  }
+  cluster.Run();
+  const PlatformMetrics m = cluster.AggregateMetrics();
+
+  EXPECT_GT(m.node_crashes, 0u);
+  EXPECT_GT(m.failovers, 0u);
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  EXPECT_EQ(cluster.pending_count(), 0u);
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_FALSE(cluster.node(i).node_down());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reclaim aborts and the in-flight-destroy regression
+
+// Observer recording every OnReclaimDone delivery.
+class RecordingObserver : public PlatformObserver {
+ public:
+  void OnReclaimDone(const std::string& function_key, Instance* instance,
+                     const ReclaimResult& result) override {
+    (void)function_key;
+    ++done_count_;
+    if (instance == nullptr) {
+      ++null_instance_count_;
+    }
+    if (result.aborted) {
+      ++aborted_count_;
+      EXPECT_EQ(result.released_pages, 0u);  // aborts release nothing
+    }
+  }
+  int done_count_ = 0;
+  int null_instance_count_ = 0;
+  int aborted_count_ = 0;
+};
+
+// Regression: destroying an instance while its reclaim is in flight must
+// deliver an aborted OnReclaimDone (null instance), release the idle-CPU
+// lease, and leave no active-reclaim entry behind.
+TEST(FaultSemanticsTest, DestroyDuringReclaimDeliversAbortAndReleasesCpu) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  config.keep_alive = 5 * kSecond;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  RecordingObserver observer;
+  platform.set_observer(&observer);
+  platform.Submit(FindWorkload("sort"), kSecond);
+  // Run until the instance freezes, then stop just before its keep-alive
+  // destroy and start the reclaim, so the destroy lands mid-flight (the
+  // reclaim's CPU time is orders of magnitude longer than the gap).
+  for (double t = 1.0; platform.FrozenInstances().empty() && t < 20.0; t += 1.0) {
+    platform.RunUntil(FromSeconds(t));
+  }
+  ASSERT_EQ(platform.FrozenInstances().size(), 1u);
+  Instance* frozen = platform.FrozenInstances()[0];
+  platform.RunUntil(frozen->frozen_since() + config.keep_alive - 10 * kMicrosecond);
+  ASSERT_TRUE(platform.TryStartReclaim(frozen, ReclaimOptions{}, false));
+  ASSERT_EQ(platform.active_reclaim_count(), 1u);
+  ASSERT_LT(platform.IdleCpu(), config.cpu_cores);
+
+  platform.Run();  // keep-alive fires during the reclaim wall time
+
+  EXPECT_EQ(platform.active_reclaim_count(), 0u);
+  EXPECT_EQ(platform.live_instance_count(), 0u);
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+  EXPECT_EQ(observer.done_count_, 1);
+  EXPECT_EQ(observer.null_instance_count_, 1);
+  EXPECT_EQ(observer.aborted_count_, 1);
+  EXPECT_EQ(platform.FinishMeasurement().reclaim_aborts, 1u);
+}
+
+// Same scenario through a real DesiccantManager: the candidate bookkeeping
+// (profile store entries) and the idle-CPU lease must be fully released, and
+// the abort must not poison later profile recording.
+TEST(FaultSemanticsTest, ManagerReleasesBookkeepingWhenReclaimTargetDies) {
+  PlatformConfig config;
+  config.cpu_cores = 4.0;
+  config.mode = MemoryMode::kDesiccant;
+  config.keep_alive = 5 * kSecond;
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  DesiccantConfig desiccant_config;
+  DesiccantManager manager(&platform, desiccant_config);
+
+  platform.Submit(FindWorkload("sort"), kSecond);
+  for (double t = 1.0; platform.FrozenInstances().empty() && t < 20.0; t += 1.0) {
+    platform.RunUntil(FromSeconds(t));
+  }
+  ASSERT_EQ(platform.FrozenInstances().size(), 1u);
+  Instance* frozen = platform.FrozenInstances()[0];
+  const uint64_t frozen_id = frozen->id();
+  platform.RunUntil(frozen->frozen_since() + config.keep_alive - 10 * kMicrosecond);
+  ASSERT_TRUE(platform.TryStartReclaim(frozen, ReclaimOptions{}, true));
+
+  platform.Run();  // the keep-alive destroy lands while the reclaim runs
+
+  EXPECT_EQ(platform.active_reclaim_count(), 0u);
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+  EXPECT_EQ(manager.reclaim_aborts(), 1u);
+  // The destroyed instance's profile was forgotten with it.
+  EXPECT_EQ(manager.profiles().instance_profile_count(), 0u);
+  EXPECT_EQ(
+      manager.profiles().EstimateFor(frozen_id, "sort#0").has_breakdown, false);
+}
+
+TEST(FaultSemanticsTest, InjectedReclaimAbortsBurnCpuButReleaseNothing) {
+  PlatformConfig config;
+  config.cpu_cores = 3.0;
+  config.mode = MemoryMode::kDesiccant;
+  config.cache_capacity_bytes = 512 * kMiB;
+  config.faults.reclaim_abort_prob = 1.0;  // every reclaim dies mid-flight
+  Platform platform(config);
+  platform.set_check_invariants(true);
+  DesiccantConfig desiccant_config;
+  desiccant_config.selection.freeze_timeout = 100 * kMillisecond;
+  DesiccantManager manager(&platform, desiccant_config);
+
+  const auto& suite = WorkloadSuite();
+  platform.BeginMeasurement();
+  for (int i = 0; i < 30; ++i) {
+    platform.Submit(&suite[i % suite.size()], FromSeconds(0.5 + 0.3 * i));
+  }
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  EXPECT_EQ(m.requests_completed, 30u);   // aborts never lose requests
+  EXPECT_EQ(m.reclaims, 0u);              // no reclaim ever finished
+  EXPECT_GT(m.reclaim_aborts, 0u);
+  EXPECT_GT(m.reclaim_cpu_core_s, 0.0);   // the aborts still burned CPU
+  EXPECT_EQ(manager.bytes_released(), 0u);
+  EXPECT_EQ(manager.reclaim_aborts(), m.reclaim_aborts);
+}
+
+}  // namespace
+}  // namespace desiccant

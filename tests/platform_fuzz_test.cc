@@ -1,10 +1,19 @@
 // Randomized end-to-end platform runs checking global invariants: requests
 // never get lost, the memory charge matches the frozen population exactly,
 // CPU accounting never goes negative, and Desiccant never breaks any of it.
+//
+// Two layers:
+//   * PlatformFuzzTest — faultless random traffic; every request completes.
+//   * ChaosFuzzTest / ClusterChaosFuzzTest — random workloads x random
+//     FaultPlans (timeouts, boot failures, OOM kills, reclaim aborts, node
+//     crashes). Requests may fail or drop, but conservation must hold:
+//     completed + failed + dropped == submitted, no counter underflows, and
+//     the per-event accounting invariants stay green throughout.
 #include <gtest/gtest.h>
 
 #include "src/base/rng.h"
 #include "src/core/desiccant_manager.h"
+#include "src/faas/cluster.h"
 #include "src/faas/platform.h"
 #include "src/workloads/function_spec.h"
 
@@ -32,6 +41,9 @@ TEST_P(PlatformFuzzTest, InvariantsHoldUnderRandomTraffic) {
   config.snapstart_restore = params.snapstart;
   config.seed = params.seed;
   Platform platform(config);
+  // Re-count the cache charge, the committed-memory counter, and the CPU pool
+  // after every event (aborts on the first discrepancy).
+  platform.set_check_invariants(true);
 
   std::unique_ptr<DesiccantManager> manager;
   if (params.mode == MemoryMode::kDesiccant) {
@@ -69,6 +81,11 @@ TEST_P(PlatformFuzzTest, InvariantsHoldUnderRandomTraffic) {
 
   // Every submitted request completed (no request is ever dropped).
   EXPECT_EQ(m.requests_completed, submitted);
+  // The fault layer is off: every failure counter stays zero.
+  EXPECT_EQ(m.requests_failed, 0u);
+  EXPECT_EQ(m.requests_dropped, 0u);
+  EXPECT_EQ(m.retries, 0u);
+  EXPECT_EQ(m.oom_kills, 0u);
   // Every stage start is accounted as exactly one start type.
   EXPECT_EQ(m.cold_boots + m.warm_starts + m.prewarm_adoptions, m.stage_invocations);
   // After the drain, everything idles out.
@@ -88,6 +105,189 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzParams{8, MemoryMode::kDesiccant, 256, 1, true},
                       FuzzParams{9, MemoryMode::kEager, 256, 0, false},
                       FuzzParams{10, MemoryMode::kDesiccant, 2048, 3, false}));
+
+// ---------------------------------------------------------------------------
+// Chaos layer: random FaultPlans on top of random traffic.
+// ---------------------------------------------------------------------------
+
+// Derives a random-but-reproducible FaultPlan from the scenario generator.
+// Each knob is enabled independently so the corpus covers single faults and
+// fault combinations alike.
+FaultPlan ChaosPlan(Rng& rng) {
+  FaultPlan plan;
+  plan.seed = rng.NextU64();
+  if (rng.Chance(0.7)) {
+    plan.invocation_timeout = FromSeconds(rng.Uniform(0.5, 3.0));
+  }
+  plan.max_invocation_retries = static_cast<uint32_t>(rng.UniformU64(0, 3));
+  if (rng.Chance(0.7)) {
+    plan.boot_failure_prob = rng.Uniform(0.0, 0.25);
+  }
+  if (rng.Chance(0.5)) {
+    plan.restore_failure_prob = rng.Uniform(0.0, 0.25);
+  }
+  plan.max_boot_retries = static_cast<uint32_t>(rng.UniformU64(0, 3));
+  if (rng.Chance(0.6)) {
+    // Sometimes generous, sometimes brutally tight (a fraction of one budget).
+    plan.node_memory_bytes = rng.UniformU64(600, 4000) * kMiB;
+  }
+  if (rng.Chance(0.6)) {
+    plan.reclaim_abort_prob = rng.Uniform(0.0, 0.5);
+  }
+  plan.retry_backoff_base = 20 * kMillisecond;
+  return plan;
+}
+
+struct ChaosParams {
+  uint64_t seed;
+  MemoryMode mode;
+};
+
+class ChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(ChaosFuzzTest, ConservationHoldsUnderFaults) {
+  const ChaosParams params = GetParam();
+  Rng scenario(params.seed);
+
+  PlatformConfig config;
+  config.mode = params.mode;
+  config.cache_capacity_bytes = scenario.UniformU64(512, 2048) * kMiB;
+  config.cpu_cores = 3.0;
+  config.keep_alive = 60 * kSecond;
+  config.prewarm_per_language = static_cast<uint32_t>(scenario.UniformU64(0, 2));
+  config.snapstart_restore = scenario.Chance(0.3);
+  config.seed = params.seed;
+  config.faults = ChaosPlan(scenario);
+  Platform platform(config);
+  platform.set_check_invariants(true);
+
+  std::unique_ptr<DesiccantManager> manager;
+  if (params.mode == MemoryMode::kDesiccant) {
+    DesiccantConfig desiccant_config;
+    desiccant_config.selection.freeze_timeout = 200 * kMillisecond;
+    manager = std::make_unique<DesiccantManager>(&platform, desiccant_config);
+  }
+
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 45.0) {
+    const WorkloadSpec& w = suite[scenario.UniformU64(0, suite.size() - 1)];
+    platform.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += scenario.Exponential(0.6);
+  }
+
+  platform.BeginMeasurement();
+  for (double checkpoint = 10.0; checkpoint <= 300.0; checkpoint += 10.0) {
+    platform.RunUntil(FromSeconds(checkpoint));
+    EXPECT_EQ(platform.memory_charged(), platform.FrozenMemoryBytes());
+    EXPECT_LE(platform.memory_charged(), config.cache_capacity_bytes);
+    if (config.faults.node_memory_bytes > 0) {
+      // The OOM killer settles before the event completes: committed memory
+      // never rests above the node's capacity.
+      EXPECT_LE(platform.committed_bytes(), config.faults.node_memory_bytes);
+    }
+    EXPECT_GE(platform.IdleCpu(), -1e-9);
+    EXPECT_LE(platform.IdleCpu(), config.cpu_cores + 1e-9);
+  }
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  // Conservation: every submission terminates exactly once.
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  // No counter underflow (all uint64): retried-ok is a subset of completed,
+  // the OOM split adds up, and goodput can never exceed throughput.
+  EXPECT_LE(m.requests_retried_ok, m.requests_completed);
+  EXPECT_EQ(m.oom_kills, m.oom_kills_frozen + m.oom_kills_running);
+  EXPECT_LE(m.GoodputRps(), m.ThroughputRps() + 1e-9);
+  EXPECT_GE(m.SuccessFraction(), 0.0);
+  EXPECT_LE(m.SuccessFraction(), 1.0);
+  // After the drain the node is quiescent.
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+  EXPECT_EQ(platform.memory_charged(), platform.FrozenMemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ChaosFuzzTest,
+    ::testing::Values(ChaosParams{101, MemoryMode::kVanilla},
+                      ChaosParams{101, MemoryMode::kEager},
+                      ChaosParams{101, MemoryMode::kDesiccant},
+                      ChaosParams{101, MemoryMode::kSwap},
+                      ChaosParams{102, MemoryMode::kVanilla},
+                      ChaosParams{102, MemoryMode::kEager},
+                      ChaosParams{102, MemoryMode::kDesiccant},
+                      ChaosParams{102, MemoryMode::kSwap},
+                      ChaosParams{103, MemoryMode::kVanilla},
+                      ChaosParams{103, MemoryMode::kEager},
+                      ChaosParams{103, MemoryMode::kDesiccant},
+                      ChaosParams{103, MemoryMode::kSwap}));
+
+class ClusterChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(ClusterChaosFuzzTest, ConservationHoldsAcrossNodeCrashes) {
+  const ChaosParams params = GetParam();
+  Rng scenario(params.seed ^ 0xC1A5ull);
+
+  ClusterConfig config;
+  config.node_count = 3;
+  config.routing = static_cast<RoutingPolicy>(scenario.UniformU64(0, 2));
+  config.node.mode = params.mode;
+  config.node.cache_capacity_bytes = scenario.UniformU64(512, 1536) * kMiB;
+  config.node.cpu_cores = 2.0;
+  config.node.keep_alive = 60 * kSecond;
+  config.node.seed = params.seed;
+  config.node.faults = ChaosPlan(scenario);
+  // Crashes on top: mean 30 s per node, horizon well past the traffic window
+  // so crashes hit both loaded and draining phases.
+  config.node.faults.node_crash_mtbf_seconds = 30.0;
+  config.node.faults.node_crash_horizon = 120 * kSecond;
+  config.node.faults.node_restart_delay = 3 * kSecond;
+  Cluster cluster(config);
+  cluster.set_check_invariants(true);
+
+  std::vector<std::unique_ptr<DesiccantManager>> managers;
+  if (params.mode == MemoryMode::kDesiccant) {
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      DesiccantConfig desiccant_config;
+      desiccant_config.selection.freeze_timeout = 200 * kMillisecond;
+      managers.push_back(
+          std::make_unique<DesiccantManager>(&cluster.node(i), desiccant_config));
+    }
+  }
+
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 45.0) {
+    const WorkloadSpec& w = suite[scenario.UniformU64(0, suite.size() - 1)];
+    cluster.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += scenario.Exponential(0.5);
+  }
+
+  cluster.BeginMeasurement();
+  cluster.Run();
+  const PlatformMetrics m = cluster.AggregateMetrics();
+
+  // Conservation across the whole cluster, crashes and failovers included.
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  EXPECT_LE(m.requests_retried_ok, m.requests_completed);
+  EXPECT_EQ(m.oom_kills, m.oom_kills_frozen + m.oom_kills_running);
+  // Nothing stays parked once the last restart has flushed the queue.
+  EXPECT_EQ(cluster.pending_count(), 0u);
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_FALSE(cluster.node(i).node_down());
+    EXPECT_GE(cluster.node(i).IdleCpu(), config.node.cpu_cores - 1e-9);
+    EXPECT_EQ(cluster.node(i).memory_charged(), cluster.node(i).FrozenMemoryBytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ClusterChaosFuzzTest,
+                         ::testing::Values(ChaosParams{101, MemoryMode::kVanilla},
+                                           ChaosParams{102, MemoryMode::kDesiccant},
+                                           ChaosParams{103, MemoryMode::kEager},
+                                           ChaosParams{104, MemoryMode::kSwap}));
 
 }  // namespace
 }  // namespace desiccant

@@ -24,9 +24,10 @@ struct Row {
   double p99_ms = 0.0;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(const std::string& regime, const std::string& name,
+void Run(size_t slot, const std::string& regime, const std::string& name,
          const ActivationConfig& activation, double scale_factor, uint64_t cache) {
   Row row;
   row.regime = regime;
@@ -46,7 +47,7 @@ void Run(const std::string& regime, const std::string& name,
     row.reclaim_cpu_core_s += result.metrics.reclaim_cpu_core_s / n;
     row.p99_ms += result.metrics.latency_ms.Percentile(99) / n;
   }
-  g_rows.push_back(row);
+  g_rows[slot] = row;
 }
 
 ActivationConfig Static(double threshold) {
@@ -58,7 +59,8 @@ ActivationConfig Static(double threshold) {
   return config;
 }
 
-void RunOpportunistic(const std::string& regime, double scale_factor, uint64_t cache) {
+void RunOpportunistic(size_t slot, const std::string& regime, double scale_factor,
+                      uint64_t cache) {
   Row row;
   row.regime = regime;
   row.policy = "dynamic+idle-cpu";
@@ -77,19 +79,24 @@ void RunOpportunistic(const std::string& regime, double scale_factor, uint64_t c
     row.reclaim_cpu_core_s += result.metrics.reclaim_cpu_core_s / n;
     row.p99_ms += result.metrics.latency_ms.Percentile(99) / n;
   }
-  g_rows.push_back(row);
+  g_rows[slot] = row;
 }
 
-void Register(const std::string& regime, double scale_factor, uint64_t cache) {
-  RegisterExperiment("abl_activation/" + regime + "/dynamic", [=] {
-    Run(regime, "dynamic", ActivationConfig{}, scale_factor, cache);
-  });
-  RegisterExperiment("abl_activation/" + regime + "/dynamic+idle",
-                     [=] { RunOpportunistic(regime, scale_factor, cache); });
+void AppendCells(std::vector<ExperimentCell>& cells, const std::string& regime,
+                 double scale_factor, uint64_t cache) {
+  size_t slot = cells.size();
+  cells.push_back({"abl_activation/" + regime + "/dynamic", [=] {
+                     Run(slot, regime, "dynamic", ActivationConfig{}, scale_factor, cache);
+                   }});
+  slot = cells.size();
+  cells.push_back({"abl_activation/" + regime + "/dynamic+idle",
+                   [=] { RunOpportunistic(slot, regime, scale_factor, cache); }});
   for (const double t : {0.3, 0.7, 0.95}) {
-    RegisterExperiment("abl_activation/" + regime + "/static:" + Table::Fmt(t, 2), [=] {
-      Run(regime, "static-" + Table::Fmt(t, 2), Static(t), scale_factor, cache);
-    });
+    slot = cells.size();
+    cells.push_back({"abl_activation/" + regime + "/static:" + Table::Fmt(t, 2), [=] {
+                       Run(slot, regime, "static-" + Table::Fmt(t, 2), Static(t),
+                           scale_factor, cache);
+                     }});
   }
 }
 
@@ -97,8 +104,11 @@ void Register(const std::string& regime, double scale_factor, uint64_t cache) {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  Register("pressure", 20.0, 1536 * kMiB);
-  Register("no-pressure", 5.0, 8 * kGiB);
+  std::vector<ExperimentCell> cells;
+  AppendCells(cells, "pressure", 20.0, 1536 * kMiB);
+  AppendCells(cells, "no-pressure", 5.0, 8 * kGiB);
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -15,32 +15,39 @@ struct Row {
   double with_mib;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(const char* name, ImageSharing sharing, const std::string& setting) {
+void Run(size_t slot, const char* name, ImageSharing sharing, const std::string& setting) {
   const WorkloadSpec* w = FindWorkload(name);
   const SingleFunctionResult without =
       RunSingleFunction(*w, 256 * kMiB, 100, sharing, /*unmap_libraries=*/false);
   const SingleFunctionResult with =
       RunSingleFunction(*w, 256 * kMiB, 100, sharing, /*unmap_libraries=*/true);
-  g_rows.push_back({setting, name, ToMiB(without.desiccant.uss), ToMiB(with.desiccant.uss)});
+  g_rows[slot] = {setting, name, ToMiB(without.desiccant.uss), ToMiB(with.desiccant.uss)};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  std::vector<ExperimentCell> cells;
   for (const char* name : {"sort", "fft"}) {
-    RegisterExperiment(std::string("abl_unmap/shared/") + name, [name] {
-      Run(name, ImageSharing::kExclusiveNode, "exclusive-node");
-    });
-    RegisterExperiment(std::string("abl_unmap/lambda/") + name, [name] {
-      Run(name, ImageSharing::kLambdaPrivate, "lambda-private");
-    });
-    RegisterExperiment(std::string("abl_unmap/multi/") + name, [name] {
-      Run(name, ImageSharing::kSharedNode, "shared-node");
-    });
+    size_t slot = cells.size();
+    cells.push_back({std::string("abl_unmap/shared/") + name, [slot, name] {
+                       Run(slot, name, ImageSharing::kExclusiveNode, "exclusive-node");
+                     }});
+    slot = cells.size();
+    cells.push_back({std::string("abl_unmap/lambda/") + name, [slot, name] {
+                       Run(slot, name, ImageSharing::kLambdaPrivate, "lambda-private");
+                     }});
+    slot = cells.size();
+    cells.push_back({std::string("abl_unmap/multi/") + name, [slot, name] {
+                       Run(slot, name, ImageSharing::kSharedNode, "shared-node");
+                     }});
   }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

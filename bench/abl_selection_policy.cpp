@@ -25,9 +25,10 @@ struct Row {
   double reclaim_cpu_core_s = 0.0;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(const std::string& name, SelectionStrategy strategy) {
+void Run(size_t slot, const std::string& name, SelectionStrategy strategy) {
   Row row;
   row.policy = name;
   for (const uint64_t seed : kSeeds) {
@@ -48,20 +49,34 @@ void Run(const std::string& name, SelectionStrategy strategy) {
     row.bytes_released_mib += ToMiB(result.desiccant_bytes_released) / n;
     row.reclaim_cpu_core_s += result.metrics.reclaim_cpu_core_s / n;
   }
-  g_rows.push_back(row);
+  g_rows[slot] = row;
 }
+
+struct Policy {
+  const char* bench_name;
+  const char* policy;
+  SelectionStrategy strategy;
+};
+
+constexpr Policy kPolicies[] = {
+    {"abl_selection/throughput", "throughput", SelectionStrategy::kThroughput},
+    {"abl_selection/fifo", "fifo", SelectionStrategy::kFifo},
+    {"abl_selection/largest-heap", "largest-heap", SelectionStrategy::kLargestHeap},
+    {"abl_selection/arbitrary", "arbitrary", SelectionStrategy::kRandomish},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  RegisterExperiment("abl_selection/throughput",
-                     [] { Run("throughput", SelectionStrategy::kThroughput); });
-  RegisterExperiment("abl_selection/fifo", [] { Run("fifo", SelectionStrategy::kFifo); });
-  RegisterExperiment("abl_selection/largest-heap",
-                     [] { Run("largest-heap", SelectionStrategy::kLargestHeap); });
-  RegisterExperiment("abl_selection/arbitrary",
-                     [] { Run("arbitrary", SelectionStrategy::kRandomish); });
+  std::vector<ExperimentCell> cells;
+  for (const Policy& policy : kPolicies) {
+    const size_t slot = cells.size();
+    cells.push_back({policy.bench_name,
+                     [slot, policy] { Run(slot, policy.policy, policy.strategy); }});
+  }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -9,11 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/table.h"
+#include "src/base/thread_pool.h"
 #include "src/core/desiccant_manager.h"
 #include "src/faas/platform.h"
 #include "src/faas/single_study.h"
@@ -168,6 +173,103 @@ inline void RegisterExperiment(const std::string& name, std::function<void()> bo
       body();
     }
   })->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel experiment grid.
+//
+// A figure bench is a grid of independent replay cells (scale factor x mode,
+// heap size x policy, ...). Each cell owns a private Platform/SimContext, so
+// cells can run on worker threads concurrently as long as every cell writes
+// its result into a pre-sized slot it alone owns. Collation and table
+// printing happen after the grid completes, on the main thread, in a fixed
+// loop order — so the emitted tables are byte-identical to a serial run.
+
+struct ExperimentCell {
+  std::string name;             // benchmark name, e.g. "fig09/sf:15/vanilla"
+  std::function<void()> body;   // runs the cell; must only touch its own slot
+};
+
+// Worker count for RunExperimentGrid: DESICCANT_REPLAY_THREADS if set (>= 1;
+// 1 means run serially inline), otherwise the hardware concurrency.
+inline size_t ReplayGridThreads() {
+  if (const char* env = std::getenv("DESICCANT_REPLAY_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct GridReport {
+  size_t threads = 1;
+  std::vector<double> cell_wall_ms;  // parallel to the cells vector
+  double total_wall_ms = 0.0;
+};
+
+// Runs every cell (serially inline when threads <= 1, else on a thread pool)
+// and registers one manual-time benchmark per cell carrying its measured
+// wall-clock, so `--benchmark_out` JSON keeps one entry per cell regardless
+// of how the grid was executed.
+inline GridReport RunExperimentGrid(const std::vector<ExperimentCell>& cells,
+                                    size_t threads = 0,
+                                    bool register_benchmarks = true) {
+  GridReport report;
+  report.threads = threads == 0 ? ReplayGridThreads() : threads;
+  report.cell_wall_ms.resize(cells.size(), 0.0);
+
+  using Clock = std::chrono::steady_clock;
+  const auto grid_start = Clock::now();
+  auto run_cell = [&cells, &report](size_t index) {
+    const auto start = Clock::now();
+    cells[index].body();
+    report.cell_wall_ms[index] =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  };
+  if (report.threads <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      run_cell(i);
+    }
+  } else {
+    ThreadPool pool(report.threads);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      pool.Submit([&run_cell, i] { run_cell(i); });
+    }
+    pool.Wait();
+  }
+  report.total_wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - grid_start).count();
+
+  if (register_benchmarks) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const double ms = report.cell_wall_ms[i];
+      benchmark::RegisterBenchmark(cells[i].name.c_str(),
+                                   [ms](benchmark::State& state) {
+                                     for (auto _ : state) {
+                                       state.SetIterationTime(ms / 1000.0);
+                                     }
+                                   })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return report;
+}
+
+// Collation guard: every bench that gathers grid slots into per-figure tables
+// must check the slot was actually filled instead of dereferencing a null
+// entry (the old fig09/fig10 collation crashed with a bare segfault when a
+// cell was missing, e.g. after a filtered run).
+template <typename T>
+inline const T& CheckedCell(const T* cell, const std::string& what) {
+  if (cell == nullptr) {
+    std::fprintf(stderr, "missing experiment grid cell: %s\n", what.c_str());
+    std::abort();
+  }
+  return *cell;
 }
 
 }  // namespace desiccant

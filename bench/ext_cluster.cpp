@@ -20,9 +20,10 @@ struct Row {
   double throughput_rps;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(RoutingPolicy routing, MemoryMode mode) {
+void Run(size_t slot, RoutingPolicy routing, MemoryMode mode) {
   ClusterConfig config;
   config.node_count = 4;
   config.routing = routing;
@@ -58,23 +59,26 @@ void Run(RoutingPolicy routing, MemoryMode mode) {
   cluster.BeginMeasurement();
   cluster.RunUntil(replay_end);
   const PlatformMetrics m = cluster.AggregateMetrics();
-  g_rows.push_back({RoutingPolicyName(routing), MemoryModeName(mode),
-                    m.ColdBootsPerSecond(), m.latency_ms.Percentile(99),
-                    m.ThroughputRps()});
+  g_rows[slot] = {RoutingPolicyName(routing), MemoryModeName(mode), m.ColdBootsPerSecond(),
+                  m.latency_ms.Percentile(99), m.ThroughputRps()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  std::vector<ExperimentCell> cells;
   for (const RoutingPolicy routing :
        {RoutingPolicy::kAffinity, RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastLoaded}) {
     for (const MemoryMode mode : {MemoryMode::kVanilla, MemoryMode::kDesiccant}) {
-      RegisterExperiment(std::string("ext_cluster/") + RoutingPolicyName(routing) + "/" +
-                             MemoryModeName(mode),
-                         [routing, mode] { Run(routing, mode); });
+      const size_t slot = cells.size();
+      cells.push_back({std::string("ext_cluster/") + RoutingPolicyName(routing) + "/" +
+                           MemoryModeName(mode),
+                       [slot, routing, mode] { Run(slot, routing, mode); }});
     }
   }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -60,17 +60,18 @@ struct Row {
   bool replay_identical = false;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 std::vector<Row> g_cluster_rows;
 
-void RunNode(const Level& level, MemoryMode mode) {
+void RunNode(size_t slot, const Level& level, MemoryMode mode) {
   ReplayConfig config;
   config.mode = mode;
   config.faults = level.plan;
   const ReplayResult first = RunReplay(config);
   const ReplayResult second = RunReplay(config);
-  g_rows.push_back({level.name, MemoryModeName(mode), first.metrics,
-                    first.metrics.Fingerprint() == second.metrics.Fingerprint()});
+  g_rows[slot] = {level.name, MemoryModeName(mode), first.metrics,
+                  first.metrics.Fingerprint() == second.metrics.Fingerprint()};
 }
 
 PlatformMetrics RunCluster(MemoryMode mode) {
@@ -114,27 +115,35 @@ PlatformMetrics RunCluster(MemoryMode mode) {
   return cluster.AggregateMetrics();
 }
 
-void RunClusterPair(MemoryMode mode) {
+void RunClusterPair(size_t slot, MemoryMode mode) {
   const PlatformMetrics first = RunCluster(mode);
   const PlatformMetrics second = RunCluster(mode);
-  g_cluster_rows.push_back({"crashes", MemoryModeName(mode), first,
-                            first.Fingerprint() == second.Fingerprint()});
+  g_cluster_rows[slot] = {"crashes", MemoryModeName(mode), first,
+                          first.Fingerprint() == second.Fingerprint()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  std::vector<ExperimentCell> cells;
   for (const Level& level : Levels()) {
     for (const MemoryMode mode : {MemoryMode::kVanilla, MemoryMode::kDesiccant}) {
-      RegisterExperiment(std::string("ext_faults/") + level.name + "/" + MemoryModeName(mode),
-                         [level, mode] { RunNode(level, mode); });
+      const size_t slot = cells.size();
+      cells.push_back(
+          {std::string("ext_faults/") + level.name + "/" + MemoryModeName(mode),
+           [slot, level, mode] { RunNode(slot, level, mode); }});
     }
   }
+  g_rows.resize(cells.size());
+  const size_t cluster_base = cells.size();
   for (const MemoryMode mode : {MemoryMode::kVanilla, MemoryMode::kDesiccant}) {
-    RegisterExperiment(std::string("ext_faults/cluster_crashes/") + MemoryModeName(mode),
-                       [mode] { RunClusterPair(mode); });
+    const size_t slot = cells.size() - cluster_base;
+    cells.push_back({std::string("ext_faults/cluster_crashes/") + MemoryModeName(mode),
+                     [slot, mode] { RunClusterPair(slot, mode); }});
   }
+  g_cluster_rows.resize(cells.size() - cluster_base);
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

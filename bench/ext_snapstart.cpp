@@ -14,33 +14,50 @@ struct Row {
   ReplayResult result;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(const std::string& setup, MemoryMode mode, bool snapstart, uint32_t prewarm) {
+void Run(size_t slot, const std::string& setup, MemoryMode mode, bool snapstart,
+         uint32_t prewarm) {
   ReplayConfig config;
   config.mode = mode;
   config.scale_factor = 20.0;
   config.snapstart_restore = snapstart;
   config.prewarm_per_language = prewarm;
-  g_rows.push_back({setup, RunReplay(config)});
+  g_rows[slot] = {setup, RunReplay(config)};
 }
+
+struct Setup {
+  const char* bench_name;
+  const char* setup;
+  MemoryMode mode;
+  bool snapstart;
+  uint32_t prewarm;
+};
+
+constexpr Setup kSetups[] = {
+    {"ext_snapstart/vanilla", "vanilla", MemoryMode::kVanilla, false, 0},
+    {"ext_snapstart/snapstart", "vanilla+snapstart", MemoryMode::kVanilla, true, 0},
+    {"ext_snapstart/prewarm", "vanilla+prewarm2", MemoryMode::kVanilla, false, 2},
+    {"ext_snapstart/swap", "os-swapping", MemoryMode::kSwap, false, 0},
+    {"ext_snapstart/desiccant", "desiccant", MemoryMode::kDesiccant, false, 0},
+    {"ext_snapstart/desiccant+prewarm", "desiccant+prewarm2", MemoryMode::kDesiccant, false,
+     2},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  RegisterExperiment("ext_snapstart/vanilla",
-                     [] { Run("vanilla", MemoryMode::kVanilla, false, 0); });
-  RegisterExperiment("ext_snapstart/snapstart",
-                     [] { Run("vanilla+snapstart", MemoryMode::kVanilla, true, 0); });
-  RegisterExperiment("ext_snapstart/prewarm",
-                     [] { Run("vanilla+prewarm2", MemoryMode::kVanilla, false, 2); });
-  RegisterExperiment("ext_snapstart/swap",
-                     [] { Run("os-swapping", MemoryMode::kSwap, false, 0); });
-  RegisterExperiment("ext_snapstart/desiccant",
-                     [] { Run("desiccant", MemoryMode::kDesiccant, false, 0); });
-  RegisterExperiment("ext_snapstart/desiccant+prewarm",
-                     [] { Run("desiccant+prewarm2", MemoryMode::kDesiccant, false, 2); });
+  std::vector<ExperimentCell> cells;
+  for (const Setup& setup : kSetups) {
+    const size_t slot = cells.size();
+    cells.push_back({setup.bench_name, [slot, setup] {
+                       Run(slot, setup.setup, setup.mode, setup.snapstart, setup.prewarm);
+                     }});
+  }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -7,16 +7,21 @@ namespace {
 
 using namespace desiccant;
 
+constexpr uint64_t kBudgets[] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+constexpr Language kLanguages[] = {Language::kJava, Language::kJavaScript};
+
 struct Row {
-  uint64_t budget;
-  Language language;
-  double mean_avg_ratio;
-  double mean_max_ratio;
+  uint64_t budget = 0;
+  Language language = Language::kJava;
+  double mean_avg_ratio = 0.0;
+  double mean_max_ratio = 0.0;
+  bool filled = false;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void RunSetting(uint64_t budget, Language language) {
+void RunSetting(size_t slot, uint64_t budget, Language language) {
   double avg_sum = 0.0;
   double max_sum = 0.0;
   int count = 0;
@@ -26,14 +31,14 @@ void RunSetting(uint64_t budget, Language language) {
     max_sum += r.max_ratio;
     ++count;
   }
-  g_rows.push_back({budget, language, avg_sum / count, max_sum / count});
+  g_rows[slot] = {budget, language, avg_sum / count, max_sum / count, true};
 }
 
 void PrintTables() {
-  for (const Language language : {Language::kJava, Language::kJavaScript}) {
+  for (const Language language : kLanguages) {
     Table table({"memory_budget_mib", "mean_avg_ratio", "mean_max_ratio"});
     for (const Row& row : g_rows) {
-      if (row.language != language) {
+      if (!row.filled || row.language != language) {
         continue;
       }
       table.AddRow({std::to_string(row.budget / kMiB), Table::Fmt(row.mean_avg_ratio),
@@ -48,13 +53,17 @@ void PrintTables() {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  for (const uint64_t budget : {256 * kMiB, 512 * kMiB, 1024 * kMiB}) {
-    for (const Language language : {Language::kJava, Language::kJavaScript}) {
-      RegisterExperiment("fig04/" + std::to_string(budget / kMiB) + "MiB/" +
-                             LanguageName(language),
-                         [budget, language] { RunSetting(budget, language); });
+  std::vector<ExperimentCell> cells;
+  for (const uint64_t budget : kBudgets) {
+    for (const Language language : kLanguages) {
+      const size_t slot = cells.size();
+      cells.push_back({"fig04/" + std::to_string(budget / kMiB) + "MiB/" +
+                           LanguageName(language),
+                       [slot, budget, language] { RunSetting(slot, budget, language); }});
     }
   }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   PrintTables();

@@ -8,33 +8,41 @@ namespace {
 
 using namespace desiccant;
 
+constexpr double kScaleFactors[] = {5.0, 10.0, 15.0, 20.0, 25.0, 30.0};
+constexpr MemoryMode kModes[] = {MemoryMode::kVanilla, MemoryMode::kEager,
+                                 MemoryMode::kDesiccant};
+
 struct Row {
-  double scale_factor;
-  MemoryMode mode;
+  double scale_factor = 0.0;
+  MemoryMode mode = MemoryMode::kVanilla;
   ReplayResult result;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(double scale_factor, MemoryMode mode) {
+void Run(size_t slot, double scale_factor, MemoryMode mode) {
   ReplayConfig config;
   config.mode = mode;
   config.scale_factor = scale_factor;
-  g_rows.push_back({scale_factor, mode, RunReplay(config)});
+  g_rows[slot] = {scale_factor, mode, RunReplay(config)};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  for (const double sf : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    for (const MemoryMode mode :
-         {MemoryMode::kVanilla, MemoryMode::kEager, MemoryMode::kDesiccant}) {
-      RegisterExperiment(
-          "fig09/sf:" + std::to_string(static_cast<int>(sf)) + "/" + MemoryModeName(mode),
-          [sf, mode] { Run(sf, mode); });
+  std::vector<ExperimentCell> cells;
+  for (const double sf : kScaleFactors) {
+    for (const MemoryMode mode : kModes) {
+      const size_t slot = cells.size();
+      cells.push_back(
+          {"fig09/sf:" + std::to_string(static_cast<int>(sf)) + "/" + MemoryModeName(mode),
+           [slot, sf, mode] { Run(slot, sf, mode); }});
     }
   }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -43,16 +51,18 @@ int main(int argc, char** argv) {
   Table throughput({"scale_factor", "vanilla_rps", "eager_rps", "desiccant_rps"});
   Table cpu({"scale_factor", "vanilla_util", "eager_util", "desiccant_util",
              "desiccant_reclaim_share"});
-  for (const double sf : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+  for (const double sf : kScaleFactors) {
     const Row* rows[3] = {};
     for (const Row& row : g_rows) {
       if (row.scale_factor == sf) {
         rows[static_cast<int>(row.mode)] = &row;
       }
     }
-    const PlatformMetrics& v = rows[0]->result.metrics;
-    const PlatformMetrics& e = rows[1]->result.metrics;
-    const PlatformMetrics& d = rows[2]->result.metrics;
+    const std::string sf_label = "fig09 sf=" + std::to_string(static_cast<int>(sf));
+    const PlatformMetrics& v = CheckedCell(rows[0], sf_label + " vanilla").result.metrics;
+    const PlatformMetrics& e = CheckedCell(rows[1], sf_label + " eager").result.metrics;
+    const Row& d_row = CheckedCell(rows[2], sf_label + " desiccant");
+    const PlatformMetrics& d = d_row.result.metrics;
     const double d_boots = std::max(d.ColdBootsPerSecond(), 1e-6);
     boots.AddRow({Table::Fmt(sf, 0), Table::Fmt(v.ColdBootsPerSecond(), 3),
                   Table::Fmt(e.ColdBootsPerSecond(), 3), Table::Fmt(d.ColdBootsPerSecond(), 3),
@@ -60,7 +70,7 @@ int main(int argc, char** argv) {
                   Table::Fmt(e.ColdBootsPerSecond() / d_boots, 1)});
     throughput.AddRow({Table::Fmt(sf, 0), Table::Fmt(v.ThroughputRps()),
                        Table::Fmt(e.ThroughputRps()), Table::Fmt(d.ThroughputRps())});
-    const double cores = rows[2]->result.cores;
+    const double cores = d_row.result.cores;
     const double reclaim_share =
         d.cpu_busy_core_s > 0 ? d.reclaim_cpu_core_s / d.cpu_busy_core_s : 0.0;
     cpu.AddRow({Table::Fmt(sf, 0), Table::Fmt(v.CpuUtilization(cores), 3),

@@ -7,57 +7,68 @@ namespace {
 
 using namespace desiccant;
 
+constexpr double kScaleFactors[] = {15.0, 25.0};
+constexpr MemoryMode kModes[] = {MemoryMode::kVanilla, MemoryMode::kEager,
+                                 MemoryMode::kDesiccant};
+
 struct Row {
-  double scale_factor;
-  MemoryMode mode;
-  double p50, p90, p95, p99;
-  double p99_queue, p99_boot, p99_exec;
+  double scale_factor = 0.0;
+  MemoryMode mode = MemoryMode::kVanilla;
+  double p50 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0;
+  double p99_queue = 0.0, p99_boot = 0.0, p99_exec = 0.0;
+  bool filled = false;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void Run(double scale_factor, MemoryMode mode) {
+void Run(size_t slot, double scale_factor, MemoryMode mode) {
   ReplayConfig config;
   config.mode = mode;
   config.scale_factor = scale_factor;
   const ReplayResult result = RunReplay(config);
   const PercentileTracker& latency = result.metrics.latency_ms;
-  g_rows.push_back({scale_factor, mode, latency.Percentile(50), latency.Percentile(90),
-                    latency.Percentile(95), latency.Percentile(99),
-                    result.metrics.queue_ms.Percentile(99),
-                    result.metrics.boot_ms.Percentile(99),
-                    result.metrics.exec_ms.Percentile(99)});
+  g_rows[slot] = {scale_factor, mode, latency.Percentile(50), latency.Percentile(90),
+                  latency.Percentile(95), latency.Percentile(99),
+                  result.metrics.queue_ms.Percentile(99),
+                  result.metrics.boot_ms.Percentile(99),
+                  result.metrics.exec_ms.Percentile(99), true};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  for (const double sf : {15.0, 25.0}) {
-    for (const MemoryMode mode :
-         {MemoryMode::kVanilla, MemoryMode::kEager, MemoryMode::kDesiccant}) {
-      RegisterExperiment(
-          "fig10/sf:" + std::to_string(static_cast<int>(sf)) + "/" + MemoryModeName(mode),
-          [sf, mode] { Run(sf, mode); });
+  std::vector<ExperimentCell> cells;
+  for (const double sf : kScaleFactors) {
+    for (const MemoryMode mode : kModes) {
+      const size_t slot = cells.size();
+      cells.push_back(
+          {"fig10/sf:" + std::to_string(static_cast<int>(sf)) + "/" + MemoryModeName(mode),
+           [slot, sf, mode] { Run(slot, sf, mode); }});
     }
   }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  for (const double sf : {15.0, 25.0}) {
+  for (const double sf : kScaleFactors) {
     Table table({"mode", "p50_ms", "p90_ms", "p95_ms", "p99_ms", "p99_improvement_pct"});
     const Row* vanilla = nullptr;
     for (const Row& row : g_rows) {
-      if (row.scale_factor == sf && row.mode == MemoryMode::kVanilla) {
+      if (row.filled && row.scale_factor == sf && row.mode == MemoryMode::kVanilla) {
         vanilla = &row;
       }
     }
+    const Row& baseline = CheckedCell(
+        vanilla, "fig10 sf=" + std::to_string(static_cast<int>(sf)) + " vanilla");
     for (const Row& row : g_rows) {
-      if (row.scale_factor != sf) {
+      if (!row.filled || row.scale_factor != sf) {
         continue;
       }
       const double improvement =
-          vanilla != nullptr && vanilla->p99 > 0 ? (1.0 - row.p99 / vanilla->p99) * 100.0 : 0.0;
+          baseline.p99 > 0 ? (1.0 - row.p99 / baseline.p99) * 100.0 : 0.0;
       table.AddRow({MemoryModeName(row.mode), Table::Fmt(row.p50), Table::Fmt(row.p90),
                     Table::Fmt(row.p95), Table::Fmt(row.p99), Table::Fmt(improvement, 1)});
     }
@@ -65,10 +76,10 @@ int main(int argc, char** argv) {
   }
 
   // Supplement: where the tail comes from (p99 of each component).
-  for (const double sf : {15.0, 25.0}) {
+  for (const double sf : kScaleFactors) {
     Table table({"mode", "p99_queue_ms", "p99_boot_ms", "p99_exec_ms"});
     for (const Row& row : g_rows) {
-      if (row.scale_factor != sf) {
+      if (!row.filled || row.scale_factor != sf) {
         continue;
       }
       table.AddRow({MemoryModeName(row.mode), Table::Fmt(row.p99_queue),

@@ -8,17 +8,20 @@ namespace {
 
 using namespace desiccant;
 
+constexpr uint64_t kBudgets[] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+
 struct Row {
-  uint64_t budget;
+  uint64_t budget = 0;
   std::string key;  // "java", "javascript", "clock", "fft"
-  double vanilla_mib;
-  double eager_mib;
-  double desiccant_mib;
+  double vanilla_mib = 0.0;
+  double eager_mib = 0.0;
+  double desiccant_mib = 0.0;
 };
 
+// One pre-sized slot per grid cell so cells can run concurrently.
 std::vector<Row> g_rows;
 
-void RunLanguageAverage(uint64_t budget, Language language) {
+void RunLanguageAverage(size_t slot, uint64_t budget, Language language) {
   double v = 0.0;
   double e = 0.0;
   double d = 0.0;
@@ -30,13 +33,13 @@ void RunLanguageAverage(uint64_t budget, Language language) {
     d += ToMiB(r.desiccant.uss);
     ++count;
   }
-  g_rows.push_back({budget, LanguageName(language), v / count, e / count, d / count});
+  g_rows[slot] = {budget, LanguageName(language), v / count, e / count, d / count};
 }
 
-void RunFunction(uint64_t budget, const char* name) {
+void RunFunction(size_t slot, uint64_t budget, const char* name) {
   const SingleFunctionResult r = RunSingleFunction(*FindWorkload(name), budget);
-  g_rows.push_back({budget, name, ToMiB(r.vanilla.uss), ToMiB(r.eager.uss),
-                    ToMiB(r.desiccant.uss)});
+  g_rows[slot] = {budget, name, ToMiB(r.vanilla.uss), ToMiB(r.eager.uss),
+                  ToMiB(r.desiccant.uss)};
 }
 
 void PrintKey(const char* title, const std::string& key) {
@@ -57,16 +60,24 @@ void PrintKey(const char* title, const std::string& key) {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  for (const uint64_t budget : {256 * kMiB, 512 * kMiB, 1024 * kMiB}) {
-    RegisterExperiment("fig12/java/" + std::to_string(budget / kMiB),
-                       [budget] { RunLanguageAverage(budget, Language::kJava); });
-    RegisterExperiment("fig12/javascript/" + std::to_string(budget / kMiB),
-                       [budget] { RunLanguageAverage(budget, Language::kJavaScript); });
-    RegisterExperiment("fig12/clock/" + std::to_string(budget / kMiB),
-                       [budget] { RunFunction(budget, "clock"); });
-    RegisterExperiment("fig12/fft/" + std::to_string(budget / kMiB),
-                       [budget] { RunFunction(budget, "fft"); });
+  std::vector<ExperimentCell> cells;
+  for (const uint64_t budget : kBudgets) {
+    size_t slot = cells.size();
+    cells.push_back({"fig12/java/" + std::to_string(budget / kMiB),
+                     [slot, budget] { RunLanguageAverage(slot, budget, Language::kJava); }});
+    slot = cells.size();
+    cells.push_back(
+        {"fig12/javascript/" + std::to_string(budget / kMiB),
+         [slot, budget] { RunLanguageAverage(slot, budget, Language::kJavaScript); }});
+    slot = cells.size();
+    cells.push_back({"fig12/clock/" + std::to_string(budget / kMiB),
+                     [slot, budget] { RunFunction(slot, budget, "clock"); }});
+    slot = cells.size();
+    cells.push_back({"fig12/fft/" + std::to_string(budget / kMiB),
+                     [slot, budget] { RunFunction(slot, budget, "fft"); }});
   }
+  g_rows.resize(cells.size());
+  RunExperimentGrid(cells);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

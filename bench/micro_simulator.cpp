@@ -4,11 +4,52 @@
 // accounting and reclaim paths.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "src/base/sim_clock.h"
+#include "src/faas/event_queue.h"
+#include "src/faas/function_registry.h"
 #include "src/faas/instance.h"
 #include "src/hotspot/hotspot_runtime.h"
 #include "src/v8/v8_runtime.h"
 #include "src/workloads/function_spec.h"
+
+// Counting global allocator so benches can assert heap behavior (e.g. that
+// steady-state EventQueue traffic performs zero allocations) rather than
+// infer it from timing.
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+// GCC pairs `new` expressions elsewhere in the TU with these overloads and
+// flags the free() as mismatched; it isn't — the matching operator new above
+// allocates with malloc.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -96,6 +137,86 @@ void BM_ReclaimCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReclaimCycle);
+
+// Steady-state discrete-event traffic: one Schedule + one RunNext per
+// iteration with a Request-sized capture, against a pre-grown queue. The
+// `heap_allocs_per_op` counter must read 0.00 — that is the point of the
+// InlineClosure event representation.
+void BM_EventQueueScheduleRunNext(benchmark::State& state) {
+  EventQueue queue;
+  SimClock clock;
+  queue.Reserve(1024);
+  struct Payload {
+    uint64_t words[8] = {};  // 64 bytes: the size class of a captured Request
+  };
+  uint64_t sink = 0;
+  for (uint64_t i = 0; i < 512; ++i) {
+    Payload p;
+    p.words[0] = i;
+    queue.Schedule(clock.Now() + (i + 1) * kMicrosecond,
+                   [p, &sink] { sink += p.words[0]; });
+  }
+  uint64_t t = 512;
+  const uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    Payload p;
+    p.words[0] = t++;
+    queue.Schedule(clock.Now() + 1000 * kMicrosecond,
+                   [p, &sink] { sink += p.words[0]; });
+    queue.RunNext(&clock);
+  }
+  const uint64_t allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["heap_allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRunNext);
+
+// The warm-pool lookup the platform performs per request, before and after
+// interning. Legacy: build "<workload>#<stage>" and hash it into an
+// unordered_map. Interned: resolve the (pointer, stage) site to a dense
+// FunctionId and index a flat vector — no string is ever materialized.
+void BM_WarmPoolLookupLegacyString(benchmark::State& state) {
+  const std::vector<WorkloadSpec>& suite = WorkloadSuite();
+  std::unordered_map<std::string, std::vector<int>> pool;
+  for (const WorkloadSpec& w : suite) {
+    for (size_t stage = 0; stage < w.chain_length(); ++stage) {
+      pool[w.name + "#" + std::to_string(stage)].push_back(1);
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkloadSpec& w = suite[i % suite.size()];
+    const size_t stage = i % w.chain_length();
+    benchmark::DoNotOptimize(pool.find(w.name + "#" + std::to_string(stage)));
+    ++i;
+  }
+}
+BENCHMARK(BM_WarmPoolLookupLegacyString);
+
+void BM_WarmPoolLookupInterned(benchmark::State& state) {
+  const std::vector<WorkloadSpec>& suite = WorkloadSuite();
+  FunctionRegistry registry;
+  for (const WorkloadSpec& w : suite) {
+    for (size_t stage = 0; stage < w.chain_length(); ++stage) {
+      registry.Intern(&w, stage);
+    }
+  }
+  std::vector<std::vector<int>> pool(registry.size(), std::vector<int>(1, 1));
+  size_t i = 0;
+  const uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const WorkloadSpec& w = suite[i % suite.size()];
+    const size_t stage = i % w.chain_length();
+    const FunctionId id = registry.Intern(&w, stage);
+    benchmark::DoNotOptimize(pool[id].data());
+    ++i;
+  }
+  const uint64_t allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["heap_allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_WarmPoolLookupInterned);
 
 }  // namespace
 

@@ -1,0 +1,132 @@
+// A move-only `void()` callable with small-buffer-optimized storage.
+//
+// The discrete-event queue schedules millions of closures per replay;
+// std::function heap-allocates any capture larger than its (implementation-
+// defined, ~16 byte) inline buffer, which makes every Schedule() a malloc and
+// every RunNext() a free. InlineClosure keeps captures up to `InlineCapacity`
+// bytes inside the event itself, so steady-state scheduling performs zero
+// heap allocations; larger or alignment-exotic captures transparently fall
+// back to the heap (correctness never depends on fitting).
+//
+// Only the `void()` signature is supported — that is all the simulator needs,
+// and it keeps the dispatch table to three function pointers.
+#ifndef DESICCANT_SRC_BASE_INLINE_CLOSURE_H_
+#define DESICCANT_SRC_BASE_INLINE_CLOSURE_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace desiccant {
+
+template <size_t InlineCapacity>
+class InlineClosure {
+ public:
+  static constexpr size_t kInlineCapacity = InlineCapacity;
+
+  InlineClosure() noexcept = default;
+
+  // Implicit by design: call sites pass lambdas exactly as they passed them
+  // to std::function.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineClosure> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineClosure(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (FitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = InlineOps<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = HeapOps<Fn>();
+    }
+  }
+
+  InlineClosure(InlineClosure&& other) noexcept { MoveFrom(other); }
+
+  InlineClosure& operator=(InlineClosure&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineClosure(const InlineClosure&) = delete;
+  InlineClosure& operator=(const InlineClosure&) = delete;
+
+  ~InlineClosure() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // True when the captures live in the inline buffer (no heap involved).
+  bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs the payload into `to` and destroys the one in `from`.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool FitsInline() {
+    return sizeof(Fn) <= InlineCapacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const Ops* InlineOps() {
+    static constexpr Ops kOps = {
+        [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+        [](void* from, void* to) noexcept {
+          Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+          ::new (to) Fn(std::move(*src));
+          src->~Fn();
+        },
+        [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+        /*inline_storage=*/true,
+    };
+    return &kOps;
+  }
+
+  template <typename Fn>
+  static const Ops* HeapOps() {
+    static constexpr Ops kOps = {
+        [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+        [](void* from, void* to) noexcept {
+          ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+        },
+        [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+        /*inline_storage=*/false,
+    };
+    return &kOps;
+  }
+
+  void MoveFrom(InlineClosure& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_INLINE_CLOSURE_H_

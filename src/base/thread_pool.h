@@ -1,0 +1,54 @@
+// A fixed-size worker pool over one shared FIFO queue.
+//
+// Deliberately work-stealing-free: the replay harness submits a few dozen
+// coarse tasks that each run for seconds, so queue contention is irrelevant
+// and a single mutex-protected deque keeps the scheduling trivially easy to
+// reason about (tasks start in submission order; nothing migrates).
+#ifndef DESICCANT_SRC_BASE_THREAD_POOL_H_
+#define DESICCANT_SRC_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace desiccant {
+
+class ThreadPool {
+ public:
+  // Spawns `thread_count` workers (clamped to at least one).
+  explicit ThreadPool(size_t thread_count);
+
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`; it runs on some worker thread. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished. Establishes a
+  // happens-before edge from all task bodies to the caller.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // Wait(): queue drained and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_THREAD_POOL_H_

@@ -31,7 +31,7 @@ void DesiccantManager::OnInstanceDestroyed(Instance* instance) {
   profiles_.ForgetInstance(instance->id());
 }
 
-void DesiccantManager::OnReclaimDone(const std::string& function_key, Instance* instance,
+void DesiccantManager::OnReclaimDone(FunctionId function, Instance* instance,
                                      const ReclaimResult& result) {
   if (result.aborted || instance == nullptr) {
     // The reclaim died mid-flight (injected abort, or the instance/node went
@@ -54,7 +54,7 @@ void DesiccantManager::OnReclaimDone(const std::string& function_key, Instance* 
   abort_streak_ = 0;
   const uint64_t released_bytes = PagesToBytes(result.released_pages);
   bytes_released_ += released_bytes;
-  profiles_.Record(instance->id(), function_key, result.live_bytes_after, result.cpu_time,
+  profiles_.Record(instance->id(), function, result.live_bytes_after, result.cpu_time,
                    released_bytes);
 }
 

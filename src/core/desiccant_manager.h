@@ -46,7 +46,7 @@ class DesiccantManager : public PlatformObserver {
   void OnInstanceFrozen(Instance* instance) override;
   void OnInstanceEvicted(Instance* instance) override;
   void OnInstanceDestroyed(Instance* instance) override;
-  void OnReclaimDone(const std::string& function_key, Instance* instance,
+  void OnReclaimDone(FunctionId function, Instance* instance,
                      const ReclaimResult& result) override;
   void OnFault(const FaultEvent& event) override;
   void OnTick() override;

@@ -4,33 +4,34 @@
 
 namespace desiccant {
 
-void ProfileStore::Record(uint64_t instance_id, const std::string& function_key,
-                          uint64_t live_bytes, SimTime cpu_time, uint64_t released_bytes) {
+void ProfileStore::Record(uint64_t instance_id, FunctionId function, uint64_t live_bytes,
+                          SimTime cpu_time, uint64_t released_bytes) {
   auto update = [&](Profile& p) {
     p.live_bytes.Add(static_cast<double>(live_bytes));
     p.cpu_time_ns.Add(static_cast<double>(cpu_time));
     ++p.samples;
   };
   update(by_instance_[instance_id]);
-  update(by_function_[function_key]);
+  if (function != kInvalidFunctionId) {
+    if (by_function_.size() <= function) {
+      by_function_.resize(function + 1);
+    }
+    update(by_function_[function]);
+  }
   if (cpu_time > 0) {
     global_throughput_.Add(static_cast<double>(released_bytes) /
                            static_cast<double>(cpu_time));
   }
 }
 
-ProfileEstimate ProfileStore::EstimateFor(uint64_t instance_id,
-                                          const std::string& function_key) const {
+ProfileEstimate ProfileStore::EstimateFor(uint64_t instance_id, FunctionId function) const {
   ProfileEstimate estimate;
   auto inst = by_instance_.find(instance_id);
   const Profile* source = nullptr;
   if (inst != by_instance_.end() && inst->second.samples > 0) {
     source = &inst->second;
-  } else {
-    auto fn = by_function_.find(function_key);
-    if (fn != by_function_.end() && fn->second.samples > 0) {
-      source = &fn->second;
-    }
+  } else if (function < by_function_.size() && by_function_[function].samples > 0) {
+    source = &by_function_[function];
   }
   if (source != nullptr) {
     estimate.live_bytes = source->live_bytes.value();
@@ -48,11 +49,16 @@ ProfileEstimate ProfileStore::EstimateFor(uint64_t instance_id,
 
 void ProfileStore::ForgetInstance(uint64_t instance_id) { by_instance_.erase(instance_id); }
 
-std::vector<ProfileStore::FunctionSummary> ProfileStore::Summarize() const {
+std::vector<ProfileStore::FunctionSummary> ProfileStore::Summarize(
+    const FunctionRegistry& functions) const {
   std::vector<FunctionSummary> summaries;
-  for (const auto& [key, profile] : by_function_) {
+  for (FunctionId id = 0; id < by_function_.size(); ++id) {
+    const Profile& profile = by_function_[id];
+    if (profile.samples == 0) {
+      continue;
+    }
     FunctionSummary summary;
-    summary.function_key = key;
+    summary.function_key = functions.Name(id);
     summary.live_bytes = profile.live_bytes.value();
     summary.cpu_time_ns = profile.cpu_time_ns.value();
     summary.samples = profile.samples;

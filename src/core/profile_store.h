@@ -5,6 +5,10 @@
 // Desiccant keeps these per instance, falls back to same-function instances
 // for fresh instances, and to the global average throughput when the function
 // has never been reclaimed. Profiles of destroyed instances are dropped.
+//
+// Functions are identified by their dense FunctionId (see
+// src/faas/function_registry.h): the per-function table is a flat vector, so
+// the selection loop's estimate path never hashes a string.
 #ifndef DESICCANT_SRC_CORE_PROFILE_STORE_H_
 #define DESICCANT_SRC_CORE_PROFILE_STORE_H_
 
@@ -15,6 +19,7 @@
 
 #include "src/base/stats.h"
 #include "src/base/units.h"
+#include "src/faas/function_registry.h"
 
 namespace desiccant {
 
@@ -30,23 +35,24 @@ struct ProfileEstimate {
 
 class ProfileStore {
  public:
-  void Record(uint64_t instance_id, const std::string& function_key, uint64_t live_bytes,
+  void Record(uint64_t instance_id, FunctionId function, uint64_t live_bytes,
               SimTime cpu_time, uint64_t released_bytes);
 
-  ProfileEstimate EstimateFor(uint64_t instance_id, const std::string& function_key) const;
+  ProfileEstimate EstimateFor(uint64_t instance_id, FunctionId function) const;
 
   void ForgetInstance(uint64_t instance_id);
 
   size_t instance_profile_count() const { return by_instance_.size(); }
 
-  // Per-function view of the collected profiles (for operators/debugging).
+  // Per-function view of the collected profiles (for operators/debugging);
+  // `functions` resolves ids back to display keys.
   struct FunctionSummary {
     std::string function_key;
     double live_bytes = 0.0;
     double cpu_time_ns = 0.0;
     uint64_t samples = 0;
   };
-  std::vector<FunctionSummary> Summarize() const;
+  std::vector<FunctionSummary> Summarize(const FunctionRegistry& functions) const;
 
  private:
   struct Profile {
@@ -56,7 +62,8 @@ class ProfileStore {
   };
 
   std::unordered_map<uint64_t, Profile> by_instance_;
-  std::unordered_map<std::string, Profile> by_function_;
+  // Indexed by FunctionId; a slot with samples == 0 means "no profile yet".
+  std::vector<Profile> by_function_;
   Ewma global_throughput_{0.2};  // bytes released per ns of reclaim CPU
 };
 

@@ -8,7 +8,7 @@ namespace desiccant {
 double SelectionPolicy::EstimatedThroughput(Instance* instance,
                                             const ProfileStore& profiles) const {
   const ProfileEstimate estimate =
-      profiles.EstimateFor(instance->id(), instance->FunctionKey());
+      profiles.EstimateFor(instance->id(), instance->function_id());
   if (!estimate.has_any) {
     return std::numeric_limits<double>::infinity();
   }

@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "src/base/inline_closure.h"
 #include "src/base/sim_clock.h"
 #include "src/base/units.h"
 
@@ -16,12 +18,31 @@ namespace desiccant {
 // A min-heap of (time, seq)-ordered closures. Implemented directly over a
 // vector with std::push_heap/pop_heap rather than std::priority_queue: the
 // adapter only exposes a const top(), which forces RunNext to *copy* the
-// std::function (and any captured state) out of every event it runs. The raw
-// heap lets events be moved in and out.
+// closure (and any captured state) out of every event it runs. The raw heap
+// lets events be moved in and out.
+//
+// Closures are stored as InlineClosure, not std::function: the platform's
+// hot closures (a captured Request plus a `this` pointer) fit the inline
+// buffer, so steady-state Schedule/RunNext performs zero heap allocations.
 class EventQueue {
  public:
-  void Schedule(SimTime time, std::function<void()> fn) {
-    events_.push_back(Event{time, next_seq_++, std::move(fn)});
+  // Sized for the platform's largest hot capture: a Request (72 bytes) plus
+  // a Platform pointer. Anything bigger still works via the heap fallback.
+  using Closure = InlineClosure<88>;
+
+  void Schedule(SimTime time, Closure fn) {
+    events_.push_back(Event{time, next_seq_++, nullptr, 0, std::move(fn)});
+    std::push_heap(events_.begin(), events_.end(), Later{});
+  }
+
+  // Like Schedule, but the closure body only runs if `*guard == expected`
+  // when the event fires. The event still occupies its slot in virtual time
+  // either way — the clock advances to it and the caller's run loop ticks —
+  // which is exactly the semantics of the epoch-checking wrapper closures
+  // this replaces (and what keeps replay fingerprints byte-identical).
+  // `guard` must outlive the queue's events (it points at a Platform member).
+  void ScheduleGuarded(SimTime time, const uint64_t* guard, uint64_t expected, Closure fn) {
+    events_.push_back(Event{time, next_seq_++, guard, expected, std::move(fn)});
     std::push_heap(events_.begin(), events_.end(), Later{});
   }
 
@@ -31,22 +52,34 @@ class EventQueue {
 
   bool empty() const { return events_.empty(); }
   size_t size() const { return events_.size(); }
-  SimTime next_time() const { return events_.front().time; }
 
-  // Pops the earliest event, advances the clock to it, and runs it.
+  SimTime next_time() const {
+    if (events_.empty()) [[unlikely]] {
+      std::fprintf(stderr, "EventQueue::next_time() called on an empty queue\n");
+      std::abort();
+    }
+    return events_.front().time;
+  }
+
+  // Pops the earliest event, advances the clock to it, and runs it (unless
+  // its guard went stale, in which case the clock still advances).
   void RunNext(SimClock* clock) {
     std::pop_heap(events_.begin(), events_.end(), Later{});
     Event event = std::move(events_.back());
     events_.pop_back();
     clock->AdvanceTo(event.time);
-    event.fn();
+    if (event.guard == nullptr || *event.guard == event.expected) {
+      event.fn();
+    }
   }
 
  private:
   struct Event {
     SimTime time;
     uint64_t seq;  // FIFO tiebreak for simultaneous events
-    std::function<void()> fn;
+    const uint64_t* guard;  // nullptr = unconditional
+    uint64_t expected;
+    Closure fn;
   };
 
   // Heap comparator: "fires later" orders the max-heap primitives into a

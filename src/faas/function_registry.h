@@ -1,0 +1,97 @@
+// Dense interning of function identities.
+//
+// The platform's logical function key is the display string
+// "<workload>#<stage>". Building and hashing that string on every request is
+// the single hottest non-simulation cost in a replay, so the hot paths carry a
+// dense `FunctionId` instead and the maps keyed by it become flat vectors.
+// Strings survive only at the edges: CSV/table output, fault logs, and tests.
+//
+// Two intern paths share one id space:
+//   * `Intern(workload, stage)` — the per-request fast path. Keyed by the
+//     WorkloadSpec pointer + stage, so after the first request for a site no
+//     string is ever built or hashed again.
+//   * `InternKey(key)` — the slow path for callers that only have the display
+//     string. Distinct WorkloadSpec pointers that render to the same key
+//     unify here, preserving the original string-key semantics.
+#ifndef DESICCANT_SRC_FAAS_FUNCTION_REGISTRY_H_
+#define DESICCANT_SRC_FAAS_FUNCTION_REGISTRY_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+using FunctionId = uint32_t;
+inline constexpr FunctionId kInvalidFunctionId = static_cast<FunctionId>(-1);
+
+class FunctionRegistry {
+ public:
+  FunctionId Intern(const WorkloadSpec* workload, size_t stage) {
+    const SiteKey site{workload, stage};
+    const auto it = by_site_.find(site);
+    if (it != by_site_.end()) {
+      return it->second;
+    }
+    const FunctionId id = InternKey(workload->name + "#" + std::to_string(stage));
+    by_site_.emplace(site, id);
+    return id;
+  }
+
+  FunctionId InternKey(const std::string& key) {
+    const auto it = by_name_.find(key);
+    if (it != by_name_.end()) {
+      return it->second;
+    }
+    const FunctionId id = static_cast<FunctionId>(names_.size());
+    names_.push_back(key);
+    by_name_.emplace(key, id);
+    return id;
+  }
+
+  // Lookup without interning; kInvalidFunctionId when the key was never seen.
+  FunctionId Find(const std::string& key) const {
+    const auto it = by_name_.find(key);
+    return it == by_name_.end() ? kInvalidFunctionId : it->second;
+  }
+
+  const std::string& Name(FunctionId id) const {
+    assert(id < names_.size() && "FunctionRegistry::Name of an uninterned id");
+    return names_[id];
+  }
+
+  // Ids are dense: every id in [0, size()) is valid.
+  size_t size() const { return names_.size(); }
+
+ private:
+  struct SiteKey {
+    const WorkloadSpec* workload;
+    size_t stage;
+    bool operator==(const SiteKey&) const = default;
+  };
+  struct SiteHash {
+    size_t operator()(const SiteKey& key) const {
+      // splitmix64-style mix of the pointer and stage.
+      uint64_t x = reinterpret_cast<uintptr_t>(key.workload) + 0x9e3779b97f4a7c15ULL * (key.stage + 1);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<size_t>(x);
+    }
+  };
+
+  std::unordered_map<SiteKey, FunctionId, SiteHash> by_site_;
+  std::unordered_map<std::string, FunctionId> by_name_;
+  std::vector<std::string> names_;  // indexed by FunctionId
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_FUNCTION_REGISTRY_H_

@@ -93,6 +93,10 @@ class Instance {
   const WorkloadSpec* workload() const { return workload_; }
   size_t stage() const { return stage_; }
   std::string FunctionKey() const;
+  // Dense id of FunctionKey() in the owning platform's FunctionRegistry; set
+  // by the platform at creation/Bind (kInvalidFunctionId for unbound cells).
+  uint32_t function_id() const { return function_id_; }
+  void set_function_id(uint32_t id) { function_id_ = id; }
   InstanceState state() const { return state_; }
   void set_state(InstanceState s) { state_ = s; }
   SimTime frozen_since() const { return frozen_since_; }
@@ -113,6 +117,7 @@ class Instance {
   uint64_t id_;
   const WorkloadSpec* workload_;
   size_t stage_;
+  uint32_t function_id_ = static_cast<uint32_t>(-1);  // kInvalidFunctionId
   std::unique_ptr<SharedFileRegistry> private_registry_;  // Lambda mode only
   VirtualAddressSpace vas_;
   SimClock exec_clock_;

@@ -102,13 +102,24 @@ Platform::Platform(const PlatformConfig& config, SimContext* context)
   }
 }
 
-void Platform::ScheduleNode(SimTime time, std::function<void()> fn) {
-  const uint64_t epoch = epoch_;
-  context_->events.Schedule(time, [this, epoch, fn = std::move(fn)]() {
-    if (epoch == epoch_) {
-      fn();
-    }
-  });
+void Platform::ScheduleNode(SimTime time, EventQueue::Closure fn) {
+  // The epoch guard lives in the event itself (not a wrapper closure): a
+  // wrapper would nest the closure and push every node event past the inline
+  // capacity onto the heap. A stale event still advances the clock and ticks,
+  // exactly as the old no-op wrapper did.
+  context_->events.ScheduleGuarded(time, &epoch_, epoch_, std::move(fn));
+}
+
+std::vector<Instance*>& Platform::WarmPool(FunctionId function) {
+  if (warm_pool_.size() <= function) {
+    warm_pool_.resize(function + 1);
+  }
+  return warm_pool_[function];
+}
+
+const std::string& Platform::FunctionName(const Instance& instance) const {
+  static const std::string kStemcell = "stemcell";
+  return instance.bound() ? functions_.Name(instance.function_id()) : kStemcell;
 }
 
 void Platform::Submit(const WorkloadSpec* workload, SimTime arrival) {
@@ -193,8 +204,8 @@ std::vector<Instance*> Platform::FrozenInstances() const {
 }
 
 bool Platform::TryRun(const Request& request) {
-  const std::string key = request.workload->name + "#" + std::to_string(request.stage);
-  Instance* warm = FindWarmInstance(key);
+  const FunctionId function = functions_.Intern(request.workload, request.stage);
+  Instance* warm = FindWarmInstance(function);
   if (warm != nullptr) {
     if (cpu_in_use_ + config_.instance_cpu_share > config_.cpu_cores) {
       PreemptReclaims(cpu_in_use_ + config_.instance_cpu_share - config_.cpu_cores);
@@ -202,8 +213,7 @@ bool Platform::TryRun(const Request& request) {
         return false;
       }
     }
-    auto& pool = warm_pool_[key];
-    pool.pop_back();  // FindWarmInstance returned the most recently frozen
+    warm_pool_[function].pop_back();  // FindWarmInstance returned the most recently frozen
     // The instance leaves the frozen cache while it runs.
     memory_charged_ -= FrozenCharge(*warm);
     running_committed_ += config_.instance_memory_budget;
@@ -230,6 +240,7 @@ bool Platform::TryRun(const Request& request) {
         return false;
       }
       prewarmed->Bind(request.workload, request.stage, rng_.NextU64());
+      prewarmed->set_function_id(function);
       prewarmed->set_state(InstanceState::kRunning);
       AcquireCpu(config_.instance_cpu_share);
       if (InWindow()) {
@@ -258,6 +269,7 @@ bool Platform::TryRun(const Request& request) {
       id, request.workload, request.stage, config_.instance_memory_budget,
       config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
       config_.java_collector);
+  instance->set_function_id(function);
   const SimTime boot_wall = config_.snapstart_restore
                                 ? config_.snapstart_restore_cost
                                 : config_.container_create_cost + instance->BootCost();
@@ -293,7 +305,7 @@ bool Platform::TryRun(const Request& request) {
       if (InWindow()) {
         ++metrics_.boot_failures;
       }
-      RecordFault(FaultKind::kBootFailure, id, booted->FunctionKey());
+      RecordFault(FaultKind::kBootFailure, id, FunctionName(*booted));
       if (observer_ != nullptr) {
         observer_->OnInstanceDestroyed(booted);
       }
@@ -430,7 +442,7 @@ void Platform::FailRequest(const Request& request, ActivationRecord::Outcome out
     }
   }
   LogActivation(request, 0,
-                request.workload->name + "#" + std::to_string(request.stage), outcome);
+                functions_.Name(functions_.Intern(request.workload, request.stage)), outcome);
 }
 
 void Platform::RetryOrFail(Request request, bool dropped_on_exhaust) {
@@ -453,8 +465,7 @@ void Platform::RetryOrFail(Request request, bool dropped_on_exhaust) {
 
 void Platform::KillNonFrozen(Instance* instance, ActivationRecord::Outcome outcome) {
   const uint64_t id = instance->id();
-  const std::string key =
-      instance->bound() ? instance->FunctionKey() : std::string("stemcell");
+  const std::string key = FunctionName(*instance);
   running_committed_ -= config_.instance_memory_budget;
 
   const auto destroy = [this, id, instance]() {
@@ -479,7 +490,7 @@ void Platform::KillNonFrozen(Instance* instance, ActivationRecord::Outcome outco
   auto pb = prewarm_booting_.find(id);
   if (pb != prewarm_booting_.end()) {
     // Stem cell still booting: release the share, shrink the in-flight count.
-    --prewarm_inflight_[pb->second];
+    --prewarm_inflight_.at(pb->second);
     prewarm_booting_.erase(pb);
     ReleaseCpuNoPump(config_.boot_cpu_share);
     destroy();
@@ -514,7 +525,7 @@ void Platform::TimeoutKill(uint64_t instance_id) {
   if (InWindow()) {
     ++metrics_.invocation_timeouts;
   }
-  RecordFault(FaultKind::kInvocationTimeout, instance_id, victim->FunctionKey());
+  RecordFault(FaultKind::kInvocationTimeout, instance_id, FunctionName(*victim));
   KillNonFrozen(victim, ActivationRecord::Outcome::kTimedOut);
   PumpWaiting();
 }
@@ -553,7 +564,7 @@ void Platform::MaybeOomKill() {
         ++metrics_.oom_kills;
         ++metrics_.oom_kills_frozen;
       }
-      RecordFault(FaultKind::kOomKill, frozen->id(), frozen->FunctionKey(), freed);
+      RecordFault(FaultKind::kOomKill, frozen->id(), FunctionName(*frozen), freed);
       DestroyInstance(frozen, /*evicted=*/true);
       killed = true;
       continue;
@@ -574,8 +585,7 @@ void Platform::MaybeOomKill() {
       ++metrics_.oom_kills;
       ++metrics_.oom_kills_running;
     }
-    RecordFault(FaultKind::kOomKill, victim->id(),
-                victim->bound() ? victim->FunctionKey() : std::string("stemcell"),
+    RecordFault(FaultKind::kOomKill, victim->id(), FunctionName(*victim),
                 config_.instance_memory_budget);
     KillNonFrozen(victim, ActivationRecord::Outcome::kOomKilled);
     killed = true;
@@ -589,7 +599,7 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
   const ActivationRecord::Outcome outcome = request.retried
                                                 ? ActivationRecord::Outcome::kRetriedThenOk
                                                 : ActivationRecord::Outcome::kOk;
-  LogActivation(request, instance->id(), instance->FunctionKey(), outcome);
+  LogActivation(request, instance->id(), FunctionName(*instance), outcome);
   // Chain orchestration: fire the next stage (the response to the user only
   // happens after the last stage).
   if (request.stage + 1 < request.workload->chain_length()) {
@@ -670,7 +680,7 @@ void Platform::FreezeInstance(Instance* instance) {
     return;
   }
   memory_charged_ += charge;
-  warm_pool_[instance->FunctionKey()].push_back(instance);
+  WarmPool(instance->function_id()).push_back(instance);
   if (observer_ != nullptr) {
     observer_->OnInstanceFrozen(instance);
   }
@@ -702,7 +712,7 @@ void Platform::DestroyInstance(Instance* instance, bool evicted) {
     AbortReclaimsFor(instance->id());
   }
   memory_charged_ -= FrozenCharge(*instance);
-  auto& pool = warm_pool_[instance->FunctionKey()];
+  auto& pool = WarmPool(instance->function_id());
   pool.erase(std::remove(pool.begin(), pool.end(), instance), pool.end());
   provisioned_.erase(instance->id());
   if (observer_ != nullptr) {
@@ -714,12 +724,11 @@ void Platform::DestroyInstance(Instance* instance, bool evicted) {
   instances_.erase(instance->id());
 }
 
-Instance* Platform::FindWarmInstance(const std::string& key) {
-  auto it = warm_pool_.find(key);
-  if (it == warm_pool_.end() || it->second.empty()) {
+Instance* Platform::FindWarmInstance(FunctionId function) {
+  if (function >= warm_pool_.size() || warm_pool_[function].empty()) {
     return nullptr;
   }
-  return it->second.back();
+  return warm_pool_[function].back();
 }
 
 Instance* Platform::OldestFrozen(const Instance* exclude) const {
@@ -799,7 +808,7 @@ bool Platform::TryStartReclaim(Instance* instance, const ReclaimOptions& options
     if (InWindow()) {
       metrics_.reclaim_cpu_core_s += ToSeconds(result.cpu_time);
     }
-    RecordFault(FaultKind::kReclaimAbort, instance->id(), instance->FunctionKey());
+    RecordFault(FaultKind::kReclaimAbort, instance->id(), FunctionName(*instance));
   } else {
     const uint64_t charge_before = FrozenCharge(*instance);
     result = instance->Reclaim(options, unmap_idle_libraries);
@@ -815,7 +824,7 @@ bool Platform::TryStartReclaim(Instance* instance, const ReclaimOptions& options
   const uint64_t reclaim_id = next_reclaim_id_++;
   ActiveReclaim reclaim;
   reclaim.instance_id = instance->id();
-  reclaim.function_key = instance->FunctionKey();
+  reclaim.function = instance->function_id();
   reclaim.result = result;
   reclaim.share = share;
   reclaim.remaining_cpu = result.cpu_time;
@@ -852,11 +861,11 @@ void Platform::FinishReclaim(uint64_t reclaim_id) {
   if (done != nullptr) {
     done->set_reclaim_in_progress(false);
   }
-  DeliverReclaimDone(reclaim.function_key, done, reclaim.result);
+  DeliverReclaimDone(reclaim.function, done, reclaim.result);
   PumpWaiting();
 }
 
-void Platform::DeliverReclaimDone(const std::string& function_key, Instance* instance,
+void Platform::DeliverReclaimDone(FunctionId function, Instance* instance,
                                   ReclaimResult result) {
   if (instance == nullptr) {
     // Destroyed while the reclaim was in flight: whatever the reclaim did is
@@ -869,7 +878,7 @@ void Platform::DeliverReclaimDone(const std::string& function_key, Instance* ins
     ++metrics_.reclaim_aborts;
   }
   if (observer_ != nullptr) {
-    observer_->OnReclaimDone(function_key, instance, result);
+    observer_->OnReclaimDone(function, instance, result);
   }
 }
 
@@ -885,7 +894,7 @@ void Platform::AbortReclaimsFor(uint64_t instance_id) {
     ReclaimResult result = reclaim.result;
     result.aborted = true;
     result.released_pages = 0;
-    DeliverReclaimDone(reclaim.function_key, nullptr, result);
+    DeliverReclaimDone(reclaim.function, nullptr, result);
   }
 }
 
@@ -931,13 +940,13 @@ std::vector<Platform::Request> Platform::CrashNode() {
   std::vector<Request> lost;
   lost.reserve(booting_.size() + inflight_.size() + waiting_.size());
   for (auto& [id, request] : booting_) {
-    LogActivation(request, id, request.workload->name + "#" + std::to_string(request.stage),
+    LogActivation(request, id, functions_.Name(functions_.Intern(request.workload, request.stage)),
                   ActivationRecord::Outcome::kNodeLost);
     request.retried = true;
     lost.push_back(std::move(request));
   }
   for (auto& [id, request] : inflight_) {
-    LogActivation(request, id, request.workload->name + "#" + std::to_string(request.stage),
+    LogActivation(request, id, functions_.Name(functions_.Intern(request.workload, request.stage)),
                   ActivationRecord::Outcome::kNodeLost);
     request.retried = true;
     lost.push_back(std::move(request));
@@ -964,7 +973,7 @@ std::vector<Platform::Request> Platform::CrashNode() {
     ReclaimResult result = reclaim.result;
     result.aborted = true;
     result.released_pages = 0;
-    DeliverReclaimDone(reclaim.function_key, nullptr, result);
+    DeliverReclaimDone(reclaim.function, nullptr, result);
   }
   active_reclaims_.clear();
 
@@ -982,8 +991,10 @@ std::vector<Platform::Request> Platform::CrashNode() {
   }
   instances_.clear();
   warm_pool_.clear();
-  prewarm_ready_.clear();
-  prewarm_inflight_.clear();
+  for (auto& ready : prewarm_ready_) {
+    ready.clear();
+  }
+  prewarm_inflight_.fill(0);
   prewarm_booting_.clear();
   provisioned_.clear();
   waiting_.clear();
@@ -1051,6 +1062,7 @@ void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count
         id, workload, /*stage=*/0, config_.instance_memory_budget,
         config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
         config_.java_collector);
+    instance->set_function_id(functions_.Intern(workload, /*stage=*/0));
     const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
     instances_.emplace(id, std::move(instance));
     running_committed_ += config_.instance_memory_budget;
@@ -1067,12 +1079,12 @@ void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count
   MaybeOomKill();
 }
 
-void Platform::ScheduleCallback(SimTime time, std::function<void()> fn) {
+void Platform::ScheduleCallback(SimTime time, EventQueue::Closure fn) {
   context_->events.Schedule(time, std::move(fn));
 }
 
 Instance* Platform::TakePrewarmed(Language language) {
-  auto& ready = prewarm_ready_[static_cast<uint8_t>(language)];
+  auto& ready = prewarm_ready_.at(static_cast<uint8_t>(language));
   while (!ready.empty()) {
     const uint64_t id = ready.back();
     ready.pop_back();
@@ -1086,7 +1098,8 @@ Instance* Platform::TakePrewarmed(Language language) {
 
 void Platform::MaintainPrewarmPool(Language language) {
   const auto key = static_cast<uint8_t>(language);
-  while (prewarm_ready_[key].size() + prewarm_inflight_[key] < config_.prewarm_per_language) {
+  while (prewarm_ready_.at(key).size() + prewarm_inflight_.at(key) <
+         config_.prewarm_per_language) {
     if (cpu_in_use_ + config_.boot_cpu_share > config_.cpu_cores) {
       // No CPU right now: try again shortly.
       const Language lang = language;

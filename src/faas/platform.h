@@ -19,6 +19,7 @@
 #ifndef DESICCANT_SRC_FAAS_PLATFORM_H_
 #define DESICCANT_SRC_FAAS_PLATFORM_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -31,6 +32,7 @@
 #include "src/base/stats.h"
 #include "src/faas/event_queue.h"
 #include "src/faas/fault_injector.h"
+#include "src/faas/function_registry.h"
 #include "src/faas/instance.h"
 
 namespace desiccant {
@@ -122,9 +124,10 @@ class PlatformObserver {
   virtual void OnInstanceEvicted(Instance* instance) { (void)instance; }
   virtual void OnInstanceDestroyed(Instance* instance) { (void)instance; }
   // `instance` is null if it was destroyed while the reclaim was in flight.
-  virtual void OnReclaimDone(const std::string& function_key, Instance* instance,
+  // `function` resolves to the display key via Platform::functions().Name().
+  virtual void OnReclaimDone(FunctionId function, Instance* instance,
                              const ReclaimResult& result) {
-    (void)function_key;
+    (void)function;
     (void)instance;
     (void)result;
   }
@@ -272,7 +275,12 @@ class Platform {
   bool TryStartReclaim(Instance* instance, const ReclaimOptions& options,
                        bool unmap_idle_libraries);
   // Lets policy modules schedule their own wake-ups.
-  void ScheduleCallback(SimTime time, std::function<void()> fn);
+  void ScheduleCallback(SimTime time, EventQueue::Closure fn);
+
+  // The dense id <-> display-key mapping for every function this platform has
+  // seen (shared with observers, selection, and tests).
+  FunctionRegistry& functions() { return functions_; }
+  const FunctionRegistry& functions() const { return functions_; }
 
   size_t active_reclaim_count() const { return active_reclaims_.size(); }
 
@@ -317,7 +325,11 @@ class Platform {
   void OnStageComplete(Instance* instance, const Request& request);
   void FreezeInstance(Instance* instance);
   void DestroyInstance(Instance* instance, bool evicted);
-  Instance* FindWarmInstance(const std::string& key);
+  Instance* FindWarmInstance(FunctionId function);
+  // The frozen pool for `function`, growing the flat table on first use.
+  std::vector<Instance*>& WarmPool(FunctionId function);
+  // Display key for fault/activation logs ("stemcell" for unbound cells).
+  const std::string& FunctionName(const Instance& instance) const;
   Instance* OldestFrozen(const Instance* exclude) const;
   // Evicts frozen instances (LRU) until `delta` more bytes fit in the cache.
   bool EnsureMemory(uint64_t delta, const Instance* exclude);
@@ -337,7 +349,7 @@ class Platform {
   // ----- failure semantics internals -----
   // Node-scoped scheduling: the event is dropped if the node crashed (epoch
   // bumped) between scheduling and firing.
-  void ScheduleNode(SimTime time, std::function<void()> fn);
+  void ScheduleNode(SimTime time, EventQueue::Closure fn);
   // Records the fault, notifies the observer, appends to the bounded log.
   void RecordFault(FaultKind kind, uint64_t instance_id, std::string function_key,
                    uint64_t detail = 0);
@@ -356,8 +368,7 @@ class Platform {
   // only): releases the CPU lease and delivers an aborted OnReclaimDone.
   void AbortReclaimsFor(uint64_t instance_id);
   // Single delivery point for OnReclaimDone; flags aborts and counts them.
-  void DeliverReclaimDone(const std::string& function_key, Instance* instance,
-                          ReclaimResult result);
+  void DeliverReclaimDone(FunctionId function, Instance* instance, ReclaimResult result);
   // §4.5.2: reclamation only ever uses idle CPU — when new work needs CPU,
   // in-flight reclamations give up slices (down to a small floor) and their
   // completion stretches out accordingly. Returns the CPU freed.
@@ -374,6 +385,7 @@ class Platform {
   std::unique_ptr<SimContext> owned_context_;
   SimContext* context_;
   SharedFileRegistry registry_;
+  FunctionRegistry functions_;
   PlatformObserver* observer_ = nullptr;
   Rng rng_;
   FaultInjector injector_;
@@ -396,7 +408,7 @@ class Platform {
   // CPU time it cost, at a share that shrinks when mutators need the cores.
   struct ActiveReclaim {
     uint64_t instance_id = 0;
-    std::string function_key;
+    FunctionId function = kInvalidFunctionId;
     ReclaimResult result;
     double share = 0.0;
     SimTime remaining_cpu = 0;
@@ -414,11 +426,13 @@ class Platform {
   static constexpr size_t kActivationLogCapacity = 1024;
   void LogActivation(const Request& request, uint64_t instance_id,
                      const std::string& function_key, ActivationRecord::Outcome outcome);
-  // Frozen instances per function key, most recently frozen last.
-  std::unordered_map<std::string, std::vector<Instance*>> warm_pool_;
+  // Frozen instances per function, most recently frozen last. Indexed by
+  // FunctionId (dense), so the per-request lookup never hashes a string.
+  std::vector<std::vector<Instance*>> warm_pool_;
   // Booted-but-unbound stem cells per language, plus in-flight boots.
-  std::unordered_map<uint8_t, std::vector<uint64_t>> prewarm_ready_;
-  std::unordered_map<uint8_t, uint32_t> prewarm_inflight_;
+  static constexpr size_t kLanguageCount = 3;  // kJava, kJavaScript, kPython
+  std::array<std::vector<uint64_t>, kLanguageCount> prewarm_ready_;
+  std::array<uint32_t, kLanguageCount> prewarm_inflight_{};
   // Stem-cell boots in flight (id -> language key): these hold a boot CPU
   // share, which the kill paths must release if the boot dies.
   std::unordered_map<uint64_t, uint8_t> prewarm_booting_;

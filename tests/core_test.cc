@@ -55,54 +55,77 @@ TEST(ActivationTest, ZeroCapacityNeverActivates) {
 // ProfileStore (§4.5.2)
 
 TEST(ProfileStoreTest, EmptyHasNoEstimate) {
+  FunctionRegistry functions;
   ProfileStore store;
-  const ProfileEstimate e = store.EstimateFor(1, "fft#0");
+  const ProfileEstimate e = store.EstimateFor(1, functions.InternKey("fft#0"));
   EXPECT_FALSE(e.has_any);
 }
 
 TEST(ProfileStoreTest, InstanceProfilePreferred) {
+  FunctionRegistry functions;
   ProfileStore store;
-  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
-  store.Record(2, "fft#0", 20 * kMiB, 2 * kMillisecond, 40 * kMiB);
-  const ProfileEstimate e = store.EstimateFor(1, "fft#0");
+  const FunctionId fft = functions.InternKey("fft#0");
+  store.Record(1, fft, 10 * kMiB, kMillisecond, 40 * kMiB);
+  store.Record(2, fft, 20 * kMiB, 2 * kMillisecond, 40 * kMiB);
+  const ProfileEstimate e = store.EstimateFor(1, fft);
   ASSERT_TRUE(e.has_breakdown);
   EXPECT_DOUBLE_EQ(e.live_bytes, static_cast<double>(10 * kMiB));
 }
 
 TEST(ProfileStoreTest, SameFunctionFallback) {
+  FunctionRegistry functions;
   ProfileStore store;
-  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  const FunctionId fft = functions.InternKey("fft#0");
+  store.Record(1, fft, 10 * kMiB, kMillisecond, 40 * kMiB);
   // Instance 99 is fresh; same function type bootstraps the estimate (§4.5.2).
-  const ProfileEstimate e = store.EstimateFor(99, "fft#0");
+  const ProfileEstimate e = store.EstimateFor(99, fft);
   ASSERT_TRUE(e.has_breakdown);
   EXPECT_DOUBLE_EQ(e.live_bytes, static_cast<double>(10 * kMiB));
 }
 
 TEST(ProfileStoreTest, GlobalThroughputFallback) {
+  FunctionRegistry functions;
   ProfileStore store;
-  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
-  const ProfileEstimate e = store.EstimateFor(99, "sort#0");
+  store.Record(1, functions.InternKey("fft#0"), 10 * kMiB, kMillisecond, 40 * kMiB);
+  const ProfileEstimate e = store.EstimateFor(99, functions.InternKey("sort#0"));
   ASSERT_TRUE(e.has_any);
   EXPECT_FALSE(e.has_breakdown);
   EXPECT_NEAR(e.global_throughput,
               static_cast<double>(40 * kMiB) / static_cast<double>(kMillisecond), 1e-9);
 }
 
-TEST(ProfileStoreTest, ForgetInstanceDropsProfile) {
+TEST(ProfileStoreTest, UninternedFunctionFallsToGlobal) {
+  FunctionRegistry functions;
   ProfileStore store;
-  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
+  store.Record(1, functions.InternKey("fft#0"), 10 * kMiB, kMillisecond, 40 * kMiB);
+  // kInvalidFunctionId (an unbound stem cell) must not crash or match.
+  const ProfileEstimate e = store.EstimateFor(99, kInvalidFunctionId);
+  ASSERT_TRUE(e.has_any);
+  EXPECT_FALSE(e.has_breakdown);
+}
+
+TEST(ProfileStoreTest, ForgetInstanceDropsProfile) {
+  FunctionRegistry functions;
+  ProfileStore store;
+  const FunctionId fft = functions.InternKey("fft#0");
+  store.Record(1, fft, 10 * kMiB, kMillisecond, 40 * kMiB);
   store.ForgetInstance(1);
   EXPECT_EQ(store.instance_profile_count(), 0u);
   // Function-level knowledge survives.
-  EXPECT_TRUE(store.EstimateFor(2, "fft#0").has_breakdown);
+  EXPECT_TRUE(store.EstimateFor(2, fft).has_breakdown);
 }
 
 TEST(ProfileStoreTest, SummarizeListsFunctions) {
+  FunctionRegistry functions;
   ProfileStore store;
-  store.Record(1, "fft#0", 10 * kMiB, kMillisecond, 40 * kMiB);
-  store.Record(2, "sort#0", 2 * kMiB, kMillisecond, 8 * kMiB);
-  store.Record(3, "fft#0", 12 * kMiB, kMillisecond, 42 * kMiB);
-  const auto summaries = store.Summarize();
+  // Interned in reverse of name order: Summarize must sort by display key,
+  // not by id.
+  const FunctionId sort_fn = functions.InternKey("sort#0");
+  const FunctionId fft = functions.InternKey("fft#0");
+  store.Record(1, fft, 10 * kMiB, kMillisecond, 40 * kMiB);
+  store.Record(2, sort_fn, 2 * kMiB, kMillisecond, 8 * kMiB);
+  store.Record(3, fft, 12 * kMiB, kMillisecond, 42 * kMiB);
+  const auto summaries = store.Summarize(functions);
   ASSERT_EQ(summaries.size(), 2u);
   EXPECT_EQ(summaries[0].function_key, "fft#0");
   EXPECT_EQ(summaries[0].samples, 2u);
@@ -111,10 +134,12 @@ TEST(ProfileStoreTest, SummarizeListsFunctions) {
 }
 
 TEST(ProfileStoreTest, EwmaSmoothsSamples) {
+  FunctionRegistry functions;
   ProfileStore store;
-  store.Record(1, "f#0", 10 * kMiB, kMillisecond, kMiB);
-  store.Record(1, "f#0", 20 * kMiB, kMillisecond, kMiB);
-  const ProfileEstimate e = store.EstimateFor(1, "f#0");
+  const FunctionId f = functions.InternKey("f#0");
+  store.Record(1, f, 10 * kMiB, kMillisecond, kMiB);
+  store.Record(1, f, 20 * kMiB, kMillisecond, kMiB);
+  const ProfileEstimate e = store.EstimateFor(1, f);
   EXPECT_GT(e.live_bytes, static_cast<double>(10 * kMiB));
   EXPECT_LT(e.live_bytes, static_cast<double>(20 * kMiB));
 }
@@ -128,6 +153,7 @@ class SelectionTest : public ::testing::Test {
     const WorkloadSpec* w = FindWorkload(name);
     const uint64_t id = next_id_++;
     auto instance = std::make_unique<Instance>(id, w, 0, 256 * kMiB, &registry_, id);
+    instance->set_function_id(functions_.Intern(w, 0));
     for (int i = 0; i < invocations; ++i) {
       instance->Execute();
     }
@@ -145,6 +171,7 @@ class SelectionTest : public ::testing::Test {
   }
 
   SharedFileRegistry registry_;
+  FunctionRegistry functions_;
   std::vector<std::unique_ptr<Instance>> instances_;
   ProfileStore profiles_;
   uint64_t next_id_ = 1;
@@ -189,7 +216,7 @@ TEST_F(SelectionTest, UnknownFunctionUsesGlobalAverageThroughput) {
   SelectionPolicy policy(SelectionConfig{});
   Instance* known = MakeFrozen("sort", 0);
   Instance* unknown = MakeFrozen("fft", 0);
-  profiles_.Record(known->id(), known->FunctionKey(), 1 * kMiB, kMillisecond, 10 * kMiB);
+  profiles_.Record(known->id(), known->function_id(), 1 * kMiB, kMillisecond, 10 * kMiB);
   // The fresh function falls back to the average throughput of all
   // precalculated instances (§4.5.2).
   const double expected_global =
@@ -202,8 +229,8 @@ TEST_F(SelectionTest, RanksByEstimatedThroughput) {
   Instance* cheap = MakeFrozen("time", 0);   // tiny heap, little to reclaim
   Instance* rich = MakeFrozen("fft", 0);     // inflated young generation
   // Equal CPU estimates; the richer heap wins.
-  profiles_.Record(cheap->id(), cheap->FunctionKey(), 512 * kKiB, kMillisecond, kMiB);
-  profiles_.Record(rich->id(), rich->FunctionKey(), 2 * kMiB, kMillisecond, 30 * kMiB);
+  profiles_.Record(cheap->id(), cheap->function_id(), 512 * kKiB, kMillisecond, kMiB);
+  profiles_.Record(rich->id(), rich->function_id(), 2 * kMiB, kMillisecond, 30 * kMiB);
   const auto selected = policy.Select(All(), profiles_, 100 * kSecond);
   ASSERT_EQ(selected.size(), 2u);
   EXPECT_EQ(selected[0], rich);

@@ -1,6 +1,8 @@
 // Tests for the discrete-event queue.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "src/faas/event_queue.h"
@@ -148,6 +150,118 @@ TEST(EventQueueTest, ClockNeverGoesBackwards) {
   queue.Schedule(2 * kSecond, [] {});
   queue.RunNext(&clock);
   EXPECT_EQ(clock.Now(), 2 * kSecond);
+}
+
+TEST(EventQueueDeathTest, NextTimeOnEmptyAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue queue;
+        (void)queue.next_time();
+      },
+      "empty");
+}
+
+TEST(EventQueueTest, GuardedEventRunsWhileGuardMatches) {
+  EventQueue queue;
+  SimClock clock;
+  uint64_t epoch = 7;
+  int fired = 0;
+  queue.ScheduleGuarded(kSecond, &epoch, 7, [&fired] { ++fired; });
+  queue.RunNext(&clock);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, StaleGuardedEventStillAdvancesClock) {
+  EventQueue queue;
+  SimClock clock;
+  uint64_t epoch = 7;
+  int fired = 0;
+  queue.ScheduleGuarded(kSecond, &epoch, 7, [&fired] { ++fired; });
+  queue.ScheduleGuarded(2 * kSecond, &epoch, 7, [&fired] { ++fired; });
+  epoch = 8;  // e.g. the node crashed: everything scheduled before is stale
+  while (!queue.empty()) {
+    queue.RunNext(&clock);
+  }
+  // The bodies were skipped, but both events occupied their slot in virtual
+  // time — the clock reached them exactly as before the node died.
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(clock.Now(), 2 * kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// InlineClosure (the queue's closure representation)
+
+TEST(InlineClosureTest, SmallCaptureStaysInline) {
+  int x = 0;
+  EventQueue::Closure closure([&x] { x = 42; });
+  EXPECT_TRUE(closure.is_inline());
+  closure();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(InlineClosureTest, LargeCaptureFallsBackToHeap) {
+  std::array<char, EventQueue::Closure::kInlineCapacity + 1> big{};
+  big[0] = 'a';
+  int seen = 0;
+  EventQueue::Closure closure([big, &seen] { seen = big[0]; });
+  EXPECT_FALSE(closure.is_inline());
+  closure();
+  EXPECT_EQ(seen, 'a');
+}
+
+TEST(InlineClosureTest, MoveOnlyCapture) {
+  auto payload = std::make_unique<int>(99);
+  int seen = 0;
+  EventQueue::Closure closure([p = std::move(payload), &seen] { seen = *p; });
+  EventQueue::Closure moved = std::move(closure);
+  EXPECT_FALSE(static_cast<bool>(closure));
+  moved();
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(InlineClosureTest, MoveOnlyCaptureThroughQueue) {
+  EventQueue queue;
+  SimClock clock;
+  int seen = 0;
+  auto payload = std::make_unique<int>(7);
+  queue.Schedule(kSecond, [p = std::move(payload), &seen] { seen = *p; });
+  queue.RunNext(&clock);
+  EXPECT_EQ(seen, 7);
+}
+
+struct DtorCounter {
+  explicit DtorCounter(int* counter) : destroyed(counter) {}
+  DtorCounter(DtorCounter&& other) noexcept : destroyed(other.destroyed) {
+    other.destroyed = nullptr;
+  }
+  DtorCounter(const DtorCounter&) = delete;
+  ~DtorCounter() {
+    if (destroyed != nullptr) {
+      ++*destroyed;
+    }
+  }
+  int* destroyed;
+};
+
+TEST(InlineClosureTest, DestroysCaptureExactlyOnce) {
+  int destroyed = 0;
+  {
+    EventQueue::Closure closure([c = DtorCounter(&destroyed)] { (void)c; });
+    EventQueue::Closure moved = std::move(closure);
+    EventQueue::Closure assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(destroyed, 0);  // moves relocate, they don't destroy the payload
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineClosureTest, MoveAssignmentReleasesPreviousPayload) {
+  int first_destroyed = 0;
+  int second_destroyed = 0;
+  EventQueue::Closure closure([c = DtorCounter(&first_destroyed)] { (void)c; });
+  closure = EventQueue::Closure([c = DtorCounter(&second_destroyed)] { (void)c; });
+  EXPECT_EQ(first_destroyed, 1);
+  EXPECT_EQ(second_destroyed, 0);
 }
 
 }  // namespace

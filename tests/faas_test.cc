@@ -319,13 +319,13 @@ TEST(PlatformTest, TryStartReclaimOnFrozenInstance) {
 
 TEST(PlatformTest, ReclaimObserverGetsProfile) {
   struct Recorder : PlatformObserver {
-    void OnReclaimDone(const std::string& key, Instance* instance,
+    void OnReclaimDone(FunctionId function, Instance* instance,
                        const ReclaimResult& result) override {
-      keys.push_back(key);
+      functions.push_back(function);
       last = result;
       (void)instance;
     }
-    std::vector<std::string> keys;
+    std::vector<FunctionId> functions;
     ReclaimResult last;
   } recorder;
   Platform platform(SmallPlatform(MemoryMode::kDesiccant));
@@ -336,8 +336,8 @@ TEST(PlatformTest, ReclaimObserverGetsProfile) {
   ASSERT_FALSE(frozen.empty());
   platform.TryStartReclaim(frozen[0], {}, true);
   platform.Run();
-  ASSERT_EQ(recorder.keys.size(), 1u);
-  EXPECT_EQ(recorder.keys[0], "fft#0");
+  ASSERT_EQ(recorder.functions.size(), 1u);
+  EXPECT_EQ(platform.functions().Name(recorder.functions[0]), "fft#0");
   EXPECT_GT(recorder.last.cpu_time, 0u);
 }
 

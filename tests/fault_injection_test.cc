@@ -394,9 +394,9 @@ TEST(FaultSemanticsTest, ClusterFailsOverAcrossCrashes) {
 // Observer recording every OnReclaimDone delivery.
 class RecordingObserver : public PlatformObserver {
  public:
-  void OnReclaimDone(const std::string& function_key, Instance* instance,
+  void OnReclaimDone(FunctionId function, Instance* instance,
                      const ReclaimResult& result) override {
-    (void)function_key;
+    (void)function;
     ++done_count_;
     if (instance == nullptr) {
       ++null_instance_count_;
@@ -478,7 +478,8 @@ TEST(FaultSemanticsTest, ManagerReleasesBookkeepingWhenReclaimTargetDies) {
   // The destroyed instance's profile was forgotten with it.
   EXPECT_EQ(manager.profiles().instance_profile_count(), 0u);
   EXPECT_EQ(
-      manager.profiles().EstimateFor(frozen_id, "sort#0").has_breakdown, false);
+      manager.profiles().EstimateFor(frozen_id, platform.functions().Find("sort#0")).has_breakdown,
+      false);
 }
 
 TEST(FaultSemanticsTest, InjectedReclaimAbortsBurnCpuButReleaseNothing) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the heap inner-loop microbenchmark and writes BENCH_heap.json so the
+# perf trajectory of the GC/mutator hot paths is tracked PR over PR.
+#
+# Usage: scripts/bench_heap.sh [output.json]
+#   BUILD_DIR=build  cmake build directory (configured if missing)
+#   FILTER=...       --benchmark_filter regex (default: everything except the
+#                    slow whole-replay fig09 cell, which takes ~80s of
+#                    simulated time per repetition)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_heap.json}"
+FILTER="${FILTER:--BM_Fig09CellSmall}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target micro_heap
+
+"$BUILD_DIR/bench/micro_heap" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "wrote $OUT"

@@ -27,6 +27,11 @@ class SplitMix64 {
 };
 
 // Xoshiro256**: the workhorse generator.
+//
+// Outputs are produced in blocks of kBatch raw draws and handed out from a
+// buffer in generation order, so the visible stream is bit-identical to
+// advancing the state one draw at a time — callers that interleave NextU64
+// with the double/sampling helpers still see the exact same sequence.
 class Rng {
  public:
   explicit Rng(uint64_t seed);
@@ -39,7 +44,12 @@ class Rng {
     return mix.Next();
   }
 
-  uint64_t NextU64();
+  uint64_t NextU64() {
+    if (cursor_ == kBatch) {
+      Refill();
+    }
+    return batch_[cursor_++];
+  }
 
   // Uniform in [0, 1).
   double NextDouble();
@@ -63,7 +73,14 @@ class Rng {
   bool Chance(double p);
 
  private:
+  static constexpr int kBatch = 16;
+
+  // Advances the state kBatch times, storing the raw outputs in order.
+  void Refill();
+
   uint64_t s_[4];
+  uint64_t batch_[kBatch];
+  int cursor_ = kBatch;  // Empty buffer: first NextU64 triggers a Refill.
   bool have_spare_normal_ = false;
   double spare_normal_ = 0.0;
 };

@@ -51,6 +51,43 @@ SimObject* CPythonRuntime::AllocateObject(uint32_t size) {
   return obj;
 }
 
+bool CPythonRuntime::AllocateCluster(const uint32_t* sizes, size_t count,
+                                     SimObject** out) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += sizes[i];
+  }
+  // The collector check runs *before* every allocation, so the last object's
+  // own check never sees its size. The batch is exact only if no prefix of
+  // the span reaches the threshold (otherwise a mid-cluster Collect would
+  // have run; fall back to the per-object path, which runs it).
+  if (allocated_since_gc_ + total - sizes[count - 1] >= config_.gc_threshold_bytes) {
+    return false;
+  }
+  // Arena placement (first-fit free lists) is kept per object — only the
+  // stats, the threshold counter and the fault charge are batched, all of
+  // which are sums.
+  TouchResult faults;
+  for (size_t i = 0; i < count; ++i) {
+    SimObject* obj = pool_.New(sizes[i]);
+    if (sizes[i] > kMaxRegularObjectSize) {
+      obj->space = 1;
+      los_->Allocate(obj, &faults);
+    } else {
+      obj->space = 0;
+      arenas_->Allocate(obj, &faults);
+    }
+    out[i] = obj;
+  }
+  NoteAllocations(total, count);
+  allocated_since_gc_ += total;
+  ChargeFaults(faults);
+  if (arenas_->CommittedBytes() + los_->CommittedBytes() > config_.max_heap_bytes) {
+    OutOfMemory("arena allocation");
+  }
+  return true;
+}
+
 SimTime CPythonRuntime::Collect(bool aggressive) {
   if (aggressive) {
     bool had_weak = false;
@@ -61,16 +98,13 @@ SimTime CPythonRuntime::Collect(bool aggressive) {
     }
   }
 
-  std::vector<SimObject*> marked;
-  const MarkStats stats =
-      aggressive ? marker_.MarkFrom({&strong_roots_}, &marked)
-                 : marker_.MarkFrom({&strong_roots_, &weak_roots_}, &marked);
+  const uint32_t epoch = BeginMarkEpoch();
+  const MarkStats stats = aggressive
+                              ? marker_.MarkFrom({&strong_roots_}, epoch)
+                              : marker_.MarkFrom({&strong_roots_, &weak_roots_}, epoch);
 
-  const auto arena_sweep = arenas_->Sweep(&pool_);
-  const auto los_sweep = los_->Sweep(&pool_);
-  for (SimObject* obj : marked) {
-    obj->marked = false;
-  }
+  const auto arena_sweep = arenas_->Sweep(&pool_, epoch);
+  const auto los_sweep = los_->Sweep(&pool_, epoch);
 
   // Vanilla CPython's only give-back: arenas that became completely empty.
   arenas_->ReleaseEmptyChunks();

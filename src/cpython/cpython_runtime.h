@@ -49,6 +49,7 @@ class CPythonRuntime final : public ManagedRuntime {
                  SharedFileRegistry* registry);
 
   SimObject* AllocateObject(uint32_t size) override;
+  bool AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) override;
   SimTime CollectGarbage(bool aggressive) override;
   ReclaimResult Reclaim(const ReclaimOptions& options) override;
   HeapStats GetHeapStats() const override;
@@ -69,7 +70,6 @@ class CPythonRuntime final : public ManagedRuntime {
 
   CPythonConfig config_;
   GcCostModel gc_costs_;
-  Marker marker_;
 
   RegionId overhead_region_ = kInvalidRegionId;
   RegionId image_region_ = kInvalidRegionId;

@@ -68,7 +68,7 @@ Instance::Instance(uint64_t id, const WorkloadSpec* workload, size_t stage,
 }
 
 Instance::Instance(uint64_t id, Language language, uint64_t memory_budget,
-                   SharedFileRegistry* registry, uint64_t seed, JavaCollector collector)
+                   SharedFileRegistry* registry, JavaCollector collector)
     : id_(id),
       workload_(nullptr),
       stage_(0),
@@ -83,7 +83,6 @@ Instance::Instance(uint64_t id, Language language, uint64_t memory_budget,
   } else {
     runtime_ = CreateRuntime(language, memory_budget, &vas_, &exec_clock_, effective);
   }
-  (void)seed;
   RefreshUss();
 }
 

@@ -41,9 +41,9 @@ class Instance {
            JavaCollector collector = JavaCollector::kSerial);
 
   // A prewarmed "stem cell": the runtime is booted but no function is bound
-  // yet. Bind() assigns one before the first Execute().
+  // yet. Bind() assigns one (and the program seed) before the first Execute().
   Instance(uint64_t id, Language language, uint64_t memory_budget,
-           SharedFileRegistry* registry, uint64_t seed,
+           SharedFileRegistry* registry,
            JavaCollector collector = JavaCollector::kSerial);
   void Bind(const WorkloadSpec* workload, size_t stage, uint64_t seed);
   bool bound() const { return workload_ != nullptr; }

@@ -1110,9 +1110,13 @@ void Platform::MaintainPrewarmPool(Language language) {
     AcquireCpu(config_.boot_cpu_share);
     ++prewarm_inflight_[key];
     const uint64_t id = next_instance_id_++;
+    // The stem-cell ctor never used its seed, but every boot historically
+    // consumed one draw; keep the draw so the platform RNG stream position
+    // (and with it every downstream table) stays byte-identical.
+    (void)rng_.NextU64();
     auto instance = std::make_unique<Instance>(
         id, language, config_.instance_memory_budget,
-        config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
+        config_.share_runtime_images ? &registry_ : nullptr,
         config_.java_collector);
     const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
     instances_.emplace(id, std::move(instance));

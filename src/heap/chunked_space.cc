@@ -37,6 +37,17 @@ bool Chunk::BumpAllocate(SimObject* obj, TouchResult* faults) {
   return true;
 }
 
+void Chunk::BumpAllocateSpan(SimObject* const* objs, size_t count, uint64_t total,
+                             TouchResult* faults) {
+  assert(bump_ + total <= kChunkSize);
+  AccumulateTouch(faults, vas_->Touch(region_, bump_, total, /*write=*/true));
+  for (size_t i = 0; i < count; ++i) {
+    objs[i]->address = bump_;
+    bump_ += objs[i]->size;
+    objects_.push_back(objs[i]);
+  }
+}
+
 bool Chunk::FreeListAllocate(SimObject* obj, TouchResult* faults) {
   for (size_t i = 0; i < free_ranges_.size(); ++i) {
     FreeRange& range = free_ranges_[i];
@@ -152,6 +163,25 @@ bool Semispace::Allocate(SimObject* obj, TouchResult* faults) {
   }
 }
 
+bool Semispace::CanAllocateSpan(uint64_t total) {
+  if (cursor_ >= capacity_ / kChunkSize) {
+    return false;
+  }
+  if (cursor_ >= chunks_.size()) {
+    EnsureChunk();
+  }
+  return chunks_[cursor_]->bump() + total <= kChunkSize;
+}
+
+void Semispace::AllocateSpan(SimObject* const* objs, size_t count, uint64_t total,
+                             TouchResult* faults) {
+  assert(cursor_ < chunks_.size());
+  chunks_[cursor_]->BumpAllocateSpan(objs, count, total, faults);
+  for (size_t i = 0; i < count; ++i) {
+    objs[i]->owner = static_cast<uint32_t>(cursor_);
+  }
+}
+
 bool Semispace::CanAllocate(uint32_t size) const {
   if (cursor_ < chunks_.size() && chunks_[cursor_]->bump() + size <= kChunkSize) {
     return true;
@@ -235,12 +265,13 @@ void ChunkedOldSpace::Allocate(SimObject* obj, TouchResult* faults) {
   used_bytes_ += obj->size;
 }
 
-ChunkedOldSpace::SweepResult ChunkedOldSpace::Sweep(ObjectPool* pool) {
+ChunkedOldSpace::SweepResult ChunkedOldSpace::Sweep(ObjectPool* pool, uint32_t epoch) {
   SweepResult result;
   for (auto& chunk : chunks_) {
     auto& objs = chunk->objects();
-    auto keep_end = std::partition(objs.begin(), objs.end(),
-                                   [](const SimObject* o) { return o->marked; });
+    auto keep_end = std::partition(objs.begin(), objs.end(), [epoch](const SimObject* o) {
+      return o->mark_epoch == epoch;
+    });
     for (auto it = keep_end; it != objs.end(); ++it) {
       ++result.dead_objects;
       result.dead_bytes += (*it)->size;
@@ -248,9 +279,6 @@ ChunkedOldSpace::SweepResult ChunkedOldSpace::Sweep(ObjectPool* pool) {
       pool->Free(*it);
     }
     objs.erase(keep_end, objs.end());
-    for (SimObject* obj : objs) {
-      obj->marked = false;
-    }
     chunk->RebuildFreeRanges();
     if (chunk->empty()) {
       ++result.empty_chunks;
@@ -312,14 +340,12 @@ void LargeObjectSpace::Allocate(SimObject* obj, TouchResult* faults) {
   entries_.push_back(entry);
 }
 
-LargeObjectSpace::SweepResult LargeObjectSpace::Sweep(ObjectPool* pool) {
+LargeObjectSpace::SweepResult LargeObjectSpace::Sweep(ObjectPool* pool, uint32_t epoch) {
   SweepResult result;
-  std::vector<Entry> survivors;
-  survivors.reserve(entries_.size());
+  size_t keep = 0;
   for (Entry& e : entries_) {
-    if (e.object->marked) {
-      e.object->marked = false;
-      survivors.push_back(e);
+    if (e.object->mark_epoch == epoch) {
+      entries_[keep++] = e;
     } else {
       ++result.dead_objects;
       result.dead_bytes += e.object->size;
@@ -328,7 +354,7 @@ LargeObjectSpace::SweepResult LargeObjectSpace::Sweep(ObjectPool* pool) {
       pool->Free(e.object);
     }
   }
-  entries_ = std::move(survivors);
+  entries_.resize(keep);
   return result;
 }
 

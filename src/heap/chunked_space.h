@@ -37,6 +37,12 @@ class Chunk {
 
   // Linear allocation (new space and fresh old-space chunks).
   bool BumpAllocate(SimObject* obj, TouchResult* faults);
+  // Bump-allocates `count` objects back-to-back with one merged page touch
+  // (`total` = sum of sizes; caller checked `bump() + total <= kChunkSize`).
+  // Per-page fault accounting makes the merged touch bit-exact with `count`
+  // BumpAllocate calls.
+  void BumpAllocateSpan(SimObject* const* objs, size_t count, uint64_t total,
+                        TouchResult* faults);
   // Free-list allocation (swept old-space chunks). First fit.
   bool FreeListAllocate(SimObject* obj, TouchResult* faults);
 
@@ -80,6 +86,17 @@ class Semispace {
 
   bool Allocate(SimObject* obj, TouchResult* faults);
   bool CanAllocate(uint32_t size) const;
+
+  // True when a whole `total`-byte span fits the current cursor chunk (the
+  // only placement where a batch matches per-object allocation exactly: no
+  // tail-waste skip, no chunk advance). Maps the cursor chunk lazily if the
+  // cursor already points past the mapped set — the per-object path would map
+  // it for the next allocation anyway, in the same order.
+  bool CanAllocateSpan(uint64_t total);
+  // Places `count` objects in the cursor chunk with one merged touch. Caller
+  // must have checked CanAllocateSpan(total).
+  void AllocateSpan(SimObject* const* objs, size_t count, uint64_t total,
+                    TouchResult* faults);
 
   // Drops all objects (they were copied out or died). Keeps pages resident —
   // that is the point: dead semispace bytes linger until someone releases them.
@@ -128,9 +145,10 @@ class ChunkedOldSpace {
     uint64_t empty_chunks = 0;
     uint64_t chunk_count = 0;
   };
-  // Frees every unmarked object back to `pool`, unmarks survivors, rebuilds
-  // free lists. Does not release any page by itself.
-  SweepResult Sweep(ObjectPool* pool);
+  // Frees every object not marked with `epoch` back to `pool` and rebuilds
+  // free lists. Does not release any page by itself. Survivors keep their
+  // epoch stamp; it goes stale when the runtime bumps its epoch.
+  SweepResult Sweep(ObjectPool* pool, uint32_t epoch);
 
   // V8's shrink path: unmap chunks that hold no live objects. Returns bytes
   // given back to the OS.
@@ -175,9 +193,10 @@ class LargeObjectSpace {
     uint64_t dead_objects = 0;
     uint64_t dead_bytes = 0;
   };
-  // Unmaps regions of unmarked objects (large-object death always returns the
-  // memory), unmarks survivors.
-  SweepResult Sweep(ObjectPool* pool);
+  // Unmaps regions of objects not marked with `epoch` (large-object death
+  // always returns the memory). Compacts the entry list in place — no
+  // allocation.
+  SweepResult Sweep(ObjectPool* pool, uint32_t epoch);
 
   uint64_t CommittedBytes() const;
   uint64_t ResidentBytes() const;

@@ -29,6 +29,27 @@ bool ContiguousSpace::Allocate(SimObject* obj, TouchResult* faults) {
   return true;
 }
 
+void ContiguousSpace::AllocateSpan(SimObject* const* objs, size_t count, uint64_t total,
+                                   TouchResult* faults) {
+  assert(CanAllocateSpan(total));
+#ifndef NDEBUG
+  uint64_t check = 0;
+  for (size_t i = 0; i < count; ++i) {
+    check += objs[i]->size;
+  }
+  assert(check == total);
+#endif
+  const TouchResult t = vas_->Touch(region_, top_, total, /*write=*/true);
+  faults->minor_faults += t.minor_faults;
+  faults->swap_ins += t.swap_ins;
+  faults->cow_faults += t.cow_faults;
+  for (size_t i = 0; i < count; ++i) {
+    objs[i]->address = top_;
+    top_ += objs[i]->size;
+    objects_.push_back(objs[i]);
+  }
+}
+
 void ContiguousSpace::Reset() {
   objects_.clear();
   top_ = base_;

@@ -3,6 +3,7 @@
 #ifndef DESICCANT_SRC_HEAP_CONTIGUOUS_SPACE_H_
 #define DESICCANT_SRC_HEAP_CONTIGUOUS_SPACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,6 +26,16 @@ class ContiguousSpace {
   bool Allocate(SimObject* obj, TouchResult* faults);
 
   bool CanAllocate(uint32_t size) const { return top_ + size <= base_ + capacity_; }
+  bool CanAllocateSpan(uint64_t total) const { return top_ + total <= base_ + capacity_; }
+
+  // Bump-allocates `count` objects back-to-back with a single page touch over
+  // the merged span (`total` must be the sum of the objects' sizes). The
+  // touch covers exactly the union of the pages the per-object touches would
+  // hit, and page-fault accounting is per page, so the accumulated faults are
+  // bit-exact with `count` Allocate calls. Caller must have checked
+  // CanAllocateSpan(total).
+  void AllocateSpan(SimObject* const* objs, size_t count, uint64_t total,
+                    TouchResult* faults);
 
   // Accepts an object copied in from another space (same bump path).
   bool CopyIn(SimObject* obj, TouchResult* faults) { return Allocate(obj, faults); }

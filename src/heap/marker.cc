@@ -1,34 +1,34 @@
 #include "src/heap/marker.h"
 
+#include <cassert>
+
 namespace desiccant {
 
-MarkStats Marker::MarkFrom(const std::vector<const RootTable*>& roots,
-                           std::vector<SimObject*>* marked_out) {
+MarkStats Marker::MarkFrom(std::initializer_list<const RootTable*> roots,
+                           uint32_t epoch) {
   MarkStats stats;
   stack_.clear();
   for (const RootTable* table : roots) {
-    table->ForEach([this](SimObject* obj) { Push(obj); });
+    table->ForEach([this, epoch](SimObject* obj) { Push(obj, epoch); });
   }
   while (!stack_.empty()) {
     SimObject* obj = stack_.back();
     stack_.pop_back();
     ++stats.live_objects;
     stats.live_bytes += obj->size;
-    if (marked_out != nullptr) {
-      marked_out->push_back(obj);
-    }
     for (int i = 0; i < obj->ref_count; ++i) {
-      Push(obj->refs[i]);
+      Push(obj->refs[i], epoch);
     }
   }
   return stats;
 }
 
-void Marker::Push(SimObject* obj) {
-  if (obj == nullptr || obj->marked) {
+void Marker::Push(SimObject* obj, uint32_t epoch) {
+  if (obj == nullptr || obj->mark_epoch == epoch) {
     return;
   }
-  obj->marked = true;
+  assert(!obj->poisoned() && "tracing reached a freed object");
+  obj->mark_epoch = epoch;
   stack_.push_back(obj);
 }
 

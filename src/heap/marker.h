@@ -3,6 +3,7 @@
 #define DESICCANT_SRC_HEAP_MARKER_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "src/heap/object.h"
@@ -15,18 +16,17 @@ struct MarkStats {
   uint64_t live_bytes = 0;
 };
 
-// Marks everything transitively reachable from the given root tables. The
-// caller is responsible for clearing marks afterwards (collectors clear them
-// while sweeping/copying).
+// Marks everything transitively reachable from the given root tables by
+// stamping the collection's `epoch` into each object's mark_epoch. Callers
+// draw a fresh epoch per collection (ManagedRuntime::BeginMarkEpoch), so no
+// unmarking ever happens — stale epochs simply never match again. The mark
+// stack is a member and is reused across collections (clear-don't-free).
 class Marker {
  public:
-  // When `marked_out` is non-null, every marked object is appended to it so
-  // the collector can cheaply clear marks afterwards.
-  MarkStats MarkFrom(const std::vector<const RootTable*>& roots,
-                     std::vector<SimObject*>* marked_out = nullptr);
+  MarkStats MarkFrom(std::initializer_list<const RootTable*> roots, uint32_t epoch);
 
  private:
-  void Push(SimObject* obj);
+  void Push(SimObject* obj, uint32_t epoch);
   std::vector<SimObject*> stack_;
 };
 

@@ -20,6 +20,12 @@ namespace desiccant {
 struct SimObject {
   static constexpr int kMaxRefs = 4;
 
+  // Debug-build poison stamped into freed nodes by ObjectPool::Free so that
+  // use-after-free (a collector tracing into a freed node, or a double free)
+  // trips an assert instead of silently corrupting the simulation.
+  static constexpr uint32_t kPoisonSize = 0xfeeefeeeu;
+  static constexpr uint32_t kPoisonEpoch = 0xdeadbeefu;
+
   // Simulated placement. The meaning of `address` is heap-specific: a byte
   // offset into the heap region for HotSpot, a byte offset into chunk `owner`
   // for V8.
@@ -27,12 +33,21 @@ struct SimObject {
   uint32_t owner = 0;
 
   uint32_t size = 0;  // simulated bytes, header included
+
+  // Mark state as an epoch: an object is marked iff `mark_epoch` equals the
+  // owning runtime's current collection epoch. Fresh objects carry epoch 0 and
+  // runtimes hand out epochs starting at 1, so "never marked" needs no
+  // initialization and collections need no end-of-GC unmark sweep — bumping
+  // the epoch unmarks the entire heap in O(1).
+  uint32_t mark_epoch = 0;
+
   uint8_t age = 0;    // young-GC survival count, drives promotion
-  bool marked = false;
   uint8_t space = 0;  // heap-specific space tag
 
   uint8_t ref_count = 0;
   SimObject* refs[kMaxRefs] = {};
+
+  bool poisoned() const { return size == kPoisonSize && mark_epoch == kPoisonEpoch; }
 
   // Adds an outgoing strong reference; returns false when all slots are full.
   bool AddRef(SimObject* target) {
@@ -61,6 +76,7 @@ class ObjectPool {
     if (!free_.empty()) {
       obj = free_.back();
       free_.pop_back();
+      assert(obj->poisoned() && "recycled node was written after Free()");
       *obj = SimObject{};
     } else {
       storage_.emplace_back();
@@ -72,8 +88,13 @@ class ObjectPool {
   }
 
   void Free(SimObject* obj) {
+    assert(!obj->poisoned() && "double free of a SimObject node");
     assert(live_ > 0);
     --live_;
+#ifndef NDEBUG
+    obj->size = SimObject::kPoisonSize;
+    obj->mark_epoch = SimObject::kPoisonEpoch;
+#endif
     free_.push_back(obj);
   }
 

@@ -145,6 +145,32 @@ SimObject* G1Runtime::AllocateObject(uint32_t size) {
   return obj;
 }
 
+bool G1Runtime::AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (sizes[i] >= config_.region_bytes / 2) {
+      return false;  // humongous objects take dedicated contiguous regions
+    }
+    total += sizes[i];
+  }
+  // Fast path only when the whole span fits the current eden region: then no
+  // per-object call could have reached the young-target GC trigger or taken a
+  // fresh region, so one merged bump+touch is exact.
+  if (eden_cursor_ == SIZE_MAX || !regions_[eden_cursor_].space->CanAllocateSpan(total)) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = pool_.New(sizes[i]);
+    out[i]->space = 0;
+    out[i]->owner = static_cast<uint32_t>(eden_cursor_);
+  }
+  NoteAllocations(total, count);
+  TouchResult faults;
+  regions_[eden_cursor_].space->AllocateSpan(out, count, total, &faults);
+  ChargeFaults(faults);
+  return true;
+}
+
 SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
   if (collect_weak) {
     bool had_weak = false;
@@ -155,11 +181,10 @@ SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
     }
   }
 
-  std::vector<SimObject*> marked;
-  const MarkStats stats = marker_.MarkFrom(
-      collect_weak ? std::vector<const RootTable*>{&strong_roots_}
-                   : std::vector<const RootTable*>{&strong_roots_, &weak_roots_},
-      &marked);
+  const uint32_t epoch = BeginMarkEpoch();
+  const MarkStats stats = collect_weak
+                              ? marker_.MarkFrom({&strong_roots_}, epoch)
+                              : marker_.MarkFrom({&strong_roots_, &weak_roots_}, epoch);
 
   // Collection set: young regions always; old + humongous in a full pause.
   auto in_cset = [&](const G1Region& region) {
@@ -177,7 +202,8 @@ SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
   };
 
   // Gather sources first: destination regions must be fresh ones.
-  std::vector<size_t> sources;
+  std::vector<size_t>& sources = source_scratch_;
+  sources.clear();
   for (size_t i = 0; i < regions_.size(); ++i) {
     if (in_cset(regions_[i])) {
       sources.push_back(i);
@@ -200,7 +226,7 @@ SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
       if (!objs.empty()) {
         SimObject* obj = objs.front();
         ++scanned_objects;
-        if (obj->marked) {
+        if (obj->mark_epoch == epoch) {
           continue;  // stays in place
         }
         const size_t span = (obj->size + config_.region_bytes - 1) / config_.region_bytes;
@@ -216,12 +242,14 @@ SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
       continue;
     }
 
-    std::vector<SimObject*> objects = std::move(region.space->objects());
+    // Detach the region's object list into reusable scratch (the region may
+    // be re-taken as an evacuation destination while we iterate).
+    evac_scratch_.swap(region.space->objects());
     region.space->Reset();
     region.state = G1RegionState::kFree;  // pages stay resident
-    for (SimObject* obj : objects) {
+    for (SimObject* obj : evac_scratch_) {
       ++scanned_objects;
-      if (!obj->marked) {
+      if (obj->mark_epoch != epoch) {
         pool_.Free(obj);
         continue;
       }
@@ -240,10 +268,6 @@ SimTime G1Runtime::EvacuationPause(bool full, bool collect_weak) {
       }
       evacuated_bytes += obj->size;
     }
-  }
-
-  for (SimObject* obj : marked) {
-    obj->marked = false;
   }
 
   eden_cursor_ = SIZE_MAX;

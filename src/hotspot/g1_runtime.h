@@ -57,6 +57,7 @@ class G1Runtime final : public ManagedRuntime {
             SharedFileRegistry* registry);
 
   SimObject* AllocateObject(uint32_t size) override;
+  bool AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) override;
   SimTime CollectGarbage(bool aggressive) override;
   ReclaimResult Reclaim(const ReclaimOptions& options) override;
   HeapStats GetHeapStats() const override;
@@ -104,7 +105,6 @@ class G1Runtime final : public ManagedRuntime {
 
   G1Config config_;
   GcCostModel gc_costs_;
-  Marker marker_;
 
   RegionId heap_region_ = kInvalidRegionId;
   RegionId metaspace_region_ = kInvalidRegionId;
@@ -120,6 +120,12 @@ class G1Runtime final : public ManagedRuntime {
   uint64_t young_gc_count_ = 0;
   uint64_t full_gc_count_ = 0;
   SimTime total_gc_time_ = 0;
+
+  // Evacuation scratch (clear-don't-free): the collection-set index list and
+  // the per-region object list detached during evacuation. Reused across
+  // pauses so a steady-state young pause performs zero heap allocations.
+  std::vector<size_t> source_scratch_;
+  std::vector<SimObject*> evac_scratch_;
 };
 
 }  // namespace desiccant

@@ -107,12 +107,36 @@ SimObject* HotSpotRuntime::AllocateObject(uint32_t size) {
   return obj;
 }
 
-void HotSpotRuntime::MarkYoung(std::vector<SimObject*>* marked) {
-  std::vector<SimObject*> stack;
+bool HotSpotRuntime::AllocateCluster(const uint32_t* sizes, size_t count,
+                                     SimObject** out) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += sizes[i];
+  }
+  // Fast path only when the whole span fits eden as-is: then none of the
+  // per-object calls could have triggered a collection or the old-generation
+  // fallback, so one merged bump+touch is exact.
+  if (!eden_->CanAllocateSpan(total)) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = pool_.New(sizes[i]);
+    out[i]->space = kYoungTag;
+  }
+  TouchResult faults;
+  eden_->AllocateSpan(out, count, total, &faults);
+  NoteAllocations(total, count);
+  ChargeFaults(faults);
+  return true;
+}
+
+void HotSpotRuntime::MarkYoung(uint32_t epoch) {
+  auto& stack = young_stack_scratch_;
+  stack.clear();
   auto push_young = [&](SimObject* obj) {
-    if (obj != nullptr && !obj->marked && obj->space == kYoungTag) {
-      obj->marked = true;
-      marked->push_back(obj);
+    if (obj != nullptr && obj->mark_epoch != epoch && obj->space == kYoungTag) {
+      assert(!obj->poisoned());
+      obj->mark_epoch = epoch;
       stack.push_back(obj);
     }
   };
@@ -136,18 +160,19 @@ void HotSpotRuntime::MarkYoung(std::vector<SimObject*>* marked) {
 }
 
 SimTime HotSpotRuntime::YoungGc() {
-  std::vector<SimObject*> marked;
-  MarkYoung(&marked);
+  const uint32_t epoch = BeginMarkEpoch();
+  MarkYoung(epoch);
 
   TouchResult gc_faults;
   uint64_t copied_bytes = 0;
   uint64_t young_live_objects = 0;
   uint64_t promoted_bytes = 0;
-  std::vector<SimObject*> promoted_objects;
+  std::vector<SimObject*>& promoted_objects = promoted_scratch_;
+  promoted_objects.clear();
 
   auto process_space = [&](ContiguousSpace& space) {
     for (SimObject* obj : space.objects()) {
-      if (!obj->marked) {
+      if (obj->mark_epoch != epoch) {
         pool_.Free(obj);
         continue;
       }
@@ -196,10 +221,7 @@ SimTime HotSpotRuntime::YoungGc() {
   eden_->Reset();
   from_->Reset();
   std::swap(from_, to_);  // to-space becomes the populated from-space
-
-  for (SimObject* obj : marked) {
-    obj->marked = false;
-  }
+  // No unmark sweep: the next collection draws a fresh epoch.
 
   ++young_gc_count_;
   promoted_ewma_.Add(static_cast<double>(promoted_bytes));
@@ -233,11 +255,10 @@ SimTime HotSpotRuntime::FullGc(bool collect_weak) {
     NoteDeoptimization(/*penalty_factor=*/1.6, /*penalty_invocations=*/8);
   }
 
-  std::vector<SimObject*> marked;
-  const MarkStats stats = marker_.MarkFrom(
-      collect_weak ? std::vector<const RootTable*>{&strong_roots_}
-                   : std::vector<const RootTable*>{&strong_roots_, &weak_roots_},
-      &marked);
+  const uint32_t epoch = BeginMarkEpoch();
+  const MarkStats stats = collect_weak
+                              ? marker_.MarkFrom({&strong_roots_}, epoch)
+                              : marker_.MarkFrom({&strong_roots_, &weak_roots_}, epoch);
 
   // Everything live is compacted to the bottom of the old generation.
   if (old_committed_ < stats.live_bytes) {
@@ -247,11 +268,12 @@ SimTime HotSpotRuntime::FullGc(bool collect_weak) {
   }
 
   // Free the dead, gather the live in (old-first) address order.
-  std::vector<SimObject*> survivors;
+  std::vector<SimObject*>& survivors = survivor_scratch_;
+  survivors.clear();
   survivors.reserve(stats.live_objects);
   auto scan_space = [&](ContiguousSpace& space) {
     for (SimObject* obj : space.objects()) {
-      if (obj->marked) {
+      if (obj->mark_epoch == epoch) {
         survivors.push_back(obj);
       } else {
         pool_.Free(obj);
@@ -266,7 +288,6 @@ SimTime HotSpotRuntime::FullGc(bool collect_weak) {
 
   TouchResult gc_faults;
   for (SimObject* obj : survivors) {
-    obj->marked = false;
     obj->space = kOldTag;
     obj->age = 0;
     const bool ok = old_->Allocate(obj, &gc_faults);

@@ -30,6 +30,7 @@ class HotSpotRuntime final : public ManagedRuntime {
                  SharedFileRegistry* registry);
 
   SimObject* AllocateObject(uint32_t size) override;
+  bool AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) override;
   void WriteBarrier(SimObject* from, SimObject* to) override {
     if (from->space == kOldTag && to->space == kYoungTag) {
       remembered_.Record(from);
@@ -66,8 +67,8 @@ class HotSpotRuntime final : public ManagedRuntime {
 
   void LayoutYoung();
   // Marks exactly the young objects reachable from (roots + remembered set)
-  // without descending into the old generation; returns them via `marked`.
-  void MarkYoung(std::vector<SimObject*>* marked);
+  // without descending into the old generation, stamping `epoch`.
+  void MarkYoung(uint32_t epoch);
   // Both return the CPU time the collection consumed (pauses + GC faults).
   SimTime YoungGc();
   SimTime FullGc(bool collect_weak);
@@ -79,7 +80,6 @@ class HotSpotRuntime final : public ManagedRuntime {
 
   HotSpotConfig config_;
   GcCostModel gc_costs_;
-  Marker marker_;
 
   RegionId heap_region_ = kInvalidRegionId;
   RegionId metaspace_region_ = kInvalidRegionId;
@@ -108,6 +108,12 @@ class HotSpotRuntime final : public ManagedRuntime {
   // Effective tenuring threshold (adaptive policy moves it within
   // [1, config.tenuring_threshold]).
   uint8_t effective_tenuring_ = 0;
+
+  // GC scratch, reused across collections (clear-don't-free) so a
+  // steady-state young GC performs zero host heap allocations.
+  std::vector<SimObject*> young_stack_scratch_;
+  std::vector<SimObject*> promoted_scratch_;
+  std::vector<SimObject*> survivor_scratch_;
 };
 
 }  // namespace desiccant

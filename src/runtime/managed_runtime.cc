@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "src/heap/marker.h"
-
 namespace desiccant {
 
 const char* GcLogKindName(GcLogEntry::Kind kind) {
@@ -62,13 +60,7 @@ void ManagedRuntime::NoteDeoptimization(double penalty_factor, int penalty_invoc
 }
 
 uint64_t ManagedRuntime::ExactLiveBytes() {
-  Marker marker;
-  std::vector<SimObject*> marked;
-  const MarkStats stats = marker.MarkFrom({&strong_roots_, &weak_roots_}, &marked);
-  for (SimObject* obj : marked) {
-    obj->marked = false;
-  }
-  return stats.live_bytes;
+  return marker_.MarkFrom({&strong_roots_, &weak_roots_}, BeginMarkEpoch()).live_bytes;
 }
 
 void ManagedRuntime::LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_bytes,
@@ -80,10 +72,7 @@ void ManagedRuntime::LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_b
   entry.live_bytes = live_bytes;
   entry.committed_bytes = committed_bytes;
   entry.released_pages = released_pages;
-  gc_log_.push_back(entry);
-  if (gc_log_.size() > kGcLogCapacity) {
-    gc_log_.pop_front();
-  }
+  gc_log_.Push(entry);
 }
 
 void ManagedRuntime::ChargeFaults(const TouchResult& touch) {

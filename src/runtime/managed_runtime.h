@@ -9,12 +9,14 @@
 #ifndef DESICCANT_SRC_RUNTIME_MANAGED_RUNTIME_H_
 #define DESICCANT_SRC_RUNTIME_MANAGED_RUNTIME_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "src/base/sim_clock.h"
 #include "src/base/units.h"
+#include "src/heap/marker.h"
 #include "src/heap/object.h"
 #include "src/heap/roots.h"
 #include "src/os/fault_costs.h"
@@ -67,6 +69,59 @@ struct GcLogEntry {
 
 const char* GcLogKindName(GcLogEntry::Kind kind);
 
+// Fixed-capacity ring of the most recent collections, oldest first. Backed by
+// a vector reserved once at construction, so steady-state logging performs no
+// heap allocation (the deque it replaces allocated a fresh block every few
+// hundred entries and freed it again as the ring advanced).
+class GcLog {
+ public:
+  explicit GcLog(size_t capacity) : capacity_(capacity) { entries_.reserve(capacity); }
+
+  void Push(const GcLogEntry& entry) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(entry);
+      return;
+    }
+    entries_[head_] = entry;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // i = 0 is the oldest retained entry.
+  const GcLogEntry& operator[](size_t i) const {
+    const size_t at = head_ + i;
+    return entries_[at >= entries_.size() ? at - entries_.size() : at];
+  }
+  const GcLogEntry& front() const { return (*this)[0]; }
+  const GcLogEntry& back() const { return (*this)[entries_.size() - 1]; }
+
+  class const_iterator {
+   public:
+    const_iterator(const GcLog* log, size_t i) : log_(log), i_(i) {}
+    const GcLogEntry& operator*() const { return (*log_)[i_]; }
+    const GcLogEntry* operator->() const { return &(*log_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const { return i_ == other.i_; }
+    bool operator!=(const const_iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const GcLog* log_;
+    size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, entries_.size()}; }
+
+ private:
+  std::vector<GcLogEntry> entries_;
+  size_t capacity_;
+  size_t head_ = 0;  // index of the oldest entry once the ring is full
+};
+
 // Accounting for one invocation (between BeginInvocation/EndInvocation).
 struct MutatorStats {
   uint64_t allocated_bytes = 0;
@@ -93,6 +148,23 @@ class ManagedRuntime {
   // Never returns null; aborts the process on simulated OOM (workloads are
   // sized to fit their configured heaps).
   virtual SimObject* AllocateObject(uint32_t size) = 0;
+
+  // Batched fast path for allocating one object cluster (`count >= 1` objects
+  // of the given sizes) as a single contiguous span: bump-pointer advance,
+  // page touch and fault charging happen once for the whole span. Fault
+  // accounting is per-page and the merged touch covers exactly the union of
+  // the per-object touches, so the batch is bit-exact with `count` individual
+  // AllocateObject calls. A runtime may only take the fast path when the
+  // whole span fits its current allocation frontier with no possibility of a
+  // collection (or any other policy decision) firing mid-span; otherwise it
+  // must return false WITHOUT allocating anything, and the caller falls back
+  // to object-by-object allocation.
+  virtual bool AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) {
+    (void)sizes;
+    (void)count;
+    (void)out;
+    return false;
+  }
 
   RootTable& strong_roots() { return strong_roots_; }
   // Weak roots: reachable only for non-aggressive collections.
@@ -153,7 +225,7 @@ class ManagedRuntime {
 
   // The most recent collections, oldest first (bounded ring; for operators,
   // the CLI's --gc-log, and tests).
-  const std::deque<GcLogEntry>& gc_log() const { return gc_log_; }
+  const GcLog& gc_log() const { return gc_log_; }
 
  protected:
   void LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_bytes,
@@ -170,6 +242,15 @@ class ManagedRuntime {
     pending_.allocated_bytes += bytes;
     ++pending_.allocated_objects;
   }
+  void NoteAllocations(uint64_t bytes, uint64_t objects) {
+    pending_.allocated_bytes += bytes;
+    pending_.allocated_objects += objects;
+  }
+
+  // Draws the epoch for one collection. Every mark made under a previous
+  // epoch becomes stale the moment this increments — the O(1) replacement for
+  // the old end-of-GC `marked = false` sweeps.
+  uint32_t BeginMarkEpoch() { return ++mark_epoch_; }
 
   VirtualAddressSpace* vas_;
   const SimClock* clock_;
@@ -177,12 +258,15 @@ class ManagedRuntime {
   RootTable strong_roots_;
   RootTable weak_roots_;
   FaultCostModel fault_costs_;
+  // Shared mark machinery; the stack inside is reused across collections.
+  Marker marker_;
 
  private:
   MutatorStats pending_;
   uint64_t invocation_count_ = 0;
-  std::deque<GcLogEntry> gc_log_;
+  uint32_t mark_epoch_ = 0;
   static constexpr size_t kGcLogCapacity = 512;
+  GcLog gc_log_{kGcLogCapacity};
 
   // JIT model: warmup decays over the first invocations; deopt re-adds cost.
   static constexpr int kWarmupInvocations = 15;

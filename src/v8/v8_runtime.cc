@@ -78,6 +78,33 @@ SimObject* V8Runtime::AllocateObject(uint32_t size) {
   return obj;
 }
 
+bool V8Runtime::AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (sizes[i] > kMaxRegularObjectSize) {
+      return false;  // large objects take dedicated regions
+    }
+    total += sizes[i];
+  }
+  // Fast path only when the whole span fits the current cursor chunk: then
+  // none of the per-object calls could have skipped to the next chunk,
+  // expanded the young generation, or scavenged. CanAllocateSpan maps the
+  // cursor chunk lazily exactly when the per-object path would.
+  if (!from_->CanAllocateSpan(total)) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = pool_.New(sizes[i]);
+    out[i]->space = 0;
+  }
+  NoteAllocations(total, count);
+  allocated_bytes_since_gc_ += total;
+  TouchResult faults;
+  from_->AllocateSpan(out, count, total, &faults);
+  ChargeFaults(faults);
+  return true;
+}
+
 bool V8Runtime::MaybeExpandYoung() {
   if (accumulated_live_since_expansion_ < semispace_size_ ||
       semispace_size_ >= config_.EffectiveMaxSemispace()) {
@@ -90,12 +117,13 @@ bool V8Runtime::MaybeExpandYoung() {
   return true;
 }
 
-void V8Runtime::MarkYoung(std::vector<SimObject*>* marked) {
-  std::vector<SimObject*> stack;
+void V8Runtime::MarkYoung(uint32_t epoch) {
+  auto& stack = young_stack_scratch_;
+  stack.clear();
   auto push_young = [&](SimObject* obj) {
-    if (obj != nullptr && !obj->marked && obj->space == 0) {
-      obj->marked = true;
-      marked->push_back(obj);
+    if (obj != nullptr && obj->mark_epoch != epoch && obj->space == 0) {
+      assert(!obj->poisoned());
+      obj->mark_epoch = epoch;
       stack.push_back(obj);
     }
   };
@@ -133,18 +161,19 @@ SimTime V8Runtime::Scavenge() {
   assert(!in_gc_);
   in_gc_ = true;
 
-  std::vector<SimObject*> marked;
-  MarkYoung(&marked);
+  const uint32_t epoch = BeginMarkEpoch();
+  MarkYoung(epoch);
 
   TouchResult gc_faults;
   uint64_t copied_bytes = 0;
   uint64_t young_live_objects = 0;
   uint64_t young_live_bytes = 0;
-  std::vector<SimObject*> promoted;
+  std::vector<SimObject*>& promoted = promoted_scratch_;
+  promoted.clear();
 
   for (auto& chunk : from_->chunks()) {
     for (SimObject* obj : chunk->objects()) {
-      if (!obj->marked) {
+      if (obj->mark_epoch != epoch) {
         pool_.Free(obj);
         continue;
       }
@@ -164,9 +193,6 @@ SimTime V8Runtime::Scavenge() {
   from_->Reset();
   std::swap(from_, to_);
 
-  for (SimObject* obj : marked) {
-    obj->marked = false;
-  }
   // New old objects that still reference young survivors enter the store
   // buffer.
   for (SimObject* obj : promoted) {
@@ -210,10 +236,10 @@ SimTime V8Runtime::FullGc(bool aggressive) {
     }
   }
 
-  std::vector<SimObject*> marked;
-  const MarkStats stats =
-      aggressive ? marker_.MarkFrom({&strong_roots_}, &marked)
-                 : marker_.MarkFrom({&strong_roots_, &weak_roots_}, &marked);
+  const uint32_t epoch = BeginMarkEpoch();
+  const MarkStats stats = aggressive
+                              ? marker_.MarkFrom({&strong_roots_}, epoch)
+                              : marker_.MarkFrom({&strong_roots_, &weak_roots_}, epoch);
 
   // Evacuate the new space (mark-compact evacuates young objects too).
   TouchResult gc_faults;
@@ -221,7 +247,7 @@ SimTime V8Runtime::FullGc(bool aggressive) {
   uint64_t young_live_bytes = 0;
   for (auto& chunk : from_->chunks()) {
     for (SimObject* obj : chunk->objects()) {
-      if (!obj->marked) {
+      if (obj->mark_epoch != epoch) {
         pool_.Free(obj);
         continue;
       }
@@ -238,13 +264,10 @@ SimTime V8Runtime::FullGc(bool aggressive) {
   from_->Reset();
   std::swap(from_, to_);
 
-  // Sweep the old space and the large-object space (survivor marks are
-  // cleared by the sweep; evacuated young survivors are cleared below).
-  const auto old_sweep = old_->Sweep(&pool_);
-  const auto los_sweep = los_->Sweep(&pool_);
-  for (SimObject* obj : marked) {
-    obj->marked = false;
-  }
+  // Sweep the old space and the large-object space (mark stamps go stale
+  // when the next collection bumps the epoch — no unmarking anywhere).
+  const auto old_sweep = old_->Sweep(&pool_, epoch);
+  const auto los_sweep = los_->Sweep(&pool_, epoch);
 
   // V8's shrink path: empty chunks go back to the OS right after sweeping.
   old_->ReleaseEmptyChunks();

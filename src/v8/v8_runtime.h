@@ -33,6 +33,7 @@ class V8Runtime final : public ManagedRuntime {
             SharedFileRegistry* registry);
 
   SimObject* AllocateObject(uint32_t size) override;
+  bool AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) override;
   // The store buffer: old-to-young stores feed the remembered set.
   void WriteBarrier(SimObject* from, SimObject* to) override {
     if (from->space == 1 && to->space == 0) {
@@ -61,8 +62,8 @@ class V8Runtime final : public ManagedRuntime {
 
  private:
   // Marks young objects reachable from (roots + store buffer) without
-  // tracing the old space.
-  void MarkYoung(std::vector<SimObject*>* marked);
+  // tracing the old space, stamping `epoch`.
+  void MarkYoung(uint32_t epoch);
   // Re-derives the store buffer by scanning old/LOS objects for young refs
   // (used after a full GC, which can leave old-to-young edges behind).
   void RebuildRememberedSet();
@@ -80,7 +81,6 @@ class V8Runtime final : public ManagedRuntime {
 
   V8Config config_;
   GcCostModel gc_costs_;
-  Marker marker_;
 
   RegionId overhead_region_ = kInvalidRegionId;
   RegionId image_region_ = kInvalidRegionId;
@@ -102,6 +102,11 @@ class V8Runtime final : public ManagedRuntime {
   uint64_t full_gc_count_ = 0;
   SimTime total_gc_time_ = 0;
   RememberedSet remembered_;
+
+  // GC scratch, reused across collections (clear-don't-free) so a
+  // steady-state scavenge performs zero host heap allocations.
+  std::vector<SimObject*> young_stack_scratch_;
+  std::vector<SimObject*> promoted_scratch_;
 };
 
 }  // namespace desiccant

@@ -28,18 +28,40 @@ void FunctionProgram::AllocateGraph(ManagedRuntime& runtime, RootTable& table,
                                     uint64_t total_bytes,
                                     std::vector<RootTable::Handle>* handles) {
   uint64_t allocated = 0;
+  uint32_t sizes[1 + SimObject::kMaxRefs];
+  SimObject* cluster[1 + SimObject::kMaxRefs];
   while (allocated < total_bytes) {
-    // One cluster: a rooted parent with up to kMaxRefs children.
-    SimObject* parent = runtime.AllocateObject(SampleObjectSize());
-    handles->push_back(table.Create(parent));
-    allocated += parent->size;
+    // One cluster: a rooted parent with up to kMaxRefs children. All sizes
+    // are drawn up front — the runtime never touches this generator, so the
+    // draw sequence is identical to the old interleaved form, and the whole
+    // span can go through the runtime's batched fast path.
+    sizes[0] = SampleObjectSize();
+    uint64_t cluster_bytes = sizes[0];
     const int children = static_cast<int>(rng_.UniformU64(0, SimObject::kMaxRefs));
-    for (int i = 0; i < children && allocated < total_bytes; ++i) {
-      SimObject* child = runtime.AllocateObject(SampleObjectSize());
-      allocated += child->size;
-      parent->AddRef(child);
-      runtime.WriteBarrier(parent, child);
+    size_t count = 1;
+    for (int i = 0; i < children && allocated + cluster_bytes < total_bytes; ++i) {
+      sizes[count] = SampleObjectSize();
+      cluster_bytes += sizes[count];
+      ++count;
     }
+    if (runtime.AllocateCluster(sizes, count, cluster)) {
+      handles->push_back(table.Create(cluster[0]));
+      for (size_t i = 1; i < count; ++i) {
+        cluster[0]->AddRef(cluster[i]);
+        runtime.WriteBarrier(cluster[0], cluster[i]);
+      }
+    } else {
+      // Slow path: a GC or policy decision could fire mid-span, so replay
+      // the original one-object-at-a-time sequence exactly.
+      SimObject* parent = runtime.AllocateObject(sizes[0]);
+      handles->push_back(table.Create(parent));
+      for (size_t i = 1; i < count; ++i) {
+        SimObject* child = runtime.AllocateObject(sizes[i]);
+        parent->AddRef(child);
+        runtime.WriteBarrier(parent, child);
+      }
+    }
+    allocated += cluster_bytes;
   }
 }
 

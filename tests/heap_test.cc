@@ -27,14 +27,35 @@ TEST(ObjectPoolTest, RecyclesNodes) {
   ObjectPool pool;
   SimObject* a = pool.New(128);
   a->age = 7;
-  a->marked = true;
+  a->mark_epoch = 5;
   pool.Free(a);
   SimObject* b = pool.New(64);
   EXPECT_EQ(a, b);  // node reused
   EXPECT_EQ(b->age, 0);
-  EXPECT_FALSE(b->marked);
+  EXPECT_EQ(b->mark_epoch, 0u);
   EXPECT_EQ(b->size, 64u);
 }
+
+#ifndef NDEBUG
+TEST(ObjectPoolDeathTest, DoubleFreeIsCaught) {
+  ObjectPool pool;
+  SimObject* a = pool.New(128);
+  pool.Free(a);
+  EXPECT_DEATH(pool.Free(a), "poisoned");
+}
+
+TEST(ObjectPoolDeathTest, TracingFreedObjectIsCaught) {
+  ObjectPool pool;
+  RootTable roots;
+  SimObject* parent = pool.New(64);
+  SimObject* child = pool.New(32);
+  parent->AddRef(child);
+  roots.Create(parent);
+  pool.Free(child);  // dangling edge: parent still references the freed node
+  Marker marker;
+  EXPECT_DEATH(marker.MarkFrom({&roots}, /*epoch=*/1), "freed");
+}
+#endif  // NDEBUG
 
 TEST(SimObjectTest, RefSlotsCap) {
   ObjectPool pool;
@@ -101,13 +122,15 @@ TEST(MarkerTest, MarksTransitively) {
   roots.Create(a);
 
   Marker marker;
-  std::vector<SimObject*> marked;
-  const MarkStats stats = marker.MarkFrom({&roots}, &marked);
+  const MarkStats stats = marker.MarkFrom({&roots}, /*epoch=*/1);
   EXPECT_EQ(stats.live_objects, 3u);
   EXPECT_EQ(stats.live_bytes, 600u);
-  EXPECT_TRUE(a->marked && b->marked && c->marked);
-  EXPECT_FALSE(unreachable->marked);
-  EXPECT_EQ(marked.size(), 3u);
+  EXPECT_TRUE(a->mark_epoch == 1u && b->mark_epoch == 1u && c->mark_epoch == 1u);
+  EXPECT_EQ(unreachable->mark_epoch, 0u);
+  // A later pass with a fresh epoch sees everything unmarked again — no
+  // unmark sweep required.
+  EXPECT_EQ(marker.MarkFrom({&roots}, /*epoch=*/2).live_objects, 3u);
+  EXPECT_EQ(a->mark_epoch, 2u);
 }
 
 TEST(MarkerTest, HandlesCycles) {
@@ -119,7 +142,7 @@ TEST(MarkerTest, HandlesCycles) {
   b->AddRef(a);  // cycle
   roots.Create(a);
   Marker marker;
-  const MarkStats stats = marker.MarkFrom({&roots});
+  const MarkStats stats = marker.MarkFrom({&roots}, /*epoch=*/1);
   EXPECT_EQ(stats.live_objects, 2u);
 }
 
@@ -134,7 +157,7 @@ TEST(MarkerTest, SharedObjectCountedOnce) {
   roots.Create(a);
   roots.Create(b);
   Marker marker;
-  const MarkStats stats = marker.MarkFrom({&roots});
+  const MarkStats stats = marker.MarkFrom({&roots}, /*epoch=*/1);
   EXPECT_EQ(stats.live_objects, 3u);
   EXPECT_EQ(stats.live_bytes, 94u);
 }
@@ -146,7 +169,7 @@ TEST(MarkerTest, MultipleTables) {
   strong.Create(pool.New(1));
   weak.Create(pool.New(2));
   Marker marker;
-  EXPECT_EQ(marker.MarkFrom({&strong, &weak}).live_objects, 2u);
+  EXPECT_EQ(marker.MarkFrom({&strong, &weak}, /*epoch=*/1).live_objects, 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -349,11 +372,10 @@ TEST(ChunkedOldSpaceTest, SweepFreesUnmarked) {
   SimObject* dead = pool.New(64 * kKiB);
   old.Allocate(live, &faults);
   old.Allocate(dead, &faults);
-  live->marked = true;
-  const auto result = old.Sweep(&pool);
+  live->mark_epoch = 1;
+  const auto result = old.Sweep(&pool, /*epoch=*/1);
   EXPECT_EQ(result.dead_objects, 1u);
   EXPECT_EQ(result.dead_bytes, 64 * kKiB);
-  EXPECT_FALSE(live->marked);  // unmarked by sweep
   EXPECT_EQ(old.used_bytes(), 64 * kKiB);
   EXPECT_EQ(pool.live_count(), 1u);
 }
@@ -369,8 +391,8 @@ TEST(ChunkedOldSpaceTest, ReleaseEmptyChunks) {
   old.Allocate(b, &faults);
   ASSERT_EQ(old.CommittedBytes(), 2 * kChunkSize);
   // Kill b (its chunk becomes empty).
-  a->marked = true;
-  old.Sweep(&pool);
+  a->mark_epoch = 1;
+  old.Sweep(&pool, /*epoch=*/1);
   EXPECT_EQ(old.ReleaseEmptyChunks(), kChunkSize);
   EXPECT_EQ(old.CommittedBytes(), kChunkSize);
 }
@@ -386,9 +408,9 @@ TEST(ChunkedOldSpaceTest, FreeListReuseAfterSweep) {
   old.Allocate(a, &faults);
   old.Allocate(dead, &faults);
   old.Allocate(c, &faults);
-  a->marked = true;
-  c->marked = true;
-  old.Sweep(&pool);
+  a->mark_epoch = 1;
+  c->mark_epoch = 1;
+  old.Sweep(&pool, /*epoch=*/1);
   // New 50 KiB allocation reuses the hole without growing.
   SimObject* d = pool.New(50 * kKiB);
   old.Allocate(d, &faults);
@@ -417,12 +439,11 @@ TEST(LargeObjectSpaceTest, SweepUnmapsDead) {
   SimObject* dead = pool.New(512 * kKiB);
   los.Allocate(live, &faults);
   los.Allocate(dead, &faults);
-  live->marked = true;
-  const auto result = los.Sweep(&pool);
+  live->mark_epoch = 1;
+  const auto result = los.Sweep(&pool, /*epoch=*/1);
   EXPECT_EQ(result.dead_objects, 1u);
   EXPECT_EQ(los.object_count(), 1u);
   EXPECT_EQ(los.used_bytes(), 512 * kKiB);
-  EXPECT_FALSE(live->marked);
 }
 
 // ---------------------------------------------------------------------------
@@ -441,6 +462,8 @@ TEST_P(OldSpacePropertyTest, SweepConservesBytes) {
   uint64_t live_bytes = 0;
 
   for (int round = 0; round < 20; ++round) {
+    // A fresh epoch per round, as a real collector would draw.
+    const auto epoch = static_cast<uint32_t>(round + 1);
     // Allocate a batch.
     for (int i = 0; i < 50; ++i) {
       const auto size = static_cast<uint32_t>(rng.UniformU64(64, 16 * kKiB));
@@ -453,13 +476,13 @@ TEST_P(OldSpacePropertyTest, SweepConservesBytes) {
     std::vector<SimObject*> survivors;
     for (SimObject* obj : live) {
       if (rng.Chance(0.6)) {
-        obj->marked = true;
+        obj->mark_epoch = epoch;
         survivors.push_back(obj);
       } else {
         live_bytes -= obj->size;
       }
     }
-    old.Sweep(&pool);
+    old.Sweep(&pool, epoch);
     old.ReleaseEmptyChunks();
     live = std::move(survivors);
     EXPECT_EQ(old.used_bytes(), live_bytes);

@@ -1,8 +1,10 @@
 // Edge-case battery: scenarios that previously exposed bugs, boundary
 // conditions the main suites don't reach, and the newer observability
-// surfaces (GC logs, adaptive tenuring, freeze grace).
+// surfaces (GC logs, adaptive tenuring, freeze grace), plus the golden
+// simulation fingerprints the exactness-preserving refactors are pinned to.
 #include <gtest/gtest.h>
 
+#include "bench/bench_util.h"
 #include "src/core/desiccant_manager.h"
 #include "src/faas/cluster.h"
 #include "src/faas/platform.h"
@@ -252,6 +254,58 @@ TEST(CombinedTest, GraceWindowPlusEagerGc) {
   EXPECT_EQ(platform.metrics().requests_completed, 2u);
   EXPECT_EQ(platform.metrics().warm_starts, 1u);
   EXPECT_GT(platform.metrics().eager_gc_cpu_core_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints: one small fig04-style chain cell and one small
+// fig09-style replay cell pinned to recorded constants. The heap and platform
+// inner loops are rebuilt PR over PR under a byte-exactness contract; any
+// change that perturbs simulation state (an extra RNG draw, a reordered GC,
+// a fault charged differently) shows up here as a changed constant.
+
+TEST(GoldenFingerprintTest, SingleFunctionCellIsStable) {
+  const WorkloadSpec* workload = FindWorkload("sort");
+  ASSERT_NE(workload, nullptr);
+  const SingleFunctionResult result =
+      RunSingleFunction(*workload, /*budget=*/256 * kMiB, /*iterations=*/20);
+  EXPECT_EQ(result.vanilla.uss, 40009728u);
+  EXPECT_EQ(result.vanilla.ideal_uss, 17305600u);
+  EXPECT_EQ(result.vanilla.duration, 18000000u);
+  EXPECT_EQ(result.eager.uss, 26918912u);
+  EXPECT_EQ(result.desiccant.uss, 17305600u);
+}
+
+TEST(GoldenFingerprintTest, InstanceGcLogCountsAreStable) {
+  SharedFileRegistry registry;
+  Instance instance(1, FindWorkload("mapreduce"), /*stage=*/0, 256 * kMiB, &registry,
+                    /*seed=*/1);
+  for (int i = 0; i < 25; ++i) {
+    instance.Execute();
+    // The downstream stage reads the carry after every invocation, as the
+    // platform would; otherwise carries pile up until a simulated OOM.
+    instance.program().ConsumeCarry(instance.runtime());
+  }
+  size_t young = 0;
+  size_t full = 0;
+  for (const GcLogEntry& entry : instance.runtime().gc_log()) {
+    young += entry.kind == GcLogEntry::Kind::kYoung;
+    full += entry.kind == GcLogEntry::Kind::kFull;
+  }
+  EXPECT_EQ(young, 62u);
+  EXPECT_EQ(full, 15u);
+}
+
+TEST(GoldenFingerprintTest, ReplayCellFingerprintIsStable) {
+  ReplayConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.scale_factor = 8.0;
+  config.warmup_seconds = 20.0;
+  config.measure_seconds = 60.0;
+  const ReplayResult result = RunReplay(config);
+  EXPECT_EQ(result.metrics.Fingerprint(), 5845523319977520975u);
+  EXPECT_EQ(result.metrics.requests_completed, 565u);
+  EXPECT_EQ(result.metrics.cold_boots, 42u);
+  EXPECT_EQ(result.desiccant_reclaim_requests, 518u);
 }
 
 }  // namespace

@@ -91,6 +91,9 @@ struct ReplayConfig {
   uint32_t prewarm_per_language = 0;  // OpenWhisk stem cells
   FaultPlan faults;           // all-zero = byte-identical to a faultless build
   DesiccantConfig desiccant;  // used when mode == kDesiccant
+  // Node physical-memory pressure (0 = model off, byte-identical replay).
+  uint64_t node_budget_mib = 0;
+  uint64_t swap_mib = 0;
 };
 
 struct ReplayResult {
@@ -98,6 +101,9 @@ struct ReplayResult {
   double cores = 0.0;
   uint64_t desiccant_bytes_released = 0;
   uint64_t desiccant_reclaim_requests = 0;
+  // Node pressure counters (all zero when the model is off).
+  PressureStats pressure;
+  uint64_t node_pressure_activations = 0;
 };
 
 // The Table 1 suite with coarsened objects, cached (bench binaries run many
@@ -122,6 +128,10 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
   platform_config.snapstart_restore = config.snapstart_restore;
   platform_config.prewarm_per_language = config.prewarm_per_language;
   platform_config.faults = config.faults;
+  if (config.node_budget_mib != 0) {
+    platform_config.pressure = PhysicalMemoryConfig::ForBytes(config.node_budget_mib * kMiB,
+                                                              config.swap_mib * kMiB);
+  }
   Platform platform(platform_config);
 
   std::unique_ptr<DesiccantManager> manager;
@@ -160,6 +170,10 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
   if (manager != nullptr) {
     result.desiccant_bytes_released = manager->bytes_released();
     result.desiccant_reclaim_requests = manager->reclaim_requests();
+    result.node_pressure_activations = manager->node_pressure_activations();
+  }
+  if (const PhysicalMemory* node = platform.physical_memory()) {
+    result.pressure = node->stats();
   }
   return result;
 }

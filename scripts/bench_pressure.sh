@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tracks the node-level memory-pressure model PR over PR and writes
+# BENCH_pressure.json.
+#
+# ext_pressure sweeps node page budget x swap capacity x memory mode over the
+# fig09 replay cell. The `off` rows are the byte-exactness guard (the model
+# compiled in but disabled must cost nothing and change nothing); the finite
+# budgets drive the whole reclaim ladder — kswapd, direct reclaim, emergency
+# GCs, swap-device pressure, pressure OOM kills — and their `replay` columns
+# assert the ladder is deterministic. The headline comparison the driver
+# watches: at an equal finite budget, Desiccant-on must beat Desiccant-off on
+# GoodputRps (reclaiming frozen garbage keeps residency below the watermarks,
+# so warm pools survive instead of being OOM-killed).
+#
+# Usage: scripts/bench_pressure.sh [output.json]
+#   BUILD_DIR=build  cmake build directory (configured if missing)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_pressure.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target ext_pressure
+
+"$BUILD_DIR/bench/ext_pressure" \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -79,8 +79,25 @@ void DesiccantManager::MaybeReclaim() {
   const bool idle_opportunity =
       config_.opportunistic_on_idle_cpu && frozen_bytes > 0 &&
       platform_->IdleCpu() >= config_.idle_cpu_fraction * platform_->config().cpu_cores;
-  if (!pressure && !idle_opportunity) {
+  // Node-pressure trigger: residency against the physical page budget, with
+  // a thrash guard — a mutator that hit direct reclaim since the last check
+  // is already fighting for the same pages our sweep would free, so the
+  // trigger holds off for a backoff window instead of piling on.
+  bool node_pressure = false;
+  if (PhysicalMemory* node = platform_->physical_memory()) {
+    const uint64_t direct = node->stats().direct_reclaim_events;
+    if (direct > last_direct_reclaim_events_) {
+      last_direct_reclaim_events_ = direct;
+      node_backoff_until_ = now + config_.node_thrash_backoff;
+    }
+    node_pressure = frozen_bytes > 0 && now >= node_backoff_until_ &&
+                    node->ResidentFraction() >= config_.node_pressure_fraction;
+  }
+  if (!pressure && !idle_opportunity && !node_pressure) {
     return;
+  }
+  if (node_pressure && !pressure && !idle_opportunity) {
+    ++node_pressure_activations_;
   }
   const std::vector<Instance*> frozen = platform_->FrozenInstances();
   ReclaimOptions options;

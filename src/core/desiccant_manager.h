@@ -36,6 +36,15 @@ struct DesiccantConfig {
   // doubles per consecutive abort, capped, and resets on the first success.
   SimTime abort_retry_base = 100 * kMillisecond;
   SimTime abort_retry_cap = 5 * kSecond;
+  // Node-pressure trigger: when the platform runs a PhysicalMemory node,
+  // reclamation also activates whenever node residency crosses this fraction
+  // of the page budget — regardless of the frozen-cache threshold. Ignored
+  // when the pressure model is off.
+  double node_pressure_fraction = 0.85;
+  // Thrash guard for the node trigger: if mutators hit direct reclaim since
+  // the last sweep, background reclaims are already losing the race for
+  // pages; hold off this long before re-arming the node trigger.
+  SimTime node_thrash_backoff = 250 * kMillisecond;
 };
 
 class DesiccantManager : public PlatformObserver {
@@ -57,6 +66,9 @@ class DesiccantManager : public PlatformObserver {
   // node crashed with the reclaim outstanding).
   uint64_t reclaim_aborts() const { return reclaim_aborts_; }
   uint64_t oom_kills_seen() const { return oom_kills_seen_; }
+  // Sweeps started by node residency alone (the frozen-cache threshold and
+  // the idle-CPU policy would both have stayed quiet).
+  uint64_t node_pressure_activations() const { return node_pressure_activations_; }
   const ProfileStore& profiles() const { return profiles_; }
   double CurrentThreshold() const;
 
@@ -74,6 +86,10 @@ class DesiccantManager : public PlatformObserver {
   uint64_t reclaim_aborts_ = 0;
   uint64_t oom_kills_seen_ = 0;
   uint32_t abort_streak_ = 0;  // consecutive aborts, drives the retry backoff
+  // Node-pressure trigger state (all dormant without a PhysicalMemory node).
+  uint64_t node_pressure_activations_ = 0;
+  uint64_t last_direct_reclaim_events_ = 0;
+  SimTime node_backoff_until_ = 0;
 };
 
 }  // namespace desiccant

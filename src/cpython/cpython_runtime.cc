@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/heap/heap_verifier.h"
+
 namespace desiccant {
 
 namespace {
@@ -30,6 +32,7 @@ CPythonRuntime::CPythonRuntime(VirtualAddressSpace* vas, const SimClock* clock,
 }
 
 SimObject* CPythonRuntime::AllocateObject(uint32_t size) {
+  MaybeEmergencyGc();
   if (allocated_since_gc_ >= config_.gc_threshold_bytes) {
     ChargeGcTime(Collect(/*aggressive=*/false));
   }
@@ -53,6 +56,7 @@ SimObject* CPythonRuntime::AllocateObject(uint32_t size) {
 
 bool CPythonRuntime::AllocateCluster(const uint32_t* sizes, size_t count,
                                      SimObject** out) {
+  MaybeEmergencyGc();
   uint64_t total = 0;
   for (size_t i = 0; i < count; ++i) {
     total += sizes[i];
@@ -138,6 +142,20 @@ ReclaimResult CPythonRuntime::Reclaim(const ReclaimOptions& options) {
   LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
         arenas_->CommittedBytes() + los_->CommittedBytes(), result.released_pages);
   return result;
+}
+
+uint64_t CPythonRuntime::EmergencyShrink() {
+  if (arenas_ == nullptr) {
+    return 0;  // mid-construction commit failure: no arenas exist yet
+  }
+  // Release free pages inside partially-occupied arenas; never unmaps an
+  // arena (an allocation may be touching one mid-fault).
+  return arenas_->ReleaseFreePagesInChunks();
+}
+
+uint64_t CPythonRuntime::VerifyHeapSpaces(uint32_t epoch) {
+  return HeapVerifier::CheckChunked(*arenas_, epoch, "cpython_arena") +
+         HeapVerifier::CheckLarge(*los_, epoch, "cpython_lo");
 }
 
 HeapStats CPythonRuntime::GetHeapStats() const {

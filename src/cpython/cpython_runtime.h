@@ -62,6 +62,10 @@ class CPythonRuntime final : public ManagedRuntime {
   const ChunkedOldSpace& arenas() const { return *arenas_; }
   const LargeObjectSpace& large_objects() const { return *los_; }
 
+ protected:
+  uint64_t EmergencyShrink() override;
+  uint64_t VerifyHeapSpaces(uint32_t epoch) override;
+
  private:
   // The cycle collector: mark from roots, sweep arenas, free empty arenas
   // (vanilla CPython's only give-back path).

@@ -43,12 +43,12 @@ V8Config V8ConfigForStage(const WorkloadSpec& workload, size_t stage, uint64_t b
 
 Instance::Instance(uint64_t id, const WorkloadSpec* workload, size_t stage,
                    uint64_t memory_budget, SharedFileRegistry* registry, uint64_t seed,
-                   JavaCollector collector)
+                   JavaCollector collector, PhysicalMemory* node)
     : id_(id),
       workload_(workload),
       stage_(stage),
       private_registry_(registry == nullptr ? std::make_unique<SharedFileRegistry>() : nullptr),
-      vas_(registry != nullptr ? registry : private_registry_.get()),
+      vas_(registry != nullptr ? registry : private_registry_.get(), node),
       program_(std::make_unique<FunctionProgram>(workload->stages[stage], seed)) {
   assert(stage < workload->chain_length());
   SharedFileRegistry* effective =
@@ -68,12 +68,13 @@ Instance::Instance(uint64_t id, const WorkloadSpec* workload, size_t stage,
 }
 
 Instance::Instance(uint64_t id, Language language, uint64_t memory_budget,
-                   SharedFileRegistry* registry, JavaCollector collector)
+                   SharedFileRegistry* registry, JavaCollector collector,
+                   PhysicalMemory* node)
     : id_(id),
       workload_(nullptr),
       stage_(0),
       private_registry_(registry == nullptr ? std::make_unique<SharedFileRegistry>() : nullptr),
-      vas_(registry != nullptr ? registry : private_registry_.get()) {
+      vas_(registry != nullptr ? registry : private_registry_.get(), node) {
   SharedFileRegistry* effective =
       registry != nullptr ? registry : private_registry_.get();
   if (language == Language::kJava && collector == JavaCollector::kG1) {

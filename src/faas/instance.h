@@ -35,16 +35,19 @@ class Instance {
  public:
   // `registry` is the node-wide shared-file registry. When null (the Lambda
   // mode of §5.4: no cross-instance sharing) the instance gets a private one,
-  // so its runtime image pages always count toward USS.
+  // so its runtime image pages always count toward USS. `node` is the node's
+  // physical memory; null (or a zero budget) means infinite memory.
   Instance(uint64_t id, const WorkloadSpec* workload, size_t stage, uint64_t memory_budget,
            SharedFileRegistry* registry, uint64_t seed,
-           JavaCollector collector = JavaCollector::kSerial);
+           JavaCollector collector = JavaCollector::kSerial,
+           PhysicalMemory* node = nullptr);
 
   // A prewarmed "stem cell": the runtime is booted but no function is bound
   // yet. Bind() assigns one (and the program seed) before the first Execute().
   Instance(uint64_t id, Language language, uint64_t memory_budget,
            SharedFileRegistry* registry,
-           JavaCollector collector = JavaCollector::kSerial);
+           JavaCollector collector = JavaCollector::kSerial,
+           PhysicalMemory* node = nullptr);
   void Bind(const WorkloadSpec* workload, size_t stage, uint64_t seed);
   bool bound() const { return workload_ != nullptr; }
 

@@ -100,6 +100,12 @@ Platform::Platform(const PlatformConfig& config, SimContext* context)
     owned_context_ = std::make_unique<SimContext>();
     context_ = owned_context_.get();
   }
+  // Only materialize the node's physical memory when the pressure model is
+  // on: with physical_ null every address space runs unattached, exactly as
+  // before the model existed.
+  if (config_.pressure.page_budget != 0) {
+    physical_ = std::make_unique<PhysicalMemory>(config_.pressure);
+  }
 }
 
 void Platform::ScheduleNode(SimTime time, EventQueue::Closure fn) {
@@ -268,7 +274,7 @@ bool Platform::TryRun(const Request& request) {
   auto instance = std::make_unique<Instance>(
       id, request.workload, request.stage, config_.instance_memory_budget,
       config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
-      config_.java_collector);
+      config_.java_collector, physical_.get());
   instance->set_function_id(function);
   const SimTime boot_wall = config_.snapstart_restore
                                 ? config_.snapstart_restore_cost
@@ -370,6 +376,18 @@ void Platform::StartOnInstance(Instance* instance, const Request& request,
     timed.exec_time += timeout;
     inflight_.emplace(id, timed);
     ScheduleNode(context_->clock.Now() + timeout, [this, id]() { TimeoutKill(id); });
+    return;
+  }
+
+  // Node-pressure OOM: a page commit was denied for good during this
+  // invocation (swap full, emergency relief insufficient). The program
+  // stopped allocating at that point, so `wall` already reflects the
+  // truncated compute; the kernel kills the instance when it surfaces.
+  if (outcome.oom_killed) {
+    Request doomed = request;
+    doomed.exec_time += wall;
+    inflight_.emplace(id, doomed);
+    ScheduleNode(context_->clock.Now() + wall, [this, id]() { PressureOomKill(id); });
     return;
   }
 
@@ -515,6 +533,23 @@ void Platform::KillNonFrozen(Instance* instance, ActivationRecord::Outcome outco
   destroy();
 }
 
+void Platform::PressureOomKill(uint64_t instance_id) {
+  auto it = inflight_.find(instance_id);
+  if (it == inflight_.end()) {
+    return;  // already torn down by another kill path
+  }
+  Instance* victim = LookUp(instance_id);
+  assert(victim != nullptr);
+  if (InWindow()) {
+    ++metrics_.oom_kills;
+    ++metrics_.oom_kills_running;
+  }
+  RecordFault(FaultKind::kOomKill, instance_id, FunctionName(*victim),
+              config_.instance_memory_budget);
+  KillNonFrozen(victim, ActivationRecord::Outcome::kOomKilled);
+  PumpWaiting();
+}
+
 void Platform::TimeoutKill(uint64_t instance_id) {
   auto it = inflight_.find(instance_id);
   if (it == inflight_.end()) {
@@ -552,8 +587,14 @@ void Platform::MaybeOomKill() {
   if (capacity == 0) {
     return;
   }
+  // With the pressure model on, the OOM killer watches what is actually
+  // resident on the node rather than the platform's charged bytes — the same
+  // quantity the commit gate and kswapd see.
+  const auto used_bytes = [this]() {
+    return physical_ != nullptr ? physical_->ResidentBytes() : committed_bytes();
+  };
   bool killed = false;
-  while (committed_bytes() > capacity) {
+  while (used_bytes() > capacity) {
     // Kill order: cheapest-to-rebuild frozen instance first (losing it costs
     // one cold boot), then the youngest running/booting instance (losing it
     // aborts an invocation). Provisioned capacity is not exempt — the OOM
@@ -1039,6 +1080,11 @@ void Platform::CheckAccounting() const {
   const bool cache_ok = frozen == memory_charged_;
   const bool committed_ok = running == running_committed_;
   const bool cpu_ok = cpu_in_use_ >= -1e-9 && cpu_in_use_ <= config_.cpu_cores + 1e-9;
+  if (physical_ != nullptr) {
+    // Cross-layer residency invariant: the node's counters must equal the sum
+    // over every attached address space (aborts internally on violation).
+    physical_->VerifyAccounting();
+  }
   if (!cache_ok || !committed_ok || !cpu_ok) {
     std::fprintf(stderr,
                  "Platform accounting invariant violated at t=%llu:\n"
@@ -1061,7 +1107,7 @@ void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count
     auto instance = std::make_unique<Instance>(
         id, workload, /*stage=*/0, config_.instance_memory_budget,
         config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
-        config_.java_collector);
+        config_.java_collector, physical_.get());
     instance->set_function_id(functions_.Intern(workload, /*stage=*/0));
     const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
     instances_.emplace(id, std::move(instance));
@@ -1117,7 +1163,7 @@ void Platform::MaintainPrewarmPool(Language language) {
     auto instance = std::make_unique<Instance>(
         id, language, config_.instance_memory_budget,
         config_.share_runtime_images ? &registry_ : nullptr,
-        config_.java_collector);
+        config_.java_collector, physical_.get());
     const SimTime boot_wall = config_.container_create_cost + instance->BootCost();
     instances_.emplace(id, std::move(instance));
     running_committed_ += config_.instance_memory_budget;

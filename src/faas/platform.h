@@ -34,6 +34,7 @@
 #include "src/faas/fault_injector.h"
 #include "src/faas/function_registry.h"
 #include "src/faas/instance.h"
+#include "src/os/physical_memory.h"
 
 namespace desiccant {
 
@@ -88,6 +89,13 @@ struct PlatformConfig {
   // crashes, reclaim aborts). The all-zero default runs byte-identical to a
   // build without the fault layer.
   FaultPlan faults;
+  // Node-level physical memory pressure. The zero-budget default disables the
+  // model entirely (no PhysicalMemory is constructed; every code path is
+  // byte-identical to a pressure-free build). With a finite page budget every
+  // instance's address space commits against the node: kswapd reclaim, direct
+  // reclaim stalls, and — once the swap device is full — commit failures that
+  // surface as runtime OOM kills.
+  PhysicalMemoryConfig pressure;
 };
 
 // One entry of the platform's activation-record log (OpenWhisk keeps such
@@ -293,8 +301,11 @@ class Platform {
   bool faults_enabled() const { return injector_.enabled(); }
   bool node_down() const { return down_; }
   // Committed node memory: full budgets of booting/running instances plus
-  // cached USS of frozen ones — what the OOM killer compares to capacity.
+  // cached USS of frozen ones — what the OOM killer compares to capacity
+  // when the pressure model is off.
   uint64_t committed_bytes() const { return memory_charged_ + running_committed_; }
+  // The node's physical memory, or null when config.pressure is disabled.
+  PhysicalMemory* physical_memory() const { return physical_.get(); }
 
   // Invoker crash: invalidates every scheduled node event, drains the
   // instance cache (observers see OnInstanceDestroyed per instance and an
@@ -361,6 +372,9 @@ class Platform {
   // its CPU share and committed memory, fails over or retries its request.
   void KillNonFrozen(Instance* instance, ActivationRecord::Outcome outcome);
   void TimeoutKill(uint64_t instance_id);
+  // Kills an instance whose invocation ran the node out of memory (a page
+  // commit failed even after emergency relief). Mirrors TimeoutKill.
+  void PressureOomKill(uint64_t instance_id);
   // cgroup-style OOM killer; no-op unless the plan sets node_memory_bytes.
   void MaybeOomKill();
   Instance* CheapestToRebuildFrozen() const;
@@ -389,6 +403,10 @@ class Platform {
   PlatformObserver* observer_ = nullptr;
   Rng rng_;
   FaultInjector injector_;
+  // Node physical memory; null unless config.pressure has a finite budget.
+  // Declared before instances_ so every VirtualAddressSpace detaches before
+  // the node is destroyed.
+  std::unique_ptr<PhysicalMemory> physical_;
 
   // Crash epoch: bumped by CrashNode so every node-scoped event scheduled
   // before the crash becomes a no-op.

@@ -7,11 +7,7 @@ namespace desiccant {
 
 namespace {
 
-void AccumulateTouch(TouchResult* into, const TouchResult& t) {
-  into->minor_faults += t.minor_faults;
-  into->swap_ins += t.swap_ins;
-  into->cow_faults += t.cow_faults;
-}
+void AccumulateTouch(TouchResult* into, const TouchResult& t) { into->Accumulate(t); }
 
 }  // namespace
 

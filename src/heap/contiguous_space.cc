@@ -21,9 +21,7 @@ bool ContiguousSpace::Allocate(SimObject* obj, TouchResult* faults) {
   }
   obj->address = top_;
   const TouchResult t = vas_->Touch(region_, top_, obj->size, /*write=*/true);
-  faults->minor_faults += t.minor_faults;
-  faults->swap_ins += t.swap_ins;
-  faults->cow_faults += t.cow_faults;
+  faults->Accumulate(t);
   top_ += obj->size;
   objects_.push_back(obj);
   return true;
@@ -40,9 +38,7 @@ void ContiguousSpace::AllocateSpan(SimObject* const* objs, size_t count, uint64_
   assert(check == total);
 #endif
   const TouchResult t = vas_->Touch(region_, top_, total, /*write=*/true);
-  faults->minor_faults += t.minor_faults;
-  faults->swap_ins += t.swap_ins;
-  faults->cow_faults += t.cow_faults;
+  faults->Accumulate(t);
   for (size_t i = 0; i < count; ++i) {
     objs[i]->address = top_;
     top_ += objs[i]->size;

@@ -1,0 +1,61 @@
+// Cross-layer heap invariant verifier (debug/chaos tool).
+//
+// After every collection the owning runtime, when verification is enabled,
+// re-traces the heap from its root tables under a fresh mark epoch and walks
+// every space, checking:
+//   * structural integrity: every object a space holds lies inside the
+//     space's bounds, is not a freed (poisoned) node, and the per-space used
+//     byte counters equal the sum of the objects they claim to hold;
+//   * liveness/space membership: the bytes the mark traversal found reachable
+//     equal the marked bytes discovered by walking the spaces — i.e. every
+//     reachable object lives in exactly one space and no space hides or
+//     duplicates a live object;
+//   * OS-side accounting: the node's PhysicalMemory page counters equal the
+//     sum of its attached address spaces' counters (PhysicalMemory::
+//     VerifyAccounting), so runtime-charged residency and node residency
+//     cannot drift apart.
+//
+// Verification is off by default (it re-marks the heap after each GC, which
+// is far too slow for benches) and is enabled either programmatically via
+// set_enabled(true) or by setting the environment variable
+// DESICCANT_VERIFY_HEAP=1. Violations abort with a description.
+#ifndef DESICCANT_SRC_HEAP_HEAP_VERIFIER_H_
+#define DESICCANT_SRC_HEAP_HEAP_VERIFIER_H_
+
+#include <cstdint>
+
+namespace desiccant {
+
+class Chunk;
+class ChunkedOldSpace;
+class ContiguousSpace;
+class LargeObjectSpace;
+class Semispace;
+
+class HeapVerifier {
+ public:
+  static bool enabled() { return enabled_; }
+  static void set_enabled(bool on) { enabled_ = on; }
+
+  // Per-space structural checks. Each walks the space's objects, aborts on a
+  // violation, and returns the summed size of objects marked with `epoch`
+  // (the space-walk side of the liveness cross-check).
+  static uint64_t CheckContiguous(const ContiguousSpace& space, uint32_t epoch);
+  static uint64_t CheckChunked(const ChunkedOldSpace& space, uint32_t epoch,
+                               const char* name);
+  static uint64_t CheckSemispace(const Semispace& space, uint32_t epoch,
+                                 const char* name);
+  static uint64_t CheckLarge(const LargeObjectSpace& space, uint32_t epoch,
+                             const char* name);
+
+  [[noreturn]] static void Fail(const char* fmt, ...);
+
+ private:
+  static uint64_t CheckChunk(const Chunk& chunk, uint32_t epoch, const char* name);
+
+  static bool enabled_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_HEAP_HEAP_VERIFIER_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/heap/heap_verifier.h"
+
 namespace desiccant {
 
 namespace {
@@ -80,6 +82,7 @@ bool G1Runtime::AllocateInto(G1RegionState state, size_t* cursor, SimObject* obj
 }
 
 SimObject* G1Runtime::AllocateObject(uint32_t size) {
+  MaybeEmergencyGc();
   TouchResult faults;
   NoteAllocation(size);
 
@@ -146,6 +149,7 @@ SimObject* G1Runtime::AllocateObject(uint32_t size) {
 }
 
 bool G1Runtime::AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) {
+  MaybeEmergencyGc();
   uint64_t total = 0;
   for (size_t i = 0; i < count; ++i) {
     if (sizes[i] >= config_.region_bytes / 2) {
@@ -332,6 +336,42 @@ ReclaimResult G1Runtime::Reclaim(const ReclaimOptions& options) {
   LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
         GetHeapStats().committed_bytes, result.released_pages);
   return result;
+}
+
+uint64_t G1Runtime::EmergencyShrink() {
+  // Release-only (no evacuation, nothing moves): free regions entirely, free
+  // tails of occupied non-humongous regions.
+  uint64_t released = 0;
+  for (G1Region& region : regions_) {
+    if (region.state == G1RegionState::kFree) {
+      released += region.space->ReleaseAllPages();
+    } else if (region.state != G1RegionState::kHumongous) {
+      released += region.space->ReleaseFreePages();
+    }
+  }
+  return released;
+}
+
+uint64_t G1Runtime::VerifyHeapSpaces(uint32_t epoch) {
+  uint64_t marked = 0;
+  for (const G1Region& region : regions_) {
+    if (region.state == G1RegionState::kHumongous) {
+      // Humongous objects bypass the bump cursor (the head region's space
+      // tracks the object but its top stays at base), so the contiguous-space
+      // checks do not apply; check the object directly.
+      for (const SimObject* obj : region.space->objects()) {
+        if (obj == nullptr || obj->poisoned()) {
+          HeapVerifier::Fail("G1 humongous region holds a dead object node");
+        }
+        if (obj->mark_epoch == epoch) {
+          marked += obj->size;
+        }
+      }
+      continue;
+    }
+    marked += HeapVerifier::CheckContiguous(*region.space, epoch);
+  }
+  return marked;
 }
 
 HeapStats G1Runtime::GetHeapStats() const {

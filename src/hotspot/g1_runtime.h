@@ -76,6 +76,10 @@ class G1Runtime final : public ManagedRuntime {
     return CountState(G1RegionState::kOld) + CountState(G1RegionState::kHumongous);
   }
 
+ protected:
+  uint64_t EmergencyShrink() override;
+  uint64_t VerifyHeapSpaces(uint32_t epoch) override;
+
  private:
   enum class G1RegionState : uint8_t { kFree, kEden, kSurvivor, kOld, kHumongous };
 

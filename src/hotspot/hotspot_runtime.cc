@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/heap/heap_verifier.h"
+
 namespace desiccant {
 
 namespace {
@@ -61,6 +63,7 @@ void HotSpotRuntime::LayoutYoung() {
 }
 
 SimObject* HotSpotRuntime::AllocateObject(uint32_t size) {
+  MaybeEmergencyGc();
   SimObject* obj = pool_.New(size);
   obj->space = kYoungTag;
   TouchResult faults;
@@ -109,6 +112,7 @@ SimObject* HotSpotRuntime::AllocateObject(uint32_t size) {
 
 bool HotSpotRuntime::AllocateCluster(const uint32_t* sizes, size_t count,
                                      SimObject** out) {
+  MaybeEmergencyGc();
   uint64_t total = 0;
   for (size_t i = 0; i < count; ++i) {
     total += sizes[i];
@@ -387,6 +391,23 @@ ReclaimResult HotSpotRuntime::Reclaim(const ReclaimOptions& options) {
   LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
         young_committed_ + old_committed_, result.released_pages);
   return result;
+}
+
+uint64_t HotSpotRuntime::EmergencyShrink() {
+  if (old_ == nullptr) {
+    return 0;  // mid-construction commit failure: no heap spaces exist yet
+  }
+  // Free tails only: nothing moves, so this is safe mid-fault. The pages the
+  // in-flight allocation is touching may be released and simply re-fault.
+  return eden_->ReleaseFreePages() + from_->ReleaseFreePages() + to_->ReleaseFreePages() +
+         old_->ReleaseFreePages();
+}
+
+uint64_t HotSpotRuntime::VerifyHeapSpaces(uint32_t epoch) {
+  return HeapVerifier::CheckContiguous(*eden_, epoch) +
+         HeapVerifier::CheckContiguous(*from_, epoch) +
+         HeapVerifier::CheckContiguous(*to_, epoch) +
+         HeapVerifier::CheckContiguous(*old_, epoch);
 }
 
 HeapStats HotSpotRuntime::GetHeapStats() const {

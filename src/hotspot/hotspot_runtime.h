@@ -63,6 +63,10 @@ class HotSpotRuntime final : public ManagedRuntime {
  public:
   enum SpaceTag : uint8_t { kYoungTag = 0, kOldTag = 1 };
 
+ protected:
+  uint64_t EmergencyShrink() override;
+  uint64_t VerifyHeapSpaces(uint32_t epoch) override;
+
  private:
 
   void LayoutYoung();

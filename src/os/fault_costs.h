@@ -22,10 +22,15 @@ struct FaultCostModel {
   SimTime swap_in_cost = 25 * kMicrosecond;
   // Swap-out cost charged per page when the OS pushes pages out.
   SimTime swap_out_cost = 3 * kMicrosecond;
+  // Direct-reclaim stall: a faulting mutator that has to reclaim pages
+  // synchronously pays the scan plus the swap-out write per page it frees
+  // (kswapd-style background reclaim charges the mutator nothing).
+  SimTime direct_reclaim_page_cost = 5 * kMicrosecond;
 
   SimTime CostOf(const TouchResult& touch) const {
     return touch.minor_faults * minor_fault_cost + touch.cow_faults * cow_fault_cost +
-           touch.swap_ins * swap_in_cost;
+           touch.swap_ins * swap_in_cost +
+           touch.direct_reclaim_pages * direct_reclaim_page_cost;
   }
 
   // OOM-killer accounting hook: the page-side cost of rebuilding a killed

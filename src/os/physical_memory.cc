@@ -1,0 +1,150 @@
+#include "src/os/physical_memory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/os/virtual_memory.h"
+
+namespace desiccant {
+
+void PhysicalMemory::Attach(VirtualAddressSpace* vas) { spaces_.push_back(vas); }
+
+void PhysicalMemory::Detach(VirtualAddressSpace* vas) {
+  const auto it = std::find(spaces_.begin(), spaces_.end(), vas);
+  if (it == spaces_.end()) {
+    return;
+  }
+  const size_t index = static_cast<size_t>(it - spaces_.begin());
+  spaces_.erase(it);
+  // The latch must never hold a dangling pointer (a later space could even be
+  // allocated at the same address and inherit the exhaustion verdict).
+  if (exhausted_for_ == vas) {
+    exhausted_for_ = nullptr;
+  }
+  // Keep the rotating cursor pointing at the same successor space.
+  if (cursor_ > index) {
+    --cursor_;
+  }
+  if (cursor_ >= spaces_.size()) {
+    cursor_ = 0;
+  }
+}
+
+void PhysicalMemory::OnPagesDelta(int64_t resident_delta, int64_t swapped_delta) {
+  const int64_t resident = static_cast<int64_t>(resident_pages_) + resident_delta;
+  const int64_t swapped = static_cast<int64_t>(swap_.used_pages) + swapped_delta;
+  if (resident < 0 || swapped < 0) {
+    std::fprintf(stderr,
+                 "PhysicalMemory: page accounting underflow (resident %lld, swap %lld)\n",
+                 static_cast<long long>(resident), static_cast<long long>(swapped));
+    std::abort();
+  }
+  resident_pages_ = static_cast<uint64_t>(resident);
+  swap_.used_pages = static_cast<uint64_t>(swapped);
+  if (swapped_delta > 0) {
+    stats_.swap_out_pages += static_cast<uint64_t>(swapped_delta);
+  }
+  if (resident_delta < 0 || swapped_delta < 0) {
+    // Pages were freed or a swap slot drained: a previously futile reclaim
+    // scan may find work again.
+    exhausted_for_ = nullptr;
+  }
+}
+
+CommitOutcome PhysicalMemory::RequestPages(uint64_t need, const VirtualAddressSpace* requester) {
+  CommitOutcome out;
+  if (!enabled() || need == 0) {
+    return out;
+  }
+  const uint64_t budget = config_.page_budget;
+  // Rung 1: kswapd. A commit that would push residency above the high
+  // watermark wakes background reclaim, which scans down toward the low
+  // watermark. Background reclaim costs the faulting mutator nothing.
+  // The exhaustion latch makes sustained overload cheap: once a full scan
+  // frees nothing (swap full, no droppable clean page), further commits skip
+  // the scan and fail fast until some space actually frees pages — otherwise
+  // every fault on a saturated node would pay an O(node) futile scan.
+  const bool exhausted = requester != nullptr && exhausted_for_ == requester;
+  if (resident_pages_ + need > HighWatermarkPages() && !exhausted) {
+    const uint64_t low = LowWatermarkPages();
+    const uint64_t target_resident = low > need ? low - need : 0;
+    if (resident_pages_ > target_resident) {
+      const uint64_t freed = ReclaimPages(resident_pages_ - target_resident, requester);
+      ++stats_.kswapd_runs;
+      stats_.kswapd_pages += freed;
+      if (freed == 0) {
+        exhausted_for_ = requester;
+      }
+    }
+  }
+  if (resident_pages_ + need <= budget) {
+    return out;
+  }
+  // Rung 2: direct reclaim — synchronous, charged to the faulting mutator.
+  if (exhausted_for_ != requester) {  // rung 1 may have just latched
+    const uint64_t shortfall = resident_pages_ + need - budget;
+    const uint64_t freed = ReclaimPages(shortfall, requester);
+    ++stats_.direct_reclaim_events;
+    stats_.direct_reclaim_pages += freed;
+    out.direct_reclaim_pages = freed;
+    if (freed == 0) {
+      exhausted_for_ = requester;
+    }
+  }
+  if (resident_pages_ + need <= budget) {
+    return out;
+  }
+  // Rung 3: the budget is exhausted, swap is full (or every reclaimable page
+  // belongs to the requester) — the commit fails.
+  ++stats_.commit_failures;
+  stats_.failed_pages += need;
+  out.result = CommitResult::kNoMemory;
+  return out;
+}
+
+uint64_t PhysicalMemory::ReclaimPages(uint64_t target, const VirtualAddressSpace* skip) {
+  uint64_t freed = 0;
+  const size_t n = spaces_.size();
+  for (size_t scanned = 0; scanned < n && freed < target; ++scanned) {
+    if (cursor_ >= spaces_.size()) {
+      cursor_ = 0;
+    }
+    VirtualAddressSpace* vas = spaces_[cursor_];
+    cursor_ = cursor_ + 1 == spaces_.size() ? 0 : cursor_ + 1;
+    if (vas == skip) {
+      continue;
+    }
+    // Dirty pages need a free swap slot; clean file pages drop for free.
+    freed += vas->SwapOutPagesLimited(target - freed, swap_.FreePages(), nullptr);
+  }
+  return freed;
+}
+
+void PhysicalMemory::VerifyAccounting() const {
+  uint64_t resident = 0;
+  uint64_t swapped = 0;
+  for (const VirtualAddressSpace* vas : spaces_) {
+    resident += vas->resident_pages();
+    swapped += vas->swapped_pages();
+  }
+  if (resident != resident_pages_ || swapped != swap_.used_pages) {
+    std::fprintf(stderr,
+                 "PhysicalMemory accounting invariant violated:\n"
+                 "  sum of space residency %llu vs node %llu pages\n"
+                 "  sum of space swap      %llu vs device %llu pages\n",
+                 static_cast<unsigned long long>(resident),
+                 static_cast<unsigned long long>(resident_pages_),
+                 static_cast<unsigned long long>(swapped),
+                 static_cast<unsigned long long>(swap_.used_pages));
+    std::abort();
+  }
+  if (enabled() && resident_pages_ > config_.page_budget) {
+    std::fprintf(stderr, "PhysicalMemory: residency %llu exceeds budget %llu pages\n",
+                 static_cast<unsigned long long>(resident_pages_),
+                 static_cast<unsigned long long>(config_.page_budget));
+    std::abort();
+  }
+}
+
+}  // namespace desiccant

@@ -1,0 +1,174 @@
+// Node-level physical memory: a fixed page budget shared by every
+// VirtualAddressSpace on the node, backed by a bounded swap device.
+//
+// Until this subsystem existed the simulation's memory was infinitely
+// elastic: each address space could fault in as many pages as it liked and
+// swap was a per-process counter with no device behind it. PhysicalMemory
+// closes that loop. Every VAS constructed with a node pointer attaches here
+// and forwards its resident/swap page deltas, so the node always knows its
+// exact residency. When a page fault would exceed the budget, the commit
+// walks the Linux-style reclaim ladder:
+//
+//   1. kswapd: if the commit pushes residency above the high watermark,
+//      background reclaim scans the node's address spaces (rotating cursor,
+//      map-order within each space — LRU-ish and semantics-blind) down
+//      toward the low watermark. Background reclaim charges the faulting
+//      mutator nothing.
+//   2. direct reclaim: if the budget is still short, the faulting mutator
+//      reclaims synchronously and is charged a per-page stall through
+//      FaultCostModel::direct_reclaim_page_cost.
+//   3. kNoMemory: only when the swap device is full and no clean page is
+//      droppable does the commit fail. VirtualAddressSpace then gives the
+//      owning runtime one shot at emergency relief (full GC + shrink) and
+//      retries; a second failure surfaces as TouchResult::failed_pages and
+//      ends in a runtime-level out-of-memory (the platform's kOomKilled).
+//
+// A zero page budget disables the model entirely: RequestPages returns
+// immediately, no scan or draw ever happens, and all figure tables stay
+// byte-identical to a build without the subsystem.
+#ifndef DESICCANT_SRC_OS_PHYSICAL_MEMORY_H_
+#define DESICCANT_SRC_OS_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <cstddef>
+
+#include "src/base/units.h"
+
+namespace desiccant {
+
+class VirtualAddressSpace;
+
+// Outcome of a commit request against the node budget.
+enum class CommitResult : uint8_t { kOk, kNoMemory };
+
+struct CommitOutcome {
+  CommitResult result = CommitResult::kOk;
+  // Pages reclaimed synchronously on the faulting path; the caller charges
+  // the stall via FaultCostModel.
+  uint64_t direct_reclaim_pages = 0;
+};
+
+// The bounded swap device: capacity and occupancy in pages. Occupancy moves
+// with the attached spaces' swapped-page deltas (swap-outs fill it, swap-ins
+// and discards drain it).
+struct SwapDevice {
+  uint64_t capacity_pages = 0;
+  uint64_t used_pages = 0;
+
+  uint64_t FreePages() const {
+    return capacity_pages > used_pages ? capacity_pages - used_pages : 0;
+  }
+};
+
+struct PhysicalMemoryConfig {
+  // Node page budget. 0 disables the pressure model (infinite memory).
+  uint64_t page_budget = 0;
+  // Swap device capacity in pages (0 = no swap: only clean file pages are
+  // reclaimable and anonymous pressure fails fast).
+  uint64_t swap_pages = 0;
+  // kswapd wakes when a commit would push residency above high * budget and
+  // reclaims down toward low * budget.
+  double high_watermark = 0.92;
+  double low_watermark = 0.85;
+
+  static PhysicalMemoryConfig ForBytes(uint64_t budget_bytes, uint64_t swap_bytes) {
+    PhysicalMemoryConfig config;
+    config.page_budget = BytesToPages(budget_bytes);
+    config.swap_pages = BytesToPages(swap_bytes);
+    return config;
+  }
+};
+
+struct PressureStats {
+  uint64_t kswapd_runs = 0;
+  uint64_t kswapd_pages = 0;            // pages freed by background reclaim
+  uint64_t direct_reclaim_events = 0;
+  uint64_t direct_reclaim_pages = 0;    // pages freed on faulting paths
+  uint64_t swap_out_pages = 0;          // dirty pages written to the device
+  uint64_t commit_failures = 0;         // commits that hit kNoMemory
+  uint64_t failed_pages = 0;            // pages those commits wanted
+};
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(const PhysicalMemoryConfig& config) : config_(config) {
+    swap_.capacity_pages = config.swap_pages;
+  }
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  bool enabled() const { return config_.page_budget != 0; }
+
+  // VirtualAddressSpace lifecycle (called from its ctor/dtor).
+  void Attach(VirtualAddressSpace* vas);
+  void Detach(VirtualAddressSpace* vas);
+
+  // An attached space's page counters moved; deltas may be negative.
+  void OnPagesDelta(int64_t resident_delta, int64_t swapped_delta);
+
+  // The commit gate: `requester` wants to materialize `need` resident pages.
+  // Runs the reclaim ladder described above. The requester's own pages are
+  // never reclaimed mid-fault (its bitmap words are in use on the stack).
+  CommitOutcome RequestPages(uint64_t need, const VirtualAddressSpace* requester);
+
+  uint64_t total_resident_pages() const { return resident_pages_; }
+  uint64_t ResidentBytes() const { return PagesToBytes(resident_pages_); }
+  uint64_t FreePages() const {
+    return config_.page_budget > resident_pages_ ? config_.page_budget - resident_pages_
+                                                 : 0;
+  }
+  // Residency as a fraction of the budget; 0 when the model is disabled.
+  double ResidentFraction() const {
+    return enabled() ? static_cast<double>(resident_pages_) /
+                           static_cast<double>(config_.page_budget)
+                     : 0.0;
+  }
+
+  const PhysicalMemoryConfig& config() const { return config_; }
+  const SwapDevice& swap() const { return swap_; }
+  const PressureStats& stats() const { return stats_; }
+  size_t attached_count() const { return spaces_.size(); }
+
+  // Cross-layer invariant: the node's aggregate counters must equal the sum
+  // of the attached spaces' (themselves incrementally maintained) counters.
+  // Aborts with a message on mismatch. Cheap — O(attached spaces).
+  void VerifyAccounting() const;
+
+ private:
+  uint64_t HighWatermarkPages() const {
+    return static_cast<uint64_t>(config_.high_watermark *
+                                 static_cast<double>(config_.page_budget));
+  }
+  uint64_t LowWatermarkPages() const {
+    return static_cast<uint64_t>(config_.low_watermark *
+                                 static_cast<double>(config_.page_budget));
+  }
+
+  // Reclaims up to `target` resident pages across attached spaces (skipping
+  // `skip`), bounded by free swap for dirty pages. Returns pages freed.
+  uint64_t ReclaimPages(uint64_t target, const VirtualAddressSpace* skip);
+
+  PhysicalMemoryConfig config_;
+  std::vector<VirtualAddressSpace*> spaces_;
+  uint64_t resident_pages_ = 0;
+  SwapDevice swap_;
+  // Rotating reclaim cursor: successive scans start where the last one
+  // stopped, so no single space is always the first victim.
+  size_t cursor_ = 0;
+  // Set when a full reclaim scan on behalf of this requester freed nothing;
+  // cleared as soon as any space frees pages or drains swap. While set, that
+  // requester's commits skip the (futile) scans — a hot loop of faults from a
+  // doomed space must not pay an O(node) scan each time. The latch is
+  // per-requester because a scan skips the requester's own pages: "nothing
+  // reclaimable around X" says nothing about what a different space could
+  // reclaim *from* X.
+  const VirtualAddressSpace* exhausted_for_ = nullptr;
+  PressureStats stats_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_OS_PHYSICAL_MEMORY_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace desiccant {
 
@@ -27,7 +29,12 @@ uint64_t Popcount(uint64_t bits) { return static_cast<uint64_t>(std::popcount(bi
 
 }  // namespace
 
-VirtualAddressSpace::VirtualAddressSpace(SharedFileRegistry* registry) : registry_(registry) {}
+VirtualAddressSpace::VirtualAddressSpace(SharedFileRegistry* registry, PhysicalMemory* node)
+    : registry_(registry), node_(node) {
+  if (node_ != nullptr) {
+    node_->Attach(this);
+  }
+}
 
 VirtualAddressSpace::~VirtualAddressSpace() {
   for (RegionId id = 0; id < regions_.size(); ++id) {
@@ -35,6 +42,29 @@ VirtualAddressSpace::~VirtualAddressSpace() {
       Unmap(id);
     }
   }
+  // Detach after the unmaps so every dropped page flowed back to the node.
+  if (node_ != nullptr) {
+    node_->Detach(this);
+    node_ = nullptr;
+  }
+}
+
+void VirtualAddressSpace::DieOutOfRange(const char* op, RegionId region, uint64_t last_page,
+                                        uint64_t num_pages) {
+  std::fprintf(stderr,
+               "VirtualAddressSpace::%s out of range: page %llu of region %u "
+               "(%llu pages)\n",
+               op, static_cast<unsigned long long>(last_page), region,
+               static_cast<unsigned long long>(num_pages));
+  std::abort();
+}
+
+void VirtualAddressSpace::DieDeadRegion(RegionId region, size_t num_regions) {
+  std::fprintf(stderr,
+               "VirtualAddressSpace: access to dead or unknown region %u "
+               "(%zu regions mapped) — double Unmap/Decommit?\n",
+               region, num_regions);
+  std::abort();
 }
 
 RegionId VirtualAddressSpace::MapAnonymous(std::string name, uint64_t bytes) {
@@ -78,75 +108,116 @@ void VirtualAddressSpace::Unmap(RegionId region) {
 
 TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_t len,
                                        bool write) {
-  Region& r = GetRegion(region);
   TouchResult result;
-  if (len == 0) {
-    return result;
+  {
+    Region& r = GetRegion(region);
+    if (len == 0) {
+      return result;
+    }
+    const uint64_t last = (offset + len - 1) / kPageSize;
+    if (last >= r.pages.num_pages()) {
+      DieOutOfRange("Touch", region, last, r.pages.num_pages());
+    }
+    if (write) {
+      r.never_written = false;
+    }
   }
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + len - 1) / kPageSize;
-  assert(last < r.pages.num_pages());
-  if (write) {
-    r.never_written = false;
-  }
-  const bool file_backed = r.kind == RegionKind::kFileBacked;
-  ForEachWordInRange(first, last, [&](uint64_t w, uint64_t mask) {
-    uint64_t& lo = r.pages.lo(w);
-    uint64_t& hi = r.pages.hi(w);
-    const uint64_t np = ~lo & ~hi & mask;        // kNotPresent
-    const uint64_t swapped = lo & hi & mask;     // kSwapped
-    if (file_backed && !write) {
-      // NotPresent -> Clean (shared with the page cache), Swapped -> Dirty
-      // (a swapped file page was COW'd before it went to swap).
-      if ((np | swapped) == 0) {
-        return;
-      }
-      NoteCleanPagesMapped(r, region, w, np);
-      const uint64_t n_np = Popcount(np);
-      const uint64_t n_sw = Popcount(swapped);
-      result.minor_faults += n_np;
-      result.swap_ins += n_sw;
-      r.dirty_pages += n_sw;
-      r.swapped_pages -= n_sw;
-      resident_pages_ += n_np + n_sw;
-      swapped_pages_ -= n_sw;
-      lo = (lo | np) & ~swapped;
-    } else if (file_backed) {
-      // write: NotPresent -> Dirty, Clean -> Dirty (COW), Swapped -> Dirty.
-      const uint64_t clean = lo & ~hi & mask;
+  const bool file_backed = regions_[region].kind == RegionKind::kFileBacked;
+  const uint64_t first_word = first / kW;
+  const uint64_t last_word = last / kW;
+  for (uint64_t w = first_word; w <= last_word; ++w) {
+    const uint64_t lo_bit = w == first_word ? first % kW : 0;
+    const uint64_t hi_bit = w == last_word ? last % kW : kW - 1;
+    const uint64_t mask = PageBitmap::RangeMask(lo_bit, hi_bit);
+    for (int attempt = 0;; ++attempt) {
+      // Re-resolved each attempt: emergency relief below may run arbitrary
+      // GC work against this very address space, so after it returns both
+      // the regions vector and this word's bits must be re-read.
+      Region& r = regions_[region];
+      uint64_t& lo = r.pages.lo(w);
+      uint64_t& hi = r.pages.hi(w);
+      const uint64_t np = ~lo & ~hi & mask;     // kNotPresent
+      const uint64_t swapped = lo & hi & mask;  // kSwapped
+      const uint64_t clean = file_backed && write ? lo & ~hi & mask : 0;
       if ((np | swapped | clean) == 0) {
-        return;
+        break;
       }
-      NoteCleanPagesDropped(r, region, w, clean);
+      // Commit gate: this word materializes `need` new resident pages (COW
+      // upgrades were already resident). With no node attached — or a zero
+      // budget — the gate is skipped and the transition below is
+      // byte-identical to the pre-pressure model.
+      const uint64_t need = Popcount(np) + Popcount(swapped);
+      if (node_ != nullptr && need != 0) {
+        // Sticky denial: once a commit failed for good this address space is
+        // doomed (its owner is about to be OOM-killed); later touches fail
+        // immediately instead of re-running the node's reclaim ladder.
+        if (commit_denied_) {
+          result.failed_pages += need;
+          return result;
+        }
+        const CommitOutcome grant = node_->RequestPages(need, this);
+        result.direct_reclaim_pages += grant.direct_reclaim_pages;
+        if (grant.result == CommitResult::kNoMemory) {
+          if (attempt == 0 && relief_ != nullptr && !in_relief_) {
+            in_relief_ = true;
+            const bool ran = relief_->RelievePressure();
+            in_relief_ = false;
+            if (ran) {
+              continue;  // recompute the masks, retry the gate once
+            }
+          }
+          // Out of memory for real: this word (and the rest of the range)
+          // stays untouched; the caller sees commit_failed().
+          commit_denied_ = true;
+          result.failed_pages += need;
+          return result;
+        }
+      }
       const uint64_t n_np = Popcount(np);
       const uint64_t n_sw = Popcount(swapped);
-      const uint64_t n_cl = Popcount(clean);
-      result.minor_faults += n_np;
-      result.swap_ins += n_sw;
-      result.cow_faults += n_cl;
-      r.dirty_pages += n_np + n_sw + n_cl;
-      r.swapped_pages -= n_sw;
-      resident_pages_ += n_np + n_sw;  // COW'd pages were already resident
-      swapped_pages_ -= n_sw;
-      hi |= np | clean;
-      lo &= ~(swapped | clean);
-    } else {
-      // Anonymous: reads and writes both materialize private dirty pages.
-      if ((np | swapped) == 0) {
-        return;
+      if (file_backed && !write) {
+        // NotPresent -> Clean (shared with the page cache), Swapped -> Dirty
+        // (a swapped file page was COW'd before it went to swap).
+        NoteCleanPagesMapped(r, region, w, np);
+        result.minor_faults += n_np;
+        result.swap_ins += n_sw;
+        r.dirty_pages += n_sw;
+        r.swapped_pages -= n_sw;
+        resident_pages_ += n_np + n_sw;
+        swapped_pages_ -= n_sw;
+        NodeDelta(static_cast<int64_t>(n_np + n_sw), -static_cast<int64_t>(n_sw));
+        lo = (lo | np) & ~swapped;
+      } else if (file_backed) {
+        // write: NotPresent -> Dirty, Clean -> Dirty (COW), Swapped -> Dirty.
+        const uint64_t n_cl = Popcount(clean);
+        NoteCleanPagesDropped(r, region, w, clean);
+        result.minor_faults += n_np;
+        result.swap_ins += n_sw;
+        result.cow_faults += n_cl;
+        r.dirty_pages += n_np + n_sw + n_cl;
+        r.swapped_pages -= n_sw;
+        resident_pages_ += n_np + n_sw;  // COW'd pages were already resident
+        swapped_pages_ -= n_sw;
+        NodeDelta(static_cast<int64_t>(n_np + n_sw), -static_cast<int64_t>(n_sw));
+        hi |= np | clean;
+        lo &= ~(swapped | clean);
+      } else {
+        // Anonymous: reads and writes both materialize private dirty pages.
+        result.minor_faults += n_np;
+        result.swap_ins += n_sw;
+        r.dirty_pages += n_np + n_sw;
+        r.swapped_pages -= n_sw;
+        resident_pages_ += n_np + n_sw;
+        swapped_pages_ -= n_sw;
+        NodeDelta(static_cast<int64_t>(n_np + n_sw), -static_cast<int64_t>(n_sw));
+        hi |= np;
+        lo &= ~swapped;
       }
-      const uint64_t n_np = Popcount(np);
-      const uint64_t n_sw = Popcount(swapped);
-      result.minor_faults += n_np;
-      result.swap_ins += n_sw;
-      r.dirty_pages += n_np + n_sw;
-      r.swapped_pages -= n_sw;
-      resident_pages_ += n_np + n_sw;
-      swapped_pages_ -= n_sw;
-      hi |= np;
-      lo &= ~swapped;
+      break;
     }
-  });
+  }
   return result;
 }
 
@@ -165,12 +236,27 @@ uint64_t VirtualAddressSpace::Release(RegionId region, uint64_t offset, uint64_t
   }
   const uint64_t first = first_byte / kPageSize;
   const uint64_t last = last_byte / kPageSize;  // exclusive
-  assert(last <= r.pages.num_pages());
+  if (last > r.pages.num_pages()) {
+    DieOutOfRange("Release", region, last - 1, r.pages.num_pages());
+  }
   return DropPageRange(r, region, first, last - 1);
 }
 
 uint64_t VirtualAddressSpace::SwapOutPages(uint64_t max_pages) {
+  // With a bounded swap device on the node, policy-driven swap (the blind
+  // swap baseline, freeze images) competes for the same slots as reclaim:
+  // dirty pages are capped by the free slots, clean file pages still drop
+  // for free. Without a node — or with the model disabled — the device is
+  // infinite, exactly as before the pressure model existed.
+  const uint64_t swap_budget =
+      (node_ != nullptr && node_->enabled()) ? node_->swap().FreePages() : ~0ull;
+  return SwapOutPagesLimited(max_pages, swap_budget, nullptr);
+}
+
+uint64_t VirtualAddressSpace::SwapOutPagesLimited(uint64_t max_pages, uint64_t max_swap_writes,
+                                                  uint64_t* swap_writes) {
   uint64_t reclaimed = 0;
+  uint64_t written = 0;
   for (RegionId id = 0; id < regions_.size() && reclaimed < max_pages; ++id) {
     Region& r = regions_[id];
     if (!r.live) {
@@ -181,6 +267,20 @@ uint64_t VirtualAddressSpace::SwapOutPages(uint64_t max_pages) {
       uint64_t& hi = r.pages.hi(w);
       uint64_t dirty = hi & ~lo;
       uint64_t clean = lo & ~hi;
+      if ((dirty | clean) == 0) {
+        continue;
+      }
+      // Dirty pages each need a free slot on the swap device; keep only the
+      // first `swap_budget` of them in map order. Clean file pages are never
+      // written to swap, so the device does not bound them.
+      const uint64_t swap_budget = max_swap_writes - written;
+      if (Popcount(dirty) > swap_budget) {
+        uint64_t keep = dirty;
+        for (uint64_t i = 0; i < swap_budget; ++i) {
+          keep &= keep - 1;
+        }
+        dirty &= ~keep;
+      }
       const uint64_t candidates = dirty | clean;
       if (candidates == 0) {
         continue;
@@ -206,9 +306,14 @@ uint64_t VirtualAddressSpace::SwapOutPages(uint64_t max_pages) {
       r.swapped_pages += n_d;
       resident_pages_ -= n_d + n_c;
       swapped_pages_ += n_d;
+      NodeDelta(-static_cast<int64_t>(n_d + n_c), static_cast<int64_t>(n_d));
       lo = (lo | dirty) & ~clean;
       reclaimed += n_d + n_c;
+      written += n_d;
     }
+  }
+  if (swap_writes != nullptr) {
+    *swap_writes = written;
   }
   return reclaimed;
 }
@@ -264,7 +369,9 @@ uint64_t VirtualAddressSpace::ResidentPagesInRange(RegionId region, uint64_t off
   }
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + len - 1) / kPageSize;
-  assert(last < r.pages.num_pages());
+  if (last >= r.pages.num_pages()) {
+    DieOutOfRange("ResidentPagesInRange", region, last, r.pages.num_pages());
+  }
   uint64_t resident = 0;
   ForEachWordInRange(first, last, [&](uint64_t w, uint64_t mask) {
     resident += Popcount((r.pages.lo(w) ^ r.pages.hi(w)) & mask);
@@ -278,14 +385,16 @@ uint64_t VirtualAddressSpace::ResidentPagesInRegion(RegionId region) const {
 }
 
 VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId region) {
-  assert(region < regions_.size());
-  assert(regions_[region].live);
+  if (region >= regions_.size() || !regions_[region].live) {
+    DieDeadRegion(region, regions_.size());
+  }
   return regions_[region];
 }
 
 const VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId region) const {
-  assert(region < regions_.size());
-  assert(regions_[region].live);
+  if (region >= regions_.size() || !regions_[region].live) {
+    DieDeadRegion(region, regions_.size());
+  }
   return regions_[region];
 }
 
@@ -415,6 +524,7 @@ uint64_t VirtualAddressSpace::DropPageRange(Region& r, RegionId region, uint64_t
     r.swapped_pages -= n_s;
     resident_pages_ -= n_d + n_c;
     swapped_pages_ -= n_s;
+    NodeDelta(-static_cast<int64_t>(n_d + n_c), -static_cast<int64_t>(n_s));
     lo &= ~mask;
     hi &= ~mask;
     dropped += n_d + n_c + n_s;

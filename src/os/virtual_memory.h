@@ -36,9 +36,23 @@
 #include "src/base/units.h"
 #include "src/os/page.h"
 #include "src/os/page_bitmap.h"
+#include "src/os/physical_memory.h"
 #include "src/os/shared_file_registry.h"
 
 namespace desiccant {
+
+// Last-resort memory-pressure hook: when a commit fails even after direct
+// reclaim, the address space gives its owner (the managed runtime) one shot
+// at emergency relief — a full GC + shrink — before the touch fails for
+// good. Implementations return false when they cannot run right now (e.g. a
+// collection is already in progress).
+class PressureReliefHandler {
+ public:
+  virtual bool RelievePressure() = 0;
+
+ protected:
+  ~PressureReliefHandler() = default;
+};
 
 using RegionId = uint32_t;
 inline constexpr RegionId kInvalidRegionId = ~0u;
@@ -50,8 +64,23 @@ struct TouchResult {
   uint64_t minor_faults = 0;  // kNotPresent -> resident
   uint64_t swap_ins = 0;      // kSwapped -> resident
   uint64_t cow_faults = 0;    // kResidentClean -> kResidentDirty (write to file page)
+  // Node-pressure side effects; always zero when no PhysicalMemory is
+  // attached (or its budget is infinite), keeping fault costs bit-identical.
+  uint64_t direct_reclaim_pages = 0;  // reclaimed synchronously for this touch
+  uint64_t failed_pages = 0;          // pages denied even after emergency relief
 
   uint64_t total_faults() const { return minor_faults + swap_ins + cow_faults; }
+  bool commit_failed() const { return failed_pages != 0; }
+
+  // Folds another touch's counters into this one. All accumulation sites use
+  // this so new fields (like the pressure counters) cannot be dropped.
+  void Accumulate(const TouchResult& t) {
+    minor_faults += t.minor_faults;
+    swap_ins += t.swap_ins;
+    cow_faults += t.cow_faults;
+    direct_reclaim_pages += t.direct_reclaim_pages;
+    failed_pages += t.failed_pages;
+  }
 };
 
 // Aggregate memory accounting for one process, in bytes.
@@ -83,8 +112,11 @@ struct RegionInfo {
 
 class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
  public:
-  // `registry` may be null for processes that never map files.
-  explicit VirtualAddressSpace(SharedFileRegistry* registry);
+  // `registry` may be null for processes that never map files. `node` is the
+  // node's physical memory; null (or a zero budget) means infinite memory
+  // and keeps every code path byte-identical to the pre-pressure model.
+  explicit VirtualAddressSpace(SharedFileRegistry* registry,
+                               PhysicalMemory* node = nullptr);
   ~VirtualAddressSpace() override;
 
   VirtualAddressSpace(const VirtualAddressSpace&) = delete;
@@ -117,6 +149,14 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   // Returns pages swapped out.
   uint64_t SwapOutPages(uint64_t max_pages);
 
+  // Bounded-swap variant used by node-level reclaim: dirty pages need a free
+  // slot on the swap device and at most `max_swap_writes` of them are
+  // written out; clean file pages drop for free (the kernel re-reads the
+  // file on the next fault). Returns pages freed (the residency decrease);
+  // `*swap_writes` (optional) receives the dirty-page count written to swap.
+  uint64_t SwapOutPagesLimited(uint64_t max_pages, uint64_t max_swap_writes,
+                               uint64_t* swap_writes);
+
   MemoryUsage Usage() const;
   std::vector<RegionInfo> Smaps() const;
 
@@ -134,6 +174,15 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   uint64_t UssBytes() const {
     return PagesToBytes(resident_pages_ - clean_pages_ + SinglyMappedCleanPages());
   }
+
+  // The node this space is attached to (null = infinite memory).
+  PhysicalMemory* node() const { return node_; }
+  // True once a commit failed terminally (the process is doomed; every later
+  // commit in this space fails fast without touching the node).
+  bool commit_denied() const { return commit_denied_; }
+  // Registers the owner's emergency-relief hook (see PressureReliefHandler).
+  void set_relief_handler(PressureReliefHandler* handler) { relief_ = handler; }
+  PressureReliefHandler* relief_handler() const { return relief_; }
 
  private:
   struct Region {
@@ -188,7 +237,31 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   uint64_t DropPageRange(Region& r, RegionId region, uint64_t first_page,
                          uint64_t last_page);
 
+  // Forwards a page-count transition to the attached node (no-op when
+  // detached). Every resident/swapped counter update site calls this.
+  void NodeDelta(int64_t resident_delta, int64_t swapped_delta) {
+    if (node_ != nullptr) {
+      node_->OnPagesDelta(resident_delta, swapped_delta);
+    }
+  }
+
+  // Hard-abort helpers for API misuse: a silently clamped out-of-range touch
+  // or a double decommit corrupts figure-level accounting, so these fail
+  // loudly in every build type (unlike the NDEBUG-stripped asserts).
+  [[noreturn]] static void DieOutOfRange(const char* op, RegionId region,
+                                         uint64_t last_page, uint64_t num_pages);
+  [[noreturn]] static void DieDeadRegion(RegionId region, size_t num_regions);
+
   SharedFileRegistry* registry_;
+  PhysicalMemory* node_;
+  PressureReliefHandler* relief_ = nullptr;
+  // Re-entrancy latch: while emergency relief runs, nested commit failures
+  // (the relief GC's own touches) must not recurse into relief again.
+  bool in_relief_ = false;
+  // Sticky OOM: set on the first terminal commit failure. The owning process
+  // is doomed (the platform kills it when the invocation surfaces), so later
+  // touches fail fast instead of re-scanning a saturated node per fault.
+  bool commit_denied_ = false;
   std::vector<Region> regions_;
   // Address-space aggregates (sums of the per-region counters).
   uint64_t resident_pages_ = 0;

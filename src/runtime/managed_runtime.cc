@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/heap/heap_verifier.h"
+#include "src/os/physical_memory.h"
+
 namespace desiccant {
 
 const char* GcLogKindName(GcLogEntry::Kind kind) {
@@ -29,9 +32,21 @@ const char* LanguageName(Language lang) {
 }
 
 ManagedRuntime::ManagedRuntime(VirtualAddressSpace* vas, const SimClock* clock)
-    : vas_(vas), clock_(clock) {}
+    : vas_(vas), clock_(clock) {
+  vas_->set_relief_handler(this);
+}
 
-void ManagedRuntime::BeginInvocation() { pending_ = MutatorStats{}; }
+ManagedRuntime::~ManagedRuntime() {
+  if (vas_->relief_handler() == this) {
+    vas_->set_relief_handler(nullptr);
+  }
+}
+
+void ManagedRuntime::BeginInvocation() {
+  pending_ = MutatorStats{};
+  invocation_emergency_gcs_ = 0;
+  MaybeEmergencyGc();
+}
 
 MutatorStats ManagedRuntime::EndInvocation() {
   ++invocation_count_;
@@ -73,12 +88,79 @@ void ManagedRuntime::LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_b
   entry.committed_bytes = committed_bytes;
   entry.released_pages = released_pages;
   gc_log_.Push(entry);
+  if (HeapVerifier::enabled()) {
+    VerifyAfterGc();
+  }
 }
 
 void ManagedRuntime::ChargeFaults(const TouchResult& touch) {
   pending_.fault_time += fault_costs_.CostOf(touch);
   pending_.minor_faults += touch.minor_faults;
   pending_.swap_ins += touch.swap_ins;
+  pending_.direct_reclaim_pages += touch.direct_reclaim_pages;
+  if (touch.commit_failed()) {
+    pressure_oom_ = true;
+  }
+}
+
+bool ManagedRuntime::RelievePressure() {
+  // A runtime that already OOMed for good is doomed — the platform kills it
+  // as soon as the invocation surfaces. Don't keep shrinking and re-arming
+  // collections for a corpse.
+  if (in_emergency_ || pressure_oom_) {
+    return false;
+  }
+  in_emergency_ = true;
+  const uint64_t released = EmergencyShrink();
+  in_emergency_ = false;
+  // The real fix — a full collection — cannot run here (the faulting
+  // allocation is mid-flight); it runs at the next safe point.
+  emergency_gc_pending_ = true;
+  if (released != 0) {
+    ++emergency_shrinks_;
+  }
+  return released != 0;
+}
+
+void ManagedRuntime::MaybeEmergencyGc() {
+  if (!emergency_gc_pending_ || in_emergency_gc_) {
+    return;
+  }
+  // Per-invocation cap: under sustained node pressure every allocation can
+  // fail its commit and re-arm the pending flag; without the cap that turns
+  // into one full collection per allocation. Past the cap the invocation
+  // either survives on what the collections already freed or OOMs.
+  if (invocation_emergency_gcs_ >= kMaxEmergencyGcsPerInvocation) {
+    emergency_gc_pending_ = false;
+    return;
+  }
+  ++invocation_emergency_gcs_;
+  in_emergency_gc_ = true;
+  const ReclaimResult result = Reclaim(ReclaimOptions{});
+  if (!result.aborted) {
+    ChargeGcTime(result.cpu_time);
+    ++emergency_gcs_;
+  }
+  // Cleared after the collection: commit failures during the emergency GC
+  // itself must not immediately re-arm it (thrash guard).
+  emergency_gc_pending_ = false;
+  in_emergency_gc_ = false;
+}
+
+void ManagedRuntime::VerifyAfterGc() {
+  const uint32_t epoch = BeginMarkEpoch();
+  const MarkStats stats = marker_.MarkFrom({&strong_roots_, &weak_roots_}, epoch);
+  const uint64_t marked_in_spaces = VerifyHeapSpaces(epoch);
+  if (marked_in_spaces != kVerifyUnsupported && marked_in_spaces != stats.live_bytes) {
+    HeapVerifier::Fail(
+        "%s: reachable bytes %llu != marked bytes found in spaces %llu "
+        "(a live object is outside every space, or counted twice)",
+        LanguageName(language()), static_cast<unsigned long long>(stats.live_bytes),
+        static_cast<unsigned long long>(marked_in_spaces));
+  }
+  if (vas_->node() != nullptr) {
+    vas_->node()->VerifyAccounting();
+  }
 }
 
 }  // namespace desiccant

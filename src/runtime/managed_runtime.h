@@ -130,14 +130,26 @@ struct MutatorStats {
   SimTime fault_time = 0;
   uint64_t minor_faults = 0;
   uint64_t swap_ins = 0;
+  // Pages this invocation had to reclaim synchronously under node memory
+  // pressure (always zero with an infinite node budget).
+  uint64_t direct_reclaim_pages = 0;
 };
 
 // Shared behaviour: root tables, the object pool, invocation accounting and
 // the JIT warmup/deoptimization execution-time model.
-class ManagedRuntime {
+//
+// The runtime is also its address space's PressureReliefHandler: when a page
+// commit fails under node memory pressure, the address space calls
+// RelievePressure, which releases every free heap page it can without moving
+// objects (EmergencyShrink) and schedules an emergency full GC + shrink for
+// the next safe point (a full collection cannot run inside a page fault —
+// the faulting allocation is mid-flight). Only if the commit still fails
+// after the shrink does the touch fail, which raises the runtime's
+// pressure-OOM flag and ultimately kills the invocation.
+class ManagedRuntime : public PressureReliefHandler {
  public:
   ManagedRuntime(VirtualAddressSpace* vas, const SimClock* clock);
-  virtual ~ManagedRuntime() = default;
+  virtual ~ManagedRuntime();
 
   ManagedRuntime(const ManagedRuntime&) = delete;
   ManagedRuntime& operator=(const ManagedRuntime&) = delete;
@@ -227,6 +239,25 @@ class ManagedRuntime {
   // the CLI's --gc-log, and tests).
   const GcLog& gc_log() const { return gc_log_; }
 
+  // ----- node memory pressure -----
+
+  // PressureReliefHandler: called by the address space when a page commit
+  // fails. Releases free pages (no object movement), schedules an emergency
+  // GC, and returns true when the retry is worth attempting.
+  bool RelievePressure() final;
+
+  // True once a touch failed for good (commit denied even after relief).
+  // The invocation that observes this is killed by the platform as an OOM.
+  bool pressure_oom() const { return pressure_oom_; }
+  bool ConsumePressureOom() {
+    const bool v = pressure_oom_;
+    pressure_oom_ = false;
+    return v;
+  }
+
+  uint64_t emergency_shrinks() const { return emergency_shrinks_; }
+  uint64_t emergency_gcs() const { return emergency_gcs_; }
+
  protected:
   void LogGc(GcLogEntry::Kind kind, SimTime pause, uint64_t live_bytes,
              uint64_t committed_bytes, uint64_t released_pages = 0);
@@ -252,6 +283,25 @@ class ManagedRuntime {
   // the old end-of-GC `marked = false` sweeps.
   uint32_t BeginMarkEpoch() { return ++mark_epoch_; }
 
+  // Releases every free heap page without collecting or moving objects — the
+  // only reclamation that is safe to run from inside a page fault (an
+  // allocation may be mid-flight). Returns pages released.
+  virtual uint64_t EmergencyShrink() { return 0; }
+
+  // Runs the pending emergency full GC + shrink, if one was scheduled by
+  // RelievePressure. Runtimes call this at allocation entry (a safe point);
+  // BeginInvocation calls it too.
+  void MaybeEmergencyGc();
+
+  // Space-walk side of the post-GC verifier: structurally check every space
+  // and return the summed size of objects marked with `epoch`, or
+  // kVerifyUnsupported when the runtime has no walkable spaces.
+  static constexpr uint64_t kVerifyUnsupported = ~0ull;
+  virtual uint64_t VerifyHeapSpaces(uint32_t epoch) {
+    (void)epoch;
+    return kVerifyUnsupported;
+  }
+
   VirtualAddressSpace* vas_;
   const SimClock* clock_;
   ObjectPool pool_;
@@ -262,9 +312,24 @@ class ManagedRuntime {
   Marker marker_;
 
  private:
+  // Re-traces the heap and cross-checks spaces + node accounting after a GC
+  // (only when HeapVerifier::enabled()).
+  void VerifyAfterGc();
+
   MutatorStats pending_;
   uint64_t invocation_count_ = 0;
   uint32_t mark_epoch_ = 0;
+  // Pressure state (see RelievePressure / MaybeEmergencyGc).
+  bool pressure_oom_ = false;
+  bool in_emergency_ = false;
+  bool in_emergency_gc_ = false;
+  bool emergency_gc_pending_ = false;
+  uint64_t emergency_shrinks_ = 0;
+  uint64_t emergency_gcs_ = 0;
+  // Emergency collections run so far in the current invocation; past the cap
+  // further commit failures stop triggering full GCs (see MaybeEmergencyGc).
+  static constexpr uint32_t kMaxEmergencyGcsPerInvocation = 2;
+  uint32_t invocation_emergency_gcs_ = 0;
   static constexpr size_t kGcLogCapacity = 512;
   GcLog gc_log_{kGcLogCapacity};
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/heap/heap_verifier.h"
+
 namespace desiccant {
 
 namespace {
@@ -41,6 +43,7 @@ V8Runtime::V8Runtime(VirtualAddressSpace* vas, const SimClock* clock, const V8Co
 }
 
 SimObject* V8Runtime::AllocateObject(uint32_t size) {
+  MaybeEmergencyGc();
   SimObject* obj = pool_.New(size);
   TouchResult faults;
   NoteAllocation(size);
@@ -79,6 +82,7 @@ SimObject* V8Runtime::AllocateObject(uint32_t size) {
 }
 
 bool V8Runtime::AllocateCluster(const uint32_t* sizes, size_t count, SimObject** out) {
+  MaybeEmergencyGc();
   uint64_t total = 0;
   for (size_t i = 0; i < count; ++i) {
     if (sizes[i] > kMaxRegularObjectSize) {
@@ -367,6 +371,24 @@ ReclaimResult V8Runtime::Reclaim(const ReclaimOptions& options) {
   LogGc(GcLogEntry::Kind::kReclaim, result.cpu_time, result.live_bytes_after,
         GetHeapStats().committed_bytes, result.released_pages);
   return result;
+}
+
+uint64_t V8Runtime::EmergencyShrink() {
+  if (old_ == nullptr || from_ == nullptr || to_ == nullptr) {
+    return 0;  // mid-construction commit failure: no heap spaces exist yet
+  }
+  // Release-only: free new-space tails, the inactive semispace's data pages
+  // and free pages inside old chunks. Never unmaps chunks (an allocation may
+  // be touching one mid-fault).
+  return from_->ReleaseFreeTailPages() + to_->ReleaseAllDataPages() +
+         old_->ReleaseFreePagesInChunks();
+}
+
+uint64_t V8Runtime::VerifyHeapSpaces(uint32_t epoch) {
+  return HeapVerifier::CheckSemispace(*from_, epoch, "v8_from") +
+         HeapVerifier::CheckSemispace(*to_, epoch, "v8_to") +
+         HeapVerifier::CheckChunked(*old_, epoch, "v8_old") +
+         HeapVerifier::CheckLarge(*los_, epoch, "v8_los");
 }
 
 HeapStats V8Runtime::GetHeapStats() const {

@@ -60,6 +60,10 @@ class V8Runtime final : public ManagedRuntime {
   const LargeObjectSpace& large_object_space() const { return *los_; }
   const RememberedSet& remembered_set() const { return remembered_; }
 
+ protected:
+  uint64_t EmergencyShrink() override;
+  uint64_t VerifyHeapSpaces(uint32_t epoch) override;
+
  private:
   // Marks young objects reachable from (roots + store buffer) without
   // tracing the old space, stamping `epoch`.

@@ -102,7 +102,15 @@ InvocationOutcome FunctionProgram::Invoke(ManagedRuntime& runtime, SimClock& clo
   uint64_t objects_since_tick = 0;
   size_t cursor = 0;
   SimTime compute_charged = 0;
-  while (allocated < spec_.alloc_bytes) {
+  // Node pressure can deny a commit for good mid-invocation (phase 1/2 above
+  // or any churn allocation); the doomed program stops allocating there —
+  // the platform kills it as soon as the outcome surfaces.
+  bool oomed = runtime.pressure_oom();
+  while (!oomed && allocated < spec_.alloc_bytes) {
+    if (runtime.pressure_oom()) {
+      oomed = true;
+      break;
+    }
     SimObject* obj = runtime.AllocateObject(SampleObjectSize());
     allocated += obj->size;
     // Occasionally link the new object to the previous window entry so the
@@ -125,13 +133,13 @@ InvocationOutcome FunctionProgram::Invoke(ManagedRuntime& runtime, SimClock& clo
       }
     }
   }
-  if (compute_time > compute_charged) {
+  if (!oomed && compute_time > compute_charged) {
     clock.AdvanceBy(compute_time - compute_charged);
     compute_charged = compute_time;
   }
 
   // 4. Chain-carry output stays rooted until the downstream stage reads it.
-  if (spec_.carry_bytes > 0) {
+  if (spec_.carry_bytes > 0 && !oomed) {
     AllocateGraph(runtime, strong, spec_.carry_bytes, &carry_roots_);
   }
 
@@ -146,8 +154,10 @@ InvocationOutcome FunctionProgram::Invoke(ManagedRuntime& runtime, SimClock& clo
   outcome.mutator = runtime.EndInvocation();
   const SimTime overhead = outcome.mutator.gc_time + outcome.mutator.fault_time;
   clock.AdvanceBy(overhead);
-  outcome.duration = compute_time + overhead;
+  // A pressure-OOMed invocation dies where it stopped computing.
+  outcome.duration = (oomed ? compute_charged : compute_time) + overhead;
   outcome.exec_multiplier = runtime.ExecMultiplier();
+  outcome.oom_killed = runtime.ConsumePressureOom();
   return outcome;
 }
 

@@ -29,6 +29,10 @@ struct InvocationOutcome {
   SimTime duration = 0;  // CPU time: compute (JIT-adjusted) + GC + faults
   MutatorStats mutator;
   double exec_multiplier = 1.0;
+  // The invocation ran out of node memory: a page commit was denied even
+  // after emergency relief. The program stops allocating at that point and
+  // the platform kills the instance (kOomKilled).
+  bool oom_killed = false;
 };
 
 class FunctionProgram {

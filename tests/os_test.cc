@@ -335,5 +335,253 @@ TEST_P(VasPropertyTest, AccountingStaysConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, VasPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+// ---------------------------------------------------------------------------
+// VAS hard-abort error paths: page-table corruption bugs (a heap simulator
+// touching past a region, or operating on an unmapped one) must die loudly,
+// not silently clamp.
+
+TEST(VasDeathTest, TouchOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualAddressSpace vas(nullptr);
+  const RegionId r = vas.MapAnonymous("heap", 4 * kPageSize);
+  EXPECT_DEATH(vas.Touch(r, 3 * kPageSize, 2 * kPageSize, true), "Touch out of range");
+}
+
+TEST(VasDeathTest, ReleaseOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualAddressSpace vas(nullptr);
+  const RegionId r = vas.MapAnonymous("heap", 4 * kPageSize);
+  EXPECT_DEATH(vas.Release(r, 2 * kPageSize, 4 * kPageSize), "Release out of range");
+}
+
+TEST(VasDeathTest, TouchAfterUnmapAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualAddressSpace vas(nullptr);
+  const RegionId r = vas.MapAnonymous("heap", 4 * kPageSize);
+  vas.Unmap(r);
+  EXPECT_DEATH(vas.Touch(r, 0, kPageSize, true), "dead or unknown region");
+}
+
+TEST(VasDeathTest, DoubleUnmapAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualAddressSpace vas(nullptr);
+  const RegionId r = vas.MapAnonymous("heap", 4 * kPageSize);
+  vas.Unmap(r);
+  EXPECT_DEATH(vas.Unmap(r), "double Unmap/Decommit");
+}
+
+TEST(VasDeathTest, UnknownRegionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualAddressSpace vas(nullptr);
+  EXPECT_DEATH(vas.Touch(RegionId{7}, 0, kPageSize, false), "dead or unknown region");
+}
+
+// ---------------------------------------------------------------------------
+// Bounded swap-out: dirty pages are limited by the swap-write budget, clean
+// file pages drop for free.
+
+TEST(VasSwapLimitTest, DirtyPagesRespectSwapWriteBudget) {
+  SharedFileRegistry registry;
+  const FileId file = registry.RegisterFile("libfoo.so", 16 * kPageSize);
+  VirtualAddressSpace vas(&registry);
+  const RegionId anon = vas.MapAnonymous("heap", 16 * kPageSize);
+  const RegionId mapped = vas.MapFile("libfoo.so", file);
+  vas.Touch(anon, 0, 16 * kPageSize, true);    // 16 dirty pages
+  vas.Touch(mapped, 0, 16 * kPageSize, false); // 16 clean file pages
+
+  uint64_t writes = ~0ull;
+  const uint64_t freed = vas.SwapOutPagesLimited(64, /*max_swap_writes=*/2, &writes);
+  // Only two dirty pages may hit the device; every clean page drops free.
+  EXPECT_EQ(writes, 2u);
+  EXPECT_EQ(freed, 2u + 16u);
+  EXPECT_EQ(vas.swapped_pages(), 2u);
+  EXPECT_EQ(vas.resident_pages(), 14u);
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalMemory: the node-level reclaim ladder.
+
+TEST(PhysicalMemoryTest, AttachDetachAccounting) {
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 1024, .swap_pages = 256});
+  {
+    VirtualAddressSpace vas(nullptr, &node);
+    EXPECT_EQ(node.attached_count(), 1u);
+    const RegionId r = vas.MapAnonymous("heap", 64 * kPageSize);
+    vas.Touch(r, 0, 64 * kPageSize, true);
+    EXPECT_EQ(node.total_resident_pages(), 64u);
+    node.VerifyAccounting();
+  }
+  // The dtor unmaps everything and detaches: all pages flow back to the node.
+  EXPECT_EQ(node.attached_count(), 0u);
+  EXPECT_EQ(node.total_resident_pages(), 0u);
+  node.VerifyAccounting();
+}
+
+TEST(PhysicalMemoryTest, KswapdReclaimsTowardLowWatermarkForFree) {
+  // Budget 100 pages, watermarks 92/85. An idle space holds 90; a hot space
+  // faulting 8 more crosses the high watermark and wakes kswapd, which swaps
+  // the idle space's pages — the faulting mutator is charged nothing.
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 100, .swap_pages = 1000});
+  VirtualAddressSpace idle(nullptr, &node);
+  const RegionId cold = idle.MapAnonymous("cold", 90 * kPageSize);
+  idle.Touch(cold, 0, 90 * kPageSize, true);
+
+  VirtualAddressSpace hot(nullptr, &node);
+  const RegionId r = hot.MapAnonymous("hot", 8 * kPageSize);
+  const TouchResult touch = hot.Touch(r, 0, 8 * kPageSize, true);
+  EXPECT_EQ(touch.minor_faults, 8u);
+  EXPECT_EQ(touch.direct_reclaim_pages, 0u);
+  EXPECT_EQ(touch.failed_pages, 0u);
+  EXPECT_GT(node.stats().kswapd_runs, 0u);
+  EXPECT_GT(node.stats().kswapd_pages, 0u);
+  EXPECT_GT(idle.swapped_pages(), 0u);
+  EXPECT_LE(node.total_resident_pages(), node.config().page_budget);
+  node.VerifyAccounting();
+}
+
+TEST(PhysicalMemoryTest, DirectReclaimIsChargedToTheFaulter) {
+  // High watermark above the budget disables kswapd, so exceeding the budget
+  // must go through synchronous direct reclaim and show up on the touch.
+  PhysicalMemoryConfig config{.page_budget = 100, .swap_pages = 1000};
+  config.high_watermark = 2.0;
+  config.low_watermark = 1.5;
+  PhysicalMemory node(config);
+  VirtualAddressSpace idle(nullptr, &node);
+  const RegionId cold = idle.MapAnonymous("cold", 96 * kPageSize);
+  idle.Touch(cold, 0, 96 * kPageSize, true);
+
+  VirtualAddressSpace hot(nullptr, &node);
+  const RegionId r = hot.MapAnonymous("hot", 8 * kPageSize);
+  const TouchResult touch = hot.Touch(r, 0, 8 * kPageSize, true);
+  EXPECT_EQ(touch.failed_pages, 0u);
+  EXPECT_GT(touch.direct_reclaim_pages, 0u);
+  EXPECT_EQ(node.stats().kswapd_runs, 0u);
+  EXPECT_GT(node.stats().direct_reclaim_events, 0u);
+  EXPECT_LE(node.total_resident_pages(), node.config().page_budget);
+  node.VerifyAccounting();
+}
+
+TEST(PhysicalMemoryTest, CommitFailsOnlyWhenSwapIsFull) {
+  // No swap and every resident page dirty-anonymous: nothing is reclaimable,
+  // so the commit walks all three rungs and fails. The failing space then
+  // fails fast (commit_denied) without re-scanning the node.
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 100, .swap_pages = 0});
+  VirtualAddressSpace hog(nullptr, &node);
+  const RegionId fat = hog.MapAnonymous("fat", 100 * kPageSize);
+  hog.Touch(fat, 0, 100 * kPageSize, true);
+
+  VirtualAddressSpace late(nullptr, &node);
+  const RegionId r = late.MapAnonymous("late", 8 * kPageSize);
+  const TouchResult first = late.Touch(r, 0, 8 * kPageSize, true);
+  EXPECT_TRUE(first.commit_failed());
+  EXPECT_EQ(first.failed_pages, 8u);
+  EXPECT_TRUE(late.commit_denied());
+  EXPECT_EQ(node.stats().commit_failures, 1u);
+
+  // Fail-fast path: no new node-level commit failure is recorded.
+  const TouchResult second = late.Touch(r, 0, 8 * kPageSize, true);
+  EXPECT_TRUE(second.commit_failed());
+  EXPECT_EQ(node.stats().commit_failures, 1u);
+  node.VerifyAccounting();
+}
+
+TEST(PhysicalMemoryTest, ExhaustionLatchClearsWhenPagesFree) {
+  // Same saturated setup; after the hog releases memory, a *new* space (the
+  // denied one stays doomed by design) can commit again — the exhaustion
+  // latch must clear on the release.
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 100, .swap_pages = 0});
+  VirtualAddressSpace hog(nullptr, &node);
+  const RegionId fat = hog.MapAnonymous("fat", 100 * kPageSize);
+  hog.Touch(fat, 0, 100 * kPageSize, true);
+
+  VirtualAddressSpace doomed(nullptr, &node);
+  const RegionId d = doomed.MapAnonymous("doomed", 8 * kPageSize);
+  EXPECT_TRUE(doomed.Touch(d, 0, 8 * kPageSize, true).commit_failed());
+
+  hog.Release(fat, 0, 50 * kPageSize);
+
+  VirtualAddressSpace fresh(nullptr, &node);
+  const RegionId f = fresh.MapAnonymous("fresh", 8 * kPageSize);
+  const TouchResult touch = fresh.Touch(f, 0, 8 * kPageSize, true);
+  EXPECT_FALSE(touch.commit_failed());
+  EXPECT_EQ(touch.minor_faults, 8u);
+  node.VerifyAccounting();
+}
+
+// One-shot emergency relief: when the commit fails, the space's relief
+// handler runs once and the commit retries before failing for good.
+class ReleasingReliefHandler : public PressureReliefHandler {
+ public:
+  ReleasingReliefHandler(VirtualAddressSpace* victim, RegionId region, uint64_t pages)
+      : victim_(victim), region_(region), pages_(pages) {}
+  virtual ~ReleasingReliefHandler() = default;
+
+  bool RelievePressure() override {
+    ++calls_;
+    victim_->Release(region_, 0, pages_ * kPageSize);
+    return true;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  VirtualAddressSpace* victim_;
+  RegionId region_;
+  uint64_t pages_;
+  int calls_ = 0;
+};
+
+TEST(PhysicalMemoryTest, ReliefHandlerGetsOneRetry) {
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 100, .swap_pages = 0});
+  VirtualAddressSpace hog(nullptr, &node);
+  const RegionId fat = hog.MapAnonymous("fat", 100 * kPageSize);
+  hog.Touch(fat, 0, 100 * kPageSize, true);
+
+  VirtualAddressSpace hot(nullptr, &node);
+  ReleasingReliefHandler relief(&hog, fat, 50);
+  hot.set_relief_handler(&relief);
+  const RegionId r = hot.MapAnonymous("hot", 8 * kPageSize);
+  const TouchResult touch = hot.Touch(r, 0, 8 * kPageSize, true);
+  EXPECT_EQ(relief.calls(), 1);
+  EXPECT_FALSE(touch.commit_failed());
+  EXPECT_FALSE(hot.commit_denied());
+  node.VerifyAccounting();
+}
+
+TEST(PhysicalMemoryTest, SwapDeviceBoundsDirtyReclaim) {
+  // Swap for only 10 pages: reclaim can swap at most 10 dirty pages, so a
+  // 30-page shortfall past that must fail even though dirty pages remain.
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 100, .swap_pages = 10});
+  VirtualAddressSpace hog(nullptr, &node);
+  const RegionId fat = hog.MapAnonymous("fat", 100 * kPageSize);
+  hog.Touch(fat, 0, 100 * kPageSize, true);
+
+  VirtualAddressSpace hot(nullptr, &node);
+  const RegionId r = hot.MapAnonymous("hot", 40 * kPageSize);
+  const TouchResult touch = hot.Touch(r, 0, 40 * kPageSize, true);
+  EXPECT_TRUE(touch.commit_failed());
+  EXPECT_EQ(node.swap().used_pages, 10u);
+  EXPECT_EQ(node.swap().FreePages(), 0u);
+  EXPECT_GT(node.stats().swap_out_pages, 0u);
+  EXPECT_LE(node.stats().swap_out_pages, 10u);
+  node.VerifyAccounting();
+}
+
+TEST(PhysicalMemoryTest, ZeroBudgetDisablesTheModel) {
+  PhysicalMemory node(PhysicalMemoryConfig{.page_budget = 0, .swap_pages = 0});
+  EXPECT_FALSE(node.enabled());
+  VirtualAddressSpace vas(nullptr, &node);
+  const RegionId r = vas.MapAnonymous("heap", 512 * kPageSize);
+  const TouchResult touch = vas.Touch(r, 0, 512 * kPageSize, true);
+  EXPECT_EQ(touch.minor_faults, 512u);
+  EXPECT_EQ(touch.direct_reclaim_pages, 0u);
+  EXPECT_EQ(touch.failed_pages, 0u);
+  EXPECT_EQ(node.stats().kswapd_runs, 0u);
+  EXPECT_EQ(node.stats().direct_reclaim_events, 0u);
+  // Residency is still tracked (the killer uses it); pressure never fires.
+  EXPECT_EQ(node.total_resident_pages(), 512u);
+  node.VerifyAccounting();
+}
+
 }  // namespace
 }  // namespace desiccant

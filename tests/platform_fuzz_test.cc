@@ -223,6 +223,94 @@ INSTANTIATE_TEST_SUITE_P(
                       ChaosParams{103, MemoryMode::kDesiccant},
                       ChaosParams{103, MemoryMode::kSwap}));
 
+// ---------------------------------------------------------------------------
+// Pressure chaos: random node page budgets and swap capacities on top of the
+// random FaultPlans. Tight budgets drive the whole reclaim ladder — kswapd,
+// direct reclaim, emergency GCs, commit failures, pressure OOM kills — while
+// set_check_invariants() re-verifies the node's residency accounting against
+// every attached address space after each event.
+// ---------------------------------------------------------------------------
+
+class PressureChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(PressureChaosFuzzTest, ResidencyAndConservationHoldUnderPressure) {
+  const ChaosParams params = GetParam();
+  Rng scenario(params.seed ^ 0x9E55ull);
+
+  PlatformConfig config;
+  config.mode = params.mode;
+  config.cache_capacity_bytes = scenario.UniformU64(512, 2048) * kMiB;
+  config.cpu_cores = 3.0;
+  config.keep_alive = 60 * kSecond;
+  config.prewarm_per_language = static_cast<uint32_t>(scenario.UniformU64(0, 2));
+  config.seed = params.seed;
+  config.faults = ChaosPlan(scenario);
+  // The pressure model proper: sometimes ample, sometimes brutally tight, and
+  // sometimes swapless so anonymous pressure fails fast.
+  config.pressure = PhysicalMemoryConfig::ForBytes(
+      scenario.UniformU64(1200, 4096) * kMiB,
+      scenario.Chance(0.3) ? 0 : scenario.UniformU64(128, 2048) * kMiB);
+  Platform platform(config);
+  platform.set_check_invariants(true);  // includes PhysicalMemory::VerifyAccounting
+  ASSERT_NE(platform.physical_memory(), nullptr);
+
+  std::unique_ptr<DesiccantManager> manager;
+  if (params.mode == MemoryMode::kDesiccant) {
+    DesiccantConfig desiccant_config;
+    desiccant_config.selection.freeze_timeout = 200 * kMillisecond;
+    manager = std::make_unique<DesiccantManager>(&platform, desiccant_config);
+  }
+
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 45.0) {
+    const WorkloadSpec& w = suite[scenario.UniformU64(0, suite.size() - 1)];
+    platform.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += scenario.Exponential(0.6);
+  }
+
+  platform.BeginMeasurement();
+  for (double checkpoint = 10.0; checkpoint <= 300.0; checkpoint += 10.0) {
+    platform.RunUntil(FromSeconds(checkpoint));
+    const PhysicalMemory* node = platform.physical_memory();
+    // Residency invariant: commits only succeed within the budget, so the
+    // node can never rest above it, and the aggregate must equal the sum of
+    // the attached spaces' counters.
+    EXPECT_LE(node->total_resident_pages(), node->config().page_budget);
+    EXPECT_LE(node->swap().used_pages, node->swap().capacity_pages);
+    node->VerifyAccounting();
+    EXPECT_EQ(platform.memory_charged(), platform.FrozenMemoryBytes());
+    EXPECT_GE(platform.IdleCpu(), -1e-9);
+  }
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  // Conservation: every submission terminates exactly once, even the ones
+  // that ended as pressure OOM kills.
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  EXPECT_EQ(m.oom_kills, m.oom_kills_frozen + m.oom_kills_running);
+  EXPECT_LE(m.requests_retried_ok, m.requests_completed);
+  EXPECT_LE(m.GoodputRps(), m.ThroughputRps() + 1e-9);
+  // After the drain the node is quiescent and the accounting still closes.
+  const PhysicalMemory* node = platform.physical_memory();
+  EXPECT_LE(node->total_resident_pages(), node->config().page_budget);
+  node->VerifyAccounting();
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, PressureChaosFuzzTest,
+    ::testing::Values(ChaosParams{201, MemoryMode::kVanilla},
+                      ChaosParams{201, MemoryMode::kDesiccant},
+                      ChaosParams{202, MemoryMode::kVanilla},
+                      ChaosParams{202, MemoryMode::kDesiccant},
+                      ChaosParams{203, MemoryMode::kEager},
+                      ChaosParams{203, MemoryMode::kDesiccant},
+                      ChaosParams{204, MemoryMode::kSwap},
+                      ChaosParams{204, MemoryMode::kDesiccant}));
+
 class ClusterChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
 
 TEST_P(ClusterChaosFuzzTest, ConservationHoldsAcrossNodeCrashes) {

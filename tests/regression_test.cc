@@ -308,5 +308,31 @@ TEST(GoldenFingerprintTest, ReplayCellFingerprintIsStable) {
   EXPECT_EQ(result.desiccant_reclaim_requests, 518u);
 }
 
+// The byte-exactness contract for the pressure model: compiled in but
+// disabled (the default zero page budget), it must not perturb the
+// simulation at all — no RNG draw, no extra fault, no counter in the
+// fingerprint. The constants here are the exact same ones pinned above.
+TEST(GoldenFingerprintTest, DisabledPressureModelIsByteIdentical) {
+  ReplayConfig config;
+  config.mode = MemoryMode::kDesiccant;
+  config.scale_factor = 8.0;
+  config.warmup_seconds = 20.0;
+  config.measure_seconds = 60.0;
+  config.node_budget_mib = 0;  // explicit: pressure model disabled
+  config.swap_mib = 0;
+  const ReplayResult result = RunReplay(config);
+  EXPECT_EQ(result.metrics.Fingerprint(), 5845523319977520975u);
+  EXPECT_EQ(result.metrics.requests_completed, 565u);
+  EXPECT_EQ(result.metrics.cold_boots, 42u);
+  EXPECT_EQ(result.desiccant_reclaim_requests, 518u);
+  // A zero budget means no PhysicalMemory is ever constructed and no
+  // pressure counter can move.
+  EXPECT_EQ(result.pressure.kswapd_runs, 0u);
+  EXPECT_EQ(result.pressure.direct_reclaim_events, 0u);
+  EXPECT_EQ(result.pressure.swap_out_pages, 0u);
+  EXPECT_EQ(result.pressure.commit_failures, 0u);
+  EXPECT_EQ(result.node_pressure_activations, 0u);
+}
+
 }  // namespace
 }  // namespace desiccant

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,8 +22,10 @@
 #include "src/base/thread_pool.h"
 #include "src/core/desiccant_manager.h"
 #include "src/faas/platform.h"
+#include "src/faas/sharded_cluster.h"
 #include "src/faas/single_study.h"
 #include "src/trace/azure_trace.h"
+#include "src/trace/population.h"
 #include "src/workloads/function_spec.h"
 
 namespace desiccant {
@@ -179,6 +182,70 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded (intra-cell parallel) population replay.
+//
+// The harness ext_scale and the sharded-determinism tests share: replay a
+// synthetic population on a ShardedCluster, with per-node Desiccant managers
+// when the node mode asks for them, and report both the aggregate metrics and
+// the per-node fingerprints so serial and N-thread runs can be compared
+// byte-for-byte. The arrival stream is passed in (not generated here) so
+// every thread count replays the exact same vector.
+
+struct ShardedReplayResult {
+  PlatformMetrics metrics;
+  uint64_t aggregate_fingerprint = 0;
+  std::vector<uint64_t> node_fingerprints;  // node order
+  DesiccantStats desiccant;
+  uint64_t frozen_bytes = 0;     // sum over nodes at the end of the window
+  double replay_wall_ms = 0.0;   // the Run calls only (setup excluded)
+  size_t threads = 1;            // resolved worker count
+};
+
+inline ShardedReplayResult RunShardedReplay(const SyntheticPopulation& population,
+                                            const std::vector<TraceArrival>& arrivals,
+                                            SimTime warmup_end, SimTime replay_end,
+                                            const ShardedClusterConfig& cluster_config,
+                                            const DesiccantConfig& desiccant_config =
+                                                DesiccantConfig{}) {
+  ShardedCluster cluster(cluster_config);
+  std::vector<std::unique_ptr<DesiccantManager>> managers;
+  if (cluster_config.node.mode == MemoryMode::kDesiccant) {
+    managers.reserve(cluster.node_count());
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      managers.push_back(
+          std::make_unique<DesiccantManager>(&cluster.node(i), desiccant_config));
+    }
+  }
+  cluster.ReserveFunctions(population.workloads().size());
+  cluster.ReserveEvents(arrivals.size());
+  for (const TraceArrival& a : arrivals) {
+    cluster.Submit(a.workload, a.time);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  cluster.RunUntil(warmup_end);
+  cluster.BeginMeasurement();
+  cluster.RunUntil(replay_end);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  ShardedReplayResult result;
+  result.metrics = cluster.AggregateMetrics();
+  result.aggregate_fingerprint = result.metrics.Fingerprint();
+  result.node_fingerprints = cluster.NodeFingerprints();
+  for (const auto& manager : managers) {
+    result.desiccant.Accumulate(*manager);
+  }
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    result.frozen_bytes += cluster.node(i).FrozenMemoryBytes();
+  }
+  result.replay_wall_ms = wall_ms;
+  result.threads = cluster.threads();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Bench registration helper: a whole experiment as one benchmark iteration.
 
 inline void RegisterExperiment(const std::string& name, std::function<void()> body) {
@@ -204,17 +271,26 @@ struct ExperimentCell {
   std::function<void()> body;   // runs the cell; must only touch its own slot
 };
 
+// Host core count as the benchmark harness sees it (always >= 1).
+inline size_t HostCores() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 // Worker count for RunExperimentGrid: DESICCANT_REPLAY_THREADS if set (>= 1;
-// 1 means run serially inline), otherwise the hardware concurrency.
+// 1 means run serially inline), otherwise the hardware concurrency. The env
+// value is clamped to the host's core count: replay cells are pure CPU, so
+// oversubscription buys nothing but scheduler churn — a forced 4-thread run
+// on a 1-core CI host measured 0.85x of serial (BENCH_replay.json, PR 5).
 inline size_t ReplayGridThreads() {
+  const size_t cores = HostCores();
   if (const char* env = std::getenv("DESICCANT_REPLAY_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed >= 1) {
-      return static_cast<size_t>(parsed);
+      return std::min(static_cast<size_t>(parsed), cores);
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return cores;
 }
 
 struct GridReport {
@@ -257,6 +333,23 @@ inline GridReport RunExperimentGrid(const std::vector<ExperimentCell>& cells,
       std::chrono::duration<double, std::milli>(Clock::now() - grid_start).count();
 
   if (register_benchmarks) {
+    // One meta entry carrying the *effective* worker count (post-clamp) and
+    // the host's core count, so the bench JSON records what actually ran —
+    // a requested thread count means nothing on a smaller host.
+    static bool meta_registered = false;
+    if (!meta_registered) {
+      meta_registered = true;
+      const auto effective = static_cast<double>(report.threads);
+      const auto cores = static_cast<double>(HostCores());
+      benchmark::RegisterBenchmark("replay_grid/meta",
+                                   [effective, cores](benchmark::State& state) {
+                                     for (auto _ : state) {
+                                     }
+                                     state.counters["threads"] = effective;
+                                     state.counters["host_cores"] = cores;
+                                   })
+          ->Iterations(1);
+    }
     for (size_t i = 0; i < cells.size(); ++i) {
       const double ms = report.cell_wall_ms[i];
       benchmark::RegisterBenchmark(cells[i].name.c_str(),

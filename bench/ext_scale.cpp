@@ -1,0 +1,230 @@
+// Extension: Azure-scale replay on the intra-cell parallel engine.
+//
+// A synthetic "Serverless in the Wild"-style population (thousands of
+// functions drawn from per-class IAT/exec/memory distributions) replays on a
+// ShardedCluster across a functions x nodes x threads x memory-mode grid.
+// Every (functions, nodes, mode) cell runs serially first, then at each
+// requested worker count; the table reports simulation goodput/latency/memory
+// alongside the harness's own wall-clock, the speedup over serial, and `det`
+// — whether the parallel run's per-node and aggregate fingerprints matched
+// the serial run byte-for-byte (the engine's core guarantee).
+//
+// Unlike the fig09/fig10 grids (parallel *across* cells), each cell here is
+// parallel *inside*: cells run one at a time so a cell's workers own the
+// whole host.
+//
+// Environment knobs (all optional):
+//   DESICCANT_SCALE_FUNCTIONS  comma list of population sizes   (1000)
+//   DESICCANT_SCALE_NODES      comma list of node counts        (16)
+//   DESICCANT_SCALE_THREADS    comma list of worker counts      (1,host)
+//   DESICCANT_SCALE_MODES      comma list of vanilla/desiccant  (both)
+//   DESICCANT_SCALE_ROUTING    affinity|rr|least                (affinity)
+//   DESICCANT_SCALE_FACTOR     IAT scale factor                 (8)
+//   DESICCANT_SCALE_WARMUP_S   warmup window seconds            (30)
+//   DESICCANT_SCALE_MEASURE_S  measured window seconds          (120)
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace desiccant;
+
+struct Row {
+  size_t functions = 0;
+  size_t nodes = 0;
+  size_t threads = 0;
+  std::string mode;
+  uint64_t arrivals = 0;
+  double goodput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cold_frac = 0.0;
+  double frozen_mib = 0.0;
+  double released_mib = 0.0;
+  double replay_ms = 0.0;
+  double speedup = 1.0;
+  bool det = true;
+};
+
+std::vector<size_t> ParseSizeList(const char* name, std::vector<size_t> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  std::vector<size_t> values;
+  const char* p = env;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) {
+      break;  // not a number: keep what parsed so far
+    }
+    values.push_back(static_cast<size_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return values.empty() ? fallback : values;
+}
+
+double ParseDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return end == env ? fallback : v;
+}
+
+RoutingPolicy ParseRouting() {
+  const char* env = std::getenv("DESICCANT_SCALE_ROUTING");
+  if (env == nullptr) {
+    return RoutingPolicy::kAffinity;
+  }
+  const std::string s = env;
+  if (s == "rr" || s == "round-robin") {
+    return RoutingPolicy::kRoundRobin;
+  }
+  if (s == "least" || s == "least-loaded") {
+    return RoutingPolicy::kLeastLoaded;
+  }
+  return RoutingPolicy::kAffinity;
+}
+
+std::vector<MemoryMode> ParseModes() {
+  const char* env = std::getenv("DESICCANT_SCALE_MODES");
+  std::vector<MemoryMode> modes;
+  const std::string s = env == nullptr ? "vanilla,desiccant" : env;
+  if (s.find("vanilla") != std::string::npos) {
+    modes.push_back(MemoryMode::kVanilla);
+  }
+  if (s.find("desiccant") != std::string::npos) {
+    modes.push_back(MemoryMode::kDesiccant);
+  }
+  if (modes.empty()) {
+    modes.push_back(MemoryMode::kVanilla);
+  }
+  return modes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const std::vector<size_t> function_counts =
+      ParseSizeList("DESICCANT_SCALE_FUNCTIONS", {1000});
+  const std::vector<size_t> node_counts = ParseSizeList("DESICCANT_SCALE_NODES", {16});
+  std::vector<size_t> thread_counts =
+      ParseSizeList("DESICCANT_SCALE_THREADS",
+                    HostCores() > 1 ? std::vector<size_t>{1, HostCores()}
+                                    : std::vector<size_t>{1});
+  // Serial is the baseline every other count is scored against; always run it
+  // first even if the caller's list omitted it, and run each count once even
+  // if the list repeats (on a 1-core host the default collapses to "1,1").
+  if (std::find(thread_counts.begin(), thread_counts.end(), size_t{1}) ==
+      thread_counts.end()) {
+    thread_counts.insert(thread_counts.begin(), 1);
+  }
+  std::vector<size_t> unique_threads;
+  for (const size_t t : thread_counts) {
+    if (std::find(unique_threads.begin(), unique_threads.end(), t) ==
+        unique_threads.end()) {
+      unique_threads.push_back(t);
+    }
+  }
+  thread_counts = std::move(unique_threads);
+  const std::vector<MemoryMode> modes = ParseModes();
+  const RoutingPolicy routing = ParseRouting();
+  const double scale_factor = ParseDouble("DESICCANT_SCALE_FACTOR", 8.0);
+  const double warmup_s = ParseDouble("DESICCANT_SCALE_WARMUP_S", 30.0);
+  const double measure_s = ParseDouble("DESICCANT_SCALE_MEASURE_S", 120.0);
+  const SimTime warmup_end = FromSeconds(warmup_s);
+  const SimTime replay_end = warmup_end + FromSeconds(measure_s);
+
+  std::vector<Row> rows;
+  for (const size_t functions : function_counts) {
+    // One population + one arrival stream per size: every node count, mode,
+    // and thread count replays the identical input.
+    const SyntheticPopulation population(PopulationConfig::AzureLike(functions, 20240601));
+    const std::vector<TraceArrival> arrivals =
+        population.GenerateArrivals(scale_factor, 0, replay_end);
+
+    for (const size_t nodes : node_counts) {
+      for (const MemoryMode mode : modes) {
+        ShardedClusterConfig config;
+        config.node_count = nodes;
+        config.routing = routing;
+        config.node.mode = mode;
+        config.node.cpu_cores = 4.0;
+        config.node.cache_capacity_bytes = 768 * kMiB;
+        config.node.seed = 42;
+
+        double serial_ms = 0.0;
+        uint64_t serial_fingerprint = 0;
+        std::vector<uint64_t> serial_nodes;
+        for (const size_t threads : thread_counts) {
+          config.threads = threads;
+          const ShardedReplayResult r =
+              RunShardedReplay(population, arrivals, warmup_end, replay_end, config);
+          Row row;
+          row.functions = functions;
+          row.nodes = nodes;
+          row.threads = r.threads;
+          row.mode = MemoryModeName(mode);
+          row.arrivals = arrivals.size();
+          row.goodput_rps = r.metrics.GoodputRps();
+          row.p50_ms = r.metrics.latency_ms.Percentile(50);
+          row.p99_ms = r.metrics.latency_ms.Percentile(99);
+          row.cold_frac = r.metrics.ColdBootFraction();
+          row.frozen_mib = ToMiB(r.frozen_bytes);
+          row.released_mib = ToMiB(r.desiccant.bytes_released);
+          row.replay_ms = r.replay_wall_ms;
+          if (threads == 1) {
+            serial_ms = r.replay_wall_ms;
+            serial_fingerprint = r.aggregate_fingerprint;
+            serial_nodes = r.node_fingerprints;
+            row.speedup = 1.0;
+            row.det = true;
+          } else {
+            row.speedup = r.replay_wall_ms > 0 ? serial_ms / r.replay_wall_ms : 0.0;
+            row.det = r.aggregate_fingerprint == serial_fingerprint &&
+                      r.node_fingerprints == serial_nodes;
+          }
+          rows.push_back(row);
+
+          char name[128];
+          std::snprintf(name, sizeof(name), "ext_scale/f:%zu/n:%zu/%s/t:%zu", functions,
+                        nodes, MemoryModeName(mode), r.threads);
+          const Row reg = rows.back();
+          benchmark::RegisterBenchmark(name, [reg](benchmark::State& state) {
+            for (auto _ : state) {
+              state.SetIterationTime(reg.replay_ms / 1000.0);
+            }
+            state.counters["threads"] = static_cast<double>(reg.threads);
+            state.counters["speedup"] = reg.speedup;
+            state.counters["det"] = reg.det ? 1.0 : 0.0;
+            state.counters["goodput_rps"] = reg.goodput_rps;
+            state.counters["host_cores"] = static_cast<double>(HostCores());
+          })->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  Table table({"functions", "nodes", "threads", "mode", "arrivals", "goodput_rps",
+               "p50_ms", "p99_ms", "cold_frac", "frozen_mib", "released_mib",
+               "replay_ms", "speedup", "det"});
+  for (const Row& row : rows) {
+    table.AddRow({std::to_string(row.functions), std::to_string(row.nodes),
+                  std::to_string(row.threads), row.mode, std::to_string(row.arrivals),
+                  Table::Fmt(row.goodput_rps), Table::Fmt(row.p50_ms),
+                  Table::Fmt(row.p99_ms), Table::Fmt(row.cold_frac, 3),
+                  Table::Fmt(row.frozen_mib), Table::Fmt(row.released_mib),
+                  Table::Fmt(row.replay_ms), Table::Fmt(row.speedup),
+                  row.det ? "yes" : "NO"});
+  }
+  table.Print("Extension: sharded-cluster population replay (functions x nodes x threads)");
+  return 0;
+}

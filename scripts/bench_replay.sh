@@ -55,9 +55,16 @@ jq -n \
   --slurpfile fig09_cells "$workdir/fig09_trace_replay.parallel.json" \
   --slurpfile fig10_cells "$workdir/fig10_tail_latency.parallel.json" \
   '
-  def cells(doc): [doc.benchmarks[] | {name, real_time_ms: (.real_time * 1e3 | round / 1e3)}];
+  def cells(doc): [doc.benchmarks[]
+    | select(.name | startswith("replay_grid/meta") | not)
+    | {name, real_time_ms: (.real_time * 1e3 | round / 1e3)}];
+  def effective(doc): [doc.benchmarks[]
+    | select(.name | startswith("replay_grid/meta")) | .threads][0];
   {
     threads: ($threads | tonumber),
+    # The harness clamps oversubscribed requests to the host core count; this
+    # is what actually ran (from the replay_grid/meta benchmark counters).
+    effective_threads: (effective($fig09_cells[0]) // ($threads | tonumber)),
     host_cores: ($host_cores | tonumber),
     fig09: {
       serial_ms: ($fig09_serial | tonumber),

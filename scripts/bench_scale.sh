@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the ext_scale grid (synthetic population on the intra-cell parallel
+# engine) and writes BENCH_scale.json so the sharded engine's wall-clock,
+# speedup, and determinism bit are tracked PR over PR.
+#
+# Usage: scripts/bench_scale.sh [output.json]
+#   BUILD_DIR=build           cmake build directory (configured if missing)
+#   SCALE_FUNCTIONS=<list>    population sizes   (default 1000)
+#   SCALE_NODES=<list>        node counts        (default 16)
+#   SCALE_THREADS=<list>      worker counts      (default 1,nproc)
+#   SCALE_MODES=<list>        memory modes       (default vanilla,desiccant)
+#
+# Exits non-zero if any parallel cell's fingerprints diverged from serial
+# (det != 1): a determinism regression in the sharded engine is a bug, not a
+# perf data point.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_scale.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target ext_scale
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+DESICCANT_SCALE_FUNCTIONS="${SCALE_FUNCTIONS:-1000}" \
+DESICCANT_SCALE_NODES="${SCALE_NODES:-16}" \
+DESICCANT_SCALE_THREADS="${SCALE_THREADS:-1,$(nproc)}" \
+DESICCANT_SCALE_MODES="${SCALE_MODES:-vanilla,desiccant}" \
+  "$BUILD_DIR/bench/ext_scale" \
+  --benchmark_out="$workdir/ext_scale.json" --benchmark_out_format=json
+
+jq \
+  --arg host_cores "$(nproc)" \
+  '
+  def rows: [.benchmarks[] | select(.name | startswith("ext_scale/")) | {
+    name,
+    threads: .threads,
+    replay_ms: (.real_time | . * 1e2 | round / 1e2),
+    speedup: (.speedup * 1e2 | round / 1e2),
+    det: .det,
+    goodput_rps: (.goodput_rps * 1e2 | round / 1e2)
+  }];
+  {
+    host_cores: ($host_cores | tonumber),
+    cells: rows,
+    best_speedup: ([rows[].speedup] | max),
+    deterministic: ([rows[].det] | all(. == 1))
+  }' "$workdir/ext_scale.json" > "$OUT"
+
+echo "wrote $OUT"
+jq -e '.deterministic' "$OUT" > /dev/null || {
+  echo "FAIL: parallel fingerprints diverged from serial (det=0 cell present)" >&2
+  exit 1
+}

@@ -1,5 +1,7 @@
 #include "src/base/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace desiccant {
@@ -36,6 +38,30 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1) {
+    fn(0);  // nothing to fan out; skip the queue round-trip
+    return;
+  }
+  // One task per worker (capped at n); each drains indices from the shared
+  // counter so an uneven workload self-balances. The references captured here
+  // outlive the tasks because Wait() is a barrier.
+  std::atomic<size_t> next{0};
+  const size_t tasks = std::min(n, workers_.size());
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([&next, &fn, n] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -35,6 +35,14 @@ class ThreadPool {
   // happens-before edge from all task bodies to the caller.
   void Wait();
 
+  // Runs fn(0) .. fn(n - 1) across the workers and blocks until all are done
+  // (it is a barrier, like Wait). Indices are claimed from a shared atomic
+  // counter, so callers must not depend on which worker runs which index —
+  // only that every index runs exactly once. The sharded replay engine uses
+  // this for its per-epoch shard dispatch, where each index touches disjoint
+  // state and ordering is irrelevant by construction.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
   size_t thread_count() const { return workers_.size(); }
 
  private:

@@ -111,4 +111,12 @@ void DesiccantManager::MaybeReclaim() {
   }
 }
 
+void DesiccantStats::Accumulate(const DesiccantManager& manager) {
+  reclaim_requests += manager.reclaim_requests();
+  bytes_released += manager.bytes_released();
+  reclaim_aborts += manager.reclaim_aborts();
+  oom_kills_seen += manager.oom_kills_seen();
+  node_pressure_activations += manager.node_pressure_activations();
+}
+
 }  // namespace desiccant

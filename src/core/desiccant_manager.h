@@ -47,6 +47,23 @@ struct DesiccantConfig {
   SimTime node_thrash_backoff = 250 * kMillisecond;
 };
 
+class DesiccantManager;
+
+// Aggregated Desiccant bookkeeping across the per-node managers of a cluster
+// or sharded replay. Reclamation is a per-node concern (each node runs its
+// own manager on its own shard), so cluster-level reporting folds the
+// node-local counters together after the run — at a quiesced point, never
+// while shards are executing.
+struct DesiccantStats {
+  uint64_t reclaim_requests = 0;
+  uint64_t bytes_released = 0;
+  uint64_t reclaim_aborts = 0;
+  uint64_t oom_kills_seen = 0;
+  uint64_t node_pressure_activations = 0;
+
+  void Accumulate(const DesiccantManager& manager);
+};
+
 class DesiccantManager : public PlatformObserver {
  public:
   DesiccantManager(Platform* platform, const DesiccantConfig& config);

@@ -178,38 +178,7 @@ PlatformMetrics Cluster::AggregateMetrics() {
   PlatformMetrics total;
   total.window_start = ~0ull;
   for (auto& node : nodes_) {
-    const PlatformMetrics& m = node->FinishMeasurement();
-    total.requests_completed += m.requests_completed;
-    total.stage_invocations += m.stage_invocations;
-    total.cold_boots += m.cold_boots;
-    total.prewarm_adoptions += m.prewarm_adoptions;
-    total.warm_starts += m.warm_starts;
-    total.evictions += m.evictions;
-    total.keepalive_destroys += m.keepalive_destroys;
-    total.reclaims += m.reclaims;
-    total.swap_outs += m.swap_outs;
-    total.requests_failed += m.requests_failed;
-    total.requests_dropped += m.requests_dropped;
-    total.requests_retried_ok += m.requests_retried_ok;
-    total.invocation_timeouts += m.invocation_timeouts;
-    total.boot_failures += m.boot_failures;
-    total.oom_kills += m.oom_kills;
-    total.oom_kills_frozen += m.oom_kills_frozen;
-    total.oom_kills_running += m.oom_kills_running;
-    total.node_crashes += m.node_crashes;
-    total.failovers += m.failovers;
-    total.retries += m.retries;
-    total.reclaim_aborts += m.reclaim_aborts;
-    total.cpu_busy_core_s += m.cpu_busy_core_s;
-    total.boot_cpu_core_s += m.boot_cpu_core_s;
-    total.eager_gc_cpu_core_s += m.eager_gc_cpu_core_s;
-    total.reclaim_cpu_core_s += m.reclaim_cpu_core_s;
-    total.window_start = std::min(total.window_start, m.window_start);
-    total.window_end = std::max(total.window_end, m.window_end);
-    m.latency_ms.ForEachSample([&total](double sample) { total.latency_ms.Add(sample); });
-    m.queue_ms.ForEachSample([&total](double sample) { total.queue_ms.Add(sample); });
-    m.boot_ms.ForEachSample([&total](double sample) { total.boot_ms.Add(sample); });
-    m.exec_ms.ForEachSample([&total](double sample) { total.exec_ms.Add(sample); });
+    total.Accumulate(node->FinishMeasurement());
   }
   return total;
 }

@@ -61,6 +61,13 @@ class EventQueue {
     return events_.front().time;
   }
 
+  // Non-aborting peek for callers merging several queues (the sharded replay
+  // engine's idle skip takes the min over its shards): the earliest event
+  // time, or `fallback` when the queue is empty.
+  SimTime NextTimeOr(SimTime fallback) const {
+    return events_.empty() ? fallback : events_.front().time;
+  }
+
   // Pops the earliest event, advances the clock to it, and runs it (unless
   // its guard went stale, in which case the clock still advances).
   void RunNext(SimClock* clock) {

@@ -68,6 +68,15 @@ class FunctionRegistry {
   // Ids are dense: every id in [0, size()) is valid.
   size_t size() const { return names_.size(); }
 
+  // Capacity hint for populations whose function count is known up front
+  // (a 10k-function replay would otherwise grow all three tables through
+  // repeated rehash/doubling while interning).
+  void Reserve(size_t n) {
+    names_.reserve(n);
+    by_name_.reserve(n);
+    by_site_.reserve(n);
+  }
+
  private:
   struct SiteKey {
     const WorkloadSpec* workload;

@@ -92,6 +92,40 @@ uint64_t PlatformMetrics::Fingerprint() const {
   return h;
 }
 
+void PlatformMetrics::Accumulate(const PlatformMetrics& other) {
+  requests_completed += other.requests_completed;
+  stage_invocations += other.stage_invocations;
+  cold_boots += other.cold_boots;
+  prewarm_adoptions += other.prewarm_adoptions;
+  warm_starts += other.warm_starts;
+  evictions += other.evictions;
+  keepalive_destroys += other.keepalive_destroys;
+  reclaims += other.reclaims;
+  swap_outs += other.swap_outs;
+  requests_failed += other.requests_failed;
+  requests_dropped += other.requests_dropped;
+  requests_retried_ok += other.requests_retried_ok;
+  invocation_timeouts += other.invocation_timeouts;
+  boot_failures += other.boot_failures;
+  oom_kills += other.oom_kills;
+  oom_kills_frozen += other.oom_kills_frozen;
+  oom_kills_running += other.oom_kills_running;
+  node_crashes += other.node_crashes;
+  failovers += other.failovers;
+  retries += other.retries;
+  reclaim_aborts += other.reclaim_aborts;
+  cpu_busy_core_s += other.cpu_busy_core_s;
+  boot_cpu_core_s += other.boot_cpu_core_s;
+  eager_gc_cpu_core_s += other.eager_gc_cpu_core_s;
+  reclaim_cpu_core_s += other.reclaim_cpu_core_s;
+  window_start = std::min(window_start, other.window_start);
+  window_end = std::max(window_end, other.window_end);
+  other.latency_ms.ForEachSample([this](double sample) { latency_ms.Add(sample); });
+  other.queue_ms.ForEachSample([this](double sample) { queue_ms.Add(sample); });
+  other.boot_ms.ForEachSample([this](double sample) { boot_ms.Add(sample); });
+  other.exec_ms.ForEachSample([this](double sample) { exec_ms.Add(sample); });
+}
+
 Platform::Platform(const PlatformConfig& config, SimContext* context)
     : config_(config), rng_(config.seed), injector_(config.faults, config.seed) {
   if (context != nullptr) {

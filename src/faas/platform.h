@@ -214,6 +214,12 @@ struct PlatformMetrics {
   // Order-insensitive digest of every counter and latency sample; two runs
   // are replay-identical iff their fingerprints match.
   uint64_t Fingerprint() const;
+  // Folds another node's metrics into this view: counters add, windows union,
+  // latency percentiles merge the underlying samples. Used by Cluster and
+  // ShardedCluster to aggregate per-node metrics; because both the percentile
+  // digests and Fingerprint() are order-insensitive, the aggregate is
+  // independent of node order.
+  void Accumulate(const PlatformMetrics& other);
 };
 
 class Platform {
@@ -246,6 +252,16 @@ class Platform {
   // Capacity hint for bulk submission (e.g. a whole trace): grows the event
   // queue once instead of rehashing the heap vector while enqueueing.
   void ReserveEvents(size_t n) { context_->events.Reserve(context_->events.size() + n); }
+
+  // Capacity hint for the function-id tables and the warm pool when the
+  // population size is known up front (synthetic populations intern tens of
+  // thousands of functions).
+  void ReserveFunctions(size_t n) {
+    functions_.Reserve(n);
+    if (warm_pool_.capacity() < n) {
+      warm_pool_.reserve(n);
+    }
+  }
 
   // §2.1 provisioned concurrency: keeps `count` instances of the workload's
   // first stage always resident — booted eagerly, exempt from keep-alive

@@ -1,0 +1,256 @@
+#include "src/faas/sharded_cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace desiccant {
+
+namespace {
+constexpr SimTime kNever = ~static_cast<SimTime>(0);
+}  // namespace
+
+ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(config) {
+  if (config_.node_count == 0) {
+    std::fprintf(stderr, "sharded_cluster: node_count must be >= 1\n");
+    std::abort();
+  }
+  if (config_.node.faults.node_crash_mtbf_seconds > 0) {
+    // Crash failover re-routes in-flight requests across nodes mid-timeline,
+    // which would be a cross-shard interaction outside the router barrier —
+    // the one thing the conservative-lookahead argument cannot absorb.
+    std::fprintf(stderr,
+                 "sharded_cluster: node-crash fault plans require cross-shard "
+                 "failover; use Cluster (shared timeline) for crash plans\n");
+    std::abort();
+  }
+  size_t shard_count = config_.shard_count == 0 ? config_.node_count : config_.shard_count;
+  shard_count = std::min(shard_count, config_.node_count);
+
+  threads_ = config_.threads;
+  if (threads_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : hw;
+  }
+  threads_ = std::min(threads_, shard_count);
+
+  // All shards exist before any Platform captures a SimContext pointer.
+  shards_ = std::vector<Shard>(shard_count);
+  nodes_.reserve(config_.node_count);
+  for (size_t i = 0; i < config_.node_count; ++i) {
+    Shard& shard = shards_[i % shard_count];
+    PlatformConfig node_config = config_.node;
+    // Same per-node seed schedule as Cluster, so a node's trajectory is a
+    // function of its index alone — not of the sharding or thread count.
+    node_config.seed = config_.node.seed + i * 7919;
+    nodes_.push_back(std::make_unique<Platform>(node_config, &shard.context));
+    shard.nodes.push_back(i);
+  }
+}
+
+void ShardedCluster::Submit(const WorkloadSpec* workload, SimTime arrival) {
+  if (arrival < frontier_) {
+    std::fprintf(stderr,
+                 "sharded_cluster: arrival at %llu ns is before the simulated "
+                 "frontier %llu ns\n",
+                 static_cast<unsigned long long>(arrival),
+                 static_cast<unsigned long long>(frontier_));
+    std::abort();
+  }
+  arrivals_.push_back(PendingArrival{arrival, next_arrival_seq_++, workload});
+}
+
+void ShardedCluster::ReserveEvents(size_t n) {
+  const size_t per_node = n / nodes_.size() + 1;
+  for (auto& node : nodes_) {
+    node->ReserveEvents(per_node);
+  }
+}
+
+void ShardedCluster::ReserveFunctions(size_t n) {
+  for (auto& node : nodes_) {
+    node->ReserveFunctions(n);
+  }
+  affinity_home_.reserve(n);
+}
+
+void ShardedCluster::PrepareArrivals() {
+  if (arrivals_sorted_ == arrivals_.size()) {
+    return;
+  }
+  // Only the unrouted suffix needs ordering; (time, seq) makes simultaneous
+  // arrivals route in submission order, independent of the sort algorithm.
+  std::sort(arrivals_.begin() + static_cast<ptrdiff_t>(arrival_cursor_), arrivals_.end(),
+            [](const PendingArrival& a, const PendingArrival& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              return a.seq < b.seq;
+            });
+  arrivals_sorted_ = arrivals_.size();
+}
+
+size_t ShardedCluster::RouteOne(const WorkloadSpec* workload) {
+  const size_t n = nodes_.size();
+  switch (config_.routing) {
+    case RoutingPolicy::kRoundRobin: {
+      const size_t node = round_robin_next_;
+      round_robin_next_ = (round_robin_next_ + 1) % n;
+      return node;
+    }
+    case RoutingPolicy::kAffinity: {
+      const auto it = affinity_home_.find(workload);
+      if (it != affinity_home_.end()) {
+        return it->second;
+      }
+      // Same home hash as Cluster; cached because a 10k-function replay
+      // routes millions of arrivals.
+      const size_t home = std::hash<std::string>{}(workload->name) % n;
+      affinity_home_.emplace(workload, home);
+      return home;
+    }
+    case RoutingPolicy::kLeastLoaded: {
+      // Reads the barrier-time snapshot: every shard has quiesced at the
+      // routing instant, so this is deterministic (ties go to the lowest
+      // node index, as in Cluster).
+      size_t best = 0;
+      for (size_t i = 1; i < n; ++i) {
+        if (nodes_[i]->IdleCpu() > nodes_[best]->IdleCpu()) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void ShardedCluster::RouteArrivalsBefore(SimTime limit, bool inclusive) {
+  while (arrival_cursor_ < arrivals_.size()) {
+    const PendingArrival& a = arrivals_[arrival_cursor_];
+    if (a.time > limit || (a.time == limit && !inclusive)) {
+      return;
+    }
+    const size_t target = RouteOne(a.workload);
+    nodes_[target]->Submit(a.workload, a.time + config_.network_delay);
+    ++arrivals_routed_;
+    ++arrival_cursor_;
+  }
+}
+
+void ShardedCluster::RunShardUntil(Shard& shard, SimTime t_end) {
+  EventQueue& queue = shard.context.events;
+  SimClock& clock = shard.context.clock;
+  while (!queue.empty() && queue.next_time() <= t_end) {
+    queue.RunNext(&clock);
+    // Tick only this shard's nodes: an event on this timeline cannot have
+    // changed any other shard's state, so observers elsewhere have nothing
+    // new to see (and touching them here would be a data race).
+    for (const size_t index : shard.nodes) {
+      Platform& node = *nodes_[index];
+      if (node.observer() != nullptr) {
+        node.observer()->OnTick();
+      }
+      if (node.check_invariants()) {
+        node.CheckAccounting();
+      }
+    }
+  }
+  clock.AdvanceTo(std::max(clock.Now(), t_end));
+}
+
+void ShardedCluster::RunShardsTo(SimTime t_end) {
+  if (threads_ > 1 && shards_.size() > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    // ParallelFor is a barrier: when it returns, every shard has advanced to
+    // t_end and its writes happen-before the coordinator's next read.
+    pool_->ParallelFor(shards_.size(),
+                       [this, t_end](size_t s) { RunShardUntil(shards_[s], t_end); });
+  } else {
+    for (Shard& shard : shards_) {
+      RunShardUntil(shard, t_end);
+    }
+  }
+  frontier_ = std::max(frontier_, t_end);
+}
+
+void ShardedCluster::RunUntil(SimTime deadline) {
+  deadline = std::max(deadline, frontier_);
+  PrepareArrivals();
+  if (RoutingIsStatic()) {
+    // No router state to read: route the whole window up front and run every
+    // shard barrier-free to the deadline.
+    RouteArrivalsBefore(deadline, /*inclusive=*/true);
+    RunShardsTo(deadline);
+    return;
+  }
+  // Least-loaded: barriers only at routing instants. Shards run freely up to
+  // the next pending arrival, quiesce, then one lookahead window of arrivals
+  // is routed against that snapshot.
+  while (true) {
+    const SimTime next_arrival =
+        arrival_cursor_ < arrivals_.size() ? arrivals_[arrival_cursor_].time : kNever;
+    if (next_arrival > deadline) {
+      break;
+    }
+    const SimTime barrier = std::max(frontier_, next_arrival);
+    if (barrier > frontier_) {
+      RunShardsTo(barrier);
+    }
+    RouteArrivalsBefore(barrier + RoutingWindow(), /*inclusive=*/false);
+  }
+  RunShardsTo(deadline);
+}
+
+void ShardedCluster::Run() {
+  PrepareArrivals();
+  while (true) {
+    // Idle skip: jump straight to the earliest pending work (keep-alive
+    // expiries can sit minutes out) and drain in bounded chunks.
+    SimTime next =
+        arrival_cursor_ < arrivals_.size() ? arrivals_[arrival_cursor_].time : kNever;
+    for (const Shard& shard : shards_) {
+      next = std::min(next, shard.context.events.NextTimeOr(kNever));
+    }
+    if (next == kNever) {
+      return;
+    }
+    RunUntil(std::max(next, frontier_) + 60 * kSecond);
+  }
+}
+
+void ShardedCluster::BeginMeasurement() {
+  for (auto& node : nodes_) {
+    node->BeginMeasurement();
+  }
+}
+
+PlatformMetrics ShardedCluster::AggregateMetrics() {
+  PlatformMetrics total;
+  total.window_start = ~0ull;
+  for (auto& node : nodes_) {
+    total.Accumulate(node->FinishMeasurement());
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedCluster::NodeFingerprints() const {
+  std::vector<uint64_t> fingerprints;
+  fingerprints.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    fingerprints.push_back(node->metrics().Fingerprint());
+  }
+  return fingerprints;
+}
+
+void ShardedCluster::set_check_invariants(bool enabled) {
+  for (auto& node : nodes_) {
+    node->set_check_invariants(enabled);
+  }
+}
+
+}  // namespace desiccant

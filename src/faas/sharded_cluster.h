@@ -1,0 +1,158 @@
+// Intra-cell parallel discrete-event simulation.
+//
+// Cluster runs every node on one shared timeline: correct, but serial — a
+// 10k-function cell is one long event loop. ShardedCluster exploits the
+// structural independence the platform already has: a Platform is fully
+// self-contained (own RNG, registry, fault injector, physical memory), chain
+// stages complete on the node they started on, and — absent node crashes —
+// the only cross-node influence is the router choosing where an arrival
+// lands. So the cluster is partitioned into shards, each owning a private
+// SimContext (clock + event queue) for its nodes, and shards advance in
+// parallel on a thread pool.
+//
+// Synchronization is conservative lookahead, in the classic PDES sense:
+//   * Every routed arrival reaches its node `network_delay` after the
+//     controller saw it — the controller->invoker network is never faster
+//     than that. An arrival routed at barrier time T therefore cannot affect
+//     any shard before T (events it creates are at >= T), so shards may run
+//     freely up to the next routing instant.
+//   * Static routers (round-robin, affinity) read no node state: the whole
+//     arrival stream is routed up front and shards run barrier-free to the
+//     deadline.
+//   * The state-reading router (least-loaded) runs only at barriers, where
+//     every shard has quiesced at a common time. It routes one lookahead
+//     window of arrivals per barrier using that snapshot — its view of node
+//     load is at most one window stale, which is exactly the staleness a
+//     real controller has of invokers a network round-trip away. The window
+//     is network_delay, or barrier_epoch when network_delay is zero (the
+//     "lookahead collapsed" fallback: pure barrier merge).
+//
+// Determinism: the shard partition and every per-node seed are fixed by the
+// config — never by the worker count. Worker threads only decide *when* (in
+// wall-clock) a shard's events run, not *which* events run or in what virtual
+// -time order, so serial and N-thread runs produce byte-identical
+// PlatformMetrics::Fingerprint()s, per node and in aggregate.
+//
+// Node-local faults (timeouts, boot failures, OOM kills, reclaim aborts,
+// memory pressure) are fully supported — their draws come from per-node
+// injectors. Node *crashes* are not: failover moves requests across nodes
+// mid-epoch, which breaks shard confinement. Construction aborts on a crash
+// plan; use Cluster for those experiments.
+#ifndef DESICCANT_SRC_FAAS_SHARDED_CLUSTER_H_
+#define DESICCANT_SRC_FAAS_SHARDED_CLUSTER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/faas/cluster.h"
+#include "src/faas/platform.h"
+
+namespace desiccant {
+
+struct ShardedClusterConfig {
+  size_t node_count = 8;
+  // Node groups that share one event queue + clock. 0 = one shard per node
+  // (maximum parallelism). The partition is part of the simulation's
+  // identity: changing it changes how simultaneous events interleave across
+  // nodes of the same shard, so compare fingerprints only across runs with
+  // equal shard_count (thread count, by contrast, never matters).
+  size_t shard_count = 0;
+  // Worker threads running shards between barriers. 0 = hardware concurrency
+  // (clamped to the shard count); 1 = serial in the calling thread. Purely an
+  // execution knob — the result is identical for every value.
+  size_t threads = 1;
+  RoutingPolicy routing = RoutingPolicy::kAffinity;
+  // Minimum controller->invoker network delay: every routed arrival lands on
+  // its node this much after its trace arrival time, and it bounds how stale
+  // the least-loaded router's state snapshot can be (the lookahead).
+  SimTime network_delay = 2 * kMillisecond;
+  // Routing window under least-loaded when network_delay == 0: arrivals are
+  // routed in batches this wide between shard barriers.
+  SimTime barrier_epoch = 50 * kMillisecond;
+  PlatformConfig node;  // per-node configuration (seeded per node, as Cluster)
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(const ShardedClusterConfig& config);
+
+  // Records the arrival for routing (actual routing happens inside Run /
+  // RunUntil at the appropriate barrier). Arrivals may be submitted in any
+  // order before running, but not earlier than time already simulated.
+  void Submit(const WorkloadSpec* workload, SimTime arrival);
+
+  // Capacity hints, forwarded per node (approximately: arrivals are spread).
+  void ReserveEvents(size_t n);
+  void ReserveFunctions(size_t n);
+
+  // Runs until every queue is empty / until `deadline`; every node clock
+  // lands exactly on the frontier (max of all processed time).
+  void Run();
+  void RunUntil(SimTime deadline);
+
+  // Call only at a quiesced point (before Run, or after RunUntil returned):
+  // starts every node's measurement window at its current (common) time.
+  void BeginMeasurement();
+  PlatformMetrics AggregateMetrics();
+  // Per-node fingerprints in node order — the determinism tests' witness
+  // that not just the aggregate but every node's trajectory matched.
+  std::vector<uint64_t> NodeFingerprints() const;
+
+  void set_check_invariants(bool enabled);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t shard_count() const { return shards_.size(); }
+  // The resolved worker count (after the 0 = hardware default).
+  size_t threads() const { return threads_; }
+  Platform& node(size_t index) { return *nodes_[index]; }
+  const ShardedClusterConfig& config() const { return config_; }
+  SimTime frontier() const { return frontier_; }
+  uint64_t arrivals_routed() const { return arrivals_routed_; }
+
+ private:
+  struct Shard {
+    SimContext context;
+    std::vector<size_t> nodes;  // global node indices, ascending
+  };
+  struct PendingArrival {
+    SimTime time = 0;
+    uint64_t seq = 0;  // submission order: the deterministic tiebreak
+    const WorkloadSpec* workload = nullptr;
+  };
+
+  bool RoutingIsStatic() const { return config_.routing != RoutingPolicy::kLeastLoaded; }
+  SimTime RoutingWindow() const {
+    return config_.network_delay > 0 ? config_.network_delay : config_.barrier_epoch;
+  }
+  // Sorts not-yet-routed arrivals by (time, seq).
+  void PrepareArrivals();
+  // Routes arrivals with time < limit (<= when inclusive) to their nodes.
+  void RouteArrivalsBefore(SimTime limit, bool inclusive);
+  size_t RouteOne(const WorkloadSpec* workload);
+  // Advances every shard to t_end (parallel when threads_ > 1) and bumps the
+  // frontier. A barrier: returns only when every shard's clock == t_end.
+  void RunShardsTo(SimTime t_end);
+  void RunShardUntil(Shard& shard, SimTime t_end);
+
+  ShardedClusterConfig config_;
+  size_t threads_ = 1;
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Platform>> nodes_;
+  std::unique_ptr<ThreadPool> pool_;  // created on first parallel dispatch
+
+  std::vector<PendingArrival> arrivals_;
+  size_t arrival_cursor_ = 0;  // arrivals_[0, cursor) are routed
+  size_t arrivals_sorted_ = 0;  // arrivals_[0, sorted) are in (time, seq) order
+  uint64_t next_arrival_seq_ = 0;
+  uint64_t arrivals_routed_ = 0;
+  size_t round_robin_next_ = 0;
+  // Affinity homes, cached per workload pointer (stable across a replay).
+  std::unordered_map<const WorkloadSpec*, size_t> affinity_home_;
+  SimTime frontier_ = 0;  // all shards have simulated up to here
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_SHARDED_CLUSTER_H_

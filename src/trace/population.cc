@@ -1,0 +1,327 @@
+#include "src/trace/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/heap/chunked_space.h"
+
+namespace desiccant {
+
+namespace {
+
+[[noreturn]] void Die(const std::string& cls, const char* what) {
+  std::fprintf(stderr, "population: class '%s': %s\n", cls.c_str(), what);
+  std::abort();
+}
+
+// Positive and finite — the gate that keeps ln(median) and the draws it
+// parameterizes out of NaN territory.
+bool BadPositive(double v) { return !(std::isfinite(v) && v > 0.0); }
+
+double ClampD(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+// FNV-1a over raw bytes; the params fingerprint folds every drawn field
+// through this.
+void Mix(uint64_t* h, const void* bytes, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;
+  }
+}
+
+template <typename T>
+void MixValue(uint64_t* h, T value) {
+  Mix(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+void ValidatePopulationConfig(const PopulationConfig& config) {
+  if (config.function_count == 0) {
+    std::fprintf(stderr, "population: function_count must be >= 1\n");
+    std::abort();
+  }
+  if (config.object_coarsen_factor == 0) {
+    std::fprintf(stderr, "population: object_coarsen_factor must be >= 1\n");
+    std::abort();
+  }
+  if (config.classes.empty()) {
+    std::fprintf(stderr, "population: empty class mix\n");
+    std::abort();
+  }
+  double weight_sum = 0.0;
+  for (const PopulationClass& c : config.classes) {
+    if (!(std::isfinite(c.weight) && c.weight > 0.0)) {
+      Die(c.name, "weight must be positive");
+    }
+    weight_sum += c.weight;
+    // A non-positive (or NaN) IAT median is the "negative rate" bug: it turns
+    // into ln(median) = NaN and every inter-arrival time downstream is NaN,
+    // which Generate() silently renders as an empty arrival stream.
+    if (BadPositive(c.iat_median_s)) {
+      Die(c.name, "iat_median_s must be positive and finite (negative or zero "
+                  "rates produce NaN inter-arrival times)");
+    }
+    if (!(std::isfinite(c.iat_sigma) && c.iat_sigma >= 0.0)) {
+      Die(c.name, "iat_sigma must be non-negative and finite");
+    }
+    if (BadPositive(c.exec_median_ms)) {
+      Die(c.name, "exec_median_ms must be positive and finite");
+    }
+    if (!(std::isfinite(c.exec_sigma) && c.exec_sigma >= 0.0)) {
+      Die(c.name, "exec_sigma must be non-negative and finite");
+    }
+    if (c.persistent_min_bytes == 0 || c.persistent_max_bytes < c.persistent_min_bytes) {
+      Die(c.name, "persistent byte range invalid (zero memory or max < min)");
+    }
+    if (c.alloc_min_bytes == 0 || c.alloc_max_bytes < c.alloc_min_bytes) {
+      Die(c.name, "alloc byte range invalid (zero memory or max < min)");
+    }
+    if (c.init_churn_max_bytes < c.init_churn_min_bytes) {
+      Die(c.name, "init churn range invalid (max < min)");
+    }
+    if (c.object_size_min == 0 || c.object_size_max < c.object_size_min) {
+      Die(c.name, "object size range invalid (zero size or max < min)");
+    }
+    if (!(std::isfinite(c.burst_size_mean) && c.burst_size_mean >= 1.0)) {
+      Die(c.name, "burst_size_mean must be >= 1");
+    }
+    if (!(std::isfinite(c.chain_fraction) && c.chain_fraction >= 0.0 &&
+          c.chain_fraction <= 1.0)) {
+      Die(c.name, "chain_fraction must be in [0, 1]");
+    }
+  }
+  if (!(std::isfinite(weight_sum) && weight_sum > 0.0)) {
+    std::fprintf(stderr, "population: class weights sum to zero\n");
+    std::abort();
+  }
+}
+
+PopulationConfig PopulationConfig::AzureLike(size_t function_count, uint64_t seed) {
+  PopulationConfig config;
+  config.function_count = function_count;
+  config.seed = seed;
+
+  PopulationClass http;
+  http.name = "http";
+  http.weight = 0.35;
+  http.language = Language::kJavaScript;
+  http.pattern = ArrivalPattern::kPoisson;
+  http.iat_median_s = 30.0;
+  http.iat_sigma = 1.6;  // a few very hot endpoints, a long cool tail
+  http.exec_median_ms = 12.0;
+  http.exec_sigma = 0.8;
+  http.persistent_min_bytes = 1 * kMiB;
+  http.persistent_max_bytes = 4 * kMiB;
+  http.alloc_min_bytes = 2 * kMiB;
+  http.alloc_max_bytes = 8 * kMiB;
+  http.init_churn_min_bytes = 1 * kMiB;
+  http.init_churn_max_bytes = 6 * kMiB;
+  http.chain_fraction = 0.15;
+
+  PopulationClass timer;
+  timer.name = "timer";
+  timer.weight = 0.30;
+  timer.language = Language::kJava;
+  timer.pattern = ArrivalPattern::kPeriodic;
+  timer.iat_median_s = 240.0;
+  timer.iat_sigma = 0.8;
+  timer.exec_median_ms = 25.0;
+  timer.exec_sigma = 0.6;
+  timer.persistent_min_bytes = 2 * kMiB;
+  timer.persistent_max_bytes = 6 * kMiB;
+  timer.alloc_min_bytes = 2 * kMiB;
+  timer.alloc_max_bytes = 6 * kMiB;
+  timer.init_churn_min_bytes = 4 * kMiB;   // class loading on first invocation
+  timer.init_churn_max_bytes = 12 * kMiB;
+
+  PopulationClass queue;
+  queue.name = "queue";
+  queue.weight = 0.20;
+  queue.language = Language::kJavaScript;
+  queue.pattern = ArrivalPattern::kBursty;
+  queue.iat_median_s = 180.0;
+  queue.iat_sigma = 1.2;
+  queue.exec_median_ms = 18.0;
+  queue.exec_sigma = 0.8;
+  queue.persistent_min_bytes = 1 * kMiB;
+  queue.persistent_max_bytes = 5 * kMiB;
+  queue.alloc_min_bytes = 3 * kMiB;
+  queue.alloc_max_bytes = 10 * kMiB;
+  queue.init_churn_min_bytes = 1 * kMiB;
+  queue.init_churn_max_bytes = 4 * kMiB;
+  queue.burst_size_mean = 4.0;
+  queue.chain_fraction = 0.25;
+
+  PopulationClass batch;
+  batch.name = "batch";
+  batch.weight = 0.10;
+  batch.language = Language::kJava;
+  batch.pattern = ArrivalPattern::kPoisson;
+  batch.iat_median_s = 900.0;
+  batch.iat_sigma = 1.0;
+  batch.exec_median_ms = 150.0;
+  batch.exec_sigma = 0.7;
+  batch.persistent_min_bytes = 4 * kMiB;
+  batch.persistent_max_bytes = 16 * kMiB;
+  batch.alloc_min_bytes = 8 * kMiB;
+  batch.alloc_max_bytes = 24 * kMiB;
+  batch.init_churn_min_bytes = 8 * kMiB;
+  batch.init_churn_max_bytes = 24 * kMiB;
+  batch.chain_fraction = 0.30;
+
+  PopulationClass tail;
+  tail.name = "ml-tail";
+  tail.weight = 0.05;
+  tail.language = Language::kPython;
+  tail.pattern = ArrivalPattern::kPoisson;
+  tail.iat_median_s = 600.0;
+  tail.iat_sigma = 1.0;
+  tail.exec_median_ms = 80.0;
+  tail.exec_sigma = 0.8;
+  tail.persistent_min_bytes = 4 * kMiB;
+  tail.persistent_max_bytes = 12 * kMiB;
+  tail.alloc_min_bytes = 4 * kMiB;
+  tail.alloc_max_bytes = 12 * kMiB;
+  tail.init_churn_min_bytes = 2 * kMiB;
+  tail.init_churn_max_bytes = 8 * kMiB;
+
+  config.classes = {http, timer, queue, batch, tail};
+  return config;
+}
+
+SyntheticPopulation::SyntheticPopulation(const PopulationConfig& config)
+    : config_(config) {
+  ValidatePopulationConfig(config_);
+
+  // Deterministic class assignment with exact proportions: function i belongs
+  // to the class whose cumulative weight bucket contains i. (Sampling class
+  // membership per function would make the realized mix depend on the seed;
+  // pinning it keeps "35% http" literally true at any population size.)
+  const size_t n = config_.function_count;
+  std::vector<size_t> class_of(n);
+  double weight_sum = 0.0;
+  for (const PopulationClass& c : config_.classes) {
+    weight_sum += c.weight;
+  }
+  double cumulative = 0.0;
+  size_t assigned = 0;
+  for (size_t c = 0; c < config_.classes.size(); ++c) {
+    cumulative += config_.classes[c].weight;
+    const size_t upto =
+        (c + 1 == config_.classes.size())
+            ? n
+            : std::min(n, static_cast<size_t>(
+                              std::llround(cumulative / weight_sum * static_cast<double>(n))));
+    for (; assigned < upto; ++assigned) {
+      class_of[assigned] = c;
+    }
+  }
+
+  // WorkloadSpec storage must be fully sized before trace_ takes pointers.
+  workloads_.reserve(n);
+  trace_.reserve(n);
+
+  const uint32_t coarsen = config_.object_coarsen_factor;
+  char name[64];
+  for (size_t i = 0; i < n; ++i) {
+    const PopulationClass& cls = config_.classes[class_of[i]];
+    // Per-function stream: growing the population or reordering classes never
+    // re-rolls the draws of any other function.
+    Rng rng(Rng::MixSeed(config_.seed, i));
+
+    WorkloadSpec w;
+    std::snprintf(name, sizeof(name), "p%06zu-%s", i, cls.name.c_str());
+    w.name = name;
+    w.language = cls.language;
+
+    // The per-function mean IAT; clamped so a single extreme tail draw can
+    // neither dominate the whole cell (sub-second floor) nor silently vanish
+    // from finite replay windows we still want to bill for (2h cap).
+    const double mean_iat_s =
+        ClampD(rng.LogNormal(std::log(cls.iat_median_s), cls.iat_sigma), 0.5, 7200.0);
+    const double exec_ms =
+        ClampD(rng.LogNormal(std::log(cls.exec_median_ms), cls.exec_sigma), 1.0, 2000.0);
+
+    const bool chained = rng.Chance(cls.chain_fraction);
+    const uint64_t persistent =
+        rng.UniformU64(cls.persistent_min_bytes, cls.persistent_max_bytes);
+    const uint64_t alloc = rng.UniformU64(cls.alloc_min_bytes, cls.alloc_max_bytes);
+    const uint64_t init_churn =
+        rng.UniformU64(cls.init_churn_min_bytes, cls.init_churn_max_bytes);
+    const uint32_t object_size = static_cast<uint32_t>(
+        std::min<uint64_t>(static_cast<uint64_t>(rng.UniformU64(
+                               cls.object_size_min, cls.object_size_max)) *
+                               coarsen,
+                           kMaxRegularObjectSize));
+
+    StageSpec stage;
+    stage.alloc_bytes = alloc;
+    stage.object_size = object_size;
+    stage.persistent_bytes = persistent;
+    stage.init_churn_bytes = init_churn;
+    stage.window_bytes = std::max<uint64_t>(256 * kKiB, alloc / 8);
+    stage.exec_ms = exec_ms;
+    if (chained) {
+      // Split the work across two stages; the carry models the intermediate
+      // output the upstream instance retains until the downstream consumes it.
+      StageSpec first = stage;
+      first.alloc_bytes = alloc / 2;
+      first.exec_ms = exec_ms / 2;
+      first.carry_bytes = std::min<uint64_t>(alloc / 4, 4 * kMiB);
+      StageSpec second = stage;
+      second.alloc_bytes = alloc - first.alloc_bytes;
+      second.exec_ms = exec_ms - first.exec_ms;
+      second.persistent_bytes = std::max<uint64_t>(persistent / 2, 256 * kKiB);
+      second.init_churn_bytes = init_churn / 2;
+      w.stages = {first, second};
+    } else {
+      w.stages = {stage};
+    }
+    workloads_.push_back(std::move(w));
+
+    TraceFunction fn;
+    fn.workload = &workloads_.back();
+    fn.pattern = cls.pattern;
+    fn.mean_iat_s = mean_iat_s;
+    fn.burst_size_mean = cls.burst_size_mean;
+    trace_.push_back(fn);
+  }
+}
+
+uint64_t SyntheticPopulation::ParamsFingerprint() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (size_t i = 0; i < workloads_.size(); ++i) {
+    const WorkloadSpec& w = workloads_[i];
+    const TraceFunction& fn = trace_[i];
+    Mix(&h, w.name.data(), w.name.size());
+    MixValue(&h, static_cast<uint8_t>(w.language));
+    MixValue(&h, static_cast<uint8_t>(fn.pattern));
+    MixValue(&h, fn.mean_iat_s);
+    MixValue(&h, fn.burst_size_mean);
+    for (const StageSpec& s : w.stages) {
+      MixValue(&h, s.alloc_bytes);
+      MixValue(&h, s.object_size);
+      MixValue(&h, s.persistent_bytes);
+      MixValue(&h, s.init_churn_bytes);
+      MixValue(&h, s.window_bytes);
+      MixValue(&h, s.carry_bytes);
+      MixValue(&h, s.exec_ms);
+    }
+  }
+  return h;
+}
+
+std::vector<TraceArrival> SyntheticPopulation::GenerateArrivals(double scale_factor,
+                                                                SimTime start,
+                                                                SimTime end) const {
+  TraceGenerator generator(config_.seed);
+  return generator.Generate(trace_, scale_factor, start, end);
+}
+
+}  // namespace desiccant

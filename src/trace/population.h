@@ -1,0 +1,117 @@
+// Seeded synthetic function populations at Azure scale.
+//
+// The Table-1 suite covers 20 hand-modelled functions; characterizing a whole
+// cell the way "Serverless in the Wild" (Shahrad et al., PAPERS.md) does
+// needs tens of thousands. This module draws a population from a small set of
+// behaviour classes — each class fixes the arrival pattern and the log-normal
+// distributions of per-function mean inter-arrival time and execution time,
+// plus uniform ranges for the memory parameters — and materializes one
+// WorkloadSpec + TraceFunction per function. Everything is a pure function of
+// (config, seed): function i draws from Rng(MixSeed(seed, i)), so the
+// population is byte-identical across runs, platforms, and thread counts, and
+// growing the population never re-rolls the existing prefix.
+//
+// Invalid class parameters (a non-positive or non-finite IAT median, zero
+// memory, an empty class mix, ...) would silently turn into NaN inter-arrival
+// times or empty heaps downstream, so construction hard-aborts on them
+// instead — see Validate().
+#ifndef DESICCANT_SRC_TRACE_POPULATION_H_
+#define DESICCANT_SRC_TRACE_POPULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/trace/azure_trace.h"
+#include "src/workloads/function_spec.h"
+
+namespace desiccant {
+
+// One behaviour class: the joint distribution its functions are drawn from.
+// Medians + log-sigmas parameterize log-normals (heavy right tails, as the
+// Azure dataset exhibits for both rates and durations); byte ranges are
+// uniform.
+struct PopulationClass {
+  std::string name;
+  double weight = 1.0;  // share of the population (normalized over classes)
+  Language language = Language::kJavaScript;
+  ArrivalPattern pattern = ArrivalPattern::kPoisson;
+
+  // Per-function mean inter-arrival time at scale factor 1: the population's
+  // IAT distribution is log-normal(ln(median), sigma). Sigma near 1.5 gives
+  // the dataset's few-hot/long-tail shape within the class.
+  double iat_median_s = 60.0;
+  double iat_sigma = 1.0;
+
+  // Per-stage execution time, log-normal as above.
+  double exec_median_ms = 20.0;
+  double exec_sigma = 0.6;
+
+  // Memory behaviour (uniform ranges, bytes).
+  uint64_t persistent_min_bytes = 1 * kMiB;
+  uint64_t persistent_max_bytes = 4 * kMiB;
+  uint64_t alloc_min_bytes = 2 * kMiB;
+  uint64_t alloc_max_bytes = 8 * kMiB;
+  uint64_t init_churn_min_bytes = 1 * kMiB;
+  uint64_t init_churn_max_bytes = 6 * kMiB;
+  uint32_t object_size_min = 2 * kKiB;
+  uint32_t object_size_max = 8 * kKiB;
+
+  double burst_size_mean = 3.0;   // kBursty only
+  double chain_fraction = 0.0;    // share of functions that are 2-stage chains
+};
+
+struct PopulationConfig {
+  size_t function_count = 10000;
+  uint64_t seed = 20240601;
+  // Object sizes are multiplied by this (and clamped to the heap's regular-
+  // object limit) to bound simulation cost, like CoarsenObjects in the
+  // replay benches.
+  uint32_t object_coarsen_factor = 16;
+  std::vector<PopulationClass> classes;
+
+  // The default mix: five classes shaped after the Azure dataset's broad
+  // strokes — hot HTTP endpoints, periodic timers, bursty queue consumers,
+  // heavy batch jobs, and a rare tail — across all three runtimes.
+  static PopulationConfig AzureLike(size_t function_count, uint64_t seed);
+};
+
+// Aborts the process (with a "population:"-prefixed reason on stderr) if any
+// parameter could produce NaN/zero draws downstream. Exposed so tests can
+// death-test individual violations.
+void ValidatePopulationConfig(const PopulationConfig& config);
+
+// The materialized population. Owns the WorkloadSpec storage; TraceFunction
+// entries point into it, so instances are immovable (no copy/move).
+class SyntheticPopulation {
+ public:
+  explicit SyntheticPopulation(const PopulationConfig& config);  // validates
+
+  SyntheticPopulation(const SyntheticPopulation&) = delete;
+  SyntheticPopulation& operator=(const SyntheticPopulation&) = delete;
+
+  const PopulationConfig& config() const { return config_; }
+  const std::vector<WorkloadSpec>& workloads() const { return workloads_; }
+  // One per workload, same order; feed to TraceGenerator::Generate.
+  const std::vector<TraceFunction>& trace_functions() const { return trace_; }
+
+  // FNV-1a digest over every drawn parameter of every function. Two
+  // populations with the same config agree on this iff they are
+  // byte-identical — the determinism tests' primary witness.
+  uint64_t ParamsFingerprint() const;
+
+  // Convenience: all arrivals in [start, end) for this population, sorted by
+  // time, using TraceGenerator(config.seed).
+  std::vector<TraceArrival> GenerateArrivals(double scale_factor, SimTime start,
+                                             SimTime end) const;
+
+ private:
+  PopulationConfig config_;
+  std::vector<WorkloadSpec> workloads_;
+  std::vector<TraceFunction> trace_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_TRACE_POPULATION_H_

@@ -1,0 +1,198 @@
+// The synthetic population generator: determinism (same seed => byte-identical
+// population and arrival stream), distribution sanity, and the hard-abort
+// validation of per-class distribution parameters — invalid inputs must die
+// loudly instead of silently producing NaN inter-arrival times.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/heap/chunked_space.h"
+#include "src/trace/population.h"
+
+namespace desiccant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+TEST(PopulationTest, SameSeedIsByteIdentical) {
+  const PopulationConfig config = PopulationConfig::AzureLike(500, 12345);
+  const SyntheticPopulation a(config);
+  const SyntheticPopulation b(config);
+  ASSERT_EQ(a.workloads().size(), 500u);
+  EXPECT_NE(a.ParamsFingerprint(), 0u);
+  EXPECT_EQ(a.ParamsFingerprint(), b.ParamsFingerprint());
+  for (size_t i = 0; i < a.workloads().size(); ++i) {
+    EXPECT_EQ(a.workloads()[i].name, b.workloads()[i].name);
+  }
+}
+
+TEST(PopulationTest, SeedChangesTheDraws) {
+  const SyntheticPopulation a(PopulationConfig::AzureLike(300, 1));
+  const SyntheticPopulation b(PopulationConfig::AzureLike(300, 2));
+  EXPECT_NE(a.ParamsFingerprint(), b.ParamsFingerprint());
+}
+
+TEST(PopulationTest, ArrivalStreamIsDeterministic) {
+  const SyntheticPopulation population(PopulationConfig::AzureLike(200, 9));
+  const auto a = population.GenerateArrivals(4.0, 0, FromSeconds(60));
+  const auto b = population.GenerateArrivals(4.0, 0, FromSeconds(60));
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);  // sorted
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distribution sanity
+
+TEST(PopulationTest, ClassMixHasExactProportions) {
+  // Class membership is assigned by cumulative-weight bucket, not sampled, so
+  // the realized mix matches the weights exactly at any population size.
+  const SyntheticPopulation population(PopulationConfig::AzureLike(1000, 7));
+  size_t http = 0;
+  size_t timers = 0;
+  for (const WorkloadSpec& w : population.workloads()) {
+    if (w.name.find("-http") != std::string::npos) {
+      ++http;
+    }
+    if (w.name.find("-timer") != std::string::npos) {
+      ++timers;
+    }
+  }
+  EXPECT_EQ(http, 350u);
+  EXPECT_EQ(timers, 300u);
+}
+
+TEST(PopulationTest, DrawsStayWithinModelBounds) {
+  const SyntheticPopulation population(PopulationConfig::AzureLike(400, 11));
+  ASSERT_EQ(population.trace_functions().size(), population.workloads().size());
+  for (size_t i = 0; i < population.workloads().size(); ++i) {
+    const WorkloadSpec& w = population.workloads()[i];
+    const TraceFunction& fn = population.trace_functions()[i];
+    EXPECT_EQ(fn.workload, &w);  // trace entries point into owned storage
+    EXPECT_TRUE(std::isfinite(fn.mean_iat_s));
+    EXPECT_GE(fn.mean_iat_s, 0.5);
+    EXPECT_LE(fn.mean_iat_s, 7200.0);
+    ASSERT_FALSE(w.stages.empty());
+    EXPECT_LE(w.stages.size(), 2u);
+    for (const StageSpec& s : w.stages) {
+      EXPECT_GT(s.alloc_bytes, 0u);
+      EXPECT_GT(s.persistent_bytes, 0u);
+      EXPECT_GT(s.object_size, 0u);
+      EXPECT_LE(s.object_size, kMaxRegularObjectSize);
+      EXPECT_GT(s.exec_ms, 0.0);
+    }
+  }
+}
+
+TEST(PopulationTest, UniqueNames) {
+  // Names are the function identity in FunctionRegistry; a collision would
+  // silently merge two functions' warm pools.
+  const SyntheticPopulation population(PopulationConfig::AzureLike(800, 3));
+  std::vector<std::string> names;
+  for (const WorkloadSpec& w : population.workloads()) {
+    names.push_back(w.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// Hard-abort validation (death tests)
+
+PopulationConfig SmallValid() {
+  return PopulationConfig::AzureLike(10, 42);
+}
+
+TEST(PopulationDeathTest, ZeroFunctionCountAborts) {
+  PopulationConfig config = SmallValid();
+  config.function_count = 0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "function_count");
+}
+
+TEST(PopulationDeathTest, EmptyClassMixAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes.clear();
+  EXPECT_DEATH(SyntheticPopulation{config}, "empty class mix");
+}
+
+TEST(PopulationDeathTest, NegativeRateAborts) {
+  // A negative mean IAT is the classic sign error: ln(median) would be NaN
+  // and every downstream inter-arrival time with it.
+  PopulationConfig config = SmallValid();
+  config.classes[0].iat_median_s = -30.0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "NaN inter-arrival");
+}
+
+TEST(PopulationDeathTest, NanRateAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[1].iat_median_s = std::nan("");
+  EXPECT_DEATH(SyntheticPopulation{config}, "NaN inter-arrival");
+}
+
+TEST(PopulationDeathTest, NegativeSigmaAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].iat_sigma = -0.5;
+  EXPECT_DEATH(SyntheticPopulation{config}, "iat_sigma");
+}
+
+TEST(PopulationDeathTest, ZeroExecAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].exec_median_ms = 0.0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "exec_median_ms");
+}
+
+TEST(PopulationDeathTest, ZeroMemoryAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].persistent_min_bytes = 0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "zero memory");
+}
+
+TEST(PopulationDeathTest, InvertedAllocRangeAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].alloc_min_bytes = 8 * kMiB;
+  config.classes[0].alloc_max_bytes = 2 * kMiB;
+  EXPECT_DEATH(SyntheticPopulation{config}, "alloc byte range");
+}
+
+TEST(PopulationDeathTest, ZeroObjectSizeAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].object_size_min = 0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "object size range");
+}
+
+TEST(PopulationDeathTest, ZeroWeightAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].weight = 0.0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "weight must be positive");
+}
+
+TEST(PopulationDeathTest, SubUnitBurstAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].burst_size_mean = 0.25;
+  EXPECT_DEATH(SyntheticPopulation{config}, "burst_size_mean");
+}
+
+TEST(PopulationDeathTest, ChainFractionOutOfRangeAborts) {
+  PopulationConfig config = SmallValid();
+  config.classes[0].chain_fraction = 1.5;
+  EXPECT_DEATH(SyntheticPopulation{config}, "chain_fraction");
+}
+
+TEST(PopulationDeathTest, ZeroCoarsenFactorAborts) {
+  PopulationConfig config = SmallValid();
+  config.object_coarsen_factor = 0;
+  EXPECT_DEATH(SyntheticPopulation{config}, "object_coarsen_factor");
+}
+
+}  // namespace
+}  // namespace desiccant

@@ -62,6 +62,37 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&count](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&count](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+  pool.ParallelFor(3, [&count](size_t) { ++count; });  // fewer than workers
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, ParallelForIsABarrier) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(64, [&count](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(count.load(), 64);  // all done before ParallelFor returned
+  }
+}
+
 // ---------------------------------------------------------------------------
 // FunctionRegistry
 
@@ -156,6 +187,62 @@ TEST(ReplayParallelTest, ParallelGridMatchesSerialUnderFaults) {
   EXPECT_EQ(serial, parallel);
   // And the faulty run really took a different trajectory than a clean one.
   EXPECT_NE(serial, GridFingerprints(1, FaultPlan{}));
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel *intra-cell* replay (the sharded engine)
+//
+// The grid tests above parallelize across independent cells; these exercise
+// parallelism inside one cell: a synthetic population replayed on a
+// ShardedCluster must fingerprint byte-identically — per node and in
+// aggregate — at every worker count, with and without injected faults.
+
+ShardedReplayResult ShardedRun(size_t threads, const FaultPlan& faults) {
+  // One population/arrival stream per plan, cached: four thread counts replay
+  // the identical input without re-deriving it.
+  static const SyntheticPopulation population(PopulationConfig::AzureLike(160, 777));
+  static const std::vector<TraceArrival> arrivals =
+      population.GenerateArrivals(4.0, 0, FromSeconds(40));
+
+  ShardedClusterConfig config;
+  config.node_count = 8;
+  config.threads = threads;
+  config.routing = RoutingPolicy::kAffinity;
+  config.node.mode = MemoryMode::kDesiccant;
+  config.node.cpu_cores = 2.0;
+  config.node.cache_capacity_bytes = 384 * kMiB;
+  config.node.faults = faults;
+  return RunShardedReplay(population, arrivals, FromSeconds(10), FromSeconds(40), config);
+}
+
+TEST(ReplayParallelTest, ShardedReplayMatchesSerialAtEveryThreadCount) {
+  const FaultPlan no_faults;
+  const ShardedReplayResult serial = ShardedRun(1, no_faults);
+  EXPECT_NE(serial.aggregate_fingerprint, 0u);
+  EXPECT_GT(serial.metrics.requests_completed, 0u);
+  for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    const ShardedReplayResult parallel = ShardedRun(threads, no_faults);
+    EXPECT_EQ(parallel.aggregate_fingerprint, serial.aggregate_fingerprint)
+        << threads << " threads";
+    EXPECT_EQ(parallel.node_fingerprints, serial.node_fingerprints) << threads << " threads";
+  }
+}
+
+TEST(ReplayParallelTest, ShardedReplayMatchesSerialUnderFaults) {
+  FaultPlan faults;
+  faults.invocation_timeout = 2 * kSecond;
+  faults.boot_failure_prob = 0.05;
+  faults.reclaim_abort_prob = 0.10;
+  faults.node_memory_bytes = 2048 * kMiB;
+  const ShardedReplayResult serial = ShardedRun(1, faults);
+  for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    const ShardedReplayResult parallel = ShardedRun(threads, faults);
+    EXPECT_EQ(parallel.aggregate_fingerprint, serial.aggregate_fingerprint)
+        << threads << " threads";
+    EXPECT_EQ(parallel.node_fingerprints, serial.node_fingerprints) << threads << " threads";
+  }
+  // The fault layer really fired (otherwise this test proves nothing).
+  EXPECT_NE(serial.aggregate_fingerprint, ShardedRun(1, FaultPlan{}).aggregate_fingerprint);
 }
 
 }  // namespace

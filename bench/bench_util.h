@@ -97,6 +97,9 @@ struct ReplayConfig {
   // Node physical-memory pressure (0 = model off, byte-identical replay).
   uint64_t node_budget_mib = 0;
   uint64_t swap_mib = 0;
+  // Multi-tier snapshot store (disabled = byte-identical replay; pair with
+  // snapstart_restore so cold starts actually walk the tiers).
+  SnapshotConfig snapshot;
 };
 
 struct ReplayResult {
@@ -107,6 +110,8 @@ struct ReplayResult {
   // Node pressure counters (all zero when the model is off).
   PressureStats pressure;
   uint64_t node_pressure_activations = 0;
+  // Snapshot-store counters (all zero when the store is off).
+  SnapshotStats snapshot;
 };
 
 // The Table 1 suite with coarsened objects, cached (bench binaries run many
@@ -135,6 +140,7 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
     platform_config.pressure = PhysicalMemoryConfig::ForBytes(config.node_budget_mib * kMiB,
                                                               config.swap_mib * kMiB);
   }
+  platform_config.snapshot = config.snapshot;
   Platform platform(platform_config);
 
   std::unique_ptr<DesiccantManager> manager;
@@ -177,6 +183,9 @@ inline ReplayResult RunReplay(const ReplayConfig& config) {
   }
   if (const PhysicalMemory* node = platform.physical_memory()) {
     result.pressure = node->stats();
+  }
+  if (const SnapshotStore* store = platform.snapshot_store()) {
+    result.snapshot = store->stats();
   }
   return result;
 }

@@ -3,6 +3,15 @@
 // Both attack the *cost* of a cold start; Desiccant attacks its *frequency*
 // by caching more frozen instances in the same memory. The approaches
 // compose: the last row runs Desiccant with a prewarm pool.
+//
+// Second table: the multi-tier snapshot store (src/snapshot/). Cold boots vs
+// the legacy flat restore vs tiered restores in lazy (demand-fault) and REAP
+// (working-set prefetch) mode, across two hierarchies (three-tier and
+// remote-only), plus a Desiccant composition cell that reports how much of
+// the recorded working set reclamation leaves resident, and a fault cell
+// that loses the node-local tier mid-run. Every cell replays twice and
+// reports `det` — whether the two runs' metric fingerprints matched
+// byte-for-byte.
 #include "bench/bench_util.h"
 
 namespace {
@@ -45,6 +54,74 @@ constexpr Setup kSetups[] = {
      2},
 };
 
+// ---------------------------------------------------------------------------
+// Tiered-snapshot grid.
+
+enum class Hierarchy { kNone, kThreeTier, kRemoteOnly };
+
+struct TierSetup {
+  const char* name;           // row label and benchmark suffix
+  MemoryMode mode;
+  bool snapstart;             // restore path enabled at all
+  Hierarchy hierarchy;        // kNone + snapstart = legacy flat restore
+  bool reap;                  // prefetch the recorded working set
+  bool faults;                // fetch failures + corruption + local-tier loss
+};
+
+constexpr TierSetup kTierSetups[] = {
+    {"cold-boot", MemoryMode::kVanilla, false, Hierarchy::kNone, false, false},
+    {"legacy-restore", MemoryMode::kVanilla, true, Hierarchy::kNone, false, false},
+    {"lazy+3tier", MemoryMode::kVanilla, true, Hierarchy::kThreeTier, false, false},
+    {"reap+3tier", MemoryMode::kVanilla, true, Hierarchy::kThreeTier, true, false},
+    {"lazy+remote", MemoryMode::kVanilla, true, Hierarchy::kRemoteOnly, false, false},
+    {"reap+remote", MemoryMode::kVanilla, true, Hierarchy::kRemoteOnly, true, false},
+    {"reap+3tier+desiccant", MemoryMode::kDesiccant, true, Hierarchy::kThreeTier, true,
+     false},
+    {"reap+3tier+faults", MemoryMode::kVanilla, true, Hierarchy::kThreeTier, true, true},
+};
+
+struct TierRow {
+  std::string setup;
+  ReplayResult result;
+  bool det = false;  // two replays produced identical metric fingerprints
+};
+
+std::vector<TierRow> g_tier_rows;
+
+ReplayConfig TierConfig(const TierSetup& setup) {
+  ReplayConfig config;
+  config.mode = setup.mode;
+  config.scale_factor = 20.0;
+  config.snapstart_restore = setup.snapstart;
+  switch (setup.hierarchy) {
+    case Hierarchy::kNone:
+      break;
+    case Hierarchy::kThreeTier:
+      config.snapshot = SnapshotConfig::ThreeTier();
+      break;
+    case Hierarchy::kRemoteOnly:
+      config.snapshot = SnapshotConfig::RemoteOnly();
+      break;
+  }
+  config.snapshot.reap_prefetch = setup.reap;
+  if (setup.faults) {
+    config.faults.snapshot_fetch_failure_prob = 0.05;
+    config.faults.snapshot_corruption_prob = 0.01;
+    // Mid-measurement (warmup 60 s + 180 s window): restores afterwards must
+    // degrade through the surviving durable tiers, not die.
+    config.faults.snapshot_local_tier_fail_at = FromSeconds(150);
+  }
+  return config;
+}
+
+void RunTier(size_t slot, const TierSetup& setup) {
+  const ReplayConfig config = TierConfig(setup);
+  ReplayResult first = RunReplay(config);
+  const ReplayResult second = RunReplay(config);
+  const bool det = first.metrics.Fingerprint() == second.metrics.Fingerprint();
+  g_tier_rows[slot] = {setup.name, std::move(first), det};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,7 +134,44 @@ int main(int argc, char** argv) {
                      }});
   }
   g_rows.resize(cells.size());
-  RunExperimentGrid(cells);
+
+  std::vector<ExperimentCell> tier_cells;
+  for (const TierSetup& setup : kTierSetups) {
+    const size_t slot = tier_cells.size();
+    tier_cells.push_back({std::string("ext_snapstart_tiers/") + setup.name,
+                          [slot, setup] { RunTier(slot, setup); }});
+  }
+  g_tier_rows.resize(tier_cells.size());
+
+  std::vector<ExperimentCell> all_cells = cells;
+  all_cells.insert(all_cells.end(), tier_cells.begin(), tier_cells.end());
+  RunExperimentGrid(all_cells);
+
+  for (const TierRow& row : g_tier_rows) {
+    const PlatformMetrics& m = row.result.metrics;
+    const SnapshotStats& s = row.result.snapshot;
+    const std::string name = "ext_snapstart_tiers/" + row.setup;
+    const bool det = row.det;
+    const double p50 = m.latency_ms.Percentile(50);
+    const double p99 = m.latency_ms.Percentile(99);
+    const double goodput = m.GoodputRps();
+    const double restores = static_cast<double>(m.snapshot_restores);
+    const double fallbacks = static_cast<double>(m.snapshot_fallback_boots);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [=](benchmark::State& state) {
+                                   for (auto _ : state) {
+                                   }
+                                   state.counters["det"] = det ? 1.0 : 0.0;
+                                   state.counters["p50_ms"] = p50;
+                                   state.counters["p99_ms"] = p99;
+                                   state.counters["goodput_rps"] = goodput;
+                                   state.counters["restores"] = restores;
+                                   state.counters["fallbacks"] = fallbacks;
+                                 })
+        ->Iterations(1);
+    (void)s;
+  }
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -70,5 +184,29 @@ int main(int argc, char** argv) {
                   Table::Fmt(m.latency_ms.Percentile(99)), Table::Fmt(m.ThroughputRps())});
   }
   table.Print("Extension: cold-start mitigations (trace replay, scale factor 20)");
+
+  Table tiers({"setup", "p50_ms", "p99_ms", "goodput_rps", "cold_boots", "restores",
+               "fallbacks", "restore_fail", "fetch_fail", "corrupt", "ws_coverage", "det"});
+  for (const TierRow& row : g_tier_rows) {
+    const PlatformMetrics& m = row.result.metrics;
+    const SnapshotStats& s = row.result.snapshot;
+    // How much of the recorded working set the last capture/refresh left
+    // resident — the Desiccant cell shows whether reclamation evicts the
+    // pages a REAP restore is about to prefetch.
+    const double ws_coverage =
+        s.ws_pages_recorded == 0
+            ? 0.0
+            : static_cast<double>(s.ws_pages_resident) /
+                  static_cast<double>(s.ws_pages_recorded);
+    tiers.AddRow({row.setup, Table::Fmt(m.latency_ms.Percentile(50)),
+                  Table::Fmt(m.latency_ms.Percentile(99)), Table::Fmt(m.GoodputRps()),
+                  std::to_string(m.cold_boots), std::to_string(m.snapshot_restores),
+                  std::to_string(m.snapshot_fallback_boots),
+                  std::to_string(m.restore_failures), std::to_string(s.fetch_failures),
+                  std::to_string(s.corruptions), Table::Fmt(ws_coverage, 3),
+                  row.det ? "yes" : "NO"});
+  }
+  tiers.Print(
+      "Extension: multi-tier snapshot restore (cold vs lazy vs REAP, two hierarchies)");
   return 0;
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs the ext_snapstart benches (cold-start mitigations plus the multi-tier
+# snapshot grid) and writes BENCH_snapstart.json so restore latency, goodput,
+# and the determinism bit are tracked PR over PR.
+#
+# Usage: scripts/bench_snapstart.sh [output.json]
+#   BUILD_DIR=build    cmake build directory (configured if missing)
+#
+# Every tier cell replays twice inside the bench and reports det=1 only when
+# both runs' metric fingerprints matched byte-for-byte. Exits non-zero if any
+# cell's det is 0 (a replay-determinism regression in the snapshot subsystem
+# is a bug, not a perf data point) or if any cell's goodput collapsed to zero
+# (the fault cell must degrade, not die).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_snapstart.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target ext_snapstart
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$BUILD_DIR/bench/ext_snapstart" \
+  --benchmark_out="$workdir/ext_snapstart.json" --benchmark_out_format=json
+
+jq '
+  def cells: [.benchmarks[]
+    | select(.name | startswith("ext_snapstart_tiers/"))
+    | select(has("det")) | {
+    name,
+    det: .det,
+    p50_ms: (.p50_ms * 1e2 | round / 1e2),
+    p99_ms: (.p99_ms * 1e2 | round / 1e2),
+    goodput_rps: (.goodput_rps * 1e2 | round / 1e2),
+    restores: .restores,
+    fallbacks: .fallbacks
+  }];
+  {
+    cells: cells,
+    deterministic: ([cells[].det] | all(. == 1)),
+    all_goodput_nonzero: ([cells[].goodput_rps] | all(. > 0))
+  }' "$workdir/ext_snapstart.json" > "$OUT"
+
+echo "wrote $OUT"
+jq -e '.deterministic' "$OUT" > /dev/null || {
+  echo "FAIL: a snapshot tier cell replayed non-deterministically (det=0)" >&2
+  exit 1
+}
+jq -e '.all_goodput_nonzero' "$OUT" > /dev/null || {
+  echo "FAIL: a snapshot tier cell lost all goodput (fault cells must degrade, not die)" >&2
+  exit 1
+}

@@ -62,6 +62,10 @@ void DesiccantManager::OnFault(const FaultEvent& event) {
   if (event.kind == FaultKind::kOomKill) {
     ++oom_kills_seen_;
     activation_.OnOomKill(event.at);
+  } else if (event.kind == FaultKind::kSnapshotFetchFailure ||
+             event.kind == FaultKind::kSnapshotCorrupt ||
+             event.kind == FaultKind::kSnapshotTierLost) {
+    ++snapshot_faults_seen_;
   }
 }
 
@@ -117,6 +121,7 @@ void DesiccantStats::Accumulate(const DesiccantManager& manager) {
   reclaim_aborts += manager.reclaim_aborts();
   oom_kills_seen += manager.oom_kills_seen();
   node_pressure_activations += manager.node_pressure_activations();
+  snapshot_faults_seen += manager.snapshot_faults_seen();
 }
 
 }  // namespace desiccant

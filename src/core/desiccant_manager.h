@@ -60,6 +60,7 @@ struct DesiccantStats {
   uint64_t reclaim_aborts = 0;
   uint64_t oom_kills_seen = 0;
   uint64_t node_pressure_activations = 0;
+  uint64_t snapshot_faults_seen = 0;
 
   void Accumulate(const DesiccantManager& manager);
 };
@@ -83,6 +84,11 @@ class DesiccantManager : public PlatformObserver {
   // node crashed with the reclaim outstanding).
   uint64_t reclaim_aborts() const { return reclaim_aborts_; }
   uint64_t oom_kills_seen() const { return oom_kills_seen_; }
+  // Snapshot-subsystem faults (fetch failures, corrupt images, lost tiers)
+  // observed on this node. Desiccant doesn't react to them — reclaim-then-
+  // capture already re-flushes shrunken images — but policy experiments want
+  // the count next to the reclaim counters.
+  uint64_t snapshot_faults_seen() const { return snapshot_faults_seen_; }
   // Sweeps started by node residency alone (the frozen-cache threshold and
   // the idle-CPU policy would both have stayed quiet).
   uint64_t node_pressure_activations() const { return node_pressure_activations_; }
@@ -102,6 +108,7 @@ class DesiccantManager : public PlatformObserver {
   uint64_t bytes_released_ = 0;
   uint64_t reclaim_aborts_ = 0;
   uint64_t oom_kills_seen_ = 0;
+  uint64_t snapshot_faults_seen_ = 0;
   uint32_t abort_streak_ = 0;  // consecutive aborts, drives the retry backoff
   // Node-pressure trigger state (all dormant without a PhysicalMemory node).
   uint64_t node_pressure_activations_ = 0;

@@ -18,6 +18,12 @@ const char* FaultKindName(FaultKind kind) {
       return "node-restart";
     case FaultKind::kReclaimAbort:
       return "reclaim-abort";
+    case FaultKind::kSnapshotFetchFailure:
+      return "snapshot-fetch-failure";
+    case FaultKind::kSnapshotCorrupt:
+      return "snapshot-corrupt";
+    case FaultKind::kSnapshotTierLost:
+      return "snapshot-tier-lost";
   }
   return "unknown";
 }

@@ -66,11 +66,23 @@ struct FaultPlan {
   double reclaim_abort_prob = 0.0;
   SimTime reclaim_abort_cpu = 5 * kMillisecond;
 
+  // Snapshot-store faults (src/snapshot/). A fetch failure burns the tier's
+  // fetch timeout and is retried up to the tier's retry bound before falling
+  // to the next tier; a corruption is detected after the bytes streamed and
+  // discards that tier's copy. At snapshot_local_tier_fail_at (> 0) the
+  // node-local cache tier is wiped and marked permanently down — restores
+  // continue from the surviving durable tiers.
+  double snapshot_fetch_failure_prob = 0.0;
+  double snapshot_corruption_prob = 0.0;
+  SimTime snapshot_local_tier_fail_at = 0;  // 0 = never
+
   uint64_t seed = 0x5eedf417;
 
   bool Enabled() const {
     return invocation_timeout > 0 || boot_failure_prob > 0 || restore_failure_prob > 0 ||
-           node_memory_bytes > 0 || node_crash_mtbf_seconds > 0 || reclaim_abort_prob > 0;
+           node_memory_bytes > 0 || node_crash_mtbf_seconds > 0 || reclaim_abort_prob > 0 ||
+           snapshot_fetch_failure_prob > 0 || snapshot_corruption_prob > 0 ||
+           snapshot_local_tier_fail_at > 0;
   }
 };
 
@@ -81,6 +93,9 @@ enum class FaultKind : uint8_t {
   kNodeCrash,
   kNodeRestart,
   kReclaimAbort,
+  kSnapshotFetchFailure,
+  kSnapshotCorrupt,
+  kSnapshotTierLost,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -108,6 +123,8 @@ class FaultInjector {
   bool BootFails() { return Draw(plan_.boot_failure_prob); }
   bool RestoreFails() { return Draw(plan_.restore_failure_prob); }
   bool ReclaimAborts() { return Draw(plan_.reclaim_abort_prob); }
+  bool SnapshotFetchFails() { return Draw(plan_.snapshot_fetch_failure_prob); }
+  bool SnapshotCorrupt() { return Draw(plan_.snapshot_corruption_prob); }
 
   // Next inter-crash delay; requires node_crash_mtbf_seconds > 0.
   SimTime NextCrashDelay();

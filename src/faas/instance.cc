@@ -1,5 +1,6 @@
 #include "src/faas/instance.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/cpython/cpython_runtime.h"
@@ -194,6 +195,38 @@ SimTime Instance::RebuildCost(SimTime container_create_cost) const {
 std::string Instance::FunctionKey() const {
   assert(bound());
   return workload_->name + "#" + std::to_string(stage_);
+}
+
+void Instance::BeginWorkingSetRecording() {
+  assert(ws_armed_);
+  ws_armed_ = false;
+  ws_recorder_ = std::make_unique<WorkingSetRecorder>();
+  vas_.set_touch_listener(ws_recorder_.get());
+}
+
+WorkingSet Instance::FinishWorkingSetRecording() {
+  assert(ws_recorder_ != nullptr);
+  vas_.set_touch_listener(nullptr);
+  WorkingSet ws = ws_recorder_->Finish();
+  ws_recorder_.reset();
+  return ws;
+}
+
+uint64_t Instance::ResidentPagesIn(const WorkingSet& ws) const {
+  uint64_t resident = 0;
+  for (const WorkingSetRun& run : ws.runs) {
+    if (!vas_.RegionLive(run.region)) {
+      continue;
+    }
+    const uint64_t region_pages = BytesToPages(vas_.RegionSizeBytes(run.region));
+    if (run.first_page >= region_pages) {
+      continue;
+    }
+    const uint64_t pages = std::min(run.pages, region_pages - run.first_page);
+    resident += vas_.ResidentPagesInRange(run.region, PagesToBytes(run.first_page),
+                                          PagesToBytes(pages));
+  }
+  return resident;
 }
 
 }  // namespace desiccant

@@ -15,6 +15,7 @@
 #include "src/os/shared_file_registry.h"
 #include "src/os/virtual_memory.h"
 #include "src/runtime/managed_runtime.h"
+#include "src/snapshot/working_set.h"
 #include "src/workloads/function_program.h"
 #include "src/workloads/function_spec.h"
 
@@ -116,6 +117,21 @@ class Instance {
   // True once this freeze period has been reclaimed (no point doing it twice).
   bool reclaimed_since_freeze() const { return reclaimed_since_freeze_; }
 
+  // REAP working-set recording (src/snapshot/). The platform arms recording
+  // on a full cold boot, BeginWorkingSetRecording() attaches the recorder to
+  // the address space just before Execute(), and FinishWorkingSetRecording()
+  // at freeze time yields the merged page-access set for snapshot capture.
+  void ArmWorkingSetRecording() { ws_armed_ = true; }
+  bool working_set_armed() const { return ws_armed_; }
+  void BeginWorkingSetRecording();
+  bool recording_working_set() const { return ws_recorder_ != nullptr; }
+  WorkingSet FinishWorkingSetRecording();
+
+  // Pages of `ws` still resident in this address space. Defensively skips
+  // runs whose region has since been unmapped and clamps runs to the region's
+  // current size — recorded ids are only meaningful for this instance.
+  uint64_t ResidentPagesIn(const WorkingSet& ws) const;
+
  private:
   uint64_t id_;
   const WorkloadSpec* workload_;
@@ -135,6 +151,8 @@ class Instance {
   bool reclaimed_since_freeze_ = false;
   uint64_t reclaim_count_ = 0;
   FaultCostModel fault_costs_;
+  bool ws_armed_ = false;
+  std::unique_ptr<WorkingSetRecorder> ws_recorder_;
 };
 
 }  // namespace desiccant

@@ -89,6 +89,19 @@ uint64_t PlatformMetrics::Fingerprint() const {
   mix_double(reclaim_cpu_core_s);
   mix(window_start);
   mix(window_end);
+  // Counters added after the golden fingerprints were pinned only contribute
+  // when non-zero, each behind a unique tag: a run that never exercises the
+  // snapshot subsystem hashes exactly as it did before the subsystem existed.
+  const auto mix_tagged = [&mix](uint64_t tag, uint64_t v) {
+    if (v != 0) {
+      mix(tag);
+      mix(v);
+    }
+  };
+  mix_tagged(0x7265'7374'6f72'65ull, restore_failures);   // "restore"
+  mix_tagged(0x736e'6170'7265'73ull, snapshot_restores);  // "snapres"
+  mix_tagged(0x736e'6170'666c'62ull, snapshot_fallback_boots);
+  mix_tagged(0x736e'6170'6361'70ull, snapshot_captures);
   return h;
 }
 
@@ -107,6 +120,10 @@ void PlatformMetrics::Accumulate(const PlatformMetrics& other) {
   requests_retried_ok += other.requests_retried_ok;
   invocation_timeouts += other.invocation_timeouts;
   boot_failures += other.boot_failures;
+  restore_failures += other.restore_failures;
+  snapshot_restores += other.snapshot_restores;
+  snapshot_fallback_boots += other.snapshot_fallback_boots;
+  snapshot_captures += other.snapshot_captures;
   oom_kills += other.oom_kills;
   oom_kills_frozen += other.oom_kills_frozen;
   oom_kills_running += other.oom_kills_running;
@@ -139,6 +156,18 @@ Platform::Platform(const PlatformConfig& config, SimContext* context)
   // before the model existed.
   if (config_.pressure.page_budget != 0) {
     physical_ = std::make_unique<PhysicalMemory>(config_.pressure);
+  }
+  // Same pattern for the snapshot store: only constructed when enabled, so a
+  // disabled config cannot perturb the event stream.
+  ValidateSnapshotConfig(config_.snapshot);
+  if (config_.snapshot.enabled) {
+    snapshot_store_ = std::make_unique<SnapshotStore>(config_.snapshot, &injector_);
+    if (config_.faults.snapshot_local_tier_fail_at > 0) {
+      ScheduleNode(config_.faults.snapshot_local_tier_fail_at, [this]() {
+        const uint64_t lost = snapshot_store_->FailLocalTier();
+        RecordFault(FaultKind::kSnapshotTierLost, 0, "", lost);
+      });
+    }
   }
 }
 
@@ -310,9 +339,53 @@ bool Platform::TryRun(const Request& request) {
       config_.share_runtime_images ? &registry_ : nullptr, rng_.NextU64(),
       config_.java_collector, physical_.get());
   instance->set_function_id(function);
-  const SimTime boot_wall = config_.snapstart_restore
-                                ? config_.snapstart_restore_cost
-                                : config_.container_create_cost + instance->BootCost();
+
+  // Boot cost: a plain cold boot, the legacy flat-cost SnapStart restore, or
+  // a tiered restore planned by the snapshot store (REAP prefetch or lazy
+  // demand-faulting, tier-by-tier fallback, full boot as last resort).
+  bool restore_attempt = false;
+  SimTime demand_cost = 0;
+  SimTime boot_wall = config_.container_create_cost + instance->BootCost();
+  if (config_.snapstart_restore) {
+    if (snapshot_store_ == nullptr) {
+      boot_wall = config_.snapstart_restore_cost;
+      restore_attempt = true;
+    } else if (snapshot_store_->HasCopy(function)) {
+      const SnapshotStore::RestoreOutcome plan =
+          snapshot_store_->PlanRestore(function, context_->clock.Now());
+      if (plan.fetch_failures > 0) {
+        RecordFault(FaultKind::kSnapshotFetchFailure, id, functions_.Name(function),
+                    plan.fetch_failures);
+      }
+      if (plan.corruptions > 0) {
+        RecordFault(FaultKind::kSnapshotCorrupt, id, functions_.Name(function),
+                    plan.corruptions);
+      }
+      if (plan.hit) {
+        boot_wall = config_.snapshot.restore_base_cost + plan.fetch_wall;
+        demand_cost = plan.demand_cost;
+        restore_attempt = true;
+        if (InWindow()) {
+          ++metrics_.snapshot_restores;
+        }
+      } else {
+        // Every copy timed out or was corrupt: full cold boot, plus the time
+        // burned discovering that; re-arm recording so the next freeze
+        // re-captures a fresh image.
+        boot_wall += plan.fetch_wall;
+        instance->ArmWorkingSetRecording();
+        if (InWindow()) {
+          ++metrics_.snapshot_fallback_boots;
+        }
+      }
+    } else {
+      // First boot of this function: record its working set for REAP.
+      instance->ArmWorkingSetRecording();
+    }
+  } else if (snapshot_store_ != nullptr) {
+    instance->ArmWorkingSetRecording();
+  }
+
   instances_.emplace(id, std::move(instance));
   running_committed_ += config_.instance_memory_budget;
   if (InWindow()) {
@@ -322,14 +395,14 @@ bool Platform::TryRun(const Request& request) {
 
   // Injected cold-boot / restore failure, decided up front (the injector's
   // generator is private, so the draw is deterministic per boot attempt).
-  const bool boot_fails =
-      config_.snapstart_restore ? injector_.RestoreFails() : injector_.BootFails();
+  const bool boot_fails = restore_attempt ? injector_.RestoreFails() : injector_.BootFails();
 
   Request started = request;
   started.start = ActivationRecord::Start::kCold;
   started.boot_time += boot_wall;
   booting_.emplace(id, started);
-  ScheduleNode(context_->clock.Now() + boot_wall, [this, id, boot_fails]() {
+  ScheduleNode(context_->clock.Now() + boot_wall,
+               [this, id, boot_fails, restore_attempt, demand_cost]() {
     auto bit = booting_.find(id);
     if (bit == booting_.end()) {
       return;  // killed (OOM) while booting
@@ -343,7 +416,11 @@ bool Platform::TryRun(const Request& request) {
       // down and retry the boot (bounded), paying backoff in between.
       running_committed_ -= config_.instance_memory_budget;
       if (InWindow()) {
-        ++metrics_.boot_failures;
+        if (restore_attempt) {
+          ++metrics_.restore_failures;
+        } else {
+          ++metrics_.boot_failures;
+        }
       }
       RecordFault(FaultKind::kBootFailure, id, FunctionName(*booted));
       if (observer_ != nullptr) {
@@ -373,7 +450,9 @@ bool Platform::TryRun(const Request& request) {
     UpdateCpuIntegral();
     cpu_in_use_ += config_.instance_cpu_share - config_.boot_cpu_share;
     booted->set_state(InstanceState::kRunning);
-    StartOnInstance(booted, booting, 0);
+    // demand_cost: a lazy (non-REAP) restore pays its working-set demand
+    // faults during the first invocation, not during the restore itself.
+    StartOnInstance(booted, booting, demand_cost);
     PumpWaiting();
   });
   MaybeOomKill();
@@ -393,6 +472,9 @@ void Platform::StartOnInstance(Instance* instance, const Request& request,
     }
   }
 
+  if (instance->working_set_armed()) {
+    instance->BeginWorkingSetRecording();
+  }
   const InvocationOutcome outcome = instance->Execute();
   if (InWindow()) {
     ++metrics_.stage_invocations;
@@ -743,6 +825,9 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
 void Platform::FreezeInstance(Instance* instance) {
   instance->Freeze(context_->clock.Now());
   running_committed_ -= config_.instance_memory_budget;
+  // Snapshot capture happens at freeze time — the image is the paused
+  // container — whether or not the instance is then admitted to the cache.
+  MaybeCaptureSnapshot(instance);
   // Admitting the instance into the frozen cache: evict LRU instances until
   // its USS fits (OpenWhisk destroys idle instances when free memory is not
   // enough, §4.2).
@@ -894,6 +979,10 @@ bool Platform::TryStartReclaim(Instance* instance, const ReclaimOptions& options
       ++metrics_.reclaims;
       metrics_.reclaim_cpu_core_s += ToSeconds(result.cpu_time);
     }
+    // Reclaim-before-snapshot (ROADMAP item 2): the shrunken image is
+    // re-captured, and the store re-measures how much of the recorded
+    // working set the reclaim just evicted.
+    RefreshSnapshotAfterReclaim(instance);
   }
 
   const uint64_t reclaim_id = next_reclaim_id_++;
@@ -1011,6 +1100,13 @@ std::vector<Platform::Request> Platform::CrashNode() {
     ++metrics_.node_crashes;
   }
   RecordFault(FaultKind::kNodeCrash, 0, "", instances_.size());
+  if (snapshot_store_ != nullptr) {
+    // The node-local cache tier and every in-flight flush die with the node
+    // (the flush-completion events are epoch-guarded, so the store's
+    // bookkeeping and the event stream agree). Durable tiers survive.
+    const uint64_t lost = snapshot_store_->OnNodeCrash();
+    RecordFault(FaultKind::kSnapshotTierLost, 0, "", lost);
+  }
 
   std::vector<Request> lost;
   lost.reserve(booting_.size() + inflight_.size() + waiting_.size());
@@ -1118,6 +1214,10 @@ void Platform::CheckAccounting() const {
     // Cross-layer residency invariant: the node's counters must equal the sum
     // over every attached address space (aborts internally on violation).
     physical_->VerifyAccounting();
+  }
+  if (snapshot_store_ != nullptr) {
+    // Per-tier byte accounting must match a recount and respect capacity.
+    snapshot_store_->CheckInvariants();
   }
   if (!cache_ok || !committed_ok || !cpu_ok) {
     std::fprintf(stderr,
@@ -1258,6 +1358,48 @@ void Platform::PumpWaiting() {
     waiting_.pop_front();
   }
   pumping_ = false;
+}
+
+void Platform::MaybeCaptureSnapshot(Instance* instance) {
+  if (snapshot_store_ == nullptr || !instance->recording_working_set()) {
+    return;
+  }
+  WorkingSet ws = instance->FinishWorkingSetRecording();
+  if (snapshot_store_->HasCopy(instance->function_id())) {
+    return;  // a sibling instance captured first; keep its image
+  }
+  // Image size = the frozen USS (just refreshed by Freeze): what CRIU-style
+  // memory dumping would write for the paused container.
+  const uint64_t ws_resident = instance->ResidentPagesIn(ws);
+  if (InWindow()) {
+    ++metrics_.snapshot_captures;
+  }
+  ScheduleSnapshotFlush(snapshot_store_->Capture(instance->function_id(), instance->CachedUss(),
+                                                 std::move(ws), ws_resident, instance->id(),
+                                                 context_->clock.Now()));
+}
+
+void Platform::RefreshSnapshotAfterReclaim(Instance* instance) {
+  // Only the capture instance's address space can re-measure the recorded
+  // working set: the region ids in the set are meaningless anywhere else.
+  if (snapshot_store_ == nullptr ||
+      !snapshot_store_->IsCaptureInstance(instance->function_id(), instance->id())) {
+    return;
+  }
+  const WorkingSet* ws = snapshot_store_->ImageWorkingSet(instance->function_id());
+  const uint64_t ws_resident = ws != nullptr ? instance->ResidentPagesIn(*ws) : 0;
+  ScheduleSnapshotFlush(snapshot_store_->Refresh(instance->function_id(), instance->CachedUss(),
+                                                 ws_resident, context_->clock.Now()));
+}
+
+void Platform::ScheduleSnapshotFlush(SnapshotStore::FlushTicket ticket) {
+  if (!ticket.valid()) {
+    return;
+  }
+  const uint64_t id = ticket.id;
+  ScheduleNode(ticket.complete_at, [this, id]() {
+    ScheduleSnapshotFlush(snapshot_store_->CompleteFlush(id, context_->clock.Now()));
+  });
 }
 
 }  // namespace desiccant

@@ -35,6 +35,7 @@
 #include "src/faas/function_registry.h"
 #include "src/faas/instance.h"
 #include "src/os/physical_memory.h"
+#include "src/snapshot/snapshot_store.h"
 
 namespace desiccant {
 
@@ -72,6 +73,13 @@ struct PlatformConfig {
   // restored instance still faults its working set back in lazily.
   bool snapstart_restore = false;
   SimTime snapstart_restore_cost = 140 * kMillisecond;
+  // Multi-tier snapshot store (src/snapshot/). When enabled (and
+  // snapstart_restore is set), restores are served from the tier hierarchy —
+  // REAP working-set prefetch, tier-by-tier fallback, full cold boot as last
+  // resort — instead of the flat snapstart_restore_cost constant. The
+  // disabled default keeps every code path byte-identical to the
+  // constant-cost model.
+  SnapshotConfig snapshot;
   // OpenWhisk-style stem cells: this many generic pre-booted containers per
   // language; a cold start adopts one (paying only initialization) and a
   // replacement boots in the background.
@@ -161,7 +169,12 @@ struct PlatformMetrics {
   uint64_t requests_dropped = 0;      // terminal: never executed (boot never succeeded)
   uint64_t requests_retried_ok = 0;   // completed after >=1 retry or failover
   uint64_t invocation_timeouts = 0;   // timeout kills (including retried attempts)
-  uint64_t boot_failures = 0;         // failed cold boots / snapshot restores
+  uint64_t boot_failures = 0;         // failed cold boots
+  uint64_t restore_failures = 0;      // failed snapshot restores
+  // ----- snapshot subsystem (all zero when the store is disabled) -----
+  uint64_t snapshot_restores = 0;        // cold starts served from a snapshot tier
+  uint64_t snapshot_fallback_boots = 0;  // store engaged but no usable copy: full boot
+  uint64_t snapshot_captures = 0;        // images captured at freeze time
   uint64_t oom_kills = 0;             // instances killed by the node OOM killer
   uint64_t oom_kills_frozen = 0;      //   of which frozen (cache rebuildable)
   uint64_t oom_kills_running = 0;     //   of which running/booting (invocation lost)
@@ -322,6 +335,8 @@ class Platform {
   uint64_t committed_bytes() const { return memory_charged_ + running_committed_; }
   // The node's physical memory, or null when config.pressure is disabled.
   PhysicalMemory* physical_memory() const { return physical_.get(); }
+  // The multi-tier snapshot store, or null when config.snapshot is disabled.
+  SnapshotStore* snapshot_store() const { return snapshot_store_.get(); }
 
   // Invoker crash: invalidates every scheduled node event, drains the
   // instance cache (observers see OnInstanceDestroyed per instance and an
@@ -405,6 +420,17 @@ class Platform {
   double PreemptReclaims(double needed);
   void FinishReclaim(uint64_t reclaim_id);
   void ScheduleReclaimCompletion(uint64_t reclaim_id);
+  // ----- snapshot subsystem internals (all no-ops when the store is off) ----
+  // Captures (or skips) a snapshot of a freshly frozen instance whose first
+  // invocation recorded a working set; kicks off the write-back flush chain.
+  void MaybeCaptureSnapshot(Instance* instance);
+  // After a successful Desiccant reclaim of the capture instance: re-measure
+  // the image size + working-set residency and re-flush the smaller image.
+  void RefreshSnapshotAfterReclaim(Instance* instance);
+  // Schedules CompleteFlush for a valid ticket on the node timeline (epoch-
+  // guarded: in-flight flushes die with the node, matching the store's
+  // OnNodeCrash bookkeeping).
+  void ScheduleSnapshotFlush(SnapshotStore::FlushTicket ticket);
   // Stem-cell maintenance: keeps `prewarm_per_language` generic containers of
   // `language` booted (or booting).
   void MaintainPrewarmPool(Language language);
@@ -423,6 +449,8 @@ class Platform {
   // Declared before instances_ so every VirtualAddressSpace detaches before
   // the node is destroyed.
   std::unique_ptr<PhysicalMemory> physical_;
+  // Multi-tier snapshot store; null unless config.snapshot is enabled.
+  std::unique_ptr<SnapshotStore> snapshot_store_;
 
   // Crash epoch: bumped by CrashNode so every node-scoped event scheduled
   // before the crash becomes a no-op.

@@ -22,8 +22,15 @@ ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(con
     // which would be a cross-shard interaction outside the router barrier —
     // the one thing the conservative-lookahead argument cannot absorb.
     std::fprintf(stderr,
-                 "sharded_cluster: node-crash fault plans require cross-shard "
-                 "failover; use Cluster (shared timeline) for crash plans\n");
+                 "sharded_cluster: the fault plan enables '%s' faults "
+                 "(node_crash_mtbf_seconds=%.3f), whose cross-shard failover a "
+                 "sharded timeline cannot replay deterministically.\n"
+                 "Run this plan on the shared-timeline Cluster instead, or clear "
+                 "node_crash_mtbf_seconds to keep sharding. (Cross-shard failover "
+                 "needs optimistic rollback or migration barriers — see ROADMAP "
+                 "item 1.)\n",
+                 FaultKindName(FaultKind::kNodeCrash),
+                 config_.node.faults.node_crash_mtbf_seconds);
     std::abort();
   }
   size_t shard_count = config_.shard_count == 0 ? config_.node_count : config_.shard_count;

@@ -218,6 +218,12 @@ TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_
       break;
     }
   }
+  if (touch_listener_ != nullptr) {
+    // Touched pages, not just faulted ones: a REAP working set must cover
+    // re-touches of already-resident pages too, or the prefetch would miss
+    // everything the runtime kept warm across invocations.
+    touch_listener_->OnTouch(region, first, last - first + 1);
+  }
   return result;
 }
 

@@ -57,6 +57,18 @@ class PressureReliefHandler {
 using RegionId = uint32_t;
 inline constexpr RegionId kInvalidRegionId = ~0u;
 
+// Observes the page ranges Touch() actually faulted or re-touched. Used by the
+// snapshot subsystem's WorkingSetRecorder to capture a function's first-
+// invocation access set (REAP); null by default, and never invoked on Touch's
+// failure paths so a commit-denied touch records nothing.
+class TouchListener {
+ public:
+  virtual void OnTouch(RegionId region, uint64_t first_page, uint64_t pages) = 0;
+
+ protected:
+  ~TouchListener() = default;
+};
+
 enum class RegionKind : uint8_t { kAnonymous, kFileBacked };
 
 // What a Touch call did, page by page.
@@ -184,6 +196,16 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   void set_relief_handler(PressureReliefHandler* handler) { relief_ = handler; }
   PressureReliefHandler* relief_handler() const { return relief_; }
 
+  // Registers (or clears, with null) the touch observer. At most one; the
+  // fast path pays a single pointer compare when none is attached.
+  void set_touch_listener(TouchListener* listener) { touch_listener_ = listener; }
+  // True while `region` refers to a live (not yet unmapped) region. Lets
+  // holders of recorded RegionIds validate them before range queries, which
+  // hard-abort on dead regions.
+  bool RegionLive(RegionId region) const {
+    return region < regions_.size() && regions_[region].live;
+  }
+
  private:
   struct Region {
     std::string name;
@@ -255,6 +277,7 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   SharedFileRegistry* registry_;
   PhysicalMemory* node_;
   PressureReliefHandler* relief_ = nullptr;
+  TouchListener* touch_listener_ = nullptr;
   // Re-entrancy latch: while emergency relief runs, nested commit failures
   // (the relief GC's own touches) must not recurse into relief again.
   bool in_relief_ = false;

@@ -1,0 +1,382 @@
+#include "src/snapshot/snapshot_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desiccant {
+
+SnapshotConfig SnapshotConfig::ThreeTier() {
+  SnapshotConfig cfg;
+  cfg.enabled = true;
+  cfg.tiers = {
+      {"local-nvme", 2 * kGiB, 2048.0, 1536.0, 0.5, 50 * kMillisecond, 1, 15.0},
+      {"shared-ssd", 16 * kGiB, 800.0, 600.0, 2.0, 150 * kMillisecond, 2, 60.0},
+      {"object-store", 1024 * kGiB, 200.0, 150.0, 25.0, 1 * kSecond, 3, 500.0},
+  };
+  return cfg;
+}
+
+SnapshotConfig SnapshotConfig::RemoteOnly() {
+  SnapshotConfig cfg;
+  cfg.enabled = true;
+  cfg.tiers = {
+      {"object-store", 1024 * kGiB, 200.0, 150.0, 25.0, 1 * kSecond, 3, 500.0},
+  };
+  return cfg;
+}
+
+namespace {
+
+[[noreturn]] void Die(const std::string& tier, const char* what) {
+  std::fprintf(stderr, "ValidateSnapshotConfig: tier '%s': %s\n", tier.c_str(), what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool BadPositive(double v) { return !(std::isfinite(v) && v > 0.0); }
+
+}  // namespace
+
+void ValidateSnapshotConfig(const SnapshotConfig& cfg) {
+  if (!cfg.enabled) {
+    return;
+  }
+  if (cfg.tiers.empty()) {
+    std::fprintf(stderr,
+                 "ValidateSnapshotConfig: snapshot store enabled with an empty tier list; "
+                 "configure at least one tier (e.g. SnapshotConfig::ThreeTier())\n");
+    std::fflush(stderr);
+    std::abort();
+  }
+  for (const SnapshotTierConfig& tier : cfg.tiers) {
+    if (tier.capacity_bytes == 0) {
+      Die(tier.name, "capacity_bytes must be > 0");
+    }
+    if (BadPositive(tier.read_mib_per_s)) {
+      Die(tier.name, "read_mib_per_s must be finite and > 0");
+    }
+    if (BadPositive(tier.write_mib_per_s)) {
+      Die(tier.name, "write_mib_per_s must be finite and > 0");
+    }
+    if (!(std::isfinite(tier.access_latency_ms) && tier.access_latency_ms >= 0.0)) {
+      Die(tier.name, "access_latency_ms must be finite and >= 0 (a NaN latency would poison every restore-cost sample)");
+    }
+    if (!(std::isfinite(tier.page_fault_overhead_us) && tier.page_fault_overhead_us >= 0.0)) {
+      Die(tier.name, "page_fault_overhead_us must be finite and >= 0");
+    }
+    if (tier.fetch_timeout == 0) {
+      Die(tier.name, "fetch_timeout must be > 0");
+    }
+  }
+}
+
+void SnapshotStats::Accumulate(const SnapshotStats& other) {
+  captures += other.captures;
+  refreshes += other.refreshes;
+  restores_planned += other.restores_planned;
+  fallback_cold_boots += other.fallback_cold_boots;
+  fetch_failures += other.fetch_failures;
+  corruptions += other.corruptions;
+  evictions += other.evictions;
+  oversize_drops += other.oversize_drops;
+  promotions += other.promotions;
+  flushes_started += other.flushes_started;
+  flushes_completed += other.flushes_completed;
+  flushes_lost += other.flushes_lost;
+  local_tier_wipes += other.local_tier_wipes;
+  bytes_fetched += other.bytes_fetched;
+  bytes_flushed += other.bytes_flushed;
+  ws_pages_recorded += other.ws_pages_recorded;
+  ws_pages_resident += other.ws_pages_resident;
+  if (tier_hits.size() < other.tier_hits.size()) {
+    tier_hits.resize(other.tier_hits.size(), 0);
+  }
+  for (size_t i = 0; i < other.tier_hits.size(); ++i) {
+    tier_hits[i] += other.tier_hits[i];
+  }
+}
+
+SnapshotStore::SnapshotStore(const SnapshotConfig& config, FaultInjector* injector)
+    : config_(config), injector_(injector) {
+  ValidateSnapshotConfig(config_);
+  tiers_.resize(config_.tiers.size());
+  stats_.tier_hits.resize(config_.tiers.size(), 0);
+}
+
+bool SnapshotStore::HasCopy(uint32_t function) const {
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (TierUp(t) && tiers_[t].entries.count(function) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SnapshotStore::IsCaptureInstance(uint32_t function, uint64_t instance) const {
+  auto it = images_.find(function);
+  return it != images_.end() && it->second.capture_instance == instance;
+}
+
+const WorkingSet* SnapshotStore::ImageWorkingSet(uint32_t function) const {
+  auto it = images_.find(function);
+  return it != images_.end() ? &it->second.ws : nullptr;
+}
+
+SimTime SnapshotStore::FetchTime(const SnapshotTierConfig& tier, uint64_t bytes) const {
+  return FromMillis(tier.access_latency_ms) +
+         FromSeconds(static_cast<double>(bytes) / (tier.read_mib_per_s * kMiB));
+}
+
+SimTime SnapshotStore::FlushTime(const SnapshotTierConfig& tier, uint64_t bytes) const {
+  return FromMillis(tier.access_latency_ms) +
+         FromSeconds(static_cast<double>(bytes) / (tier.write_mib_per_s * kMiB));
+}
+
+void SnapshotStore::Insert(size_t tier, uint32_t function, uint64_t bytes, uint64_t version) {
+  Tier& t = tiers_[tier];
+  auto it = t.entries.find(function);
+  if (it != t.entries.end()) {
+    if (it->second.version > version) {
+      return;  // a newer image already landed here
+    }
+    t.used_bytes -= it->second.bytes;
+    t.entries.erase(it);
+  }
+  const uint64_t capacity = config_.tiers[tier].capacity_bytes;
+  if (bytes > capacity) {
+    ++stats_.oversize_drops;
+    return;
+  }
+  // Strict LRU by explicit min scan: (last_use, function) is a total order,
+  // so eviction is deterministic regardless of hash-map iteration order.
+  while (t.used_bytes + bytes > capacity) {
+    auto victim = t.entries.end();
+    for (auto e = t.entries.begin(); e != t.entries.end(); ++e) {
+      if (victim == t.entries.end() || e->second.last_use < victim->second.last_use ||
+          (e->second.last_use == victim->second.last_use && e->first < victim->first)) {
+        victim = e;
+      }
+    }
+    t.used_bytes -= victim->second.bytes;
+    t.entries.erase(victim);
+    ++stats_.evictions;
+  }
+  t.entries.emplace(function, TierEntry{bytes, version, ++use_seq_});
+  t.used_bytes += bytes;
+}
+
+void SnapshotStore::Remove(size_t tier, uint32_t function) {
+  Tier& t = tiers_[tier];
+  auto it = t.entries.find(function);
+  if (it != t.entries.end()) {
+    t.used_bytes -= it->second.bytes;
+    t.entries.erase(it);
+  }
+}
+
+SnapshotStore::FlushTicket SnapshotStore::StartFlush(uint32_t function, uint64_t bytes,
+                                                     uint64_t version, size_t to_tier,
+                                                     SimTime now) {
+  if (to_tier >= tiers_.size()) {
+    return {};
+  }
+  const uint64_t id = next_ticket_++;
+  inflight_.emplace(id, Flush{function, bytes, version, to_tier});
+  ++stats_.flushes_started;
+  return {id, now + config_.flush_delay + FlushTime(config_.tiers[to_tier], bytes)};
+}
+
+SnapshotStore::FlushTicket SnapshotStore::Capture(uint32_t function, uint64_t image_bytes,
+                                                  WorkingSet ws, uint64_t ws_resident_pages,
+                                                  uint64_t instance, SimTime now) {
+  Image& img = images_[function];
+  stats_.ws_pages_recorded -= img.ws.pages;
+  stats_.ws_pages_resident -= img.ws_resident_pages;
+  img.bytes = image_bytes;
+  img.ws = std::move(ws);
+  img.ws_resident_pages = ws_resident_pages;
+  ++img.version;
+  img.capture_instance = instance;
+  stats_.ws_pages_recorded += img.ws.pages;
+  stats_.ws_pages_resident += img.ws_resident_pages;
+  ++stats_.captures;
+
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (!TierUp(t)) {
+      continue;
+    }
+    Insert(t, function, image_bytes, img.version);
+    return StartFlush(function, image_bytes, img.version, t + 1, now);
+  }
+  return {};
+}
+
+SnapshotStore::FlushTicket SnapshotStore::Refresh(uint32_t function, uint64_t image_bytes,
+                                                  uint64_t ws_resident_pages, SimTime now) {
+  auto it = images_.find(function);
+  if (it == images_.end()) {
+    return {};
+  }
+  Image& img = it->second;
+  stats_.ws_pages_resident -= img.ws_resident_pages;
+  img.bytes = image_bytes;
+  img.ws_resident_pages = ws_resident_pages;
+  ++img.version;
+  stats_.ws_pages_resident += img.ws_resident_pages;
+  ++stats_.refreshes;
+
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (!TierUp(t)) {
+      continue;
+    }
+    Insert(t, function, image_bytes, img.version);
+    return StartFlush(function, image_bytes, img.version, t + 1, now);
+  }
+  return {};
+}
+
+SnapshotStore::FlushTicket SnapshotStore::CompleteFlush(uint64_t ticket_id, SimTime now) {
+  auto it = inflight_.find(ticket_id);
+  if (it == inflight_.end()) {
+    return {};  // lost to a crash
+  }
+  const Flush flush = it->second;
+  inflight_.erase(it);
+  auto img = images_.find(flush.function);
+  if (img == images_.end() || img->second.version > flush.version) {
+    // Superseded by a newer capture/refresh, whose own flush chain is already
+    // in flight; landing the stale copy would only waste tier capacity.
+    ++stats_.flushes_completed;
+    return {};
+  }
+  Insert(flush.to_tier, flush.function, flush.bytes, flush.version);
+  ++stats_.flushes_completed;
+  stats_.bytes_flushed += flush.bytes;
+  return StartFlush(flush.function, flush.bytes, flush.version, flush.to_tier + 1, now);
+}
+
+SnapshotStore::RestoreOutcome SnapshotStore::PlanRestore(uint32_t function, SimTime now) {
+  (void)now;
+  RestoreOutcome out;
+  ++stats_.restores_planned;
+  auto img = images_.find(function);
+  const uint64_t ws_resident = img != images_.end() ? img->second.ws_resident_pages : 0;
+
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (!TierUp(t)) {
+      continue;
+    }
+    auto entry = tiers_[t].entries.find(function);
+    if (entry == tiers_[t].entries.end()) {
+      continue;
+    }
+    const SnapshotTierConfig& tier = config_.tiers[t];
+    bool streamed = false;
+    for (uint32_t attempt = 0; attempt <= tier.max_fetch_retries; ++attempt) {
+      if (injector_ != nullptr && injector_->SnapshotFetchFails()) {
+        out.fetch_wall += tier.fetch_timeout;
+        ++out.fetch_failures;
+        ++stats_.fetch_failures;
+        continue;
+      }
+      streamed = true;
+      break;
+    }
+    if (!streamed) {
+      continue;  // retry budget exhausted — fall to the next tier
+    }
+    uint64_t fetch_bytes = config_.metadata_bytes;
+    if (config_.reap_prefetch) {
+      fetch_bytes += std::min(PagesToBytes(ws_resident), entry->second.bytes);
+    }
+    out.fetch_wall += FetchTime(tier, fetch_bytes);
+    if (injector_ != nullptr && injector_->SnapshotCorrupt()) {
+      // Checksum mismatch detected after the stream: the copy is useless and
+      // gets dropped so the next restore doesn't trip over it again.
+      ++out.corruptions;
+      ++stats_.corruptions;
+      Remove(t, function);  // invalidates `entry`
+      continue;
+    }
+    entry->second.last_use = ++use_seq_;
+    out.hit = true;
+    out.tier = t;
+    out.bytes_fetched = fetch_bytes;
+    stats_.bytes_fetched += fetch_bytes;
+    ++stats_.tier_hits[t];
+    if (!config_.reap_prefetch) {
+      // Lazy restore: the working set demand-faults in during the first
+      // invocation, each fault paying this tier's fault overhead plus a
+      // single-page read.
+      const double per_fault_s = tier.page_fault_overhead_us * 1e-6 +
+                                 static_cast<double>(kPageSize) / (tier.read_mib_per_s * kMiB);
+      out.demand_cost = FromSeconds(static_cast<double>(ws_resident) * per_fault_s);
+    }
+    if (t > 0 && config_.promote_on_fetch && TierUp(0)) {
+      Insert(0, function, entry->second.bytes, entry->second.version);
+      ++stats_.promotions;
+    }
+    return out;
+  }
+  ++stats_.fallback_cold_boots;
+  return out;
+}
+
+uint64_t SnapshotStore::OnNodeCrash() {
+  const uint64_t lost = tiers_.empty() ? 0 : tiers_[0].used_bytes;
+  if (!tiers_.empty()) {
+    tiers_[0].entries.clear();
+    tiers_[0].used_bytes = 0;
+  }
+  stats_.flushes_lost += inflight_.size();
+  inflight_.clear();
+  ++stats_.local_tier_wipes;
+  return lost;
+}
+
+uint64_t SnapshotStore::FailLocalTier() {
+  const uint64_t lost = tiers_.empty() ? 0 : tiers_[0].used_bytes;
+  if (!tiers_.empty()) {
+    tiers_[0].entries.clear();
+    tiers_[0].used_bytes = 0;
+  }
+  // In-flight flushes already read their bytes out of the cache; they land in
+  // the durable tiers regardless of the local device dying underneath them.
+  local_tier_failed_ = true;
+  ++stats_.local_tier_wipes;
+  return lost;
+}
+
+void SnapshotStore::CheckInvariants() const {
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    uint64_t sum = 0;
+    for (const auto& [function, entry] : tiers_[t].entries) {
+      (void)function;
+      sum += entry.bytes;
+    }
+    if (sum != tiers_[t].used_bytes) {
+      std::fprintf(stderr, "SnapshotStore: tier %zu byte accounting drifted: sum=%llu used=%llu\n",
+                   t, static_cast<unsigned long long>(sum),
+                   static_cast<unsigned long long>(tiers_[t].used_bytes));
+      std::abort();
+    }
+    if (sum > config_.tiers[t].capacity_bytes) {
+      std::fprintf(stderr, "SnapshotStore: tier %zu over capacity: used=%llu cap=%llu\n", t,
+                    static_cast<unsigned long long>(sum),
+                    static_cast<unsigned long long>(config_.tiers[t].capacity_bytes));
+      std::abort();
+    }
+  }
+}
+
+size_t SnapshotStore::TierEntryCount(size_t tier) const {
+  return tier < tiers_.size() ? tiers_[tier].entries.size() : 0;
+}
+
+uint64_t SnapshotStore::TierUsedBytes(size_t tier) const {
+  return tier < tiers_.size() ? tiers_[tier].used_bytes : 0;
+}
+
+}  // namespace desiccant

@@ -1,0 +1,234 @@
+// Multi-tier snapshot storage with REAP working-set restore.
+//
+// Modeled after LLNL SCR's multi-level checkpointing: tier 0 is a node-local
+// cache (fast, lost when the invoker crashes), upper tiers are durable shared
+// storage (slower, survive node loss). A capture lands in the first healthy
+// tier and is flushed asynchronously up the hierarchy on the simulated clock;
+// a restore walks the tiers downward-cost-first — local hit → SSD fetch →
+// remote fetch — and falls back to a full cold boot only when every copy is
+// gone. Each tier has a capacity (strict-LRU eviction), a bandwidth/latency
+// cost model, a fetch timeout, and a bounded retry budget; fetch failures and
+// corrupt images are drawn deterministically from the platform's FaultPlan.
+//
+// Restores come in two flavors:
+//   * lazy (vanilla): only snapshot metadata is fetched up front; the restored
+//     instance demand-faults its pages one by one, each paying the tier's
+//     page-fault overhead plus a single-page read.
+//   * REAP: the working set recorded on the function's first invocation
+//     (src/snapshot/working_set.h) is prefetched as one sequential stream at
+//     the tier's full bandwidth, so the invocation starts with its pages warm.
+#ifndef DESICCANT_SRC_SNAPSHOT_SNAPSHOT_STORE_H_
+#define DESICCANT_SRC_SNAPSHOT_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/faas/fault_injector.h"
+#include "src/snapshot/working_set.h"
+
+namespace desiccant {
+
+struct SnapshotTierConfig {
+  std::string name;
+  uint64_t capacity_bytes = 0;
+  // Streaming bandwidth for restore fetches / write-back flushes.
+  double read_mib_per_s = 0.0;
+  double write_mib_per_s = 0.0;
+  // Fixed per-access latency (seek / RPC round trip). Kept as a double so
+  // config validation can catch NaN before it poisons every restore sample.
+  double access_latency_ms = 0.0;
+  // A fetch attempt that fails burns this long before the retry (or the fall
+  // to the next tier) starts.
+  SimTime fetch_timeout = 0;
+  uint32_t max_fetch_retries = 0;
+  // Cost of one demand fault against this tier in lazy (non-REAP) restore
+  // mode, excluding the single-page read itself.
+  double page_fault_overhead_us = 0.0;
+};
+
+struct SnapshotConfig {
+  bool enabled = false;
+  // Ordered fastest-first; tier 0 is the node-local cache and dies with the
+  // node. Must be non-empty when enabled.
+  std::vector<SnapshotTierConfig> tiers;
+  // REAP mode: prefetch the recorded working set on restore instead of
+  // demand-faulting it.
+  bool reap_prefetch = true;
+  // On a hit in tier >= 1, write the fetched image back into tier 0 so the
+  // next restore on this node is a local hit.
+  bool promote_on_fetch = true;
+  // Fixed restore cost independent of storage: guest resume, cgroup setup,
+  // runtime re-attach.
+  SimTime restore_base_cost = 60 * kMillisecond;
+  // Snapshot metadata (memory layout, working-set index) fetched on every
+  // restore, even in lazy mode.
+  uint64_t metadata_bytes = 512 * kKiB;
+  // Delay between a capture landing in tier N and its write-back flush to
+  // tier N+1 starting.
+  SimTime flush_delay = 250 * kMillisecond;
+
+  // Canonical three-tier hierarchy: node-local NVMe cache, shared SSD,
+  // remote object store.
+  static SnapshotConfig ThreeTier();
+  // Degenerate single-tier hierarchy: every restore pays the object-store
+  // round trip (the SnapStart-like baseline).
+  static SnapshotConfig RemoteOnly();
+};
+
+// Aborts with a diagnostic on the first invalid field (empty tier list, zero
+// capacity, non-positive bandwidth, NaN/negative latency, zero fetch timeout).
+// No-op when cfg.enabled is false.
+void ValidateSnapshotConfig(const SnapshotConfig& cfg);
+
+struct SnapshotStats {
+  uint64_t captures = 0;
+  uint64_t refreshes = 0;            // post-reclaim image shrinks
+  uint64_t restores_planned = 0;
+  uint64_t fallback_cold_boots = 0;  // no tier held a usable copy
+  uint64_t fetch_failures = 0;
+  uint64_t corruptions = 0;
+  uint64_t evictions = 0;
+  uint64_t oversize_drops = 0;  // image larger than the whole tier
+  uint64_t promotions = 0;
+  uint64_t flushes_started = 0;
+  uint64_t flushes_completed = 0;
+  uint64_t flushes_lost = 0;  // in-flight at node crash
+  uint64_t local_tier_wipes = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t bytes_flushed = 0;
+  uint64_t ws_pages_recorded = 0;  // summed over live images
+  uint64_t ws_pages_resident = 0;  // still resident at last capture/refresh
+  std::vector<uint64_t> tier_hits;  // restores served per tier
+
+  void Accumulate(const SnapshotStats& other);
+};
+
+class SnapshotStore {
+ public:
+  // Handle for an asynchronous write-back flush. The platform schedules
+  // CompleteFlush at complete_at on the node's (epoch-guarded) timeline, so
+  // in-flight flushes die with the node exactly like every other node event.
+  struct FlushTicket {
+    uint64_t id = 0;
+    SimTime complete_at = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  struct RestoreOutcome {
+    bool hit = false;
+    size_t tier = 0;  // tier that served the restore (valid when hit)
+    // Wall time spent fetching: failed-attempt timeouts + the winning
+    // stream's latency + transfer.
+    SimTime fetch_wall = 0;
+    // Lazy mode: cost of demand-faulting the working set during the first
+    // invocation, charged as start overhead. Zero in REAP mode.
+    SimTime demand_cost = 0;
+    uint32_t fetch_failures = 0;
+    uint32_t corruptions = 0;
+    uint64_t bytes_fetched = 0;
+  };
+
+  // `injector` supplies the deterministic fetch-failure/corruption draws and
+  // must outlive the store; it may be null only if the fault probabilities
+  // are never consulted (the store null-checks before each draw).
+  SnapshotStore(const SnapshotConfig& config, FaultInjector* injector);
+
+  const SnapshotConfig& config() const { return config_; }
+
+  // True if any healthy tier holds a copy for `function`.
+  bool HasCopy(uint32_t function) const;
+  // True if `instance` produced the current image for `function` — only the
+  // capture instance's region ids are meaningful for its working set.
+  bool IsCaptureInstance(uint32_t function, uint64_t instance) const;
+  const WorkingSet* ImageWorkingSet(uint32_t function) const;
+
+  // Records a new image captured at freeze time, inserts it into the first
+  // healthy tier, and returns the ticket for its write-back flush to the next
+  // tier (invalid when there is no next tier or no healthy tier at all).
+  FlushTicket Capture(uint32_t function, uint64_t image_bytes, WorkingSet ws,
+                      uint64_t ws_resident_pages, uint64_t instance, SimTime now);
+
+  // Re-captures after a Desiccant reclaim shrank the capture instance: the
+  // image shrinks, the working-set residency is re-measured, and the smaller
+  // image is re-flushed upward.
+  FlushTicket Refresh(uint32_t function, uint64_t image_bytes, uint64_t ws_resident_pages,
+                      SimTime now);
+
+  // Completes flush `ticket_id`: lands the copy in its destination tier and
+  // returns the ticket for the next hop (invalid at the top tier, or when the
+  // flush was lost to a crash or superseded by a newer image version).
+  FlushTicket CompleteFlush(uint64_t ticket_id, SimTime now);
+
+  // Walks the tiers for a restorable copy of `function`, drawing fetch
+  // failures and corruptions per attempt. Never blocks: all time is returned
+  // in the outcome for the platform to schedule.
+  RestoreOutcome PlanRestore(uint32_t function, SimTime now);
+
+  // Invoker crash: wipes the node-local tier and drops in-flight flushes.
+  // Returns the bytes lost from tier 0. The tier comes back (empty) with the
+  // node.
+  uint64_t OnNodeCrash();
+  // Deterministic tier fault (FaultPlan::snapshot_local_tier_fail_at): wipes
+  // tier 0 and marks it permanently down.
+  uint64_t FailLocalTier();
+
+  // Aborts if any tier's recomputed byte sum disagrees with its counter or
+  // exceeds its capacity.
+  void CheckInvariants() const;
+
+  const SnapshotStats& stats() const { return stats_; }
+  size_t TierEntryCount(size_t tier) const;
+  uint64_t TierUsedBytes(size_t tier) const;
+  bool local_tier_failed() const { return local_tier_failed_; }
+
+ private:
+  struct Image {
+    uint64_t bytes = 0;
+    WorkingSet ws;
+    uint64_t ws_resident_pages = 0;
+    uint64_t version = 0;
+    uint64_t capture_instance = 0;
+  };
+  struct TierEntry {
+    uint64_t bytes = 0;
+    uint64_t version = 0;
+    uint64_t last_use = 0;
+  };
+  struct Tier {
+    std::unordered_map<uint32_t, TierEntry> entries;
+    uint64_t used_bytes = 0;
+  };
+  struct Flush {
+    uint32_t function = 0;
+    uint64_t bytes = 0;
+    uint64_t version = 0;
+    size_t to_tier = 0;
+  };
+
+  bool TierUp(size_t tier) const { return tier != 0 || !local_tier_failed_; }
+  SimTime FetchTime(const SnapshotTierConfig& tier, uint64_t bytes) const;
+  SimTime FlushTime(const SnapshotTierConfig& tier, uint64_t bytes) const;
+  // Inserts (or overwrites) `function`'s copy in `tier`, evicting strict-LRU
+  // until it fits. Oversize images are dropped with a counter.
+  void Insert(size_t tier, uint32_t function, uint64_t bytes, uint64_t version);
+  void Remove(size_t tier, uint32_t function);
+  FlushTicket StartFlush(uint32_t function, uint64_t bytes, uint64_t version, size_t to_tier,
+                         SimTime now);
+
+  SnapshotConfig config_;
+  FaultInjector* injector_;
+  std::unordered_map<uint32_t, Image> images_;
+  std::vector<Tier> tiers_;
+  std::unordered_map<uint64_t, Flush> inflight_;
+  uint64_t next_ticket_ = 1;
+  uint64_t use_seq_ = 0;
+  bool local_tier_failed_ = false;
+  SnapshotStats stats_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_SNAPSHOT_SNAPSHOT_STORE_H_

@@ -1,0 +1,68 @@
+#include "src/snapshot/working_set.h"
+
+#include <algorithm>
+
+namespace desiccant {
+
+void WorkingSetRecorder::OnTouch(RegionId region, uint64_t first_page, uint64_t pages) {
+  ++raw_touches_;
+  if (pages == 0) {
+    return;
+  }
+  // Fast path: the program streams through a buffer, so consecutive touches
+  // usually extend the previous run.
+  if (!runs_.empty()) {
+    WorkingSetRun& last = runs_.back();
+    if (last.region == region && first_page >= last.first_page &&
+        first_page <= last.first_page + last.pages) {
+      const uint64_t end = first_page + pages;
+      const uint64_t last_end = last.first_page + last.pages;
+      if (end > last_end) {
+        last.pages = end - last.first_page;
+      }
+      return;
+    }
+  }
+  if (runs_.size() >= kMaxRuns) {
+    Compact();
+    if (runs_.size() >= kMaxRuns) {
+      dropped_pages_ += pages;
+      return;
+    }
+  }
+  runs_.push_back({region, first_page, pages});
+}
+
+void WorkingSetRecorder::Compact() {
+  std::sort(runs_.begin(), runs_.end(), [](const WorkingSetRun& a, const WorkingSetRun& b) {
+    return a.region != b.region ? a.region < b.region : a.first_page < b.first_page;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (out > 0 && runs_[out - 1].region == runs_[i].region &&
+        runs_[i].first_page <= runs_[out - 1].first_page + runs_[out - 1].pages) {
+      const uint64_t end = runs_[i].first_page + runs_[i].pages;
+      const uint64_t prev_end = runs_[out - 1].first_page + runs_[out - 1].pages;
+      if (end > prev_end) {
+        runs_[out - 1].pages = end - runs_[out - 1].first_page;
+      }
+      continue;
+    }
+    runs_[out++] = runs_[i];
+  }
+  runs_.resize(out);
+}
+
+WorkingSet WorkingSetRecorder::Finish() {
+  Compact();
+  WorkingSet ws;
+  ws.runs = std::move(runs_);
+  runs_.clear();
+  for (const WorkingSetRun& run : ws.runs) {
+    ws.pages += run.pages;
+  }
+  raw_touches_ = 0;
+  return ws;
+}
+
+}  // namespace desiccant

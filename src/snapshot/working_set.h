@@ -1,0 +1,66 @@
+// REAP-style working-set recording (see "Benchmarking, Analysis, and
+// Optimization of Serverless Function Snapshots").
+//
+// A WorkingSetRecorder attaches to a VirtualAddressSpace as its TouchListener
+// for the duration of a function's first invocation and captures the page
+// ranges the invocation faults or re-touches. Finish() merges the raw touch
+// stream into a sorted, deduplicated set of page runs — the working set that
+// a REAP restore prefetches in one sequential stream instead of letting the
+// restored instance demand-fault page by page.
+#ifndef DESICCANT_SRC_SNAPSHOT_WORKING_SET_H_
+#define DESICCANT_SRC_SNAPSHOT_WORKING_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/os/virtual_memory.h"
+
+namespace desiccant {
+
+// One contiguous page run of a recorded working set.
+struct WorkingSetRun {
+  RegionId region = kInvalidRegionId;
+  uint64_t first_page = 0;
+  uint64_t pages = 0;
+};
+
+// The merged page-access set of one invocation: runs sorted by
+// (region, first_page), non-overlapping, with the distinct page count.
+struct WorkingSet {
+  std::vector<WorkingSetRun> runs;
+  uint64_t pages = 0;
+
+  bool empty() const { return runs.empty(); }
+  uint64_t bytes() const { return PagesToBytes(pages); }
+};
+
+class WorkingSetRecorder : public TouchListener {
+ public:
+  // The raw run buffer is bounded: at the cap the recorder compacts in place
+  // (sort + merge); if even the compacted set is at the cap, further touches
+  // are counted in dropped_pages() instead of kept. Real invocations merge to
+  // far fewer runs — the cap only guards degenerate scatter patterns.
+  static constexpr size_t kMaxRuns = 4096;
+
+  virtual ~WorkingSetRecorder() = default;
+
+  void OnTouch(RegionId region, uint64_t first_page, uint64_t pages) override;
+
+  // Merges and returns the recorded set; the recorder is empty afterwards.
+  WorkingSet Finish();
+
+  uint64_t raw_touches() const { return raw_touches_; }
+  uint64_t dropped_pages() const { return dropped_pages_; }
+
+ private:
+  void Compact();
+
+  std::vector<WorkingSetRun> runs_;
+  uint64_t raw_touches_ = 0;
+  uint64_t dropped_pages_ = 0;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_SNAPSHOT_WORKING_SET_H_

@@ -377,5 +377,197 @@ INSTANTIATE_TEST_SUITE_P(Scenarios, ClusterChaosFuzzTest,
                                            ChaosParams{103, MemoryMode::kEager},
                                            ChaosParams{104, MemoryMode::kSwap}));
 
+// ---------------------------------------------------------------------------
+// Snapshot chaos: random tier hierarchies x random snapshot fault rates
+// (fetch failures, corrupt images, a mid-run local-tier loss) on top of the
+// base FaultPlan, with set_check_invariants() re-verifying the per-tier byte
+// accounting after every event. Conservation must hold even when restores
+// retry across tiers or degrade to full cold boots.
+// ---------------------------------------------------------------------------
+
+// Random-but-reproducible snapshot hierarchy. Tier capacities are sometimes
+// squeezed hard so LRU eviction and oversize drops actually fire.
+SnapshotConfig ChaosSnapshotConfig(Rng& rng) {
+  SnapshotConfig snap =
+      rng.Chance(0.3) ? SnapshotConfig::RemoteOnly() : SnapshotConfig::ThreeTier();
+  snap.enabled = true;
+  snap.reap_prefetch = rng.Chance(0.5);
+  snap.promote_on_fetch = rng.Chance(0.7);
+  if (rng.Chance(0.5)) {
+    // Starve the fastest tier: a handful of images at most.
+    snap.tiers.front().capacity_bytes = rng.UniformU64(64, 512) * kMiB;
+  }
+  snap.flush_delay = FromMillis(static_cast<double>(rng.UniformU64(10, 500)));
+  return snap;
+}
+
+// The base ChaosPlan plus the snapshot fault knobs. Kept separate so the
+// existing chaos corpora replay the exact scenario streams they always did.
+FaultPlan SnapshotChaosPlan(Rng& rng) {
+  FaultPlan plan = ChaosPlan(rng);
+  if (rng.Chance(0.7)) {
+    plan.snapshot_fetch_failure_prob = rng.Uniform(0.0, 0.4);
+  }
+  if (rng.Chance(0.5)) {
+    plan.snapshot_corruption_prob = rng.Uniform(0.0, 0.2);
+  }
+  if (rng.Chance(0.5)) {
+    // Lose the node-local tier somewhere in or just after the traffic window.
+    plan.snapshot_local_tier_fail_at = FromSeconds(rng.Uniform(5.0, 60.0));
+  }
+  return plan;
+}
+
+class SnapshotChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(SnapshotChaosFuzzTest, ConservationAndByteAccountingHoldUnderSnapshotFaults) {
+  const ChaosParams params = GetParam();
+  Rng scenario(params.seed ^ 0x5A45ull);
+
+  PlatformConfig config;
+  config.mode = params.mode;
+  config.cache_capacity_bytes = scenario.UniformU64(512, 2048) * kMiB;
+  config.cpu_cores = 3.0;
+  config.keep_alive = 60 * kSecond;
+  config.prewarm_per_language = static_cast<uint32_t>(scenario.UniformU64(0, 2));
+  config.snapstart_restore = true;  // restores exercise the tier walk
+  config.seed = params.seed;
+  config.snapshot = ChaosSnapshotConfig(scenario);
+  config.faults = SnapshotChaosPlan(scenario);
+  Platform platform(config);
+  platform.set_check_invariants(true);  // includes SnapshotStore::CheckInvariants
+
+  std::unique_ptr<DesiccantManager> manager;
+  if (params.mode == MemoryMode::kDesiccant) {
+    DesiccantConfig desiccant_config;
+    desiccant_config.selection.freeze_timeout = 200 * kMillisecond;
+    manager = std::make_unique<DesiccantManager>(&platform, desiccant_config);
+  }
+
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 45.0) {
+    const WorkloadSpec& w = suite[scenario.UniformU64(0, suite.size() - 1)];
+    platform.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += scenario.Exponential(0.6);
+  }
+
+  platform.BeginMeasurement();
+  for (double checkpoint = 10.0; checkpoint <= 300.0; checkpoint += 10.0) {
+    platform.RunUntil(FromSeconds(checkpoint));
+    EXPECT_EQ(platform.memory_charged(), platform.FrozenMemoryBytes());
+    EXPECT_GE(platform.IdleCpu(), -1e-9);
+  }
+  platform.Run();
+  const PlatformMetrics& m = platform.FinishMeasurement();
+
+  // Conservation: every submission terminates exactly once, restore failures
+  // and snapshot fallbacks included.
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  EXPECT_LE(m.requests_retried_ok, m.requests_completed);
+
+  // Snapshot-byte accounting closes. Every planned restore resolved as
+  // exactly one tier hit or one fallback cold boot, and the flush ledger
+  // never loses a write-back without recording it.
+  ASSERT_NE(platform.snapshot_store(), nullptr);
+  const SnapshotStats& s = platform.snapshot_store()->stats();
+  uint64_t hits = 0;
+  for (const uint64_t h : s.tier_hits) {
+    hits += h;
+  }
+  EXPECT_EQ(hits + s.fallback_cold_boots, s.restores_planned);
+  EXPECT_LE(s.flushes_completed + s.flushes_lost, s.flushes_started);
+  EXPECT_LE(s.ws_pages_resident, s.ws_pages_recorded);
+  if (config.faults.snapshot_local_tier_fail_at > 0) {
+    EXPECT_TRUE(platform.snapshot_store()->local_tier_failed());
+  }
+  // The final per-tier recount (capacity + byte-sum agreement) aborts on
+  // violation rather than failing an expectation.
+  platform.snapshot_store()->CheckInvariants();
+
+  // After the drain the node is quiescent.
+  EXPECT_GE(platform.IdleCpu(), config.cpu_cores - 1e-9);
+  EXPECT_EQ(platform.memory_charged(), platform.FrozenMemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, SnapshotChaosFuzzTest,
+    ::testing::Values(ChaosParams{301, MemoryMode::kVanilla},
+                      ChaosParams{301, MemoryMode::kDesiccant},
+                      ChaosParams{302, MemoryMode::kVanilla},
+                      ChaosParams{302, MemoryMode::kDesiccant},
+                      ChaosParams{303, MemoryMode::kEager},
+                      ChaosParams{303, MemoryMode::kDesiccant},
+                      ChaosParams{304, MemoryMode::kSwap},
+                      ChaosParams{304, MemoryMode::kDesiccant}));
+
+// Invoker crashes on top: every node runs its own tier hierarchy, crashes
+// wipe the node-local tier plus in-flight flushes, and restores afterwards
+// must degrade through the surviving durable tiers without losing requests.
+class SnapshotClusterChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(SnapshotClusterChaosFuzzTest, ConservationHoldsAcrossCrashesAndTierLoss) {
+  const ChaosParams params = GetParam();
+  Rng scenario(params.seed ^ 0x5AC1ull);
+
+  ClusterConfig config;
+  config.node_count = 3;
+  config.routing = static_cast<RoutingPolicy>(scenario.UniformU64(0, 2));
+  config.node.mode = params.mode;
+  config.node.cache_capacity_bytes = scenario.UniformU64(512, 1536) * kMiB;
+  config.node.cpu_cores = 2.0;
+  config.node.keep_alive = 60 * kSecond;
+  config.node.seed = params.seed;
+  config.node.snapstart_restore = true;
+  config.node.snapshot = ChaosSnapshotConfig(scenario);
+  config.node.faults = SnapshotChaosPlan(scenario);
+  config.node.faults.node_crash_mtbf_seconds = 30.0;
+  config.node.faults.node_crash_horizon = 120 * kSecond;
+  config.node.faults.node_restart_delay = 3 * kSecond;
+  Cluster cluster(config);
+  cluster.set_check_invariants(true);
+
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 45.0) {
+    const WorkloadSpec& w = suite[scenario.UniformU64(0, suite.size() - 1)];
+    cluster.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += scenario.Exponential(0.5);
+  }
+
+  cluster.BeginMeasurement();
+  cluster.Run();
+  const PlatformMetrics m = cluster.AggregateMetrics();
+
+  // Conservation across the cluster: crashes, wiped tiers, lost flushes and
+  // degraded restores never lose or duplicate a request.
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  EXPECT_LE(m.requests_retried_ok, m.requests_completed);
+  EXPECT_EQ(cluster.pending_count(), 0u);
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_FALSE(cluster.node(i).node_down());
+    ASSERT_NE(cluster.node(i).snapshot_store(), nullptr);
+    const SnapshotStats& s = cluster.node(i).snapshot_store()->stats();
+    uint64_t hits = 0;
+    for (const uint64_t h : s.tier_hits) {
+      hits += h;
+    }
+    EXPECT_EQ(hits + s.fallback_cold_boots, s.restores_planned);
+    EXPECT_LE(s.flushes_completed + s.flushes_lost, s.flushes_started);
+    cluster.node(i).snapshot_store()->CheckInvariants();
+    EXPECT_EQ(cluster.node(i).memory_charged(), cluster.node(i).FrozenMemoryBytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SnapshotClusterChaosFuzzTest,
+                         ::testing::Values(ChaosParams{401, MemoryMode::kVanilla},
+                                           ChaosParams{402, MemoryMode::kDesiccant},
+                                           ChaosParams{403, MemoryMode::kEager},
+                                           ChaosParams{404, MemoryMode::kSwap}));
+
 }  // namespace
 }  // namespace desiccant

@@ -173,7 +173,10 @@ TEST(ShardedClusterTest, MatchesClusterRequestCountsOnOneShard) {
 TEST(ShardedClusterDeathTest, CrashPlansAbort) {
   ShardedClusterConfig config = BaseConfig(4, RoutingPolicy::kAffinity);
   config.node.faults.node_crash_mtbf_seconds = 300.0;
-  EXPECT_DEATH(ShardedCluster{config}, "node-crash fault plans");
+  // The diagnostic must name the offending fault kind and point at the
+  // shared-timeline fallback.
+  EXPECT_DEATH(ShardedCluster{config}, "enables 'node-crash' faults");
+  EXPECT_DEATH(ShardedCluster{config}, "shared-timeline Cluster");
 }
 
 TEST(ShardedClusterDeathTest, ZeroNodesAbort) {

@@ -208,6 +208,8 @@ struct ShardedReplayResult {
   uint64_t frozen_bytes = 0;     // sum over nodes at the end of the window
   double replay_wall_ms = 0.0;   // the Run calls only (setup excluded)
   size_t threads = 1;            // resolved worker count
+  size_t racks = 1;              // resolved rack count
+  RouterStats router;            // per-level routing / barrier wall-clock
 };
 
 inline ShardedReplayResult RunShardedReplay(const SyntheticPopulation& population,
@@ -251,6 +253,8 @@ inline ShardedReplayResult RunShardedReplay(const SyntheticPopulation& populatio
   }
   result.replay_wall_ms = wall_ms;
   result.threads = cluster.threads();
+  result.racks = cluster.rack_count();
+  result.router = cluster.router_stats();
   return result;
 }
 

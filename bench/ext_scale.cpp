@@ -2,26 +2,31 @@
 //
 // A synthetic "Serverless in the Wild"-style population (thousands of
 // functions drawn from per-class IAT/exec/memory distributions) replays on a
-// ShardedCluster across a functions x nodes x threads x memory-mode grid.
-// Every (functions, nodes, mode) cell runs serially first, then at each
-// requested worker count; the table reports simulation goodput/latency/memory
-// alongside the harness's own wall-clock, the speedup over serial, and `det`
-// — whether the parallel run's per-node and aggregate fingerprints matched
-// the serial run byte-for-byte (the engine's core guarantee).
+// ShardedCluster across a functions x nodes x racks x threads x memory-mode
+// grid. Every (functions, nodes, mode) cell runs serially first — flat
+// hierarchy, one thread — then at each requested rack count and worker
+// count; the table reports simulation goodput/latency/memory alongside the
+// harness's own wall-clock, the per-level routing cost (cell front router vs
+// rack routers vs barrier stalls), the speedup over serial, and `det` —
+// whether the run's per-node and aggregate fingerprints matched the serial
+// flat baseline byte-for-byte (the engine's core guarantee, which the rack
+// hierarchy must not perturb).
 //
 // Unlike the fig09/fig10 grids (parallel *across* cells), each cell here is
 // parallel *inside*: cells run one at a time so a cell's workers own the
 // whole host.
 //
 // Environment knobs (all optional):
-//   DESICCANT_SCALE_FUNCTIONS  comma list of population sizes   (1000)
-//   DESICCANT_SCALE_NODES      comma list of node counts        (16)
-//   DESICCANT_SCALE_THREADS    comma list of worker counts      (1,host)
-//   DESICCANT_SCALE_MODES      comma list of vanilla/desiccant  (both)
-//   DESICCANT_SCALE_ROUTING    affinity|rr|least                (affinity)
-//   DESICCANT_SCALE_FACTOR     IAT scale factor                 (8)
-//   DESICCANT_SCALE_WARMUP_S   warmup window seconds            (30)
-//   DESICCANT_SCALE_MEASURE_S  measured window seconds          (120)
+//   DESICCANT_SCALE_FUNCTIONS    comma list of population sizes   (1000)
+//   DESICCANT_SCALE_NODES        comma list of node counts        (16)
+//   DESICCANT_SCALE_RACKS        comma list of rack counts        (1)
+//   DESICCANT_SCALE_THREADS      comma list of worker counts      (1,host)
+//   DESICCANT_SCALE_MODES        comma list of vanilla/desiccant  (both)
+//   DESICCANT_SCALE_ROUTING      affinity|rr|least                (affinity)
+//   DESICCANT_SCALE_FACTOR       IAT scale factor                 (8)
+//   DESICCANT_SCALE_WARMUP_S     warmup window seconds            (30)
+//   DESICCANT_SCALE_MEASURE_S    measured window seconds          (120)
+//   DESICCANT_SCALE_CRASH_MTBF_S per-node crash MTBF seconds      (0 = off)
 #include "bench/bench_util.h"
 
 namespace {
@@ -31,7 +36,9 @@ using namespace desiccant;
 struct Row {
   size_t functions = 0;
   size_t nodes = 0;
-  size_t threads = 0;
+  size_t racks = 0;
+  size_t threads = 0;            // effective (post-clamp) worker count
+  size_t requested_threads = 0;  // what the knob asked for
   std::string mode;
   uint64_t arrivals = 0;
   double goodput_rps = 0.0;
@@ -41,6 +48,9 @@ struct Row {
   double frozen_mib = 0.0;
   double released_mib = 0.0;
   double replay_ms = 0.0;
+  double cell_route_ms = 0.0;
+  double rack_route_ms = 0.0;
+  double barrier_stall_ms = 0.0;
   double speedup = 1.0;
   bool det = true;
 };
@@ -105,6 +115,23 @@ std::vector<MemoryMode> ParseModes() {
   return modes;
 }
 
+// Dedups in place, keeping first occurrence, and makes sure `first` leads the
+// list (the baseline shape every other cell is scored against).
+std::vector<size_t> BaselineFirst(std::vector<size_t> values, size_t first) {
+  if (std::find(values.begin(), values.end(), first) == values.end()) {
+    values.insert(values.begin(), first);
+  }
+  std::vector<size_t> unique;
+  for (const size_t v : values) {
+    if (std::find(unique.begin(), unique.end(), v) == unique.end()) {
+      unique.push_back(v);
+    }
+  }
+  std::stable_partition(unique.begin(), unique.end(),
+                        [first](size_t v) { return v == first; });
+  return unique;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,37 +140,28 @@ int main(int argc, char** argv) {
   const std::vector<size_t> function_counts =
       ParseSizeList("DESICCANT_SCALE_FUNCTIONS", {1000});
   const std::vector<size_t> node_counts = ParseSizeList("DESICCANT_SCALE_NODES", {16});
-  std::vector<size_t> thread_counts =
+  // Flat (1 rack) is the baseline hierarchy; run it first so every deeper
+  // shape has a fingerprint to match.
+  const std::vector<size_t> rack_counts =
+      BaselineFirst(ParseSizeList("DESICCANT_SCALE_RACKS", {1}), 1);
+  const std::vector<size_t> thread_counts = BaselineFirst(
       ParseSizeList("DESICCANT_SCALE_THREADS",
                     HostCores() > 1 ? std::vector<size_t>{1, HostCores()}
-                                    : std::vector<size_t>{1});
-  // Serial is the baseline every other count is scored against; always run it
-  // first even if the caller's list omitted it, and run each count once even
-  // if the list repeats (on a 1-core host the default collapses to "1,1").
-  if (std::find(thread_counts.begin(), thread_counts.end(), size_t{1}) ==
-      thread_counts.end()) {
-    thread_counts.insert(thread_counts.begin(), 1);
-  }
-  std::vector<size_t> unique_threads;
-  for (const size_t t : thread_counts) {
-    if (std::find(unique_threads.begin(), unique_threads.end(), t) ==
-        unique_threads.end()) {
-      unique_threads.push_back(t);
-    }
-  }
-  thread_counts = std::move(unique_threads);
+                                    : std::vector<size_t>{1}),
+      1);
   const std::vector<MemoryMode> modes = ParseModes();
   const RoutingPolicy routing = ParseRouting();
   const double scale_factor = ParseDouble("DESICCANT_SCALE_FACTOR", 8.0);
   const double warmup_s = ParseDouble("DESICCANT_SCALE_WARMUP_S", 30.0);
   const double measure_s = ParseDouble("DESICCANT_SCALE_MEASURE_S", 120.0);
+  const double crash_mtbf_s = ParseDouble("DESICCANT_SCALE_CRASH_MTBF_S", 0.0);
   const SimTime warmup_end = FromSeconds(warmup_s);
   const SimTime replay_end = warmup_end + FromSeconds(measure_s);
 
   std::vector<Row> rows;
   for (const size_t functions : function_counts) {
-    // One population + one arrival stream per size: every node count, mode,
-    // and thread count replays the identical input.
+    // One population + one arrival stream per size: every node count, rack
+    // count, mode, and thread count replays the identical input.
     const SyntheticPopulation population(PopulationConfig::AzureLike(functions, 20240601));
     const std::vector<TraceArrival> arrivals =
         population.GenerateArrivals(scale_factor, 0, replay_end);
@@ -157,54 +175,81 @@ int main(int argc, char** argv) {
         config.node.cpu_cores = 4.0;
         config.node.cache_capacity_bytes = 768 * kMiB;
         config.node.seed = 42;
+        if (crash_mtbf_s > 0) {
+          config.node.faults.node_crash_mtbf_seconds = crash_mtbf_s;
+          config.node.faults.node_crash_horizon = replay_end;
+        }
 
         double serial_ms = 0.0;
         uint64_t serial_fingerprint = 0;
         std::vector<uint64_t> serial_nodes;
-        for (const size_t threads : thread_counts) {
-          config.threads = threads;
-          const ShardedReplayResult r =
-              RunShardedReplay(population, arrivals, warmup_end, replay_end, config);
-          Row row;
-          row.functions = functions;
-          row.nodes = nodes;
-          row.threads = r.threads;
-          row.mode = MemoryModeName(mode);
-          row.arrivals = arrivals.size();
-          row.goodput_rps = r.metrics.GoodputRps();
-          row.p50_ms = r.metrics.latency_ms.Percentile(50);
-          row.p99_ms = r.metrics.latency_ms.Percentile(99);
-          row.cold_frac = r.metrics.ColdBootFraction();
-          row.frozen_mib = ToMiB(r.frozen_bytes);
-          row.released_mib = ToMiB(r.desiccant.bytes_released);
-          row.replay_ms = r.replay_wall_ms;
-          if (threads == 1) {
-            serial_ms = r.replay_wall_ms;
-            serial_fingerprint = r.aggregate_fingerprint;
-            serial_nodes = r.node_fingerprints;
-            row.speedup = 1.0;
-            row.det = true;
-          } else {
-            row.speedup = r.replay_wall_ms > 0 ? serial_ms / r.replay_wall_ms : 0.0;
-            row.det = r.aggregate_fingerprint == serial_fingerprint &&
-                      r.node_fingerprints == serial_nodes;
+        for (const size_t racks : rack_counts) {
+          if (racks > nodes) {
+            continue;  // a rack with no nodes is a config error
           }
-          rows.push_back(row);
-
-          char name[128];
-          std::snprintf(name, sizeof(name), "ext_scale/f:%zu/n:%zu/%s/t:%zu", functions,
-                        nodes, MemoryModeName(mode), r.threads);
-          const Row reg = rows.back();
-          benchmark::RegisterBenchmark(name, [reg](benchmark::State& state) {
-            for (auto _ : state) {
-              state.SetIterationTime(reg.replay_ms / 1000.0);
+          config.rack_count = racks;
+          // Half the controller->node delay on the cell->rack hop once the
+          // hierarchy is real (accounting only: delivery times are the full
+          // network_delay either way, so fingerprints stay shape-invariant).
+          config.inter_rack_delay_ms = racks > 1 ? ToMillis(config.network_delay) / 2 : 0.0;
+          for (const size_t threads : thread_counts) {
+            config.threads = threads;
+            const ShardedReplayResult r =
+                RunShardedReplay(population, arrivals, warmup_end, replay_end, config);
+            const bool is_baseline = racks == rack_counts.front() && threads == 1;
+            Row row;
+            row.functions = functions;
+            row.nodes = nodes;
+            row.racks = r.racks;
+            row.threads = r.threads;
+            row.requested_threads = threads;
+            row.mode = MemoryModeName(mode);
+            row.arrivals = arrivals.size();
+            row.goodput_rps = r.metrics.GoodputRps();
+            row.p50_ms = r.metrics.latency_ms.Percentile(50);
+            row.p99_ms = r.metrics.latency_ms.Percentile(99);
+            row.cold_frac = r.metrics.ColdBootFraction();
+            row.frozen_mib = ToMiB(r.frozen_bytes);
+            row.released_mib = ToMiB(r.desiccant.bytes_released);
+            row.replay_ms = r.replay_wall_ms;
+            row.cell_route_ms = r.router.cell_route_ms;
+            row.rack_route_ms = r.router.rack_route_ms;
+            row.barrier_stall_ms = r.router.barrier_stall_ms;
+            if (is_baseline) {
+              serial_ms = r.replay_wall_ms;
+              serial_fingerprint = r.aggregate_fingerprint;
+              serial_nodes = r.node_fingerprints;
+              row.speedup = 1.0;
+              row.det = true;
+            } else {
+              row.speedup = r.replay_wall_ms > 0 ? serial_ms / r.replay_wall_ms : 0.0;
+              // det covers both contracts at once: thread-count invariance
+              // and hierarchy-shape invariance against the flat serial run.
+              row.det = r.aggregate_fingerprint == serial_fingerprint &&
+                        r.node_fingerprints == serial_nodes;
             }
-            state.counters["threads"] = static_cast<double>(reg.threads);
-            state.counters["speedup"] = reg.speedup;
-            state.counters["det"] = reg.det ? 1.0 : 0.0;
-            state.counters["goodput_rps"] = reg.goodput_rps;
-            state.counters["host_cores"] = static_cast<double>(HostCores());
-          })->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+            rows.push_back(row);
+
+            char name[160];
+            std::snprintf(name, sizeof(name), "ext_scale/f:%zu/n:%zu/%s/r:%zu/t:%zu",
+                          functions, nodes, MemoryModeName(mode), r.racks, r.threads);
+            const Row reg = rows.back();
+            benchmark::RegisterBenchmark(name, [reg](benchmark::State& state) {
+              for (auto _ : state) {
+                state.SetIterationTime(reg.replay_ms / 1000.0);
+              }
+              state.counters["threads"] = static_cast<double>(reg.requested_threads);
+              state.counters["effective_threads"] = static_cast<double>(reg.threads);
+              state.counters["racks"] = static_cast<double>(reg.racks);
+              state.counters["speedup"] = reg.speedup;
+              state.counters["det"] = reg.det ? 1.0 : 0.0;
+              state.counters["goodput_rps"] = reg.goodput_rps;
+              state.counters["cell_route_ms"] = reg.cell_route_ms;
+              state.counters["rack_route_ms"] = reg.rack_route_ms;
+              state.counters["barrier_stall_ms"] = reg.barrier_stall_ms;
+              state.counters["host_cores"] = static_cast<double>(HostCores());
+            })->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+          }
         }
       }
     }
@@ -213,18 +258,31 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  Table table({"functions", "nodes", "threads", "mode", "arrivals", "goodput_rps",
-               "p50_ms", "p99_ms", "cold_frac", "frozen_mib", "released_mib",
-               "replay_ms", "speedup", "det"});
+  Table table({"functions", "nodes", "racks", "threads", "mode", "arrivals",
+               "goodput_rps", "p50_ms", "p99_ms", "cold_frac", "frozen_mib",
+               "released_mib", "replay_ms", "cell_route_ms", "rack_route_ms",
+               "stall_ms", "speedup", "det"});
   for (const Row& row : rows) {
     table.AddRow({std::to_string(row.functions), std::to_string(row.nodes),
-                  std::to_string(row.threads), row.mode, std::to_string(row.arrivals),
-                  Table::Fmt(row.goodput_rps), Table::Fmt(row.p50_ms),
-                  Table::Fmt(row.p99_ms), Table::Fmt(row.cold_frac, 3),
-                  Table::Fmt(row.frozen_mib), Table::Fmt(row.released_mib),
-                  Table::Fmt(row.replay_ms), Table::Fmt(row.speedup),
+                  std::to_string(row.racks), std::to_string(row.threads), row.mode,
+                  std::to_string(row.arrivals), Table::Fmt(row.goodput_rps),
+                  Table::Fmt(row.p50_ms), Table::Fmt(row.p99_ms),
+                  Table::Fmt(row.cold_frac, 3), Table::Fmt(row.frozen_mib),
+                  Table::Fmt(row.released_mib), Table::Fmt(row.replay_ms),
+                  Table::Fmt(row.cell_route_ms), Table::Fmt(row.rack_route_ms),
+                  Table::Fmt(row.barrier_stall_ms), Table::Fmt(row.speedup),
                   row.det ? "yes" : "NO"});
   }
-  table.Print("Extension: sharded-cluster population replay (functions x nodes x threads)");
+  table.Print(
+      "Extension: sharded-cluster population replay (functions x nodes x racks x threads)");
+  // A det=0 cell is a determinism regression, not a data point: fail the
+  // process so CI smokes (which run the binary without bench_scale.sh's jq
+  // gate) still catch it.
+  for (const Row& row : rows) {
+    if (!row.det) {
+      std::fprintf(stderr, "ext_scale: fingerprint divergence from the serial flat baseline\n");
+      return 1;
+    }
+  }
   return 0;
 }

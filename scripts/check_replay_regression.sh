@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Gates the replay harness's wall-clock against a checked-in baseline:
+# scripts/check_replay_regression.sh <current BENCH_replay.json> [baseline] [max_pct]
+#
+# Fails (exit 1) when the fresh run's total serial wall-clock exceeds the
+# baseline by more than max_pct percent (default 15). The baseline lives in
+# bench/baselines/BENCH_replay_baseline.json and is refreshed deliberately —
+# by re-running scripts/bench_replay.sh and committing the new number with
+# the change that earned it — never silently by CI.
+#
+# Only serial time is gated: parallel wall-clock depends on the host's core
+# count, which differs between the baseline machine and CI runners.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CURRENT="${1:-BENCH_replay.json}"
+BASELINE="${2:-bench/baselines/BENCH_replay_baseline.json}"
+MAX_PCT="${3:-15}"
+
+for f in "$CURRENT" "$BASELINE"; do
+  if [[ ! -f "$f" ]]; then
+    echo "check_replay_regression: missing $f" >&2
+    exit 2
+  fi
+done
+
+current_ms=$(jq -e '.total.serial_ms' "$CURRENT")
+baseline_ms=$(jq -e '.total.serial_ms' "$BASELINE")
+
+# Integer math: current must stay under baseline * (100 + MAX_PCT) / 100.
+limit_ms=$(( baseline_ms * (100 + MAX_PCT) / 100 ))
+pct=$(( (current_ms - baseline_ms) * 100 / baseline_ms ))
+
+echo "replay serial wall-clock: current ${current_ms} ms, baseline ${baseline_ms} ms" \
+     "(${pct}% delta, limit +${MAX_PCT}%)"
+
+if (( current_ms > limit_ms )); then
+  echo "FAIL: replay harness regressed >${MAX_PCT}% over the checked-in baseline." >&2
+  echo "If the slowdown is intentional, refresh bench/baselines/BENCH_replay_baseline.json" >&2
+  echo "via scripts/bench_replay.sh and commit it with the change." >&2
+  exit 1
+fi
+echo "OK: within budget"

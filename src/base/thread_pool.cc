@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 namespace desiccant {
@@ -48,20 +49,43 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     fn(0);  // nothing to fan out; skip the queue round-trip
     return;
   }
-  // One task per worker (capped at n); each drains indices from the shared
-  // counter so an uneven workload self-balances. The references captured here
-  // outlive the tasks because Wait() is a barrier.
-  std::atomic<size_t> next{0};
-  const size_t tasks = std::min(n, workers_.size());
-  for (size_t t = 0; t < tasks; ++t) {
-    Submit([&next, &fn, n] {
-      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        fn(i);
+  // Per-batch shared state. Helpers hold it by shared_ptr because a helper
+  // may be popped off the queue *after* the batch finished and the caller
+  // returned (its claim loop then terminates immediately) — the old
+  // stack-captured design was only safe because Wait() blocked on pool-wide
+  // idle, which is exactly what made it deadlock when called from a worker.
+  struct Batch {
+    Batch(const std::function<void(size_t)>& fn_in, size_t n_in) : fn(fn_in), n(n_in) {}
+    std::function<void(size_t)> fn;  // owned: helpers may outlive the call site
+    size_t n;
+    std::atomic<size_t> next{0};       // next index to claim
+    std::atomic<size_t> completed{0};  // indices fully executed
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto batch = std::make_shared<Batch>(fn, n);
+  auto drain = [](const std::shared_ptr<Batch>& b) {
+    for (size_t i = b->next.fetch_add(1, std::memory_order_relaxed); i < b->n;
+         i = b->next.fetch_add(1, std::memory_order_relaxed)) {
+      b->fn(i);
+      // acq_rel: publishes fn(i)'s writes to whoever observes the final count.
+      if (b->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == b->n) {
+        std::lock_guard<std::mutex> lock(b->mu);  // pairs with the waiter
+        b->cv.notify_all();
       }
-    });
+    }
+  };
+  // n - 1 helpers at most: the caller is the n-th lane (and the only
+  // guaranteed one — on a saturated pool no helper may ever start).
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([batch, drain] { drain(batch); });
   }
-  Wait();
+  drain(batch);
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&batch] {
+    return batch->completed.load(std::memory_order_acquire) == batch->n;
+  });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -36,11 +36,22 @@ class ThreadPool {
   void Wait();
 
   // Runs fn(0) .. fn(n - 1) across the workers and blocks until all are done
-  // (it is a barrier, like Wait). Indices are claimed from a shared atomic
-  // counter, so callers must not depend on which worker runs which index —
-  // only that every index runs exactly once. The sharded replay engine uses
-  // this for its per-epoch shard dispatch, where each index touches disjoint
-  // state and ordering is irrelevant by construction.
+  // (it is a barrier for *this batch*, like Wait is for the whole queue).
+  // Indices are claimed from a shared atomic counter, so callers must not
+  // depend on which worker runs which index — only that every index runs
+  // exactly once. The sharded replay engine uses this for its per-epoch rack
+  // and shard dispatch, where each index touches disjoint state and ordering
+  // is irrelevant by construction.
+  //
+  // Nested-safe: the calling thread participates in the batch (it drains
+  // indices alongside the workers) and waits on a per-batch completion count,
+  // never on pool-wide idleness. A worker thread may therefore call
+  // ParallelFor from inside a task — the hierarchical router fans out over
+  // racks and each rack fans out over its shards on the same pool — without
+  // deadlocking: even if every helper task is stuck behind busy workers, the
+  // caller's own drain loop finishes the batch. Helper tasks hold the batch
+  // state in shared ownership, so a helper that starts after the batch
+  // completed (the caller may have long returned) exits against valid memory.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t thread_count() const { return workers_.size(); }

@@ -18,8 +18,7 @@ const char* RoutingPolicyName(RoutingPolicy policy) {
   return "unknown";
 }
 
-Cluster::Cluster(const ClusterConfig& config)
-    : config_(config), crash_injector_(config.node.faults, /*salt=*/0xC1A54ADEull) {
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   assert(config_.node_count >= 1);
   for (size_t i = 0; i < config_.node_count; ++i) {
     PlatformConfig node_config = config_.node;
@@ -28,53 +27,22 @@ Cluster::Cluster(const ClusterConfig& config)
     nodes_.back()->set_failover_handler(
         [this](Platform::Request request) { FailOver(std::move(request)); });
   }
-  const FaultPlan& plan = config_.node.faults;
-  if (plan.node_crash_mtbf_seconds > 0) {
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      ScheduleCrash(i, crash_injector_.NextCrashDelay());
-    }
+  // The whole crash schedule is a pure function of the plan (salted so crash
+  // times stay uncorrelated with per-node boot/reclaim draws), so it is
+  // precomputed and scheduled up front — the same schedule the sharded
+  // engine's migration barriers replay.
+  for (const PlannedOutage& outage :
+       ComputeOutageSchedule(config_.node.faults, nodes_.size(), /*salt=*/0xC1A54ADEull)) {
+    context_.events.Schedule(outage.crash_at,
+                             [this, node = outage.node]() { CrashNow(node); });
   }
 }
 
 size_t Cluster::Route(const WorkloadSpec* workload) {
-  const size_t n = nodes_.size();
-  switch (config_.routing) {
-    case RoutingPolicy::kRoundRobin: {
-      for (size_t probe = 0; probe < n; ++probe) {
-        const size_t node = round_robin_next_;
-        round_robin_next_ = (round_robin_next_ + 1) % n;
-        if (!nodes_[node]->node_down()) {
-          return node;
-        }
-      }
-      return kNoNode;
-    }
-    case RoutingPolicy::kAffinity: {
-      // Down home node: spill to the next healthy neighbour (and return home
-      // once it restarts — the hash is stable).
-      const size_t home = std::hash<std::string>{}(workload->name) % n;
-      for (size_t probe = 0; probe < n; ++probe) {
-        const size_t node = (home + probe) % n;
-        if (!nodes_[node]->node_down()) {
-          return node;
-        }
-      }
-      return kNoNode;
-    }
-    case RoutingPolicy::kLeastLoaded: {
-      size_t best = kNoNode;
-      for (size_t i = 0; i < n; ++i) {
-        if (nodes_[i]->node_down()) {
-          continue;
-        }
-        if (best == kNoNode || nodes_[i]->IdleCpu() > nodes_[best]->IdleCpu()) {
-          best = i;
-        }
-      }
-      return best;
-    }
-  }
-  return 0;
+  return RouteWithPolicy(
+      config_.routing, nodes_.size(), AffinityHome(workload->name, nodes_.size()),
+      &round_robin_next_, [this](size_t i) { return nodes_[i]->node_down(); },
+      [this](size_t i) { return nodes_[i]->IdleCpu(); });
 }
 
 void Cluster::Submit(const WorkloadSpec* workload, SimTime arrival) {
@@ -102,14 +70,6 @@ void Cluster::FailOver(Platform::Request request) {
   nodes_[target]->Resubmit(std::move(request));
 }
 
-void Cluster::ScheduleCrash(size_t node, SimTime delay) {
-  const SimTime at = context_.clock.Now() + delay;
-  if (at >= config_.node.faults.node_crash_horizon) {
-    return;  // past the horizon: this node has crashed for the last time
-  }
-  context_.events.Schedule(at, [this, node]() { CrashNow(node); });
-}
-
 void Cluster::CrashNow(size_t node) {
   if (nodes_[node]->node_down()) {
     return;
@@ -130,7 +90,8 @@ void Cluster::RestartNow(size_t node) {
   for (Platform::Request& request : parked) {
     FailOver(std::move(request));
   }
-  ScheduleCrash(node, crash_injector_.NextCrashDelay());
+  // The next crash for this node was already scheduled at construction (the
+  // precomputed schedule draws it at this restart instant).
 }
 
 void Cluster::Run() {

@@ -25,12 +25,9 @@
 #include <vector>
 
 #include "src/faas/platform.h"
+#include "src/faas/routing.h"
 
 namespace desiccant {
-
-enum class RoutingPolicy : uint8_t { kRoundRobin, kAffinity, kLeastLoaded };
-
-const char* RoutingPolicyName(RoutingPolicy policy);
 
 struct ClusterConfig {
   size_t node_count = 2;
@@ -64,13 +61,13 @@ class Cluster {
   size_t pending_count() const { return pending_.size(); }
 
  private:
-  static constexpr size_t kNoNode = static_cast<size_t>(-1);
+  static constexpr size_t kNoNode = kNoRouteTarget;
 
-  // Picks a healthy node per the policy; kNoNode when every node is down.
+  // Picks a healthy node per the policy (the shared RouteWithPolicy probe
+  // over live node_down state); kNoNode when every node is down.
   size_t Route(const WorkloadSpec* workload);
   // Re-routes a request from a crashed node; parks it if nothing is healthy.
   void FailOver(Platform::Request request);
-  void ScheduleCrash(size_t node, SimTime delay);
   void CrashNow(size_t node);
   void RestartNow(size_t node);
 
@@ -78,9 +75,6 @@ class Cluster {
   SimContext context_;
   std::vector<std::unique_ptr<Platform>> nodes_;
   size_t round_robin_next_ = 0;
-  // Crash scheduling draws from its own salted injector so per-node fault
-  // draws (boots, reclaims) stay uncorrelated with crash times.
-  FaultInjector crash_injector_;
   std::vector<Platform::Request> pending_;
 };
 

@@ -1,6 +1,8 @@
 #include "src/faas/fault_injector.h"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
 
 namespace desiccant {
 
@@ -36,6 +38,44 @@ SimTime FaultInjector::NextCrashDelay() {
   // of one node can never share a timestamp with its own restart.
   const double seconds = rng_.Exponential(plan_.node_crash_mtbf_seconds);
   return std::max<SimTime>(FromSeconds(seconds), kMillisecond);
+}
+
+std::vector<PlannedOutage> ComputeOutageSchedule(const FaultPlan& plan, size_t node_count,
+                                                 uint64_t salt) {
+  std::vector<PlannedOutage> schedule;
+  if (plan.node_crash_mtbf_seconds <= 0 || node_count == 0) {
+    return schedule;
+  }
+  FaultInjector injector(plan, salt);
+  // (next draw time, node): each node draws its first delay at t=0 and one
+  // more at every restart. The min-heap replays those restarts in time order,
+  // which is exactly the order the live-drawing Cluster consumed the RNG
+  // stream in (ties — impossible for continuous exponential draws plus a
+  // fixed restart delay — break by node index).
+  using DrawPoint = std::pair<SimTime, size_t>;
+  std::priority_queue<DrawPoint, std::vector<DrawPoint>, std::greater<>> draws;
+  for (size_t node = 0; node < node_count; ++node) {
+    draws.emplace(0, node);
+  }
+  while (!draws.empty()) {
+    const auto [at, node] = draws.top();
+    draws.pop();
+    const SimTime crash_at = at + injector.NextCrashDelay();
+    if (crash_at >= plan.node_crash_horizon) {
+      continue;  // this node has crashed for the last time
+    }
+    const SimTime restart_at = crash_at + plan.node_restart_delay;
+    schedule.push_back(PlannedOutage{crash_at, restart_at, node});
+    draws.emplace(restart_at, node);
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const PlannedOutage& a, const PlannedOutage& b) {
+              if (a.crash_at != b.crash_at) {
+                return a.crash_at < b.crash_at;
+              }
+              return a.node < b.node;
+            });
+  return schedule;
 }
 
 SimTime FaultInjector::RetryBackoff(uint32_t attempt) const {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/base/units.h"
@@ -140,6 +141,28 @@ class FaultInjector {
   bool enabled_;
   Rng rng_;
 };
+
+// One planned node outage: the node crashes at `crash_at` and rejoins at
+// `restart_at` (= crash_at + plan.node_restart_delay).
+struct PlannedOutage {
+  SimTime crash_at = 0;
+  SimTime restart_at = 0;
+  size_t node = 0;
+};
+
+// Precomputes the full crash/restart schedule a crash plan produces for
+// `node_count` nodes, sorted by crash time. The schedule depends only on the
+// plan and the salt — crash delays are drawn from the injector's private RNG
+// and never read simulation state — so the shared-timeline Cluster and the
+// hierarchical ShardedCluster derive the *same* outages from the same plan:
+// the Cluster schedules them as events up front, the sharded router turns
+// them into migration barriers and per-node down windows. Draw order matches
+// the original live-drawing Cluster exactly: one delay per node at t=0 in
+// node order, then one delay at each restart in (restart time, node) order;
+// a draw landing at or past node_crash_horizon retires that node's crash
+// stream. Empty when the plan has no crash fault.
+std::vector<PlannedOutage> ComputeOutageSchedule(const FaultPlan& plan, size_t node_count,
+                                                 uint64_t salt);
 
 }  // namespace desiccant
 

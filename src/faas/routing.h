@@ -1,0 +1,88 @@
+// Routing-policy probe shared by the shared-timeline Cluster and the
+// hierarchical ShardedCluster router.
+//
+// Both engines answer the same question per arrival — "which healthy node does
+// this request land on?" — but read "healthy" differently: the Cluster checks
+// live Platform::node_down() state at the arrival event, while the sharded
+// router (which routes windows of arrivals ahead of time under conservative
+// lookahead) consults the precomputed outage schedule at the arrival's
+// *delivery* time. Templating over the down/idle predicates keeps the probe
+// order — the part both must agree on byte-for-byte — in exactly one place:
+//   kRoundRobin  — advance the cursor per probe until a healthy node;
+//   kAffinity    — stable hash home, then linear probe to the next healthy
+//                  neighbour (home again once it restarts);
+//   kLeastLoaded — max idle CPU over healthy nodes, ties to the lowest index.
+#ifndef DESICCANT_SRC_FAAS_ROUTING_H_
+#define DESICCANT_SRC_FAAS_ROUTING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace desiccant {
+
+enum class RoutingPolicy : uint8_t { kRoundRobin, kAffinity, kLeastLoaded };
+
+const char* RoutingPolicyName(RoutingPolicy policy);
+
+// Every node is down: the request parks until the first restart.
+inline constexpr size_t kNoRouteTarget = static_cast<size_t>(-1);
+
+// The affinity home hash — the one identity both engines (and the
+// hierarchy-shape invariance guarantee) depend on: a pure function of the
+// workload name and the node count, never of the rack/shard partition.
+inline size_t AffinityHome(const std::string& workload_name, size_t node_count) {
+  return std::hash<std::string>{}(workload_name) % node_count;
+}
+
+// Picks a node among `node_count` nodes, skipping nodes for which
+// `node_down(i)` is true. `round_robin_cursor` is the caller-owned
+// kRoundRobin cursor (advanced once per probe, exactly as the original
+// Cluster router did — so a run's decision sequence is identical whichever
+// engine routes it). `idle_cpu(i)` is only consulted under kLeastLoaded.
+// `affinity_home` is the precomputed AffinityHome (callers cache it per
+// workload; the sharded router routes millions of arrivals).
+// Returns kNoRouteTarget when every node is down.
+template <typename DownFn, typename IdleFn>
+size_t RouteWithPolicy(RoutingPolicy policy, size_t node_count, size_t affinity_home,
+                       size_t* round_robin_cursor, DownFn&& node_down, IdleFn&& idle_cpu) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin: {
+      for (size_t probe = 0; probe < node_count; ++probe) {
+        const size_t node = *round_robin_cursor;
+        *round_robin_cursor = (*round_robin_cursor + 1) % node_count;
+        if (!node_down(node)) {
+          return node;
+        }
+      }
+      return kNoRouteTarget;
+    }
+    case RoutingPolicy::kAffinity: {
+      for (size_t probe = 0; probe < node_count; ++probe) {
+        const size_t node = (affinity_home + probe) % node_count;
+        if (!node_down(node)) {
+          return node;
+        }
+      }
+      return kNoRouteTarget;
+    }
+    case RoutingPolicy::kLeastLoaded: {
+      size_t best = kNoRouteTarget;
+      for (size_t i = 0; i < node_count; ++i) {
+        if (node_down(i)) {
+          continue;
+        }
+        if (best == kNoRouteTarget || idle_cpu(i) > idle_cpu(best)) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_ROUTING_H_

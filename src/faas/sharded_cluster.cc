@@ -1,15 +1,25 @@
 #include "src/faas/sharded_cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
 #include <thread>
+#include <utility>
+
+#include "src/faas/fault_injector.h"
 
 namespace desiccant {
 
 namespace {
 constexpr SimTime kNever = ~static_cast<SimTime>(0);
+
+using WallClock = std::chrono::steady_clock;
+
+double MillisSince(WallClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start).count();
+}
 }  // namespace
 
 ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(config) {
@@ -17,20 +27,33 @@ ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(con
     std::fprintf(stderr, "sharded_cluster: node_count must be >= 1\n");
     std::abort();
   }
-  if (config_.node.faults.node_crash_mtbf_seconds > 0) {
-    // Crash failover re-routes in-flight requests across nodes mid-timeline,
-    // which would be a cross-shard interaction outside the router barrier —
-    // the one thing the conservative-lookahead argument cannot absorb.
+  if (config_.rack_count == 0) {
+    std::fprintf(stderr, "sharded_cluster: rack_count must be >= 1\n");
+    std::abort();
+  }
+  if (config_.rack_count > config_.node_count) {
     std::fprintf(stderr,
-                 "sharded_cluster: the fault plan enables '%s' faults "
-                 "(node_crash_mtbf_seconds=%.3f), whose cross-shard failover a "
-                 "sharded timeline cannot replay deterministically.\n"
-                 "Run this plan on the shared-timeline Cluster instead, or clear "
-                 "node_crash_mtbf_seconds to keep sharding. (Cross-shard failover "
-                 "needs optimistic rollback or migration barriers — see ROADMAP "
-                 "item 1.)\n",
-                 FaultKindName(FaultKind::kNodeCrash),
-                 config_.node.faults.node_crash_mtbf_seconds);
+                 "sharded_cluster: rack_count (%zu) exceeds node_count (%zu) — "
+                 "a rack with no nodes routes nothing\n",
+                 config_.rack_count, config_.node_count);
+    std::abort();
+  }
+  // `>= 0` is written as `!(x >= 0)` so NaN (which compares false to
+  // everything) is caught along with negatives.
+  if (!std::isfinite(config_.inter_rack_delay_ms) || !(config_.inter_rack_delay_ms >= 0)) {
+    std::fprintf(stderr,
+                 "sharded_cluster: inter_rack_delay_ms must be finite and >= 0 "
+                 "(got %f)\n",
+                 config_.inter_rack_delay_ms);
+    std::abort();
+  }
+  inter_rack_delay_ = FromMillis(config_.inter_rack_delay_ms);
+  if (inter_rack_delay_ > config_.network_delay) {
+    std::fprintf(stderr,
+                 "sharded_cluster: inter_rack_delay_ms (%f ms) exceeds the total "
+                 "controller->node network_delay (%f ms) — the rack->node leg "
+                 "would be negative\n",
+                 config_.inter_rack_delay_ms, ToMillis(config_.network_delay));
     std::abort();
   }
   size_t shard_count = config_.shard_count == 0 ? config_.node_count : config_.shard_count;
@@ -45,7 +68,12 @@ ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(con
 
   // All shards exist before any Platform captures a SimContext pointer.
   shards_ = std::vector<Shard>(shard_count);
+  racks_ = std::vector<Rack>(std::min(config_.rack_count, shard_count));
+  for (size_t s = 0; s < shard_count; ++s) {
+    racks_[s % racks_.size()].shards.push_back(s);
+  }
   nodes_.reserve(config_.node_count);
+  victims_.resize(config_.node_count);
   for (size_t i = 0; i < config_.node_count; ++i) {
     Shard& shard = shards_[i % shard_count];
     PlatformConfig node_config = config_.node;
@@ -53,7 +81,40 @@ ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(con
     // function of its index alone — not of the sharding or thread count.
     node_config.seed = config_.node.seed + i * 7919;
     nodes_.push_back(std::make_unique<Platform>(node_config, &shard.context));
+    nodes_.back()->set_failover_handler(
+        [this, i](Platform::Request request) { victims_[i].push_back(std::move(request)); });
     shard.nodes.push_back(i);
+  }
+
+  // Crash plans: the schedule is a pure function of the plan (same salt as
+  // Cluster), so every crash/restart instant is known now and becomes a
+  // migration barrier, and the router can consult the down windows when it
+  // routes ahead of the frontier.
+  down_windows_.resize(config_.node_count);
+  down_cursor_.assign(config_.node_count, 0);
+  for (const PlannedOutage& outage :
+       ComputeOutageSchedule(config_.node.faults, config_.node_count, /*salt=*/0xC1A54ADEull)) {
+    down_windows_[outage.node].push_back(DownWindow{outage.crash_at, outage.restart_at});
+    outage_barriers_.push_back(OutageBarrier{outage.crash_at, outage.node, /*crash=*/true});
+    outage_barriers_.push_back(OutageBarrier{outage.restart_at, outage.node, /*crash=*/false});
+  }
+  // Time order; at a shared instant restarts run before crashes (a node
+  // coming up is routable before the next victim drains), then node order.
+  std::sort(outage_barriers_.begin(), outage_barriers_.end(),
+            [](const OutageBarrier& a, const OutageBarrier& b) {
+              if (a.at != b.at) {
+                return a.at < b.at;
+              }
+              if (a.crash != b.crash) {
+                return !a.crash;
+              }
+              return a.node < b.node;
+            });
+}
+
+void ShardedCluster::EnsurePool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
   }
 }
 
@@ -99,51 +160,91 @@ void ShardedCluster::PrepareArrivals() {
   arrivals_sorted_ = arrivals_.size();
 }
 
-size_t ShardedCluster::RouteOne(const WorkloadSpec* workload) {
-  const size_t n = nodes_.size();
-  switch (config_.routing) {
-    case RoutingPolicy::kRoundRobin: {
-      const size_t node = round_robin_next_;
-      round_robin_next_ = (round_robin_next_ + 1) % n;
-      return node;
-    }
-    case RoutingPolicy::kAffinity: {
-      const auto it = affinity_home_.find(workload);
-      if (it != affinity_home_.end()) {
-        return it->second;
-      }
-      // Same home hash as Cluster; cached because a 10k-function replay
-      // routes millions of arrivals.
-      const size_t home = std::hash<std::string>{}(workload->name) % n;
-      affinity_home_.emplace(workload, home);
-      return home;
-    }
-    case RoutingPolicy::kLeastLoaded: {
-      // Reads the barrier-time snapshot: every shard has quiesced at the
-      // routing instant, so this is deterministic (ties go to the lowest
-      // node index, as in Cluster).
-      size_t best = 0;
-      for (size_t i = 1; i < n; ++i) {
-        if (nodes_[i]->IdleCpu() > nodes_[best]->IdleCpu()) {
-          best = i;
-        }
-      }
-      return best;
-    }
+size_t ShardedCluster::AffinityHomeFor(const WorkloadSpec* workload) {
+  const auto it = affinity_home_.find(workload);
+  if (it != affinity_home_.end()) {
+    return it->second;
   }
-  return 0;
+  // Same home hash as Cluster; cached because a 100k-function replay routes
+  // millions of arrivals.
+  const size_t home = AffinityHome(workload->name, nodes_.size());
+  affinity_home_.emplace(workload, home);
+  return home;
+}
+
+bool ShardedCluster::NodeDownAt(size_t node, SimTime t) {
+  const std::vector<DownWindow>& windows = down_windows_[node];
+  size_t& cursor = down_cursor_[node];
+  // Down through the restart instant inclusive: an arrival delivered exactly
+  // at restart_at executes before the restart barrier's RestartNode call.
+  while (cursor < windows.size() && windows[cursor].restart_at < t) {
+    ++cursor;
+  }
+  return cursor < windows.size() && windows[cursor].crash_at <= t;
 }
 
 void ShardedCluster::RouteArrivalsBefore(SimTime limit, bool inclusive) {
+  if (arrival_cursor_ >= arrivals_.size()) {
+    return;
+  }
+  // Stage A: the cell front router picks targets in global (time, seq) order
+  // — one serial decision stream, so the sequence of policy-probe outcomes
+  // is identical at every hierarchy shape — and stages each arrival into its
+  // target rack's handoff buffer.
+  const auto cell_start = WallClock::now();
+  size_t staged = 0;
   while (arrival_cursor_ < arrivals_.size()) {
     const PendingArrival& a = arrivals_[arrival_cursor_];
     if (a.time > limit || (a.time == limit && !inclusive)) {
-      return;
+      break;
     }
-    const size_t target = RouteOne(a.workload);
-    nodes_[target]->Submit(a.workload, a.time + config_.network_delay);
+    const SimTime deliver = a.time + config_.network_delay;
+    const size_t target = RouteWithPolicy(
+        config_.routing, nodes_.size(), AffinityHomeFor(a.workload), &round_robin_next_,
+        [this, deliver](size_t i) { return NodeDownAt(i, deliver); },
+        [this](size_t i) { return nodes_[i]->IdleCpu(); });
+    if (target == kNoRouteTarget) {
+      // Every node is inside an outage at the delivery instant: park until
+      // the first restart at or after it.
+      Platform::Request request;
+      request.workload = a.workload;
+      request.arrival = a.time;
+      pending_.push_back(ParkedRequest{deliver, std::move(request)});
+    } else {
+      racks_[RackOfNode(target)].staged.push_back(RoutedArrival{target, deliver, a.workload});
+      ++staged;
+    }
     ++arrivals_routed_;
     ++arrival_cursor_;
+  }
+  stats_.cell_route_ms += MillisSince(cell_start);
+  if (staged == 0) {
+    return;
+  }
+  // Stage B: each rack router drains its buffer into its own nodes' queues.
+  // A rack's buffer preserves Stage A's global order, and a shard's nodes
+  // all live in one rack, so per-node (and per-shard-queue) submission order
+  // is exactly what flat routing produced — the byte-identity argument.
+  // Racks touch disjoint shards, so this fans out with no locking.
+  const auto drain_rack = [this](size_t r) {
+    Rack& rack = racks_[r];
+    if (rack.staged.empty()) {
+      return;
+    }
+    const auto rack_start = WallClock::now();
+    for (const RoutedArrival& routed : rack.staged) {
+      nodes_[routed.node]->Submit(routed.workload, routed.deliver);
+    }
+    rack.staged.clear();
+    rack.route_wall_ms += MillisSince(rack_start);
+  };
+  if (threads_ > 1 && racks_.size() > 1) {
+    EnsurePool();
+    pool_->ParallelFor(racks_.size(), drain_rack);
+  } else {
+    for (size_t r = 0; r < racks_.size(); ++r) {
+      drain_rack(r);
+    }
   }
 }
 
@@ -168,21 +269,114 @@ void ShardedCluster::RunShardUntil(Shard& shard, SimTime t_end) {
   clock.AdvanceTo(std::max(clock.Now(), t_end));
 }
 
-void ShardedCluster::RunShardsTo(SimTime t_end) {
+void ShardedCluster::RunShardsTo(SimTime t_end, bool stall_barrier) {
+  const auto start = WallClock::now();
   if (threads_ > 1 && shards_.size() > 1) {
-    if (pool_ == nullptr) {
-      pool_ = std::make_unique<ThreadPool>(threads_);
-    }
+    EnsurePool();
     // ParallelFor is a barrier: when it returns, every shard has advanced to
-    // t_end and its writes happen-before the coordinator's next read.
-    pool_->ParallelFor(shards_.size(),
-                       [this, t_end](size_t s) { RunShardUntil(shards_[s], t_end); });
+    // t_end and its writes happen-before the coordinator's next read. With
+    // multiple racks the fan-out is hierarchical — one lane per rack, and
+    // each rack's lane fans its own shards out on the same pool (ParallelFor
+    // is nested-safe: the rack lane drains its sub-batch itself if every
+    // worker is busy).
+    if (racks_.size() > 1) {
+      pool_->ParallelFor(racks_.size(), [this, t_end](size_t r) {
+        const Rack& rack = racks_[r];
+        if (rack.shards.size() == 1) {
+          RunShardUntil(shards_[rack.shards.front()], t_end);
+          return;
+        }
+        pool_->ParallelFor(rack.shards.size(), [this, &rack, t_end](size_t k) {
+          RunShardUntil(shards_[rack.shards[k]], t_end);
+        });
+      });
+    } else {
+      pool_->ParallelFor(shards_.size(),
+                         [this, t_end](size_t s) { RunShardUntil(shards_[s], t_end); });
+    }
   } else {
     for (Shard& shard : shards_) {
       RunShardUntil(shard, t_end);
     }
   }
   frontier_ = std::max(frontier_, t_end);
+  if (stall_barrier) {
+    stats_.barrier_stall_ms += MillisSince(start);
+  }
+}
+
+void ShardedCluster::FailOverRequest(Platform::Request request, SimTime now) {
+  // Live node state: every shard is quiesced at `now`, so this is the same
+  // read Cluster::FailOver does at the crash event.
+  const size_t target = RouteWithPolicy(
+      config_.routing, nodes_.size(), AffinityHomeFor(request.workload), &round_robin_next_,
+      [this](size_t i) { return nodes_[i]->node_down(); },
+      [this](size_t i) { return nodes_[i]->IdleCpu(); });
+  if (target == kNoRouteTarget) {
+    pending_.push_back(ParkedRequest{now, std::move(request)});
+    return;
+  }
+  ++stats_.victims_migrated;
+  nodes_[target]->Resubmit(std::move(request));
+}
+
+void ShardedCluster::DrainVictims(SimTime now) {
+  for (size_t i = 0; i < victims_.size(); ++i) {
+    if (victims_[i].empty()) {
+      continue;
+    }
+    std::vector<Platform::Request> drained;
+    drained.swap(victims_[i]);
+    for (Platform::Request& request : drained) {
+      FailOverRequest(std::move(request), now);
+    }
+  }
+}
+
+void ShardedCluster::ExecuteCrash(size_t node, SimTime now) {
+  // The shard is quiesced at the crash instant, so this is a clean cut:
+  // every in-flight request drains out (sorted by id — a deterministic
+  // order) and re-enters the cell router's stream right here. That is the
+  // migration barrier: cross-node movement happens only at precomputed
+  // instants where every timeline agrees on `now`.
+  std::vector<Platform::Request> lost = nodes_[node]->CrashNode();
+  for (Platform::Request& request : lost) {
+    FailOverRequest(std::move(request), now);
+  }
+}
+
+void ShardedCluster::ExecuteRestart(size_t node, SimTime now) {
+  nodes_[node]->RestartNode();
+  if (pending_.empty()) {
+    return;
+  }
+  // Re-route requests whose delivery instant has passed; later ones keep
+  // waiting (their whole-cell outage has not started yet).
+  std::vector<ParkedRequest> drained;
+  drained.swap(pending_);
+  for (ParkedRequest& parked : drained) {
+    if (parked.ready <= now) {
+      FailOverRequest(std::move(parked.request), now);
+    } else {
+      pending_.push_back(std::move(parked));
+    }
+  }
+}
+
+void ShardedCluster::AdvanceTo(SimTime t_end, bool stall_barrier) {
+  while (outage_cursor_ < outage_barriers_.size() &&
+         outage_barriers_[outage_cursor_].at <= t_end) {
+    const OutageBarrier barrier = outage_barriers_[outage_cursor_++];
+    RunShardsTo(barrier.at, /*stall_barrier=*/true);
+    ++stats_.migration_barriers;
+    DrainVictims(barrier.at);
+    if (barrier.crash) {
+      ExecuteCrash(barrier.node, barrier.at);
+    } else {
+      ExecuteRestart(barrier.node, barrier.at);
+    }
+  }
+  RunShardsTo(t_end, stall_barrier);
 }
 
 void ShardedCluster::RunUntil(SimTime deadline) {
@@ -190,14 +384,14 @@ void ShardedCluster::RunUntil(SimTime deadline) {
   PrepareArrivals();
   if (RoutingIsStatic()) {
     // No router state to read: route the whole window up front and run every
-    // shard barrier-free to the deadline.
+    // shard to the deadline, pausing only at migration barriers.
     RouteArrivalsBefore(deadline, /*inclusive=*/true);
-    RunShardsTo(deadline);
+    AdvanceTo(deadline, /*stall_barrier=*/false);
     return;
   }
-  // Least-loaded: barriers only at routing instants. Shards run freely up to
-  // the next pending arrival, quiesce, then one lookahead window of arrivals
-  // is routed against that snapshot.
+  // Least-loaded: barriers at routing instants (plus migration barriers).
+  // Shards run freely up to the next pending arrival, quiesce, then one
+  // lookahead window of arrivals is routed against that snapshot.
   while (true) {
     const SimTime next_arrival =
         arrival_cursor_ < arrivals_.size() ? arrivals_[arrival_cursor_].time : kNever;
@@ -206,22 +400,27 @@ void ShardedCluster::RunUntil(SimTime deadline) {
     }
     const SimTime barrier = std::max(frontier_, next_arrival);
     if (barrier > frontier_) {
-      RunShardsTo(barrier);
+      AdvanceTo(barrier, /*stall_barrier=*/true);
+      ++stats_.routing_barriers;
     }
     RouteArrivalsBefore(barrier + RoutingWindow(), /*inclusive=*/false);
   }
-  RunShardsTo(deadline);
+  AdvanceTo(deadline, /*stall_barrier=*/false);
 }
 
 void ShardedCluster::Run() {
   PrepareArrivals();
   while (true) {
     // Idle skip: jump straight to the earliest pending work (keep-alive
-    // expiries can sit minutes out) and drain in bounded chunks.
+    // expiries can sit minutes out) and drain in bounded chunks. Pending
+    // migration barriers count as work — parked requests wait on them.
     SimTime next =
         arrival_cursor_ < arrivals_.size() ? arrivals_[arrival_cursor_].time : kNever;
     for (const Shard& shard : shards_) {
       next = std::min(next, shard.context.events.NextTimeOr(kNever));
+    }
+    if (outage_cursor_ < outage_barriers_.size()) {
+      next = std::min(next, outage_barriers_[outage_cursor_].at);
     }
     if (next == kNever) {
       return;
@@ -258,6 +457,14 @@ void ShardedCluster::set_check_invariants(bool enabled) {
   for (auto& node : nodes_) {
     node->set_check_invariants(enabled);
   }
+}
+
+RouterStats ShardedCluster::router_stats() const {
+  RouterStats stats = stats_;
+  for (const Rack& rack : racks_) {
+    stats.rack_route_ms += rack.route_wall_ms;
+  }
+  return stats;
 }
 
 }  // namespace desiccant

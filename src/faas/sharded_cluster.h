@@ -1,24 +1,43 @@
-// Intra-cell parallel discrete-event simulation.
+// Intra-cell parallel discrete-event simulation with a hierarchical
+// cell -> rack -> node router.
 //
 // Cluster runs every node on one shared timeline: correct, but serial — a
 // 10k-function cell is one long event loop. ShardedCluster exploits the
 // structural independence the platform already has: a Platform is fully
 // self-contained (own RNG, registry, fault injector, physical memory), chain
-// stages complete on the node they started on, and — absent node crashes —
-// the only cross-node influence is the router choosing where an arrival
-// lands. So the cluster is partitioned into shards, each owning a private
-// SimContext (clock + event queue) for its nodes, and shards advance in
-// parallel on a thread pool.
+// stages complete on the node they started on, and between synchronization
+// barriers the only cross-node influence is the router choosing where an
+// arrival lands. So the cluster is partitioned into shards, each owning a
+// private SimContext (clock + event queue) for its nodes; shards are grouped
+// into racks, and racks advance in parallel on a thread pool (nested
+// ParallelFor: one lane per rack, one sub-lane per shard).
+//
+// Routing is a two-level pipeline mirroring a real cell:
+//   * Stage A (cell front router, serial): picks the target node for each
+//     arrival in global (time, seq) order — so the decision sequence is
+//     independent of the hierarchy shape — and stages it into the target
+//     rack's handoff buffer. This is the cell -> rack leg: the arrival
+//     enters the rack's stream inter_rack_delay after the front router saw
+//     it.
+//   * Stage B (rack routers, parallel): each rack drains its buffer into its
+//     own nodes' event queues, delivering at arrival + network_delay (the
+//     rack -> node leg covers the remaining network_delay - inter_rack_delay
+//     intra-rack hop). Racks touch disjoint shards, so Stage B fans out on
+//     the pool with no locking.
 //
 // Synchronization is conservative lookahead, in the classic PDES sense:
 //   * Every routed arrival reaches its node `network_delay` after the
 //     controller saw it — the controller->invoker network is never faster
 //     than that. An arrival routed at barrier time T therefore cannot affect
 //     any shard before T (events it creates are at >= T), so shards may run
-//     freely up to the next routing instant.
+//     freely up to the next routing instant. The per-level split only
+//     re-apportions that budget: the cell router works inter_rack_delay
+//     ahead of the racks, each rack works the remaining intra-rack delay
+//     ahead of its nodes; end-to-end lookahead (and every event timestamp)
+//     is unchanged by the rack count.
 //   * Static routers (round-robin, affinity) read no node state: the whole
-//     arrival stream is routed up front and shards run barrier-free to the
-//     deadline.
+//     arrival stream is routed up front and racks run barrier-free to the
+//     deadline (crash barriers aside).
 //   * The state-reading router (least-loaded) runs only at barriers, where
 //     every shard has quiesced at a common time. It routes one lookahead
 //     window of arrivals per barrier using that snapshot — its view of node
@@ -27,17 +46,27 @@
 //     is network_delay, or barrier_epoch when network_delay is zero (the
 //     "lookahead collapsed" fallback: pure barrier merge).
 //
-// Determinism: the shard partition and every per-node seed are fixed by the
-// config — never by the worker count. Worker threads only decide *when* (in
-// wall-clock) a shard's events run, not *which* events run or in what virtual
-// -time order, so serial and N-thread runs produce byte-identical
-// PlatformMetrics::Fingerprint()s, per node and in aggregate.
+// Node crashes (FaultPlan::node_crash_mtbf_seconds) are supported via
+// migration barriers. The whole outage schedule is a pure function of the
+// plan (ComputeOutageSchedule, same salt as Cluster), so crash and restart
+// instants are known up front and become barriers: every shard quiesces at
+// the crash time, the victim node drains (CrashNode returns its in-flight
+// requests sorted by id), and the victims re-enter the cell router's stream
+// right there — re-routed with the shared policy probe against live node
+// state and resubmitted immediately, or parked until the next restart when
+// every node is down. Because the router also consults the precomputed
+// per-node down windows at each arrival's *delivery* time, pre-routed
+// arrivals never target a node that will be down when they land; a per-node
+// failover buffer (drained at every barrier) backstops the remaining edge
+// cases.
 //
-// Node-local faults (timeouts, boot failures, OOM kills, reclaim aborts,
-// memory pressure) are fully supported — their draws come from per-node
-// injectors. Node *crashes* are not: failover moves requests across nodes
-// mid-epoch, which breaks shard confinement. Construction aborts on a crash
-// plan; use Cluster for those experiments.
+// Determinism: the shard partition and every per-node seed are fixed by the
+// config — never by the rack count or worker count. Routing decisions are
+// made serially at cell level in (time, seq) order, barrier times are
+// precomputed, and Stage B preserves per-node submission order (a shard's
+// nodes all live in exactly one rack), so serial and N-thread runs — at
+// every hierarchy shape — produce byte-identical
+// PlatformMetrics::Fingerprint()s, per node and in aggregate.
 #ifndef DESICCANT_SRC_FAAS_SHARDED_CLUSTER_H_
 #define DESICCANT_SRC_FAAS_SHARDED_CLUSTER_H_
 
@@ -57,21 +86,47 @@ struct ShardedClusterConfig {
   // (maximum parallelism). The partition is part of the simulation's
   // identity: changing it changes how simultaneous events interleave across
   // nodes of the same shard, so compare fingerprints only across runs with
-  // equal shard_count (thread count, by contrast, never matters).
+  // equal shard_count (thread count and rack count, by contrast, never
+  // matter).
   size_t shard_count = 0;
-  // Worker threads running shards between barriers. 0 = hardware concurrency
-  // (clamped to the shard count); 1 = serial in the calling thread. Purely an
-  // execution knob — the result is identical for every value.
+  // Racks: the intermediate routing level. Shard s belongs to rack
+  // s % rack_count, so every rack owns a disjoint set of shards (and hence
+  // of nodes). Purely an execution/topology knob — the simulated timeline is
+  // identical for every value (see the hierarchy-shape invariance tests).
+  // Clamped to the shard count; 0 aborts.
+  size_t rack_count = 1;
+  // Worker threads running racks/shards between barriers. 0 = hardware
+  // concurrency (clamped to the shard count); 1 = serial in the calling
+  // thread. Purely an execution knob — the result is identical for every
+  // value.
   size_t threads = 1;
   RoutingPolicy routing = RoutingPolicy::kAffinity;
   // Minimum controller->invoker network delay: every routed arrival lands on
   // its node this much after its trace arrival time, and it bounds how stale
   // the least-loaded router's state snapshot can be (the lookahead).
   SimTime network_delay = 2 * kMillisecond;
+  // The cell -> rack leg of network_delay, in milliseconds (double so a
+  // mis-parsed config NaN is detectable — SimTime is unsigned). The
+  // rack -> node leg is the remainder. Accounting/topology only: delivery
+  // times always use the full network_delay, which is what keeps the
+  // timeline invariant across hierarchy shapes. Must be finite, >= 0, and
+  // no larger than network_delay.
+  double inter_rack_delay_ms = 0.0;
   // Routing window under least-loaded when network_delay == 0: arrivals are
   // routed in batches this wide between shard barriers.
   SimTime barrier_epoch = 50 * kMillisecond;
   PlatformConfig node;  // per-node configuration (seeded per node, as Cluster)
+};
+
+// Wall-clock cost of the hierarchy, per level (bench columns; zeroed only at
+// construction, so they accumulate across the whole replay).
+struct RouterStats {
+  double cell_route_ms = 0;   // Stage A: serial cell-level target selection
+  double rack_route_ms = 0;   // Stage B: per-rack staged submits, summed over racks
+  double barrier_stall_ms = 0;  // coordinator wall spent quiescing shards at barriers
+  uint64_t routing_barriers = 0;    // least-loaded snapshot barriers
+  uint64_t migration_barriers = 0;  // crash/restart barriers executed
+  uint64_t victims_migrated = 0;    // requests failed over across nodes
 };
 
 class ShardedCluster {
@@ -104,12 +159,19 @@ class ShardedCluster {
 
   size_t node_count() const { return nodes_.size(); }
   size_t shard_count() const { return shards_.size(); }
+  size_t rack_count() const { return racks_.size(); }
   // The resolved worker count (after the 0 = hardware default).
   size_t threads() const { return threads_; }
   Platform& node(size_t index) { return *nodes_[index]; }
   const ShardedClusterConfig& config() const { return config_; }
   SimTime frontier() const { return frontier_; }
   uint64_t arrivals_routed() const { return arrivals_routed_; }
+  // Requests parked because every node was down (drained at restarts).
+  size_t pending_count() const { return pending_.size(); }
+  // The cell -> rack leg of network_delay (rack -> node is the remainder).
+  SimTime inter_rack_delay() const { return inter_rack_delay_; }
+  // Per-level routing wall-clock, aggregated over racks.
+  RouterStats router_stats() const;
 
  private:
   struct Shard {
@@ -121,24 +183,74 @@ class ShardedCluster {
     uint64_t seq = 0;  // submission order: the deterministic tiebreak
     const WorkloadSpec* workload = nullptr;
   };
+  // An arrival the cell router handed to a rack (Stage A -> Stage B).
+  struct RoutedArrival {
+    size_t node = 0;
+    SimTime deliver = 0;
+    const WorkloadSpec* workload = nullptr;
+  };
+  struct Rack {
+    std::vector<size_t> shards;        // shard indices owned by this rack
+    std::vector<RoutedArrival> staged;  // cell -> rack handoff buffer
+    double route_wall_ms = 0;           // Stage B wall-clock for this rack
+  };
+  // One precomputed crash or restart instant — a full migration barrier.
+  struct OutageBarrier {
+    SimTime at = 0;
+    size_t node = 0;
+    bool crash = false;  // false = restart
+  };
+  struct DownWindow {
+    SimTime crash_at = 0;
+    SimTime restart_at = 0;
+  };
+  // A request that could not be placed (every node down): re-enters the
+  // router at the first restart barrier at or after `ready`.
+  struct ParkedRequest {
+    SimTime ready = 0;
+    Platform::Request request;
+  };
 
   bool RoutingIsStatic() const { return config_.routing != RoutingPolicy::kLeastLoaded; }
   SimTime RoutingWindow() const {
     return config_.network_delay > 0 ? config_.network_delay : config_.barrier_epoch;
   }
+  size_t RackOfNode(size_t node) const { return (node % shards_.size()) % racks_.size(); }
+  size_t AffinityHomeFor(const WorkloadSpec* workload);
+  // True when `node` is inside a planned outage at time t (down windows are
+  // closed at the restart instant: the restart barrier runs *after* events
+  // at that timestamp). Queries must be monotone in t per node (they are:
+  // delivery times are routed in nondecreasing order).
+  bool NodeDownAt(size_t node, SimTime t);
   // Sorts not-yet-routed arrivals by (time, seq).
   void PrepareArrivals();
-  // Routes arrivals with time < limit (<= when inclusive) to their nodes.
+  // Stage A + Stage B: routes arrivals with time < limit (<= when inclusive)
+  // at cell level, then drains the racks' staged buffers in parallel.
   void RouteArrivalsBefore(SimTime limit, bool inclusive);
-  size_t RouteOne(const WorkloadSpec* workload);
-  // Advances every shard to t_end (parallel when threads_ > 1) and bumps the
-  // frontier. A barrier: returns only when every shard's clock == t_end.
-  void RunShardsTo(SimTime t_end);
+  // Advances every shard to t_end, executing every crash/restart migration
+  // barrier on the way. All public advancement funnels through here so a
+  // barrier can never be skipped.
+  void AdvanceTo(SimTime t_end, bool stall_barrier);
+  // Advances every shard to t_end (racks in parallel when threads_ > 1,
+  // shards nested within each rack) and bumps the frontier. A barrier:
+  // returns only when every shard's clock == t_end.
+  void RunShardsTo(SimTime t_end, bool stall_barrier);
   void RunShardUntil(Shard& shard, SimTime t_end);
+  // Re-routes a victim request at a quiesced barrier; parks it when every
+  // node is down.
+  void FailOverRequest(Platform::Request request, SimTime now);
+  // Routes any requests the failover handler buffered (arrivals that landed
+  // on a node while it was down — a backstop; routing normally diverts them).
+  void DrainVictims(SimTime now);
+  void ExecuteCrash(size_t node, SimTime now);
+  void ExecuteRestart(size_t node, SimTime now);
+  void EnsurePool();
 
   ShardedClusterConfig config_;
   size_t threads_ = 1;
+  SimTime inter_rack_delay_ = 0;
   std::vector<Shard> shards_;
+  std::vector<Rack> racks_;
   std::vector<std::unique_ptr<Platform>> nodes_;
   std::unique_ptr<ThreadPool> pool_;  // created on first parallel dispatch
 
@@ -151,6 +263,18 @@ class ShardedCluster {
   // Affinity homes, cached per workload pointer (stable across a replay).
   std::unordered_map<const WorkloadSpec*, size_t> affinity_home_;
   SimTime frontier_ = 0;  // all shards have simulated up to here
+
+  // Precomputed outage plan (crash support).
+  std::vector<OutageBarrier> outage_barriers_;  // (at, restarts-before-crashes, node)
+  size_t outage_cursor_ = 0;
+  std::vector<std::vector<DownWindow>> down_windows_;  // per node, time-ordered
+  std::vector<size_t> down_cursor_;                    // NodeDownAt scan position
+  // Per-node failover buffers: written by at most one shard's thread during
+  // a run segment, drained by the coordinator at barriers.
+  std::vector<std::vector<Platform::Request>> victims_;
+  std::vector<ParkedRequest> pending_;  // every node down: waits for a restart
+
+  RouterStats stats_;
 };
 
 }  // namespace desiccant

@@ -344,6 +344,15 @@ void V8Runtime::MaybeFullGcForOldPressure() {
   const uint64_t committed = from_->CommittedBytes() + to_->CommittedBytes() +
                              old_->CommittedBytes() + los_->CommittedBytes();
   if (committed > config_.max_heap_bytes) {
+    std::fprintf(stderr,
+                 "V8Runtime: committed %llu MiB > limit %llu MiB "
+                 "(young %llu+%llu, old %llu, los %llu MiB)\n",
+                 static_cast<unsigned long long>(committed / kMiB),
+                 static_cast<unsigned long long>(config_.max_heap_bytes / kMiB),
+                 static_cast<unsigned long long>(from_->CommittedBytes() / kMiB),
+                 static_cast<unsigned long long>(to_->CommittedBytes() / kMiB),
+                 static_cast<unsigned long long>(old_->CommittedBytes() / kMiB),
+                 static_cast<unsigned long long>(los_->CommittedBytes() / kMiB));
     OutOfMemory("heap limit");
   }
 }

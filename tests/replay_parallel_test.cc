@@ -93,6 +93,48 @@ TEST(ThreadPoolTest, ParallelForIsABarrier) {
   }
 }
 
+// The hierarchical router's shape: an outer batch over racks whose lanes each
+// fan their shards out on the *same* pool. The old pool-wide-idle barrier
+// deadlocked here (a worker waiting on the pool included itself); the
+// per-batch barrier must not.
+TEST(ThreadPoolTest, ParallelForNestsInsideItself) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4 * 8);
+  pool.ParallelFor(4, [&pool, &hits](size_t outer) {
+    pool.ParallelFor(8, [&hits, outer](size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// Worst case for nesting: one worker, so every helper task is stuck behind
+// the outer lanes and each nested batch must be finished entirely by its
+// calling lane's own drain loop.
+TEST(ThreadPoolTest, ParallelForNestsOnASaturatedPool) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&pool, &count](size_t) {
+    pool.ParallelFor(5, [&count](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(count.load(), 15);
+}
+
+// ParallelFor called from a plain Submitted task (not from another
+// ParallelFor lane) — the worker thread is the "caller" and must drain its
+// own batch rather than wait for a second worker that may never be free.
+TEST(ThreadPoolTest, ParallelForRunsFromWithinASubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    pool.ParallelFor(16, [&count](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 16);
+}
+
 // ---------------------------------------------------------------------------
 // FunctionRegistry
 

@@ -1,9 +1,11 @@
 // The intra-cell parallel engine: routing semantics, barrier/clock behaviour,
-// the sharding invariants (per-node trajectories independent of both the
-// shard partition and the worker count), and the guard rails (crash plans and
+// the sharding invariants (per-node trajectories independent of the shard
+// partition, the rack hierarchy, and the worker count), crash-plan support
+// via migration barriers, and the guard rails (invalid hierarchy configs and
 // time-travel submissions abort).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "src/faas/cluster.h"
@@ -168,21 +170,186 @@ TEST(ShardedClusterTest, MatchesClusterRequestCountsOnOneShard) {
 }
 
 // ---------------------------------------------------------------------------
-// Guard rails
+// Hierarchy-shape invariance
 
-TEST(ShardedClusterDeathTest, CrashPlansAbort) {
-  ShardedClusterConfig config = BaseConfig(4, RoutingPolicy::kAffinity);
-  config.node.faults.node_crash_mtbf_seconds = 300.0;
-  // The diagnostic must name the offending fault kind and point at the
-  // shared-timeline fallback.
-  EXPECT_DEATH(ShardedCluster{config}, "enables 'node-crash' faults");
-  EXPECT_DEATH(ShardedCluster{config}, "shared-timeline Cluster");
+// The rack level is pure topology: 1 rack of N shards, 2 racks of N/2, and
+// 4 racks of N/4 must produce byte-identical per-node trajectories, because
+// routing decisions are made serially at cell level and a shard's nodes all
+// live in exactly one rack (Stage B preserves per-queue submission order).
+TEST(ShardedClusterTest, HierarchyShapeDoesNotChangeNodeTrajectories) {
+  Fixture fx;
+  std::vector<uint64_t> aggregate;
+  std::vector<std::vector<uint64_t>> per_node;
+  for (const size_t rack_count : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardedClusterConfig config = BaseConfig(8, RoutingPolicy::kAffinity);
+    config.shard_count = 4;  // fixed: only the rack grouping varies
+    config.rack_count = rack_count;
+    config.inter_rack_delay_ms = 0.5;  // part of network_delay, not on top
+    config.threads = 2;
+    ShardedCluster cluster(config);
+    EXPECT_EQ(cluster.rack_count(), rack_count);
+    cluster.BeginMeasurement();
+    Replay(&cluster, fx.arrivals, FromSeconds(35));
+    aggregate.push_back(cluster.AggregateMetrics().Fingerprint());
+    per_node.push_back(cluster.NodeFingerprints());
+  }
+  EXPECT_EQ(aggregate[0], aggregate[1]);
+  EXPECT_EQ(aggregate[0], aggregate[2]);
+  EXPECT_EQ(per_node[0], per_node[1]);
+  EXPECT_EQ(per_node[0], per_node[2]);
 }
+
+// Same invariance on the barrier path: least-loaded reads node state at
+// quiesced instants, and the snapshot it sees must not depend on how shards
+// are grouped into racks.
+TEST(ShardedClusterTest, HierarchyShapeInvariantUnderLeastLoaded) {
+  Fixture fx;
+  std::vector<std::vector<uint64_t>> per_node;
+  for (const size_t rack_count : {size_t{1}, size_t{4}}) {
+    ShardedClusterConfig config = BaseConfig(8, RoutingPolicy::kLeastLoaded);
+    config.shard_count = 4;
+    config.rack_count = rack_count;
+    config.threads = 3;
+    ShardedCluster cluster(config);
+    cluster.BeginMeasurement();
+    Replay(&cluster, fx.arrivals, FromSeconds(35));
+    per_node.push_back(cluster.NodeFingerprints());
+  }
+  EXPECT_EQ(per_node[0], per_node[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Crash plans (migration barriers)
+
+ShardedClusterConfig CrashConfig(size_t nodes, RoutingPolicy routing) {
+  ShardedClusterConfig config = BaseConfig(nodes, routing);
+  config.node.faults.node_crash_mtbf_seconds = 12.0;
+  config.node.faults.node_crash_horizon = 40 * kSecond;
+  config.node.faults.node_restart_delay = 2 * kSecond;
+  return config;
+}
+
+// The headline lift over PR 6: node-crash plans no longer abort, and the
+// determinism contract survives them — serial and N-thread runs are
+// byte-identical at every hierarchy shape, because crashes and restarts are
+// full barriers at precomputed instants.
+TEST(ShardedClusterTest, CrashPlanIsDeterministicAcrossShapesAndThreads) {
+  Fixture fx;
+  std::vector<uint64_t> aggregate;
+  std::vector<std::vector<uint64_t>> per_node;
+  struct Shape {
+    size_t racks;
+    size_t threads;
+  };
+  for (const Shape shape : {Shape{1, 1}, Shape{1, 4}, Shape{4, 1}, Shape{4, 4}}) {
+    ShardedClusterConfig config = CrashConfig(8, RoutingPolicy::kAffinity);
+    config.shard_count = 4;
+    config.rack_count = shape.racks;
+    config.threads = shape.threads;
+    ShardedCluster cluster(config);
+    cluster.set_check_invariants(true);
+    cluster.BeginMeasurement();
+    Replay(&cluster, fx.arrivals, FromSeconds(50));
+    const PlatformMetrics total = cluster.AggregateMetrics();
+    EXPECT_GT(total.node_crashes, 0u) << "plan produced no crashes in the window";
+    aggregate.push_back(total.Fingerprint());
+    per_node.push_back(cluster.NodeFingerprints());
+  }
+  for (size_t i = 1; i < aggregate.size(); ++i) {
+    EXPECT_EQ(aggregate[0], aggregate[i]) << "shape " << i;
+    EXPECT_EQ(per_node[0], per_node[i]) << "shape " << i;
+  }
+}
+
+// Parity with the shared-timeline Cluster: the outage schedule is the same
+// pure function of the plan in both engines, so a fully drained run must
+// agree on the crash count, and no request may leak — everything submitted
+// terminates as completed, failed, or dropped in both engines.
+TEST(ShardedClusterTest, CrashPlanParityWithCluster) {
+  Fixture fx;
+  ShardedClusterConfig sharded_config = CrashConfig(4, RoutingPolicy::kAffinity);
+  sharded_config.shard_count = 1;
+  sharded_config.network_delay = 0;  // Cluster routes with no network delay
+  ShardedCluster sharded(sharded_config);
+  sharded.set_check_invariants(true);
+  sharded.BeginMeasurement();
+  for (const TraceArrival& a : fx.arrivals) {
+    sharded.Submit(a.workload, a.time);
+  }
+  sharded.Run();
+
+  ClusterConfig cluster_config;
+  cluster_config.node_count = 4;
+  cluster_config.routing = RoutingPolicy::kAffinity;
+  cluster_config.node = sharded_config.node;
+  Cluster cluster(cluster_config);
+  cluster.set_check_invariants(true);
+  cluster.BeginMeasurement();
+  for (const TraceArrival& a : fx.arrivals) {
+    cluster.Submit(a.workload, a.time);
+  }
+  cluster.Run();
+
+  const PlatformMetrics a = sharded.AggregateMetrics();
+  const PlatformMetrics b = cluster.AggregateMetrics();
+  EXPECT_EQ(a.node_crashes, b.node_crashes);
+  EXPECT_GT(a.node_crashes, 0u);
+  const uint64_t submitted = fx.arrivals.size();
+  EXPECT_EQ(a.requests_completed + a.requests_failed + a.requests_dropped, submitted);
+  EXPECT_EQ(b.requests_completed + b.requests_failed + b.requests_dropped, submitted);
+  EXPECT_EQ(sharded.pending_count(), 0u);
+}
+
+// The router consults the precomputed down windows at each arrival's
+// delivery time, so pre-routed arrivals divert around planned outages and
+// the per-node failover buffers stay a backstop, not a hot path: every
+// migrated request must come from a crash draining in-flight work.
+TEST(ShardedClusterTest, CrashPlanReportsMigrationStats) {
+  Fixture fx;
+  ShardedClusterConfig config = CrashConfig(8, RoutingPolicy::kRoundRobin);
+  config.shard_count = 4;
+  config.rack_count = 2;
+  ShardedCluster cluster(config);
+  cluster.BeginMeasurement();
+  Replay(&cluster, fx.arrivals, FromSeconds(50));
+  const RouterStats stats = cluster.router_stats();
+  EXPECT_GT(stats.migration_barriers, 0u);
+  // Every planned outage is two barriers (crash + restart).
+  EXPECT_EQ(stats.migration_barriers % 2, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Guard rails
 
 TEST(ShardedClusterDeathTest, ZeroNodesAbort) {
   ShardedClusterConfig config;
   config.node_count = 0;
   EXPECT_DEATH(ShardedCluster{config}, "node_count");
+}
+
+TEST(ShardedClusterDeathTest, ZeroRacksAbort) {
+  ShardedClusterConfig config = BaseConfig(4, RoutingPolicy::kAffinity);
+  config.rack_count = 0;
+  EXPECT_DEATH(ShardedCluster{config}, "rack_count must be >= 1");
+}
+
+TEST(ShardedClusterDeathTest, MoreRacksThanNodesAbort) {
+  ShardedClusterConfig config = BaseConfig(4, RoutingPolicy::kAffinity);
+  config.rack_count = 5;
+  EXPECT_DEATH(ShardedCluster{config}, "exceeds node_count");
+}
+
+TEST(ShardedClusterDeathTest, InvalidInterRackDelayAborts) {
+  ShardedClusterConfig config = BaseConfig(4, RoutingPolicy::kAffinity);
+  // NaN compares false to everything, so a plain `>= 0` check would wave it
+  // through — the validator must catch it explicitly.
+  config.inter_rack_delay_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(ShardedCluster{config}, "inter_rack_delay_ms must be finite");
+  config.inter_rack_delay_ms = -1.0;
+  EXPECT_DEATH(ShardedCluster{config}, "inter_rack_delay_ms must be finite");
+  // The cell->rack leg cannot exceed the whole controller->node delay.
+  config.inter_rack_delay_ms = ToMillis(config.network_delay) + 1.0;
+  EXPECT_DEATH(ShardedCluster{config}, "exceeds the total");
 }
 
 TEST(ShardedClusterDeathTest, SubmittingIntoThePastAborts) {

@@ -27,6 +27,12 @@
 //   DESICCANT_SCALE_WARMUP_S     warmup window seconds            (30)
 //   DESICCANT_SCALE_MEASURE_S    measured window seconds          (120)
 //   DESICCANT_SCALE_CRASH_MTBF_S per-node crash MTBF seconds      (0 = off)
+//   DESICCANT_SCALE_LOG_RETENTION full|counters                   (full)
+//
+// With DESICCANT_EVENT_PROFILE=1 the binary additionally prints the
+// per-event-kind dispatch/cost table after the grid and exits non-zero if the
+// per-kind counts do not sum to the total dispatched count (the CI
+// event-profile smoke step relies on this reconciliation).
 #include "bench/bench_util.h"
 
 namespace {
@@ -82,6 +88,14 @@ double ParseDouble(const char* name, double fallback) {
   char* end = nullptr;
   const double v = std::strtod(env, &end);
   return end == env ? fallback : v;
+}
+
+PlatformConfig::LogRetention ParseLogRetention() {
+  const char* env = std::getenv("DESICCANT_SCALE_LOG_RETENTION");
+  if (env != nullptr && std::string(env) == "counters") {
+    return PlatformConfig::LogRetention::kCountersOnly;
+  }
+  return PlatformConfig::LogRetention::kFull;
 }
 
 RoutingPolicy ParseRouting() {
@@ -155,6 +169,7 @@ int main(int argc, char** argv) {
   const double warmup_s = ParseDouble("DESICCANT_SCALE_WARMUP_S", 30.0);
   const double measure_s = ParseDouble("DESICCANT_SCALE_MEASURE_S", 120.0);
   const double crash_mtbf_s = ParseDouble("DESICCANT_SCALE_CRASH_MTBF_S", 0.0);
+  const PlatformConfig::LogRetention log_retention = ParseLogRetention();
   const SimTime warmup_end = FromSeconds(warmup_s);
   const SimTime replay_end = warmup_end + FromSeconds(measure_s);
 
@@ -175,6 +190,7 @@ int main(int argc, char** argv) {
         config.node.cpu_cores = 4.0;
         config.node.cache_capacity_bytes = 768 * kMiB;
         config.node.seed = 42;
+        config.node.log_retention = log_retention;
         if (crash_mtbf_s > 0) {
           config.node.faults.node_crash_mtbf_seconds = crash_mtbf_s;
           config.node.faults.node_crash_horizon = replay_end;
@@ -281,6 +297,21 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     if (!row.det) {
       std::fprintf(stderr, "ext_scale: fingerprint divergence from the serial flat baseline\n");
+      return 1;
+    }
+  }
+  if (EventProfile::Enabled()) {
+    EventProfile::PrintTable(stdout);
+    // Reconciliation: every dispatched event must be attributed to exactly
+    // one kind. A mismatch means RunNext grew a path that skips attribution.
+    const uint64_t attributed = EventProfile::AttributedTotal();
+    const uint64_t dispatched = EventProfile::Dispatched();
+    if (attributed != dispatched) {
+      std::fprintf(stderr,
+                   "ext_scale: event-profile counters do not reconcile "
+                   "(attributed %llu != dispatched %llu)\n",
+                   static_cast<unsigned long long>(attributed),
+                   static_cast<unsigned long long>(dispatched));
       return 1;
     }
   }

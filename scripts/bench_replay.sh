@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Times the fig09 + fig10 replay grids serially and in parallel and writes
 # BENCH_replay.json so the replay harness's wall-clock trajectory (and the
-# parallel speedup) is tracked PR over PR.
+# parallel speedup) is tracked PR over PR. Also runs the event-core
+# micro-benchmarks (timing-wheel vs binary-heap EventQueue at 1k/100k/1M live
+# events, IdSlotMap vs unordered_map churn) and publishes them under an
+# event_core section.
 #
 # Usage: scripts/bench_replay.sh [output.json]
 #   BUILD_DIR=build          cmake build directory (configured if missing)
@@ -16,7 +19,7 @@ THREADS="${REPLAY_THREADS:-$(nproc)}"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j --target fig09_trace_replay fig10_tail_latency
+cmake --build "$BUILD_DIR" -j --target fig09_trace_replay fig10_tail_latency micro_simulator
 
 now_ms() { echo $(($(date +%s%N) / 1000000)); }
 
@@ -45,6 +48,11 @@ for bench in fig09_trace_replay fig10_tail_latency; do
   echo "   ${parallel_ms[$bench]} ms"
 done
 
+echo "== event-core micro-benchmarks"
+"$BUILD_DIR/bench/micro_simulator" \
+  --benchmark_filter='BM_(Wheel|Heap)ScheduleRunNext|BM_(IdSlotMap|UnorderedMap)Churn' \
+  --benchmark_out="$workdir/event_core.json" --benchmark_out_format=json > /dev/null
+
 jq -n \
   --arg threads "$THREADS" \
   --arg host_cores "$(nproc)" \
@@ -54,6 +62,7 @@ jq -n \
   --arg fig10_parallel "${parallel_ms[fig10_tail_latency]}" \
   --slurpfile fig09_cells "$workdir/fig09_trace_replay.parallel.json" \
   --slurpfile fig10_cells "$workdir/fig10_tail_latency.parallel.json" \
+  --slurpfile event_core "$workdir/event_core.json" \
   '
   def cells(doc): [doc.benchmarks[]
     | select(.name | startswith("replay_grid/meta") | not)
@@ -83,7 +92,15 @@ jq -n \
       parallel_ms: (($fig09_parallel | tonumber) + ($fig10_parallel | tonumber)),
       speedup: ((($fig09_serial | tonumber) + ($fig10_serial | tonumber)) /
                 (($fig09_parallel | tonumber) + ($fig10_parallel | tonumber)) * 100 | round / 100)
-    }
+    },
+    # ns/op for the event-core structures; informational (host-dependent),
+    # not gated. heap_allocs_per_op == 0 in the wheel rows demonstrates the
+    # zero-allocation steady state.
+    event_core: [$event_core[0].benchmarks[]
+      | {name,
+         ns_per_op: (.real_time | round),
+         heap_allocs_per_op: (.heap_allocs_per_op // null),
+         live_events: (.live_events // null)}]
   }' > "$OUT"
 
 echo "wrote $OUT"

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Gates the replay harness's wall-clock against a checked-in baseline:
-# scripts/check_replay_regression.sh <current BENCH_replay.json> [baseline] [max_pct]
+# Gates a benchmark JSON's wall-clock against a checked-in baseline:
+# scripts/check_replay_regression.sh <current json> [baseline] [max_pct] [jq_metric] [label]
 #
-# Fails (exit 1) when the fresh run's total serial wall-clock exceeds the
-# baseline by more than max_pct percent (default 15). The baseline lives in
-# bench/baselines/BENCH_replay_baseline.json and is refreshed deliberately —
-# by re-running scripts/bench_replay.sh and committing the new number with
-# the change that earned it — never silently by CI.
+# Fails (exit 1) when the fresh run's metric exceeds the baseline by more than
+# max_pct percent (default 15). The metric is a jq expression evaluated
+# against both files; it defaults to '.total.serial_ms' (the replay harness
+# shape). For the scale harness, pass the serial-cell sum, e.g.:
+#
+#   scripts/check_replay_regression.sh BENCH_scale.json \
+#       bench/baselines/BENCH_scale_baseline.json 15 \
+#       '[.cells[] | select(.effective_threads==1 and .racks==1) | .replay_ms] | add' \
+#       'scale serial'
+#
+# Baselines live in bench/baselines/ and are refreshed deliberately — by
+# re-running the matching bench script and committing the new number with the
+# change that earned it — never silently by CI.
 #
 # Only serial time is gated: parallel wall-clock depends on the host's core
 # count, which differs between the baseline machine and CI runners.
@@ -16,6 +24,8 @@ cd "$(dirname "$0")/.."
 CURRENT="${1:-BENCH_replay.json}"
 BASELINE="${2:-bench/baselines/BENCH_replay_baseline.json}"
 MAX_PCT="${3:-15}"
+METRIC="${4:-.total.serial_ms}"
+LABEL="${5:-replay serial}"
 
 for f in "$CURRENT" "$BASELINE"; do
   if [[ ! -f "$f" ]]; then
@@ -24,20 +34,21 @@ for f in "$CURRENT" "$BASELINE"; do
   fi
 done
 
-current_ms=$(jq -e '.total.serial_ms' "$CURRENT")
-baseline_ms=$(jq -e '.total.serial_ms' "$BASELINE")
+# Rounded to whole ms: the budget math below is bash integer arithmetic.
+current_ms=$(jq -e "($METRIC) | round" "$CURRENT")
+baseline_ms=$(jq -e "($METRIC) | round" "$BASELINE")
 
 # Integer math: current must stay under baseline * (100 + MAX_PCT) / 100.
 limit_ms=$(( baseline_ms * (100 + MAX_PCT) / 100 ))
 pct=$(( (current_ms - baseline_ms) * 100 / baseline_ms ))
 
-echo "replay serial wall-clock: current ${current_ms} ms, baseline ${baseline_ms} ms" \
+echo "${LABEL} wall-clock: current ${current_ms} ms, baseline ${baseline_ms} ms" \
      "(${pct}% delta, limit +${MAX_PCT}%)"
 
 if (( current_ms > limit_ms )); then
-  echo "FAIL: replay harness regressed >${MAX_PCT}% over the checked-in baseline." >&2
-  echo "If the slowdown is intentional, refresh bench/baselines/BENCH_replay_baseline.json" >&2
-  echo "via scripts/bench_replay.sh and commit it with the change." >&2
+  echo "FAIL: ${LABEL} regressed >${MAX_PCT}% over the checked-in baseline." >&2
+  echo "If the slowdown is intentional, refresh the baseline under bench/baselines/" >&2
+  echo "via the matching bench script and commit it with the change." >&2
   exit 1
 fi
 echo "OK: within budget"

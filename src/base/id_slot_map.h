@@ -1,0 +1,335 @@
+// A small open-addressing hash map for dense sequential uint64 ids.
+//
+// The Platform hot maps (booting_, inflight_, instances_, ...) are all keyed
+// by ids handed out by a monotonically increasing counter, so the key
+// distribution is dense and collision-free by construction. std::unordered_map
+// pays a heap-allocated node plus a bucket-chain pointer chase for every
+// find/emplace/erase on these paths; IdSlotMap stores {key, value} entries
+// inline in a single power-of-two table with linear probing, so the common
+// lookup is one multiply, one shift, and one probe into a contiguous array.
+//
+// Design points:
+//  - Fibonacci hashing (multiply by 2^64/phi, take the top bits) spreads the
+//    sequential ids across the table; probe clusters stay short at the 3/4
+//    load factor enforced here.
+//  - Erase uses backward-shift deletion instead of tombstones: the probe
+//    cluster after the hole is compacted in place, so tables that churn
+//    millions of requests never degrade and never need a cleanup rehash.
+//  - Empty slots are marked with the reserved key UINT64_MAX; id counters in
+//    this codebase start at 1, and inserting the sentinel asserts.
+//  - Values are default-constructed in empty slots ("always constructed"
+//    storage). T must be default-constructible and move-assignable, which
+//    every Platform map value is; erase move-assigns a fresh T so resources
+//    (unique_ptr payloads, string capacity) are released eagerly.
+//  - Iteration order is a function of table capacity and insertion history —
+//    simulation logic must never observe it. Debug builds enforce that with
+//    an iteration-order shuffle: each map instance salts its hash with a
+//    process-unique value, so any code whose output depends on the order in
+//    which entries come off an IdSlotMap diverges from the Release/golden
+//    fingerprints and fails the determinism suites.
+//
+// Erase-during-iteration (`it = map.erase(it)`) is supported and revisits the
+// slot, which then holds the next shifted-in element if any. Caveat: when a
+// probe cluster wraps the end of the table, an already-visited element can be
+// shifted into a not-yet-visited slot and be seen twice; full-scan-with-erase
+// loops must tolerate that (the one Platform caller matches at most one entry
+// per scan, which is trivially tolerant).
+#ifndef DESICCANT_SRC_BASE_ID_SLOT_MAP_H_
+#define DESICCANT_SRC_BASE_ID_SLOT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#ifndef NDEBUG
+#include <atomic>
+#endif
+
+namespace desiccant {
+
+#ifndef NDEBUG
+namespace internal {
+// Debug-only per-instance hash salt. splitmix64 of a global counter: each map
+// gets a different (but deterministic-per-construction-order) permutation of
+// slots, shuffling iteration order so order-dependence anywhere downstream
+// shows up as a fingerprint mismatch under the Debug/sanitizer CI jobs.
+inline uint64_t NextIterationShuffleSalt() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t z = counter.fetch_add(1, std::memory_order_relaxed) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace internal
+#endif
+
+template <typename T>
+class IdSlotMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  // Named `first`/`second` so call sites written against unordered_map
+  // iterators (`it->second`) and structured bindings (`auto& [id, v]`)
+  // compile unchanged.
+  struct Entry {
+    uint64_t first = kEmptyKey;
+    T second{};
+  };
+
+  template <typename EntryT>
+  class Iter {
+   public:
+    Iter() = default;
+    Iter(EntryT* p, EntryT* end) : p_(p), end_(end) { SkipEmpty(); }
+
+    EntryT& operator*() const { return *p_; }
+    EntryT* operator->() const { return p_; }
+    Iter& operator++() {
+      ++p_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return p_ == o.p_; }
+    bool operator!=(const Iter& o) const { return p_ != o.p_; }
+
+   private:
+    friend class IdSlotMap;
+    void SkipEmpty() {
+      while (p_ != end_ && p_->first == kEmptyKey) {
+        ++p_;
+      }
+    }
+    EntryT* p_ = nullptr;
+    EntryT* end_ = nullptr;
+  };
+
+  using iterator = Iter<Entry>;
+  using const_iterator = Iter<const Entry>;
+
+  IdSlotMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return iterator(slots_.data(), slots_.data() + slots_.size()); }
+  iterator end() {
+    return iterator(slots_.data() + slots_.size(), slots_.data() + slots_.size());
+  }
+  const_iterator begin() const {
+    return const_iterator(slots_.data(), slots_.data() + slots_.size());
+  }
+  const_iterator end() const {
+    return const_iterator(slots_.data() + slots_.size(), slots_.data() + slots_.size());
+  }
+
+  void reserve(size_t n) {
+    size_t want = kMinCapacity;
+    while (want * 3 < n * 4) {  // capacity * 3/4 >= n
+      want <<= 1;
+    }
+    if (want > slots_.size()) {
+      Rehash(want);
+    }
+  }
+
+  iterator find(uint64_t key) {
+    size_t pos = 0;
+    return FindSlot(key, &pos) ? IterAt(pos) : end();
+  }
+  const_iterator find(uint64_t key) const {
+    size_t pos = 0;
+    if (!FindSlot(key, &pos)) {
+      return end();
+    }
+    return const_iterator(slots_.data() + pos, slots_.data() + slots_.size());
+  }
+
+  size_t count(uint64_t key) const {
+    size_t pos = 0;
+    return FindSlot(key, &pos) ? 1 : 0;
+  }
+
+  T& at(uint64_t key) {
+    size_t pos = 0;
+    bool found = FindSlot(key, &pos);
+    assert(found && "IdSlotMap::at: key not present");
+    (void)found;
+    return slots_[pos].second;
+  }
+  const T& at(uint64_t key) const {
+    size_t pos = 0;
+    bool found = FindSlot(key, &pos);
+    assert(found && "IdSlotMap::at: key not present");
+    (void)found;
+    return slots_[pos].second;
+  }
+
+  T& operator[](uint64_t key) {
+    size_t pos = 0;
+    if (FindSlot(key, &pos)) {
+      return slots_[pos].second;
+    }
+    pos = InsertNew(key);
+    return slots_[pos].second;
+  }
+
+  // Inserts a new key. Unlike unordered_map::emplace this asserts the key is
+  // not already present — every caller in the simulator inserts fresh ids.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(uint64_t key, Args&&... args) {
+    size_t pos = 0;
+    bool found = FindSlot(key, &pos);
+    assert(!found && "IdSlotMap::emplace: key already present");
+    if (found) {
+      return {IterAt(pos), false};
+    }
+    pos = InsertNew(key);
+    slots_[pos].second = T(std::forward<Args>(args)...);
+    return {IterAt(pos), true};
+  }
+
+  size_t erase(uint64_t key) {
+    size_t pos = 0;
+    if (!FindSlot(key, &pos)) {
+      return 0;
+    }
+    EraseSlot(pos);
+    return 1;
+  }
+
+  // Returns an iterator at the erased slot (not past it): backward-shift
+  // compaction may have moved the next cluster element into this slot, and it
+  // must be visited. If the slot is now empty the iterator skips forward.
+  iterator erase(iterator it) {
+    size_t pos = static_cast<size_t>(it.p_ - slots_.data());
+    EraseSlot(pos);
+    return IterAt(pos);
+  }
+
+  void clear() {
+    for (Entry& e : slots_) {
+      if (e.first != kEmptyKey) {
+        e.first = kEmptyKey;
+        e.second = T{};
+      }
+    }
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  iterator IterAt(size_t pos) {
+    return iterator(slots_.data() + pos, slots_.data() + slots_.size());
+  }
+
+  size_t HomeSlot(uint64_t key) const {
+#ifndef NDEBUG
+    key ^= salt_;
+#endif
+    // Fibonacci hash: top log2(capacity) bits of key * 2^64/phi.
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  bool FindSlot(uint64_t key, size_t* out) const {
+    if (slots_.empty()) {
+      return false;
+    }
+    size_t pos = HomeSlot(key);
+    while (true) {
+      const Entry& e = slots_[pos];
+      if (e.first == key) {
+        *out = pos;
+        return true;
+      }
+      if (e.first == kEmptyKey) {
+        return false;
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  // Claims a slot for `key` (which must not be present) and returns its index.
+  size_t InsertNew(uint64_t key) {
+    assert(key != kEmptyKey && "IdSlotMap: reserved sentinel key");
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    return PlaceNew(key);
+  }
+
+  // InsertNew minus the growth check — used by Rehash, which sizes the table
+  // up front and must not re-enter itself.
+  size_t PlaceNew(uint64_t key) {
+    size_t pos = HomeSlot(key);
+    while (slots_[pos].first != kEmptyKey) {
+      pos = (pos + 1) & mask_;
+    }
+    slots_[pos].first = key;
+    ++size_;
+    return pos;
+  }
+
+  void EraseSlot(size_t pos) {
+    assert(slots_[pos].first != kEmptyKey);
+    slots_[pos].first = kEmptyKey;
+    slots_[pos].second = T{};
+    --size_;
+    // Backward-shift: walk the probe cluster after the hole; any element
+    // whose home slot is circularly at-or-before the hole moves back into it.
+    size_t hole = pos;
+    size_t next = (hole + 1) & mask_;
+    while (slots_[next].first != kEmptyKey) {
+      size_t home = HomeSlot(slots_[next].first);
+      // Element at `next` may move to `hole` iff `home` is not in the
+      // circular half-open range (hole, next] — i.e. probing from `home`
+      // reaches `hole` before `next`.
+      if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+        slots_[hole].first = slots_[next].first;
+        slots_[hole].second = std::move(slots_[next].second);
+        slots_[next].first = kEmptyKey;
+        slots_[next].second = T{};
+        hole = next;
+      }
+      next = (next + 1) & mask_;
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Entry> old = std::move(slots_);
+    slots_ = std::vector<Entry>();
+    slots_.resize(new_capacity);  // default-inserts; Entry need not be copyable
+    mask_ = new_capacity - 1;
+    shift_ = 64 - Log2(new_capacity);
+    size_ = 0;
+    for (Entry& e : old) {
+      if (e.first != kEmptyKey) {
+        size_t pos = PlaceNew(e.first);
+        slots_[pos].second = std::move(e.second);
+      }
+    }
+  }
+
+  static unsigned Log2(size_t pow2) {
+    unsigned l = 0;
+    while ((size_t{1} << l) < pow2) {
+      ++l;
+    }
+    return l;
+  }
+
+  std::vector<Entry> slots_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+  unsigned shift_ = 63;  // placeholder until the first Rehash; never used on
+                         // an empty table (Find/Insert/Erase all guard)
+#ifndef NDEBUG
+  uint64_t salt_ = internal::NextIterationShuffleSalt();
+#endif
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_BASE_ID_SLOT_MAP_H_

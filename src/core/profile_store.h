@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/id_slot_map.h"
 #include "src/base/stats.h"
 #include "src/base/units.h"
 #include "src/faas/function_registry.h"
@@ -61,7 +61,7 @@ class ProfileStore {
     uint64_t samples = 0;
   };
 
-  std::unordered_map<uint64_t, Profile> by_instance_;
+  IdSlotMap<Profile> by_instance_;
   // Indexed by FunctionId; a slot with samples == 0 means "no profile yet".
   std::vector<Profile> by_function_;
   Ewma global_throughput_{0.2};  // bytes released per ns of reclaim CPU

@@ -33,8 +33,9 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   // engine's migration barriers replay.
   for (const PlannedOutage& outage :
        ComputeOutageSchedule(config_.node.faults, nodes_.size(), /*salt=*/0xC1A54ADEull)) {
-    context_.events.Schedule(outage.crash_at,
-                             [this, node = outage.node]() { CrashNow(node); });
+    context_.events.Schedule(
+        outage.crash_at, [this, node = outage.node]() { CrashNow(node); },
+        EventKind::kCrash);
   }
 }
 
@@ -58,7 +59,7 @@ void Cluster::Submit(const WorkloadSpec* workload, SimTime arrival) {
       return;
     }
     nodes_[target]->Submit(workload, arrival);
-  });
+  }, EventKind::kArrival);
 }
 
 void Cluster::FailOver(Platform::Request request) {
@@ -78,8 +79,9 @@ void Cluster::CrashNow(size_t node) {
   for (Platform::Request& request : lost) {
     FailOver(std::move(request));
   }
-  context_.events.Schedule(context_.clock.Now() + config_.node.faults.node_restart_delay,
-                           [this, node]() { RestartNow(node); });
+  context_.events.Schedule(
+      context_.clock.Now() + config_.node.faults.node_restart_delay,
+      [this, node]() { RestartNow(node); }, EventKind::kCrash);
 }
 
 void Cluster::RestartNow(size_t node) {

@@ -1,0 +1,181 @@
+// Per-event-kind dispatch counters and wall-time attribution for the
+// discrete-event core.
+//
+// Every event carries an EventKind tag (one byte; kOther when the scheduling
+// site has not been classified). When profiling is enabled — runtime opt-in
+// via DESICCANT_EVENT_PROFILE=1, checked once and cached, so the disabled
+// path costs a single predictable branch per dispatch — EventQueue::RunNext
+// attributes each dispatch and its wall-clock cost to the event's kind.
+// Harnesses (micro_simulator, ext_scale) print the resulting top-N cost
+// table, which turns "what should we optimize next" from a guess into a
+// measurement.
+//
+// Counters are process-global relaxed atomics: the sharded replay engine
+// dispatches from several worker threads, and per-kind totals are the only
+// aggregation anyone reads. `dispatched` is incremented separately from the
+// per-kind counters (at the top of RunNext vs. inside the run/stale
+// branches), so the reconciliation check `sum(kind counts) == dispatched`
+// guards the instrumentation itself: an early return added to RunNext that
+// skips attribution shows up as a counter mismatch, not silent undercount.
+#ifndef DESICCANT_SRC_FAAS_EVENT_PROFILE_H_
+#define DESICCANT_SRC_FAAS_EVENT_PROFILE_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace desiccant {
+
+// Taxonomy of the simulator's scheduling sites. One byte on purpose: it rides
+// inside every queued event.
+enum class EventKind : uint8_t {
+  kOther = 0,       // unclassified (tests, ad-hoc closures)
+  kArrival,         // request arrival / failover resubmit
+  kBootComplete,    // cold/warm boot finishing (incl. boot retries)
+  kStageComplete,   // stage execution finishing
+  kFreezeKeepAlive, // freeze grace + keep-alive expiry lifecycle
+  kReclaim,         // reclaim slice completion
+  kPrewarm,         // provisioned-concurrency / prewarm boots
+  kSnapshot,        // snapshot flush chain, restore tickets, tier faults
+  kKill,            // timeout kills, pressure OOM kills
+  kCrash,           // node crash / restart
+  kCallback,        // manager callbacks (Desiccant poll, DAMON-style timers)
+  kCount,
+};
+
+inline const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kOther: return "other";
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kBootComplete: return "boot_complete";
+    case EventKind::kStageComplete: return "stage_complete";
+    case EventKind::kFreezeKeepAlive: return "freeze_keepalive";
+    case EventKind::kReclaim: return "reclaim";
+    case EventKind::kPrewarm: return "prewarm";
+    case EventKind::kSnapshot: return "snapshot";
+    case EventKind::kKill: return "kill";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kCallback: return "callback";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+class EventProfile {
+ public:
+  static constexpr size_t kKinds = static_cast<size_t>(EventKind::kCount);
+
+  // True when DESICCANT_EVENT_PROFILE=1 in the environment. Evaluated once.
+  static bool Enabled() {
+    static const bool enabled = [] {
+      const char* v = std::getenv("DESICCANT_EVENT_PROFILE");
+      return v != nullptr && std::strcmp(v, "1") == 0;
+    }();
+    return enabled;
+  }
+
+  // One dispatched event (counted before the guard check / closure run).
+  static void CountDispatch() {
+    Storage().dispatched.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Attributes one event of `kind` costing `ns` wall-clock nanoseconds.
+  static void Attribute(EventKind kind, uint64_t ns) {
+    Counters& c = Storage();
+    c.count[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+    c.ns[static_cast<size_t>(kind)].fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  static uint64_t Now() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static uint64_t Dispatched() {
+    return Storage().dispatched.load(std::memory_order_relaxed);
+  }
+
+  static uint64_t KindCount(EventKind kind) {
+    return Storage().count[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+
+  static uint64_t KindNs(EventKind kind) {
+    return Storage().ns[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+
+  // Sum of all per-kind counts. Must equal Dispatched() — ext_scale and the
+  // CI event-profile smoke step fail when it does not.
+  static uint64_t AttributedTotal() {
+    uint64_t total = 0;
+    for (size_t k = 0; k < kKinds; ++k) {
+      total += Storage().count[k].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  static void Reset() {
+    Counters& c = Storage();
+    c.dispatched.store(0, std::memory_order_relaxed);
+    for (size_t k = 0; k < kKinds; ++k) {
+      c.count[k].store(0, std::memory_order_relaxed);
+      c.ns[k].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Prints the per-kind cost table, most expensive first, to `out`.
+  static void PrintTable(std::FILE* out, size_t top_n = kKinds) {
+    struct Row {
+      EventKind kind;
+      uint64_t count;
+      uint64_t ns;
+    };
+    std::array<Row, kKinds> rows;
+    uint64_t total_ns = 0;
+    uint64_t total_count = 0;
+    for (size_t k = 0; k < kKinds; ++k) {
+      rows[k] = {static_cast<EventKind>(k), KindCount(static_cast<EventKind>(k)),
+                 KindNs(static_cast<EventKind>(k))};
+      total_ns += rows[k].ns;
+      total_count += rows[k].count;
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.ns > b.ns; });
+    std::fprintf(out, "### Event-kind cost profile (top %zu)\n", top_n);
+    std::fprintf(out, "kind,events,total_ms,ns_per_event,pct_of_total\n");
+    for (size_t i = 0; i < rows.size() && i < top_n; ++i) {
+      const Row& r = rows[i];
+      if (r.count == 0) {
+        continue;
+      }
+      std::fprintf(out, "%s,%llu,%.2f,%.0f,%.1f\n", EventKindName(r.kind),
+                   static_cast<unsigned long long>(r.count), r.ns / 1e6,
+                   static_cast<double>(r.ns) / r.count,
+                   total_ns == 0 ? 0.0 : 100.0 * r.ns / total_ns);
+    }
+    std::fprintf(out, "profile_total_events,%llu\nprofile_dispatched,%llu\n",
+                 static_cast<unsigned long long>(total_count),
+                 static_cast<unsigned long long>(Dispatched()));
+  }
+
+ private:
+  struct Counters {
+    std::atomic<uint64_t> dispatched{0};
+    std::array<std::atomic<uint64_t>, kKinds> count{};
+    std::array<std::atomic<uint64_t>, kKinds> ns{};
+  };
+  static Counters& Storage() {
+    static Counters counters;
+    return counters;
+  }
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_FAAS_EVENT_PROFILE_H_

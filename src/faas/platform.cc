@@ -163,7 +163,7 @@ Platform::Platform(const PlatformConfig& config, SimContext* context)
   if (config_.snapshot.enabled) {
     snapshot_store_ = std::make_unique<SnapshotStore>(config_.snapshot, &injector_);
     if (config_.faults.snapshot_local_tier_fail_at > 0) {
-      ScheduleNode(config_.faults.snapshot_local_tier_fail_at, [this]() {
+      ScheduleNode(config_.faults.snapshot_local_tier_fail_at, EventKind::kSnapshot, [this]() {
         const uint64_t lost = snapshot_store_->FailLocalTier();
         RecordFault(FaultKind::kSnapshotTierLost, 0, "", lost);
       });
@@ -171,12 +171,12 @@ Platform::Platform(const PlatformConfig& config, SimContext* context)
   }
 }
 
-void Platform::ScheduleNode(SimTime time, EventQueue::Closure fn) {
+void Platform::ScheduleNode(SimTime time, EventQueue::Closure fn, EventKind kind) {
   // The epoch guard lives in the event itself (not a wrapper closure): a
   // wrapper would nest the closure and push every node event past the inline
   // capacity onto the heap. A stale event still advances the clock and ticks,
   // exactly as the old no-op wrapper did.
-  context_->events.ScheduleGuarded(time, &epoch_, epoch_, std::move(fn));
+  context_->events.ScheduleGuarded(time, &epoch_, epoch_, std::move(fn), kind);
 }
 
 std::vector<Instance*>& Platform::WarmPool(FunctionId function) {
@@ -199,15 +199,18 @@ void Platform::Submit(const WorkloadSpec* workload, SimTime arrival) {
   request.arrival = arrival;
   // Arrivals are deliberately NOT epoch-scoped: a request that lands on a
   // crashed node must fail over, not vanish.
-  context_->events.Schedule(arrival, [this, request]() {
-    if (down_ && failover_handler_) {
-      failover_handler_(request);
-      return;
-    }
-    if (!TryRun(request)) {
-      waiting_.push_back(request);
-    }
-  });
+  context_->events.Schedule(
+      arrival,
+      [this, request]() {
+        if (down_ && failover_handler_) {
+          failover_handler_(request);
+          return;
+        }
+        if (!TryRun(request)) {
+          waiting_.push_back(request);
+        }
+      },
+      EventKind::kArrival);
 }
 
 void Platform::Run() {
@@ -250,10 +253,8 @@ const PlatformMetrics& Platform::FinishMeasurement() {
 
 uint64_t Platform::FrozenMemoryBytes() const {
   uint64_t total = 0;
-  for (const auto& [id, instance] : instances_) {
-    if (instance->state() == InstanceState::kFrozen) {
-      total += FrozenCharge(*instance);
-    }
+  for (const Instance* instance : frozen_by_id_) {
+    total += FrozenCharge(*instance);
   }
   return total;
 }
@@ -262,14 +263,40 @@ uint64_t Platform::FrozenCharge(const Instance& instance) const {
   return std::min(instance.CachedUss(), config_.instance_memory_budget);
 }
 
+void Platform::AddFrozen(Instance* instance) {
+  const auto it =
+      std::lower_bound(frozen_by_id_.begin(), frozen_by_id_.end(), instance,
+                       [](const Instance* a, const Instance* b) { return a->id() < b->id(); });
+  assert(it == frozen_by_id_.end() || *it != instance);
+  frozen_by_id_.insert(it, instance);
+}
+
+void Platform::RemoveFrozen(Instance* instance) {
+  const auto it =
+      std::lower_bound(frozen_by_id_.begin(), frozen_by_id_.end(), instance,
+                       [](const Instance* a, const Instance* b) { return a->id() < b->id(); });
+  assert(it != frozen_by_id_.end() && *it == instance);
+  frozen_by_id_.erase(it);
+}
+
 std::vector<Instance*> Platform::FrozenInstances() const {
-  std::vector<Instance*> frozen;
+  // Selection policies stable_sort this list, so ties must see a canonical
+  // order: ascending id (boot order), which frozen_by_id_ maintains across
+  // the freeze/thaw/destroy/crash transitions.
+#ifndef NDEBUG
+  // Cross-check the incremental list against the ground truth. A mismatch
+  // means a state transition forgot its Add/RemoveFrozen hook.
+  std::vector<Instance*> scan;
   for (const auto& [id, instance] : instances_) {
     if (instance->state() == InstanceState::kFrozen) {
-      frozen.push_back(instance.get());
+      scan.push_back(instance.get());
     }
   }
-  return frozen;
+  std::sort(scan.begin(), scan.end(),
+            [](const Instance* a, const Instance* b) { return a->id() < b->id(); });
+  assert(scan == frozen_by_id_);
+#endif
+  return frozen_by_id_;
 }
 
 bool Platform::TryRun(const Request& request) {
@@ -287,6 +314,7 @@ bool Platform::TryRun(const Request& request) {
     memory_charged_ -= FrozenCharge(*warm);
     running_committed_ += config_.instance_memory_budget;
     AcquireCpu(config_.instance_cpu_share);
+    RemoveFrozen(warm);
     const SimTime thaw_refault = warm->Thaw();
     if (InWindow()) {
       ++metrics_.warm_starts;
@@ -401,7 +429,7 @@ bool Platform::TryRun(const Request& request) {
   started.start = ActivationRecord::Start::kCold;
   started.boot_time += boot_wall;
   booting_.emplace(id, started);
-  ScheduleNode(context_->clock.Now() + boot_wall,
+  ScheduleNode(context_->clock.Now() + boot_wall, EventKind::kBootComplete,
                [this, id, boot_fails, restore_attempt, demand_cost]() {
     auto bit = booting_.find(id);
     if (bit == booting_.end()) {
@@ -434,7 +462,7 @@ bool Platform::TryRun(const Request& request) {
           ++metrics_.retries;
         }
         const SimTime delay = injector_.RetryBackoff(booting.boot_attempts);
-        ScheduleNode(context_->clock.Now() + delay, [this, booting]() {
+        ScheduleNode(context_->clock.Now() + delay, EventKind::kBootComplete, [this, booting]() {
           if (!TryRun(booting)) {
             waiting_.push_back(booting);
           }
@@ -491,7 +519,7 @@ void Platform::StartOnInstance(Instance* instance, const Request& request,
     Request timed = request;
     timed.exec_time += timeout;
     inflight_.emplace(id, timed);
-    ScheduleNode(context_->clock.Now() + timeout, [this, id]() { TimeoutKill(id); });
+    ScheduleNode(context_->clock.Now() + timeout, EventKind::kKill, [this, id]() { TimeoutKill(id); });
     return;
   }
 
@@ -503,14 +531,15 @@ void Platform::StartOnInstance(Instance* instance, const Request& request,
     Request doomed = request;
     doomed.exec_time += wall;
     inflight_.emplace(id, doomed);
-    ScheduleNode(context_->clock.Now() + wall, [this, id]() { PressureOomKill(id); });
+    ScheduleNode(context_->clock.Now() + wall, EventKind::kKill,
+                 [this, id]() { PressureOomKill(id); });
     return;
   }
 
   Request completed = request;
   completed.exec_time += wall;
   inflight_.emplace(id, completed);
-  ScheduleNode(context_->clock.Now() + wall, [this, id]() {
+  ScheduleNode(context_->clock.Now() + wall, EventKind::kStageComplete, [this, id]() {
     auto it = inflight_.find(id);
     if (it == inflight_.end()) {
       return;  // killed (OOM) before completing
@@ -526,6 +555,12 @@ void Platform::StartOnInstance(Instance* instance, const Request& request,
 void Platform::LogActivation(const Request& request, uint64_t instance_id,
                              const std::string& function_key,
                              ActivationRecord::Outcome outcome) {
+  if (config_.log_retention == PlatformConfig::LogRetention::kCountersOnly) {
+    // Counters-only retention: every metric was already updated by the
+    // caller; skip materializing a record (one string copy per activation —
+    // real money on the 1M-arrival tiers) that nobody will read.
+    return;
+  }
   ActivationRecord record;
   record.request_id = request.id;
   record.function_key = function_key;
@@ -560,6 +595,9 @@ void Platform::RecordFault(FaultKind kind, uint64_t instance_id, std::string fun
   if (observer_ != nullptr) {
     observer_->OnFault(event);
   }
+  if (config_.log_retention == PlatformConfig::LogRetention::kCountersOnly) {
+    return;  // observer + metrics already saw the fault; keep no record
+  }
   fault_log_.push_back(std::move(event));
   if (fault_log_.size() > kFaultLogCapacity) {
     fault_log_.pop_front();
@@ -587,7 +625,7 @@ void Platform::RetryOrFail(Request request, bool dropped_on_exhaust) {
       ++metrics_.retries;
     }
     const SimTime delay = injector_.RetryBackoff(request.attempts);
-    ScheduleNode(context_->clock.Now() + delay, [this, request]() {
+    ScheduleNode(context_->clock.Now() + delay, EventKind::kArrival, [this, request]() {
       if (!TryRun(request)) {
         waiting_.push_back(request);
       }
@@ -684,14 +722,11 @@ void Platform::TimeoutKill(uint64_t instance_id) {
 Instance* Platform::CheapestToRebuildFrozen() const {
   Instance* cheapest = nullptr;
   SimTime cheapest_cost = 0;
-  for (const auto& [id, instance] : instances_) {
-    if (instance->state() != InstanceState::kFrozen) {
-      continue;
-    }
+  for (Instance* instance : frozen_by_id_) {
     const SimTime cost = instance->RebuildCost(config_.container_create_cost);
     if (cheapest == nullptr || cost < cheapest_cost ||
         (cost == cheapest_cost && instance->id() < cheapest->id())) {
-      cheapest = instance.get();
+      cheapest = instance;
       cheapest_cost = cost;
     }
   }
@@ -792,6 +827,7 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
     const uint64_t id = instance->id();
     ScheduleNode(
         context_->clock.Now() + static_cast<SimTime>(static_cast<double>(gc_time) / share),
+        EventKind::kFreezeKeepAlive,
         [this, id, share]() {
           Instance* done = LookUp(id);
           if (done == nullptr) {
@@ -807,7 +843,7 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
     // short window after the function returns; then the platform pauses the
     // container.
     const uint64_t id = instance->id();
-    ScheduleNode(context_->clock.Now() + config_.freeze_grace,
+    ScheduleNode(context_->clock.Now() + config_.freeze_grace, EventKind::kFreezeKeepAlive,
                  [this, id, share]() {
                    Instance* done = LookUp(id);
                    if (done == nullptr) {
@@ -824,6 +860,7 @@ void Platform::OnStageComplete(Instance* instance, const Request& request) {
 
 void Platform::FreezeInstance(Instance* instance) {
   instance->Freeze(context_->clock.Now());
+  AddFrozen(instance);
   running_committed_ -= config_.instance_memory_budget;
   // Snapshot capture happens at freeze time — the image is the paused
   // container — whether or not the instance is then admitted to the cache.
@@ -848,7 +885,8 @@ void Platform::FreezeInstance(Instance* instance) {
   // Keep-alive expiry.
   const uint64_t id = instance->id();
   const SimTime frozen_at = instance->frozen_since();
-  ScheduleNode(context_->clock.Now() + config_.keep_alive, [this, id, frozen_at]() {
+  ScheduleNode(context_->clock.Now() + config_.keep_alive, EventKind::kFreezeKeepAlive,
+               [this, id, frozen_at]() {
     Instance* idle = LookUp(id);
     if (idle != nullptr && idle->state() == InstanceState::kFrozen &&
         provisioned_.count(id) == 0 && idle->frozen_since() == frozen_at) {
@@ -881,6 +919,7 @@ void Platform::DestroyInstance(Instance* instance, bool evicted) {
     }
     observer_->OnInstanceDestroyed(instance);
   }
+  RemoveFrozen(instance);
   instances_.erase(instance->id());
 }
 
@@ -893,15 +932,16 @@ Instance* Platform::FindWarmInstance(FunctionId function) {
 
 Instance* Platform::OldestFrozen(const Instance* exclude) const {
   Instance* oldest = nullptr;
-  for (const auto& [id, instance] : instances_) {
-    if (instance.get() == exclude || instance->state() != InstanceState::kFrozen) {
+  for (Instance* instance : frozen_by_id_) {
+    if (instance == exclude) {
       continue;
     }
-    if (provisioned_.count(id) != 0) {
+    if (provisioned_.count(instance->id()) != 0) {
       continue;  // provisioned capacity is never evicted
     }
-    if (oldest == nullptr || instance->frozen_since() < oldest->frozen_since()) {
-      oldest = instance.get();
+    if (oldest == nullptr || instance->frozen_since() < oldest->frozen_since() ||
+        (instance->frozen_since() == oldest->frozen_since() && instance->id() < oldest->id())) {
+      oldest = instance;
     }
   }
   return oldest;
@@ -1006,7 +1046,8 @@ void Platform::ScheduleReclaimCompletion(uint64_t reclaim_id) {
   const uint64_t generation = reclaim.generation;
   const SimTime wall = static_cast<SimTime>(
       static_cast<double>(reclaim.remaining_cpu) / reclaim.share);
-  ScheduleNode(context_->clock.Now() + wall, [this, reclaim_id, generation]() {
+  ScheduleNode(context_->clock.Now() + wall, EventKind::kReclaim,
+               [this, reclaim_id, generation]() {
     auto found = active_reclaims_.find(reclaim_id);
     if (found == active_reclaims_.end() || found->second.generation != generation) {
       return;  // superseded by a preemption reschedule or an abort
@@ -1064,7 +1105,16 @@ void Platform::AbortReclaimsFor(uint64_t instance_id) {
 
 double Platform::PreemptReclaims(double needed) {
   double freed = 0.0;
-  for (auto& [reclaim_id, reclaim] : active_reclaims_) {
+  // Preemption order must not depend on map iteration order: shave shares
+  // oldest reclaim first (ids are assigned in start order).
+  std::vector<uint64_t> reclaim_ids;
+  reclaim_ids.reserve(active_reclaims_.size());
+  for (const auto& [reclaim_id, reclaim] : active_reclaims_) {
+    reclaim_ids.push_back(reclaim_id);
+  }
+  std::sort(reclaim_ids.begin(), reclaim_ids.end());
+  for (const uint64_t reclaim_id : reclaim_ids) {
+    ActiveReclaim& reclaim = active_reclaims_.at(reclaim_id);
     if (freed >= needed) {
       break;
     }
@@ -1110,13 +1160,19 @@ std::vector<Platform::Request> Platform::CrashNode() {
 
   std::vector<Request> lost;
   lost.reserve(booting_.size() + inflight_.size() + waiting_.size());
+  // Drain the boot/inflight maps in request-id order so the activation log
+  // (and everything downstream) never observes map iteration order.
+  std::vector<std::pair<uint64_t, Request>> abandoned;  // (instance id, request)
+  abandoned.reserve(booting_.size() + inflight_.size());
   for (auto& [id, request] : booting_) {
-    LogActivation(request, id, functions_.Name(functions_.Intern(request.workload, request.stage)),
-                  ActivationRecord::Outcome::kNodeLost);
-    request.retried = true;
-    lost.push_back(std::move(request));
+    abandoned.emplace_back(id, std::move(request));
   }
   for (auto& [id, request] : inflight_) {
+    abandoned.emplace_back(id, std::move(request));
+  }
+  std::sort(abandoned.begin(), abandoned.end(),
+            [](const auto& a, const auto& b) { return a.second.id < b.second.id; });
+  for (auto& [id, request] : abandoned) {
     LogActivation(request, id, functions_.Name(functions_.Intern(request.workload, request.stage)),
                   ActivationRecord::Outcome::kNodeLost);
     request.retried = true;
@@ -1161,6 +1217,7 @@ std::vector<Platform::Request> Platform::CrashNode() {
     }
   }
   instances_.clear();
+  frozen_by_id_.clear();
   warm_pool_.clear();
   for (auto& ready : prewarm_ready_) {
     ready.clear();
@@ -1247,7 +1304,7 @@ void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count
     instances_.emplace(id, std::move(instance));
     running_committed_ += config_.instance_memory_budget;
     provisioned_[id] = true;
-    ScheduleNode(context_->clock.Now() + boot_wall, [this, id]() {
+    ScheduleNode(context_->clock.Now() + boot_wall, EventKind::kPrewarm, [this, id]() {
       Instance* booted = LookUp(id);
       if (booted == nullptr) {
         return;  // OOM-killed before the provisioned boot finished
@@ -1260,7 +1317,7 @@ void Platform::ProvisionConcurrency(const WorkloadSpec* workload, uint32_t count
 }
 
 void Platform::ScheduleCallback(SimTime time, EventQueue::Closure fn) {
-  context_->events.Schedule(time, std::move(fn));
+  context_->events.Schedule(time, std::move(fn), EventKind::kCallback);
 }
 
 Instance* Platform::TakePrewarmed(Language language) {
@@ -1283,7 +1340,7 @@ void Platform::MaintainPrewarmPool(Language language) {
     if (cpu_in_use_ + config_.boot_cpu_share > config_.cpu_cores) {
       // No CPU right now: try again shortly.
       const Language lang = language;
-      ScheduleNode(context_->clock.Now() + 250 * kMillisecond,
+      ScheduleNode(context_->clock.Now() + 250 * kMillisecond, EventKind::kPrewarm,
                    [this, lang]() { MaintainPrewarmPool(lang); });
       return;
     }
@@ -1302,7 +1359,7 @@ void Platform::MaintainPrewarmPool(Language language) {
     instances_.emplace(id, std::move(instance));
     running_committed_ += config_.instance_memory_budget;
     prewarm_booting_.emplace(id, key);
-    ScheduleNode(context_->clock.Now() + boot_wall, [this, id, key]() {
+    ScheduleNode(context_->clock.Now() + boot_wall, EventKind::kPrewarm, [this, id, key]() {
       if (prewarm_booting_.erase(id) == 0) {
         return;  // OOM-killed while booting; the kill settled the accounting
       }
@@ -1397,7 +1454,7 @@ void Platform::ScheduleSnapshotFlush(SnapshotStore::FlushTicket ticket) {
     return;
   }
   const uint64_t id = ticket.id;
-  ScheduleNode(ticket.complete_at, [this, id]() {
+  ScheduleNode(ticket.complete_at, EventKind::kSnapshot, [this, id]() {
     ScheduleSnapshotFlush(snapshot_store_->CompleteFlush(id, context_->clock.Now()));
   });
 }

@@ -25,9 +25,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/id_slot_map.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/faas/event_queue.h"
@@ -104,6 +104,14 @@ struct PlatformConfig {
   // reclaim stalls, and — once the swap device is full — commit failures that
   // surface as runtime OOM kills.
   PhysicalMemoryConfig pressure;
+  // Retention for the activation/fault rings. kFull keeps the bounded
+  // in-memory logs (figure benches, tests, debugging). kCountersOnly skips
+  // record materialization entirely — every metric counter and observer
+  // callback still fires, so no emitted table changes, but the 1M-arrival
+  // tiers stop paying a string copy per activation for records nobody reads
+  // (RecentActivations/RecentFaults return empty).
+  enum class LogRetention : uint8_t { kFull, kCountersOnly };
+  LogRetention log_retention = LogRetention::kFull;
 };
 
 // One entry of the platform's activation-record log (OpenWhisk keeps such
@@ -391,7 +399,13 @@ class Platform {
   // ----- failure semantics internals -----
   // Node-scoped scheduling: the event is dropped if the node crashed (epoch
   // bumped) between scheduling and firing.
-  void ScheduleNode(SimTime time, EventQueue::Closure fn);
+  void ScheduleNode(SimTime time, EventQueue::Closure fn,
+                    EventKind kind = EventKind::kOther);
+  // Kind-first overload: keeps tagged call sites readable when the closure
+  // spans many lines (the tag stays on the ScheduleNode line).
+  void ScheduleNode(SimTime time, EventKind kind, EventQueue::Closure fn) {
+    ScheduleNode(time, std::move(fn), kind);
+  }
   // Records the fault, notifies the observer, appends to the bounded log.
   void RecordFault(FaultKind kind, uint64_t instance_id, std::string function_key,
                    uint64_t detail = 0);
@@ -460,8 +474,8 @@ class Platform {
   std::function<void(Request)> failover_handler_;
   // In-flight work, keyed by instance id, so timeout/OOM/crash paths can
   // recover the request an instance was serving.
-  std::unordered_map<uint64_t, Request> booting_;   // cold boots in flight
-  std::unordered_map<uint64_t, Request> inflight_;  // running invocations
+  IdSlotMap<Request> booting_;   // cold boots in flight
+  IdSlotMap<Request> inflight_;  // running invocations
   std::deque<FaultEvent> fault_log_;
   static constexpr size_t kFaultLogCapacity = 1024;
 
@@ -478,11 +492,21 @@ class Platform {
     uint64_t generation = 0;  // invalidates superseded completion events
   };
 
-  std::unordered_map<uint64_t, std::unique_ptr<Instance>> instances_;
-  std::unordered_map<uint64_t, ActiveReclaim> active_reclaims_;
+  IdSlotMap<std::unique_ptr<Instance>> instances_;
+  // Frozen instances, ascending by id (boot order) — the canonical order
+  // FrozenInstances() hands to selection policies. Maintained incrementally
+  // at the freeze/thaw/destroy/crash transitions so the per-tick policy scans
+  // (FrozenInstances, FrozenMemoryBytes, OldestFrozen,
+  // CheapestToRebuildFrozen) never rescan and re-sort the whole instance
+  // table. Debug builds cross-check it against a full scan on every
+  // FrozenInstances() call.
+  std::vector<Instance*> frozen_by_id_;
+  void AddFrozen(Instance* instance);
+  void RemoveFrozen(Instance* instance);
+  IdSlotMap<ActiveReclaim> active_reclaims_;
   uint64_t next_reclaim_id_ = 1;
   // Instance ids exempt from eviction and keep-alive (provisioned capacity).
-  std::unordered_map<uint64_t, bool> provisioned_;
+  IdSlotMap<bool> provisioned_;
   // Bounded activation-record ring.
   std::deque<ActivationRecord> activation_log_;
   static constexpr size_t kActivationLogCapacity = 1024;
@@ -497,7 +521,7 @@ class Platform {
   std::array<uint32_t, kLanguageCount> prewarm_inflight_{};
   // Stem-cell boots in flight (id -> language key): these hold a boot CPU
   // share, which the kill paths must release if the boot dies.
-  std::unordered_map<uint64_t, uint8_t> prewarm_booting_;
+  IdSlotMap<uint8_t> prewarm_booting_;
   std::deque<Request> waiting_;
 
   uint64_t memory_charged_ = 0;

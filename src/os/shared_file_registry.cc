@@ -67,28 +67,98 @@ void SharedFileRegistry::RemoveListener(FileId file, MapperListener* listener,
   assert(false && "RemoveListener: mapping not registered");
 }
 
+void SharedFileRegistry::AddMappersBatch(FileId file, WordChange* changes, size_t count,
+                                         MapperListener* skip, uint64_t skip_cookie) {
+  if (count == 0) {
+    return;
+  }
+  assert(file < files_.size());
+  FileEntry& entry = files_[file];
+  uint32_t* refs = entry.page_refcounts.data();
+  for (size_t i = 0; i < count; ++i) {
+    WordChange& ch = changes[i];
+    assert(ch.mask != 0);
+    if (ch.mask == ~0ull) {
+      // Full word (the overwhelmingly common shape: whole shared images map
+      // word-aligned): contiguous increment loop instead of a bit-scan, and
+      // the uniform check reduces to all-equal-to-the-first.
+      assert(ch.base_page + PageBitmap::kPagesPerWord <= entry.page_refcounts.size());
+      const uint32_t u = refs[ch.base_page] + 1;
+      bool same = true;
+      for (uint64_t p = 0; p < PageBitmap::kPagesPerWord; ++p) {
+        const uint32_t c = ++refs[ch.base_page + p];
+        same &= c == u;
+      }
+      ch.uniform = same ? u : 0;
+      continue;
+    }
+    uint32_t uniform = 0;
+    bool first = true;
+    ForEachSetBit(ch.mask, [&](uint64_t bit) {
+      assert(ch.base_page + bit < entry.page_refcounts.size());
+      const uint32_t c = ++refs[ch.base_page + bit];
+      if (first) {
+        uniform = c;
+        first = false;
+      } else if (c != uniform) {
+        uniform = 0;
+      }
+    });
+    ch.uniform = uniform;
+  }
+  Notify(entry, changes, count, +1, skip, skip_cookie);
+}
+
+void SharedFileRegistry::RemoveMappersBatch(FileId file, WordChange* changes, size_t count,
+                                            MapperListener* skip, uint64_t skip_cookie) {
+  if (count == 0) {
+    return;
+  }
+  assert(file < files_.size());
+  FileEntry& entry = files_[file];
+  uint32_t* refs = entry.page_refcounts.data();
+  for (size_t i = 0; i < count; ++i) {
+    WordChange& ch = changes[i];
+    assert(ch.mask != 0);
+    if (ch.mask == ~0ull) {
+      assert(ch.base_page + PageBitmap::kPagesPerWord <= entry.page_refcounts.size());
+      assert(refs[ch.base_page] > 0);
+      const uint32_t u = refs[ch.base_page] - 1;
+      bool same = true;
+      for (uint64_t p = 0; p < PageBitmap::kPagesPerWord; ++p) {
+        assert(refs[ch.base_page + p] > 0);
+        const uint32_t c = --refs[ch.base_page + p];
+        same &= c == u;
+      }
+      ch.uniform = same ? u : 0;
+      continue;
+    }
+    uint32_t uniform = 0;
+    bool first = true;
+    ForEachSetBit(ch.mask, [&](uint64_t bit) {
+      assert(ch.base_page + bit < entry.page_refcounts.size());
+      assert(refs[ch.base_page + bit] > 0);
+      const uint32_t c = --refs[ch.base_page + bit];
+      if (first) {
+        uniform = c;
+        first = false;
+      } else if (c != uniform) {
+        uniform = 0;
+      }
+    });
+    ch.uniform = uniform;
+  }
+  Notify(entry, changes, count, -1, skip, skip_cookie);
+}
+
 uint32_t SharedFileRegistry::AddMappers(FileId file, uint64_t base_page, uint64_t mask,
                                         MapperListener* skip, uint64_t skip_cookie) {
   if (mask == 0) {
     return 0;
   }
-  assert(file < files_.size());
-  FileEntry& entry = files_[file];
-  uint32_t* refs = entry.page_refcounts.data();
-  uint32_t uniform = 0;
-  bool first = true;
-  ForEachSetBit(mask, [&](uint64_t bit) {
-    assert(base_page + bit < entry.page_refcounts.size());
-    const uint32_t count = ++refs[base_page + bit];
-    if (first) {
-      uniform = count;
-      first = false;
-    } else if (count != uniform) {
-      uniform = 0;
-    }
-  });
-  Notify(entry, base_page, mask, +1, uniform, skip, skip_cookie);
-  return uniform;
+  WordChange ch{base_page, mask, 0};
+  AddMappersBatch(file, &ch, 1, skip, skip_cookie);
+  return ch.uniform;
 }
 
 uint32_t SharedFileRegistry::RemoveMappers(FileId file, uint64_t base_page, uint64_t mask,
@@ -96,24 +166,9 @@ uint32_t SharedFileRegistry::RemoveMappers(FileId file, uint64_t base_page, uint
   if (mask == 0) {
     return 0;
   }
-  assert(file < files_.size());
-  FileEntry& entry = files_[file];
-  uint32_t* refs = entry.page_refcounts.data();
-  uint32_t uniform = 0;
-  bool first = true;
-  ForEachSetBit(mask, [&](uint64_t bit) {
-    assert(base_page + bit < entry.page_refcounts.size());
-    assert(refs[base_page + bit] > 0);
-    const uint32_t count = --refs[base_page + bit];
-    if (first) {
-      uniform = count;
-      first = false;
-    } else if (count != uniform) {
-      uniform = 0;
-    }
-  });
-  Notify(entry, base_page, mask, -1, uniform, skip, skip_cookie);
-  return uniform;
+  WordChange ch{base_page, mask, 0};
+  RemoveMappersBatch(file, &ch, 1, skip, skip_cookie);
+  return ch.uniform;
 }
 
 uint32_t SharedFileRegistry::AddMapper(FileId file, uint64_t page_index, MapperListener* skip,
@@ -142,15 +197,15 @@ const uint32_t* SharedFileRegistry::PageRefcounts(FileId file) const {
   return files_[file].page_refcounts.data();
 }
 
-void SharedFileRegistry::Notify(const FileEntry& entry, uint64_t base_page,
-                                uint64_t changed_mask, int delta, uint32_t uniform_refcount,
-                                const MapperListener* skip, uint64_t skip_cookie) {
+void SharedFileRegistry::Notify(const FileEntry& entry, const WordChange* changes,
+                                size_t count, int delta, const MapperListener* skip,
+                                uint64_t skip_cookie) {
   for (const Mapping& m : entry.mappings) {
     if (m.listener == skip && m.cookie == skip_cookie) {
       continue;
     }
-    m.listener->OnMapperWordChanged(m.cookie, base_page, changed_mask, delta,
-                                    entry.page_refcounts.data(), uniform_refcount);
+    m.listener->OnMapperWordsChanged(m.cookie, changes, count, delta,
+                                     entry.page_refcounts.data());
   }
 }
 

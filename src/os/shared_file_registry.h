@@ -14,9 +14,13 @@
 // appears or the second-to-last one leaves. The MapperListener protocol
 // delivers exactly those transitions; the initiator of a change is excluded
 // (it updates its own counters inline, where it knows the full context).
-// Notifications are batched per 64-page bitmap word — bulk image maps,
-// unmaps, and reclaim releases change thousands of refcounts at once, and a
-// per-page callback fan-out was the dominant simulator cost before batching.
+// Notifications are batched as spans of 64-page bitmap words: bulk image
+// maps, unmaps, and reclaim releases change thousands of refcounts at once,
+// and first the per-page fan-out and later the per-word fan-out (a virtual
+// call plus a listener-side region lookup per word PER mapper) were the
+// dominant simulator costs before span batching. Per-word counter moves all
+// commute, so coalescing them into one callback is byte-identical to the
+// eager per-word protocol.
 #ifndef DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_
 #define DESICCANT_SRC_OS_SHARED_FILE_REGISTRY_H_
 
@@ -32,26 +36,33 @@ inline constexpr FileId kInvalidFileId = ~0u;
 
 class SharedFileRegistry {
  public:
+  // One 64-page bitmap word's worth of refcount changes: every page in
+  // `mask` (bit i = page `base_page + i`) changed by the same delta.
+  // `uniform` is filled in by the registry: the post-change refcount shared
+  // by every changed page of the word, or 0 if they differ. Uniformity is
+  // the overwhelmingly common case (whole shared images mapped uniformly)
+  // and lets listeners account for a word in O(1).
+  struct WordChange {
+    uint64_t base_page = 0;
+    uint64_t mask = 0;
+    uint32_t uniform = 0;
+  };
+
   // Observer of mapper-count changes for files it registered interest in.
   // `cookie` is an opaque value chosen by the listener at AddListener time
   // (address spaces pass the region id mapping the file).
   class MapperListener {
    public:
     virtual ~MapperListener() = default;
-    // The mapper counts of the pages in `changed_mask` (bit i = page
-    // `base_page + i`) all changed by `delta` (+1 or -1). `page_refcounts`
-    // points at the file's refcount array *after* the change, so for page p
+    // The mapper counts of `count` disjoint words all changed by `delta`
+    // (+1 or -1) in one bulk operation. `page_refcounts` points at the
+    // file's refcount array *after* all changes, so for a changed page p
     // the new count is page_refcounts[p] and the old count is
-    // page_refcounts[p] - delta. When every changed page ended up with the
-    // same count (the overwhelmingly common case: whole shared images mapped
-    // uniformly), `uniform_refcount` carries that count and listeners can
-    // account for the whole word in O(1); it is 0 when the counts differ.
-    // Fired once per registered (listener, cookie) pair, except the pair that
-    // initiated the change.
-    virtual void OnMapperWordChanged(uint64_t cookie, uint64_t base_page,
-                                     uint64_t changed_mask, int delta,
-                                     const uint32_t* page_refcounts,
-                                     uint32_t uniform_refcount) = 0;
+    // page_refcounts[p] - delta. Fired once per registered (listener,
+    // cookie) pair per bulk operation, except the pair that initiated it.
+    virtual void OnMapperWordsChanged(uint64_t cookie, const WordChange* changes,
+                                      size_t count, int delta,
+                                      const uint32_t* page_refcounts) = 0;
   };
 
   // Registers (or looks up) a file of the given size. Re-registering an
@@ -69,14 +80,20 @@ class SharedFileRegistry {
   void AddListener(FileId file, MapperListener* listener, uint64_t cookie);
   void RemoveListener(FileId file, MapperListener* listener, uint64_t cookie);
 
-  // A process faulted pages in (resident-clean): one new mapper for every set
-  // bit of `mask`, where bit i is page `base_page + i`. All listeners except
-  // (skip, skip_cookie) are notified once with the whole word. Returns the
-  // post-change refcount shared by every changed page, or 0 if they differ
-  // (same contract as OnMapperWordChanged's `uniform_refcount`).
+  // A process faulted a span of pages in (resident-clean): one new mapper
+  // for every set bit of every word in `changes`. Words must be disjoint and
+  // masks non-empty. Fills each entry's `uniform` and notifies all listeners
+  // except (skip, skip_cookie) ONCE with the whole span.
+  void AddMappersBatch(FileId file, WordChange* changes, size_t count,
+                       MapperListener* skip = nullptr, uint64_t skip_cookie = 0);
+  // A process dropped a span of pages (unmap, release, or COW upgrade).
+  void RemoveMappersBatch(FileId file, WordChange* changes, size_t count,
+                          MapperListener* skip = nullptr, uint64_t skip_cookie = 0);
+
+  // Single-word conveniences over the batch calls. Return the post-change
+  // refcount shared by every changed page, or 0 if they differ.
   uint32_t AddMappers(FileId file, uint64_t base_page, uint64_t mask,
                       MapperListener* skip = nullptr, uint64_t skip_cookie = 0);
-  // A process dropped pages (unmap, release, or COW upgrade to dirty).
   uint32_t RemoveMappers(FileId file, uint64_t base_page, uint64_t mask,
                          MapperListener* skip = nullptr, uint64_t skip_cookie = 0);
 
@@ -104,8 +121,8 @@ class SharedFileRegistry {
     std::vector<Mapping> mappings;
   };
 
-  void Notify(const FileEntry& entry, uint64_t base_page, uint64_t changed_mask, int delta,
-              uint32_t uniform_refcount, const MapperListener* skip, uint64_t skip_cookie);
+  void Notify(const FileEntry& entry, const WordChange* changes, size_t count, int delta,
+              const MapperListener* skip, uint64_t skip_cookie);
 
   std::vector<FileEntry> files_;
   std::unordered_map<std::string, FileId> by_name_;

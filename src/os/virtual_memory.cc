@@ -150,6 +150,17 @@ TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_
       // byte-identical to the pre-pressure model.
       const uint64_t need = Popcount(np) + Popcount(swapped);
       if (node_ != nullptr && need != 0) {
+        // The gate can run the node's reclaim ladder (which reads other
+        // spaces' accounting) and, below, emergency relief (which re-enters
+        // THIS space); queued clean-page words from earlier iterations must
+        // be settled before either can look.
+        if (file_backed) {
+          if (write) {
+            FlushCleanDropped(r, region);
+          } else {
+            FlushCleanMapped(r, region);
+          }
+        }
         // Sticky denial: once a commit failed for good this address space is
         // doomed (its owner is about to be OOM-killed); later touches fail
         // immediately instead of re-running the node's reclaim ladder.
@@ -180,7 +191,7 @@ TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_
       if (file_backed && !write) {
         // NotPresent -> Clean (shared with the page cache), Swapped -> Dirty
         // (a swapped file page was COW'd before it went to swap).
-        NoteCleanPagesMapped(r, region, w, np);
+        QueueCleanWord(w, np);
         result.minor_faults += n_np;
         result.swap_ins += n_sw;
         r.dirty_pages += n_sw;
@@ -192,7 +203,7 @@ TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_
       } else if (file_backed) {
         // write: NotPresent -> Dirty, Clean -> Dirty (COW), Swapped -> Dirty.
         const uint64_t n_cl = Popcount(clean);
-        NoteCleanPagesDropped(r, region, w, clean);
+        QueueCleanWord(w, clean);
         result.minor_faults += n_np;
         result.swap_ins += n_sw;
         result.cow_faults += n_cl;
@@ -216,6 +227,14 @@ TouchResult VirtualAddressSpace::Touch(RegionId region, uint64_t offset, uint64_
         lo &= ~swapped;
       }
       break;
+    }
+  }
+  if (file_backed) {
+    Region& r = regions_[region];
+    if (write) {
+      FlushCleanDropped(r, region);
+    } else {
+      FlushCleanMapped(r, region);
     }
   }
   if (touch_listener_ != nullptr) {
@@ -305,7 +324,7 @@ uint64_t VirtualAddressSpace::SwapOutPagesLimited(uint64_t max_pages, uint64_t m
       // Dirty pages go to the swap device; clean file pages are not written
       // to swap — the kernel just drops them from the page cache and re-reads
       // the file on the next fault.
-      NoteCleanPagesDropped(r, id, w, clean);
+      QueueCleanWord(w, clean);
       const uint64_t n_d = Popcount(dirty);
       const uint64_t n_c = Popcount(clean);
       r.dirty_pages -= n_d;
@@ -317,6 +336,7 @@ uint64_t VirtualAddressSpace::SwapOutPagesLimited(uint64_t max_pages, uint64_t m
       reclaimed += n_d + n_c;
       written += n_d;
     }
+    FlushCleanDropped(r, id);
   }
   if (swap_writes != nullptr) {
     *swap_writes = written;
@@ -404,109 +424,139 @@ const VirtualAddressSpace::Region& VirtualAddressSpace::GetRegion(RegionId regio
   return regions_[region];
 }
 
-void VirtualAddressSpace::OnMapperWordChanged(uint64_t cookie, uint64_t base_page,
-                                              uint64_t changed_mask, int delta,
-                                              const uint32_t* page_refcounts,
-                                              uint32_t uniform_refcount) {
+void VirtualAddressSpace::OnMapperWordsChanged(uint64_t cookie,
+                                               const SharedFileRegistry::WordChange* changes,
+                                               size_t count, int delta,
+                                               const uint32_t* page_refcounts) {
   Region& r = regions_[cookie];
-  const uint64_t word = base_page / PageBitmap::kPagesPerWord;
-  if (!r.live || word >= r.pages.num_words()) {
+  if (!r.live) {
     return;
   }
-  // Only the pages we currently hold clean contribute to our USS/PSS terms.
-  const uint64_t affected = r.pages.lo(word) & ~r.pages.hi(word) & changed_mask;
-  if (affected == 0) {
-    return;
-  }
-  if (uniform_refcount != 0) {
-    // Every changed page landed on the same count: account for the whole
-    // word at once.
-    const uint32_t new_count = uniform_refcount;
-    const uint32_t old_count = static_cast<uint32_t>(static_cast<int64_t>(new_count) - delta);
-    assert(old_count >= 1 && new_count >= 1);
-    const uint64_t n = Popcount(affected);
-    HistRemove(old_count, n);
-    HistAdd(new_count, n);
-    if (old_count == 1 && new_count == 2) {
-      r.shared_clean_pages += n;
-      shared_clean_pages_ += n;
-    } else if (old_count == 2 && new_count == 1) {
-      r.shared_clean_pages -= n;
-      shared_clean_pages_ -= n;
+  const uint64_t num_words = r.pages.num_words();
+  // Shared-image fast path: a region whose every page is resident-clean (the
+  // steady state of a mapped runtime image) has lo = all-ones / hi = 0 for
+  // every fully-covered word, so `affected` is the change mask itself — no
+  // need to pull the word's two bitmap cache lines per notification.
+  const bool fully_clean = r.dirty_pages == 0 && r.swapped_pages == 0 &&
+                           r.clean_pages == r.pages.num_pages();
+  const uint64_t full_words = r.pages.num_pages() / PageBitmap::kPagesPerWord;
+  for (size_t i = 0; i < count; ++i) {
+    const SharedFileRegistry::WordChange& ch = changes[i];
+    const uint64_t word = ch.base_page / PageBitmap::kPagesPerWord;
+    uint64_t affected;
+    if (fully_clean && word < full_words) {
+      affected = ch.mask;
+    } else {
+      if (word >= num_words) {
+        continue;
+      }
+      // Only the pages we currently hold clean contribute to our USS/PSS
+      // terms.
+      affected = r.pages.lo(word) & ~r.pages.hi(word) & ch.mask;
     }
-    return;
-  }
-  ForEachSetBit(affected, [&](uint64_t bit) {
-    const uint32_t new_count = page_refcounts[base_page + bit];
-    const uint32_t old_count = static_cast<uint32_t>(static_cast<int64_t>(new_count) - delta);
-    // We hold one of the mappings, so the count can never drop to 0 under us.
-    assert(old_count >= 1 && new_count >= 1);
-    HistRemove(old_count);
-    HistAdd(new_count);
-    if (old_count == 1 && new_count == 2) {
-      ++r.shared_clean_pages;
-      ++shared_clean_pages_;
-    } else if (old_count == 2 && new_count == 1) {
-      --r.shared_clean_pages;
-      --shared_clean_pages_;
+    if (affected == 0) {
+      continue;
     }
-  });
-}
-
-void VirtualAddressSpace::NoteCleanPagesMapped(Region& r, RegionId region, uint64_t word,
-                                               uint64_t mask) {
-  if (mask == 0) {
-    return;
-  }
-  const uint64_t base_page = word * PageBitmap::kPagesPerWord;
-  const uint32_t uniform = registry_->AddMappers(r.file, base_page, mask, this, region);
-  const uint64_t n = Popcount(mask);
-  uint64_t shared = 0;
-  if (uniform != 0) {
-    HistAdd(uniform, n);
-    shared = uniform >= 2 ? n : 0;
-  } else {
-    const uint32_t* refs = registry_->PageRefcounts(r.file);
-    ForEachSetBit(mask, [&](uint64_t bit) {
-      const uint32_t count = refs[base_page + bit];
-      HistAdd(count);
-      if (count >= 2) {
-        ++shared;
+    if (ch.uniform != 0) {
+      // Every changed page landed on the same count: account for the whole
+      // word at once.
+      const uint32_t new_count = ch.uniform;
+      const uint32_t old_count =
+          static_cast<uint32_t>(static_cast<int64_t>(new_count) - delta);
+      assert(old_count >= 1 && new_count >= 1);
+      const uint64_t n = Popcount(affected);
+      HistRemove(old_count, n);
+      HistAdd(new_count, n);
+      if (old_count == 1 && new_count == 2) {
+        r.shared_clean_pages += n;
+        shared_clean_pages_ += n;
+      } else if (old_count == 2 && new_count == 1) {
+        r.shared_clean_pages -= n;
+        shared_clean_pages_ -= n;
+      }
+      continue;
+    }
+    ForEachSetBit(affected, [&](uint64_t bit) {
+      const uint32_t new_count = page_refcounts[ch.base_page + bit];
+      const uint32_t old_count =
+          static_cast<uint32_t>(static_cast<int64_t>(new_count) - delta);
+      // We hold one of the mappings, so the count can never drop to 0 under us.
+      assert(old_count >= 1 && new_count >= 1);
+      HistRemove(old_count);
+      HistAdd(new_count);
+      if (old_count == 1 && new_count == 2) {
+        ++r.shared_clean_pages;
+        ++shared_clean_pages_;
+      } else if (old_count == 2 && new_count == 1) {
+        --r.shared_clean_pages;
+        --shared_clean_pages_;
       }
     });
   }
-  r.clean_pages += n;
-  clean_pages_ += n;
+}
+
+void VirtualAddressSpace::FlushCleanMapped(Region& r, RegionId region) {
+  if (word_scratch_.empty()) {
+    return;
+  }
+  registry_->AddMappersBatch(r.file, word_scratch_.data(), word_scratch_.size(), this,
+                             region);
+  const uint32_t* refs = registry_->PageRefcounts(r.file);
+  uint64_t total = 0;
+  uint64_t shared = 0;
+  for (const SharedFileRegistry::WordChange& ch : word_scratch_) {
+    const uint64_t n = Popcount(ch.mask);
+    if (ch.uniform != 0) {
+      HistAdd(ch.uniform, n);
+      shared += ch.uniform >= 2 ? n : 0;
+    } else {
+      ForEachSetBit(ch.mask, [&](uint64_t bit) {
+        const uint32_t count = refs[ch.base_page + bit];
+        HistAdd(count);
+        if (count >= 2) {
+          ++shared;
+        }
+      });
+    }
+    total += n;
+  }
+  r.clean_pages += total;
+  clean_pages_ += total;
   r.shared_clean_pages += shared;
   shared_clean_pages_ += shared;
+  word_scratch_.clear();
 }
 
-void VirtualAddressSpace::NoteCleanPagesDropped(Region& r, RegionId region, uint64_t word,
-                                                uint64_t mask) {
-  if (mask == 0) {
+void VirtualAddressSpace::FlushCleanDropped(Region& r, RegionId region) {
+  if (word_scratch_.empty()) {
     return;
   }
-  const uint64_t base_page = word * PageBitmap::kPagesPerWord;
-  const uint32_t uniform = registry_->RemoveMappers(r.file, base_page, mask, this, region);
-  const uint64_t n = Popcount(mask);
+  registry_->RemoveMappersBatch(r.file, word_scratch_.data(), word_scratch_.size(), this,
+                                region);
+  const uint32_t* refs = registry_->PageRefcounts(r.file);
+  uint64_t total = 0;
   uint64_t shared = 0;
-  if (uniform != 0) {
-    HistRemove(uniform + 1, n);  // count before the drop
-    shared = uniform + 1 >= 2 ? n : 0;
-  } else {
-    const uint32_t* refs = registry_->PageRefcounts(r.file);
-    ForEachSetBit(mask, [&](uint64_t bit) {
-      const uint32_t count = refs[base_page + bit] + 1;  // count before the drop
-      HistRemove(count);
-      if (count >= 2) {
-        ++shared;
-      }
-    });
+  for (const SharedFileRegistry::WordChange& ch : word_scratch_) {
+    const uint64_t n = Popcount(ch.mask);
+    if (ch.uniform != 0) {
+      HistRemove(ch.uniform + 1, n);  // count before the drop
+      shared += ch.uniform + 1 >= 2 ? n : 0;
+    } else {
+      ForEachSetBit(ch.mask, [&](uint64_t bit) {
+        const uint32_t count = refs[ch.base_page + bit] + 1;  // count before the drop
+        HistRemove(count);
+        if (count >= 2) {
+          ++shared;
+        }
+      });
+    }
+    total += n;
   }
-  r.clean_pages -= n;
-  clean_pages_ -= n;
+  r.clean_pages -= total;
+  clean_pages_ -= total;
   r.shared_clean_pages -= shared;
   shared_clean_pages_ -= shared;
+  word_scratch_.clear();
 }
 
 uint64_t VirtualAddressSpace::DropPageRange(Region& r, RegionId region, uint64_t first_page,
@@ -522,7 +572,7 @@ uint64_t VirtualAddressSpace::DropPageRange(Region& r, RegionId region, uint64_t
     const uint64_t clean = lo & ~hi & mask;
     const uint64_t dirty = hi & ~lo & mask;
     const uint64_t swapped = lo & hi & mask;
-    NoteCleanPagesDropped(r, region, w, clean);
+    QueueCleanWord(w, clean);
     const uint64_t n_d = Popcount(dirty);
     const uint64_t n_c = Popcount(clean);
     const uint64_t n_s = Popcount(swapped);
@@ -535,6 +585,7 @@ uint64_t VirtualAddressSpace::DropPageRange(Region& r, RegionId region, uint64_t
     hi &= ~mask;
     dropped += n_d + n_c + n_s;
   });
+  FlushCleanDropped(r, region);
   return dropped;
 }
 

@@ -225,18 +225,31 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   const Region& GetRegion(RegionId region) const;
 
   // SharedFileRegistry::MapperListener: another mapping of a file we map
-  // changed refcounts of up to 64 pages; move our clean-page accounting for
-  // the pages we hold clean accordingly.
-  void OnMapperWordChanged(uint64_t cookie, uint64_t base_page, uint64_t changed_mask,
-                           int delta, const uint32_t* page_refcounts,
-                           uint32_t uniform_refcount) override;
+  // changed refcounts across a span of words; move our clean-page accounting
+  // for the pages we hold clean accordingly. One region lookup covers the
+  // whole span.
+  void OnMapperWordsChanged(uint64_t cookie, const SharedFileRegistry::WordChange* changes,
+                            size_t count, int delta,
+                            const uint32_t* page_refcounts) override;
 
-  // Clean-page bookkeeping around registry refcounts, one 64-page bitmap word
-  // at a time (bit i of `mask` = page word * 64 + i). Both update the
-  // histogram, the shared/private split, and the clean counters; callers are
-  // responsible for the resident/dirty/swapped side of the transition.
-  void NoteCleanPagesMapped(Region& r, RegionId region, uint64_t word, uint64_t mask);
-  void NoteCleanPagesDropped(Region& r, RegionId region, uint64_t word, uint64_t mask);
+  // Clean-page bookkeeping around registry refcounts. Word transitions are
+  // queued into `word_scratch_` (bit i of `mask` = page word * 64 + i) and
+  // flushed as ONE registry batch per logical operation: Flush* applies the
+  // refcount deltas, notifies the other mappers once, and settles our own
+  // histogram, shared/private split, and clean counters. Callers are
+  // responsible for the resident/dirty/swapped side of the transition, and
+  // MUST flush before any call that can observe memory accounting or re-enter
+  // this space (the commit gate's RequestPages, and therefore emergency
+  // relief). Per-word counter moves commute and queued words are disjoint,
+  // so deferral is byte-identical to the old eager per-word protocol.
+  void QueueCleanWord(uint64_t word, uint64_t mask) {
+    if (mask != 0) {
+      word_scratch_.push_back(
+          SharedFileRegistry::WordChange{word * PageBitmap::kPagesPerWord, mask, 0});
+    }
+  }
+  void FlushCleanMapped(Region& r, RegionId region);
+  void FlushCleanDropped(Region& r, RegionId region);
 
   void HistAdd(uint32_t count, uint64_t n = 1) {
     if (count >= clean_hist_.size()) {
@@ -295,6 +308,10 @@ class VirtualAddressSpace : private SharedFileRegistry::MapperListener {
   // currently has c mappers node-wide. PSS's shared term is
   // sum_c clean_hist_[c] * kPageSize / c, exact and O(distinct refcounts).
   std::vector<uint64_t> clean_hist_;
+  // Pending clean-page word transitions for the current Touch/Drop/SwapOut
+  // operation (see QueueCleanWord). Reused across operations so the steady
+  // state allocates nothing; empty whenever control leaves this space.
+  std::vector<SharedFileRegistry::WordChange> word_scratch_;
 };
 
 }  // namespace desiccant

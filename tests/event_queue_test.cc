@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "src/faas/event_queue.h"
+#include "src/faas/heap_event_queue.h"
+
+#include <random>
 
 namespace desiccant {
 namespace {
@@ -186,6 +189,133 @@ TEST(EventQueueTest, StaleGuardedEventStillAdvancesClock) {
   // time — the clock reached them exactly as before the node died.
   EXPECT_EQ(fired, 0);
   EXPECT_EQ(clock.Now(), 2 * kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle: the timing wheel vs. the reference heap.
+//
+// HeapEventQueue is the pre-wheel implementation, kept verbatim; its pop
+// order *defines* the EventQueue contract (the golden fingerprints were all
+// captured against it). Both queues are driven by the same seeded random
+// script — duplicate timestamps, guarded events that go stale, events that
+// schedule more events (including at the current instant) from inside their
+// closures, far-future keep-alive-style events that exercise the overflow
+// stash, and a bulk Reserve()d pre-load — and must produce byte-identical
+// fired-id and clock-advance sequences.
+
+template <typename Queue>
+struct OracleDriver {
+  Queue queue;
+  SimClock clock;
+  uint64_t epoch = 0;
+  uint64_t next_id = 1;
+  std::vector<uint64_t> fired;
+  std::vector<SimTime> advances;
+
+  void ScheduleOne(SimTime time, int guard_mode) {
+    const uint64_t id = next_id++;
+    auto fn = [this, id] { OnFire(id); };
+    switch (guard_mode) {
+      case 0:
+        queue.Schedule(time, std::move(fn));
+        break;
+      case 1:  // live at schedule time (may still go stale before firing)
+        queue.ScheduleGuarded(time, &epoch, epoch, std::move(fn));
+        break;
+      default:  // born stale
+        queue.ScheduleGuarded(time, &epoch, epoch + 1, std::move(fn));
+        break;
+    }
+  }
+
+  void OnFire(uint64_t id) {
+    fired.push_back(id);
+    if (id % 11 == 0) {
+      ++epoch;  // invalidates every live guarded event scheduled before now
+    }
+    if (id % 7 == 0) {
+      // Schedule from inside an event, sometimes at the current instant —
+      // the wheel must clamp these into the in-flight bucket.
+      ScheduleOne(clock.Now() + (id % 5) * 100, id % 3 == 0 ? 1 : 0);
+    }
+  }
+
+  void RunOne() {
+    advances.push_back(queue.NextTimeOr(-1));
+    queue.RunNext(&clock);
+    advances.push_back(clock.Now());
+  }
+};
+
+TEST(EventQueueOracleTest, WheelMatchesHeapOver100kRandomOps) {
+  struct Op {
+    SimTime delta;
+    int guard_mode;  // -1 = run instead of schedule
+  };
+  std::mt19937_64 rng(0xD15CC0DE);
+  std::vector<Op> script;
+  script.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t dice = rng() % 100;
+    if (dice < 52) {
+      SimTime delta;
+      switch (rng() % 6) {
+        case 0: delta = 0; break;                                  // "now"
+        case 1: delta = static_cast<SimTime>(rng() % 1000); break; // sub-us
+        case 2: delta = static_cast<SimTime>(rng() % kMillisecond); break;
+        case 3: delta = static_cast<SimTime>(rng() % (50 * kMillisecond)); break;
+        case 4: delta = static_cast<SimTime>(rng() % (2 * kSecond)); break;
+        default:  // keep-alive band: far past the wheel horizon
+          delta = 600 * kSecond + static_cast<SimTime>(rng() % kSecond);
+          break;
+      }
+      script.push_back(Op{delta, static_cast<int>(rng() % 3)});
+    } else {
+      script.push_back(Op{0, -1});
+    }
+  }
+
+  OracleDriver<EventQueue> wheel;
+  OracleDriver<HeapEventQueue> heap;
+  wheel.queue.Reserve(4096);
+  heap.queue.Reserve(4096);
+  // Bulk pre-load before the first pop: everything lands in the overflow
+  // stash and the first Peek() has to re-base the wheel around it.
+  for (uint64_t i = 0; i < 512; ++i) {
+    const SimTime t = static_cast<SimTime>(rng() % (700 * kSecond));
+    wheel.ScheduleOne(t, static_cast<int>(i % 3));
+    heap.ScheduleOne(t, static_cast<int>(i % 3));
+  }
+
+  for (const Op& op : script) {
+    if (op.guard_mode < 0) {
+      if (!wheel.queue.empty()) {
+        wheel.RunOne();
+      }
+      if (!heap.queue.empty()) {
+        heap.RunOne();
+      }
+    } else {
+      wheel.ScheduleOne(wheel.clock.Now() + op.delta, op.guard_mode);
+      heap.ScheduleOne(heap.clock.Now() + op.delta, op.guard_mode);
+    }
+    ASSERT_EQ(wheel.queue.size(), heap.queue.size());
+  }
+  while (!wheel.queue.empty()) {
+    wheel.RunOne();
+  }
+  while (!heap.queue.empty()) {
+    heap.RunOne();
+  }
+
+  ASSERT_EQ(wheel.next_id, heap.next_id);
+  ASSERT_EQ(wheel.epoch, heap.epoch);
+  ASSERT_EQ(wheel.fired.size(), heap.fired.size());
+  for (size_t i = 0; i < wheel.fired.size(); ++i) {
+    ASSERT_EQ(wheel.fired[i], heap.fired[i]) << "divergence at pop " << i;
+  }
+  ASSERT_EQ(wheel.advances, heap.advances);
+  EXPECT_EQ(wheel.clock.Now(), heap.clock.Now());
 }
 
 // ---------------------------------------------------------------------------

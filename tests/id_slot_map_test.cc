@@ -1,0 +1,193 @@
+// Tests for the open-addressing id-slot map that backs the Platform hot maps.
+//
+// The differential churn test is the load-bearing one: IdSlotMap replaces
+// std::unordered_map under maps that insert/erase millions of dense
+// sequential ids per run, and the backward-shift erase is the piece that is
+// easy to get subtly wrong (a mis-shifted cluster silently loses an entry, or
+// resurrects an erased one). Driving both maps with the same seeded operation
+// stream and comparing contents after every mutation pins the semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/id_slot_map.h"
+
+namespace desiccant {
+namespace {
+
+TEST(IdSlotMapTest, EmptyMapBasics) {
+  IdSlotMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(1), map.end());
+  EXPECT_EQ(map.count(1), 0u);
+  EXPECT_EQ(map.erase(1), 0u);
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(IdSlotMapTest, InsertFindErase) {
+  IdSlotMap<std::string> map;
+  map[1] = "one";
+  map[2] = "two";
+  map.emplace(3, "three");
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.at(1), "one");
+  EXPECT_EQ(map.find(2)->second, "two");
+  EXPECT_EQ(map.count(3), 1u);
+  EXPECT_EQ(map.count(4), 0u);
+  EXPECT_EQ(map.erase(2), 1u);
+  EXPECT_EQ(map.count(2), 0u);
+  EXPECT_EQ(map.size(), 2u);
+  map[2] = "again";
+  EXPECT_EQ(map.at(2), "again");
+}
+
+TEST(IdSlotMapTest, OperatorBracketDefaultConstructs) {
+  IdSlotMap<uint64_t> map;
+  EXPECT_EQ(map[7], 0u);
+  map[7] += 5;
+  EXPECT_EQ(map.at(7), 5u);
+}
+
+TEST(IdSlotMapTest, MoveOnlyValues) {
+  IdSlotMap<std::unique_ptr<int>> map;
+  for (uint64_t id = 1; id <= 100; ++id) {
+    map[id] = std::make_unique<int>(static_cast<int>(id));
+  }
+  EXPECT_EQ(map.size(), 100u);  // crossed several growth rehashes
+  for (uint64_t id = 1; id <= 100; ++id) {
+    ASSERT_NE(map.find(id), map.end());
+    EXPECT_EQ(*map.at(id), static_cast<int>(id));
+  }
+  EXPECT_EQ(map.erase(50), 1u);
+  EXPECT_EQ(map.find(50), map.end());
+  EXPECT_EQ(map.size(), 99u);
+}
+
+TEST(IdSlotMapTest, IterationVisitsEveryEntryOnce) {
+  IdSlotMap<uint64_t> map;
+  for (uint64_t id = 1; id <= 1000; ++id) {
+    map[id] = id * 10;
+  }
+  std::vector<uint64_t> seen;
+  for (const auto& [id, value] : map) {
+    EXPECT_EQ(value, id * 10);
+    seen.push_back(id);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(seen[i], i + 1);
+  }
+}
+
+TEST(IdSlotMapTest, EraseDuringIterationSingleMatch) {
+  // The Platform's AbortReclaimsFor pattern: full scan, erase the (at most
+  // one) matching entry via `it = map.erase(it)`, keep scanning.
+  IdSlotMap<uint64_t> map;
+  for (uint64_t id = 1; id <= 64; ++id) {
+    map[id] = id;
+  }
+  uint64_t erased = 0;
+  for (auto it = map.begin(); it != map.end();) {
+    if (it->second == 33) {
+      it = map.erase(it);
+      ++erased;
+      continue;
+    }
+    ++it;
+  }
+  EXPECT_EQ(erased, 1u);
+  EXPECT_EQ(map.size(), 63u);
+  EXPECT_EQ(map.count(33), 0u);
+}
+
+TEST(IdSlotMapTest, ClearReleasesEntries) {
+  IdSlotMap<std::unique_ptr<int>> map;
+  for (uint64_t id = 1; id <= 10; ++id) {
+    map[id] = std::make_unique<int>(1);
+  }
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(3), map.end());
+  map[3] = std::make_unique<int>(7);
+  EXPECT_EQ(*map.at(3), 7);
+}
+
+TEST(IdSlotMapTest, ReserveAvoidsRehash) {
+  IdSlotMap<uint64_t> map;
+  map.reserve(10000);
+  for (uint64_t id = 1; id <= 10000; ++id) {
+    map[id] = id;
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t id = 1; id <= 10000; ++id) {
+    ASSERT_EQ(map.count(id), 1u) << id;
+  }
+}
+
+// The load-bearing test: 200k seeded random operations mirrored against
+// std::unordered_map, with full-content comparison at checkpoints. Keys are
+// drawn from a sliding dense window to mimic the Platform's id churn
+// (monotonic allocation, erase-mostly-oldest).
+TEST(IdSlotMapTest, DifferentialChurnAgainstUnorderedMap) {
+  IdSlotMap<uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  std::mt19937_64 rng(20260809);
+  uint64_t next_id = 1;
+  std::vector<uint64_t> live;
+
+  auto check_full = [&]() {
+    ASSERT_EQ(map.size(), reference.size());
+    for (const auto& [id, value] : reference) {
+      auto it = map.find(id);
+      ASSERT_NE(it, map.end()) << "missing id " << id;
+      ASSERT_EQ(it->second, value) << "wrong value for id " << id;
+    }
+    uint64_t walked = 0;
+    for (const auto& [id, value] : map) {
+      auto it = reference.find(id);
+      ASSERT_NE(it, reference.end()) << "phantom id " << id;
+      ASSERT_EQ(it->second, value);
+      ++walked;
+    }
+    ASSERT_EQ(walked, reference.size());
+  };
+
+  for (int op = 0; op < 200000; ++op) {
+    const uint64_t dice = rng() % 100;
+    if (dice < 55 || live.empty()) {
+      const uint64_t id = next_id++;
+      const uint64_t value = rng();
+      map[id] = value;
+      reference[id] = value;
+      live.push_back(id);
+    } else if (dice < 90) {
+      // Erase a random live id (biased sampling is fine; both maps see it).
+      const size_t pick = rng() % live.size();
+      const uint64_t id = live[pick];
+      ASSERT_EQ(map.erase(id), reference.erase(id));
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      // Point lookups, live and dead.
+      const uint64_t id = live[rng() % live.size()];
+      ASSERT_EQ(map.count(id), reference.count(id));
+      const uint64_t dead = next_id + rng() % 100;
+      ASSERT_EQ(map.count(dead), reference.count(dead));
+    }
+    if (op % 20000 == 0) {
+      check_full();
+    }
+  }
+  check_full();
+}
+
+}  // namespace
+}  // namespace desiccant

@@ -122,6 +122,125 @@ void RunTier(size_t slot, const TierSetup& setup) {
   g_tier_rows[slot] = {setup.name, std::move(first), det};
 }
 
+// ---------------------------------------------------------------------------
+// Failover grid: node crashes on a 4-node cluster, private snapshot stores vs
+// the cell-shared fabric. With private stores a crash strands the victim's
+// images: its functions fail over to siblings that have never captured them
+// and fall back to full cold boots. With the fabric, tiers >= 1 are cluster
+// scope — the sibling fetches the shared copy — so fallback_boots collapse.
+// The degraded cells overlay a tier brown-out and a rack partition on top of
+// the crash plan, and the delta cell runs Desiccant so refresh traffic ships
+// deltas instead of full images.
+
+struct FailoverSetup {
+  const char* name;
+  bool fabric;
+  bool brownout;   // tier-1 brown-out window inside the measurement
+  bool partition;  // rack 0 partitioned from tier 1 inside the measurement
+  bool delta;      // Desiccant mode + delta refresh (exercises Refresh)
+};
+
+constexpr FailoverSetup kFailoverSetups[] = {
+    {"private+crash", false, false, false, false},
+    {"shared+crash", true, false, false, false},
+    {"shared+crash+brownout", true, true, false, false},
+    {"shared+crash+partition", true, false, true, false},
+    {"shared+crash+delta", true, false, false, true},
+};
+
+struct FailoverRow {
+  std::string setup;
+  PlatformMetrics metrics;
+  SnapshotStats snapshot;
+  bool det = false;
+};
+
+std::vector<FailoverRow> g_failover_rows;
+
+ClusterConfig FailoverConfig(const FailoverSetup& setup) {
+  ClusterConfig config;
+  config.node_count = 4;
+  config.routing = RoutingPolicy::kAffinity;
+  config.node.mode = setup.delta ? MemoryMode::kDesiccant : MemoryMode::kVanilla;
+  config.node.cache_capacity_bytes = 384 * kMiB;  // 1.5 GiB cluster-wide
+  config.node.cpu_cores = 0.8;                    // 3.2 cores cluster-wide
+  config.node.snapstart_restore = true;
+  config.node.snapshot = SnapshotConfig::ThreeTier();
+  config.node.snapshot.reap_prefetch = true;
+  if (setup.fabric) {
+    config.node.snapshot.fabric.enabled = true;
+    config.node.snapshot.fabric.rack_count = 2;
+    config.node.snapshot.fabric.replication_factor = 2;
+  }
+  if (setup.delta) {
+    config.node.snapshot.delta_refresh = true;
+  }
+  // Repeated invoker crashes across the whole run: every node loses its
+  // private tier-0 cache (and, without the fabric, strands what it flushed).
+  config.node.faults.node_crash_mtbf_seconds = 30.0;
+  config.node.faults.node_crash_horizon = FromSeconds(200);
+  config.node.faults.node_restart_delay = 2 * kSecond;
+  if (setup.brownout) {
+    config.node.faults.fabric_faults.push_back(
+        FabricFault{FromSeconds(90), FromSeconds(60), 1, FabricFaultKind::kBrownout, 8.0, 0});
+  }
+  if (setup.partition) {
+    config.node.faults.fabric_faults.push_back(FabricFault{
+        FromSeconds(90), FromSeconds(40), 1, FabricFaultKind::kRackPartition, 1.0, 0});
+  }
+  return config;
+}
+
+struct FailoverOutcome {
+  PlatformMetrics metrics;
+  SnapshotStats snapshot;
+};
+
+FailoverOutcome RunFailoverOnce(const FailoverSetup& setup) {
+  const ClusterConfig config = FailoverConfig(setup);
+  Cluster cluster(config);
+  std::vector<std::unique_ptr<DesiccantManager>> managers;
+  if (config.node.mode == MemoryMode::kDesiccant) {
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      managers.push_back(
+          std::make_unique<DesiccantManager>(&cluster.node(i), DesiccantConfig{}));
+    }
+  }
+  std::vector<const WorkloadSpec*> workloads;
+  for (const WorkloadSpec& w : CoarseSuite()) {
+    workloads.push_back(&w);
+  }
+  TraceGenerator generator(1234);
+  const auto trace_functions = generator.BuildSuiteTrace(workloads);
+  const SimTime warmup_end = FromSeconds(60);
+  const SimTime replay_end = warmup_end + FromSeconds(180);
+  for (const TraceArrival& a : generator.Generate(trace_functions, 15.0, 0, warmup_end)) {
+    cluster.Submit(a.workload, a.time);
+  }
+  for (const TraceArrival& a :
+       generator.Generate(trace_functions, 20.0, warmup_end, replay_end)) {
+    cluster.Submit(a.workload, a.time);
+  }
+  cluster.RunUntil(warmup_end);
+  cluster.BeginMeasurement();
+  cluster.RunUntil(replay_end);
+  FailoverOutcome outcome;
+  outcome.metrics = cluster.AggregateMetrics();
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    if (const SnapshotStore* store = cluster.node(i).snapshot_store()) {
+      outcome.snapshot.Accumulate(store->stats());
+    }
+  }
+  return outcome;
+}
+
+void RunFailover(size_t slot, const FailoverSetup& setup) {
+  FailoverOutcome first = RunFailoverOnce(setup);
+  const FailoverOutcome second = RunFailoverOnce(setup);
+  const bool det = first.metrics.Fingerprint() == second.metrics.Fingerprint();
+  g_failover_rows[slot] = {setup.name, std::move(first.metrics), first.snapshot, det};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,8 +262,17 @@ int main(int argc, char** argv) {
   }
   g_tier_rows.resize(tier_cells.size());
 
+  std::vector<ExperimentCell> failover_cells;
+  for (const FailoverSetup& setup : kFailoverSetups) {
+    const size_t slot = failover_cells.size();
+    failover_cells.push_back({std::string("ext_snapstart_failover/") + setup.name,
+                              [slot, setup] { RunFailover(slot, setup); }});
+  }
+  g_failover_rows.resize(failover_cells.size());
+
   std::vector<ExperimentCell> all_cells = cells;
   all_cells.insert(all_cells.end(), tier_cells.begin(), tier_cells.end());
+  all_cells.insert(all_cells.end(), failover_cells.begin(), failover_cells.end());
   RunExperimentGrid(all_cells);
 
   for (const TierRow& row : g_tier_rows) {
@@ -170,6 +298,36 @@ int main(int argc, char** argv) {
                                  })
         ->Iterations(1);
     (void)s;
+  }
+
+  for (const FailoverRow& row : g_failover_rows) {
+    const PlatformMetrics& m = row.metrics;
+    const SnapshotStats& s = row.snapshot;
+    const std::string name = "ext_snapstart_failover/" + row.setup;
+    const bool det = row.det;
+    const double p50 = m.latency_ms.Percentile(50);
+    const double p99 = m.latency_ms.Percentile(99);
+    const double goodput = m.GoodputRps();
+    const double restores = static_cast<double>(m.snapshot_restores);
+    const double fallbacks = static_cast<double>(m.snapshot_fallback_boots);
+    const double delta_shipped_mib =
+        static_cast<double>(s.delta_bytes_shipped) / static_cast<double>(kMiB);
+    const double delta_saved_mib =
+        static_cast<double>(s.delta_bytes_saved) / static_cast<double>(kMiB);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [=](benchmark::State& state) {
+                                   for (auto _ : state) {
+                                   }
+                                   state.counters["det"] = det ? 1.0 : 0.0;
+                                   state.counters["p50_ms"] = p50;
+                                   state.counters["p99_ms"] = p99;
+                                   state.counters["goodput_rps"] = goodput;
+                                   state.counters["restores"] = restores;
+                                   state.counters["fallbacks"] = fallbacks;
+                                   state.counters["delta_shipped_mib"] = delta_shipped_mib;
+                                   state.counters["delta_saved_mib"] = delta_saved_mib;
+                                 })
+        ->Iterations(1);
   }
 
   benchmark::RunSpecifiedBenchmarks();
@@ -208,5 +366,25 @@ int main(int argc, char** argv) {
   }
   tiers.Print(
       "Extension: multi-tier snapshot restore (cold vs lazy vs REAP, two hierarchies)");
+
+  Table failover({"setup", "p50_ms", "p99_ms", "goodput_rps", "restores", "fallbacks",
+                  "fetch_fail", "delta_shipped_mib", "delta_saved_mib", "det"});
+  for (const FailoverRow& row : g_failover_rows) {
+    const PlatformMetrics& m = row.metrics;
+    const SnapshotStats& s = row.snapshot;
+    failover.AddRow({row.setup, Table::Fmt(m.latency_ms.Percentile(50)),
+                     Table::Fmt(m.latency_ms.Percentile(99)), Table::Fmt(m.GoodputRps()),
+                     std::to_string(m.snapshot_restores),
+                     std::to_string(m.snapshot_fallback_boots),
+                     std::to_string(s.fetch_failures),
+                     Table::Fmt(static_cast<double>(s.delta_bytes_shipped) /
+                                static_cast<double>(kMiB)),
+                     Table::Fmt(static_cast<double>(s.delta_bytes_saved) /
+                                static_cast<double>(kMiB)),
+                     row.det ? "yes" : "NO"});
+  }
+  failover.Print(
+      "Extension: crash failover — private snapshot stores vs the cell-shared fabric "
+      "(4 nodes, crash plan, SF 20)");
   return 0;
 }

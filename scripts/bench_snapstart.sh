@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Runs the ext_snapstart benches (cold-start mitigations plus the multi-tier
-# snapshot grid) and writes BENCH_snapstart.json so restore latency, goodput,
-# and the determinism bit are tracked PR over PR.
+# Runs the ext_snapstart benches (cold-start mitigations, the multi-tier
+# snapshot grid, and the crash-failover fabric grid) and writes
+# BENCH_snapstart.json so restore latency, goodput, and the determinism bit
+# are tracked PR over PR.
 #
 # Usage: scripts/bench_snapstart.sh [output.json]
 #   BUILD_DIR=build    cmake build directory (configured if missing)
 #
-# Every tier cell replays twice inside the bench and reports det=1 only when
+# Every grid cell replays twice inside the bench and reports det=1 only when
 # both runs' metric fingerprints matched byte-for-byte. Exits non-zero if any
 # cell's det is 0 (a replay-determinism regression in the snapshot subsystem
 # is a bug, not a perf data point) or if any cell's goodput collapsed to zero
-# (the fault cell must degrade, not die).
+# (fault and failover cells must degrade, not die). The total wall-clock of
+# the bench run lands in .total.serial_ms so check_replay_regression.sh can
+# gate it against bench/baselines/BENCH_snapstart_baseline.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,12 +28,17 @@ cmake --build "$BUILD_DIR" -j --target ext_snapstart
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
+start_ms=$(now_ms)
 "$BUILD_DIR/bench/ext_snapstart" \
   --benchmark_out="$workdir/ext_snapstart.json" --benchmark_out_format=json
+wall_ms=$(($(now_ms) - start_ms))
 
-jq '
+jq --argjson wall_ms "$wall_ms" '
   def cells: [.benchmarks[]
-    | select(.name | startswith("ext_snapstart_tiers/"))
+    | select((.name | startswith("ext_snapstart_tiers/"))
+             or (.name | startswith("ext_snapstart_failover/")))
     | select(has("det")) | {
     name,
     det: .det,
@@ -43,15 +51,16 @@ jq '
   {
     cells: cells,
     deterministic: ([cells[].det] | all(. == 1)),
-    all_goodput_nonzero: ([cells[].goodput_rps] | all(. > 0))
+    all_goodput_nonzero: ([cells[].goodput_rps] | all(. > 0)),
+    total: { serial_ms: $wall_ms }
   }' "$workdir/ext_snapstart.json" > "$OUT"
 
-echo "wrote $OUT"
+echo "wrote $OUT (wall ${wall_ms} ms)"
 jq -e '.deterministic' "$OUT" > /dev/null || {
-  echo "FAIL: a snapshot tier cell replayed non-deterministically (det=0)" >&2
+  echo "FAIL: a snapshot cell replayed non-deterministically (det=0)" >&2
   exit 1
 }
 jq -e '.all_goodput_nonzero' "$OUT" > /dev/null || {
-  echo "FAIL: a snapshot tier cell lost all goodput (fault cells must degrade, not die)" >&2
+  echo "FAIL: a snapshot cell lost all goodput (fault cells must degrade, not die)" >&2
   exit 1
 }

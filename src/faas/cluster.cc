@@ -27,6 +27,19 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     nodes_.back()->set_failover_handler(
         [this](Platform::Request request) { FailOver(std::move(request)); });
   }
+  if (config_.node.snapshot.enabled && config_.node.snapshot.fabric.enabled) {
+    fabric_ = std::make_unique<SharedSnapshotFabric>(
+        config_.node.snapshot, config_.node.faults.fabric_faults, nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      // Fabric keys must be node-independent: dense FunctionIds are interned
+      // in per-node arrival order, so the store translates them through its
+      // node's registry.
+      Platform* node = nodes_[i].get();
+      node->snapshot_store()->AttachFabric(fabric_.get(), i, [node](uint32_t function) {
+        return StableFunctionKey(node->functions().Name(function));
+      });
+    }
+  }
   // The whole crash schedule is a pure function of the plan (salted so crash
   // times stay uncorrelated with per-node boot/reclaim draws), so it is
   // precomputed and scheduled up front — the same schedule the sharded
@@ -76,6 +89,10 @@ void Cluster::CrashNow(size_t node) {
     return;
   }
   std::vector<Platform::Request> lost = nodes_[node]->CrashNode();
+  if (fabric_ != nullptr) {
+    // Buffered fabric ops die with the node, like its in-flight flushes.
+    fabric_->DropNodeOps(node);
+  }
   for (Platform::Request& request : lost) {
     FailOver(std::move(request));
   }
@@ -98,6 +115,15 @@ void Cluster::RestartNow(size_t node) {
 
 void Cluster::Run() {
   while (!context_.events.empty()) {
+    if (fabric_ != nullptr) {
+      // Settle every fabric boundary strictly before the next event: events
+      // scheduled exactly at a boundary run before that boundary settles,
+      // matching the sharded engine's barrier order.
+      fabric_->SettleBefore(context_.events.next_time());
+      if (fabric_check_) {
+        fabric_->CheckInvariants();
+      }
+    }
     context_.events.RunNext(&context_.clock);
     for (auto& node : nodes_) {
       if (node->observer() != nullptr) {
@@ -112,6 +138,12 @@ void Cluster::Run() {
 
 void Cluster::RunUntil(SimTime deadline) {
   while (!context_.events.empty() && context_.events.next_time() <= deadline) {
+    if (fabric_ != nullptr) {
+      fabric_->SettleBefore(context_.events.next_time());
+      if (fabric_check_) {
+        fabric_->CheckInvariants();
+      }
+    }
     context_.events.RunNext(&context_.clock);
     for (auto& node : nodes_) {
       if (node->observer() != nullptr) {
@@ -132,6 +164,7 @@ void Cluster::BeginMeasurement() {
 }
 
 void Cluster::set_check_invariants(bool enabled) {
+  fabric_check_ = enabled;
   for (auto& node : nodes_) {
     node->set_check_invariants(enabled);
   }

@@ -26,6 +26,7 @@
 
 #include "src/faas/platform.h"
 #include "src/faas/routing.h"
+#include "src/snapshot/snapshot_fabric.h"
 
 namespace desiccant {
 
@@ -59,6 +60,8 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   // Arrivals parked because every node was down (drained at each restart).
   size_t pending_count() const { return pending_.size(); }
+  // The cell-shared snapshot fabric, or nullptr when fabric.enabled is off.
+  SharedSnapshotFabric* fabric() { return fabric_.get(); }
 
  private:
   static constexpr size_t kNoNode = kNoRouteTarget;
@@ -74,6 +77,8 @@ class Cluster {
   ClusterConfig config_;
   SimContext context_;
   std::vector<std::unique_ptr<Platform>> nodes_;
+  std::unique_ptr<SharedSnapshotFabric> fabric_;
+  bool fabric_check_ = false;
   size_t round_robin_next_ = 0;
   std::vector<Platform::Request> pending_;
 };

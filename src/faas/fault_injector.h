@@ -25,6 +25,26 @@
 
 namespace desiccant {
 
+// One deterministic degradation window for a shared snapshot-fabric tier
+// (src/snapshot/snapshot_fabric.h). Unlike the probabilistic knobs below,
+// fabric faults are pure schedules — no RNG draws — so adding one never
+// perturbs any other fault stream.
+enum class FabricFaultKind : uint8_t {
+  kBrownout,       // tier serves reads slow_factor x slower during the window
+  kRackPartition,  // one rack loses the tier: its nodes can't fetch, its
+                   // replicas are dropped and re-replicated from survivors
+  kTierLoss,       // the whole tier is unreachable and wiped for the window
+};
+
+struct FabricFault {
+  SimTime at = 0;
+  SimTime duration = 0;
+  size_t tier = 1;  // shared tiers only (tier 0 is node-private)
+  FabricFaultKind kind = FabricFaultKind::kBrownout;
+  double slow_factor = 1.0;  // kBrownout: read-time multiplier
+  size_t rack = 0;           // kRackPartition: the partitioned rack
+};
+
 // All-zero plan = no faults. Every knob is independent; enabling one never
 // changes the draw sequence of another (each decision draws exactly once,
 // and only when its own probability/rate is non-zero).
@@ -77,13 +97,17 @@ struct FaultPlan {
   double snapshot_corruption_prob = 0.0;
   SimTime snapshot_local_tier_fail_at = 0;  // 0 = never
 
+  // Deterministic brown-out/partition/loss windows for the shared snapshot
+  // fabric; ignored unless a cluster runs with SnapshotFabricConfig::enabled.
+  std::vector<FabricFault> fabric_faults;
+
   uint64_t seed = 0x5eedf417;
 
   bool Enabled() const {
     return invocation_timeout > 0 || boot_failure_prob > 0 || restore_failure_prob > 0 ||
            node_memory_bytes > 0 || node_crash_mtbf_seconds > 0 || reclaim_abort_prob > 0 ||
            snapshot_fetch_failure_prob > 0 || snapshot_corruption_prob > 0 ||
-           snapshot_local_tier_fail_at > 0;
+           snapshot_local_tier_fail_at > 0 || !fabric_faults.empty();
   }
 };
 

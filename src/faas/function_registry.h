@@ -30,6 +30,20 @@ namespace desiccant {
 using FunctionId = uint32_t;
 inline constexpr FunctionId kInvalidFunctionId = static_cast<FunctionId>(-1);
 
+// Node-independent identity for a function. FunctionIds are dense per-node
+// handles interned in arrival order, so the same id names different functions
+// on different nodes; anything shared across nodes (the snapshot fabric) must
+// key by the display string instead. FNV-1a over "<workload>#<stage>" keeps
+// that key a cheap integer.
+inline uint64_t StableFunctionKey(const std::string& key) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 class FunctionRegistry {
  public:
   FunctionId Intern(const WorkloadSpec* workload, size_t stage) {

@@ -378,7 +378,8 @@ bool Platform::TryRun(const Request& request) {
     if (snapshot_store_ == nullptr) {
       boot_wall = config_.snapstart_restore_cost;
       restore_attempt = true;
-    } else if (snapshot_store_->HasCopy(function)) {
+    } else if (snapshot_store_->HasCopy(function, context_->clock.Now()) ||
+               request.snapshot_stranded) {
       const SnapshotStore::RestoreOutcome plan =
           snapshot_store_->PlanRestore(function, context_->clock.Now());
       if (plan.fetch_failures > 0) {
@@ -1172,14 +1173,28 @@ std::vector<Platform::Request> Platform::CrashNode() {
   }
   std::sort(abandoned.begin(), abandoned.end(),
             [](const auto& a, const auto& b) { return a.second.id < b.second.id; });
+  // A drained request whose function this node had snapshotted leaves its
+  // image stranded: the failover target should attempt a tiered restore (a
+  // shared tier / the fabric may hold the flushed copy) instead of silently
+  // cold-booting just because it never captured the function itself.
+  const auto stranded = [this](const Request& request) {
+    if (snapshot_store_ == nullptr) {
+      return false;
+    }
+    const FunctionId function =
+        functions_.Find(request.workload->name + "#" + std::to_string(request.stage));
+    return function != kInvalidFunctionId && snapshot_store_->HasImage(function);
+  };
   for (auto& [id, request] : abandoned) {
     LogActivation(request, id, functions_.Name(functions_.Intern(request.workload, request.stage)),
                   ActivationRecord::Outcome::kNodeLost);
     request.retried = true;
+    request.snapshot_stranded = request.snapshot_stranded || stranded(request);
     lost.push_back(std::move(request));
   }
   for (Request& request : waiting_) {
     request.retried = true;
+    request.snapshot_stranded = request.snapshot_stranded || stranded(request);
     lost.push_back(std::move(request));
   }
   // Request ids are assigned in submit order, so sorting restores a
@@ -1422,7 +1437,7 @@ void Platform::MaybeCaptureSnapshot(Instance* instance) {
     return;
   }
   WorkingSet ws = instance->FinishWorkingSetRecording();
-  if (snapshot_store_->HasCopy(instance->function_id())) {
+  if (snapshot_store_->HasCopy(instance->function_id(), context_->clock.Now())) {
     return;  // a sibling instance captured first; keep its image
   }
   // Image size = the frozen USS (just refreshed by Freeze): what CRIU-style

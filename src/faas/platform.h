@@ -259,6 +259,11 @@ class Platform {
     uint32_t attempts = 0;       // invocation retries consumed (timeout/OOM)
     uint32_t boot_attempts = 0;  // boot retries consumed
     bool retried = false;        // saw any retry or failover on any stage
+    // Failed over from a node that had captured this function's snapshot: the
+    // receiving node should attempt a tiered restore even though it never
+    // captured the image itself — a shared tier (or the fabric) may hold the
+    // victim's copy, and discovering it doesn't is the honest fallback cost.
+    bool snapshot_stranded = false;
   };
 
   // With a null `context` the platform owns a private clock + event queue.

@@ -86,6 +86,19 @@ ShardedCluster::ShardedCluster(const ShardedClusterConfig& config) : config_(con
     shard.nodes.push_back(i);
   }
 
+  if (config_.node.snapshot.enabled && config_.node.snapshot.fabric.enabled) {
+    fabric_ = std::make_unique<SharedSnapshotFabric>(
+        config_.node.snapshot, config_.node.faults.fabric_faults, nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      // Same node-independent key translation as Cluster: dense FunctionIds
+      // are per-node, the fabric is not.
+      Platform* node = nodes_[i].get();
+      node->snapshot_store()->AttachFabric(fabric_.get(), i, [node](uint32_t function) {
+        return StableFunctionKey(node->functions().Name(function));
+      });
+    }
+  }
+
   // Crash plans: the schedule is a pure function of the plan (same salt as
   // Cluster), so every crash/restart instant is known now and becomes a
   // migration barrier, and the router can consult the down windows when it
@@ -364,14 +377,36 @@ void ShardedCluster::ExecuteRestart(size_t node, SimTime now) {
 }
 
 void ShardedCluster::AdvanceTo(SimTime t_end, bool stall_barrier) {
-  while (outage_cursor_ < outage_barriers_.size() &&
-         outage_barriers_[outage_cursor_].at <= t_end) {
+  // One barrier per iteration, in time order. Fabric settlement boundaries
+  // interleave with the outage barriers; at a shared instant the outage runs
+  // first (strict `<` below) and the boundary settles on a later iteration,
+  // after RunShardsTo has drained every event at that instant — the same
+  // events-before-settlement order Cluster's SettleBefore produces.
+  while (true) {
+    const SimTime next_outage =
+        outage_cursor_ < outage_barriers_.size() ? outage_barriers_[outage_cursor_].at : kNever;
+    const SimTime next_settle = fabric_ != nullptr ? fabric_->NextBoundary() : kNever;
+    if (next_outage > t_end && next_settle > t_end) {
+      break;
+    }
+    if (next_settle < next_outage) {
+      RunShardsTo(next_settle, /*stall_barrier=*/true);
+      fabric_->SettleThrough(next_settle);
+      if (fabric_check_) {
+        fabric_->CheckInvariants();
+      }
+      continue;
+    }
     const OutageBarrier barrier = outage_barriers_[outage_cursor_++];
     RunShardsTo(barrier.at, /*stall_barrier=*/true);
     ++stats_.migration_barriers;
     DrainVictims(barrier.at);
     if (barrier.crash) {
       ExecuteCrash(barrier.node, barrier.at);
+      if (fabric_ != nullptr) {
+        // Buffered fabric ops die with the node, like its in-flight flushes.
+        fabric_->DropNodeOps(barrier.node);
+      }
     } else {
       ExecuteRestart(barrier.node, barrier.at);
     }
@@ -454,6 +489,7 @@ std::vector<uint64_t> ShardedCluster::NodeFingerprints() const {
 }
 
 void ShardedCluster::set_check_invariants(bool enabled) {
+  fabric_check_ = enabled;
   for (auto& node : nodes_) {
     node->set_check_invariants(enabled);
   }

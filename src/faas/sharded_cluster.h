@@ -166,6 +166,8 @@ class ShardedCluster {
   const ShardedClusterConfig& config() const { return config_; }
   SimTime frontier() const { return frontier_; }
   uint64_t arrivals_routed() const { return arrivals_routed_; }
+  // The cell-shared snapshot fabric, or nullptr when fabric.enabled is off.
+  SharedSnapshotFabric* fabric() { return fabric_.get(); }
   // Requests parked because every node was down (drained at restarts).
   size_t pending_count() const { return pending_.size(); }
   // The cell -> rack leg of network_delay (rack -> node is the remainder).
@@ -252,6 +254,13 @@ class ShardedCluster {
   std::vector<Shard> shards_;
   std::vector<Rack> racks_;
   std::vector<std::unique_ptr<Platform>> nodes_;
+  // Shared snapshot fabric (nullptr unless enabled). Nodes only buffer ops
+  // into private slots mid-window; the coordinator settles them at epoch
+  // barriers interleaved with the migration barriers in AdvanceTo, so the
+  // settled stream is identical to Cluster's — the byte-identity argument
+  // extends to the fabric.
+  std::unique_ptr<SharedSnapshotFabric> fabric_;
+  bool fabric_check_ = false;
   std::unique_ptr<ThreadPool> pool_;  // created on first parallel dispatch
 
   std::vector<PendingArrival> arrivals_;

@@ -1,0 +1,405 @@
+#include "src/snapshot/snapshot_fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desiccant {
+
+namespace {
+
+[[noreturn]] void FabricDie(const char* what) {
+  std::fprintf(stderr, "SharedSnapshotFabric: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+SharedSnapshotFabric::SharedSnapshotFabric(const SnapshotConfig& config,
+                                           const std::vector<FabricFault>& faults,
+                                           size_t node_count)
+    : config_(config), faults_(faults) {
+  ValidateSnapshotConfig(config_);
+  if (!config_.enabled || !config_.fabric.enabled) {
+    FabricDie("constructed without snapshot + fabric enabled");
+  }
+  rack_count_ = config_.fabric.rack_count;
+  replication_factor_ = std::min<size_t>(config_.fabric.replication_factor, rack_count_);
+  epoch_ = config_.fabric.replication_delay;
+  for (const FabricFault& fault : faults_) {
+    if (fault.tier == 0 || fault.tier >= config_.tiers.size()) {
+      FabricDie("fabric fault targets a tier that is not shared (tier 0) or does not exist");
+    }
+    if (fault.duration == 0) {
+      FabricDie("fabric fault window must have a non-zero duration");
+    }
+    if (fault.kind == FabricFaultKind::kBrownout &&
+        !(std::isfinite(fault.slow_factor) && fault.slow_factor >= 1.0)) {
+      FabricDie("brown-out slow_factor must be finite and >= 1");
+    }
+    if (fault.kind == FabricFaultKind::kRackPartition && fault.rack >= rack_count_) {
+      FabricDie("rack partition targets a rack outside the fabric's rack_count");
+    }
+  }
+  // Start-edge order for settlement (stable: schedule order breaks ties).
+  std::stable_sort(faults_.begin(), faults_.end(),
+                   [](const FabricFault& a, const FabricFault& b) { return a.at < b.at; });
+  tiers_.resize(config_.tiers.size());
+  for (TierState& tier : tiers_) {
+    tier.rack_used_bytes.assign(rack_count_, 0);
+  }
+  slots_.resize(node_count);
+}
+
+void SharedSnapshotFabric::BufferPublish(size_t node, size_t tier, uint64_t function,
+                                         uint64_t bytes, uint64_t ws_resident_pages,
+                                         uint64_t version, uint32_t delta_chain, SimTime now) {
+  Slot& slot = slots_[node];
+  slot.ops.push_back(Op{now, node, slot.next_seq++, OpKind::kPublish, tier, function, bytes,
+                        ws_resident_pages, version, delta_chain});
+}
+
+void SharedSnapshotFabric::BufferInvalidate(size_t node, size_t tier, uint64_t function,
+                                            uint64_t version, SimTime now) {
+  Slot& slot = slots_[node];
+  slot.ops.push_back(
+      Op{now, node, slot.next_seq++, OpKind::kInvalidate, tier, function, 0, 0, version, 0});
+}
+
+void SharedSnapshotFabric::BufferTouch(size_t node, size_t tier, uint64_t function, SimTime now) {
+  Slot& slot = slots_[node];
+  slot.ops.push_back(Op{now, node, slot.next_seq++, OpKind::kTouch, tier, function, 0, 0, 0, 0});
+}
+
+bool SharedSnapshotFabric::TierDownAt(size_t tier, SimTime now) const {
+  for (const FabricFault& fault : faults_) {
+    if (fault.kind == FabricFaultKind::kTierLoss && fault.tier == tier && fault.at <= now &&
+        now < fault.at + fault.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SharedSnapshotFabric::RackPartitionedAt(size_t tier, size_t rack, SimTime now) const {
+  for (const FabricFault& fault : faults_) {
+    if (fault.kind == FabricFaultKind::kRackPartition && fault.tier == tier &&
+        fault.rack == rack && fault.at <= now && now < fault.at + fault.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double SharedSnapshotFabric::ReadCostMultiplier(size_t tier, SimTime now) const {
+  double multiplier = 1.0;
+  for (const FabricFault& fault : faults_) {
+    if (fault.kind == FabricFaultKind::kBrownout && fault.tier == tier && fault.at <= now &&
+        now < fault.at + fault.duration) {
+      multiplier *= fault.slow_factor;
+    }
+  }
+  return multiplier;
+}
+
+const SharedSnapshotFabric::Entry* SharedSnapshotFabric::Find(size_t tier, uint64_t function,
+                                                              SimTime now, size_t rack) const {
+  if (tier == 0 || tier >= tiers_.size()) {
+    return nullptr;
+  }
+  if (TierDownAt(tier, now) || RackPartitionedAt(tier, rack, now)) {
+    return nullptr;
+  }
+  const auto it = tiers_[tier].entries.find(function);
+  if (it == tiers_[tier].entries.end() || it->second.visible_at > now) {
+    return nullptr;
+  }
+  for (const uint32_t replica_rack : it->second.racks) {
+    if (!RackPartitionedAt(tier, replica_rack, now)) {
+      return &it->second;
+    }
+  }
+  return nullptr;  // every replica sits behind a partition
+}
+
+void SharedSnapshotFabric::SettleThrough(SimTime t) {
+  while (settled_through_ + epoch_ <= t) {
+    SettleBoundary(settled_through_ + epoch_);
+    settled_through_ += epoch_;
+  }
+}
+
+void SharedSnapshotFabric::SettleBefore(SimTime next_event_time) {
+  // Strictly before: an event at a boundary instant runs ahead of that
+  // boundary's settlement in both cluster engines (the sharded engine
+  // quiesces shards through the boundary before settling it).
+  while (settled_through_ + epoch_ < next_event_time) {
+    SettleBoundary(settled_through_ + epoch_);
+    settled_through_ += epoch_;
+  }
+}
+
+void SharedSnapshotFabric::SettleBoundary(SimTime boundary) {
+  ++stats_.settlements;
+  ApplyFaultEdges(boundary);
+  // Gather every buffered op with time <= boundary. Per-node slots are
+  // time-ordered, so this is a prefix per slot; the global order is
+  // (time, node, seq) — independent of how threads interleaved the windows.
+  scratch_.clear();
+  for (Slot& slot : slots_) {
+    while (slot.cursor < slot.ops.size() && slot.ops[slot.cursor].time <= boundary) {
+      scratch_.push_back(slot.ops[slot.cursor]);
+      ++slot.cursor;
+    }
+    if (slot.cursor == slot.ops.size()) {
+      slot.ops.clear();
+      slot.cursor = 0;
+    }
+  }
+  std::sort(scratch_.begin(), scratch_.end(), [](const Op& a, const Op& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.node != b.node) {
+      return a.node < b.node;
+    }
+    return a.seq < b.seq;
+  });
+  for (const Op& op : scratch_) {
+    ApplyOp(op, boundary);
+  }
+  RepairReplication(boundary);
+}
+
+void SharedSnapshotFabric::ApplyFaultEdges(SimTime boundary) {
+  while (fault_cursor_ < faults_.size() && faults_[fault_cursor_].at <= boundary) {
+    const FabricFault& fault = faults_[fault_cursor_++];
+    TierState& tier = tiers_[fault.tier];
+    if (fault.kind == FabricFaultKind::kRackPartition) {
+      // Pessimistic repair, SCR-style: a partitioned rack is treated as
+      // failed — its replicas are dropped and the survivors re-protect the
+      // data (RepairReplication, once the window allows a healthy target).
+      for (auto it = tier.entries.begin(); it != tier.entries.end();) {
+        auto rack_it = std::find(it->second.racks.begin(), it->second.racks.end(),
+                                 static_cast<uint32_t>(fault.rack));
+        if (rack_it != it->second.racks.end()) {
+          it->second.racks.erase(rack_it);
+          tier.rack_used_bytes[fault.rack] -= it->second.bytes;
+          ++stats_.replicas_lost;
+        }
+        it = it->second.racks.empty() ? tier.entries.erase(it) : std::next(it);
+      }
+    } else if (fault.kind == FabricFaultKind::kTierLoss) {
+      tier.entries.clear();
+      tier.rack_used_bytes.assign(rack_count_, 0);
+      ++stats_.tier_wipes;
+    }
+    // kBrownout: read-side only (ReadCostMultiplier), no state transition.
+  }
+}
+
+void SharedSnapshotFabric::DropReplica(size_t tier, uint64_t function, size_t rack) {
+  TierState& state = tiers_[tier];
+  auto it = state.entries.find(function);
+  if (it == state.entries.end()) {
+    return;
+  }
+  auto rack_it =
+      std::find(it->second.racks.begin(), it->second.racks.end(), static_cast<uint32_t>(rack));
+  if (rack_it == it->second.racks.end()) {
+    return;
+  }
+  it->second.racks.erase(rack_it);
+  state.rack_used_bytes[rack] -= it->second.bytes;
+  if (it->second.racks.empty()) {
+    state.entries.erase(it);
+  }
+}
+
+bool SharedSnapshotFabric::MakeRoom(size_t tier, size_t rack, uint64_t bytes, uint64_t keep) {
+  TierState& state = tiers_[tier];
+  const uint64_t capacity = config_.tiers[tier].capacity_bytes;
+  if (bytes > capacity) {
+    return false;
+  }
+  while (state.rack_used_bytes[rack] + bytes > capacity) {
+    // Strict LRU among this rack's replicas; (last_use, function) is a total
+    // order, and std::map iteration makes the scan deterministic.
+    const Entry* victim = nullptr;
+    uint64_t victim_function = 0;
+    for (const auto& [function, entry] : state.entries) {
+      if (function == keep ||
+          std::find(entry.racks.begin(), entry.racks.end(), static_cast<uint32_t>(rack)) ==
+              entry.racks.end()) {
+        continue;
+      }
+      if (victim == nullptr || entry.last_use < victim->last_use) {
+        victim = &entry;
+        victim_function = function;
+      }
+    }
+    if (victim == nullptr) {
+      return false;  // nothing evictable: the image cannot fit here
+    }
+    DropReplica(tier, victim_function, rack);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+void SharedSnapshotFabric::ApplyOp(const Op& op, SimTime boundary) {
+  TierState& state = tiers_[op.tier];
+  if (op.kind == OpKind::kTouch) {
+    auto it = state.entries.find(op.function);
+    if (it != state.entries.end()) {
+      it->second.last_use = ++use_seq_;
+    }
+    return;
+  }
+  if (op.kind == OpKind::kInvalidate) {
+    auto it = state.entries.find(op.function);
+    if (it != state.entries.end() && it->second.version <= op.version) {
+      for (const uint32_t rack : it->second.racks) {
+        state.rack_used_bytes[rack] -= it->second.bytes;
+      }
+      state.entries.erase(it);
+      ++stats_.invalidates;
+    }
+    return;
+  }
+  // Publish.
+  if (TierDownAt(op.tier, boundary)) {
+    ++stats_.dropped_publishes;  // flushed into a lost tier: the bytes vanish
+    return;
+  }
+  auto it = state.entries.find(op.function);
+  if (it != state.entries.end() && it->second.version > op.version) {
+    ++stats_.superseded;
+    return;
+  }
+  if (it != state.entries.end()) {
+    for (const uint32_t rack : it->second.racks) {
+      state.rack_used_bytes[rack] -= it->second.bytes;
+    }
+    state.entries.erase(it);
+  }
+  Entry entry;
+  entry.bytes = op.bytes;
+  entry.ws_resident_pages = op.ws_resident_pages;
+  entry.version = op.version;
+  entry.delta_chain = op.delta_chain;
+  entry.visible_at = op.time + config_.fabric.replication_delay;
+  entry.last_use = ++use_seq_;
+  // Replica placement: the publisher's rack first (its flush landed there),
+  // then ascending healthy racks until the replication factor is met.
+  const size_t home = RackOf(op.node);
+  for (size_t probe = 0; probe < rack_count_ && entry.racks.size() < replication_factor_;
+       ++probe) {
+    const size_t rack = probe == 0 ? home : (probe <= home ? probe - 1 : probe);
+    if (RackPartitionedAt(op.tier, rack, boundary)) {
+      continue;
+    }
+    if (!MakeRoom(op.tier, rack, op.bytes, op.function)) {
+      continue;
+    }
+    entry.racks.push_back(static_cast<uint32_t>(rack));
+    state.rack_used_bytes[rack] += op.bytes;
+    if (entry.racks.size() > 1) {
+      stats_.bytes_replicated += op.bytes;  // copies beyond the landed one
+    }
+  }
+  if (entry.racks.empty()) {
+    ++stats_.dropped_publishes;
+    return;
+  }
+  std::sort(entry.racks.begin(), entry.racks.end());
+  state.entries.emplace(op.function, std::move(entry));
+  ++stats_.publishes;
+}
+
+void SharedSnapshotFabric::RepairReplication(SimTime boundary) {
+  for (size_t t = 1; t < tiers_.size(); ++t) {
+    if (TierDownAt(t, boundary)) {
+      continue;
+    }
+    size_t healthy = 0;
+    for (size_t rack = 0; rack < rack_count_; ++rack) {
+      healthy += RackPartitionedAt(t, rack, boundary) ? 0 : 1;
+    }
+    const size_t desired = std::min(replication_factor_, healthy);
+    TierState& state = tiers_[t];
+    for (auto& [function, entry] : state.entries) {
+      while (entry.racks.size() < desired) {
+        // First healthy rack not already hosting the image with free space;
+        // repair never evicts (that would let two repairs ping-pong).
+        size_t target = rack_count_;
+        for (size_t rack = 0; rack < rack_count_; ++rack) {
+          if (RackPartitionedAt(t, rack, boundary) ||
+              std::find(entry.racks.begin(), entry.racks.end(), static_cast<uint32_t>(rack)) !=
+                  entry.racks.end() ||
+              state.rack_used_bytes[rack] + entry.bytes > config_.tiers[t].capacity_bytes) {
+            continue;
+          }
+          target = rack;
+          break;
+        }
+        if (target == rack_count_) {
+          break;
+        }
+        entry.racks.push_back(static_cast<uint32_t>(target));
+        std::sort(entry.racks.begin(), entry.racks.end());
+        state.rack_used_bytes[target] += entry.bytes;
+        stats_.bytes_replicated += entry.bytes;
+        ++stats_.re_replications;
+      }
+    }
+  }
+}
+
+void SharedSnapshotFabric::DropNodeOps(size_t node) {
+  Slot& slot = slots_[node];
+  stats_.crash_ops_dropped += slot.ops.size() - slot.cursor;
+  slot.ops.clear();
+  slot.cursor = 0;
+}
+
+void SharedSnapshotFabric::CheckInvariants() const {
+  for (size_t t = 1; t < tiers_.size(); ++t) {
+    std::vector<uint64_t> sums(rack_count_, 0);
+    for (const auto& [function, entry] : tiers_[t].entries) {
+      (void)function;
+      for (const uint32_t rack : entry.racks) {
+        sums[rack] += entry.bytes;
+      }
+    }
+    for (size_t rack = 0; rack < rack_count_; ++rack) {
+      if (sums[rack] != tiers_[t].rack_used_bytes[rack]) {
+        std::fprintf(stderr,
+                     "SharedSnapshotFabric: tier %zu rack %zu byte accounting drifted: "
+                     "sum=%llu used=%llu\n",
+                     t, rack, static_cast<unsigned long long>(sums[rack]),
+                     static_cast<unsigned long long>(tiers_[t].rack_used_bytes[rack]));
+        std::abort();
+      }
+      if (sums[rack] > config_.tiers[t].capacity_bytes) {
+        std::fprintf(stderr, "SharedSnapshotFabric: tier %zu rack %zu over capacity\n", t, rack);
+        std::abort();
+      }
+    }
+  }
+}
+
+size_t SharedSnapshotFabric::TierEntryCount(size_t tier) const {
+  return tier < tiers_.size() ? tiers_[tier].entries.size() : 0;
+}
+
+uint64_t SharedSnapshotFabric::RackUsedBytes(size_t tier, size_t rack) const {
+  if (tier >= tiers_.size() || rack >= rack_count_) {
+    return 0;
+  }
+  return tiers_[tier].rack_used_bytes[rack];
+}
+
+}  // namespace desiccant

@@ -1,0 +1,176 @@
+// Cell-shared snapshot fabric: tiers >= 1 of the snapshot hierarchy as one
+// cluster-wide store with cross-node visibility, rack-level replication, and
+// deterministic degraded operation.
+//
+// A node-private SnapshotStore dies with its node: after an invoker crash the
+// surviving nodes cold-boot and re-capture everything the victim had flushed,
+// exactly the failure multi-level checkpointing exists to prevent. The fabric
+// promotes the shared tiers (SSD, object store) to cluster scope — a flush
+// that lands in a shared tier is fetchable by ANY node once it has replicated
+// — and layers a failure model on top: per-image replication across racks
+// (failure domains), replica loss and re-replication, and the FaultPlan's
+// scheduled tier brown-outs, rack partitions, and tier losses.
+//
+// Determinism under parallel execution is the load-bearing design constraint.
+// The sharded engine runs racks of nodes concurrently between barriers, so
+// the fabric is never mutated from node execution. Instead:
+//
+//   * Nodes buffer fabric operations (publish / invalidate / LRU touch) into
+//     private per-node slots — single writer each, race-free.
+//   * The cluster applies buffered operations at settlement boundaries:
+//     multiples of replication_delay on the global timeline, identical in the
+//     shared-timeline Cluster and the sharded engine. Ops are applied in
+//     (time, node, seq) order, so the applied stream is a pure function of
+//     the simulation, not of thread interleaving.
+//   * A publish only becomes readable at op_time + replication_delay. Since
+//     that stamp is at least one full settlement epoch ahead, an op is always
+//     applied before the first read that could see it — every read is a pure
+//     function of (settled state, now), byte-identical across engines.
+//
+// Scheduled faults follow the same split: read-side effects (brown-out cost
+// multipliers, partition/loss reachability) are evaluated analytically from
+// the fault windows at read time, while state transitions (dropping a
+// partitioned rack's replicas, wiping a lost tier, re-replicating
+// under-replicated images) happen at settlement boundaries.
+#ifndef DESICCANT_SRC_SNAPSHOT_SNAPSHOT_FABRIC_H_
+#define DESICCANT_SRC_SNAPSHOT_SNAPSHOT_FABRIC_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/faas/fault_injector.h"
+#include "src/snapshot/snapshot_store.h"
+
+namespace desiccant {
+
+struct FabricStats {
+  uint64_t publishes = 0;          // publish ops applied
+  uint64_t superseded = 0;         // publishes beaten by a newer version
+  uint64_t dropped_publishes = 0;  // tier down or no rack could host the image
+  uint64_t invalidates = 0;        // corrupt copies removed at settlement
+  uint64_t evictions = 0;          // per-rack LRU replica evictions
+  uint64_t replicas_lost = 0;      // replicas dropped by partition windows
+  uint64_t re_replications = 0;    // replicas rebuilt from survivors
+  uint64_t bytes_replicated = 0;   // bytes shipped by replication + repair
+  uint64_t tier_wipes = 0;         // kTierLoss windows executed
+  uint64_t crash_ops_dropped = 0;  // buffered ops that died with their node
+  uint64_t settlements = 0;        // boundaries processed
+};
+
+class SharedSnapshotFabric {
+ public:
+  struct Entry {
+    uint64_t bytes = 0;              // coalesced image size
+    uint64_t ws_resident_pages = 0;  // REAP prefetch size for sibling restores
+    uint64_t version = 0;
+    uint32_t delta_chain = 0;  // delta links a restore must coalesce
+    SimTime visible_at = 0;    // publish time + replication_delay
+    uint64_t last_use = 0;     // settlement-order LRU stamp
+    std::vector<uint32_t> racks;  // replica racks, ascending
+  };
+
+  // `config` supplies the tier geometry and fabric knobs (validated), and
+  // `faults` the scheduled degradation windows; both are copied. `node_count`
+  // sizes the per-node op slots.
+  SharedSnapshotFabric(const SnapshotConfig& config, const std::vector<FabricFault>& faults,
+                       size_t node_count);
+
+  size_t rack_count() const { return rack_count_; }
+  size_t RackOf(size_t node) const { return node % rack_count_; }
+
+  // ---- node side (called by attached SnapshotStores mid-window; each node
+  // writes only its own slot, so shards may run these concurrently).
+  // `function` is the node-independent StableFunctionKey, NOT a per-node
+  // FunctionId (dense ids are interned in per-node arrival order, so the same
+  // id names different functions on different nodes).
+  void BufferPublish(size_t node, size_t tier, uint64_t function, uint64_t bytes,
+                     uint64_t ws_resident_pages, uint64_t version, uint32_t delta_chain,
+                     SimTime now);
+  void BufferInvalidate(size_t node, size_t tier, uint64_t function, uint64_t version,
+                        SimTime now);
+  void BufferTouch(size_t node, size_t tier, uint64_t function, SimTime now);
+
+  // Read-only lookup: the entry for `function` in `tier` if it is visible at
+  // `now` and reachable from `rack` (tier not lost, reader's rack not
+  // partitioned, at least one replica on an unpartitioned rack).
+  const Entry* Find(size_t tier, uint64_t function, SimTime now, size_t rack) const;
+  // Product of the slow factors of every brown-out window covering `now`.
+  double ReadCostMultiplier(size_t tier, SimTime now) const;
+
+  // ---- coordinator side (cluster engines only, at quiesced points).
+  // The next unprocessed settlement boundary (multiples of replication_delay).
+  SimTime NextBoundary() const { return settled_through_ + epoch_; }
+  // Processes every boundary <= t: fault-window transitions, buffered ops in
+  // (time, node, seq) order, then re-replication of under-replicated images.
+  void SettleThrough(SimTime t);
+  // Cluster shorthand: settle every boundary strictly before the next event.
+  void SettleBefore(SimTime next_event_time);
+  // Node crash: its buffered (not yet settled) ops die with it, exactly like
+  // the store's in-flight flushes.
+  void DropNodeOps(size_t node);
+
+  // Aborts if any (tier, rack)'s recomputed byte sum disagrees with its
+  // counter or exceeds the tier capacity.
+  void CheckInvariants() const;
+
+  const FabricStats& stats() const { return stats_; }
+  SimTime settled_through() const { return settled_through_; }
+  size_t TierEntryCount(size_t tier) const;
+  uint64_t RackUsedBytes(size_t tier, size_t rack) const;
+
+ private:
+  enum class OpKind : uint8_t { kPublish, kInvalidate, kTouch };
+  struct Op {
+    SimTime time = 0;
+    size_t node = 0;
+    uint64_t seq = 0;  // per-node buffer order: the deterministic tiebreak
+    OpKind kind = OpKind::kPublish;
+    size_t tier = 0;
+    uint64_t function = 0;
+    uint64_t bytes = 0;
+    uint64_t ws_resident_pages = 0;
+    uint64_t version = 0;
+    uint32_t delta_chain = 0;
+  };
+  struct TierState {
+    // std::map: settlement-time iteration (repair, invariants) must be
+    // deterministic, and fabric populations are small.
+    std::map<uint64_t, Entry> entries;
+    std::vector<uint64_t> rack_used_bytes;
+  };
+  struct Slot {
+    std::vector<Op> ops;
+    size_t cursor = 0;  // ops[0, cursor) are settled
+    uint64_t next_seq = 0;
+  };
+
+  bool TierDownAt(size_t tier, SimTime now) const;
+  bool RackPartitionedAt(size_t tier, size_t rack, SimTime now) const;
+  void SettleBoundary(SimTime boundary);
+  void ApplyFaultEdges(SimTime boundary);
+  void ApplyOp(const Op& op, SimTime boundary);
+  void RepairReplication(SimTime boundary);
+  void DropReplica(size_t tier, uint64_t function, size_t rack);
+  // Evicts LRU replicas on (tier, rack) until `bytes` fit, never evicting
+  // `keep`. Returns false when the image cannot fit at all.
+  bool MakeRoom(size_t tier, size_t rack, uint64_t bytes, uint64_t keep);
+
+  SnapshotConfig config_;
+  std::vector<FabricFault> faults_;  // validated, sorted by (at, index)
+  size_t fault_cursor_ = 0;          // start edges processed so far
+  size_t rack_count_ = 1;
+  size_t replication_factor_ = 1;
+  SimTime epoch_ = 0;  // settlement quantum == replication_delay
+  SimTime settled_through_ = 0;
+  uint64_t use_seq_ = 0;
+  std::vector<TierState> tiers_;  // index 0 unused (node-private)
+  std::vector<Slot> slots_;
+  std::vector<Op> scratch_;  // settlement sort buffer, reused
+  FabricStats stats_;
+};
+
+}  // namespace desiccant
+
+#endif  // DESICCANT_SRC_SNAPSHOT_SNAPSHOT_FABRIC_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/snapshot/snapshot_fabric.h"
+
 namespace desiccant {
 
 SnapshotConfig SnapshotConfig::ThreeTier() {
@@ -35,7 +37,18 @@ namespace {
   std::abort();
 }
 
+[[noreturn]] void DieGlobal(const char* what) {
+  std::fprintf(stderr, "ValidateSnapshotConfig: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
 bool BadPositive(double v) { return !(std::isfinite(v) && v > 0.0); }
+
+// SimTime is unsigned, so a negative cost assigned by a mis-parsed config
+// wraps to an astronomically large value; anything past an hour of fixed
+// restore cost can only be that wrap.
+constexpr SimTime kRestoreBaseCostSanityBound = 3600 * kSecond;
 
 }  // namespace
 
@@ -70,6 +83,44 @@ void ValidateSnapshotConfig(const SnapshotConfig& cfg) {
       Die(tier.name, "fetch_timeout must be > 0");
     }
   }
+  if (cfg.metadata_bytes == 0) {
+    DieGlobal("metadata_bytes must be > 0 (every restore fetches the metadata stream)");
+  }
+  if (cfg.restore_base_cost > kRestoreBaseCostSanityBound) {
+    DieGlobal(
+        "restore_base_cost exceeds an hour — a negative cost assigned to the "
+        "unsigned SimTime wraps around; use a non-negative cost under 3600s");
+  }
+  if (cfg.flush_delay == 0 && cfg.promote_on_fetch) {
+    DieGlobal(
+        "flush_delay of zero with promote_on_fetch would start every promoted "
+        "copy's write-back at the fetch instant, colliding with the restore's "
+        "own events; give the flush a non-zero delay or disable promotion");
+  }
+  if (cfg.fetch_backoff_base > 0 && cfg.fetch_backoff_cap < cfg.fetch_backoff_base) {
+    DieGlobal("fetch_backoff_cap must be >= fetch_backoff_base");
+  }
+  if (cfg.delta_refresh && cfg.max_delta_chain == 0) {
+    DieGlobal("delta_refresh needs max_delta_chain >= 1 (a zero-length chain is a full re-flush)");
+  }
+  if (cfg.fabric.enabled) {
+    if (cfg.tiers.size() < 2) {
+      DieGlobal(
+          "the shared fabric needs at least one shared tier above the "
+          "node-local cache (tiers.size() >= 2)");
+    }
+    if (cfg.fabric.rack_count == 0) {
+      DieGlobal("fabric.rack_count must be >= 1");
+    }
+    if (cfg.fabric.replication_factor == 0) {
+      DieGlobal("fabric.replication_factor must be >= 1");
+    }
+    if (cfg.fabric.replication_delay == 0) {
+      DieGlobal(
+          "fabric.replication_delay must be > 0 (it is also the settlement "
+          "epoch that keeps parallel replays deterministic)");
+    }
+  }
 }
 
 void SnapshotStats::Accumulate(const SnapshotStats& other) {
@@ -90,6 +141,11 @@ void SnapshotStats::Accumulate(const SnapshotStats& other) {
   bytes_flushed += other.bytes_flushed;
   ws_pages_recorded += other.ws_pages_recorded;
   ws_pages_resident += other.ws_pages_resident;
+  delta_refreshes += other.delta_refreshes;
+  delta_bytes_shipped += other.delta_bytes_shipped;
+  delta_bytes_saved += other.delta_bytes_saved;
+  hedged_fetches += other.hedged_fetches;
+  hedge_wins += other.hedge_wins;
   if (tier_hits.size() < other.tier_hits.size()) {
     tier_hits.resize(other.tier_hits.size(), 0);
   }
@@ -105,8 +161,32 @@ SnapshotStore::SnapshotStore(const SnapshotConfig& config, FaultInjector* inject
   stats_.tier_hits.resize(config_.tiers.size(), 0);
 }
 
-bool SnapshotStore::HasCopy(uint32_t function) const {
+void SnapshotStore::AttachFabric(SharedSnapshotFabric* fabric, size_t node,
+                                 std::function<uint64_t(uint32_t)> stable_key) {
+  fabric_ = fabric;
+  node_ = node;
+  rack_ = fabric->RackOf(node);
+  stable_key_fn_ = std::move(stable_key);
+}
+
+uint64_t SnapshotStore::StableKey(uint32_t function) const {
+  if (function >= stable_keys_.size()) {
+    stable_keys_.resize(function + 1, 0);
+  }
+  if (stable_keys_[function] == 0) {
+    stable_keys_[function] = stable_key_fn_(function);
+  }
+  return stable_keys_[function];
+}
+
+bool SnapshotStore::HasCopy(uint32_t function, SimTime now) const {
   for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (FabricTier(t)) {
+      if (fabric_->Find(t, StableKey(function), now, rack_) != nullptr) {
+        return true;
+      }
+      continue;
+    }
     if (TierUp(t) && tiers_[t].entries.count(function) > 0) {
       return true;
     }
@@ -134,7 +214,8 @@ SimTime SnapshotStore::FlushTime(const SnapshotTierConfig& tier, uint64_t bytes)
          FromSeconds(static_cast<double>(bytes) / (tier.write_mib_per_s * kMiB));
 }
 
-void SnapshotStore::Insert(size_t tier, uint32_t function, uint64_t bytes, uint64_t version) {
+void SnapshotStore::Insert(size_t tier, uint32_t function, uint64_t bytes, uint64_t version,
+                           uint32_t delta_chain) {
   Tier& t = tiers_[tier];
   auto it = t.entries.find(function);
   if (it != t.entries.end()) {
@@ -163,7 +244,7 @@ void SnapshotStore::Insert(size_t tier, uint32_t function, uint64_t bytes, uint6
     t.entries.erase(victim);
     ++stats_.evictions;
   }
-  t.entries.emplace(function, TierEntry{bytes, version, ++use_seq_});
+  t.entries.emplace(function, TierEntry{bytes, version, ++use_seq_, delta_chain});
   t.used_bytes += bytes;
 }
 
@@ -177,15 +258,20 @@ void SnapshotStore::Remove(size_t tier, uint32_t function) {
 }
 
 SnapshotStore::FlushTicket SnapshotStore::StartFlush(uint32_t function, uint64_t bytes,
-                                                     uint64_t version, size_t to_tier,
+                                                     uint64_t shipped_bytes,
+                                                     uint64_t ws_resident_pages, uint64_t version,
+                                                     uint32_t delta_chain, size_t to_tier,
                                                      SimTime now) {
   if (to_tier >= tiers_.size()) {
     return {};
   }
   const uint64_t id = next_ticket_++;
-  inflight_.emplace(id, Flush{function, bytes, version, to_tier});
+  inflight_.emplace(
+      id, Flush{function, bytes, shipped_bytes, ws_resident_pages, version, delta_chain, to_tier});
   ++stats_.flushes_started;
-  return {id, now + config_.flush_delay + FlushTime(config_.tiers[to_tier], bytes)};
+  // A delta flush only ships the delta's bytes; the landed copy is the full
+  // coalesced image (the tier merges the delta into the parent it holds).
+  return {id, now + config_.flush_delay + FlushTime(config_.tiers[to_tier], shipped_bytes)};
 }
 
 SnapshotStore::FlushTicket SnapshotStore::Capture(uint32_t function, uint64_t image_bytes,
@@ -199,16 +285,18 @@ SnapshotStore::FlushTicket SnapshotStore::Capture(uint32_t function, uint64_t im
   img.ws_resident_pages = ws_resident_pages;
   ++img.version;
   img.capture_instance = instance;
+  img.delta_chain = 0;  // a fresh capture is always a full image
   stats_.ws_pages_recorded += img.ws.pages;
   stats_.ws_pages_resident += img.ws_resident_pages;
   ++stats_.captures;
 
   for (size_t t = 0; t < tiers_.size(); ++t) {
-    if (!TierUp(t)) {
+    if (!FabricTier(t) && !TierUp(t)) {
       continue;
     }
-    Insert(t, function, image_bytes, img.version);
-    return StartFlush(function, image_bytes, img.version, t + 1, now);
+    Land(t, function, img, now);
+    return StartFlush(function, image_bytes, image_bytes, img.ws_resident_pages, img.version,
+                      /*delta_chain=*/0, t + 1, now);
   }
   return {};
 }
@@ -227,14 +315,44 @@ SnapshotStore::FlushTicket SnapshotStore::Refresh(uint32_t function, uint64_t im
   stats_.ws_pages_resident += img.ws_resident_pages;
   ++stats_.refreshes;
 
+  // Delta refresh: the post-reclaim image differs from its parent only in the
+  // pages that stayed resident, so ship metadata + those pages instead of the
+  // whole shrunken image — bounded by max_delta_chain links before a full
+  // re-flush resets the chain (a restore coalesces the chain, paying one
+  // extra access latency per link).
+  uint64_t shipped = image_bytes;
+  if (config_.delta_refresh) {
+    const uint64_t delta_bytes =
+        std::min<uint64_t>(image_bytes, config_.metadata_bytes + PagesToBytes(ws_resident_pages));
+    if (img.delta_chain < config_.max_delta_chain && delta_bytes < image_bytes) {
+      shipped = delta_bytes;
+      ++img.delta_chain;
+      ++stats_.delta_refreshes;
+      stats_.delta_bytes_shipped += shipped;
+      stats_.delta_bytes_saved += image_bytes - shipped;
+    } else {
+      img.delta_chain = 0;
+    }
+  }
+
   for (size_t t = 0; t < tiers_.size(); ++t) {
-    if (!TierUp(t)) {
+    if (!FabricTier(t) && !TierUp(t)) {
       continue;
     }
-    Insert(t, function, image_bytes, img.version);
-    return StartFlush(function, image_bytes, img.version, t + 1, now);
+    Land(t, function, img, now);
+    return StartFlush(function, image_bytes, shipped, img.ws_resident_pages, img.version,
+                      img.delta_chain, t + 1, now);
   }
   return {};
+}
+
+void SnapshotStore::Land(size_t tier, uint32_t function, const Image& img, SimTime now) {
+  if (FabricTier(tier)) {
+    fabric_->BufferPublish(node_, tier, StableKey(function), img.bytes, img.ws_resident_pages,
+                           img.version, img.delta_chain, now);
+    return;
+  }
+  Insert(tier, function, img.bytes, img.version, img.delta_chain);
 }
 
 SnapshotStore::FlushTicket SnapshotStore::CompleteFlush(uint64_t ticket_id, SimTime now) {
@@ -251,27 +369,80 @@ SnapshotStore::FlushTicket SnapshotStore::CompleteFlush(uint64_t ticket_id, SimT
     ++stats_.flushes_completed;
     return {};
   }
-  Insert(flush.to_tier, flush.function, flush.bytes, flush.version);
+  if (FabricTier(flush.to_tier)) {
+    fabric_->BufferPublish(node_, flush.to_tier, StableKey(flush.function), flush.bytes,
+                           flush.ws_resident_pages, flush.version, flush.delta_chain, now);
+  } else {
+    Insert(flush.to_tier, flush.function, flush.bytes, flush.version, flush.delta_chain);
+  }
   ++stats_.flushes_completed;
-  stats_.bytes_flushed += flush.bytes;
-  return StartFlush(flush.function, flush.bytes, flush.version, flush.to_tier + 1, now);
+  stats_.bytes_flushed += flush.shipped_bytes;
+  return StartFlush(flush.function, flush.bytes, flush.shipped_bytes, flush.ws_resident_pages,
+                    flush.version, flush.delta_chain, flush.to_tier + 1, now);
+}
+
+SimTime SnapshotStore::FetchBackoff(uint32_t attempt) const {
+  if (config_.fetch_backoff_base == 0) {
+    return 0;  // legacy flat-timeout retry timeline
+  }
+  const uint32_t exponent = std::min(attempt > 0 ? attempt - 1 : 0u, 20u);
+  const SimTime delay = config_.fetch_backoff_base << exponent;
+  return std::min(delay, config_.fetch_backoff_cap);
+}
+
+SnapshotStore::Copy SnapshotStore::FindCopy(size_t tier, uint32_t function, SimTime now) {
+  Copy copy;
+  if (FabricTier(tier)) {
+    const SharedSnapshotFabric::Entry* entry = fabric_->Find(tier, StableKey(function), now, rack_);
+    if (entry != nullptr) {
+      copy.found = true;
+      copy.bytes = entry->bytes;
+      copy.version = entry->version;
+      copy.ws_resident_pages = entry->ws_resident_pages;
+      copy.delta_chain = entry->delta_chain;
+      copy.cost_multiplier = fabric_->ReadCostMultiplier(tier, now);
+    }
+    return copy;
+  }
+  if (!TierUp(tier)) {
+    return copy;
+  }
+  auto entry = tiers_[tier].entries.find(function);
+  if (entry != tiers_[tier].entries.end()) {
+    copy.found = true;
+    copy.bytes = entry->second.bytes;
+    copy.version = entry->second.version;
+    copy.delta_chain = entry->second.delta_chain;
+    copy.local = &entry->second;
+  }
+  return copy;
+}
+
+SimTime SnapshotStore::StreamTime(size_t tier, const Copy& copy, uint64_t fetch_bytes) const {
+  const SnapshotTierConfig& cfg = config_.tiers[tier];
+  SimTime stream = FetchTime(cfg, fetch_bytes);
+  if (copy.cost_multiplier != 1.0) {
+    stream = FromSeconds(ToSeconds(stream) * copy.cost_multiplier);
+  }
+  // Coalescing a delta chain costs one extra round trip per link (each delta
+  // object is a separate fetch before the merge).
+  return stream + static_cast<SimTime>(copy.delta_chain) * FromMillis(cfg.access_latency_ms);
 }
 
 SnapshotStore::RestoreOutcome SnapshotStore::PlanRestore(uint32_t function, SimTime now) {
-  (void)now;
   RestoreOutcome out;
   ++stats_.restores_planned;
   auto img = images_.find(function);
-  const uint64_t ws_resident = img != images_.end() ? img->second.ws_resident_pages : 0;
 
   for (size_t t = 0; t < tiers_.size(); ++t) {
-    if (!TierUp(t)) {
+    Copy copy = FindCopy(t, function, now);
+    if (!copy.found) {
       continue;
     }
-    auto entry = tiers_[t].entries.find(function);
-    if (entry == tiers_[t].entries.end()) {
-      continue;
-    }
+    // A sibling node restoring a crashed node's function has no local image
+    // metadata; the fabric entry carries the working-set residency instead.
+    const uint64_t ws_resident = img != images_.end() ? img->second.ws_resident_pages
+                                                      : copy.ws_resident_pages;
     const SnapshotTierConfig& tier = config_.tiers[t];
     bool streamed = false;
     for (uint32_t attempt = 0; attempt <= tier.max_fetch_retries; ++attempt) {
@@ -279,6 +450,9 @@ SnapshotStore::RestoreOutcome SnapshotStore::PlanRestore(uint32_t function, SimT
         out.fetch_wall += tier.fetch_timeout;
         ++out.fetch_failures;
         ++stats_.fetch_failures;
+        if (attempt < tier.max_fetch_retries) {
+          out.fetch_wall += FetchBackoff(attempt + 1);
+        }
         continue;
       }
       streamed = true;
@@ -289,33 +463,73 @@ SnapshotStore::RestoreOutcome SnapshotStore::PlanRestore(uint32_t function, SimT
     }
     uint64_t fetch_bytes = config_.metadata_bytes;
     if (config_.reap_prefetch) {
-      fetch_bytes += std::min(PagesToBytes(ws_resident), entry->second.bytes);
+      fetch_bytes += std::min(PagesToBytes(ws_resident), copy.bytes);
     }
-    out.fetch_wall += FetchTime(tier, fetch_bytes);
+    size_t serve_tier = t;
+    SimTime stream = StreamTime(t, copy, fetch_bytes);
+    if (config_.hedge_budget > 0 && stream > config_.hedge_budget) {
+      // Hedged fetch: this tier is over its latency budget (brown-out, long
+      // delta chain, or just a slow tier), so race the next tier holding a
+      // copy and take whichever stream finishes first. Purely analytic — no
+      // extra fault draws — so hedging never perturbs the fault streams.
+      ++stats_.hedged_fetches;
+      for (size_t t2 = t + 1; t2 < tiers_.size(); ++t2) {
+        Copy hedge = FindCopy(t2, function, now);
+        if (!hedge.found) {
+          continue;
+        }
+        uint64_t hedge_bytes = config_.metadata_bytes;
+        if (config_.reap_prefetch) {
+          hedge_bytes += std::min(PagesToBytes(ws_resident), hedge.bytes);
+        }
+        const SimTime hedged = config_.hedge_budget + StreamTime(t2, hedge, hedge_bytes);
+        if (hedged < stream) {
+          serve_tier = t2;
+          stream = hedged;
+          fetch_bytes = hedge_bytes;
+          copy = hedge;
+          ++stats_.hedge_wins;
+        }
+        break;  // only the immediate next copy races
+      }
+    }
+    out.fetch_wall += stream;
     if (injector_ != nullptr && injector_->SnapshotCorrupt()) {
       // Checksum mismatch detected after the stream: the copy is useless and
-      // gets dropped so the next restore doesn't trip over it again.
+      // gets dropped so the next restore doesn't trip over it again (fabric
+      // copies stay readable until the invalidate settles cluster-wide).
       ++out.corruptions;
       ++stats_.corruptions;
-      Remove(t, function);  // invalidates `entry`
+      if (FabricTier(serve_tier)) {
+        fabric_->BufferInvalidate(node_, serve_tier, StableKey(function), copy.version, now);
+      } else {
+        Remove(serve_tier, function);
+      }
       continue;
     }
-    entry->second.last_use = ++use_seq_;
+    if (copy.local != nullptr) {
+      copy.local->last_use = ++use_seq_;
+    } else if (FabricTier(serve_tier)) {
+      fabric_->BufferTouch(node_, serve_tier, StableKey(function), now);
+    }
     out.hit = true;
-    out.tier = t;
+    out.tier = serve_tier;
     out.bytes_fetched = fetch_bytes;
     stats_.bytes_fetched += fetch_bytes;
-    ++stats_.tier_hits[t];
+    ++stats_.tier_hits[serve_tier];
     if (!config_.reap_prefetch) {
       // Lazy restore: the working set demand-faults in during the first
       // invocation, each fault paying this tier's fault overhead plus a
       // single-page read.
-      const double per_fault_s = tier.page_fault_overhead_us * 1e-6 +
-                                 static_cast<double>(kPageSize) / (tier.read_mib_per_s * kMiB);
-      out.demand_cost = FromSeconds(static_cast<double>(ws_resident) * per_fault_s);
+      const SnapshotTierConfig& served = config_.tiers[serve_tier];
+      const double per_fault_s = served.page_fault_overhead_us * 1e-6 +
+                                 static_cast<double>(kPageSize) / (served.read_mib_per_s * kMiB);
+      out.demand_cost =
+          FromSeconds(static_cast<double>(ws_resident) * per_fault_s * copy.cost_multiplier);
     }
-    if (t > 0 && config_.promote_on_fetch && TierUp(0)) {
-      Insert(0, function, entry->second.bytes, entry->second.version);
+    if (serve_tier > 0 && config_.promote_on_fetch && TierUp(0)) {
+      // The promoted copy is the coalesced image: restore merged the chain.
+      Insert(0, function, copy.bytes, copy.version, /*delta_chain=*/0);
       ++stats_.promotions;
     }
     return out;

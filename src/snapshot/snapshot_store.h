@@ -21,6 +21,7 @@
 #define DESICCANT_SRC_SNAPSHOT_SNAPSHOT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,8 @@
 #include "src/snapshot/working_set.h"
 
 namespace desiccant {
+
+class SharedSnapshotFabric;
 
 struct SnapshotTierConfig {
   std::string name;
@@ -47,6 +50,24 @@ struct SnapshotTierConfig {
   // Cost of one demand fault against this tier in lazy (non-REAP) restore
   // mode, excluding the single-page read itself.
   double page_fault_overhead_us = 0.0;
+};
+
+// Cell-shared snapshot fabric (tiers >= 1 of the hierarchy). When enabled and
+// a Cluster/ShardedCluster attaches its nodes' stores to one
+// SharedSnapshotFabric, every flush that lands in a shared tier becomes
+// fetchable by any node: a sibling restoring a crashed node's function finds
+// the shared copy instead of cold-booting. Images are replicated across
+// `replication_factor` failure domains (racks; a node lives in rack
+// node % rack_count), and a publish becomes visible cluster-wide
+// `replication_delay` after the flush landed — which is also the fabric's
+// settlement epoch, the quantum at which both cluster engines apply buffered
+// fabric operations (the visibility stamp is what keeps serial, parallel, and
+// shared-timeline runs byte-identical).
+struct SnapshotFabricConfig {
+  bool enabled = false;
+  uint32_t replication_factor = 2;
+  uint32_t rack_count = 2;
+  SimTime replication_delay = 200 * kMillisecond;
 };
 
 struct SnapshotConfig {
@@ -69,6 +90,25 @@ struct SnapshotConfig {
   // Delay between a capture landing in tier N and its write-back flush to
   // tier N+1 starting.
   SimTime flush_delay = 250 * kMillisecond;
+  // Capped exponential backoff between fetch retry attempts (same shape as
+  // the controller retry path: delay(attempt) = min(base << (attempt - 1),
+  // cap)). base == 0 keeps the legacy flat-timeout retry timeline.
+  SimTime fetch_backoff_base = 0;
+  SimTime fetch_backoff_cap = 2 * kSecond;
+  // Hedged fetches: when the winning tier's stream time would exceed this
+  // budget, the restore races the next tier holding a copy and takes
+  // min(stream, budget + next tier's stream). 0 = no hedging.
+  SimTime hedge_budget = 0;
+  // Delta snapshots on Desiccant refresh: re-flush only the metadata plus the
+  // pages still resident since the parent version instead of the full image,
+  // up to max_delta_chain deltas before a full re-flush resets the chain. A
+  // restore of a chained image pays one extra access latency per link before
+  // the copy coalesces.
+  bool delta_refresh = false;
+  uint32_t max_delta_chain = 4;
+  // Cell-shared fabric for tiers >= 1 (only takes effect when a cluster
+  // attaches the store to a SharedSnapshotFabric).
+  SnapshotFabricConfig fabric;
 
   // Canonical three-tier hierarchy: node-local NVMe cache, shared SSD,
   // remote object store.
@@ -101,6 +141,11 @@ struct SnapshotStats {
   uint64_t bytes_flushed = 0;
   uint64_t ws_pages_recorded = 0;  // summed over live images
   uint64_t ws_pages_resident = 0;  // still resident at last capture/refresh
+  uint64_t delta_refreshes = 0;      // refreshes shipped as deltas
+  uint64_t delta_bytes_shipped = 0;  // flush bytes actually shipped by deltas
+  uint64_t delta_bytes_saved = 0;    // full-reflush bytes the deltas avoided
+  uint64_t hedged_fetches = 0;  // restores whose stream exceeded hedge_budget
+  uint64_t hedge_wins = 0;      // hedged restores the next tier won
   std::vector<uint64_t> tier_hits;  // restores served per tier
 
   void Accumulate(const SnapshotStats& other);
@@ -138,8 +183,24 @@ class SnapshotStore {
 
   const SnapshotConfig& config() const { return config_; }
 
-  // True if any healthy tier holds a copy for `function`.
-  bool HasCopy(uint32_t function) const;
+  // Attaches this node's store to the cell-shared fabric: tiers >= 1 stop
+  // being node-private maps and become views onto the fabric (publishes are
+  // buffered per node and applied at the cluster's settlement boundaries).
+  // `stable_key` maps this node's dense FunctionIds to node-independent
+  // StableFunctionKeys — the fabric's key space, since dense ids are interned
+  // in per-node arrival order and do not agree across nodes. Called once by
+  // Cluster/ShardedCluster before any event runs.
+  void AttachFabric(SharedSnapshotFabric* fabric, size_t node,
+                    std::function<uint64_t(uint32_t)> stable_key);
+  bool fabric_attached() const { return fabric_ != nullptr; }
+
+  // True if any healthy tier holds a copy for `function` visible at `now`
+  // (the default sees every fabric publish, which is what the fabric-less
+  // unit tests want).
+  bool HasCopy(uint32_t function, SimTime now = ~static_cast<SimTime>(0)) const;
+  // True if this store holds capture metadata for `function` — i.e. the node
+  // captured it at some point, whether or not a copy is still fetchable.
+  bool HasImage(uint32_t function) const { return images_.count(function) != 0; }
   // True if `instance` produced the current image for `function` — only the
   // capture instance's region ids are meaningful for its working set.
   bool IsCaptureInstance(uint32_t function, uint64_t instance) const;
@@ -191,11 +252,13 @@ class SnapshotStore {
     uint64_t ws_resident_pages = 0;
     uint64_t version = 0;
     uint64_t capture_instance = 0;
+    uint32_t delta_chain = 0;  // deltas since the last full capture/re-flush
   };
   struct TierEntry {
     uint64_t bytes = 0;
     uint64_t version = 0;
     uint64_t last_use = 0;
+    uint32_t delta_chain = 0;
   };
   struct Tier {
     std::unordered_map<uint32_t, TierEntry> entries;
@@ -203,23 +266,57 @@ class SnapshotStore {
   };
   struct Flush {
     uint32_t function = 0;
+    uint64_t bytes = 0;          // coalesced image size landed at the tier
+    uint64_t shipped_bytes = 0;  // bytes on the wire (< bytes for a delta)
+    uint64_t ws_resident_pages = 0;
+    uint64_t version = 0;
+    uint32_t delta_chain = 0;
+    size_t to_tier = 0;
+  };
+  // Where a PlanRestore walk found a copy (local map or fabric view).
+  struct Copy {
+    bool found = false;
     uint64_t bytes = 0;
     uint64_t version = 0;
-    size_t to_tier = 0;
+    uint64_t ws_resident_pages = 0;
+    uint32_t delta_chain = 0;
+    double cost_multiplier = 1.0;  // fabric brown-out read slowdown
+    TierEntry* local = nullptr;    // null for fabric copies
   };
 
   bool TierUp(size_t tier) const { return tier != 0 || !local_tier_failed_; }
+  bool FabricTier(size_t tier) const { return fabric_ != nullptr && tier >= 1; }
   SimTime FetchTime(const SnapshotTierConfig& tier, uint64_t bytes) const;
   SimTime FlushTime(const SnapshotTierConfig& tier, uint64_t bytes) const;
+  // Capped exponential backoff before retry `attempt` (1-based); zero when
+  // fetch_backoff_base is zero (the legacy flat timeline).
+  SimTime FetchBackoff(uint32_t attempt) const;
+  // The fabric-side key for a dense per-node id, memoized (ids are dense, so
+  // the cache is a flat vector).
+  uint64_t StableKey(uint32_t function) const;
+  Copy FindCopy(size_t tier, uint32_t function, SimTime now);
+  // Stream time for a copy at `tier`: access latency + transfer, scaled by
+  // the brown-out multiplier, plus one extra access latency per delta link.
+  SimTime StreamTime(size_t tier, const Copy& copy, uint64_t fetch_bytes) const;
   // Inserts (or overwrites) `function`'s copy in `tier`, evicting strict-LRU
   // until it fits. Oversize images are dropped with a counter.
-  void Insert(size_t tier, uint32_t function, uint64_t bytes, uint64_t version);
+  void Insert(size_t tier, uint32_t function, uint64_t bytes, uint64_t version,
+              uint32_t delta_chain = 0);
   void Remove(size_t tier, uint32_t function);
-  FlushTicket StartFlush(uint32_t function, uint64_t bytes, uint64_t version, size_t to_tier,
-                         SimTime now);
+  // Lands `function`'s image in `tier`: the local map for node-private
+  // tiers, a buffered fabric publish for shared ones.
+  void Land(size_t tier, uint32_t function, const Image& img, SimTime now);
+  FlushTicket StartFlush(uint32_t function, uint64_t bytes, uint64_t shipped_bytes,
+                         uint64_t ws_resident_pages, uint64_t version, uint32_t delta_chain,
+                         size_t to_tier, SimTime now);
 
   SnapshotConfig config_;
   FaultInjector* injector_;
+  SharedSnapshotFabric* fabric_ = nullptr;
+  size_t node_ = 0;
+  size_t rack_ = 0;
+  std::function<uint64_t(uint32_t)> stable_key_fn_;
+  mutable std::vector<uint64_t> stable_keys_;  // dense id -> fabric key, memoized
   std::unordered_map<uint32_t, Image> images_;
   std::vector<Tier> tiers_;
   std::unordered_map<uint64_t, Flush> inflight_;

@@ -569,5 +569,137 @@ INSTANTIATE_TEST_SUITE_P(Scenarios, SnapshotClusterChaosFuzzTest,
                                            ChaosParams{403, MemoryMode::kEager},
                                            ChaosParams{404, MemoryMode::kSwap}));
 
+// ---------------------------------------------------------------------------
+// Fabric chaos: random fabric topologies (racks x replication factors) x
+// random brown-out / partition / tier-loss windows x crash plans, with the
+// fabric's per-(tier, rack) byte recount re-verified at every settlement via
+// set_check_invariants. Conservation and the restore ledger must hold no
+// matter how degraded the shared tiers get.
+// ---------------------------------------------------------------------------
+
+std::vector<FabricFault> ChaosFabricFaults(Rng& rng, size_t tiers, size_t racks) {
+  std::vector<FabricFault> faults;
+  const uint64_t windows = rng.UniformU64(0, 3);
+  for (uint64_t i = 0; i < windows; ++i) {
+    FabricFault fault;
+    fault.at = FromSeconds(rng.Uniform(5.0, 90.0));
+    fault.duration = FromSeconds(rng.Uniform(1.0, 30.0));
+    fault.tier = 1 + rng.UniformU64(0, tiers - 2);  // any shared tier
+    switch (rng.UniformU64(0, 2)) {
+      case 0:
+        fault.kind = FabricFaultKind::kBrownout;
+        fault.slow_factor = rng.Uniform(1.5, 16.0);
+        break;
+      case 1:
+        fault.kind = FabricFaultKind::kRackPartition;
+        fault.rack = rng.UniformU64(0, racks - 1);
+        break;
+      default:
+        fault.kind = FabricFaultKind::kTierLoss;
+        break;
+    }
+    faults.push_back(fault);
+  }
+  return faults;
+}
+
+class SnapshotFabricChaosFuzzTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(SnapshotFabricChaosFuzzTest, ConservationHoldsUnderDegradedFabrics) {
+  const ChaosParams params = GetParam();
+  Rng scenario(params.seed ^ 0x5AFBull);
+
+  ClusterConfig config;
+  config.node_count = 2 + scenario.UniformU64(0, 3);
+  config.routing = static_cast<RoutingPolicy>(scenario.UniformU64(0, 2));
+  config.node.mode = params.mode;
+  config.node.cache_capacity_bytes = scenario.UniformU64(512, 1536) * kMiB;
+  config.node.cpu_cores = 2.0;
+  config.node.keep_alive = 60 * kSecond;
+  config.node.seed = params.seed;
+  config.node.snapstart_restore = true;
+  config.node.snapshot = ChaosSnapshotConfig(scenario);
+  if (config.node.snapshot.tiers.size() < 2) {
+    config.node.snapshot = SnapshotConfig::ThreeTier();  // fabric needs a shared tier
+  }
+  config.node.snapshot.fabric.enabled = true;
+  config.node.snapshot.fabric.rack_count = 1 + scenario.UniformU64(0, 3);
+  config.node.snapshot.fabric.replication_factor = 1 + scenario.UniformU64(0, 3);
+  config.node.snapshot.fabric.replication_delay =
+      FromMillis(static_cast<double>(scenario.UniformU64(50, 500)));
+  if (scenario.Chance(0.5)) {
+    config.node.snapshot.fetch_backoff_base = FromMillis(static_cast<double>(
+        scenario.UniformU64(5, 50)));
+  }
+  if (scenario.Chance(0.5)) {
+    config.node.snapshot.hedge_budget = FromMillis(static_cast<double>(
+        scenario.UniformU64(5, 200)));
+  }
+  if (scenario.Chance(0.5)) {
+    config.node.snapshot.delta_refresh = true;
+    config.node.snapshot.max_delta_chain =
+        static_cast<uint32_t>(1 + scenario.UniformU64(0, 5));
+  }
+  config.node.faults = SnapshotChaosPlan(scenario);
+  config.node.faults.fabric_faults = ChaosFabricFaults(
+      scenario, config.node.snapshot.tiers.size(), config.node.snapshot.fabric.rack_count);
+  if (scenario.Chance(0.7)) {
+    config.node.faults.node_crash_mtbf_seconds = 30.0;
+    config.node.faults.node_crash_horizon = 120 * kSecond;
+    config.node.faults.node_restart_delay = 3 * kSecond;
+  }
+  Cluster cluster(config);
+  cluster.set_check_invariants(true);  // fabric byte recount at every settlement
+
+  const auto& suite = WorkloadSuite();
+  uint64_t submitted = 0;
+  double t = 0.5;
+  while (t < 45.0) {
+    const WorkloadSpec& w = suite[scenario.UniformU64(0, suite.size() - 1)];
+    cluster.Submit(&w, FromSeconds(t));
+    ++submitted;
+    t += scenario.Exponential(0.5);
+  }
+
+  cluster.BeginMeasurement();
+  cluster.Run();
+  const PlatformMetrics m = cluster.AggregateMetrics();
+
+  EXPECT_EQ(m.requests_completed + m.requests_failed + m.requests_dropped, submitted);
+  EXPECT_LE(m.requests_retried_ok, m.requests_completed);
+  EXPECT_EQ(cluster.pending_count(), 0u);
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_FALSE(cluster.node(i).node_down());
+    ASSERT_NE(cluster.node(i).snapshot_store(), nullptr);
+    const SnapshotStats& s = cluster.node(i).snapshot_store()->stats();
+    uint64_t hits = 0;
+    for (const uint64_t h : s.tier_hits) {
+      hits += h;
+    }
+    EXPECT_EQ(hits + s.fallback_cold_boots, s.restores_planned);
+    EXPECT_LE(s.flushes_completed + s.flushes_lost, s.flushes_started);
+    EXPECT_LE(s.hedge_wins, s.hedged_fetches);
+    cluster.node(i).snapshot_store()->CheckInvariants();
+    EXPECT_EQ(cluster.node(i).memory_charged(), cluster.node(i).FrozenMemoryBytes());
+  }
+  ASSERT_NE(cluster.fabric(), nullptr);
+  cluster.fabric()->CheckInvariants();
+  const FabricStats& fs = cluster.fabric()->stats();
+  // Live entries can only come from applied publishes.
+  uint64_t entries = 0;
+  for (size_t tier = 1; tier < config.node.snapshot.tiers.size(); ++tier) {
+    entries += cluster.fabric()->TierEntryCount(tier);
+  }
+  EXPECT_LE(entries, fs.publishes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SnapshotFabricChaosFuzzTest,
+                         ::testing::Values(ChaosParams{501, MemoryMode::kVanilla},
+                                           ChaosParams{502, MemoryMode::kDesiccant},
+                                           ChaosParams{503, MemoryMode::kEager},
+                                           ChaosParams{504, MemoryMode::kSwap},
+                                           ChaosParams{505, MemoryMode::kVanilla},
+                                           ChaosParams{506, MemoryMode::kDesiccant}));
+
 }  // namespace
 }  // namespace desiccant

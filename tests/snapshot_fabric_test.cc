@@ -1,0 +1,196 @@
+// Tests for the cell-shared snapshot fabric: cross-node visibility at the
+// replication delay, rack-level replication and repair, the scheduled
+// degradation windows (brown-out, rack partition, tier loss), and the
+// store-side integration (sibling restores, hedged fetches under brown-out).
+#include <gtest/gtest.h>
+
+#include "src/snapshot/snapshot_fabric.h"
+#include "src/snapshot/snapshot_store.h"
+#include "src/snapshot/working_set.h"
+
+namespace desiccant {
+namespace {
+
+SnapshotConfig FabricTwoTier() {
+  SnapshotConfig cfg;
+  cfg.enabled = true;
+  cfg.tiers = {
+      {"local", 10 * kMiB, 1000.0, 1000.0, 1.0, 10 * kMillisecond, 1, 10.0},
+      {"shared", 100 * kMiB, 100.0, 100.0, 10.0, 100 * kMillisecond, 2, 100.0},
+  };
+  cfg.flush_delay = 10 * kMillisecond;
+  cfg.metadata_bytes = 64 * kKiB;
+  cfg.fabric.enabled = true;
+  cfg.fabric.rack_count = 2;
+  cfg.fabric.replication_factor = 2;
+  cfg.fabric.replication_delay = 100 * kMillisecond;
+  return cfg;
+}
+
+WorkingSet MakeWs(uint64_t pages) {
+  WorkingSet ws;
+  ws.runs.push_back({0, 0, pages});
+  ws.pages = pages;
+  return ws;
+}
+
+// Unit tests drive the stores directly, so any injective id -> key map works
+// as the stable-key translation (all stores agree by construction, the way
+// cluster registries rendering the same display string do).
+uint64_t TestKey(uint32_t function) { return 0x1000 + function; }
+
+// A two-node fixture: node 0 captures, node 1 restores the shared copy.
+struct Fixture {
+  explicit Fixture(const SnapshotConfig& cfg, const std::vector<FabricFault>& faults = {})
+      : fabric(cfg, faults, /*node_count=*/2),
+        store0(cfg, nullptr),
+        store1(cfg, nullptr) {
+    store0.AttachFabric(&fabric, 0, TestKey);
+    store1.AttachFabric(&fabric, 1, TestKey);
+  }
+
+  // Node 0 captures `function` and completes the flush into the shared tier;
+  // returns the publish time of the shared copy.
+  SimTime PublishFrom0(uint32_t function, SimTime now) {
+    const auto ticket = store0.Capture(function, kMiB, MakeWs(16), 16, 1, now);
+    store0.CompleteFlush(ticket.id, ticket.complete_at);
+    return ticket.complete_at;
+  }
+
+  SharedSnapshotFabric fabric;
+  SnapshotStore store0;
+  SnapshotStore store1;
+};
+
+TEST(SnapshotFabricTest, PublishBecomesVisibleClusterWideAfterReplicationDelay) {
+  Fixture fx(FabricTwoTier());
+  const SimTime published = fx.PublishFrom0(1, 0);
+  const SimTime visible = published + FabricTwoTier().fabric.replication_delay;
+  fx.fabric.SettleThrough(visible);
+  // Before the visibility stamp the sibling sees nothing; after it, the
+  // shared copy serves a full tiered restore with the fabric's working-set
+  // residency (node 1 never captured the function itself).
+  EXPECT_FALSE(fx.store1.HasCopy(1, published));
+  EXPECT_TRUE(fx.store1.HasCopy(1, visible));
+  const auto restore = fx.store1.PlanRestore(1, visible);
+  EXPECT_TRUE(restore.hit);
+  EXPECT_EQ(restore.tier, 1u);
+  EXPECT_GT(restore.bytes_fetched, 0u);
+  fx.fabric.CheckInvariants();
+}
+
+TEST(SnapshotFabricTest, ImagesReplicateAcrossRacks) {
+  Fixture fx(FabricTwoTier());
+  fx.PublishFrom0(1, 0);
+  fx.fabric.SettleThrough(kSecond);
+  EXPECT_EQ(fx.fabric.TierEntryCount(1), 1u);
+  // Replication factor 2 over 2 racks: one replica each, with the copy
+  // charged to both racks' byte counters.
+  EXPECT_EQ(fx.fabric.RackUsedBytes(1, 0), kMiB);
+  EXPECT_EQ(fx.fabric.RackUsedBytes(1, 1), kMiB);
+  EXPECT_GE(fx.fabric.stats().bytes_replicated, kMiB);
+  fx.fabric.CheckInvariants();
+}
+
+TEST(SnapshotFabricTest, PartitionDropsReplicasThenRepairHeals) {
+  const std::vector<FabricFault> faults = {
+      {2 * kSecond, kSecond, 1, FabricFaultKind::kRackPartition, 1.0, 0},
+  };
+  Fixture fx(FabricTwoTier(), faults);
+  fx.PublishFrom0(1, 0);
+  fx.store0.OnNodeCrash();  // drop node 0's local copy: only the fabric serves
+  fx.fabric.SettleThrough(kSecond);
+  ASSERT_EQ(fx.fabric.RackUsedBytes(1, 0), kMiB);
+
+  // The partition window treats rack 0 as failed: its replica drops, and a
+  // rack-0 reader cannot reach the fabric at all while partitioned — but the
+  // rack-1 reader still sees the surviving replica.
+  fx.fabric.SettleThrough(2 * kSecond + 500 * kMillisecond);
+  EXPECT_GE(fx.fabric.stats().replicas_lost, 1u);
+  EXPECT_EQ(fx.fabric.RackUsedBytes(1, 0), 0u);
+  const SimTime mid = 2 * kSecond + 500 * kMillisecond;
+  EXPECT_EQ(fx.fabric.Find(1, TestKey(1), mid, /*rack=*/0), nullptr);
+  EXPECT_NE(fx.fabric.Find(1, TestKey(1), mid, /*rack=*/1), nullptr);
+  EXPECT_FALSE(fx.store0.HasCopy(1, mid));  // store 0 lives in rack 0
+  EXPECT_TRUE(fx.store1.HasCopy(1, mid));
+
+  // After the window ends the fabric re-protects the image from the
+  // survivor: both racks host a replica again.
+  fx.fabric.SettleThrough(4 * kSecond);
+  EXPECT_GE(fx.fabric.stats().re_replications, 1u);
+  EXPECT_EQ(fx.fabric.RackUsedBytes(1, 0), kMiB);
+  EXPECT_TRUE(fx.store0.HasCopy(1, 4 * kSecond));
+  fx.fabric.CheckInvariants();
+}
+
+TEST(SnapshotFabricTest, TierLossWipesTheSharedTier) {
+  const std::vector<FabricFault> faults = {
+      {2 * kSecond, kSecond, 1, FabricFaultKind::kTierLoss, 1.0, 0},
+  };
+  Fixture fx(FabricTwoTier(), faults);
+  fx.PublishFrom0(1, 0);
+  fx.fabric.SettleThrough(kSecond);
+  ASSERT_EQ(fx.fabric.TierEntryCount(1), 1u);
+  fx.fabric.SettleThrough(3 * kSecond);
+  EXPECT_EQ(fx.fabric.stats().tier_wipes, 1u);
+  EXPECT_EQ(fx.fabric.TierEntryCount(1), 0u);
+  EXPECT_FALSE(fx.store1.HasCopy(1, 3 * kSecond));
+  // A fresh publish after the window repopulates the tier.
+  fx.PublishFrom0(2, 4 * kSecond);
+  fx.fabric.SettleThrough(6 * kSecond);
+  EXPECT_EQ(fx.fabric.TierEntryCount(1), 1u);
+  fx.fabric.CheckInvariants();
+}
+
+TEST(SnapshotFabricTest, BrownoutMultipliesReadCost) {
+  const std::vector<FabricFault> faults = {
+      {2 * kSecond, kSecond, 1, FabricFaultKind::kBrownout, 8.0, 0},
+  };
+  SnapshotConfig cfg = FabricTwoTier();
+  cfg.promote_on_fetch = false;  // keep both restores streaming from the fabric
+  Fixture fx(cfg, faults);
+  fx.PublishFrom0(1, 0);
+  fx.fabric.SettleThrough(kSecond);
+  EXPECT_EQ(fx.fabric.ReadCostMultiplier(1, kSecond), 1.0);
+  EXPECT_EQ(fx.fabric.ReadCostMultiplier(1, 2 * kSecond + 1), 8.0);
+  // The sibling's restore inside the window streams ~8x slower than the same
+  // restore outside it.
+  const auto clean = fx.store1.PlanRestore(1, 2 * kSecond - kMillisecond);
+  const auto browned = fx.store1.PlanRestore(1, 2 * kSecond + kMillisecond);
+  ASSERT_TRUE(clean.hit);
+  ASSERT_TRUE(browned.hit);
+  EXPECT_GT(browned.fetch_wall, 4 * clean.fetch_wall);
+  fx.fabric.CheckInvariants();
+}
+
+TEST(SnapshotFabricTest, DroppedNodeOpsDieWithTheNode) {
+  Fixture fx(FabricTwoTier());
+  fx.PublishFrom0(1, 0);  // buffered, not yet settled
+  fx.fabric.DropNodeOps(0);
+  EXPECT_GE(fx.fabric.stats().crash_ops_dropped, 1u);
+  fx.fabric.SettleThrough(10 * kSecond);
+  // The publish never happened as far as the fabric is concerned.
+  EXPECT_EQ(fx.fabric.TierEntryCount(1), 0u);
+  EXPECT_FALSE(fx.store1.HasCopy(1, 10 * kSecond));
+  fx.fabric.CheckInvariants();
+}
+
+TEST(SnapshotFabricTest, NewerVersionSupersedesOlderPublish) {
+  Fixture fx(FabricTwoTier());
+  fx.PublishFrom0(1, 0);
+  const auto refresh = fx.store0.Refresh(1, kMiB / 2, 8, kSecond);
+  ASSERT_TRUE(refresh.valid());
+  fx.store0.CompleteFlush(refresh.id, refresh.complete_at);
+  fx.fabric.SettleThrough(10 * kSecond);
+  // Both publishes settled in version order: the shared tier holds exactly
+  // the refreshed (smaller) image.
+  EXPECT_EQ(fx.fabric.TierEntryCount(1), 1u);
+  const auto* entry = fx.fabric.Find(1, TestKey(1), 10 * kSecond, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->bytes, kMiB / 2);
+  EXPECT_EQ(entry->version, 2u);
+  fx.fabric.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace desiccant

@@ -119,6 +119,60 @@ TEST(SnapshotConfigDeathTest, ZeroFetchTimeoutAborts) {
   EXPECT_DEATH(ValidateSnapshotConfig(cfg), "fetch_timeout");
 }
 
+TEST(SnapshotConfigDeathTest, ZeroMetadataBytesAborts) {
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.metadata_bytes = 0;
+  EXPECT_DEATH(ValidateSnapshotConfig(cfg), "metadata_bytes");
+}
+
+TEST(SnapshotConfigDeathTest, WrappedRestoreBaseCostAborts) {
+  SnapshotConfig cfg = SmallTwoTier();
+  // A negative cost assigned to the unsigned SimTime wraps to an absurdly
+  // large value; the validator catches it via the sanity bound.
+  cfg.restore_base_cost = static_cast<SimTime>(-60 * static_cast<int64_t>(kMillisecond));
+  EXPECT_DEATH(ValidateSnapshotConfig(cfg), "restore_base_cost");
+}
+
+TEST(SnapshotConfigDeathTest, ZeroFlushDelayWithPromotionAborts) {
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.flush_delay = 0;
+  cfg.promote_on_fetch = true;
+  EXPECT_DEATH(ValidateSnapshotConfig(cfg), "flush_delay");
+}
+
+TEST(SnapshotConfigDeathTest, BackoffCapBelowBaseAborts) {
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.fetch_backoff_base = 100 * kMillisecond;
+  cfg.fetch_backoff_cap = 10 * kMillisecond;
+  EXPECT_DEATH(ValidateSnapshotConfig(cfg), "fetch_backoff_cap");
+}
+
+TEST(SnapshotConfigDeathTest, DeltaRefreshWithZeroChainAborts) {
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.delta_refresh = true;
+  cfg.max_delta_chain = 0;
+  EXPECT_DEATH(ValidateSnapshotConfig(cfg), "max_delta_chain");
+}
+
+TEST(SnapshotConfigDeathTest, FabricGeometryAborts) {
+  SnapshotConfig single = SmallTwoTier();
+  single.tiers.resize(1);
+  single.fabric.enabled = true;
+  EXPECT_DEATH(ValidateSnapshotConfig(single), "shared tier");
+  SnapshotConfig racks = SmallTwoTier();
+  racks.fabric.enabled = true;
+  racks.fabric.rack_count = 0;
+  EXPECT_DEATH(ValidateSnapshotConfig(racks), "rack_count");
+  SnapshotConfig replicas = SmallTwoTier();
+  replicas.fabric.enabled = true;
+  replicas.fabric.replication_factor = 0;
+  EXPECT_DEATH(ValidateSnapshotConfig(replicas), "replication_factor");
+  SnapshotConfig delay = SmallTwoTier();
+  delay.fabric.enabled = true;
+  delay.fabric.replication_delay = 0;
+  EXPECT_DEATH(ValidateSnapshotConfig(delay), "replication_delay");
+}
+
 TEST(SnapshotConfigDeathTest, PlatformValidatesOnConstruction) {
   PlatformConfig config;
   config.snapshot.enabled = true;  // enabled with an empty tier list
@@ -308,6 +362,122 @@ TEST(SnapshotStoreTest, CorruptCopiesAreDiscarded) {
   EXPECT_EQ(store.TierEntryCount(1), 0u);
   EXPECT_FALSE(store.HasCopy(1));
   store.CheckInvariants();
+}
+
+TEST(SnapshotStoreTest, FetchRetryBackoffTimelineIsPinned) {
+  FaultPlan plan;
+  plan.snapshot_fetch_failure_prob = 1.0;
+  FaultInjector injector(plan, /*salt=*/1);
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.fetch_backoff_base = 20 * kMillisecond;
+  cfg.fetch_backoff_cap = 30 * kMillisecond;  // backoff(2) = 40 ms caps here
+  SnapshotStore store(cfg, &injector);
+  const auto ticket = store.Capture(1, kMiB, MakeWs(8), 8, 1, 0);
+  store.CompleteFlush(ticket.id, ticket.complete_at);
+  const auto restore = store.PlanRestore(1, 0);
+  EXPECT_FALSE(restore.hit);
+  EXPECT_EQ(restore.fetch_failures, 5u);
+  // Same timeouts as the flat timeline (tier 0: 2 x 10 ms, tier 1:
+  // 3 x 100 ms) plus backoff before each retry: tier 0 backoff(1) = 20 ms,
+  // tier 1 backoff(1) = 20 ms and backoff(2) = min(40, cap 30) = 30 ms. No
+  // backoff after a tier's final attempt — falling to the next tier is not a
+  // retry.
+  EXPECT_EQ(restore.fetch_wall, 2 * (10 * kMillisecond) + 3 * (100 * kMillisecond) +
+                                    20 * kMillisecond + 20 * kMillisecond + 30 * kMillisecond);
+}
+
+TEST(SnapshotStoreTest, ZeroBackoffBaseKeepsTheLegacyTimeline) {
+  FaultPlan plan;
+  plan.snapshot_fetch_failure_prob = 1.0;
+  FaultInjector injector(plan, /*salt=*/1);
+  SnapshotStore store(SmallTwoTier(), &injector);  // fetch_backoff_base = 0
+  const auto ticket = store.Capture(1, kMiB, MakeWs(8), 8, 1, 0);
+  store.CompleteFlush(ticket.id, ticket.complete_at);
+  const auto restore = store.PlanRestore(1, 0);
+  EXPECT_EQ(restore.fetch_wall, 2 * (10 * kMillisecond) + 3 * (100 * kMillisecond));
+}
+
+TEST(SnapshotStoreTest, DeltaRefreshShipsStrictlyFewerBytesAndBoundsTheChain) {
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.delta_refresh = true;
+  cfg.max_delta_chain = 2;
+  SnapshotStore store(cfg, nullptr);
+  // 1 MiB image, 16 resident pages: a delta ships metadata (64 KiB) plus the
+  // resident pages (64 KiB) = 128 KiB, strictly under the full megabyte.
+  const auto ticket = store.Capture(1, kMiB, MakeWs(16), 16, 1, 0);
+  store.CompleteFlush(ticket.id, ticket.complete_at);
+
+  const uint64_t delta_bytes = 64 * kKiB + 16 * kPageSize;
+  auto refresh = store.Refresh(1, kMiB, 16, kSecond);
+  ASSERT_TRUE(refresh.valid());
+  EXPECT_EQ(store.stats().delta_refreshes, 1u);
+  EXPECT_EQ(store.stats().delta_bytes_shipped, delta_bytes);
+  EXPECT_EQ(store.stats().delta_bytes_saved, kMiB - delta_bytes);
+  EXPECT_LT(store.stats().delta_bytes_shipped, kMiB);  // strictly fewer bytes
+
+  // Second refresh extends the chain to its bound; the third must reset with
+  // a full re-flush (no delta counters move).
+  store.Refresh(1, kMiB, 16, 2 * kSecond);
+  EXPECT_EQ(store.stats().delta_refreshes, 2u);
+  store.Refresh(1, kMiB, 16, 3 * kSecond);
+  EXPECT_EQ(store.stats().delta_refreshes, 2u);
+  EXPECT_EQ(store.stats().delta_bytes_shipped, 2 * delta_bytes);
+  store.CheckInvariants();
+}
+
+TEST(SnapshotStoreTest, DeltaChainAddsCoalesceLatencyOnRestore) {
+  SnapshotConfig cfg = SmallTwoTier();
+  cfg.delta_refresh = true;
+  cfg.max_delta_chain = 4;
+  cfg.promote_on_fetch = false;
+  SnapshotStore plain_store(cfg, nullptr);
+  SnapshotStore chained_store(cfg, nullptr);
+  for (SnapshotStore* store : {&plain_store, &chained_store}) {
+    const auto ticket = store->Capture(1, kMiB, MakeWs(16), 16, 1, 0);
+    store->CompleteFlush(ticket.id, ticket.complete_at);
+  }
+  const auto delta = chained_store.Refresh(1, kMiB, 16, kSecond);
+  ASSERT_TRUE(delta.valid());
+  chained_store.CompleteFlush(delta.id, delta.complete_at);  // land the delta
+  // Drop tier 0 so both restores stream from tier 1.
+  plain_store.OnNodeCrash();
+  chained_store.OnNodeCrash();
+  const auto plain = plain_store.PlanRestore(1, 2 * kSecond);
+  const auto chained = chained_store.PlanRestore(1, 2 * kSecond);
+  ASSERT_TRUE(plain.hit);
+  ASSERT_TRUE(chained.hit);
+  // One delta link: the restore pays one extra tier-1 access latency (10 ms)
+  // to coalesce the chain.
+  EXPECT_EQ(chained.fetch_wall, plain.fetch_wall + 10 * kMillisecond);
+}
+
+TEST(SnapshotStoreTest, HedgedFetchRacesTheNextTierAndWins) {
+  SnapshotConfig cfg;
+  cfg.enabled = true;
+  // Middle tier is glacial (1 MiB/s): any stream from it blows the budget;
+  // the remote tier is fast, so the hedge wins the race.
+  cfg.tiers = {
+      {"local", 10 * kMiB, 1000.0, 1000.0, 1.0, 10 * kMillisecond, 1, 10.0},
+      {"slow-ssd", 100 * kMiB, 1.0, 1000.0, 1.0, 100 * kMillisecond, 1, 10.0},
+      {"remote", 100 * kMiB, 1000.0, 1000.0, 1.0, 100 * kMillisecond, 2, 100.0},
+  };
+  cfg.flush_delay = 10 * kMillisecond;
+  cfg.metadata_bytes = 64 * kKiB;
+  cfg.hedge_budget = 50 * kMillisecond;
+  SnapshotStore store(cfg, nullptr);
+  auto ticket = store.Capture(1, kMiB, MakeWs(16), 16, 1, 0);
+  ticket = store.CompleteFlush(ticket.id, ticket.complete_at);  // -> tier 1
+  ASSERT_TRUE(ticket.valid());
+  store.CompleteFlush(ticket.id, ticket.complete_at);  // -> tier 2
+  store.OnNodeCrash();                                 // tier 0 gone
+  const auto restore = store.PlanRestore(1, 10 * kSecond);
+  ASSERT_TRUE(restore.hit);
+  EXPECT_EQ(restore.tier, 2u);  // the hedge, not the slow tier, served it
+  EXPECT_EQ(store.stats().hedged_fetches, 1u);
+  EXPECT_EQ(store.stats().hedge_wins, 1u);
+  // The winning wall is the hedge budget plus the remote stream, strictly
+  // under the slow tier's own stream time.
+  EXPECT_LT(restore.fetch_wall, kSecond);
 }
 
 // ---------------------------------------------------------------------------
